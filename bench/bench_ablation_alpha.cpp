@@ -1,0 +1,49 @@
+// Ablation (beyond the paper's tables): the grow/prune cosine amplitude.
+// The paper fixes a_l_t = 0.15 * (1 + cos(...)) * n_l; this bench sweeps the
+// 0.15 amplitude to show the design point sits between "too timid to escape
+// the coarse mask" and "so aggressive the optimizer never recovers".
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main() {
+  using namespace fedtiny;
+  harness::Experiment ex(harness::ScaleConfig::from_env());
+  harness::print_banner("Ablation: cosine quota amplitude alpha (ResNet18)", ex.scale().name);
+
+  const std::vector<double> alphas = {0.05, 0.15, 0.30, 0.45};
+  const std::vector<double> densities = {0.01, 0.03};
+
+  std::vector<harness::RunSpec> specs;
+  for (double a : alphas) {
+    for (double d : densities) {
+      harness::RunSpec s;
+      s.method = "fedtiny";
+      s.density = d;
+      s.schedule_overridden = true;
+      s.schedule.delta_r = ex.scale().delta_r;
+      s.schedule.r_stop = ex.scale().r_stop;
+      s.schedule.alpha = a;
+      specs.push_back(s);
+    }
+  }
+  auto results = harness::run_all(ex, specs);
+
+  harness::Report report("quota amplitude vs accuracy");
+  std::vector<std::string> header = {"alpha"};
+  for (double d : densities) header.push_back("d=" + harness::Report::fmt(d, 3));
+  report.set_header(header);
+  size_t i = 0;
+  for (double a : alphas) {
+    std::vector<std::string> row = {harness::Report::fmt(a, 2)};
+    for (size_t k = 0; k < densities.size(); ++k) {
+      row.push_back(harness::Report::fmt(results[i++].accuracy));
+    }
+    report.add_row(row);
+  }
+  report.print();
+  report.write_csv("ablation_alpha.csv");
+  std::printf("\nThe paper's 0.15 should sit at or near the peak of each column.\n");
+  return 0;
+}

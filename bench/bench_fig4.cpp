@@ -1,0 +1,54 @@
+// Figure 4: ablation of the two FedTiny modules on CIFAR-10-like data with
+// ResNet18 — vanilla selection, adaptive BN selection, vanilla + progressive
+// pruning, and full FedTiny, across densities.
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main() {
+  using namespace fedtiny;
+  harness::Experiment ex(harness::ScaleConfig::from_env());
+  harness::print_banner("Figure 4: module ablation", ex.scale().name);
+
+  struct Variant {
+    const char* label;
+    const char* method;
+  };
+  const std::vector<Variant> variants = {
+      {"vanilla", "vanilla"},
+      {"adaptive BN selection", "adaptive_bn"},
+      {"vanilla + progressive pruning", "fedtiny_vanilla"},
+      {"FedTiny", "fedtiny"},
+  };
+  const std::vector<double> densities = {0.003, 0.01, 0.03, 0.1};
+
+  std::vector<harness::RunSpec> specs;
+  for (const auto& v : variants) {
+    for (double d : densities) {
+      harness::RunSpec s;
+      s.method = v.method;
+      s.density = d;
+      specs.push_back(s);
+    }
+  }
+  auto results = harness::run_all(ex, specs);
+
+  harness::Report report("Fig. 4 — ablation of adaptive BN selection and progressive pruning");
+  std::vector<std::string> header = {"variant"};
+  for (double d : densities) header.push_back("d=" + harness::Report::fmt(d, 3));
+  report.set_header(header);
+  size_t i = 0;
+  for (const auto& v : variants) {
+    std::vector<std::string> row = {v.label};
+    for (size_t k = 0; k < densities.size(); ++k) {
+      row.push_back(harness::Report::fmt(results[i++].accuracy));
+    }
+    report.add_row(row);
+  }
+  report.print();
+  report.write_csv("fig4.csv");
+  std::printf("\nExpected shape (paper): each module alone improves on vanilla; the "
+              "combination wins, with the gap largest at low density.\n");
+  return 0;
+}

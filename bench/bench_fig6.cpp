@@ -1,0 +1,47 @@
+// Figure 6: robustness to data heterogeneity — top-1 accuracy vs Dirichlet
+// alpha (lower alpha = more non-iid) for SynFlow, PruneFL and FedTiny on
+// CIFAR-10-like data with ResNet18 at 1% density.
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main() {
+  using namespace fedtiny;
+  harness::Experiment ex(harness::ScaleConfig::from_env());
+  harness::print_banner("Figure 6: accuracy vs non-iid degree (ResNet18, d=0.01)",
+                        ex.scale().name);
+
+  const std::vector<std::string> methods = {"synflow", "prunefl", "fedtiny"};
+  const std::vector<double> alphas = {0.25, 0.35, 0.5, 0.75, 1.0};
+
+  std::vector<harness::RunSpec> specs;
+  for (const auto& m : methods) {
+    for (double a : alphas) {
+      harness::RunSpec s;
+      s.method = m;
+      s.density = 0.01;
+      s.dirichlet_alpha = a;
+      specs.push_back(s);
+    }
+  }
+  auto results = harness::run_all(ex, specs);
+
+  harness::Report report("Fig. 6 — top-1 accuracy vs Dirichlet alpha");
+  std::vector<std::string> header = {"method"};
+  for (double a : alphas) header.push_back("alpha=" + harness::Report::fmt(a, 2));
+  report.set_header(header);
+  size_t i = 0;
+  for (const auto& m : methods) {
+    std::vector<std::string> row = {m};
+    for (size_t k = 0; k < alphas.size(); ++k) {
+      row.push_back(harness::Report::fmt(results[i++].accuracy));
+    }
+    report.add_row(row);
+  }
+  report.print();
+  report.write_csv("fig6.csv");
+  std::printf("\nExpected shape (paper): baselines degrade as alpha falls (stronger non-iid); "
+              "FedTiny stays highest thanks to the adaptive BN selection.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) for the primitives FedTiny's on-device
+// memory argument rests on: the bounded top-K buffer vs a full sort, GEMM,
+// mask surgery, and BN stat refresh.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/batchnorm.h"
+#include "prune/surgery.h"
+#include "prune/topk_buffer.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace fedtiny;
+
+void BM_TopKBuffer(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t k = state.range(1);
+  Rng rng(42);
+  std::vector<float> grads(static_cast<size_t>(n));
+  for (auto& g : grads) g = rng.normal();
+  for (auto _ : state) {
+    prune::TopKBuffer buffer(k);
+    for (int64_t i = 0; i < n; ++i) buffer.push(i, grads[static_cast<size_t>(i)]);
+    benchmark::DoNotOptimize(buffer.sorted());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKBuffer)->Args({100000, 100})->Args({100000, 1000})->Args({1000000, 100});
+
+// The dense alternative PruneFL-style devices pay: sort all scores.
+void BM_FullSortTopK(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(42);
+  std::vector<float> grads(static_cast<size_t>(n));
+  for (auto& g : grads) g = rng.normal();
+  for (auto _ : state) {
+    std::vector<std::pair<float, int64_t>> scored(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      scored[static_cast<size_t>(i)] = {std::fabs(grads[static_cast<size_t>(i)]), i};
+    }
+    std::sort(scored.begin(), scored.end(), std::greater<>());
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullSortTopK)->Arg(100000)->Arg(1000000);
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  std::vector<float> a(static_cast<size_t>(n * n)), b(a), c(a);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    ops::gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GrowPrune(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  std::vector<float> weights(static_cast<size_t>(n));
+  for (auto& w : weights) w = rng.normal();
+  std::vector<uint8_t> base_mask(static_cast<size_t>(n));
+  for (auto& m : base_mask) m = rng.uniform() < 0.01 ? 1 : 0;
+  std::vector<prune::ScoredIndex> grads;
+  for (int64_t i = 0; i < n; i += 7) grads.push_back({i, rng.normal()});
+  for (auto _ : state) {
+    auto mask = base_mask;
+    auto stats = prune::grow_prune_layer(weights, mask, grads, n / 200);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GrowPrune)->Arg(100000)->Arg(1000000);
+
+void BM_BNStatRefresh(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  nn::BatchNorm2d bn(channels);
+  Rng rng(9);
+  Tensor x({8, channels, 8, 8});
+  for (auto& v : x.flat()) v = rng.normal();
+  for (auto _ : state) {
+    bn.begin_stat_refresh();
+    benchmark::DoNotOptimize(bn.forward(x, nn::Mode::kStatRefresh));
+    bn.finalize_stat_refresh();
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_BNStatRefresh)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Table III: impact of the pruning scheduling strategy — granularity
+// (layer / block / entire model), ordering (backward "b" vs forward), and
+// cadence (delta_R / R_stop) — on VGG11 with the CIFAR-10-like dataset.
+// The paper's cadences (5/100, 10/100, ...) are scaled proportionally to
+// the reduced round budget.
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main() {
+  using namespace fedtiny;
+  harness::Experiment ex(harness::ScaleConfig::from_env());
+  harness::print_banner("Table III: pruning scheduling strategies (VGG11)", ex.scale().name);
+
+  const auto& scale = ex.scale();
+  struct Strategy {
+    const char* label;
+    core::Granularity granularity;
+    bool backward;
+    int delta_r;
+    int r_stop;
+  };
+  // Cadences relative to the scale's defaults: "half delta" and "half stop"
+  // mirror the paper's 5/100 and 5/50 rows.
+  const int dr = std::max(1, scale.delta_r);
+  const int rs = scale.r_stop;
+  const std::vector<Strategy> strategies = {
+      {"layer fwd", core::Granularity::kLayer, false, dr, rs},
+      {"layer (b)", core::Granularity::kLayer, true, dr, rs},
+      {"block fwd", core::Granularity::kBlock, false, dr, rs},
+      {"block (b)", core::Granularity::kBlock, true, dr, rs},
+      {"block (b) half-stop", core::Granularity::kBlock, true, dr, std::max(1, rs / 2)},
+      {"entire", core::Granularity::kEntire, true, 2 * dr, rs},
+      {"entire half-stop", core::Granularity::kEntire, true, dr, std::max(1, rs / 2)},
+  };
+  const std::vector<double> densities = {0.01, 0.005, 0.001};
+
+  std::vector<harness::RunSpec> specs;
+  for (const auto& st : strategies) {
+    for (double d : densities) {
+      harness::RunSpec s;
+      s.method = "fedtiny";
+      s.model = "vgg11";
+      s.density = d;
+      s.schedule_overridden = true;
+      s.schedule.granularity = st.granularity;
+      s.schedule.backward_order = st.backward;
+      s.schedule.delta_r = st.delta_r;
+      s.schedule.r_stop = st.r_stop;
+      specs.push_back(s);
+    }
+  }
+  auto results = harness::run_all(ex, specs);
+
+  harness::Report report("Table III — top-1 accuracy per scheduling strategy");
+  std::vector<std::string> header = {"granularity", "dR/Rstop"};
+  for (double d : densities) header.push_back("d=" + harness::Report::fmt(d, 3));
+  report.set_header(header);
+  size_t i = 0;
+  for (const auto& st : strategies) {
+    std::vector<std::string> row = {st.label,
+                                    std::to_string(st.delta_r) + "/" + std::to_string(st.r_stop)};
+    for (size_t k = 0; k < densities.size(); ++k) {
+      row.push_back(harness::Report::fmt(results[i++].accuracy));
+    }
+    report.add_row(row);
+  }
+  report.print();
+  report.write_csv("table3.csv");
+  std::printf("\nExpected shape (paper): block granularity in backward order wins; layer-wise "
+              "converges too slowly, entire-model costs more per round.\n");
+  return 0;
+}

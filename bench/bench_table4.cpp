@@ -1,0 +1,46 @@
+// Table IV: sparse ResNet18 at 1% density vs a dense three-conv small model
+// with a matched parameter count, across the four datasets. References:
+// SynFlow and PruneFL.
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main() {
+  using namespace fedtiny;
+  harness::Experiment ex(harness::ScaleConfig::from_env());
+  harness::print_banner("Table IV: sparse ResNet18 (1%) vs dense small model", ex.scale().name);
+
+  const std::vector<std::string> methods = {"synflow", "prunefl", "small_model", "fedtiny"};
+  const std::vector<std::string> datasets = {"cifar10s", "cinic10s", "svhns", "cifar100s"};
+
+  std::vector<harness::RunSpec> specs;
+  for (const auto& m : methods) {
+    for (const auto& ds : datasets) {
+      harness::RunSpec s;
+      s.method = m;
+      s.dataset = ds;
+      s.density = 0.01;
+      specs.push_back(s);
+    }
+  }
+  auto results = harness::run_all(ex, specs);
+
+  harness::Report report("Table IV — top-1 accuracy, ResNet18 @ 1% density vs small model");
+  std::vector<std::string> header = {"method"};
+  for (const auto& ds : datasets) header.push_back(ds);
+  report.set_header(header);
+  size_t i = 0;
+  for (const auto& m : methods) {
+    std::vector<std::string> row = {m};
+    for (size_t k = 0; k < datasets.size(); ++k) {
+      row.push_back(harness::Report::fmt(results[i++].accuracy));
+    }
+    report.add_row(row);
+  }
+  report.print();
+  report.write_csv("table4.csv");
+  std::printf("\nExpected shape (paper): the dense small model is competitive with pruning "
+              "baselines but FedTiny beats it on most datasets.\n");
+  return 0;
+}

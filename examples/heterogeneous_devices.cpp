@@ -1,0 +1,42 @@
+// Heterogeneous-data scenario: a cross-silo federation (think hospitals or
+// regional edge deployments) where each device's label distribution is
+// heavily skewed. Shows how FedTiny's adaptive BN selection holds up as the
+// non-iid degree increases, versus server-side SynFlow pruning.
+//
+//   ./build/examples/heterogeneous_devices
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main() {
+  using namespace fedtiny;
+  harness::Experiment experiment(harness::ScaleConfig::from_env());
+  std::printf("Heterogeneous devices scenario (scale=%s)\n", experiment.scale().name.c_str());
+  std::printf("10 devices, CIFAR-10-like data, ResNet18 pruned to 1%% density.\n");
+  std::printf("Dirichlet alpha controls skew: lower alpha = more non-iid.\n\n");
+
+  const std::vector<double> alphas = {0.1, 0.5, 2.0};
+  std::vector<harness::RunSpec> specs;
+  for (const char* method : {"fedtiny", "synflow"}) {
+    for (double alpha : alphas) {
+      harness::RunSpec spec;
+      spec.method = method;
+      spec.density = 0.01;
+      spec.dirichlet_alpha = alpha;
+      specs.push_back(spec);
+    }
+  }
+  auto results = harness::run_all(experiment, specs);
+
+  harness::Report report("accuracy under increasing heterogeneity");
+  report.set_header({"method", "alpha", "top1_accuracy"});
+  for (size_t i = 0; i < specs.size(); ++i) {
+    report.add_row({specs[i].method, harness::Report::fmt(specs[i].dirichlet_alpha, 2),
+                    harness::Report::fmt(results[i].accuracy)});
+  }
+  report.print();
+  std::printf("\nThe BN-recalibrated candidate selection uses on-device statistics, so the\n"
+              "coarse mask adapts to skewed devices that the server never sees.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "baselines/feddst.h"
+
+#include <numeric>
+
+#include "metrics/comms.h"
+#include "prune/surgery.h"
+
+namespace fedtiny::baselines {
+
+FedDSTTrainer::FedDSTTrainer(nn::Model& model, const data::Dataset& train_data,
+                             const data::Dataset& test_data,
+                             std::vector<std::vector<int64_t>> partitions, fl::FLConfig fl_config,
+                             core::PruningSchedule schedule)
+    : fl::FederatedTrainer(model, train_data, test_data, std::move(partitions), fl_config),
+      schedule_(schedule) {}
+
+std::vector<int64_t> FedDSTTrainer::quotas(int round) {
+  std::vector<int64_t> quota(mask_.num_layers(), 0);
+  const auto densities = mask_.layer_densities();
+  int64_t total = 0;
+  for (size_t l = 0; l < mask_.num_layers(); ++l) {
+    const auto n_unpruned = static_cast<int64_t>(
+        densities[l] * static_cast<double>(mask_.layer(l).size()));
+    quota[l] = schedule_.quota(round, n_unpruned);
+    total += quota[l];
+  }
+  max_topk_capacity_ = std::max(max_topk_capacity_, total);
+  return quota;
+}
+
+std::vector<int64_t> FedDSTTrainer::pruned_grad_quota(int round) {
+  if (!schedule_.is_pruning_round(round)) return {};
+  return quotas(round);
+}
+
+void FedDSTTrainer::after_aggregate(int round) {
+  if (!schedule_.is_pruning_round(round) || aggregated_grads_.empty()) return;
+  model_.set_state(global_);
+  const auto quota = quotas(round);
+  for (size_t l = 0; l < mask_.num_layers(); ++l) {
+    if (quota[l] <= 0) continue;
+    const auto* param =
+        model_.params()[static_cast<size_t>(model_.prunable_indices()[l])];
+    prune::grow_prune_layer(param->value.flat(), mask_.layer(l), aggregated_grads_[l], quota[l]);
+  }
+}
+
+double FedDSTTrainer::extra_device_flops(int round) {
+  if (!schedule_.is_pruning_round(round)) return 0.0;
+  // Recovery fine-tuning (paper: grown weights need extra epochs before
+  // upload): one extra sparse epoch, plus one batch whose weight-backward
+  // is dense for the entire model (local mask adjustment).
+  int64_t total = 0;
+  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
+  const double mean_size =
+      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+  const auto densities = layer_densities();
+  const double sparse_train = cost_.sparse_training_flops(densities);
+  const double dense_fwd = static_cast<double>(cost_.dense_forward_flops());
+  const double sparse_fwd = cost_.sparse_forward_flops(densities);
+  return mean_size * sparse_train +  // one recovery epoch
+         static_cast<double>(config_.batch_size) * (sparse_train + dense_fwd - sparse_fwd);
+}
+
+double FedDSTTrainer::extra_comm_bytes(int round) {
+  if (!schedule_.is_pruning_round(round)) return 0.0;
+  const auto quota = quotas(round);
+  const int64_t total = std::accumulate(quota.begin(), quota.end(), int64_t{0});
+  return static_cast<double>(config_.num_clients) * metrics::topk_gradient_bytes(total);
+}
+
+}  // namespace fedtiny::baselines

@@ -1,0 +1,38 @@
+// FedDST (Bibikar et al., AAAI 2022), adapted per paper §IV-A3: random
+// uniform initial mask on the server; on pruning rounds devices adjust masks
+// locally (RigL-style magnitude-prune + gradient-grow through bounded
+// buffers) after extra local training epochs, and the server combines the
+// proposals by sparse aggregation + magnitude pruning back to the target
+// density. Uses the same quota schedule as FedTiny but over the entire
+// model every pruning round, and pays extra recovery epochs (paper: 3 train
+// + 2 fine-tune).
+#pragma once
+
+#include "core/schedule.h"
+#include "fl/trainer.h"
+
+namespace fedtiny::baselines {
+
+class FedDSTTrainer : public fl::FederatedTrainer {
+ public:
+  FedDSTTrainer(nn::Model& model, const data::Dataset& train_data, const data::Dataset& test_data,
+                std::vector<std::vector<int64_t>> partitions, fl::FLConfig fl_config,
+                core::PruningSchedule schedule);
+
+  /// Bounded-buffer capacity used on devices (for the memory report).
+  [[nodiscard]] int64_t max_topk_capacity() const { return max_topk_capacity_; }
+
+ protected:
+  std::vector<int64_t> pruned_grad_quota(int round) override;
+  void after_aggregate(int round) override;
+  double extra_device_flops(int round) override;
+  double extra_comm_bytes(int round) override;
+
+ private:
+  std::vector<int64_t> quotas(int round);
+
+  core::PruningSchedule schedule_;
+  int64_t max_topk_capacity_ = 0;
+};
+
+}  // namespace fedtiny::baselines

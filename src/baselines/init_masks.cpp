@@ -1,0 +1,56 @@
+#include "baselines/init_masks.h"
+
+#include <algorithm>
+
+#include "prune/magnitude.h"
+#include "prune/scores.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::baselines {
+
+prune::MaskSet snip_initial_mask(nn::Model& model, const data::Dataset& public_data,
+                                 double density, int iterations, int64_t batch_size,
+                                 uint64_t seed) {
+  Rng rng(seed, /*stream=*/0x5419);
+  auto perm = rng.permutation(public_data.size());
+  const auto take = std::min<int64_t>(batch_size, public_data.size());
+  auto batch = data::gather_batch(
+      public_data, std::span<const int64_t>(perm.data(), static_cast<size_t>(take)));
+  return prune::iterative_prune_to_density(
+      model, [&batch](nn::Model& m) { return prune::snip_scores(m, batch); }, density, iterations);
+}
+
+prune::MaskSet synflow_initial_mask(nn::Model& model, double density, int iterations) {
+  return prune::iterative_prune_to_density(
+      model, [](nn::Model& m) { return prune::synflow_scores(m); }, density, iterations);
+}
+
+prune::MaskSet flpqsu_initial_mask(nn::Model& model, double density) {
+  auto mask = prune::magnitude_prune_layerwise(model, prune::uniform_densities(model, density));
+  mask.apply(model);
+  return mask;
+}
+
+prune::MaskSet prunefl_initial_mask(nn::Model& model, double density) {
+  auto mask = prune::magnitude_prune_layerwise(model, prune::uniform_densities(model, density));
+  mask.apply(model);
+  return mask;
+}
+
+prune::MaskSet random_initial_mask(nn::Model& model, double density, uint64_t seed) {
+  Rng rng(seed, /*stream=*/0xfedd57);
+  prune::ScoreSet random_scores;
+  for (int idx : model.prunable_indices()) {
+    const auto n =
+        static_cast<size_t>(model.params()[static_cast<size_t>(idx)]->value.numel());
+    std::vector<float> s(n);
+    for (auto& v : s) v = static_cast<float>(rng.uniform());
+    random_scores.push_back(std::move(s));
+  }
+  auto mask = prune::mask_from_scores_layerwise(
+      random_scores, prune::uniform_densities(model, density));
+  mask.apply(model);
+  return mask;
+}
+
+}  // namespace fedtiny::baselines

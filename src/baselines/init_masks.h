@@ -1,0 +1,30 @@
+// Server-side initial-mask construction for the baseline methods
+// (paper §IV-A3). All operate on the pretrained dense model.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "prune/mask.h"
+
+namespace fedtiny::baselines {
+
+/// SNIP: iterative connection-sensitivity pruning on a public server batch
+/// (the paper applies SNIP iteratively, following the SynFlow protocol).
+prune::MaskSet snip_initial_mask(nn::Model& model, const data::Dataset& public_data,
+                                 double density, int iterations, int64_t batch_size,
+                                 uint64_t seed);
+
+/// SynFlow: data-free iterative synaptic-flow pruning.
+prune::MaskSet synflow_initial_mask(nn::Model& model, double density, int iterations);
+
+/// FL-PQSU: one-shot L1-magnitude pruning with uniform layer-wise rates.
+prune::MaskSet flpqsu_initial_mask(nn::Model& model, double density);
+
+/// PruneFL server-side initial mask: uniform layer-wise magnitude pruning of
+/// the public-pretrained model.
+prune::MaskSet prunefl_initial_mask(nn::Model& model, double density);
+
+/// FedDST: uniform layer-wise random mask.
+prune::MaskSet random_initial_mask(nn::Model& model, double density, uint64_t seed);
+
+}  // namespace fedtiny::baselines

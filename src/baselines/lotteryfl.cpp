@@ -1,0 +1,55 @@
+#include "baselines/lotteryfl.h"
+
+#include <cmath>
+
+#include "prune/magnitude.h"
+
+namespace fedtiny::baselines {
+
+LotteryFLTrainer::LotteryFLTrainer(nn::Model& model, const data::Dataset& train_data,
+                                   const data::Dataset& test_data,
+                                   std::vector<std::vector<int64_t>> partitions,
+                                   fl::FLConfig fl_config, core::PruningSchedule schedule,
+                                   double target_density)
+    : fl::FederatedTrainer(model, train_data, test_data, std::move(partitions), fl_config),
+      schedule_(schedule),
+      target_density_(target_density) {
+  set_dense_storage(true);
+  initial_state_ = model.state();
+  // Number of pruning events within [delta_r, r_stop].
+  const int events = std::max(1, schedule_.r_stop / std::max(1, schedule_.delta_r));
+  keep_rate_ = std::pow(target_density_, 1.0 / static_cast<double>(events));
+}
+
+void LotteryFLTrainer::after_aggregate(int round) {
+  // Prune on schedule, skipping round 0 (nothing trained yet).
+  if (round == 0 || !schedule_.is_pruning_round(round)) return;
+  const double current = mask_.density();
+  if (current <= target_density_ * 1.0001) return;
+  const double next_density = std::max(target_density_, current * keep_rate_);
+
+  // Magnitude-prune the aggregated global weights; pruned coordinates stay
+  // pruned because their weights are exactly zero.
+  model_.set_state(global_);
+  mask_ = prune::magnitude_prune_global(model_, next_density);
+
+  // Lottery-ticket rewind: surviving weights reset to their initial values.
+  model_.set_state(initial_state_);
+  mask_.apply(model_);
+  global_ = model_.state();
+}
+
+double LotteryFLTrainer::extra_device_flops(int round) {
+  (void)round;
+  // Devices always train the dense model; report the difference between
+  // dense and masked-sparse training cost.
+  int64_t total = 0;
+  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
+  const double mean_size =
+      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+  const double dense = cost_.dense_training_flops();
+  const double sparse = cost_.sparse_training_flops(layer_densities());
+  return static_cast<double>(config_.local_epochs) * mean_size * (dense - sparse);
+}
+
+}  // namespace fedtiny::baselines

@@ -1,0 +1,32 @@
+// LotteryFL (Li et al., SEC 2021), adapted per paper §IV-A3: the global
+// model (not per-device models) is iteratively magnitude-pruned with a fixed
+// per-event rate and the surviving weights are rewound to their initial
+// values (lottery-ticket style). Devices train the dense model, so compute
+// and memory stay at the full-size level (Table I: 1x FLOPs, dense MB).
+// The per-event keep rate is derived so that the target density is reached
+// exactly when pruning stops.
+#pragma once
+
+#include "core/schedule.h"
+#include "fl/trainer.h"
+
+namespace fedtiny::baselines {
+
+class LotteryFLTrainer : public fl::FederatedTrainer {
+ public:
+  LotteryFLTrainer(nn::Model& model, const data::Dataset& train_data,
+                   const data::Dataset& test_data, std::vector<std::vector<int64_t>> partitions,
+                   fl::FLConfig fl_config, core::PruningSchedule schedule, double target_density);
+
+ protected:
+  void after_aggregate(int round) override;
+  double extra_device_flops(int round) override;
+
+ private:
+  core::PruningSchedule schedule_;
+  double target_density_;
+  double keep_rate_;  // per pruning event
+  std::vector<Tensor> initial_state_;
+};
+
+}  // namespace fedtiny::baselines

@@ -1,0 +1,61 @@
+#include "baselines/prunefl.h"
+
+#include "metrics/comms.h"
+#include "prune/surgery.h"
+
+namespace fedtiny::baselines {
+
+PruneFLTrainer::PruneFLTrainer(nn::Model& model, const data::Dataset& train_data,
+                               const data::Dataset& test_data,
+                               std::vector<std::vector<int64_t>> partitions,
+                               fl::FLConfig fl_config, core::PruningSchedule schedule)
+    : fl::FederatedTrainer(model, train_data, test_data, std::move(partitions), fl_config),
+      schedule_(schedule) {}
+
+std::vector<int64_t> PruneFLTrainer::pruned_grad_quota(int round) {
+  if (!schedule_.is_pruning_round(round)) return {};
+  // Full importance information: every pruned coordinate's gradient is
+  // uploaded (dense scores — this is precisely PruneFL's memory burden).
+  std::vector<int64_t> quota;
+  for (size_t l = 0; l < mask_.num_layers(); ++l) {
+    quota.push_back(static_cast<int64_t>(mask_.layer(l).size()));
+  }
+  return quota;
+}
+
+void PruneFLTrainer::after_aggregate(int round) {
+  if (!schedule_.is_pruning_round(round) || aggregated_grads_.empty()) return;
+  model_.set_state(global_);
+  const auto densities = mask_.layer_densities();
+  for (size_t l = 0; l < mask_.num_layers(); ++l) {
+    const auto n_unpruned = static_cast<int64_t>(
+        densities[l] * static_cast<double>(mask_.layer(l).size()));
+    const int64_t quota = schedule_.quota(round, n_unpruned);
+    if (quota <= 0) continue;
+    const auto* param =
+        model_.params()[static_cast<size_t>(model_.prunable_indices()[l])];
+    prune::grow_prune_layer(param->value.flat(), mask_.layer(l), aggregated_grads_[l], quota);
+  }
+}
+
+double PruneFLTrainer::extra_device_flops(int round) {
+  if (!schedule_.is_pruning_round(round)) return 0.0;
+  // On pruning rounds every local iteration computes dense weight gradients:
+  // forward and input-backward stay sparse, the weight-backward is dense.
+  // Extra over masked training = (dense - sparse) forward-equivalent.
+  int64_t total = 0;
+  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
+  const double mean_size =
+      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+  const double dense_fwd = static_cast<double>(cost_.dense_forward_flops());
+  const double sparse_fwd = cost_.sparse_forward_flops(layer_densities());
+  return static_cast<double>(config_.local_epochs) * mean_size * (dense_fwd - sparse_fwd);
+}
+
+double PruneFLTrainer::extra_comm_bytes(int round) {
+  if (!schedule_.is_pruning_round(round)) return 0.0;
+  // Dense score upload per device.
+  return static_cast<double>(config_.num_clients) * metrics::dense_model_bytes(cost_);
+}
+
+}  // namespace fedtiny::baselines

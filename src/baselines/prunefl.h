@@ -1,0 +1,31 @@
+// PruneFL (Jiang et al., TNNLS 2022), adapted per paper §IV-A3: the server
+// builds the initial sparse model from public data; during training, devices
+// compute FULL dense importance scores (gradients for every parameter of the
+// full-size model) on pruning rounds, and the server readjusts the mask with
+// the same grow/prune quota schedule as FedTiny, over the entire model.
+// Consequences the paper highlights: ~0.34x max-round FLOPs (dense weight
+// gradients) and a dense score buffer in device memory.
+#pragma once
+
+#include "core/schedule.h"
+#include "fl/trainer.h"
+
+namespace fedtiny::baselines {
+
+class PruneFLTrainer : public fl::FederatedTrainer {
+ public:
+  PruneFLTrainer(nn::Model& model, const data::Dataset& train_data,
+                 const data::Dataset& test_data, std::vector<std::vector<int64_t>> partitions,
+                 fl::FLConfig fl_config, core::PruningSchedule schedule);
+
+ protected:
+  std::vector<int64_t> pruned_grad_quota(int round) override;
+  void after_aggregate(int round) override;
+  double extra_device_flops(int round) override;
+  double extra_comm_bytes(int round) override;
+
+ private:
+  core::PruningSchedule schedule_;
+};
+
+}  // namespace fedtiny::baselines

@@ -1,0 +1,46 @@
+// Adaptive batch-normalization selection (Alg. 1) and its vanilla-selection
+// ablation.
+//
+// The server coarse-prunes the pretrained dense model into a candidate pool
+// (uniform-noise layer-wise densities + magnitude pruning). For each
+// candidate, devices recalibrate BN statistics on a local development split
+// (forward passes only — no gradients), the server aggregates the statistics
+// weighted by dev-split size, devices install the aggregated statistics and
+// report the evaluation loss, and the server keeps the arg-min candidate.
+// Vanilla selection (He et al. AMC-style, §III-C) skips the recalibration.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "prune/candidates.h"
+#include "prune/mask.h"
+
+namespace fedtiny::core {
+
+struct BNSelectionConfig {
+  prune::CandidatePoolConfig pool;
+  double dev_fraction = 0.1;  // paper: 0.1 of local data
+  bool adaptive = true;       // false => vanilla selection (no BN refresh)
+  int64_t batch_size = 32;
+  uint64_t seed = 1;
+};
+
+struct BNSelectionReport {
+  prune::MaskSet mask;
+  int selected_candidate = -1;
+  std::vector<double> candidate_losses;
+  /// Costs of the selection phase (per §IV-D / Table II).
+  double comm_bytes_per_device = 0.0;
+  double extra_flops_per_device = 0.0;
+};
+
+/// Run candidate selection. `model` must hold the pretrained dense state;
+/// it is restored to that state (with the winning mask applied and, for
+/// adaptive mode, the winning aggregated BN statistics installed) on return.
+BNSelectionReport select_coarse_mask(nn::Model& model, const data::Dataset& train_data,
+                                     const std::vector<std::vector<int64_t>>& partitions,
+                                     const BNSelectionConfig& config);
+
+}  // namespace fedtiny::core

@@ -1,0 +1,58 @@
+// FedTinyTrainer: the paper's full pipeline on top of FederatedTrainer.
+//
+//   1. (caller) server pretrains the dense model on the public dataset
+//   2. initialize(): adaptive BN selection picks the coarse-pruned mask
+//   3. run(): sparse FedAvg with progressive pruning — on every pruning
+//      round, devices upload top-a_l pruned-coordinate gradients for the
+//      scheduled block's layers; the server grows/prunes each layer's mask
+//      (Alg. 2) and the quota follows the cosine schedule.
+#pragma once
+
+#include "core/bn_selection.h"
+#include "core/schedule.h"
+#include "fl/trainer.h"
+
+namespace fedtiny::core {
+
+struct FedTinyConfig {
+  BNSelectionConfig selection;
+  PruningSchedule schedule;
+  /// Disable the progressive pruning module (ablation: "adaptive BN
+  /// selection" alone in Fig. 4).
+  bool progressive_pruning = true;
+};
+
+class FedTinyTrainer : public fl::FederatedTrainer {
+ public:
+  FedTinyTrainer(nn::Model& model, const data::Dataset& train_data,
+                 const data::Dataset& test_data, std::vector<std::vector<int64_t>> partitions,
+                 fl::FLConfig fl_config, FedTinyConfig config);
+
+  /// Run candidate selection on the model's current (pretrained) weights and
+  /// install the winning mask. Must be called once before run().
+  const BNSelectionReport& initialize();
+
+  [[nodiscard]] const BNSelectionReport& selection_report() const { return selection_report_; }
+  /// Total bounded-buffer capacity a device needs (max over rounds of
+  /// sum of block quotas) — the paper's O(a_l) memory term.
+  [[nodiscard]] int64_t max_topk_capacity() const { return max_topk_capacity_; }
+
+ protected:
+  std::vector<int64_t> pruned_grad_quota(int round) override;
+  void after_aggregate(int round) override;
+  double extra_device_flops(int round) override;
+  double extra_comm_bytes(int round) override;
+
+ private:
+  /// Prunable-layer positions in the block scheduled for this round.
+  [[nodiscard]] const std::vector<int>& block_for_round(int round) const;
+  [[nodiscard]] std::vector<int64_t> quotas_for_round(int round);
+
+  FedTinyConfig ft_config_;
+  BNSelectionReport selection_report_;
+  std::vector<std::vector<int>> blocks_;
+  int64_t max_topk_capacity_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace fedtiny::core

@@ -1,0 +1,27 @@
+#include "core/pretrain.h"
+
+#include "nn/loss.h"
+#include "nn/sgd.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::core {
+
+void server_pretrain(nn::Model& model, const data::Dataset& public_data,
+                     const PretrainConfig& config) {
+  if (public_data.size() == 0) return;
+  nn::SGD sgd({config.lr, config.momentum, config.weight_decay});
+  Rng rng(config.seed, /*stream=*/0x9ae7a11);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    auto perm = rng.permutation(public_data.size());
+    for (const auto& chunk : data::chunk_indices(perm, config.batch_size)) {
+      auto batch = data::gather_batch(public_data, chunk);
+      model.zero_grad();
+      Tensor logits = model.forward(batch.x, nn::Mode::kTrain);
+      auto loss = nn::softmax_cross_entropy(logits, batch.y);
+      model.backward(loss.grad_logits);
+      sgd.step(model.params());
+    }
+  }
+}
+
+}  // namespace fedtiny::core

@@ -1,0 +1,23 @@
+// Server-side pretraining on the public one-shot dataset D_s (§IV-A3: every
+// method starts from a model pretrained on the server).
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace fedtiny::core {
+
+struct PretrainConfig {
+  int epochs = 2;
+  int64_t batch_size = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 1;
+};
+
+/// Plain dense SGD on the public dataset; updates the model in place.
+void server_pretrain(nn::Model& model, const data::Dataset& public_data,
+                     const PretrainConfig& config);
+
+}  // namespace fedtiny::core

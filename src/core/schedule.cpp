@@ -1,0 +1,53 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fedtiny::core {
+
+int64_t PruningSchedule::quota(int round, int64_t n_unpruned) const {
+  if (r_stop <= 0 || round > r_stop || n_unpruned <= 0) return 0;
+  const double phase = static_cast<double>(round) / static_cast<double>(r_stop);
+  const double a = alpha * (1.0 + std::cos(phase * M_PI)) * static_cast<double>(n_unpruned);
+  return static_cast<int64_t>(a);
+}
+
+std::vector<std::vector<int>> partition_blocks(const std::vector<int64_t>& layer_sizes,
+                                               int num_blocks) {
+  assert(num_blocks >= 1);
+  const int n_layers = static_cast<int>(layer_sizes.size());
+  const int blocks = std::min(num_blocks, std::max(1, n_layers));
+  std::vector<std::vector<int>> out(static_cast<size_t>(blocks));
+  if (n_layers == 0) return out;
+
+  int64_t total = 0;
+  for (int64_t s : layer_sizes) total += s;
+  const double target = static_cast<double>(total) / static_cast<double>(blocks);
+
+  int block = 0;
+  double acc = 0.0;
+  for (int l = 0; l < n_layers; ++l) {
+    out[static_cast<size_t>(block)].push_back(l);
+    acc += static_cast<double>(layer_sizes[static_cast<size_t>(l)]);
+    if (block >= blocks - 1) continue;
+    // Close the current block when it met its share (and enough layers
+    // remain for the later blocks), or when the remaining layers are just
+    // enough to give every later block one layer.
+    const int layers_left = n_layers - l - 1;
+    const int blocks_left = blocks - block - 1;
+    if ((acc >= target && layers_left >= blocks_left) || layers_left <= blocks_left) {
+      ++block;
+      acc = 0.0;
+    }
+  }
+  return out;
+}
+
+int scheduled_block(int event_index, int num_blocks, bool backward_order) {
+  assert(num_blocks >= 1);
+  const int cycle = event_index % num_blocks;
+  return backward_order ? num_blocks - 1 - cycle : cycle;
+}
+
+}  // namespace fedtiny::core

@@ -1,0 +1,49 @@
+// Progressive pruning schedule (paper §III-D and §IV-A2):
+//   - grow/prune quota a_l_t = alpha * (1 + cos(t*pi / (R_stop*E))) * n_l
+//     with alpha = 0.15, n_l = currently-unpruned parameters of layer l
+//   - pruning happens every delta_r rounds until r_stop, then pure fine-tuning
+//   - granularity: one layer / one block (of 5) / the entire model per
+//     pruning round, scheduled in backward (output-to-input) or forward order
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedtiny::core {
+
+enum class Granularity { kLayer, kBlock, kEntire };
+
+struct PruningSchedule {
+  Granularity granularity = Granularity::kBlock;
+  bool backward_order = true;  // paper: backward wins (Table III)
+  int delta_r = 10;            // rounds of fine-tuning between prunes
+  int r_stop = 100;            // stop pruning after this round
+  double alpha = 0.15;         // cosine amplitude
+  int num_blocks = 5;          // Fig. 2: five blocks
+
+  [[nodiscard]] bool is_pruning_round(int round) const {
+    return delta_r > 0 && round % delta_r == 0 && round <= r_stop;
+  }
+
+  /// Index of this pruning event (0 for the first pruning round).
+  [[nodiscard]] int event_index(int round) const { return delta_r > 0 ? round / delta_r : 0; }
+
+  /// Grow/prune quota for a layer with n_unpruned kept parameters at the
+  /// given round (cosine-annealed; Alg. 2 uses iteration t = round * E, and
+  /// the E factors cancel in t / (R_stop * E)).
+  [[nodiscard]] int64_t quota(int round, int64_t n_unpruned) const;
+};
+
+/// Partition the ordered list of prunable-layer sizes into `num_blocks`
+/// contiguous groups with approximately balanced parameter counts. Returns,
+/// for each block, the list of prunable-layer positions it contains. This is
+/// the generic counterpart of the paper's Fig. 2 partition and degenerates
+/// to per-layer blocks (kLayer) or one block (kEntire).
+std::vector<std::vector<int>> partition_blocks(const std::vector<int64_t>& layer_sizes,
+                                               int num_blocks);
+
+/// The block scheduled for a given pruning event, honoring the order.
+/// Backward order starts from the last (output-side) block and cycles.
+int scheduled_block(int event_index, int num_blocks, bool backward_order);
+
+}  // namespace fedtiny::core

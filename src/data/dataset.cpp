@@ -1,0 +1,53 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fedtiny::data {
+
+Dataset Dataset::subset(std::span<const int64_t> indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  const int64_t c = channels(), h = height(), w = width();
+  const int64_t sample = c * h * w;
+  out.images = Tensor({static_cast<int64_t>(indices.size()), c, h, w});
+  out.labels.resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t src = indices[i];
+    assert(src >= 0 && src < size());
+    std::memcpy(out.images.data() + static_cast<int64_t>(i) * sample, images.data() + src * sample,
+                static_cast<size_t>(sample) * sizeof(float));
+    out.labels[i] = labels[static_cast<size_t>(src)];
+  }
+  return out;
+}
+
+Batch gather_batch(const Dataset& dataset, std::span<const int64_t> indices) {
+  Batch batch;
+  const int64_t c = dataset.channels(), h = dataset.height(), w = dataset.width();
+  const int64_t sample = c * h * w;
+  batch.x = Tensor({static_cast<int64_t>(indices.size()), c, h, w});
+  batch.y.resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t src = indices[i];
+    assert(src >= 0 && src < dataset.size());
+    std::memcpy(batch.x.data() + static_cast<int64_t>(i) * sample,
+                dataset.images.data() + src * sample, static_cast<size_t>(sample) * sizeof(float));
+    batch.y[i] = dataset.labels[static_cast<size_t>(src)];
+  }
+  return batch;
+}
+
+std::vector<std::vector<int64_t>> chunk_indices(std::span<const int64_t> indices,
+                                                int64_t batch_size) {
+  assert(batch_size > 0);
+  std::vector<std::vector<int64_t>> chunks;
+  for (size_t start = 0; start < indices.size(); start += static_cast<size_t>(batch_size)) {
+    const size_t end = std::min(indices.size(), start + static_cast<size_t>(batch_size));
+    chunks.emplace_back(indices.begin() + static_cast<int64_t>(start),
+                        indices.begin() + static_cast<int64_t>(end));
+  }
+  return chunks;
+}
+
+}  // namespace fedtiny::data

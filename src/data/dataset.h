@@ -1,0 +1,41 @@
+// In-memory labeled image dataset plus batching helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedtiny::data {
+
+/// A dense image classification dataset: images [N, C, H, W] + int labels.
+struct Dataset {
+  Tensor images;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  [[nodiscard]] int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+  [[nodiscard]] int64_t channels() const { return images.dim(1); }
+  [[nodiscard]] int64_t height() const { return images.dim(2); }
+  [[nodiscard]] int64_t width() const { return images.dim(3); }
+
+  /// Materialize a subset (copies the selected images).
+  [[nodiscard]] Dataset subset(std::span<const int64_t> indices) const;
+};
+
+/// A minibatch view materialized from a dataset.
+struct Batch {
+  Tensor x;               // [B, C, H, W]
+  std::vector<int> y;     // length B
+  [[nodiscard]] int64_t size() const { return static_cast<int64_t>(y.size()); }
+};
+
+/// Gather the given sample indices into a batch.
+Batch gather_batch(const Dataset& dataset, std::span<const int64_t> indices);
+
+/// Split [0, n) into consecutive chunks of at most batch_size.
+std::vector<std::vector<int64_t>> chunk_indices(std::span<const int64_t> indices,
+                                                int64_t batch_size);
+
+}  // namespace fedtiny::data

@@ -1,0 +1,77 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fedtiny::data {
+
+std::vector<std::vector<int64_t>> dirichlet_partition(const std::vector<int>& labels,
+                                                      int num_clients, double alpha, Rng& rng,
+                                                      int64_t min_per_client) {
+  assert(num_clients > 0);
+  int num_classes = 0;
+  for (int label : labels) num_classes = std::max(num_classes, label + 1);
+
+  // Group sample indices by class, shuffled.
+  std::vector<std::vector<int64_t>> by_class(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_class[static_cast<size_t>(labels[i])].push_back(static_cast<int64_t>(i));
+  }
+  std::vector<std::vector<int64_t>> clients(static_cast<size_t>(num_clients));
+  for (auto& class_indices : by_class) {
+    // Shuffle within class.
+    for (size_t i = class_indices.size(); i > 1; --i) {
+      std::swap(class_indices[i - 1],
+                class_indices[static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(i)))]);
+    }
+    const auto proportions = rng.dirichlet(alpha, num_clients);
+    // Convert proportions to cumulative cut points.
+    size_t start = 0;
+    double cum = 0.0;
+    for (int k = 0; k < num_clients; ++k) {
+      cum += proportions[static_cast<size_t>(k)];
+      const size_t end = (k == num_clients - 1)
+                             ? class_indices.size()
+                             : static_cast<size_t>(cum * static_cast<double>(class_indices.size()));
+      for (size_t i = start; i < end && i < class_indices.size(); ++i) {
+        clients[static_cast<size_t>(k)].push_back(class_indices[i]);
+      }
+      start = std::max(start, end);
+    }
+  }
+
+  // Rebalance: ensure every client has at least min_per_client samples.
+  for (auto& client : clients) {
+    while (static_cast<int64_t>(client.size()) < min_per_client) {
+      auto largest = std::max_element(
+          clients.begin(), clients.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      if (largest->size() <= 1 || &*largest == &client) break;
+      client.push_back(largest->back());
+      largest->pop_back();
+    }
+  }
+  return clients;
+}
+
+std::vector<std::vector<int64_t>> iid_partition(int64_t num_samples, int num_clients, Rng& rng) {
+  auto perm = rng.permutation(num_samples);
+  std::vector<std::vector<int64_t>> clients(static_cast<size_t>(num_clients));
+  for (int64_t i = 0; i < num_samples; ++i) {
+    clients[static_cast<size_t>(i % num_clients)].push_back(perm[static_cast<size_t>(i)]);
+  }
+  return clients;
+}
+
+std::vector<std::vector<int64_t>> development_split(
+    const std::vector<std::vector<int64_t>>& partitions, double fraction) {
+  std::vector<std::vector<int64_t>> dev(partitions.size());
+  for (size_t k = 0; k < partitions.size(); ++k) {
+    const auto n = static_cast<int64_t>(partitions[k].size());
+    const int64_t take = std::max<int64_t>(1, static_cast<int64_t>(fraction * static_cast<double>(n)));
+    dev[k].assign(partitions[k].begin(), partitions[k].begin() + std::min(take, n));
+  }
+  return dev;
+}
+
+}  // namespace fedtiny::data

@@ -1,0 +1,30 @@
+// Client data partitioning for federated simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::data {
+
+/// Label-distribution-skew non-iid partition: for each class, draw client
+/// proportions from Dirichlet(alpha) and assign that class's samples
+/// accordingly (the standard construction; paper §IV-A1 uses alpha = 0.5).
+/// Every client is guaranteed at least min_per_client samples by stealing
+/// from the largest clients.
+std::vector<std::vector<int64_t>> dirichlet_partition(const std::vector<int>& labels,
+                                                      int num_clients, double alpha, Rng& rng,
+                                                      int64_t min_per_client = 2);
+
+/// Uniform iid partition (random shuffle, equal chunks).
+std::vector<std::vector<int64_t>> iid_partition(int64_t num_samples, int num_clients, Rng& rng);
+
+/// Take the first `fraction` of each client's samples as a development split
+/// (used to recalibrate BN statistics in Alg. 1). Returns per-client index
+/// lists; each has at least one element.
+std::vector<std::vector<int64_t>> development_split(
+    const std::vector<std::vector<int64_t>>& partitions, double fraction);
+
+}  // namespace fedtiny::data

@@ -1,0 +1,146 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fedtiny::data {
+
+namespace {
+
+struct FrequencyComponent {
+  float fh, fw, phase, amplitude;
+};
+
+// One prototype per class: channels x components.
+using Prototype = std::vector<std::vector<FrequencyComponent>>;
+
+Prototype make_prototype(const SyntheticSpec& spec, Rng& rng) {
+  Prototype proto(static_cast<size_t>(spec.channels));
+  for (auto& channel : proto) {
+    channel.resize(static_cast<size_t>(spec.frequency_components));
+    for (auto& fc : channel) {
+      fc.fh = static_cast<float>(rng.uniform_int(3) + 1);
+      fc.fw = static_cast<float>(rng.uniform_int(3) + 1);
+      fc.phase = rng.uniform(0.0f, 2.0f * static_cast<float>(M_PI));
+      fc.amplitude = rng.uniform(0.5f, 1.0f);
+    }
+  }
+  return proto;
+}
+
+float prototype_value(const Prototype& proto, int64_t c, int64_t h, int64_t w, int64_t size) {
+  float v = 0.0f;
+  const float scale = 2.0f * static_cast<float>(M_PI) / static_cast<float>(size);
+  for (const auto& fc : proto[static_cast<size_t>(c)]) {
+    v += fc.amplitude * std::sin(scale * (fc.fh * static_cast<float>(h) +
+                                          fc.fw * static_cast<float>(w)) +
+                                 fc.phase);
+  }
+  return v / std::sqrt(static_cast<float>(proto[static_cast<size_t>(c)].size()));
+}
+
+Dataset generate_split(const SyntheticSpec& spec, const std::vector<Prototype>& prototypes,
+                       int64_t n, Rng& rng) {
+  Dataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.images = Tensor({n, spec.channels, spec.image_size, spec.image_size});
+  ds.labels.resize(static_cast<size_t>(n));
+  const int64_t s = spec.image_size;
+  for (int64_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % spec.num_classes);  // balanced
+    ds.labels[static_cast<size_t>(i)] = label;
+    const auto& proto = prototypes[static_cast<size_t>(label)];
+    const int64_t dh = rng.uniform_int(2 * spec.max_shift + 1) - spec.max_shift;
+    const int64_t dw = rng.uniform_int(2 * spec.max_shift + 1) - spec.max_shift;
+    for (int64_t c = 0; c < spec.channels; ++c) {
+      for (int64_t h = 0; h < s; ++h) {
+        for (int64_t w = 0; w < s; ++w) {
+          const int64_t sh = ((h + dh) % s + s) % s;
+          const int64_t sw = ((w + dw) % s + s) % s;
+          const float clean = spec.signal * prototype_value(proto, c, sh, sw, s);
+          ds.images.at4(i, c, h, w) = clean + spec.noise * rng.normal();
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TrainTest make_synthetic(const SyntheticSpec& spec, uint64_t seed) {
+  if (spec.num_classes <= 1 || spec.image_size < 4 || spec.train_size < spec.num_classes) {
+    throw std::invalid_argument("make_synthetic: degenerate spec");
+  }
+  Rng proto_rng(seed, /*stream=*/0x9e3779b9);
+  std::vector<Prototype> prototypes;
+  prototypes.reserve(static_cast<size_t>(spec.num_classes));
+  for (int c = 0; c < spec.num_classes; ++c) prototypes.push_back(make_prototype(spec, proto_rng));
+
+  TrainTest out;
+  Rng train_rng(seed, /*stream=*/0x1234);
+  Rng test_rng(seed, /*stream=*/0x5678);
+  out.train = generate_split(spec, prototypes, spec.train_size, train_rng);
+  out.test = generate_split(spec, prototypes, spec.test_size, test_rng);
+  return out;
+}
+
+SyntheticSpec cifar10s_spec(int64_t image_size, int64_t train_size, int64_t test_size) {
+  SyntheticSpec s;
+  s.name = "cifar10s";
+  s.num_classes = 10;
+  s.image_size = image_size;
+  s.train_size = train_size;
+  s.test_size = test_size;
+  s.signal = 3.0f;
+  s.noise = 0.9f;
+  return s;
+}
+
+SyntheticSpec cifar100s_spec(int64_t image_size, int64_t train_size, int64_t test_size) {
+  SyntheticSpec s;
+  s.name = "cifar100s";
+  s.num_classes = 20;  // scaled-down stand-in for 100 fine classes
+  s.image_size = image_size;
+  s.train_size = train_size;
+  s.test_size = test_size;
+  s.signal = 2.2f;
+  s.noise = 1.0f;
+  return s;
+}
+
+SyntheticSpec cinic10s_spec(int64_t image_size, int64_t train_size, int64_t test_size) {
+  SyntheticSpec s;
+  s.name = "cinic10s";
+  s.num_classes = 10;
+  s.image_size = image_size;
+  s.train_size = train_size;
+  s.test_size = test_size;
+  s.signal = 2.6f;
+  s.noise = 1.0f;
+  return s;
+}
+
+SyntheticSpec svhns_spec(int64_t image_size, int64_t train_size, int64_t test_size) {
+  SyntheticSpec s;
+  s.name = "svhns";
+  s.num_classes = 10;
+  s.image_size = image_size;
+  s.train_size = train_size;
+  s.test_size = test_size;
+  s.signal = 3.6f;
+  s.noise = 0.8f;
+  return s;
+}
+
+SyntheticSpec spec_by_name(const std::string& name, int64_t image_size, int64_t train_size,
+                           int64_t test_size) {
+  if (name == "cifar10s") return cifar10s_spec(image_size, train_size, test_size);
+  if (name == "cifar100s") return cifar100s_spec(image_size, train_size, test_size);
+  if (name == "cinic10s") return cinic10s_spec(image_size, train_size, test_size);
+  if (name == "svhns") return svhns_spec(image_size, train_size, test_size);
+  throw std::invalid_argument("unknown synthetic dataset: " + name);
+}
+
+}  // namespace fedtiny::data

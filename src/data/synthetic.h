@@ -1,0 +1,55 @@
+// Synthetic image classification datasets standing in for CIFAR-10,
+// CIFAR-100, CINIC-10 and SVHN (none of which is available offline).
+//
+// Each class owns a prototype signal built from a few random spatial
+// frequency components per channel; samples are noisy, randomly shifted
+// copies of the prototype. Two knobs control difficulty:
+//   signal  — prototype amplitude (higher => easier)
+//   noise   — additive Gaussian noise stddev (higher => harder)
+// The standard specs order relative difficulty as the paper's datasets do:
+// SVHN easiest, CIFAR-10 < CINIC-10 < CIFAR-100 hardest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::data {
+
+struct SyntheticSpec {
+  std::string name = "cifar10s";
+  int num_classes = 10;
+  int64_t channels = 3;
+  int64_t image_size = 16;
+  int64_t train_size = 2000;
+  int64_t test_size = 500;
+  float signal = 1.0f;
+  float noise = 1.0f;
+  int frequency_components = 4;  // per channel, per class prototype
+  int max_shift = 2;             // random circular shift in pixels
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generate train/test splits from the same class prototypes.
+TrainTest make_synthetic(const SyntheticSpec& spec, uint64_t seed);
+
+/// Standard dataset specs. `image_size` and sizes are taken from the
+/// arguments so benches can scale them; class counts and difficulty are
+/// fixed per dataset.
+SyntheticSpec cifar10s_spec(int64_t image_size, int64_t train_size, int64_t test_size);
+SyntheticSpec cifar100s_spec(int64_t image_size, int64_t train_size, int64_t test_size);
+SyntheticSpec cinic10s_spec(int64_t image_size, int64_t train_size, int64_t test_size);
+SyntheticSpec svhns_spec(int64_t image_size, int64_t train_size, int64_t test_size);
+
+/// Look up one of the four standard specs by name ("cifar10s", "cifar100s",
+/// "cinic10s", "svhns"). Throws std::invalid_argument for unknown names.
+SyntheticSpec spec_by_name(const std::string& name, int64_t image_size, int64_t train_size,
+                           int64_t test_size);
+
+}  // namespace fedtiny::data

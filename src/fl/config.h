@@ -1,0 +1,25 @@
+// Federated-learning simulation configuration (paper §IV-A1 defaults,
+// scaled down by the bench harness for CPU wall-clock).
+#pragma once
+
+#include <cstdint>
+
+namespace fedtiny::fl {
+
+struct FLConfig {
+  int num_clients = 10;      // K (paper: 10)
+  int rounds = 60;           // paper: 300 (CIFAR) / 200 (SVHN)
+  int local_epochs = 5;      // E as epochs over the local split (paper: 5)
+  int64_t batch_size = 32;   // paper: 64
+  float lr = 0.05f;
+  float lr_decay = 1.0f;     // multiplicative per-round decay
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 1;
+  int64_t eval_batch = 256;
+  /// Evaluate the global model on the test split every this many rounds
+  /// (and always on the last round). 0 disables intermediate evaluation.
+  int eval_every = 0;
+};
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,35 @@
+#include "fl/evaluate.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+
+namespace fedtiny::fl {
+
+double evaluate_accuracy(nn::Model& model, const data::Dataset& dataset, int64_t batch_size) {
+  if (dataset.size() == 0) return 0.0;
+  std::vector<int64_t> all(static_cast<size_t>(dataset.size()));
+  std::iota(all.begin(), all.end(), 0);
+  double correct = 0.0;
+  for (const auto& chunk : data::chunk_indices(all, batch_size)) {
+    auto batch = data::gather_batch(dataset, chunk);
+    Tensor logits = model.forward(batch.x, nn::Mode::kEval);
+    correct += nn::top1_accuracy(logits, batch.y) * static_cast<double>(batch.size());
+  }
+  return correct / static_cast<double>(dataset.size());
+}
+
+double evaluate_loss(nn::Model& model, const data::Dataset& dataset,
+                     std::span<const int64_t> indices, int64_t batch_size) {
+  if (indices.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& chunk : data::chunk_indices(indices, batch_size)) {
+    auto batch = data::gather_batch(dataset, chunk);
+    Tensor logits = model.forward(batch.x, nn::Mode::kEval);
+    total += static_cast<double>(nn::cross_entropy_loss(logits, batch.y)) *
+             static_cast<double>(batch.size());
+  }
+  return total / static_cast<double>(indices.size());
+}
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,18 @@
+// Model evaluation helpers (accuracy / loss over a dataset or index subset).
+#pragma once
+
+#include <span>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace fedtiny::fl {
+
+/// Top-1 accuracy over the whole dataset, batched.
+double evaluate_accuracy(nn::Model& model, const data::Dataset& dataset, int64_t batch_size);
+
+/// Mean cross-entropy over the given sample indices (Alg. 1 line 19).
+double evaluate_loss(nn::Model& model, const data::Dataset& dataset,
+                     std::span<const int64_t> indices, int64_t batch_size);
+
+}  // namespace fedtiny::fl

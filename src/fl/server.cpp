@@ -1,0 +1,61 @@
+#include "fl/server.h"
+
+#include <cassert>
+
+namespace fedtiny::fl {
+
+void StateAccumulator::add(const std::vector<Tensor>& state, double weight) {
+  if (sum_.empty()) {
+    sum_.reserve(state.size());
+    for (const auto& t : state) sum_.emplace_back(t.shape());
+  }
+  assert(sum_.size() == state.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    auto dst = sum_[i].flat();
+    const auto src = state[i].flat();
+    assert(dst.size() == src.size());
+    for (size_t j = 0; j < src.size(); ++j) {
+      dst[j] += static_cast<float>(weight) * src[j];
+    }
+  }
+  total_weight_ += weight;
+}
+
+std::vector<Tensor> StateAccumulator::average() const {
+  assert(total_weight_ > 0.0);
+  std::vector<Tensor> out = sum_;
+  const auto inv = static_cast<float>(1.0 / total_weight_);
+  for (auto& t : out) {
+    for (auto& v : t.flat()) v *= inv;
+  }
+  return out;
+}
+
+void StateAccumulator::reset() {
+  sum_.clear();
+  total_weight_ = 0.0;
+}
+
+void SparseGradAccumulator::add(const std::vector<prune::ScoredIndex>& entries, double weight) {
+  for (const auto& e : entries) {
+    sum_[e.index] += weight * static_cast<double>(e.value);
+  }
+  total_weight_ += weight;
+}
+
+std::vector<prune::ScoredIndex> SparseGradAccumulator::average() const {
+  std::vector<prune::ScoredIndex> out;
+  out.reserve(sum_.size());
+  const double inv = total_weight_ > 0.0 ? 1.0 / total_weight_ : 0.0;
+  for (const auto& [index, value] : sum_) {
+    out.push_back({index, static_cast<float>(value * inv)});
+  }
+  return out;
+}
+
+void SparseGradAccumulator::reset() {
+  sum_.clear();
+  total_weight_ = 0.0;
+}
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,43 @@
+// Server-side aggregation primitives: weighted FedAvg state averaging and
+// weighted sparse gradient accumulation (Eq. 7).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "prune/topk_buffer.h"
+#include "tensor/tensor.h"
+
+namespace fedtiny::fl {
+
+/// Accumulates weighted model states and produces their weighted mean.
+/// All added states must have identical tensor shapes.
+class StateAccumulator {
+ public:
+  void add(const std::vector<Tensor>& state, double weight);
+  [[nodiscard]] bool empty() const { return total_weight_ == 0.0; }
+  /// Weighted average; resets nothing (call reset() to reuse).
+  [[nodiscard]] std::vector<Tensor> average() const;
+  void reset();
+
+ private:
+  std::vector<Tensor> sum_;
+  double total_weight_ = 0.0;
+};
+
+/// Accumulates weighted sparse (index, value) gradient uploads for one
+/// layer and produces the weighted average per index (Eq. 7; indices
+/// missing from a device contribute zero, consistent with the paper's
+/// weighted sum over devices).
+class SparseGradAccumulator {
+ public:
+  void add(const std::vector<prune::ScoredIndex>& entries, double weight);
+  [[nodiscard]] std::vector<prune::ScoredIndex> average() const;
+  void reset();
+
+ private:
+  std::unordered_map<int64_t, double> sum_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,178 @@
+#include "fl/trainer.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fl/evaluate.h"
+#include "metrics/comms.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+
+namespace fedtiny::fl {
+
+FederatedTrainer::FederatedTrainer(nn::Model& model, const data::Dataset& train_data,
+                                   const data::Dataset& test_data,
+                                   std::vector<std::vector<int64_t>> partitions, FLConfig config)
+    : model_(model),
+      train_data_(train_data),
+      test_data_(test_data),
+      partitions_(std::move(partitions)),
+      config_(config),
+      rng_(config.seed, /*stream=*/0xfed),
+      cost_(metrics::analyze_model(model)) {
+  assert(static_cast<int>(partitions_.size()) == config_.num_clients);
+  mask_ = prune::MaskSet::ones_like(model_);
+  global_ = model_.state();
+}
+
+void FederatedTrainer::set_mask(prune::MaskSet mask) {
+  assert(mask.num_layers() == model_.prunable_indices().size());
+  mask_ = std::move(mask);
+  apply_mask_to_global();
+}
+
+void FederatedTrainer::capture_global_from_model() { global_ = model_.state(); }
+
+void FederatedTrainer::apply_mask_to_global() {
+  model_.set_state(global_);
+  mask_.apply(model_);
+  global_ = model_.state();
+}
+
+void FederatedTrainer::local_train(int client, float lr) {
+  const auto& indices = partitions_[static_cast<size_t>(client)];
+  if (indices.empty()) return;
+  nn::SGD sgd({lr, config_.momentum, config_.weight_decay});
+  const auto param_masks = mask_.for_params(model_);
+  Rng client_rng(config_.seed * 7919 + static_cast<uint64_t>(client) * 104729 +
+                     static_cast<uint64_t>(history_.size()),
+                 /*stream=*/0xc11e47);
+  for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
+    auto perm = client_rng.permutation(static_cast<int64_t>(indices.size()));
+    std::vector<int64_t> shuffled(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      shuffled[i] = indices[static_cast<size_t>(perm[i])];
+    }
+    for (const auto& chunk : data::chunk_indices(shuffled, config_.batch_size)) {
+      auto batch = data::gather_batch(train_data_, chunk);
+      model_.zero_grad();
+      Tensor logits = model_.forward(batch.x, nn::Mode::kTrain);
+      auto loss = nn::softmax_cross_entropy(logits, batch.y);
+      model_.backward(loss.grad_logits);
+      sgd.step_masked(model_.params(), param_masks);
+    }
+  }
+}
+
+std::vector<std::vector<prune::ScoredIndex>> FederatedTrainer::topk_pruned_grads(
+    int client, const std::vector<int64_t>& quota) {
+  const auto& prunable = model_.prunable_indices();
+  assert(quota.size() == prunable.size());
+  std::vector<std::vector<prune::ScoredIndex>> out(prunable.size());
+
+  const auto& indices = partitions_[static_cast<size_t>(client)];
+  if (indices.empty()) return out;
+  // Two batches' worth of samples: the growth signal (Eq. 6) is the only
+  // guidance the server gets for pruned coordinates, so halving its variance
+  // is worth one extra forward/backward.
+  const auto take =
+      std::min<int64_t>(2 * config_.batch_size, static_cast<int64_t>(indices.size()));
+  auto batch = data::gather_batch(
+      train_data_, std::span<const int64_t>(indices.data(), static_cast<size_t>(take)));
+
+  model_.zero_grad();
+  Tensor logits = model_.forward(batch.x, nn::Mode::kTrain);
+  auto loss = nn::softmax_cross_entropy(logits, batch.y);
+  model_.backward(loss.grad_logits);
+
+  for (size_t l = 0; l < prunable.size(); ++l) {
+    if (quota[l] <= 0) continue;
+    const auto g = model_.params()[static_cast<size_t>(prunable[l])]->grad.flat();
+    const auto& m = mask_.layer(l);
+    prune::TopKBuffer buffer(quota[l]);
+    for (size_t j = 0; j < g.size(); ++j) {
+      if (m[j] == 0) buffer.push(static_cast<int64_t>(j), g[j]);
+    }
+    out[l] = buffer.sorted();
+  }
+  model_.zero_grad();
+  return out;
+}
+
+double FederatedTrainer::round_training_flops(int round) {
+  // Per-device cost, using the mean client size (paper reports one device).
+  int64_t total = 0;
+  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
+  const double mean_size =
+      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+  const double per_sample = cost_.sparse_training_flops(layer_densities());
+  return static_cast<double>(config_.local_epochs) * mean_size * per_sample +
+         extra_device_flops(round);
+}
+
+double FederatedTrainer::round_comm_bytes(int round) {
+  const double model_bytes = dense_storage_ ? metrics::dense_model_bytes(cost_)
+                                            : metrics::sparse_model_bytes(cost_, mask_.nnz());
+  // Download + upload per device.
+  return 2.0 * static_cast<double>(config_.num_clients) * model_bytes + extra_comm_bytes(round);
+}
+
+void FederatedTrainer::run_round(int round) {
+  before_round(round);
+
+  const float lr = config_.lr * std::pow(config_.lr_decay, static_cast<float>(round));
+  const auto quota = pruned_grad_quota(round);
+  assert(quota.empty() || quota.size() == model_.prunable_indices().size());
+
+  StateAccumulator state_acc;
+  std::vector<SparseGradAccumulator> grad_acc(quota.empty() ? 0
+                                                            : model_.prunable_indices().size());
+  double total_samples = 0.0;
+  for (const auto& p : partitions_) total_samples += static_cast<double>(p.size());
+
+  for (int k = 0; k < config_.num_clients; ++k) {
+    const double weight = static_cast<double>(client_size(k)) / std::max(1.0, total_samples);
+    if (weight == 0.0) continue;
+    model_.set_state(global_);
+    local_train(k, lr);
+    state_acc.add(model_.state(), weight);
+    if (!quota.empty()) {
+      auto grads = topk_pruned_grads(k, quota);
+      for (size_t l = 0; l < grads.size(); ++l) grad_acc[l].add(grads[l], weight);
+    }
+  }
+  global_ = state_acc.average();
+  if (!quota.empty()) {
+    aggregated_grads_.assign(model_.prunable_indices().size(), {});
+    for (size_t l = 0; l < grad_acc.size(); ++l) aggregated_grads_[l] = grad_acc[l].average();
+  }
+  // Keep pruned coordinates exactly zero after averaging.
+  apply_mask_to_global();
+
+  after_aggregate(round);
+  apply_mask_to_global();
+
+  RoundStats stats;
+  stats.round = round;
+  stats.device_flops = round_training_flops(round);
+  stats.comm_bytes = round_comm_bytes(round);
+  max_round_flops_ = std::max(max_round_flops_, stats.device_flops);
+  total_comm_bytes_ += stats.comm_bytes;
+  if ((config_.eval_every > 0 && round % config_.eval_every == 0) ||
+      round == config_.rounds - 1) {
+    stats.test_accuracy = evaluate();
+  }
+  history_.push_back(stats);
+}
+
+double FederatedTrainer::run() {
+  for (int round = 0; round < config_.rounds; ++round) run_round(round);
+  return history_.empty() ? evaluate() : history_.back().test_accuracy;
+}
+
+double FederatedTrainer::evaluate() {
+  model_.set_state(global_);
+  return evaluate_accuracy(model_, test_data_, config_.eval_batch);
+}
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,130 @@
+// FederatedTrainer: the shared sparse-FedAvg round loop. Every evaluated
+// method — FedTiny, PruneFL, FedDST, LotteryFL, and the static-mask
+// baselines — subclasses this and overrides the mask-adjustment hooks.
+//
+// Per round:
+//   1. before_round(r)              (hook: e.g. pick the block to prune)
+//   2. each client: download global state, E local epochs of masked SGD
+//      (Eq. 5), optionally compute top-K pruned-coordinate gradients
+//      through a bounded buffer (Alg. 2 lines 10-15), upload
+//   3. server: weighted-average states (FedAvg) and sparse gradients (Eq. 7)
+//   4. after_aggregate(r)           (hook: mask surgery, re-mask weights)
+//   5. cost accounting: per-device FLOPs and communication bytes
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/config.h"
+#include "fl/server.h"
+#include "metrics/flops.h"
+#include "nn/model.h"
+#include "prune/mask.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::fl {
+
+struct RoundStats {
+  int round = 0;
+  double test_accuracy = -1.0;  // -1 when not evaluated this round
+  double device_flops = 0.0;    // per-device training FLOPs this round
+  double comm_bytes = 0.0;      // total bytes exchanged this round
+};
+
+class FederatedTrainer {
+ public:
+  FederatedTrainer(nn::Model& model, const data::Dataset& train_data,
+                   const data::Dataset& test_data, std::vector<std::vector<int64_t>> partitions,
+                   FLConfig config);
+  virtual ~FederatedTrainer() = default;
+
+  /// Run the configured number of rounds. Returns the final test accuracy.
+  double run();
+
+  /// Test accuracy of the current global model.
+  double evaluate();
+
+  [[nodiscard]] const prune::MaskSet& mask() const { return mask_; }
+  void set_mask(prune::MaskSet mask);
+  /// Store the model's current state as the global state.
+  void capture_global_from_model();
+
+  [[nodiscard]] double max_round_flops() const { return max_round_flops_; }
+  [[nodiscard]] double total_comm_bytes() const { return total_comm_bytes_; }
+  [[nodiscard]] const std::vector<RoundStats>& history() const { return history_; }
+  [[nodiscard]] const metrics::ModelCost& model_cost() const { return cost_; }
+  [[nodiscard]] const FLConfig& config() const { return config_; }
+  [[nodiscard]] nn::Model& model() { return model_; }
+  [[nodiscard]] const std::vector<Tensor>& global_state() const { return global_; }
+
+  /// Whether local training stores/ships the dense model (LotteryFL,
+  /// FedAvg). Affects cost accounting only; masking still applies if set.
+  void set_dense_storage(bool dense) { dense_storage_ = dense; }
+
+ protected:
+  // ---- Hooks for subclasses. ----
+  virtual void before_round(int round) { (void)round; }
+  virtual void after_aggregate(int round) { (void)round; }
+  /// Per-prunable-layer top-K quota requested from clients this round
+  /// (empty => no gradient uploads). Entries of 0 skip a layer.
+  virtual std::vector<int64_t> pruned_grad_quota(int round) {
+    (void)round;
+    return {};
+  }
+  /// Extra per-device FLOPs beyond masked local training (e.g. dense weight
+  /// gradients during pruning rounds).
+  virtual double extra_device_flops(int round) {
+    (void)round;
+    return 0.0;
+  }
+  virtual double extra_comm_bytes(int round) {
+    (void)round;
+    return 0.0;
+  }
+
+  /// Masked local SGD on one client; model must hold the client state.
+  void local_train(int client, float lr);
+
+  /// After local training: top-`quota[l]` gradient magnitudes at pruned
+  /// coordinates of each requested layer, computed on one local batch
+  /// through a bounded buffer (Alg. 2 line 12, O(a_l) memory).
+  std::vector<std::vector<prune::ScoredIndex>> topk_pruned_grads(
+      int client, const std::vector<int64_t>& quota);
+
+  /// Zero out masked coordinates of the global state.
+  void apply_mask_to_global();
+
+  /// Current per-prunable-layer densities of mask_.
+  [[nodiscard]] std::vector<double> layer_densities() const { return mask_.layer_densities(); }
+
+  /// Samples held by client k.
+  [[nodiscard]] int64_t client_size(int k) const {
+    return static_cast<int64_t>(partitions_[static_cast<size_t>(k)].size());
+  }
+
+  nn::Model& model_;
+  const data::Dataset& train_data_;
+  const data::Dataset& test_data_;
+  std::vector<std::vector<int64_t>> partitions_;
+  FLConfig config_;
+  std::vector<Tensor> global_;
+  prune::MaskSet mask_;
+  metrics::ModelCost cost_;
+  Rng rng_;
+  bool dense_storage_ = false;
+
+  /// Aggregated sparse pruned-coordinate gradients (per prunable layer),
+  /// refreshed whenever pruned_grad_quota() returned a non-empty request.
+  std::vector<std::vector<prune::ScoredIndex>> aggregated_grads_;
+
+  double max_round_flops_ = 0.0;
+  double total_comm_bytes_ = 0.0;
+  std::vector<RoundStats> history_;
+
+ private:
+  void run_round(int round);
+  double round_training_flops(int round);
+  double round_comm_bytes(int round);
+};
+
+}  // namespace fedtiny::fl

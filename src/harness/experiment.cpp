@@ -1,0 +1,210 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "baselines/feddst.h"
+#include "baselines/init_masks.h"
+#include "baselines/lotteryfl.h"
+#include "baselines/prunefl.h"
+#include "core/pretrain.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/memory.h"
+#include "nn/models.h"
+
+namespace fedtiny::harness {
+
+int default_pool_size(double density, const ScaleConfig& scale) {
+  const double c_star = 0.1 / std::max(density, 1e-6);
+  return static_cast<int>(
+      std::clamp(c_star, 4.0, 4.0 * static_cast<double>(scale.pool_size)));
+}
+
+namespace {
+
+core::PruningSchedule default_schedule(const ScaleConfig& scale) {
+  core::PruningSchedule s;
+  s.granularity = core::Granularity::kBlock;
+  s.backward_order = true;
+  s.delta_r = scale.delta_r;
+  s.r_stop = scale.r_stop;
+  s.num_blocks = 5;
+  return s;
+}
+
+}  // namespace
+
+RunResult Experiment::run(const RunSpec& spec) const {
+  // ---- Data: synthetic dataset, Dirichlet partition, public split. ----
+  auto data_spec = data::spec_by_name(spec.dataset, scale_.image_size, scale_.train_size,
+                                      scale_.test_size);
+  auto data = data::make_synthetic(data_spec, spec.seed);
+
+  Rng part_rng(spec.seed, /*stream=*/0xd1d1);
+  auto partitions =
+      data::dirichlet_partition(data.train.labels, 10, spec.dirichlet_alpha, part_rng);
+
+  // Public one-shot dataset D_s: an iid random sample of the train split
+  // (stands in for the paper's server-held public data).
+  Rng pub_rng(spec.seed, /*stream=*/0x9b1c);
+  auto pub_perm = pub_rng.permutation(data.train.size());
+  pub_perm.resize(static_cast<size_t>(std::min(scale_.public_size, data.train.size())));
+  auto public_data = data.train.subset(pub_perm);
+
+  // ---- Model. ----
+  nn::ModelConfig model_config;
+  model_config.num_classes = data_spec.num_classes;
+  model_config.image_size = scale_.image_size;
+  model_config.width_mult = scale_.width_mult;
+  model_config.seed = spec.seed;
+
+  std::unique_ptr<nn::Model> model;
+  if (spec.model == "resnet18") {
+    model = nn::make_resnet18(model_config);
+  } else if (spec.model == "vgg11") {
+    model = nn::make_vgg11(model_config);
+  } else {
+    throw std::invalid_argument("unknown model: " + spec.model);
+  }
+
+  // Dense references (shared by every method for ratio reporting).
+  auto dense_cost = metrics::analyze_model(*model);
+  const double mean_client =
+      static_cast<double>(data.train.size()) / static_cast<double>(partitions.size());
+  const double dense_round = static_cast<double>(scale_.local_epochs) * mean_client *
+                             dense_cost.dense_training_flops();
+  const double dense_memory =
+      metrics::device_memory(dense_cost, 0, true, metrics::ScoreStorage::kNone).total_bytes();
+
+  // ---- small_model short-circuits to a dense SmallCNN run. ----
+  RunResult result;
+  result.method = spec.method;
+  result.dense_round_flops = dense_round;
+  result.dense_memory_bytes = dense_memory;
+
+  fl::FLConfig fl_config;
+  fl_config.num_clients = 10;
+  fl_config.rounds = scale_.rounds;
+  fl_config.local_epochs = scale_.local_epochs;
+  fl_config.batch_size = scale_.batch_size;
+  fl_config.lr = scale_.lr;
+  fl_config.seed = spec.seed;
+  fl_config.eval_every = spec.eval_every;
+
+  if (spec.method == "small_model") {
+    int64_t target = spec.small_model_params;
+    if (target <= 0) {
+      target = static_cast<int64_t>(spec.density * static_cast<double>(model->num_prunable())) +
+               (model->num_params() - model->num_prunable());
+    }
+    const int64_t width = nn::small_cnn_width_for_params(model_config, target);
+    auto small = nn::make_small_cnn(model_config, width);
+    core::server_pretrain(*small, public_data,
+                          {scale_.pretrain_epochs, scale_.batch_size, scale_.lr, 0.9f, 5e-4f,
+                           spec.seed});
+    fl::FederatedTrainer trainer(*small, data.train, data.test, partitions, fl_config);
+    trainer.set_dense_storage(true);
+    trainer.capture_global_from_model();
+    result.accuracy = trainer.run();
+    result.final_density = 1.0;
+    auto small_cost = metrics::analyze_model(*small);
+    result.max_round_flops = trainer.max_round_flops();
+    result.memory_bytes =
+        metrics::device_memory(small_cost, 0, true, metrics::ScoreStorage::kNone).total_bytes();
+    result.total_comm_bytes = trainer.total_comm_bytes();
+    result.history = trainer.history();
+    return result;
+  }
+
+  // ---- Server pretraining on D_s (all methods). ----
+  core::server_pretrain(
+      *model, public_data,
+      {scale_.pretrain_epochs, scale_.batch_size, scale_.lr, 0.9f, 5e-4f, spec.seed});
+
+  const auto schedule = spec.schedule_overridden ? spec.schedule : default_schedule(scale_);
+  const double d = spec.density;
+
+  auto finish = [&](fl::FederatedTrainer& trainer, metrics::ScoreStorage storage,
+                    bool dense_stored, int64_t topk_capacity) {
+    result.accuracy = trainer.run();
+    result.final_density = trainer.mask().density();
+    result.max_round_flops = trainer.max_round_flops();
+    result.total_comm_bytes = trainer.total_comm_bytes();
+    result.memory_bytes = metrics::device_memory(dense_cost, trainer.mask().nnz(), dense_stored,
+                                                 storage, topk_capacity)
+                              .total_bytes();
+    result.sparse_round_flops =
+        static_cast<double>(scale_.local_epochs) * mean_client *
+        dense_cost.sparse_training_flops(trainer.mask().layer_densities());
+    result.history = trainer.history();
+    if (spec.capture_final) {
+      result.final_state = trainer.global_state();
+      result.final_mask = trainer.mask();
+    }
+  };
+
+  if (spec.method == "fedavg") {
+    fl::FederatedTrainer trainer(*model, data.train, data.test, partitions, fl_config);
+    trainer.set_dense_storage(true);
+    finish(trainer, metrics::ScoreStorage::kNone, true, 0);
+  } else if (spec.method == "snip" || spec.method == "synflow" || spec.method == "flpqsu") {
+    prune::MaskSet mask;
+    if (spec.method == "snip") {
+      mask = baselines::snip_initial_mask(*model, public_data, d, 10, scale_.batch_size,
+                                          spec.seed);
+    } else if (spec.method == "synflow") {
+      mask = baselines::synflow_initial_mask(*model, d, 10);
+    } else {
+      mask = baselines::flpqsu_initial_mask(*model, d);
+    }
+    fl::FederatedTrainer trainer(*model, data.train, data.test, partitions, fl_config);
+    trainer.set_mask(mask);
+    finish(trainer, metrics::ScoreStorage::kNone, false, 0);
+  } else if (spec.method == "prunefl") {
+    auto mask = baselines::prunefl_initial_mask(*model, d);
+    baselines::PruneFLTrainer trainer(*model, data.train, data.test, partitions, fl_config,
+                                      schedule);
+    trainer.set_mask(mask);
+    finish(trainer, metrics::ScoreStorage::kFullDense, false, 0);
+  } else if (spec.method == "feddst") {
+    auto mask = baselines::random_initial_mask(*model, d, spec.seed);
+    baselines::FedDSTTrainer trainer(*model, data.train, data.test, partitions, fl_config,
+                                     schedule);
+    trainer.set_mask(mask);
+    finish(trainer, metrics::ScoreStorage::kTopK, false, 0);
+    result.memory_bytes = metrics::device_memory(dense_cost, trainer.mask().nnz(), false,
+                                                 metrics::ScoreStorage::kTopK,
+                                                 trainer.max_topk_capacity())
+                              .total_bytes();
+  } else if (spec.method == "lotteryfl") {
+    baselines::LotteryFLTrainer trainer(*model, data.train, data.test, partitions, fl_config,
+                                        schedule, d);
+    finish(trainer, metrics::ScoreStorage::kNone, true, 0);
+  } else if (spec.method == "fedtiny" || spec.method == "fedtiny_vanilla" ||
+             spec.method == "adaptive_bn" || spec.method == "vanilla") {
+    core::FedTinyConfig config;
+    config.selection.pool.pool_size =
+        spec.pool_size > 0 ? spec.pool_size : default_pool_size(d, scale_);
+    config.selection.pool.target_density = d;
+    config.selection.batch_size = scale_.batch_size;
+    config.selection.seed = spec.seed;
+    config.selection.adaptive =
+        (spec.method == "fedtiny" || spec.method == "adaptive_bn");
+    config.progressive_pruning =
+        (spec.method == "fedtiny" || spec.method == "fedtiny_vanilla");
+    config.schedule = schedule;
+    core::FedTinyTrainer trainer(*model, data.train, data.test, partitions, fl_config, config);
+    const auto& report = trainer.initialize();
+    result.selection_comm_bytes = report.comm_bytes_per_device;
+    result.selection_flops = report.extra_flops_per_device;
+    result.selected_candidate = report.selected_candidate;
+    finish(trainer, metrics::ScoreStorage::kTopK, false, trainer.max_topk_capacity());
+  } else {
+    throw std::invalid_argument("unknown method: " + spec.method);
+  }
+  return result;
+}
+
+}  // namespace fedtiny::harness

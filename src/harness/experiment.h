@@ -1,0 +1,94 @@
+// Experiment runner shared by every bench binary and example: builds the
+// synthetic dataset, non-iid partition, public server dataset, pretrained
+// model, and dispatches to one of the evaluated methods by name.
+//
+// Method names:
+//   fedavg          dense FedAvg upper bound
+//   snip            SNIP pruning-at-initialization (server, public batch)
+//   synflow         SynFlow pruning-at-initialization (server, data-free)
+//   flpqsu          FL-PQSU one-shot L1 pruning (server)
+//   prunefl         PruneFL adaptive pruning (dense device scores)
+//   feddst          FedDST dynamic sparse training
+//   lotteryfl       LotteryFL iterative magnitude pruning + rewind
+//   fedtiny         full FedTiny (adaptive BN selection + progressive)
+//   fedtiny_vanilla vanilla selection + progressive pruning (ablation)
+//   adaptive_bn     adaptive BN selection only, no progressive (ablation)
+//   vanilla         vanilla selection only (ablation)
+//   small_model     dense SmallCNN sized to match the sparse model params
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fedtiny.h"
+#include "fl/trainer.h"
+#include "harness/scale.h"
+
+namespace fedtiny::harness {
+
+struct RunSpec {
+  std::string method = "fedtiny";
+  std::string dataset = "cifar10s";
+  std::string model = "resnet18";  // resnet18 | vgg11
+  double density = 0.01;
+  double dirichlet_alpha = 0.5;
+  uint64_t seed = 1;
+  /// Candidate pool size; -1 selects C* = 0.1 / density (paper §IV-D),
+  /// clamped to [4, 4 * scale.pool_size].
+  int pool_size = -1;
+  /// Progressive pruning schedule override (granularity / order / cadence).
+  bool schedule_overridden = false;
+  core::PruningSchedule schedule;
+  /// For small_model: explicit parameter target (0 => match density * model).
+  int64_t small_model_params = 0;
+  /// Evaluate every N rounds and keep history (0 = final only).
+  int eval_every = 0;
+  /// Capture the final global state and mask in the result (for
+  /// checkpointing via io::save_state / io::save_mask).
+  bool capture_final = false;
+};
+
+struct RunResult {
+  std::string method;
+  double accuracy = 0.0;
+  double final_density = 0.0;
+  // Cost accounting.
+  double max_round_flops = 0.0;
+  double dense_round_flops = 0.0;  // dense FedAvg reference for this model
+  double memory_bytes = 0.0;
+  double dense_memory_bytes = 0.0;
+  double total_comm_bytes = 0.0;
+  // Adaptive BN selection module (Table II / Fig. 5).
+  double selection_comm_bytes = 0.0;
+  double selection_flops = 0.0;
+  double sparse_round_flops = 0.0;  // one device-round of sparse training
+  int selected_candidate = -1;
+  std::vector<fl::RoundStats> history;
+  /// Populated when RunSpec::capture_final is set.
+  std::vector<Tensor> final_state;
+  prune::MaskSet final_mask;
+
+  [[nodiscard]] double flops_ratio() const {
+    return dense_round_flops > 0 ? max_round_flops / dense_round_flops : 0.0;
+  }
+  [[nodiscard]] double memory_mb() const { return memory_bytes / (1024.0 * 1024.0); }
+  [[nodiscard]] double dense_memory_mb() const { return dense_memory_bytes / (1024.0 * 1024.0); }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ScaleConfig scale) : scale_(std::move(scale)) {}
+
+  /// Run one method end-to-end (dataset + partition + pretrain + train).
+  RunResult run(const RunSpec& spec) const;
+
+  [[nodiscard]] const ScaleConfig& scale() const { return scale_; }
+
+ private:
+  ScaleConfig scale_;
+};
+
+/// Effective pool size for a density (C* = 0.1/d, clamped).
+int default_pool_size(double density, const ScaleConfig& scale);
+
+}  // namespace fedtiny::harness

@@ -1,0 +1,65 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace fedtiny::harness {
+
+void Report::set_header(std::vector<std::string> columns) { header_ = std::move(columns); }
+
+void Report::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Report::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void Report::print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  // Column widths.
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(c < widths.size() ? widths[c] : 8),
+                  cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  print_row(std::vector<std::string>(header_.size(), "---"));
+  for (const auto& row : rows_) print_row(row);
+}
+
+bool Report::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return true;
+}
+
+void print_banner(const std::string& experiment_id, const std::string& scale_name) {
+  std::printf("FedTiny reproduction — %s (scale=%s)\n", experiment_id.c_str(),
+              scale_name.c_str());
+  if (scale_name != "paper") {
+    std::printf(
+        "note: reduced-scale synthetic workload; compare shapes/orderings to the paper, not "
+        "absolute numbers (see DESIGN.md)\n");
+  }
+}
+
+}  // namespace fedtiny::harness

@@ -1,0 +1,33 @@
+// Table printing + CSV output helpers shared by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedtiny::harness {
+
+/// A simple column-aligned text table with a CSV twin.
+class Report {
+ public:
+  explicit Report(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> columns);
+  void add_row(std::vector<std::string> cells);
+
+  /// Print the aligned table to stdout.
+  void print() const;
+  /// Write CSV next to the binary (returns false on I/O failure).
+  bool write_csv(const std::string& path) const;
+
+  static std::string fmt(double value, int precision = 4);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Standard banner: experiment id + scale disclaimer.
+void print_banner(const std::string& experiment_id, const std::string& scale_name);
+
+}  // namespace fedtiny::harness

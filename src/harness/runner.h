@@ -1,0 +1,17 @@
+// Parallel execution of independent experiment runs. Kernels are serial by
+// design (see tensor/parallel.h); bench throughput comes from running many
+// RunSpecs concurrently.
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace fedtiny::harness {
+
+/// Run every spec (order-preserving results). workers <= 0 selects
+/// min(#specs, hardware_concurrency - 2). Honors FEDTINY_WORKERS.
+std::vector<RunResult> run_all(const Experiment& experiment, const std::vector<RunSpec>& specs,
+                               int workers = 0);
+
+}  // namespace fedtiny::harness

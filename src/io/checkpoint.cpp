@@ -1,0 +1,100 @@
+#include "io/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace fedtiny::io {
+
+namespace {
+
+constexpr char kStateMagic[8] = {'F', 'T', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr char kMaskMagic[8] = {'F', 'T', 'M', 'A', 'S', 'K', '0', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool save_state(const std::string& path, const std::vector<Tensor>& state) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kStateMagic, sizeof(kStateMagic));
+  write_pod(out, static_cast<uint64_t>(state.size()));
+  for (const auto& t : state) {
+    write_pod(out, static_cast<uint32_t>(t.rank()));
+    for (int i = 0; i < t.rank(); ++i) write_pod(out, t.dim(i));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<Tensor> load_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kStateMagic, sizeof(magic)) != 0) return {};
+  uint64_t count = 0;
+  if (!read_pod(in, count) || count > (1u << 20)) return {};
+  std::vector<Tensor> state;
+  state.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t rank = 0;
+    if (!read_pod(in, rank) || rank > 8) return {};
+    std::vector<int64_t> shape(rank);
+    for (auto& d : shape) {
+      if (!read_pod(in, d) || d < 0) return {};
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) return {};
+    state.push_back(std::move(t));
+  }
+  return state;
+}
+
+bool save_mask(const std::string& path, const prune::MaskSet& mask) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMaskMagic, sizeof(kMaskMagic));
+  write_pod(out, static_cast<uint64_t>(mask.num_layers()));
+  for (size_t l = 0; l < mask.num_layers(); ++l) {
+    const auto& layer = mask.layer(l);
+    write_pod(out, static_cast<uint64_t>(layer.size()));
+    out.write(reinterpret_cast<const char*>(layer.data()),
+              static_cast<std::streamsize>(layer.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+prune::MaskSet load_mask(const std::string& path) {
+  prune::MaskSet mask;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return mask;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMaskMagic, sizeof(magic)) != 0) return mask;
+  uint64_t layers = 0;
+  if (!read_pod(in, layers) || layers > (1u << 20)) return mask;
+  for (uint64_t l = 0; l < layers; ++l) {
+    uint64_t size = 0;
+    if (!read_pod(in, size) || size > (1ull << 33)) return prune::MaskSet();
+    std::vector<uint8_t> layer(size);
+    in.read(reinterpret_cast<char*>(layer.data()), static_cast<std::streamsize>(size));
+    if (!in) return prune::MaskSet();
+    mask.append_layer(std::move(layer));
+  }
+  return mask;
+}
+
+}  // namespace fedtiny::io

@@ -1,0 +1,34 @@
+// Checkpointing: save/load model state and pruning masks to a simple
+// versioned binary format. Lets a deployment pipeline train once (server)
+// and ship specialized sparse models to device classes, and lets long
+// experiments resume.
+//
+// Format (little-endian):
+//   magic "FTCKPT01" | u64 tensor_count | per tensor: u32 rank, i64 dims[],
+//   f32 data[] — for states.
+//   magic "FTMASK01" | u64 layer_count | per layer: u64 size, u8 bits[]
+//   (byte per entry; simplicity over compactness) — for masks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prune/mask.h"
+#include "tensor/tensor.h"
+
+namespace fedtiny::io {
+
+/// Write a model state (as returned by Model::state()). Returns false on
+/// I/O failure.
+bool save_state(const std::string& path, const std::vector<Tensor>& state);
+
+/// Read a model state; returns an empty vector on failure or bad format.
+std::vector<Tensor> load_state(const std::string& path);
+
+/// Write a pruning mask. Returns false on I/O failure.
+bool save_mask(const std::string& path, const prune::MaskSet& mask);
+
+/// Read a pruning mask; returns an empty MaskSet on failure or bad format.
+prune::MaskSet load_mask(const std::string& path);
+
+}  // namespace fedtiny::io

@@ -1,0 +1,29 @@
+#include "metrics/comms.h"
+
+namespace fedtiny::metrics {
+
+double sparse_model_bytes(const ModelCost& cost, int64_t prunable_nnz) {
+  return 8.0 * static_cast<double>(prunable_nnz) +
+         4.0 * static_cast<double>(cost.non_prunable_params);
+}
+
+double dense_model_bytes(const ModelCost& cost) {
+  return 4.0 * static_cast<double>(cost.total_params);
+}
+
+double bn_stats_bytes(int64_t bn_channels) { return 2.0 * 4.0 * static_cast<double>(bn_channels); }
+
+double topk_gradient_bytes(int64_t k) { return 8.0 * static_cast<double>(k); }
+
+double bn_selection_comm_bytes(const ModelCost& cost, int64_t prunable_nnz_per_candidate,
+                               int pool_size, int64_t bn_channels) {
+  const double candidate_download =
+      static_cast<double>(pool_size) * sparse_model_bytes(cost, prunable_nnz_per_candidate);
+  // Upload local BN stats per candidate, download aggregated stats per
+  // candidate, upload one loss scalar per candidate.
+  const double bn_exchange = 2.0 * static_cast<double>(pool_size) * bn_stats_bytes(bn_channels);
+  const double losses = 4.0 * static_cast<double>(pool_size);
+  return candidate_download + bn_exchange + losses;
+}
+
+}  // namespace fedtiny::metrics

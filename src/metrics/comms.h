@@ -1,0 +1,30 @@
+// Communication-cost model (paper §IV-D, Fig. 5 right). Sparse tensors are
+// charged value + index per kept entry; dense tensors 4 bytes per scalar.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/flops.h"
+
+namespace fedtiny::metrics {
+
+/// Bytes to ship a sparse model: kept prunable weights (8 B each) plus the
+/// dense non-prunable remainder (4 B each).
+double sparse_model_bytes(const ModelCost& cost, int64_t prunable_nnz);
+
+/// Bytes to ship the full dense model.
+double dense_model_bytes(const ModelCost& cost);
+
+/// Bytes for one set of BN statistics (mean + var per BN channel).
+double bn_stats_bytes(int64_t bn_channels);
+
+/// Bytes for a top-K gradient upload: (index, value) pairs.
+double topk_gradient_bytes(int64_t k);
+
+/// Total device download+upload bytes for the adaptive BN selection module:
+/// C candidates downloaded, BN stats uploaded and re-downloaded, losses
+/// uploaded (Alg. 1).
+double bn_selection_comm_bytes(const ModelCost& cost, int64_t prunable_nnz_per_candidate,
+                               int pool_size, int64_t bn_channels);
+
+}  // namespace fedtiny::metrics

@@ -1,0 +1,30 @@
+#include "metrics/memory.h"
+
+namespace fedtiny::metrics {
+
+MemoryReport device_memory(const ModelCost& cost, int64_t prunable_nnz, bool dense_stored,
+                           ScoreStorage score_storage, int64_t topk_capacity) {
+  MemoryReport report;
+  if (dense_stored) {
+    report.weight_bytes = 4.0 * static_cast<double>(cost.total_params);
+  } else {
+    // Sparse prunable weights: 4 B value + 4 B index. Non-prunable
+    // parameters (BN, biases, input/output layers) stay dense.
+    report.weight_bytes = 8.0 * static_cast<double>(prunable_nnz) +
+                          4.0 * static_cast<double>(cost.non_prunable_params);
+  }
+  switch (score_storage) {
+    case ScoreStorage::kNone:
+      break;
+    case ScoreStorage::kTopK:
+      // (index, value) pairs in the bounded buffer.
+      report.score_bytes = 8.0 * static_cast<double>(topk_capacity);
+      break;
+    case ScoreStorage::kFullDense:
+      report.score_bytes = 4.0 * static_cast<double>(cost.total_params);
+      break;
+  }
+  return report;
+}
+
+}  // namespace fedtiny::metrics

@@ -1,0 +1,35 @@
+// Device memory-footprint model (paper Table I "Memory Footprint"). Sparse
+// weights are charged value + index (CSR-style, 8 bytes per kept weight);
+// dense storage is 4 bytes per scalar; each method adds its own importance
+// score buffer.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/flops.h"
+
+namespace fedtiny::metrics {
+
+/// What a method stores on-device for importance scores.
+enum class ScoreStorage {
+  kNone,        // static masks: SNIP / SynFlow / FL-PQSU / FedAvg
+  kTopK,        // FedTiny / FedDST: bounded buffers, O(sum a_l)
+  kFullDense,   // PruneFL: dense scores for every parameter of the full model
+};
+
+struct MemoryReport {
+  double weight_bytes = 0.0;
+  double score_bytes = 0.0;
+  [[nodiscard]] double total_bytes() const { return weight_bytes + score_bytes; }
+  [[nodiscard]] double total_mb() const { return total_bytes() / (1024.0 * 1024.0); }
+};
+
+/// Device memory footprint for a model stored at the given prunable density.
+///   prunable_nnz — kept prunable weights (stored sparse: 8 B each)
+///   dense_stored — true when the method keeps the full dense model on
+///                  device (LotteryFL, FedAvg): everything is 4 B dense.
+///   topk_capacity — total bounded-buffer capacity (entries) for kTopK.
+MemoryReport device_memory(const ModelCost& cost, int64_t prunable_nnz, bool dense_stored,
+                           ScoreStorage score_storage, int64_t topk_capacity = 0);
+
+}  // namespace fedtiny::metrics

@@ -1,0 +1,50 @@
+#include "nn/activations.h"
+
+#include <cassert>
+
+namespace fedtiny::nn {
+
+Tensor ReLU::forward(const Tensor& x, Mode mode) {
+  Tensor y = x;
+  if (mode == Mode::kTrain) {
+    positive_.assign(static_cast<size_t>(x.numel()), 0);
+  } else {
+    positive_.clear();
+  }
+  auto span = y.flat();
+  for (size_t i = 0; i < span.size(); ++i) {
+    if (span[i] > 0.0f) {
+      if (mode == Mode::kTrain) positive_[i] = 1;
+    } else {
+      span[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  assert(positive_.size() == static_cast<size_t>(grad_output.numel()));
+  Tensor grad_input = grad_output;
+  auto span = grad_input.flat();
+  for (size_t i = 0; i < span.size(); ++i) {
+    if (positive_[i] == 0) span[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& x, Mode mode) {
+  (void)mode;
+  input_shape_ = x.shape();
+  Tensor y = x;
+  const int64_t n = x.dim(0);
+  y.reshape({n, x.numel() / n});
+  return y;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad_input = grad_output;
+  grad_input.reshape(input_shape_);
+  return grad_input;
+}
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,31 @@
+// Elementwise activation layers.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedtiny::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "ReLU"; }
+
+ private:
+  std::vector<uint8_t> positive_;  // cached sign mask for backward
+};
+
+/// Flatten [N, C, H, W] -> [N, C*H*W].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "Flatten"; }
+
+ private:
+  std::vector<int64_t> input_shape_;
+};
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,61 @@
+// BatchNorm2d with three operating modes:
+//   kTrain       — batch statistics, EMA update of running stats (Eq. 3).
+//   kEval        — fixed running statistics.
+//   kStatRefresh — Alg. 1: weights frozen, exact dataset moments accumulated
+//                  over forward passes; finalize_stat_refresh() installs them
+//                  as the running statistics that devices upload.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedtiny::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int64_t channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] std::string kind() const override { return "BatchNorm2d"; }
+
+  [[nodiscard]] int64_t channels() const { return channels_; }
+
+  /// Running statistics (per-channel mean / variance). These are the BN
+  /// "measurements" exchanged in the adaptive BN selection module.
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+
+  /// Reset the stat-refresh accumulators (start of Alg. 1 device pass).
+  void begin_stat_refresh();
+  /// Install accumulated exact moments into running_mean/running_var.
+  /// Returns false if no samples were accumulated.
+  bool finalize_stat_refresh();
+
+  /// When true, the layer behaves as identity (used by SynFlow scoring,
+  /// which must not let BN statistics leak data into a data-free score).
+  void set_identity_mode(bool on) { identity_mode_ = on; }
+
+ private:
+  int64_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Stat-refresh accumulators: per-channel sum, sum of squares, element count.
+  Tensor refresh_sum_, refresh_sumsq_;
+  int64_t refresh_count_ = 0;
+
+  // Cached for backward.
+  Tensor xhat_;
+  Tensor invstd_;  // per channel
+  int64_t last_n_ = 0, last_h_ = 0, last_w_ = 0;
+  bool identity_mode_ = false;
+};
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,107 @@
+#include "nn/conv2d.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace fedtiny::nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+               int64_t pad, bool bias, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight_.value = Tensor({out_channels, fan_in});
+  weight_.grad = Tensor({out_channels, fan_in});
+  weight_.prunable = true;  // may be cleared by the model factory for the input layer
+  kaiming_normal(weight_.value, fan_in, rng);
+  if (has_bias_) {
+    bias_.value = Tensor({out_channels});
+    bias_.grad = Tensor({out_channels});
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, Mode mode) {
+  assert(x.rank() == 4 && x.dim(1) == in_channels_);
+  const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int64_t out_h = ops::conv_out_size(h, kernel_, stride_, pad_);
+  const int64_t out_w = ops::conv_out_size(w, kernel_, stride_, pad_);
+  const int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const int64_t col_cols = out_h * out_w;
+
+  last_n_ = n;
+  last_in_h_ = h;
+  last_in_w_ = w;
+  last_out_h_ = out_h;
+  last_out_w_ = out_w;
+
+  if (!cols_.same_shape(Tensor({n, col_rows, col_cols}))) {
+    cols_ = Tensor({n, col_rows, col_cols});
+  }
+  Tensor y({n, out_channels_, out_h, out_w});
+
+  for (int64_t i = 0; i < n; ++i) {
+    float* cols_i = cols_.data() + i * col_rows * col_cols;
+    ops::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_, kernel_, stride_,
+                pad_, cols_i);
+    ops::gemm(false, false, out_channels_, col_cols, col_rows, 1.0f, weight_.value.data(), cols_i,
+              0.0f, y.data() + i * out_channels_ * col_cols);
+  }
+  if (has_bias_) {
+    parallel_for(n * out_channels_, [&](int64_t idx) {
+      float* row = y.data() + idx * col_cols;
+      const float b = bias_.value[idx % out_channels_];
+      for (int64_t j = 0; j < col_cols; ++j) row[j] += b;
+    });
+  }
+  if (mode != Mode::kTrain) cols_ = Tensor();  // no backward coming; free the cache
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  assert(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_);
+  assert(!cols_.empty() && "backward requires a preceding forward(kTrain)");
+  const int64_t n = last_n_;
+  const int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const int64_t col_cols = last_out_h_ * last_out_w_;
+
+  Tensor grad_input({n, in_channels_, last_in_h_, last_in_w_});
+  Tensor dcols({col_rows, col_cols});
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float* dy_i = grad_output.data() + i * out_channels_ * col_cols;
+    const float* cols_i = cols_.data() + i * col_rows * col_cols;
+    // dW += dY * cols^T   => [out_c, col_rows]
+    ops::gemm(false, true, out_channels_, col_rows, col_cols, 1.0f, dy_i, cols_i, 1.0f,
+              weight_.grad.data());
+    // dcols = W^T * dY    => [col_rows, col_cols]
+    ops::gemm(true, false, col_rows, col_cols, out_channels_, 1.0f, weight_.value.data(), dy_i,
+              0.0f, dcols.data());
+    ops::col2im(dcols.data(), in_channels_, last_in_h_, last_in_w_, kernel_, kernel_, stride_, pad_,
+                grad_input.data() + i * in_channels_ * last_in_h_ * last_in_w_);
+  }
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        const float* row = grad_output.data() + (i * out_channels_ + c) * col_cols;
+        float s = 0.0f;
+        for (int64_t j = 0; j < col_cols; ++j) s += row[j];
+        bias_.grad[c] += s;
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace fedtiny::nn

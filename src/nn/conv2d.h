@@ -1,0 +1,44 @@
+// 2-D convolution layer (im2col + GEMM implementation).
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+
+/// Conv2d with square kernels. Bias is optional and off by default because
+/// every conv in the reproduced models is followed by BatchNorm.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride, int64_t pad,
+         bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] std::string kind() const override { return "Conv2d"; }
+
+  [[nodiscard]] int64_t in_channels() const { return in_channels_; }
+  [[nodiscard]] int64_t out_channels() const { return out_channels_; }
+  [[nodiscard]] int64_t kernel() const { return kernel_; }
+  [[nodiscard]] int64_t stride() const { return stride_; }
+  [[nodiscard]] int64_t pad() const { return pad_; }
+  /// Spatial output size of the most recent forward pass (h, w).
+  [[nodiscard]] int64_t last_out_h() const { return last_out_h_; }
+  [[nodiscard]] int64_t last_out_w() const { return last_out_w_; }
+
+  Param& weight() { return weight_; }
+  Param* bias() { return has_bias_ ? &bias_ : nullptr; }
+
+ private:
+  int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Param weight_;  // [out_c, in_c * k * k]
+  Param bias_;    // [out_c]
+
+  // Cached for backward.
+  Tensor cols_;  // [N, in_c*k*k, out_h*out_w]
+  int64_t last_n_ = 0, last_in_h_ = 0, last_in_w_ = 0, last_out_h_ = 0, last_out_w_ = 0;
+};
+
+}  // namespace fedtiny::nn

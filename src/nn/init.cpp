@@ -1,0 +1,17 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace fedtiny::nn {
+
+void kaiming_normal(Tensor& w, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  for (auto& v : w.flat()) v = rng.normal(0.0f, stddev);
+}
+
+void uniform_fan_in(Tensor& w, int64_t fan_in, Rng& rng) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in > 0 ? fan_in : 1));
+  for (auto& v : w.flat()) v = rng.uniform(-bound, bound);
+}
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,15 @@
+// Weight initialization helpers (Kaiming/He for conv + linear).
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fedtiny::nn {
+
+/// He-normal initialization: stddev = sqrt(2 / fan_in).
+void kaiming_normal(Tensor& w, int64_t fan_in, Rng& rng);
+
+/// Uniform initialization in [-bound, bound] with bound = 1/sqrt(fan_in).
+void uniform_fan_in(Tensor& w, int64_t fan_in, Rng& rng);
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,63 @@
+// Layer abstraction for the from-scratch neural-network substrate.
+//
+// Layers implement explicit forward/backward passes (no tape autograd): each
+// layer caches exactly the activations its backward pass needs. This keeps
+// the memory model transparent, which matters because FedTiny's contribution
+// is precisely about on-device memory accounting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedtiny::nn {
+
+/// Forward-pass mode.
+///  - kTrain: batch statistics, gradients will be requested.
+///  - kEval: running statistics, inference only.
+///  - kStatRefresh: BN layers accumulate exact dataset moments (Alg. 1 step
+///    "update candidates' BN"); all weights stay frozen.
+enum class Mode { kTrain, kEval, kStatRefresh };
+
+/// A learnable parameter with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// True for conv/linear weights that may be masked by the pruning
+  /// substrate. BN parameters, biases, the input layer and the output layer
+  /// are never prunable (paper §IV-A2).
+  bool prunable = false;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Run the layer on x. Called with kTrain before a backward() call.
+  virtual Tensor forward(const Tensor& x, Mode mode) = 0;
+
+  /// Propagate grad_output back; accumulates into parameter grads and
+  /// returns grad wrt the layer input. Only valid after forward(kTrain).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Append pointers to this layer's parameters (stable order).
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  /// Append all leaf layers, including this one if it is a leaf. Composite
+  /// layers (Sequential, residual blocks) recurse.
+  virtual void collect_leaves(std::vector<Layer*>& out) { out.push_back(this); }
+
+  [[nodiscard]] virtual std::string kind() const = 0;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fedtiny::nn

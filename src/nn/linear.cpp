@@ -1,0 +1,66 @@
+#include "nn/linear.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace fedtiny::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng)
+    : in_features_(in_features), out_features_(out_features), has_bias_(bias) {
+  weight_.value = Tensor({out_features, in_features});
+  weight_.grad = Tensor({out_features, in_features});
+  weight_.prunable = true;  // may be cleared by the model factory (output layer)
+  uniform_fan_in(weight_.value, in_features, rng);
+  if (has_bias_) {
+    bias_.value = Tensor({out_features});
+    bias_.grad = Tensor({out_features});
+    uniform_fan_in(bias_.value, in_features, rng);
+  }
+}
+
+Tensor Linear::forward(const Tensor& x, Mode mode) {
+  assert(x.rank() == 2 && x.dim(1) == in_features_);
+  const int64_t n = x.dim(0);
+  Tensor y({n, out_features_});
+  // y = x * W^T
+  ops::gemm(false, true, n, out_features_, in_features_, 1.0f, x.data(), weight_.value.data(), 0.0f,
+            y.data());
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) y.at2(i, j) += bias_.value[j];
+    }
+  }
+  if (mode == Mode::kTrain) {
+    input_ = x;
+  } else {
+    input_ = Tensor();
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  assert(!input_.empty() && "backward requires a preceding forward(kTrain)");
+  const int64_t n = grad_output.dim(0);
+  // dW += dY^T * X
+  ops::gemm(true, false, out_features_, in_features_, n, 1.0f, grad_output.data(), input_.data(),
+            1.0f, weight_.grad.data());
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) bias_.grad[j] += grad_output.at2(i, j);
+    }
+  }
+  // dX = dY * W
+  Tensor grad_input({n, in_features_});
+  ops::gemm(false, false, n, in_features_, out_features_, 1.0f, grad_output.data(),
+            weight_.value.data(), 0.0f, grad_input.data());
+  return grad_input;
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,31 @@
+// Fully connected layer.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] std::string kind() const override { return "Linear"; }
+
+  [[nodiscard]] int64_t in_features() const { return in_features_; }
+  [[nodiscard]] int64_t out_features() const { return out_features_; }
+  Param& weight() { return weight_; }
+  Param* bias() { return has_bias_ ? &bias_ : nullptr; }
+
+ private:
+  int64_t in_features_, out_features_;
+  bool has_bias_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace fedtiny::nn

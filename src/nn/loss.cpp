@@ -1,0 +1,72 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedtiny::nn {
+
+namespace {
+// Writes softmax probabilities of row i of logits into probs (length k).
+void softmax_row(const float* row, int64_t k, float* probs) {
+  float maxv = row[0];
+  for (int64_t j = 1; j < k; ++j) maxv = std::max(maxv, row[j]);
+  float denom = 0.0f;
+  for (int64_t j = 0; j < k; ++j) {
+    probs[j] = std::exp(row[j] - maxv);
+    denom += probs[j];
+  }
+  for (int64_t j = 0; j < k; ++j) probs[j] /= denom;
+}
+}  // namespace
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int> labels) {
+  assert(logits.rank() == 2);
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  assert(static_cast<int64_t>(labels.size()) == n);
+  LossResult result;
+  result.grad_logits = Tensor({n, k});
+  double total = 0.0;
+  std::vector<float> probs(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    softmax_row(logits.data() + i * k, k, probs.data());
+    const int y = labels[static_cast<size_t>(i)];
+    assert(y >= 0 && y < k);
+    total += -std::log(std::max(probs[static_cast<size_t>(y)], 1e-12f));
+    float* g = result.grad_logits.data() + i * k;
+    for (int64_t j = 0; j < k; ++j) {
+      g[j] = (probs[static_cast<size_t>(j)] - (j == y ? 1.0f : 0.0f)) / static_cast<float>(n);
+    }
+  }
+  result.loss = static_cast<float>(total / n);
+  return result;
+}
+
+float cross_entropy_loss(const Tensor& logits, std::span<const int> labels) {
+  assert(logits.rank() == 2);
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  double total = 0.0;
+  std::vector<float> probs(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    softmax_row(logits.data() + i * k, k, probs.data());
+    const int y = labels[static_cast<size_t>(i)];
+    total += -std::log(std::max(probs[static_cast<size_t>(y)], 1e-12f));
+  }
+  return static_cast<float>(total / n);
+}
+
+double top1_accuracy(const Tensor& logits, std::span<const int> labels) {
+  assert(logits.rank() == 2);
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    int64_t best = 0;
+    for (int64_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<size_t>(i)]) ++correct;
+  }
+  return n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss and accuracy metric.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace fedtiny::nn {
+
+struct LossResult {
+  float loss = 0.0f;       // mean cross-entropy over the batch
+  Tensor grad_logits;      // d(loss)/d(logits), already divided by batch size
+};
+
+/// Numerically stable softmax cross-entropy with integer class labels.
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int> labels);
+
+/// Mean cross-entropy only (no gradient) — used for candidate evaluation.
+float cross_entropy_loss(const Tensor& logits, std::span<const int> labels);
+
+/// Top-1 accuracy in [0, 1].
+double top1_accuracy(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,104 @@
+#include "nn/model.h"
+
+#include <cassert>
+
+namespace fedtiny::nn {
+
+Model::Model(std::string name, LayerPtr root, int num_classes, std::vector<int64_t> input_shape)
+    : name_(std::move(name)),
+      root_(std::move(root)),
+      num_classes_(num_classes),
+      input_shape_(std::move(input_shape)) {
+  root_->collect_params(params_);
+  root_->collect_leaves(leaves_);
+  for (auto* layer : leaves_) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(layer)) bn_layers_.push_back(bn);
+  }
+  // Prunable weights: conv/linear weights flagged by their layers, minus the
+  // first such weight (input layer) and the last linear weight (output
+  // layer), per paper §IV-A2.
+  std::vector<int> candidates;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->prunable) candidates.push_back(static_cast<int>(i));
+  }
+  if (candidates.size() > 2) {
+    params_[static_cast<size_t>(candidates.front())]->prunable = false;
+    params_[static_cast<size_t>(candidates.back())]->prunable = false;
+    prunable_indices_.assign(candidates.begin() + 1, candidates.end() - 1);
+  }
+}
+
+int64_t Model::num_params() const {
+  int64_t total = 0;
+  for (const auto* p : params_) total += p->value.numel();
+  return total;
+}
+
+int64_t Model::num_prunable() const {
+  int64_t total = 0;
+  for (int i : prunable_indices_) total += params_[static_cast<size_t>(i)]->value.numel();
+  return total;
+}
+
+void Model::zero_grad() {
+  for (auto* p : params_) p->grad.zero();
+}
+
+std::vector<Tensor> Model::state() const {
+  std::vector<Tensor> out;
+  out.reserve(state_tensor_count());
+  for (const auto* p : params_) out.push_back(p->value);
+  for (const auto* bn : bn_layers_) {
+    out.push_back(bn->running_mean());
+    out.push_back(bn->running_var());
+  }
+  return out;
+}
+
+void Model::set_state(const std::vector<Tensor>& state) {
+  assert(state.size() == state_tensor_count());
+  size_t idx = 0;
+  for (auto* p : params_) {
+    assert(state[idx].same_shape(p->value));
+    p->value = state[idx++];
+  }
+  for (auto* bn : bn_layers_) {
+    bn->running_mean() = state[idx++];
+    bn->running_var() = state[idx++];
+  }
+}
+
+size_t Model::state_tensor_count() const { return params_.size() + 2 * bn_layers_.size(); }
+
+std::vector<Tensor> Model::bn_stats() const {
+  std::vector<Tensor> out;
+  out.reserve(2 * bn_layers_.size());
+  for (const auto* bn : bn_layers_) {
+    out.push_back(bn->running_mean());
+    out.push_back(bn->running_var());
+  }
+  return out;
+}
+
+void Model::set_bn_stats(const std::vector<Tensor>& stats) {
+  assert(stats.size() == 2 * bn_layers_.size());
+  size_t idx = 0;
+  for (auto* bn : bn_layers_) {
+    bn->running_mean() = stats[idx++];
+    bn->running_var() = stats[idx++];
+  }
+}
+
+void Model::begin_stat_refresh() {
+  for (auto* bn : bn_layers_) bn->begin_stat_refresh();
+}
+
+void Model::finalize_stat_refresh() {
+  for (auto* bn : bn_layers_) bn->finalize_stat_refresh();
+}
+
+void Model::set_bn_identity(bool on) {
+  for (auto* bn : bn_layers_) bn->set_identity_mode(on);
+}
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,78 @@
+// Model: owns a layer graph and exposes the parameter/state views that the
+// federated-learning and pruning substrates operate on.
+//
+// State layout: `state()` returns all parameter values followed by all
+// BatchNorm running means and variances, in a stable order. FedAvg averages
+// the full state; the adaptive BN selection module exchanges only the BN
+// suffix.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/layer.h"
+
+namespace fedtiny::nn {
+
+class Model {
+ public:
+  Model(std::string name, LayerPtr root, int num_classes, std::vector<int64_t> input_shape);
+
+  Tensor forward(const Tensor& x, Mode mode) { return root_->forward(x, mode); }
+  Tensor backward(const Tensor& grad_output) { return root_->backward(grad_output); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  /// Input shape as {C, H, W}.
+  [[nodiscard]] const std::vector<int64_t>& input_shape() const { return input_shape_; }
+
+  /// All parameters in stable order.
+  [[nodiscard]] const std::vector<Param*>& params() const { return params_; }
+  /// Indices into params() of prunable weights (conv/linear weights minus
+  /// the input conv and the output linear).
+  [[nodiscard]] const std::vector<int>& prunable_indices() const { return prunable_indices_; }
+  /// All leaf layers in topological order.
+  [[nodiscard]] const std::vector<Layer*>& leaves() const { return leaves_; }
+  [[nodiscard]] const std::vector<BatchNorm2d*>& bn_layers() const { return bn_layers_; }
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] int64_t num_params() const;
+  /// Number of scalars in prunable weights.
+  [[nodiscard]] int64_t num_prunable() const;
+
+  void zero_grad();
+
+  // ---- Full state exchange (parameters + BN running statistics). ----
+  [[nodiscard]] std::vector<Tensor> state() const;
+  void set_state(const std::vector<Tensor>& state);
+  /// Number of tensors in state().
+  [[nodiscard]] size_t state_tensor_count() const;
+
+  // ---- BN statistic exchange (adaptive BN selection, Alg. 1). ----
+  [[nodiscard]] std::vector<Tensor> bn_stats() const;
+  void set_bn_stats(const std::vector<Tensor>& stats);
+  void begin_stat_refresh();
+  void finalize_stat_refresh();
+  void set_bn_identity(bool on);
+
+ private:
+  std::string name_;
+  LayerPtr root_;
+  int num_classes_;
+  std::vector<int64_t> input_shape_;
+  std::vector<Param*> params_;
+  std::vector<int> prunable_indices_;
+  std::vector<Layer*> leaves_;
+  std::vector<BatchNorm2d*> bn_layers_;
+
+  friend std::unique_ptr<Model> finalize_model(std::string, LayerPtr, int, std::vector<int64_t>);
+};
+
+/// Factory signature used wherever a fresh, identically-initialized model is
+/// required (clients, candidate evaluation, small-model baselines).
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,158 @@
+#include "nn/models.h"
+
+#include <algorithm>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+
+int64_t scaled_width(int64_t base, float width_mult) {
+  return std::max<int64_t>(4, static_cast<int64_t>(static_cast<float>(base) * width_mult));
+}
+
+namespace {
+
+// Assign human-readable names to every parameter based on leaf order.
+void assign_param_names(Model& model) {
+  int conv_idx = 0, bn_idx = 0, linear_idx = 0;
+  for (auto* layer : model.leaves()) {
+    std::vector<Param*> ps;
+    layer->collect_params(ps);
+    if (layer->kind() == "Conv2d") {
+      layer->set_name("conv" + std::to_string(conv_idx++));
+    } else if (layer->kind() == "BatchNorm2d") {
+      layer->set_name("bn" + std::to_string(bn_idx++));
+    } else if (layer->kind() == "Linear") {
+      layer->set_name("fc" + std::to_string(linear_idx++));
+    } else {
+      continue;
+    }
+    const char* roles_conv[] = {"weight", "bias"};
+    const char* roles_bn[] = {"gamma", "beta"};
+    for (size_t i = 0; i < ps.size(); ++i) {
+      const char* role = (layer->kind() == "BatchNorm2d") ? roles_bn[i] : roles_conv[i];
+      ps[i]->name = layer->name() + "." + role;
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Model> make_resnet18(const ModelConfig& config) {
+  Rng rng(config.seed, /*stream=*/0x5e57ab1e);
+  auto root = std::make_unique<Sequential>();
+  const int64_t w = scaled_width(64, config.width_mult);
+
+  // CIFAR-style stem: 3x3 conv, no max-pool.
+  root->emplace<Conv2d>(config.in_channels, w, 3, 1, 1, false, rng);
+  root->emplace<BatchNorm2d>(w);
+  root->emplace<ReLU>();
+
+  const int64_t widths[4] = {w, 2 * w, 4 * w, 8 * w};
+  int64_t in_ch = w;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int64_t out_ch = widths[stage];
+    const int64_t stride = (stage == 0) ? 1 : 2;
+    root->emplace<BasicBlock>(in_ch, out_ch, stride, rng);
+    root->emplace<BasicBlock>(out_ch, out_ch, 1, rng);
+    in_ch = out_ch;
+  }
+  root->emplace<GlobalAvgPool>();
+  root->emplace<Linear>(8 * w, config.num_classes, true, rng);
+
+  auto model = std::make_unique<Model>(
+      "resnet18", std::move(root), config.num_classes,
+      std::vector<int64_t>{config.in_channels, config.image_size, config.image_size});
+  assign_param_names(*model);
+  return model;
+}
+
+std::unique_ptr<Model> make_vgg11(const ModelConfig& config) {
+  Rng rng(config.seed, /*stream=*/0x7661111);
+  auto root = std::make_unique<Sequential>();
+  // VGG11 plan: 64 M 128 M 256 256 M 512 512 M 512 512 M.
+  const int64_t plan[8] = {64, 128, 256, 256, 512, 512, 512, 512};
+  const bool pool_after[8] = {true, true, false, true, false, true, false, true};
+
+  int64_t in_ch = config.in_channels;
+  int64_t spatial = config.image_size;
+  for (int i = 0; i < 8; ++i) {
+    const int64_t out_ch = scaled_width(plan[i], config.width_mult);
+    root->emplace<Conv2d>(in_ch, out_ch, 3, 1, 1, false, rng);
+    root->emplace<BatchNorm2d>(out_ch);
+    root->emplace<ReLU>();
+    if (pool_after[i] && spatial > 1) {
+      root->emplace<MaxPool2d>(2);
+      spatial /= 2;
+    }
+    in_ch = out_ch;
+  }
+  root->emplace<GlobalAvgPool>();
+  root->emplace<Linear>(in_ch, config.num_classes, true, rng);
+
+  auto model = std::make_unique<Model>(
+      "vgg11", std::move(root), config.num_classes,
+      std::vector<int64_t>{config.in_channels, config.image_size, config.image_size});
+  assign_param_names(*model);
+  return model;
+}
+
+std::unique_ptr<Model> make_small_cnn(const ModelConfig& config, int64_t base_width) {
+  Rng rng(config.seed, /*stream=*/0x5a11c44);
+  auto root = std::make_unique<Sequential>();
+  const int64_t w = std::max<int64_t>(2, base_width);
+  int64_t spatial = config.image_size;
+
+  root->emplace<Conv2d>(config.in_channels, w, 3, 1, 1, false, rng);
+  root->emplace<BatchNorm2d>(w);
+  root->emplace<ReLU>();
+  if (spatial > 1) {
+    root->emplace<MaxPool2d>(2);
+    spatial /= 2;
+  }
+  root->emplace<Conv2d>(w, 2 * w, 3, 1, 1, false, rng);
+  root->emplace<BatchNorm2d>(2 * w);
+  root->emplace<ReLU>();
+  if (spatial > 1) {
+    root->emplace<MaxPool2d>(2);
+    spatial /= 2;
+  }
+  root->emplace<Conv2d>(2 * w, 4 * w, 3, 1, 1, false, rng);
+  root->emplace<BatchNorm2d>(4 * w);
+  root->emplace<ReLU>();
+  root->emplace<GlobalAvgPool>();
+  root->emplace<Linear>(4 * w, config.num_classes, true, rng);
+
+  auto model = std::make_unique<Model>(
+      "small_cnn", std::move(root), config.num_classes,
+      std::vector<int64_t>{config.in_channels, config.image_size, config.image_size});
+  assign_param_names(*model);
+  return model;
+}
+
+int64_t small_cnn_width_for_params(const ModelConfig& config, int64_t target_params) {
+  for (int64_t w = 2; w <= 512; ++w) {
+    auto m = make_small_cnn(config, w);
+    if (m->num_params() >= target_params) return w;
+  }
+  return 512;
+}
+
+ModelFactory resnet18_factory(ModelConfig config) {
+  return [config]() { return make_resnet18(config); };
+}
+
+ModelFactory vgg11_factory(ModelConfig config) {
+  return [config]() { return make_vgg11(config); };
+}
+
+ModelFactory small_cnn_factory(ModelConfig config, int64_t base_width) {
+  return [config, base_width]() { return make_small_cnn(config, base_width); };
+}
+
+}  // namespace fedtiny::nn

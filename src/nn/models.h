@@ -1,0 +1,46 @@
+// Model zoo: the architectures evaluated in the paper.
+//   - ResNet18 (CIFAR-style stem, 4 stages x 2 basic blocks)
+//   - VGG11 (conv-BN-ReLU features, global-average-pool classifier)
+//   - SmallCNN (three conv layers; the "small model" baseline of §IV-G)
+//
+// All models take a width multiplier and input size so the reproduction can
+// run at reduced scale on CPU while preserving topology and the layer-wise
+// parameter-count ratios that the pruning policy interacts with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/model.h"
+
+namespace fedtiny::nn {
+
+struct ModelConfig {
+  int num_classes = 10;
+  int64_t in_channels = 3;
+  int64_t image_size = 16;  // square inputs (paper: 32)
+  float width_mult = 1.0f;  // 1.0 => base width 64 as in the paper
+  uint64_t seed = 1;
+};
+
+std::unique_ptr<Model> make_resnet18(const ModelConfig& config);
+std::unique_ptr<Model> make_vgg11(const ModelConfig& config);
+
+/// Three-convolutional-layer dense small model (paper §IV-G), with an
+/// explicit base width so its parameter count can be matched to a sparse
+/// ResNet18 at a given density.
+std::unique_ptr<Model> make_small_cnn(const ModelConfig& config, int64_t base_width);
+
+/// Smallest base width whose SmallCNN has at least `target_params` total
+/// parameters (used to size-match against sparse models).
+int64_t small_cnn_width_for_params(const ModelConfig& config, int64_t target_params);
+
+/// Factory helpers capturing the configuration by value.
+ModelFactory resnet18_factory(ModelConfig config);
+ModelFactory vgg11_factory(ModelConfig config);
+ModelFactory small_cnn_factory(ModelConfig config, int64_t base_width);
+
+/// Scale a base channel count by the width multiplier (minimum 4).
+int64_t scaled_width(int64_t base, float width_mult);
+
+}  // namespace fedtiny::nn

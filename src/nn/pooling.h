@@ -1,0 +1,36 @@
+// Pooling layers: max pooling and global average pooling.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedtiny::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int64_t kernel, int64_t stride = -1)
+      : kernel_(kernel), stride_(stride > 0 ? stride : kernel) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "MaxPool2d"; }
+
+ private:
+  int64_t kernel_, stride_;
+  std::vector<int64_t> argmax_;
+  std::vector<int64_t> input_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int64_t> input_shape_;
+};
+
+}  // namespace fedtiny::nn

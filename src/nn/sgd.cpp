@@ -1,0 +1,44 @@
+#include "nn/sgd.h"
+
+#include <cassert>
+
+namespace fedtiny::nn {
+
+void SGD::step(const std::vector<Param*>& params) {
+  std::vector<const std::vector<uint8_t>*> no_masks(params.size(), nullptr);
+  step_masked(params, no_masks);
+}
+
+void SGD::step_masked(const std::vector<Param*>& params,
+                      const std::vector<const std::vector<uint8_t>*>& masks) {
+  assert(params.size() == masks.size());
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (auto* p : params) velocity_.emplace_back(p->value.shape());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    const std::vector<uint8_t>* mask = masks[i];
+    auto w = p.value.flat();
+    auto g = p.grad.flat();
+    auto v = velocity_[i].flat();
+    assert(w.size() == g.size() && w.size() == v.size());
+    for (size_t j = 0; j < w.size(); ++j) {
+      if (mask != nullptr && (*mask)[j] == 0) {
+        v[j] = 0.0f;
+        w[j] = 0.0f;
+        continue;
+      }
+      const float grad = g[j] + options_.weight_decay * w[j];
+      v[j] = options_.momentum * v[j] + grad;
+      w[j] -= options_.lr * v[j];
+    }
+  }
+}
+
+void SGD::zero_grad(const std::vector<Param*>& params) {
+  for (auto* p : params) p->grad.zero();
+}
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,44 @@
+// SGD optimizer with momentum and weight decay, plus a mask-aware step used
+// for sparse federated training (Eq. 5: gradients and weights are masked so
+// pruned coordinates stay exactly zero).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedtiny::nn {
+
+class SGD {
+ public:
+  struct Options {
+    float lr = 0.1f;
+    float momentum = 0.9f;
+    float weight_decay = 5e-4f;
+  };
+
+  explicit SGD(Options options) : options_(options) {}
+
+  /// One update step over the given parameters. The velocity buffers are
+  /// keyed by position, so the parameter list must be stable across calls.
+  void step(const std::vector<Param*>& params);
+
+  /// Mask-aware step: masks[i] (possibly empty) applies to params[i].
+  /// Masked coordinates receive no update and are re-zeroed afterwards.
+  void step_masked(const std::vector<Param*>& params,
+                   const std::vector<const std::vector<uint8_t>*>& masks);
+
+  /// Zero all parameter gradients.
+  static void zero_grad(const std::vector<Param*>& params);
+
+  void set_lr(float lr) { options_.lr = lr; }
+  [[nodiscard]] float lr() const { return options_.lr; }
+  void reset_state() { velocity_.clear(); }
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,147 @@
+#include "prune/candidates.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "prune/magnitude.h"
+#include "prune/scores.h"
+
+namespace fedtiny::prune {
+
+namespace {
+
+// Rescale densities so the parameter-weighted mean equals the target and
+// every entry lies in [floor, 1]. Two passes keep the budget after clamping.
+void rescale_to_target(std::vector<double>& densities, const std::vector<LayerShape>& shapes,
+                       double target) {
+  const double floor = std::max(1e-6, target * 0.02);
+  for (int pass = 0; pass < 3; ++pass) {
+    double weighted = 0.0, total = 0.0;
+    for (size_t l = 0; l < densities.size(); ++l) {
+      weighted += densities[l] * static_cast<double>(shapes[l].size);
+      total += static_cast<double>(shapes[l].size);
+    }
+    if (weighted <= 0.0 || total <= 0.0) return;
+    const double scale = target * total / weighted;
+    for (auto& d : densities) d = std::clamp(d * scale, floor, 1.0);
+  }
+}
+
+}  // namespace
+
+std::vector<LayerShape> prunable_layer_shapes(const nn::Model& model) {
+  // Match prunable params to their owning conv/linear layer by pointer.
+  std::vector<const nn::Param*> prunable;
+  for (int idx : model.prunable_indices()) {
+    prunable.push_back(model.params()[static_cast<size_t>(idx)]);
+  }
+  std::vector<LayerShape> shapes(prunable.size());
+  for (auto* leaf : const_cast<nn::Model&>(model).leaves()) {
+    const nn::Param* weight = nullptr;
+    LayerShape shape;
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(leaf)) {
+      weight = &conv->weight();
+      shape.fan_in = conv->in_channels() * conv->kernel() * conv->kernel();
+      shape.fan_out = conv->out_channels();
+    } else if (auto* linear = dynamic_cast<nn::Linear*>(leaf)) {
+      weight = &linear->weight();
+      shape.fan_in = linear->in_features();
+      shape.fan_out = linear->out_features();
+    } else {
+      continue;
+    }
+    shape.size = weight->value.numel();
+    for (size_t l = 0; l < prunable.size(); ++l) {
+      if (prunable[l] == weight) shapes[l] = shape;
+    }
+  }
+  return shapes;
+}
+
+std::vector<double> strategy_densities(AllocStrategy strategy,
+                                       const std::vector<LayerShape>& shapes,
+                                       double target_density) {
+  std::vector<double> densities(shapes.size(), target_density);
+  switch (strategy) {
+    case AllocStrategy::kUniform:
+      break;
+    case AllocStrategy::kEqualCount:
+      for (size_t l = 0; l < shapes.size(); ++l) {
+        densities[l] = 1.0 / static_cast<double>(std::max<int64_t>(1, shapes[l].size));
+      }
+      break;
+    case AllocStrategy::kERK:
+      for (size_t l = 0; l < shapes.size(); ++l) {
+        const auto n = static_cast<double>(std::max<int64_t>(1, shapes[l].size));
+        densities[l] = static_cast<double>(shapes[l].fan_in + shapes[l].fan_out) / n;
+      }
+      break;
+  }
+  rescale_to_target(densities, shapes, target_density);
+  return densities;
+}
+
+std::vector<double> noisy_densities(const std::vector<double>& base,
+                                    const std::vector<LayerShape>& shapes, double target_density,
+                                    double noise, Rng& rng) {
+  std::vector<double> densities = base;
+  for (auto& d : densities) {
+    const double e =
+        rng.uniform(static_cast<float>(-noise), static_cast<float>(noise)) * target_density;
+    d = std::max(d + e, target_density * 0.02);
+  }
+  rescale_to_target(densities, shapes, target_density);
+  return densities;
+}
+
+std::vector<MaskSet> generate_candidate_pool(const nn::Model& model,
+                                             const CandidatePoolConfig& config, Rng& rng) {
+  assert(config.pool_size >= 1);
+  const auto shapes = prunable_layer_shapes(model);
+  const ScoreSet scores = magnitude_scores(model);
+  const AllocStrategy strategies[3] = {AllocStrategy::kUniform, AllocStrategy::kEqualCount,
+                                       AllocStrategy::kERK};
+
+  std::vector<MaskSet> pool;
+  pool.reserve(static_cast<size_t>(config.pool_size));
+  // Noise-free base candidates first.
+  for (int s = 0; s < 3 && pool.size() < static_cast<size_t>(config.pool_size); ++s) {
+    pool.push_back(mask_from_scores_layerwise(
+        scores, strategy_densities(strategies[s], shapes, config.target_density)));
+  }
+  // A data-free synaptic-flow candidate: the server holds the model, so a
+  // SynFlow allocation is one more "different strategy" for the pool.
+  std::vector<double> synflow_base;
+  if (pool.size() < static_cast<size_t>(config.pool_size)) {
+    auto& mutable_model = const_cast<nn::Model&>(model);
+    std::vector<Tensor> saved;
+    for (auto* p : mutable_model.params()) saved.push_back(p->value);
+    auto synflow_mask = iterative_prune_to_density(
+        mutable_model, [](nn::Model& m) { return synflow_scores(m); },
+        config.target_density, 10);
+    size_t i = 0;
+    for (auto* p : mutable_model.params()) p->value = saved[i++];
+    synflow_base = synflow_mask.layer_densities();
+    pool.push_back(std::move(synflow_mask));
+  }
+  // Noisy variants cycling the strategies (plus the SynFlow allocation with
+  // magnitude ranking inside layers).
+  int s = 0;
+  while (pool.size() < static_cast<size_t>(config.pool_size)) {
+    std::vector<double> base;
+    if (s % 4 == 3 && !synflow_base.empty()) {
+      base = synflow_base;
+      rescale_to_target(base, shapes, config.target_density);
+    } else {
+      base = strategy_densities(strategies[s % 4 % 3], shapes, config.target_density);
+    }
+    pool.push_back(mask_from_scores_layerwise(
+        scores, noisy_densities(base, shapes, config.target_density, config.noise, rng)));
+    ++s;
+  }
+  return pool;
+}
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,61 @@
+// Coarse-pruned candidate pool generation (paper §III-C: "After coarse
+// pruning on full-size parameters with different strategies, the server
+// obtains an initial pool").
+//
+// Strategies for the layer-wise density allocation:
+//   kUniform    — every layer at the target density (paper §IV-A2 baseline)
+//   kEqualCount — same number of kept weights per layer (protects small
+//                 layers from dying at extreme sparsity)
+//   kERK        — Erdős–Rényi-kernel scaling, d_l ∝ (fan_in + fan_out)/n_l
+//                 (the allocation used by RigL/FedDST-style sparse training)
+// Each candidate applies uniform random noise e_l on top of a base strategy
+// ("Uniform Noise", §IV-A2) and is rescaled so the parameter-weighted global
+// density meets the target exactly; masks come from layer-wise magnitude
+// pruning of the pretrained weights.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+#include "prune/mask.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::prune {
+
+enum class AllocStrategy { kUniform, kEqualCount, kERK };
+
+struct CandidatePoolConfig {
+  int pool_size = 50;
+  double target_density = 0.01;
+  /// Relative noise amplitude: e_l ~ Uniform(-noise, +noise) * d_target.
+  double noise = 0.9;
+};
+
+/// Per-layer shape summary used by the allocation strategies.
+struct LayerShape {
+  int64_t size = 0;     // parameter count
+  int64_t fan_in = 0;   // in_channels * k * k (conv) or in_features
+  int64_t fan_out = 0;  // out_channels / out_features
+};
+
+/// Extract prunable-layer shapes in prunable_indices() order.
+std::vector<LayerShape> prunable_layer_shapes(const nn::Model& model);
+
+/// Base (noise-free) densities for a strategy, rescaled to the global target.
+std::vector<double> strategy_densities(AllocStrategy strategy,
+                                       const std::vector<LayerShape>& shapes,
+                                       double target_density);
+
+/// Add uniform noise to a base allocation and rescale back to the target.
+std::vector<double> noisy_densities(const std::vector<double>& base,
+                                    const std::vector<LayerShape>& shapes, double target_density,
+                                    double noise, Rng& rng);
+
+/// Generate the candidate pool from the model's current (pretrained)
+/// weights. Candidates 0..2 are the noise-free uniform / equal-count / ERK
+/// allocations; the remainder are noisy variants cycling the strategies.
+/// Every candidate's global density is <= target (Eq. 1 constraint).
+std::vector<MaskSet> generate_candidate_pool(const nn::Model& model,
+                                             const CandidatePoolConfig& config, Rng& rng);
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,117 @@
+#include "prune/magnitude.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fedtiny::prune {
+
+namespace {
+
+// Keep exactly `keep` entries of `scores`, chosen by descending score.
+// Ties broken by lower index for determinism.
+std::vector<uint8_t> top_mask(const std::vector<float>& scores, int64_t keep) {
+  const auto n = static_cast<int64_t>(scores.size());
+  keep = std::clamp<int64_t>(keep, 0, n);
+  std::vector<uint8_t> mask(scores.size(), 0);
+  if (keep == 0) return mask;
+  if (keep == n) {
+    std::fill(mask.begin(), mask.end(), uint8_t{1});
+    return mask;
+  }
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + keep, order.end(), [&](int64_t a, int64_t b) {
+    const float sa = scores[static_cast<size_t>(a)], sb = scores[static_cast<size_t>(b)];
+    return sa != sb ? sa > sb : a < b;
+  });
+  for (int64_t i = 0; i < keep; ++i) mask[static_cast<size_t>(order[static_cast<size_t>(i)])] = 1;
+  return mask;
+}
+
+}  // namespace
+
+MaskSet mask_from_scores_global(const ScoreSet& scores, double density) {
+  int64_t total = 0;
+  for (const auto& layer : scores) total += static_cast<int64_t>(layer.size());
+  const auto keep =
+      std::clamp<int64_t>(static_cast<int64_t>(std::llround(density * static_cast<double>(total))),
+                          0, total);
+  MaskSet out;
+  if (keep == 0 || keep == total) {
+    for (const auto& layer : scores) {
+      out.append_layer(std::vector<uint8_t>(layer.size(), keep == total ? 1 : 0));
+    }
+    return out;
+  }
+
+  std::vector<float> pooled;
+  pooled.reserve(static_cast<size_t>(total));
+  for (const auto& layer : scores) pooled.insert(pooled.end(), layer.begin(), layer.end());
+  std::nth_element(pooled.begin(), pooled.begin() + (keep - 1), pooled.end(),
+                   std::greater<float>());
+  const float threshold = pooled[static_cast<size_t>(keep - 1)];
+
+  // Entries strictly above the threshold are kept; the remaining quota is
+  // given to threshold-equal entries in layer/index order (deterministic).
+  int64_t above = 0;
+  for (const auto& layer : scores) {
+    for (float s : layer) above += (s > threshold) ? 1 : 0;
+  }
+  int64_t ties_left = keep - above;
+
+  for (const auto& layer : scores) {
+    std::vector<uint8_t> m(layer.size(), 0);
+    for (size_t j = 0; j < layer.size(); ++j) {
+      if (layer[j] > threshold) {
+        m[j] = 1;
+      } else if (layer[j] == threshold && ties_left > 0) {
+        m[j] = 1;
+        --ties_left;
+      }
+    }
+    out.append_layer(std::move(m));
+  }
+  return out;
+}
+
+MaskSet mask_from_scores_layerwise(const ScoreSet& scores, const std::vector<double>& densities) {
+  assert(scores.size() == densities.size());
+  MaskSet out;
+  for (size_t l = 0; l < scores.size(); ++l) {
+    const auto n = static_cast<int64_t>(scores[l].size());
+    const auto keep = static_cast<int64_t>(std::llround(densities[l] * static_cast<double>(n)));
+    // Never fully empty a layer: an all-zero layer would sever gradient flow
+    // (the failure mode the paper attributes to SNIP at low density is
+    // near-empty layers, which this floor still permits in spirit).
+    out.append_layer(top_mask(scores[l], std::max<int64_t>(keep, 1)));
+  }
+  return out;
+}
+
+ScoreSet magnitude_scores(const nn::Model& model) {
+  ScoreSet scores;
+  scores.reserve(model.prunable_indices().size());
+  for (int idx : model.prunable_indices()) {
+    const auto w = model.params()[static_cast<size_t>(idx)]->value.flat();
+    std::vector<float> s(w.size());
+    for (size_t j = 0; j < w.size(); ++j) s[j] = std::fabs(w[j]);
+    scores.push_back(std::move(s));
+  }
+  return scores;
+}
+
+MaskSet magnitude_prune_global(const nn::Model& model, double density) {
+  return mask_from_scores_global(magnitude_scores(model), density);
+}
+
+MaskSet magnitude_prune_layerwise(const nn::Model& model, const std::vector<double>& densities) {
+  return mask_from_scores_layerwise(magnitude_scores(model), densities);
+}
+
+std::vector<double> uniform_densities(const nn::Model& model, double density) {
+  return std::vector<double>(model.prunable_indices().size(), density);
+}
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,35 @@
+// Magnitude-based pruning (global and layer-wise) plus generic
+// score-to-mask conversion shared by all scoring methods.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+#include "prune/mask.h"
+
+namespace fedtiny::prune {
+
+/// One score vector per prunable layer (aligned with prunable_indices()).
+using ScoreSet = std::vector<std::vector<float>>;
+
+/// Keep the top `density` fraction of prunable weights by global score
+/// ranking. Ties broken by index for determinism.
+MaskSet mask_from_scores_global(const ScoreSet& scores, double density);
+
+/// Keep the top `densities[l]` fraction of layer l by score ranking.
+MaskSet mask_from_scores_layerwise(const ScoreSet& scores, const std::vector<double>& densities);
+
+/// |w| scores from the model's current prunable weights.
+ScoreSet magnitude_scores(const nn::Model& model);
+
+/// Global magnitude pruning at the given density (FL-PQSU's unstructured
+/// variant with uniform ranking over all layers).
+MaskSet magnitude_prune_global(const nn::Model& model, double density);
+
+/// Layer-wise magnitude pruning: density per prunable layer.
+MaskSet magnitude_prune_layerwise(const nn::Model& model, const std::vector<double>& densities);
+
+/// Uniform layer-wise density vector.
+std::vector<double> uniform_densities(const nn::Model& model, double density);
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,70 @@
+#include "prune/mask.h"
+
+#include <cassert>
+
+namespace fedtiny::prune {
+
+MaskSet MaskSet::ones_like(const nn::Model& model) {
+  MaskSet m;
+  m.masks_.reserve(model.prunable_indices().size());
+  for (int idx : model.prunable_indices()) {
+    const auto n = static_cast<size_t>(model.params()[static_cast<size_t>(idx)]->value.numel());
+    m.masks_.emplace_back(n, uint8_t{1});
+  }
+  return m;
+}
+
+int64_t MaskSet::total() const {
+  int64_t n = 0;
+  for (const auto& m : masks_) n += static_cast<int64_t>(m.size());
+  return n;
+}
+
+int64_t MaskSet::nnz() const {
+  int64_t n = 0;
+  for (const auto& m : masks_) {
+    for (uint8_t v : m) n += v;
+  }
+  return n;
+}
+
+double MaskSet::density() const {
+  const int64_t t = total();
+  return t > 0 ? static_cast<double>(nnz()) / static_cast<double>(t) : 0.0;
+}
+
+std::vector<double> MaskSet::layer_densities() const {
+  std::vector<double> out;
+  out.reserve(masks_.size());
+  for (const auto& m : masks_) {
+    int64_t kept = 0;
+    for (uint8_t v : m) kept += v;
+    out.push_back(m.empty() ? 0.0 : static_cast<double>(kept) / static_cast<double>(m.size()));
+  }
+  return out;
+}
+
+void MaskSet::apply(nn::Model& model) const {
+  const auto& indices = model.prunable_indices();
+  assert(indices.size() == masks_.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    auto w = model.params()[static_cast<size_t>(indices[i])]->value.flat();
+    const auto& m = masks_[i];
+    assert(w.size() == m.size());
+    for (size_t j = 0; j < w.size(); ++j) {
+      if (m[j] == 0) w[j] = 0.0f;
+    }
+  }
+}
+
+std::vector<const std::vector<uint8_t>*> MaskSet::for_params(const nn::Model& model) const {
+  std::vector<const std::vector<uint8_t>*> out(model.params().size(), nullptr);
+  const auto& indices = model.prunable_indices();
+  assert(indices.size() == masks_.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out[static_cast<size_t>(indices[i])] = &masks_[i];
+  }
+  return out;
+}
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,50 @@
+// Binary masks over a model's prunable weights. Unstructured sparsity is
+// simulated: masked weights are stored as explicit zeros in dense tensors,
+// and FLOPs/memory are accounted analytically by src/metrics (the paper's
+// own evaluation does the same on GPU).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace fedtiny::prune {
+
+/// One mask vector per prunable parameter, aligned with
+/// Model::prunable_indices() order.
+class MaskSet {
+ public:
+  MaskSet() = default;
+
+  /// All-ones mask matching the model's prunable weights.
+  static MaskSet ones_like(const nn::Model& model);
+
+  [[nodiscard]] size_t num_layers() const { return masks_.size(); }
+  std::vector<uint8_t>& layer(size_t i) { return masks_[i]; }
+  [[nodiscard]] const std::vector<uint8_t>& layer(size_t i) const { return masks_[i]; }
+
+  /// Append one layer's mask (builder API used by the pruning algorithms).
+  void append_layer(std::vector<uint8_t> layer_mask) { masks_.push_back(std::move(layer_mask)); }
+
+  /// Total prunable scalar count / kept count / global density.
+  [[nodiscard]] int64_t total() const;
+  [[nodiscard]] int64_t nnz() const;
+  [[nodiscard]] double density() const;
+  /// Per-layer densities.
+  [[nodiscard]] std::vector<double> layer_densities() const;
+
+  /// Zero out masked weights in the model.
+  void apply(nn::Model& model) const;
+
+  /// Expand to a per-parameter mask list aligned with Model::params():
+  /// nullptr for non-prunable parameters. Used by SGD::step_masked.
+  [[nodiscard]] std::vector<const std::vector<uint8_t>*> for_params(const nn::Model& model) const;
+
+  bool operator==(const MaskSet& other) const { return masks_ == other.masks_; }
+
+ private:
+  std::vector<std::vector<uint8_t>> masks_;
+};
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,80 @@
+#include "prune/scores.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace fedtiny::prune {
+
+namespace {
+
+ScoreSet weight_times_grad(const nn::Model& model) {
+  ScoreSet scores;
+  scores.reserve(model.prunable_indices().size());
+  for (int idx : model.prunable_indices()) {
+    const auto* p = model.params()[static_cast<size_t>(idx)];
+    const auto w = p->value.flat();
+    const auto g = p->grad.flat();
+    std::vector<float> s(w.size());
+    for (size_t j = 0; j < w.size(); ++j) s[j] = std::fabs(w[j] * g[j]);
+    scores.push_back(std::move(s));
+  }
+  return scores;
+}
+
+}  // namespace
+
+ScoreSet snip_scores(nn::Model& model, const data::Batch& batch) {
+  model.zero_grad();
+  Tensor logits = model.forward(batch.x, nn::Mode::kTrain);
+  auto loss = nn::softmax_cross_entropy(logits, batch.y);
+  model.backward(loss.grad_logits);
+  auto scores = weight_times_grad(model);
+  model.zero_grad();
+  return scores;
+}
+
+ScoreSet synflow_scores(nn::Model& model) {
+  // Save signs, take |w|, bypass BN.
+  std::vector<Tensor> saved;
+  saved.reserve(model.params().size());
+  for (auto* p : model.params()) {
+    saved.push_back(p->value);
+    for (auto& v : p->value.flat()) v = std::fabs(v);
+  }
+  model.set_bn_identity(true);
+  model.zero_grad();
+
+  const auto& in = model.input_shape();
+  Tensor ones = Tensor::ones({1, in[0], in[1], in[2]});
+  Tensor out = model.forward(ones, nn::Mode::kTrain);
+  Tensor grad_out = Tensor::ones(out.shape());
+  model.backward(grad_out);
+
+  auto scores = weight_times_grad(model);
+
+  model.set_bn_identity(false);
+  model.zero_grad();
+  size_t i = 0;
+  for (auto* p : model.params()) p->value = saved[i++];
+  return scores;
+}
+
+MaskSet iterative_prune_to_density(nn::Model& model, const ScoreFn& score_fn,
+                                   double target_density, int iterations) {
+  assert(iterations >= 1 && target_density > 0.0 && target_density <= 1.0);
+  MaskSet mask = MaskSet::ones_like(model);
+  for (int step = 1; step <= iterations; ++step) {
+    const double density =
+        std::pow(target_density, static_cast<double>(step) / static_cast<double>(iterations));
+    ScoreSet scores = score_fn(model);
+    // Already-pruned weights are zero, so their scores are zero; the global
+    // ranking naturally keeps them pruned (monotone schedule).
+    mask = mask_from_scores_global(scores, density);
+    mask.apply(model);
+  }
+  return mask;
+}
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,36 @@
+// Data-dependent and data-free importance scores for pruning at
+// initialization: SNIP (connection sensitivity) and SynFlow (iterative
+// synaptic flow conservation), plus the shared iterative prune-to-density
+// driver used by both (paper §IV-A3 applies both iteratively).
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "prune/magnitude.h"
+
+namespace fedtiny::prune {
+
+/// SNIP connection sensitivity |w * dL/dw| evaluated on one batch.
+/// Masked weights are zero so their scores vanish, which makes the score
+/// usable inside the iterative driver.
+ScoreSet snip_scores(nn::Model& model, const data::Batch& batch);
+
+/// SynFlow scores |w * dR/dw| with R = sum of outputs of the linearized
+/// network (absolute weights, all-ones input, BN bypassed). Entirely
+/// data-free. Restores the original weights before returning.
+ScoreSet synflow_scores(nn::Model& model);
+
+/// A scoring callback: returns per-layer scores for the current model state.
+using ScoreFn = std::function<ScoreSet(nn::Model&)>;
+
+/// Iterative pruning at initialization: over `iterations` steps, prune the
+/// model to density d_target^(i/T) (exponential schedule, as in the SynFlow
+/// paper), recomputing scores on the masked model each step. Ranking is
+/// global across layers. Returns the final mask; leaves the model's weights
+/// masked accordingly.
+MaskSet iterative_prune_to_density(nn::Model& model, const ScoreFn& score_fn, double target_density,
+                                   int iterations);
+
+}  // namespace fedtiny::prune

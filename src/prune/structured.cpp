@@ -1,0 +1,90 @@
+#include "prune/structured.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fedtiny::prune {
+
+std::vector<float> filter_l1_norms(const Tensor& weight, int64_t out_channels) {
+  assert(out_channels > 0 && weight.numel() % out_channels == 0);
+  const int64_t fan_in = weight.numel() / out_channels;
+  std::vector<float> norms(static_cast<size_t>(out_channels), 0.0f);
+  const float* w = weight.data();
+  for (int64_t f = 0; f < out_channels; ++f) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < fan_in; ++j) s += std::fabs(w[f * fan_in + j]);
+    norms[static_cast<size_t>(f)] = s;
+  }
+  return norms;
+}
+
+int64_t ChannelPlan::total_filters() const {
+  int64_t n = 0;
+  for (const auto& layer : keep) n += static_cast<int64_t>(layer.size());
+  return n;
+}
+
+int64_t ChannelPlan::kept_filters() const {
+  int64_t n = 0;
+  for (const auto& layer : keep) {
+    for (uint8_t v : layer) n += v;
+  }
+  return n;
+}
+
+ChannelPlan structured_channel_plan(const nn::Model& model, double channel_density) {
+  ChannelPlan plan;
+  for (int idx : model.prunable_indices()) {
+    const auto* param = model.params()[static_cast<size_t>(idx)];
+    // Prunable weights are stored [out, fan_in] (conv im2col layout and
+    // linear both satisfy this).
+    const int64_t out_channels = param->value.dim(0);
+    const auto norms = filter_l1_norms(param->value, out_channels);
+
+    const auto keep_count = std::clamp<int64_t>(
+        static_cast<int64_t>(std::llround(channel_density * static_cast<double>(out_channels))),
+        1, out_channels);
+    std::vector<int64_t> order(static_cast<size_t>(out_channels));
+    std::iota(order.begin(), order.end(), 0);
+    std::nth_element(order.begin(), order.begin() + keep_count, order.end(),
+                     [&](int64_t a, int64_t b) {
+                       const float na = norms[static_cast<size_t>(a)];
+                       const float nb = norms[static_cast<size_t>(b)];
+                       return na != nb ? na > nb : a < b;
+                     });
+    std::vector<uint8_t> keep(static_cast<size_t>(out_channels), 0);
+    for (int64_t i = 0; i < keep_count; ++i) keep[static_cast<size_t>(order[static_cast<size_t>(i)])] = 1;
+    plan.keep.push_back(std::move(keep));
+  }
+  return plan;
+}
+
+MaskSet expand_channel_plan(const nn::Model& model, const ChannelPlan& plan) {
+  assert(plan.keep.size() == model.prunable_indices().size());
+  MaskSet mask;
+  for (size_t l = 0; l < plan.keep.size(); ++l) {
+    const auto* param =
+        model.params()[static_cast<size_t>(model.prunable_indices()[l])];
+    const int64_t out_channels = param->value.dim(0);
+    const int64_t fan_in = param->value.numel() / out_channels;
+    std::vector<uint8_t> layer(static_cast<size_t>(param->value.numel()), 0);
+    for (int64_t f = 0; f < out_channels; ++f) {
+      if (plan.keep[l][static_cast<size_t>(f)] == 0) continue;
+      std::fill(layer.begin() + static_cast<int64_t>(f * fan_in),
+                layer.begin() + static_cast<int64_t>((f + 1) * fan_in), uint8_t{1});
+    }
+    mask.append_layer(std::move(layer));
+  }
+  return mask;
+}
+
+MaskSet structured_prune(nn::Model& model, double channel_density) {
+  auto plan = structured_channel_plan(model, channel_density);
+  auto mask = expand_channel_plan(model, plan);
+  mask.apply(model);
+  return mask;
+}
+
+}  // namespace fedtiny::prune

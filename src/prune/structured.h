@@ -1,0 +1,43 @@
+// Structured (channel/filter) pruning. FL-PQSU's original formulation
+// removes whole conv filters by L1 norm; the paper converts it to
+// unstructured pruning for comparability (§IV-A3). This module provides the
+// structured form as a library extension: filter-level importance, channel
+// masks expanded to weight masks, and the structured FLOPs benefit
+// (structured sparsity maps 1:1 onto dense-hardware speedups, unlike
+// unstructured masks).
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+#include "prune/mask.h"
+
+namespace fedtiny::prune {
+
+/// Per-output-filter L1 norms for one prunable conv/linear weight laid out
+/// as [out, fan_in]. Returned in filter order.
+std::vector<float> filter_l1_norms(const Tensor& weight, int64_t out_channels);
+
+/// Per-layer filter keep decisions.
+struct ChannelPlan {
+  /// keep[l][f] == 1 iff filter f of prunable layer l survives.
+  std::vector<std::vector<uint8_t>> keep;
+
+  [[nodiscard]] int64_t total_filters() const;
+  [[nodiscard]] int64_t kept_filters() const;
+};
+
+/// Build a channel plan by layer-wise L1 ranking: keep the top
+/// `channel_density` fraction of filters in every prunable layer (at least
+/// one per layer).
+ChannelPlan structured_channel_plan(const nn::Model& model, double channel_density);
+
+/// Expand a channel plan into a weight MaskSet (a dropped filter zeroes its
+/// whole [fan_in] row), so structured pruning composes with everything that
+/// consumes masks (sparse FedAvg, cost models, checkpoints).
+MaskSet expand_channel_plan(const nn::Model& model, const ChannelPlan& plan);
+
+/// Convenience: plan + expand + apply. Returns the weight mask.
+MaskSet structured_prune(nn::Model& model, double channel_density);
+
+}  // namespace fedtiny::prune

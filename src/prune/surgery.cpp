@@ -1,0 +1,57 @@
+#include "prune/surgery.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fedtiny::prune {
+
+GrowPruneStats grow_prune_layer(std::span<const float> weights, std::vector<uint8_t>& mask,
+                                const std::vector<ScoredIndex>& avg_grads, int64_t quota) {
+  assert(weights.size() == mask.size());
+  GrowPruneStats stats;
+  if (quota <= 0) return stats;
+
+  // ---- Grow: top-|g| pruned coordinates (Alg. 2 line 22). ----
+  std::vector<ScoredIndex> candidates;
+  candidates.reserve(avg_grads.size());
+  for (const auto& g : avg_grads) {
+    if (g.index >= 0 && g.index < static_cast<int64_t>(mask.size()) &&
+        mask[static_cast<size_t>(g.index)] == 0) {
+      candidates.push_back(g);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const ScoredIndex& a, const ScoredIndex& b) {
+    const float fa = std::fabs(a.value), fb = std::fabs(b.value);
+    return fa != fb ? fa > fb : a.index < b.index;
+  });
+  std::vector<uint8_t> just_grown(mask.size(), 0);
+  for (const auto& g : candidates) {
+    if (stats.grown >= quota) break;
+    mask[static_cast<size_t>(g.index)] = 1;
+    just_grown[static_cast<size_t>(g.index)] = 1;
+    ++stats.grown;
+  }
+  if (stats.grown == 0) return stats;
+
+  // ---- Prune: smallest-|w| unpruned, excluding just-grown (line 23). ----
+  std::vector<int64_t> unpruned;
+  for (size_t j = 0; j < mask.size(); ++j) {
+    if (mask[j] == 1 && just_grown[j] == 0) unpruned.push_back(static_cast<int64_t>(j));
+  }
+  const int64_t to_prune = std::min<int64_t>(stats.grown, static_cast<int64_t>(unpruned.size()));
+  std::nth_element(unpruned.begin(), unpruned.begin() + to_prune, unpruned.end(),
+                   [&](int64_t a, int64_t b) {
+                     const float fa = std::fabs(weights[static_cast<size_t>(a)]);
+                     const float fb = std::fabs(weights[static_cast<size_t>(b)]);
+                     return fa != fb ? fa < fb : a < b;
+                   });
+  for (int64_t i = 0; i < to_prune; ++i) {
+    mask[static_cast<size_t>(unpruned[static_cast<size_t>(i)])] = 0;
+    ++stats.pruned;
+  }
+  return stats;
+}
+
+}  // namespace fedtiny::prune

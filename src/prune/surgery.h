@@ -1,0 +1,29 @@
+// Server-side mask surgery for progressive pruning (Alg. 2 lines 19-26):
+// grow the a_l pruned coordinates with the largest averaged gradient
+// magnitude, then prune the same number of unpruned coordinates with the
+// smallest weight magnitude, excluding the just-grown ones.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "prune/topk_buffer.h"
+
+namespace fedtiny::prune {
+
+struct GrowPruneStats {
+  int64_t grown = 0;
+  int64_t pruned = 0;
+};
+
+/// Adjust one layer's mask in place.
+///   weights    — the layer's current (aggregated) weight values
+///   mask       — the layer's mask; modified in place
+///   avg_grads  — averaged top gradients at pruned coordinates (Eq. 7)
+///   quota      — a_l, the number of coordinates to grow and prune
+/// Grown coordinates get weight zero (they were masked); the caller is
+/// responsible for zeroing the weight tensor against the new mask.
+GrowPruneStats grow_prune_layer(std::span<const float> weights, std::vector<uint8_t>& mask,
+                                const std::vector<ScoredIndex>& avg_grads, int64_t quota);
+
+}  // namespace fedtiny::prune

@@ -1,0 +1,62 @@
+// Bounded top-K magnitude buffer (paper §III-D): devices keep only the K
+// largest-|value| (index, value) pairs while scanning gradients, using O(K)
+// memory. Implemented as a min-heap keyed by |value|.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace fedtiny::prune {
+
+struct ScoredIndex {
+  int64_t index = 0;
+  float value = 0.0f;  // signed; ranking uses |value|
+};
+
+class TopKBuffer {
+ public:
+  explicit TopKBuffer(int64_t capacity) : capacity_(capacity) { heap_.reserve(capacity_ > 0 ? static_cast<size_t>(capacity_) : 0); }
+
+  [[nodiscard]] int64_t capacity() const { return capacity_; }
+  [[nodiscard]] int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+
+  /// Offer one entry; keeps it only if it beats the current minimum.
+  void push(int64_t index, float value) {
+    if (capacity_ <= 0) return;
+    if (size() < capacity_) {
+      heap_.push_back({index, value});
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+      return;
+    }
+    if (std::fabs(value) > std::fabs(heap_.front().value)) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      heap_.back() = {index, value};
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    }
+  }
+
+  /// Contents sorted by descending |value| (ties by ascending index).
+  [[nodiscard]] std::vector<ScoredIndex> sorted() const {
+    std::vector<ScoredIndex> out = heap_;
+    std::sort(out.begin(), out.end(), [](const ScoredIndex& a, const ScoredIndex& b) {
+      const float fa = std::fabs(a.value), fb = std::fabs(b.value);
+      return fa != fb ? fa > fb : a.index < b.index;
+    });
+    return out;
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  // Min-heap on |value| so the weakest entry is at the front.
+  static bool cmp(const ScoredIndex& a, const ScoredIndex& b) {
+    return std::fabs(a.value) > std::fabs(b.value);
+  }
+
+  int64_t capacity_;
+  std::vector<ScoredIndex> heap_;
+};
+
+}  // namespace fedtiny::prune

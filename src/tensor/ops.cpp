@@ -1,0 +1,123 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/parallel.h"
+
+namespace fedtiny::ops {
+
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+          const float* b, float beta, float* c) {
+  // Row-major. Leading dims follow the *stored* layout:
+  //   !trans_a: a is [m,k]; trans_a: a is [k,m].
+  //   !trans_b: b is [k,n]; trans_b: b is [n,k].
+  parallel_for(m, [&](int64_t i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    if (trans_b && !trans_a) {
+      // Dot-product order: both a-row and b-row are contiguous.
+      const float* arow = a + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float s = 0.0f;
+        for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] += alpha * s;
+      }
+      return;
+    }
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = trans_a ? a[p * m + i] : a[i * k + p];
+      if (av == 0.0f) continue;
+      const float s = alpha * av;
+      if (!trans_b) {
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += s * brow[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] += s * b[j * k + p];
+      }
+    }
+  });
+}
+
+void im2col(const float* in, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
+            int64_t kernel_w, int64_t stride, int64_t pad, float* out) {
+  const int64_t out_h = conv_out_size(height, kernel_h, stride, pad);
+  const int64_t out_w = conv_out_size(width, kernel_w, stride, pad);
+  const int64_t col_rows = channels * kernel_h * kernel_w;
+  parallel_for(col_rows, [&](int64_t row) {
+    const int64_t c = row / (kernel_h * kernel_w);
+    const int64_t rem = row % (kernel_h * kernel_w);
+    const int64_t kh = rem / kernel_w;
+    const int64_t kw = rem % kernel_w;
+    float* out_row = out + row * out_h * out_w;
+    const float* in_c = in + c * height * width;
+    for (int64_t oh = 0; oh < out_h; ++oh) {
+      const int64_t ih = oh * stride - pad + kh;
+      if (ih < 0 || ih >= height) {
+        std::memset(out_row + oh * out_w, 0, static_cast<size_t>(out_w) * sizeof(float));
+        continue;
+      }
+      const float* in_row = in_c + ih * width;
+      for (int64_t ow = 0; ow < out_w; ++ow) {
+        const int64_t iw = ow * stride - pad + kw;
+        out_row[oh * out_w + ow] = (iw >= 0 && iw < width) ? in_row[iw] : 0.0f;
+      }
+    }
+  });
+}
+
+void col2im(const float* cols, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
+            int64_t kernel_w, int64_t stride, int64_t pad, float* out) {
+  const int64_t out_h = conv_out_size(height, kernel_h, stride, pad);
+  const int64_t out_w = conv_out_size(width, kernel_w, stride, pad);
+  // Parallel over channels: each channel's scatter targets are disjoint.
+  parallel_for(channels, [&](int64_t c) {
+    float* out_c = out + c * height * width;
+    for (int64_t kh = 0; kh < kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < kernel_w; ++kw) {
+        const int64_t row = (c * kernel_h + kh) * kernel_w + kw;
+        const float* col_row = cols + row * out_h * out_w;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) continue;
+          float* out_row = out_c + ih * width;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * stride - pad + kw;
+            if (iw >= 0 && iw < width) out_row[iw] += col_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  });
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  const size_t n = std::min(x.size(), y.size());
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void apply_mask(std::span<float> x, std::span<const uint8_t> mask) {
+  const size_t n = std::min(x.size(), mask.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i] == 0) x[i] = 0.0f;
+  }
+}
+
+double sum(std::span<const float> x) {
+  double s = 0.0;
+  for (float v : x) s += v;
+  return s;
+}
+
+double l2_norm(std::span<const float> x) {
+  double s = 0.0;
+  for (float v : x) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+}  // namespace fedtiny::ops

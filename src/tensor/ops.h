@@ -1,0 +1,45 @@
+// Math kernels shared by the neural-network layers: GEMM, im2col/col2im,
+// and a handful of elementwise helpers. All kernels are plain loops with
+// OpenMP-parallel outer dimensions — fast enough for the scaled-down
+// reproduction workloads, and dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace fedtiny::ops {
+
+/// C[m,n] = alpha * op(A) * op(B) + beta * C.
+/// op(A) is A[m,k] when !trans_a, A^T (stored as [k,m]) when trans_a.
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c);
+
+/// Expand input image patches into columns.
+/// in: [C, H, W] single image. out: [C*kh*kw, out_h*out_w].
+void im2col(const float* in, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
+            int64_t kernel_w, int64_t stride, int64_t pad, float* out);
+
+/// Inverse of im2col: scatter-add columns back to image gradient.
+void col2im(const float* cols, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
+            int64_t kernel_w, int64_t stride, int64_t pad, float* out);
+
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Elementwise y = x * m (mask application).
+void apply_mask(std::span<float> x, std::span<const uint8_t> mask);
+
+/// Sum of all elements.
+double sum(std::span<const float> x);
+
+/// L2 norm.
+double l2_norm(std::span<const float> x);
+
+/// Output spatial size for a conv/pool dimension.
+inline int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace fedtiny::ops

@@ -1,0 +1,48 @@
+// Minimal data-parallel loop helper.
+//
+// Kernel-level parallelism is OFF by default: the reproduction's tensors are
+// small (tiny-model regime), where per-call OpenMP region overhead dominates
+// any speedup. The bench harness instead parallelizes across independent
+// experiment runs (see harness::run_all). Set FEDTINY_THREADS=N or call
+// set_parallelism(N) to opt into kernel threading for single large runs.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace fedtiny {
+
+namespace detail {
+inline int& parallelism_slot() {
+  static int value = [] {
+    const char* env = std::getenv("FEDTINY_THREADS");
+    const int n = env != nullptr ? std::atoi(env) : 1;
+    return n >= 1 ? n : 1;
+  }();
+  return value;
+}
+}  // namespace detail
+
+/// Number of threads parallel_for may use (>= 1).
+inline int parallelism() { return detail::parallelism_slot(); }
+inline void set_parallelism(int n) { detail::parallelism_slot() = n >= 1 ? n : 1; }
+
+/// Invoke fn(i) for i in [0, n). Iterations must be independent.
+template <typename Fn>
+void parallel_for(int64_t n, Fn&& fn) {
+#if defined(_OPENMP)
+  const int threads = parallelism();
+  if (threads > 1 && n >= 4) {
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+}
+
+}  // namespace fedtiny

@@ -1,0 +1,46 @@
+#include "tensor/rng.h"
+
+#include <cassert>
+
+namespace fedtiny {
+
+double Rng::gamma(double shape) {
+  assert(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    double u = uniform();
+    if (u < 1e-12) u = 1e-12;
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = uniform();
+    if (u < 1e-12) u = 1e-12;
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, int k) {
+  assert(alpha > 0.0 && k > 0);
+  std::vector<double> out(static_cast<size_t>(k));
+  double total = 0.0;
+  for (auto& v : out) {
+    v = gamma(alpha);
+    total += v;
+  }
+  if (total <= 0.0) {
+    for (auto& v : out) v = 1.0 / k;
+    return out;
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+}  // namespace fedtiny

@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generator (PCG32) with convenience
+// samplers. A fixed in-repo implementation (rather than std::mt19937 +
+// std::normal_distribution) guarantees bit-identical experiment replays
+// across standard-library implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace fedtiny {
+
+/// PCG32 generator. Cheap to copy; every component that needs randomness
+/// owns its own seeded instance so experiments are order-independent.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit integer.
+  uint32_t next_u32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u32()) * (1.0 / 4294967296.0); }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + static_cast<float>(uniform()) * (hi - lo); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  int64_t uniform_int(int64_t n) {
+    return static_cast<int64_t>(uniform() * static_cast<double>(n));
+  }
+
+  /// Standard normal via Box-Muller.
+  float normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-12) u1 = 1e-12;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_ = static_cast<float>(r * std::sin(theta));
+    has_cached_ = true;
+    return static_cast<float>(r * std::cos(theta));
+  }
+
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Fisher-Yates permutation of [0, n).
+  std::vector<int64_t> permutation(int64_t n) {
+    std::vector<int64_t> p(static_cast<size_t>(n));
+    std::iota(p.begin(), p.end(), 0);
+    for (int64_t i = n - 1; i > 0; --i) {
+      int64_t j = uniform_int(i + 1);
+      std::swap(p[static_cast<size_t>(i)], p[static_cast<size_t>(j)]);
+    }
+    return p;
+  }
+
+  /// Sample from a Dirichlet distribution with symmetric concentration alpha.
+  /// Uses the Gamma(alpha, 1) / sum construction with Marsaglia-Tsang sampling.
+  std::vector<double> dirichlet(double alpha, int k);
+
+ private:
+  /// Gamma(shape, 1) sampler (Marsaglia-Tsang, with boost for shape < 1).
+  double gamma(double shape);
+
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+}  // namespace fedtiny

@@ -1,0 +1,18 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace fedtiny {
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace fedtiny

@@ -1,0 +1,114 @@
+// Dense row-major float tensor used throughout the FedTiny substrate.
+//
+// The tensor is deliberately minimal: fixed dtype (float32), owning storage,
+// rank <= 4 in practice (N, C, H, W). All neural-network layers, pruning
+// masks, and federated parameter vectors are built on top of this type.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedtiny {
+
+/// Owning, contiguous, row-major float32 tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct a zero-initialized tensor with the given shape.
+  explicit Tensor(std::vector<int64_t> shape)
+      : shape_(std::move(shape)), data_(compute_numel(shape_), 0.0f) {}
+
+  /// Construct with shape and constant fill value.
+  Tensor(std::vector<int64_t> shape, float fill_value)
+      : shape_(std::move(shape)), data_(compute_numel(shape_), fill_value) {}
+
+  static Tensor zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int64_t> shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor ones(std::vector<int64_t> shape) { return Tensor(std::move(shape), 1.0f); }
+
+  /// Build a 1-D tensor from explicit values (test convenience).
+  static Tensor from_vector(std::vector<float> values) {
+    Tensor t;
+    t.shape_ = {static_cast<int64_t>(values.size())};
+    t.data_ = std::move(values);
+    return t;
+  }
+
+  [[nodiscard]] const std::vector<int64_t>& shape() const { return shape_; }
+  [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] int64_t dim(int i) const {
+    assert(i >= 0 && i < rank());
+    return shape_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// 2-D indexed access (rows, cols).
+  float& at2(int64_t i, int64_t j) {
+    assert(rank() == 2);
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+  }
+  float at2(int64_t i, int64_t j) const {
+    assert(rank() == 2);
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+  }
+
+  /// 4-D indexed access (n, c, h, w).
+  float& at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+    assert(rank() == 4);
+    return data_[static_cast<size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    assert(rank() == 4);
+    return data_[static_cast<size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  /// Reinterpret the shape; total element count must be preserved.
+  void reshape(std::vector<int64_t> new_shape) {
+    assert(compute_numel(new_shape) == numel());
+    shape_ = std::move(new_shape);
+  }
+
+  /// True if both tensors have identical shape.
+  [[nodiscard]] bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Human-readable shape, e.g. "[64, 3, 3, 3]".
+  [[nodiscard]] std::string shape_string() const;
+
+  static int64_t compute_numel(const std::vector<int64_t>& shape) {
+    int64_t n = 1;
+    for (int64_t d : shape) {
+      assert(d >= 0);
+      n *= d;
+    }
+    return shape.empty() ? 0 : n;
+  }
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedtiny

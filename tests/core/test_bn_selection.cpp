@@ -1,0 +1,132 @@
+#include "core/bn_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pretrain.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+
+namespace fedtiny::core {
+namespace {
+
+struct Fixture {
+  data::TrainTest data;
+  std::vector<std::vector<int64_t>> partitions;
+  std::unique_ptr<nn::Model> model;
+
+  Fixture() {
+    auto spec = data::cifar10s_spec(8, 200, 40);
+    data = data::make_synthetic(spec, 3);
+    Rng rng(4);
+    partitions = data::dirichlet_partition(data.train.labels, 4, 0.5, rng);
+    nn::ModelConfig mc;
+    mc.num_classes = spec.num_classes;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625f;
+    model = nn::make_resnet18(mc);
+    server_pretrain(*model, data.train, {2, 16, 0.05f, 0.9f, 5e-4f, 1});
+  }
+
+  BNSelectionConfig config(bool adaptive) const {
+    BNSelectionConfig c;
+    c.pool.pool_size = 6;
+    c.pool.target_density = 0.05;
+    c.adaptive = adaptive;
+    c.batch_size = 16;
+    return c;
+  }
+};
+
+TEST(BNSelection, PicksACandidateAndReportsLosses) {
+  Fixture f;
+  auto report = select_coarse_mask(*f.model, f.data.train, f.partitions, f.config(true));
+  EXPECT_GE(report.selected_candidate, 0);
+  EXPECT_LT(report.selected_candidate, 6);
+  EXPECT_EQ(report.candidate_losses.size(), 6u);
+  // Selected candidate has the minimum loss.
+  const double best = report.candidate_losses[static_cast<size_t>(report.selected_candidate)];
+  for (double loss : report.candidate_losses) EXPECT_GE(loss, best);
+}
+
+TEST(BNSelection, MaskMeetsDensityBudget) {
+  Fixture f;
+  auto report = select_coarse_mask(*f.model, f.data.train, f.partitions, f.config(true));
+  EXPECT_LE(report.mask.density(), 0.05 * 1.15);
+}
+
+TEST(BNSelection, ModelLeftMaskedWithWinningMask) {
+  Fixture f;
+  auto report = select_coarse_mask(*f.model, f.data.train, f.partitions, f.config(true));
+  for (size_t l = 0; l < report.mask.num_layers(); ++l) {
+    const int idx = f.model->prunable_indices()[l];
+    const auto w = f.model->params()[static_cast<size_t>(idx)]->value.flat();
+    for (size_t j = 0; j < w.size(); ++j) {
+      if (report.mask.layer(l)[j] == 0) ASSERT_EQ(w[j], 0.0f);
+    }
+  }
+}
+
+TEST(BNSelection, AdaptiveRecalibratesBNStats) {
+  Fixture f;
+  const auto stats_before = f.model->bn_stats();
+  auto report = select_coarse_mask(*f.model, f.data.train, f.partitions, f.config(true));
+  const auto stats_after = f.model->bn_stats();
+  // At least one BN statistic must have moved (recalibration happened).
+  bool changed = false;
+  for (size_t i = 0; i < stats_before.size() && !changed; ++i) {
+    for (int64_t j = 0; j < stats_before[i].numel(); ++j) {
+      if (stats_before[i][j] != stats_after[i][j]) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(changed);
+  (void)report;
+}
+
+TEST(BNSelection, VanillaKeepsBNStats) {
+  Fixture f;
+  const auto stats_before = f.model->bn_stats();
+  (void)select_coarse_mask(*f.model, f.data.train, f.partitions, f.config(false));
+  const auto stats_after = f.model->bn_stats();
+  for (size_t i = 0; i < stats_before.size(); ++i) {
+    for (int64_t j = 0; j < stats_before[i].numel(); ++j) {
+      ASSERT_EQ(stats_before[i][j], stats_after[i][j]);
+    }
+  }
+}
+
+TEST(BNSelection, AdaptiveAndVanillaCanDisagree) {
+  // Not guaranteed in general, but losses must differ: recalibrated
+  // evaluation sees different statistics.
+  Fixture f1, f2;
+  auto adaptive = select_coarse_mask(*f1.model, f1.data.train, f1.partitions, f1.config(true));
+  auto vanilla = select_coarse_mask(*f2.model, f2.data.train, f2.partitions, f2.config(false));
+  bool any_loss_differs = false;
+  for (size_t c = 0; c < adaptive.candidate_losses.size(); ++c) {
+    if (std::abs(adaptive.candidate_losses[c] - vanilla.candidate_losses[c]) > 1e-9) {
+      any_loss_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_loss_differs);
+}
+
+TEST(BNSelection, ReportsPositiveCosts) {
+  Fixture f;
+  auto report = select_coarse_mask(*f.model, f.data.train, f.partitions, f.config(true));
+  EXPECT_GT(report.comm_bytes_per_device, 0.0);
+  EXPECT_GT(report.extra_flops_per_device, 0.0);
+}
+
+TEST(BNSelection, Deterministic) {
+  Fixture f1, f2;
+  auto a = select_coarse_mask(*f1.model, f1.data.train, f1.partitions, f1.config(true));
+  auto b = select_coarse_mask(*f2.model, f2.data.train, f2.partitions, f2.config(true));
+  EXPECT_EQ(a.selected_candidate, b.selected_candidate);
+  EXPECT_TRUE(a.mask == b.mask);
+}
+
+}  // namespace
+}  // namespace fedtiny::core

@@ -1,0 +1,62 @@
+#include "core/pretrain.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fl/evaluate.h"
+#include <numeric>
+#include "nn/loss.h"
+#include "nn/models.h"
+
+namespace fedtiny::core {
+namespace {
+
+TEST(Pretrain, ReducesTrainingLoss) {
+  auto data = data::make_synthetic(data::cifar10s_spec(8, 120, 40), 2);
+  nn::ModelConfig mc;
+  mc.num_classes = 10;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625f;
+  auto model = nn::make_resnet18(mc);
+
+  const double acc_before = fl::evaluate_accuracy(*model, data.train, 32);
+  EXPECT_LT(acc_before, 0.25);  // untrained: near chance on 10 classes
+  server_pretrain(*model, data.train, {8, 16, 0.03f, 0.9f, 5e-4f, 1});
+  const double acc_after = fl::evaluate_accuracy(*model, data.train, 32);
+  EXPECT_GT(acc_after, 0.3);
+}
+
+TEST(Pretrain, EmptyDatasetIsNoop) {
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  auto model = nn::make_small_cnn(mc, 4);
+  const auto before = model->state();
+  data::Dataset empty;
+  server_pretrain(*model, empty, {});
+  const auto after = model->state();
+  for (size_t i = 0; i < before.size(); ++i) {
+    for (int64_t j = 0; j < before[i].numel(); ++j) ASSERT_EQ(before[i][j], after[i][j]);
+  }
+}
+
+TEST(Pretrain, Deterministic) {
+  auto data = data::make_synthetic(data::cifar10s_spec(8, 60, 20), 3);
+  auto run = [&] {
+    nn::ModelConfig mc;
+    mc.num_classes = 10;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625f;
+    auto model = nn::make_resnet18(mc);
+    server_pretrain(*model, data.train, {2, 16, 0.05f, 0.9f, 5e-4f, 7});
+    return model->state();
+  };
+  auto a = run();
+  auto b = run();
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int64_t j = 0; j < a[i].numel(); ++j) ASSERT_EQ(a[i][j], b[i][j]);
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::core

@@ -1,0 +1,134 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace fedtiny::core {
+namespace {
+
+TEST(Schedule, CosineEndpoints) {
+  PruningSchedule s;
+  s.alpha = 0.15;
+  s.r_stop = 100;
+  // t=0: a = alpha * 2 * n.
+  EXPECT_EQ(s.quota(0, 1000), 300);
+  // t=r_stop: cos(pi) = -1 => 0.
+  EXPECT_EQ(s.quota(100, 1000), 0);
+  // Past r_stop: no pruning.
+  EXPECT_EQ(s.quota(101, 1000), 0);
+}
+
+TEST(Schedule, CosineIsMonotoneDecreasing) {
+  PruningSchedule s;
+  s.r_stop = 50;
+  int64_t prev = s.quota(0, 10000);
+  for (int r = 5; r <= 50; r += 5) {
+    const int64_t q = s.quota(r, 10000);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Schedule, HalfwayIsAlphaN) {
+  PruningSchedule s;
+  s.alpha = 0.15;
+  s.r_stop = 100;
+  EXPECT_EQ(s.quota(50, 1000), 150);  // cos(pi/2) = 0 => alpha * n
+}
+
+TEST(Schedule, ZeroUnprunedGivesZero) {
+  PruningSchedule s;
+  EXPECT_EQ(s.quota(0, 0), 0);
+}
+
+TEST(Schedule, PruningRounds) {
+  PruningSchedule s;
+  s.delta_r = 10;
+  s.r_stop = 100;
+  EXPECT_TRUE(s.is_pruning_round(0));
+  EXPECT_FALSE(s.is_pruning_round(5));
+  EXPECT_TRUE(s.is_pruning_round(10));
+  EXPECT_TRUE(s.is_pruning_round(100));
+  EXPECT_FALSE(s.is_pruning_round(110));  // past r_stop
+}
+
+TEST(Schedule, EventIndex) {
+  PruningSchedule s;
+  s.delta_r = 10;
+  EXPECT_EQ(s.event_index(0), 0);
+  EXPECT_EQ(s.event_index(10), 1);
+  EXPECT_EQ(s.event_index(50), 5);
+}
+
+TEST(Blocks, PartitionCoversAllLayersOnce) {
+  std::vector<int64_t> sizes = {10, 20, 30, 40, 50, 60, 70};
+  auto blocks = partition_blocks(sizes, 3);
+  ASSERT_EQ(blocks.size(), 3u);
+  std::vector<int> seen;
+  for (const auto& b : blocks) {
+    EXPECT_FALSE(b.empty());
+    seen.insert(seen.end(), b.begin(), b.end());
+  }
+  std::vector<int> expected(sizes.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(seen, expected);  // contiguous, in order, complete
+}
+
+TEST(Blocks, BalancedByParamCount) {
+  std::vector<int64_t> sizes(20, 100);
+  auto blocks = partition_blocks(sizes, 5);
+  for (const auto& b : blocks) EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(Blocks, MoreBlocksThanLayersDegrades) {
+  std::vector<int64_t> sizes = {10, 20};
+  auto blocks = partition_blocks(sizes, 5);
+  EXPECT_EQ(blocks.size(), 2u);
+}
+
+TEST(Blocks, SingleBlockTakesAll) {
+  std::vector<int64_t> sizes = {1, 2, 3};
+  auto blocks = partition_blocks(sizes, 1);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].size(), 3u);
+}
+
+TEST(Blocks, HeavyTailDoesNotStarveBlocks) {
+  // One huge layer at the front must not leave later blocks empty.
+  std::vector<int64_t> sizes = {100000, 10, 10, 10, 10};
+  auto blocks = partition_blocks(sizes, 5);
+  for (const auto& b : blocks) EXPECT_FALSE(b.empty());
+}
+
+TEST(ScheduledBlock, BackwardOrderStartsFromOutput) {
+  // Blocks are in input->output order; backward scheduling starts at the
+  // last block (paper: "from the output layer to the input layer").
+  EXPECT_EQ(scheduled_block(0, 5, true), 4);
+  EXPECT_EQ(scheduled_block(1, 5, true), 3);
+  EXPECT_EQ(scheduled_block(4, 5, true), 0);
+  EXPECT_EQ(scheduled_block(5, 5, true), 4);  // cycles
+}
+
+TEST(ScheduledBlock, ForwardOrder) {
+  EXPECT_EQ(scheduled_block(0, 5, false), 0);
+  EXPECT_EQ(scheduled_block(4, 5, false), 4);
+  EXPECT_EQ(scheduled_block(7, 5, false), 2);
+}
+
+class QuotaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuotaSweep, QuotaNeverExceedsTwiceAlphaN) {
+  PruningSchedule s;
+  s.alpha = 0.15;
+  s.r_stop = 100;
+  const int round = GetParam();
+  const int64_t n = 5000;
+  EXPECT_LE(s.quota(round, n), static_cast<int64_t>(2 * s.alpha * static_cast<double>(n)) + 1);
+  EXPECT_GE(s.quota(round, n), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, QuotaSweep, ::testing::Values(0, 1, 10, 25, 50, 75, 99, 100));
+
+}  // namespace
+}  // namespace fedtiny::core

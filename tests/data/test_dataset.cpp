@@ -1,0 +1,70 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtiny::data {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset ds;
+  ds.num_classes = 3;
+  ds.images = Tensor({4, 1, 2, 2});
+  for (int64_t i = 0; i < ds.images.numel(); ++i) ds.images[i] = static_cast<float>(i);
+  ds.labels = {0, 1, 2, 1};
+  return ds;
+}
+
+TEST(Dataset, SizeAndDims) {
+  auto ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 4);
+  EXPECT_EQ(ds.channels(), 1);
+  EXPECT_EQ(ds.height(), 2);
+  EXPECT_EQ(ds.width(), 2);
+}
+
+TEST(Dataset, SubsetCopiesSelected) {
+  auto ds = tiny_dataset();
+  std::vector<int64_t> idx = {2, 0};
+  auto sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.labels[0], 2);
+  EXPECT_EQ(sub.labels[1], 0);
+  EXPECT_FLOAT_EQ(sub.images[0], 8.0f);  // sample 2 starts at flat index 8
+}
+
+TEST(Dataset, GatherBatch) {
+  auto ds = tiny_dataset();
+  std::vector<int64_t> idx = {3, 1};
+  auto batch = gather_batch(ds, idx);
+  EXPECT_EQ(batch.size(), 2);
+  EXPECT_EQ(batch.y[0], 1);
+  EXPECT_FLOAT_EQ(batch.x[0], 12.0f);
+}
+
+TEST(Dataset, ChunkIndicesExactDivision) {
+  std::vector<int64_t> idx = {0, 1, 2, 3};
+  auto chunks = chunk_indices(idx, 2);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(chunks[1], (std::vector<int64_t>{2, 3}));
+}
+
+TEST(Dataset, ChunkIndicesRemainder) {
+  std::vector<int64_t> idx = {0, 1, 2, 3, 4};
+  auto chunks = chunk_indices(idx, 2);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].size(), 1u);
+}
+
+TEST(Dataset, ChunkIndicesEmpty) {
+  std::vector<int64_t> idx;
+  EXPECT_TRUE(chunk_indices(idx, 8).empty());
+}
+
+TEST(Dataset, EmptyDatasetSizeZero) {
+  Dataset ds;
+  EXPECT_EQ(ds.size(), 0);
+}
+
+}  // namespace
+}  // namespace fedtiny::data

@@ -1,0 +1,100 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fedtiny::data {
+namespace {
+
+std::vector<int> make_labels(int n, int classes) {
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) labels[static_cast<size_t>(i)] = i % classes;
+  return labels;
+}
+
+TEST(Partition, DirichletCoversAllSamplesOnce) {
+  auto labels = make_labels(200, 10);
+  Rng rng(1);
+  auto parts = dirichlet_partition(labels, 8, 0.5, rng);
+  ASSERT_EQ(parts.size(), 8u);
+  std::multiset<int64_t> seen;
+  for (const auto& p : parts) seen.insert(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 200u);
+  // Uniqueness: multiset == set size.
+  std::set<int64_t> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), 200u);
+}
+
+TEST(Partition, DirichletMinPerClient) {
+  auto labels = make_labels(100, 5);
+  Rng rng(2);
+  auto parts = dirichlet_partition(labels, 10, 0.1, rng, /*min_per_client=*/3);
+  for (const auto& p : parts) EXPECT_GE(p.size(), 3u);
+}
+
+TEST(Partition, LowAlphaIsMoreSkewedThanHighAlpha) {
+  auto labels = make_labels(1000, 10);
+  auto skew = [&](double alpha, uint64_t seed) {
+    Rng rng(seed);
+    auto parts = dirichlet_partition(labels, 10, alpha, rng);
+    // Mean per-client label entropy (lower = more skewed).
+    double total_entropy = 0.0;
+    for (const auto& p : parts) {
+      std::vector<int> counts(10, 0);
+      for (int64_t i : p) ++counts[static_cast<size_t>(labels[static_cast<size_t>(i)])];
+      double h = 0.0;
+      for (int c : counts) {
+        if (c == 0) continue;
+        const double q = static_cast<double>(c) / static_cast<double>(p.size());
+        h -= q * std::log(q);
+      }
+      total_entropy += h;
+    }
+    return total_entropy / 10.0;
+  };
+  double low = 0.0, high = 0.0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    low += skew(0.1, s);
+    high += skew(10.0, s);
+  }
+  EXPECT_LT(low, high);
+}
+
+TEST(Partition, IidSplitsEvenly) {
+  Rng rng(3);
+  auto parts = iid_partition(100, 4, rng);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 25u);
+  std::set<int64_t> seen;
+  for (const auto& p : parts) seen.insert(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Partition, DevelopmentSplitFraction) {
+  std::vector<std::vector<int64_t>> parts = {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {11, 12}};
+  auto dev = development_split(parts, 0.1);
+  ASSERT_EQ(dev.size(), 2u);
+  EXPECT_EQ(dev[0].size(), 1u);  // 10% of 10
+  EXPECT_EQ(dev[1].size(), 1u);  // at least one
+  EXPECT_EQ(dev[0][0], 1);
+}
+
+TEST(Partition, DevelopmentSplitSubsetOfClient) {
+  std::vector<std::vector<int64_t>> parts = {{5, 6, 7, 8, 9}};
+  auto dev = development_split(parts, 0.5);
+  for (int64_t i : dev[0]) {
+    EXPECT_TRUE(std::find(parts[0].begin(), parts[0].end(), i) != parts[0].end());
+  }
+}
+
+TEST(Partition, Deterministic) {
+  auto labels = make_labels(100, 5);
+  Rng a(9), b(9);
+  auto pa = dirichlet_partition(labels, 4, 0.5, a);
+  auto pb = dirichlet_partition(labels, 4, 0.5, b);
+  EXPECT_EQ(pa, pb);
+}
+
+}  // namespace
+}  // namespace fedtiny::data

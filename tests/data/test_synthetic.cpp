@@ -1,0 +1,102 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedtiny::data {
+namespace {
+
+class StandardSpecTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StandardSpecTest, GeneratesRequestedShapes) {
+  auto spec = spec_by_name(GetParam(), 8, 100, 40);
+  auto data = make_synthetic(spec, 3);
+  EXPECT_EQ(data.train.size(), 100);
+  EXPECT_EQ(data.test.size(), 40);
+  EXPECT_EQ(data.train.channels(), 3);
+  EXPECT_EQ(data.train.height(), 8);
+  EXPECT_EQ(data.train.num_classes, spec.num_classes);
+}
+
+TEST_P(StandardSpecTest, LabelsAreBalanced) {
+  auto spec = spec_by_name(GetParam(), 8, 200, 40);
+  auto data = make_synthetic(spec, 3);
+  std::vector<int> counts(static_cast<size_t>(spec.num_classes), 0);
+  for (int y : data.train.labels) {
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, spec.num_classes);
+    ++counts[static_cast<size_t>(y)];
+  }
+  const int expected = 200 / spec.num_classes;
+  for (int c : counts) EXPECT_NEAR(c, expected, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, StandardSpecTest,
+                         ::testing::Values("cifar10s", "cifar100s", "cinic10s", "svhns"));
+
+TEST(Synthetic, Deterministic) {
+  auto spec = cifar10s_spec(8, 50, 20);
+  auto a = make_synthetic(spec, 7);
+  auto b = make_synthetic(spec, 7);
+  for (int64_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images[i], b.train.images[i]);
+  }
+}
+
+TEST(Synthetic, SeedChangesData) {
+  auto spec = cifar10s_spec(8, 50, 20);
+  auto a = make_synthetic(spec, 7);
+  auto b = make_synthetic(spec, 8);
+  int64_t different = 0;
+  for (int64_t i = 0; i < a.train.images.numel(); ++i) {
+    if (a.train.images[i] != b.train.images[i]) ++different;
+  }
+  EXPECT_GT(different, a.train.images.numel() / 2);
+}
+
+TEST(Synthetic, TrainAndTestShareClassStructure) {
+  // Same-class train/test means should correlate more than cross-class.
+  auto spec = cifar10s_spec(8, 200, 200);
+  spec.noise = 0.1f;  // near-clean prototypes
+  spec.max_shift = 0;
+  auto data = make_synthetic(spec, 5);
+
+  auto class_mean = [&](const Dataset& ds, int cls) {
+    std::vector<double> mean(static_cast<size_t>(ds.images.numel() / ds.size()), 0.0);
+    int count = 0;
+    for (int64_t i = 0; i < ds.size(); ++i) {
+      if (ds.labels[static_cast<size_t>(i)] != cls) continue;
+      const float* img = ds.images.data() + i * static_cast<int64_t>(mean.size());
+      for (size_t j = 0; j < mean.size(); ++j) mean[j] += img[j];
+      ++count;
+    }
+    for (auto& v : mean) v /= std::max(1, count);
+    return mean;
+  };
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+  const auto train0 = class_mean(data.train, 0);
+  const auto test0 = class_mean(data.test, 0);
+  const auto test1 = class_mean(data.test, 1);
+  EXPECT_GT(dot(train0, test0), dot(train0, test1));
+}
+
+TEST(Synthetic, DifficultyKnobsOrdered) {
+  // SVHN-like must have higher signal-to-noise than CIFAR-100-like.
+  auto svhn = svhns_spec(8, 10, 10);
+  auto c100 = cifar100s_spec(8, 20, 20);
+  EXPECT_GT(svhn.signal / svhn.noise, c100.signal / c100.noise);
+}
+
+TEST(Synthetic, RejectsDegenerateSpecs) {
+  auto spec = cifar10s_spec(8, 5, 5);  // train_size < num_classes
+  EXPECT_THROW(make_synthetic(spec, 1), std::invalid_argument);
+  EXPECT_THROW(spec_by_name("imagenet", 8, 100, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtiny::data

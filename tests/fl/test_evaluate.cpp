@@ -1,0 +1,68 @@
+#include "fl/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/models.h"
+
+namespace fedtiny::fl {
+namespace {
+
+struct Fixture {
+  data::TrainTest data;
+  std::unique_ptr<nn::Model> model;
+
+  Fixture() {
+    data = data::make_synthetic(data::cifar10s_spec(8, 60, 40), 1);
+    nn::ModelConfig mc;
+    mc.num_classes = 10;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625f;
+    model = nn::make_resnet18(mc);
+  }
+};
+
+TEST(Evaluate, AccuracyInUnitInterval) {
+  Fixture f;
+  const double acc = evaluate_accuracy(*f.model, f.data.test, 16);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Evaluate, AccuracyIndependentOfBatchSize) {
+  Fixture f;
+  const double a = evaluate_accuracy(*f.model, f.data.test, 7);
+  const double b = evaluate_accuracy(*f.model, f.data.test, 40);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Evaluate, EmptyDatasetGivesZero) {
+  Fixture f;
+  data::Dataset empty;
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(*f.model, empty, 16), 0.0);
+}
+
+TEST(Evaluate, LossOverSubsetPositive) {
+  Fixture f;
+  std::vector<int64_t> indices = {0, 1, 2, 3, 4};
+  const double loss = evaluate_loss(*f.model, f.data.train, indices, 2);
+  EXPECT_GT(loss, 0.0);
+  // Untrained 10-class model: loss near log(10).
+  EXPECT_LT(loss, 10.0);
+}
+
+TEST(Evaluate, LossIndependentOfBatchSize) {
+  Fixture f;
+  std::vector<int64_t> indices = {0, 1, 2, 3, 4, 5, 6};
+  const double a = evaluate_loss(*f.model, f.data.train, indices, 3);
+  const double b = evaluate_loss(*f.model, f.data.train, indices, 7);
+  EXPECT_NEAR(a, b, 1e-5);
+}
+
+TEST(Evaluate, EmptyIndicesGiveZeroLoss) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(evaluate_loss(*f.model, f.data.train, {}, 16), 0.0);
+}
+
+}  // namespace
+}  // namespace fedtiny::fl

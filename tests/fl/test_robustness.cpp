@@ -1,0 +1,92 @@
+// Failure injection and edge cases for the federated round loop.
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/trainer.h"
+#include "nn/models.h"
+#include "prune/magnitude.h"
+
+namespace fedtiny::fl {
+namespace {
+
+struct Fixture {
+  data::TrainTest data;
+  std::unique_ptr<nn::Model> model;
+  FLConfig config;
+
+  Fixture() {
+    data = data::make_synthetic(data::cifar10s_spec(8, 120, 30), 11);
+    nn::ModelConfig mc;
+    mc.num_classes = 10;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625f;
+    model = nn::make_resnet18(mc);
+    config.num_clients = 4;
+    config.rounds = 2;
+    config.local_epochs = 1;
+    config.batch_size = 16;
+  }
+};
+
+TEST(Robustness, EmptyClientIsSkippedGracefully) {
+  Fixture f;
+  // Client 2 holds no data (straggler that never registered samples).
+  std::vector<std::vector<int64_t>> partitions = {{0, 1, 2, 3, 4}, {5, 6, 7, 8}, {},
+                                                  {9, 10, 11, 12}};
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  const double acc = trainer.run();
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Robustness, SingleSampleClients) {
+  Fixture f;
+  std::vector<std::vector<int64_t>> partitions = {{0}, {1}, {2}, {3}};
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  EXPECT_NO_THROW(trainer.run());
+}
+
+TEST(Robustness, ExtremelySkewedPartition) {
+  Fixture f;
+  std::vector<std::vector<int64_t>> partitions(4);
+  for (int64_t i = 0; i < 100; ++i) partitions[0].push_back(i);  // one giant client
+  partitions[1] = {100};
+  partitions[2] = {101};
+  partitions[3] = {102};
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  EXPECT_NO_THROW(trainer.run());
+}
+
+TEST(Robustness, ExtremeSparsitySurvivesTraining) {
+  Fixture f;
+  Rng rng(1);
+  auto partitions = data::dirichlet_partition(f.data.train.labels, 4, 0.5, rng);
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  // One weight per layer — the mask floor.
+  trainer.set_mask(prune::magnitude_prune_layerwise(
+      *f.model, std::vector<double>(f.model->prunable_indices().size(), 0.0)));
+  EXPECT_NO_THROW(trainer.run());
+  EXPECT_EQ(trainer.mask().nnz(), static_cast<int64_t>(trainer.mask().num_layers()));
+}
+
+TEST(Robustness, BatchLargerThanClientData) {
+  Fixture f;
+  f.config.batch_size = 1024;  // far exceeds any client's local data
+  std::vector<std::vector<int64_t>> partitions = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  EXPECT_NO_THROW(trainer.run());
+}
+
+TEST(Robustness, LossStaysFiniteUnderHighLr) {
+  Fixture f;
+  f.config.lr = 1.0f;  // aggressive
+  Rng rng(2);
+  auto partitions = data::dirichlet_partition(f.data.train.labels, 4, 0.5, rng);
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  const double acc = trainer.run();
+  EXPECT_TRUE(std::isfinite(acc));
+}
+
+}  // namespace
+}  // namespace fedtiny::fl

@@ -1,0 +1,75 @@
+#include "fl/server.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtiny::fl {
+namespace {
+
+TEST(StateAccumulator, WeightedAverage) {
+  StateAccumulator acc;
+  acc.add({Tensor::from_vector({1.0f, 2.0f})}, 1.0);
+  acc.add({Tensor::from_vector({3.0f, 4.0f})}, 3.0);
+  auto avg = acc.average();
+  ASSERT_EQ(avg.size(), 1u);
+  EXPECT_NEAR(avg[0][0], (1.0f + 9.0f) / 4.0f, 1e-6f);
+  EXPECT_NEAR(avg[0][1], (2.0f + 12.0f) / 4.0f, 1e-6f);
+}
+
+TEST(StateAccumulator, NormalizedWeightsEquivalent) {
+  StateAccumulator a, b;
+  a.add({Tensor::from_vector({2.0f})}, 10.0);
+  a.add({Tensor::from_vector({4.0f})}, 30.0);
+  b.add({Tensor::from_vector({2.0f})}, 0.25);
+  b.add({Tensor::from_vector({4.0f})}, 0.75);
+  EXPECT_NEAR(a.average()[0][0], b.average()[0][0], 1e-6f);
+}
+
+TEST(StateAccumulator, MultiTensorStates) {
+  StateAccumulator acc;
+  acc.add({Tensor::from_vector({1.0f}), Tensor::from_vector({10.0f, 20.0f})}, 1.0);
+  acc.add({Tensor::from_vector({3.0f}), Tensor::from_vector({30.0f, 40.0f})}, 1.0);
+  auto avg = acc.average();
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_NEAR(avg[0][0], 2.0f, 1e-6f);
+  EXPECT_NEAR(avg[1][1], 30.0f, 1e-6f);
+}
+
+TEST(StateAccumulator, EmptyAndReset) {
+  StateAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  acc.add({Tensor::from_vector({1.0f})}, 1.0);
+  EXPECT_FALSE(acc.empty());
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+}
+
+TEST(SparseGradAccumulator, AveragesByTotalWeight) {
+  // Eq. 7: indices missing from a device contribute zero.
+  SparseGradAccumulator acc;
+  acc.add({{5, 2.0f}}, 0.5);
+  acc.add({{5, 4.0f}, {7, 8.0f}}, 0.5);
+  auto avg = acc.average();
+  ASSERT_EQ(avg.size(), 2u);
+  float v5 = 0.0f, v7 = 0.0f;
+  for (const auto& e : avg) {
+    if (e.index == 5) v5 = e.value;
+    if (e.index == 7) v7 = e.value;
+  }
+  EXPECT_NEAR(v5, (0.5f * 2.0f + 0.5f * 4.0f) / 1.0f, 1e-6f);
+  EXPECT_NEAR(v7, 0.5f * 8.0f / 1.0f, 1e-6f);  // device 1 contributed zero
+}
+
+TEST(SparseGradAccumulator, EmptyAverage) {
+  SparseGradAccumulator acc;
+  EXPECT_TRUE(acc.average().empty());
+}
+
+TEST(SparseGradAccumulator, Reset) {
+  SparseGradAccumulator acc;
+  acc.add({{1, 1.0f}}, 1.0);
+  acc.reset();
+  EXPECT_TRUE(acc.average().empty());
+}
+
+}  // namespace
+}  // namespace fedtiny::fl

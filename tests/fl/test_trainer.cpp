@@ -1,0 +1,168 @@
+// Integration tests for the federated round loop: dense FedAvg learns,
+// masked training keeps pruned coordinates at zero, gradients flow through
+// the bounded top-K path, and cost accounting behaves.
+#include "fl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/evaluate.h"
+#include "nn/models.h"
+#include "prune/magnitude.h"
+
+namespace fedtiny::fl {
+namespace {
+
+struct Fixture {
+  data::TrainTest data;
+  std::vector<std::vector<int64_t>> partitions;
+  std::unique_ptr<nn::Model> model;
+  FLConfig config;
+
+  explicit Fixture(int rounds = 3, int64_t train_size = 160) {
+    auto spec = data::cifar10s_spec(8, train_size, 80);
+    data = data::make_synthetic(spec, 1);
+    Rng rng(2);
+    partitions = data::dirichlet_partition(data.train.labels, 4, 0.5, rng);
+    nn::ModelConfig mc;
+    mc.num_classes = spec.num_classes;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625f;
+    model = nn::make_resnet18(mc);
+    config.num_clients = 4;
+    config.rounds = rounds;
+    config.local_epochs = 1;
+    config.batch_size = 16;
+    config.lr = 0.08f;
+  }
+};
+
+TEST(Trainer, DenseFedAvgImprovesOverChance) {
+  Fixture f(/*rounds=*/8, /*train_size=*/300);
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  const double acc = trainer.run();
+  EXPECT_GT(acc, 0.18);  // 10 classes => chance is 0.1
+}
+
+TEST(Trainer, MaskedTrainingKeepsPrunedWeightsZero) {
+  Fixture f;
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  auto mask = prune::magnitude_prune_global(*f.model, 0.2);
+  trainer.set_mask(mask);
+  trainer.run();
+
+  f.model->set_state(trainer.global_state());
+  for (size_t l = 0; l < mask.num_layers(); ++l) {
+    const int idx = f.model->prunable_indices()[l];
+    const auto w = f.model->params()[static_cast<size_t>(idx)]->value.flat();
+    for (size_t j = 0; j < w.size(); ++j) {
+      if (mask.layer(l)[j] == 0) ASSERT_EQ(w[j], 0.0f) << "layer " << l << " idx " << j;
+    }
+  }
+}
+
+TEST(Trainer, HistoryRecordsEveryRound) {
+  Fixture f(/*rounds=*/4);
+  f.config.eval_every = 2;
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  trainer.run();
+  ASSERT_EQ(trainer.history().size(), 4u);
+  // eval on rounds 0, 2, and the last.
+  EXPECT_GE(trainer.history()[0].test_accuracy, 0.0);
+  EXPECT_LT(trainer.history()[1].test_accuracy, 0.0);
+  EXPECT_GE(trainer.history()[3].test_accuracy, 0.0);
+}
+
+TEST(Trainer, SparseMaskLowersRoundFlops) {
+  Fixture f(/*rounds=*/1);
+  FederatedTrainer dense_trainer(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  dense_trainer.run();
+  const double dense_flops = dense_trainer.max_round_flops();
+
+  Fixture g(/*rounds=*/1);
+  FederatedTrainer sparse_trainer(*g.model, g.data.train, g.data.test, g.partitions, g.config);
+  sparse_trainer.set_mask(prune::magnitude_prune_global(*g.model, 0.05));
+  sparse_trainer.run();
+  EXPECT_LT(sparse_trainer.max_round_flops(), dense_flops);
+}
+
+TEST(Trainer, DenseStorageRaisesCommBytes) {
+  Fixture f(/*rounds=*/1);
+  FederatedTrainer a(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  a.set_mask(prune::magnitude_prune_global(*f.model, 0.05));
+  a.run();
+
+  Fixture g(/*rounds=*/1);
+  FederatedTrainer b(*g.model, g.data.train, g.data.test, g.partitions, g.config);
+  b.set_mask(prune::magnitude_prune_global(*g.model, 0.05));
+  b.set_dense_storage(true);
+  b.run();
+  EXPECT_GT(b.total_comm_bytes(), a.total_comm_bytes());
+}
+
+TEST(Trainer, RunIsDeterministic) {
+  Fixture f(/*rounds=*/2);
+  FederatedTrainer a(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  const double acc_a = a.run();
+
+  Fixture g(/*rounds=*/2);
+  FederatedTrainer b(*g.model, g.data.train, g.data.test, g.partitions, g.config);
+  const double acc_b = b.run();
+  EXPECT_DOUBLE_EQ(acc_a, acc_b);
+}
+
+// A trainer subclass that requests top-K pruned gradients every round so the
+// device->server gradient path can be validated.
+class GradProbeTrainer : public FederatedTrainer {
+ public:
+  using FederatedTrainer::FederatedTrainer;
+  std::vector<int64_t> quota_request;
+
+ protected:
+  std::vector<int64_t> pruned_grad_quota(int round) override {
+    (void)round;
+    return quota_request;
+  }
+
+ public:
+  const std::vector<std::vector<prune::ScoredIndex>>& grads() const {
+    return aggregated_grads_;
+  }
+};
+
+TEST(Trainer, TopKGradQuotaRespected) {
+  Fixture f(/*rounds=*/1);
+  GradProbeTrainer trainer(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  trainer.set_mask(prune::magnitude_prune_global(*f.model, 0.1));
+  trainer.quota_request.assign(f.model->prunable_indices().size(), 0);
+  trainer.quota_request[0] = 5;
+  trainer.quota_request[2] = 3;
+  trainer.run();
+
+  const auto& grads = trainer.grads();
+  ASSERT_EQ(grads.size(), f.model->prunable_indices().size());
+  // Aggregated entries come from up to 4 devices x quota, deduplicated.
+  EXPECT_GT(grads[0].size(), 0u);
+  EXPECT_LE(grads[0].size(), 4u * 5u);
+  EXPECT_LE(grads[2].size(), 4u * 3u);
+  EXPECT_TRUE(grads[1].empty());
+}
+
+TEST(Trainer, TopKGradsOnlyAtPrunedCoordinates) {
+  Fixture f(/*rounds=*/1);
+  GradProbeTrainer trainer(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  auto mask = prune::magnitude_prune_global(*f.model, 0.1);
+  trainer.set_mask(mask);
+  trainer.quota_request.assign(f.model->prunable_indices().size(), 4);
+  trainer.run();
+  for (size_t l = 0; l < trainer.grads().size(); ++l) {
+    for (const auto& e : trainer.grads()[l]) {
+      ASSERT_EQ(trainer.mask().layer(l)[static_cast<size_t>(e.index)], 0)
+          << "gradient uploaded for an unpruned coordinate";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::fl

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scale.h"
+
+namespace fedtiny::harness {
+namespace {
+
+ScaleConfig micro_scale() {
+  ScaleConfig s = ScaleConfig::tiny();
+  s.train_size = 120;
+  s.test_size = 40;
+  s.public_size = 60;
+  s.rounds = 2;
+  s.pretrain_epochs = 1;
+  s.width_mult = 0.0625f;
+  s.delta_r = 1;
+  s.r_stop = 1;
+  s.pool_size = 3;
+  return s;
+}
+
+TEST(Scale, Presets) {
+  EXPECT_EQ(ScaleConfig::tiny().name, "tiny");
+  EXPECT_EQ(ScaleConfig::small().name, "small");
+  EXPECT_EQ(ScaleConfig::paper().name, "paper");
+  EXPECT_GT(ScaleConfig::paper().rounds, ScaleConfig::tiny().rounds);
+  EXPECT_GT(ScaleConfig::paper().train_size, ScaleConfig::small().train_size);
+}
+
+TEST(Scale, PaperMatchesPublishedSetting) {
+  const auto p = ScaleConfig::paper();
+  EXPECT_EQ(p.rounds, 300);
+  EXPECT_EQ(p.local_epochs, 5);
+  EXPECT_EQ(p.batch_size, 64);
+  EXPECT_EQ(p.delta_r, 10);
+  EXPECT_EQ(p.r_stop, 100);
+  EXPECT_EQ(p.pool_size, 50);
+  EXPECT_EQ(p.image_size, 32);
+}
+
+TEST(PoolSize, FollowsCStarRule) {
+  const auto scale = ScaleConfig::tiny();
+  // C* = 0.1/d clamped to [4, 4*pool_size].
+  EXPECT_EQ(default_pool_size(0.1, scale), 4);       // 1 -> clamp up
+  EXPECT_EQ(default_pool_size(0.01, scale), 10);     // 10
+  EXPECT_EQ(default_pool_size(0.001, scale), 48);    // 100 -> clamp down
+}
+
+class MethodSmokeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MethodSmokeTest, RunsEndToEnd) {
+  Experiment ex(micro_scale());
+  RunSpec spec;
+  spec.method = GetParam();
+  spec.density = 0.1;
+  auto result = ex.run(spec);
+  EXPECT_GE(result.accuracy, 0.0);
+  EXPECT_LE(result.accuracy, 1.0);
+  EXPECT_GT(result.max_round_flops, 0.0);
+  EXPECT_GT(result.memory_bytes, 0.0);
+  EXPECT_GT(result.dense_round_flops, 0.0);
+  if (std::string(GetParam()) != "fedavg" && std::string(GetParam()) != "small_model" &&
+      std::string(GetParam()) != "lotteryfl") {
+    EXPECT_NEAR(result.final_density, 0.1, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodSmokeTest,
+                         ::testing::Values("fedavg", "snip", "synflow", "flpqsu", "prunefl",
+                                           "feddst", "lotteryfl", "fedtiny", "fedtiny_vanilla",
+                                           "adaptive_bn", "vanilla", "small_model"));
+
+TEST(Experiment, UnknownMethodThrows) {
+  Experiment ex(micro_scale());
+  RunSpec spec;
+  spec.method = "nonexistent";
+  EXPECT_THROW(ex.run(spec), std::invalid_argument);
+}
+
+TEST(Experiment, UnknownModelThrows) {
+  Experiment ex(micro_scale());
+  RunSpec spec;
+  spec.model = "alexnet";
+  EXPECT_THROW(ex.run(spec), std::invalid_argument);
+}
+
+TEST(Experiment, FedTinyReportsSelectionCosts) {
+  Experiment ex(micro_scale());
+  RunSpec spec;
+  spec.method = "fedtiny";
+  spec.density = 0.1;
+  auto result = ex.run(spec);
+  EXPECT_GT(result.selection_comm_bytes, 0.0);
+  EXPECT_GT(result.selection_flops, 0.0);
+  EXPECT_GE(result.selected_candidate, 0);
+}
+
+TEST(Experiment, DeterministicAcrossCalls) {
+  Experiment ex(micro_scale());
+  RunSpec spec;
+  spec.method = "synflow";
+  spec.density = 0.2;
+  auto a = ex.run(spec);
+  auto b = ex.run(spec);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Runner, PreservesOrderAndMatchesSerial) {
+  Experiment ex(micro_scale());
+  std::vector<RunSpec> specs(3);
+  specs[0].method = "flpqsu";
+  specs[0].density = 0.2;
+  specs[1].method = "synflow";
+  specs[1].density = 0.1;
+  specs[2].method = "fedavg";
+  specs[2].density = 1.0;
+  auto parallel = run_all(ex, specs, 3);
+  ASSERT_EQ(parallel.size(), 3u);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto serial = ex.run(specs[i]);
+    EXPECT_DOUBLE_EQ(parallel[i].accuracy, serial.accuracy) << specs[i].method;
+  }
+}
+
+TEST(Report, FormatsAndWritesCsv) {
+  Report report("unit test");
+  report.set_header({"a", "b"});
+  report.add_row({"1", "2"});
+  report.add_row({"3", "4"});
+  const std::string path = "/tmp/fedtiny_test_report.csv";
+  ASSERT_TRUE(report.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(Report::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Report::fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace fedtiny::harness

@@ -1,0 +1,104 @@
+#include "io/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/models.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::io {
+namespace {
+
+std::string temp_path(const char* name) { return std::string("/tmp/fedtiny_ckpt_") + name; }
+
+TEST(Checkpoint, StateRoundTrip) {
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  c.width_mult = 0.0625f;
+  auto model = nn::make_resnet18(c);
+  const auto state = model->state();
+
+  const auto path = temp_path("state.bin");
+  ASSERT_TRUE(save_state(path, state));
+  const auto loaded = load_state(path);
+  ASSERT_EQ(loaded.size(), state.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    ASSERT_EQ(loaded[i].shape(), state[i].shape());
+    for (int64_t j = 0; j < state[i].numel(); ++j) ASSERT_EQ(loaded[i][j], state[i][j]);
+  }
+  // Loading into a fresh model works.
+  auto fresh = nn::make_resnet18(c);
+  fresh->set_state(loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MaskRoundTrip) {
+  prune::MaskSet mask;
+  Rng rng(5);
+  for (int l = 0; l < 4; ++l) {
+    std::vector<uint8_t> layer(static_cast<size_t>(50 + l * 13));
+    for (auto& v : layer) v = rng.uniform() < 0.1 ? 1 : 0;
+    mask.append_layer(std::move(layer));
+  }
+  const auto path = temp_path("mask.bin");
+  ASSERT_TRUE(save_mask(path, mask));
+  const auto loaded = load_mask(path);
+  EXPECT_TRUE(loaded == mask);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileFailsGracefully) {
+  EXPECT_TRUE(load_state("/tmp/does_not_exist_fedtiny.bin").empty());
+  EXPECT_EQ(load_mask("/tmp/does_not_exist_fedtiny.bin").num_layers(), 0u);
+}
+
+TEST(Checkpoint, WrongMagicRejected) {
+  const auto path = temp_path("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACKPTabcdefgh";
+  }
+  EXPECT_TRUE(load_state(path).empty());
+  EXPECT_EQ(load_mask(path).num_layers(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  auto model = nn::make_small_cnn(c, 4);
+  const auto path = temp_path("trunc.bin");
+  ASSERT_TRUE(save_state(path, model->state()));
+  // Truncate to half.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+  }
+  EXPECT_TRUE(load_state(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, StateAndMaskMagicsAreDistinct) {
+  prune::MaskSet mask;
+  mask.append_layer({1, 0, 1});
+  const auto path = temp_path("cross.bin");
+  ASSERT_TRUE(save_mask(path, mask));
+  EXPECT_TRUE(load_state(path).empty());  // mask file is not a state file
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EmptyStateRoundTrips) {
+  const auto path = temp_path("empty.bin");
+  ASSERT_TRUE(save_state(path, {}));
+  EXPECT_TRUE(load_state(path).empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedtiny::io

@@ -1,0 +1,107 @@
+#include "metrics/flops.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+
+namespace fedtiny::metrics {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_resnet() {
+  nn::ModelConfig c;
+  c.num_classes = 10;
+  c.image_size = 8;
+  c.width_mult = 0.125f;
+  return nn::make_resnet18(c);
+}
+
+TEST(Flops, LayerCountMatchesModel) {
+  auto model = tiny_resnet();
+  auto cost = analyze_model(*model);
+  // 20 convs + 1 linear.
+  EXPECT_EQ(cost.weight_layers.size(), 21u);
+}
+
+TEST(Flops, ConvFormulaByHand) {
+  // Small CNN first conv: 3 -> w channels, 3x3 kernel, 8x8 output.
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  auto model = nn::make_small_cnn(c, 4);
+  auto cost = analyze_model(*model);
+  // conv0: 2 * 8*8 * 4 * 3 * 3 * 3 = 13824.
+  EXPECT_EQ(cost.weight_layers[0].flops_per_sample, 2 * 64 * 4 * 27);
+}
+
+TEST(Flops, DenseForwardIsSumPlusOverhead) {
+  auto model = tiny_resnet();
+  auto cost = analyze_model(*model);
+  int64_t sum = cost.overhead_flops_per_sample;
+  for (const auto& l : cost.weight_layers) sum += l.flops_per_sample;
+  EXPECT_EQ(cost.dense_forward_flops(), sum);
+}
+
+TEST(Flops, SparseScalesLinearlyInDensity) {
+  auto model = tiny_resnet();
+  auto cost = analyze_model(*model);
+  const size_t n = model->prunable_indices().size();
+  const double full = cost.sparse_forward_flops(std::vector<double>(n, 1.0));
+  const double half = cost.sparse_forward_flops(std::vector<double>(n, 0.5));
+  const double none = cost.sparse_forward_flops(std::vector<double>(n, 0.0));
+  EXPECT_NEAR(half - none, (full - none) / 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(full, static_cast<double>(cost.dense_forward_flops()));
+  // Density 0 still pays overhead + non-prunable layers.
+  EXPECT_GT(none, 0.0);
+}
+
+TEST(Flops, TrainingIsThreeTimesForward) {
+  auto model = tiny_resnet();
+  auto cost = analyze_model(*model);
+  const size_t n = model->prunable_indices().size();
+  std::vector<double> d(n, 0.3);
+  EXPECT_DOUBLE_EQ(cost.sparse_training_flops(d), 3.0 * cost.sparse_forward_flops(d));
+  EXPECT_DOUBLE_EQ(cost.dense_training_flops(), 3.0 * cost.dense_forward_flops());
+}
+
+TEST(Flops, PrunablePositionsAreConsistent) {
+  auto model = tiny_resnet();
+  auto cost = analyze_model(*model);
+  int prunable_count = 0;
+  for (const auto& l : cost.weight_layers) {
+    if (l.prunable_pos >= 0) {
+      ++prunable_count;
+      EXPECT_LT(l.prunable_pos, static_cast<int>(model->prunable_indices().size()));
+    }
+  }
+  EXPECT_EQ(prunable_count, static_cast<int>(model->prunable_indices().size()));
+  // The input conv and the output linear are not prunable.
+  EXPECT_EQ(cost.weight_layers.front().prunable_pos, -1);
+  EXPECT_EQ(cost.weight_layers.back().prunable_pos, -1);
+}
+
+TEST(Flops, ParamAccounting) {
+  auto model = tiny_resnet();
+  auto cost = analyze_model(*model);
+  EXPECT_EQ(cost.total_params, model->num_params());
+  EXPECT_EQ(cost.non_prunable_params, model->num_params() - model->num_prunable());
+}
+
+TEST(Flops, StrideReducesConvCost) {
+  // Downsampling convs see smaller output maps, hence fewer FLOPs per
+  // in/out channel. Verify output-spatial dependence via VGG pooling.
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 16;
+  c.width_mult = 0.0625f;
+  auto model = nn::make_vgg11(c);
+  auto cost = analyze_model(*model);
+  // conv0 runs at 16x16; the last conv runs at 2x2 — per-output-pixel cost
+  // must reflect that.
+  const auto& first = cost.weight_layers.front();
+  const auto& last_conv = cost.weight_layers[cost.weight_layers.size() - 2];
+  EXPECT_GT(first.flops_per_sample / std::max<int64_t>(1, first.params),
+            last_conv.flops_per_sample / std::max<int64_t>(1, last_conv.params));
+}
+
+}  // namespace
+}  // namespace fedtiny::metrics

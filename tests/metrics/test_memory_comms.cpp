@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "metrics/comms.h"
+#include "metrics/memory.h"
+#include "nn/models.h"
+
+namespace fedtiny::metrics {
+namespace {
+
+ModelCost tiny_cost() {
+  nn::ModelConfig c;
+  c.num_classes = 10;
+  c.image_size = 8;
+  c.width_mult = 0.125f;
+  auto model = nn::make_resnet18(c);
+  return analyze_model(*model);
+}
+
+TEST(Memory, DenseStorageChargesFourBytesPerParam) {
+  auto cost = tiny_cost();
+  auto report = device_memory(cost, 0, true, ScoreStorage::kNone);
+  EXPECT_DOUBLE_EQ(report.weight_bytes, 4.0 * static_cast<double>(cost.total_params));
+  EXPECT_DOUBLE_EQ(report.score_bytes, 0.0);
+}
+
+TEST(Memory, SparseStorageChargesValuePlusIndex) {
+  auto cost = tiny_cost();
+  const int64_t nnz = 1000;
+  auto report = device_memory(cost, nnz, false, ScoreStorage::kNone);
+  EXPECT_DOUBLE_EQ(report.weight_bytes,
+                   8.0 * nnz + 4.0 * static_cast<double>(cost.non_prunable_params));
+}
+
+TEST(Memory, SparseBeatsDenseAtLowDensity) {
+  auto cost = tiny_cost();
+  const auto sparse = device_memory(cost, cost.total_params / 100, false, ScoreStorage::kNone);
+  const auto dense = device_memory(cost, 0, true, ScoreStorage::kNone);
+  EXPECT_LT(sparse.total_bytes(), dense.total_bytes());
+}
+
+TEST(Memory, FullDenseScoresDominateTopK) {
+  auto cost = tiny_cost();
+  const auto prunefl = device_memory(cost, 1000, false, ScoreStorage::kFullDense);
+  const auto fedtiny = device_memory(cost, 1000, false, ScoreStorage::kTopK, 500);
+  // The paper's central memory claim: PruneFL-style dense scores dwarf the
+  // bounded buffers.
+  EXPECT_GT(prunefl.score_bytes, 50.0 * fedtiny.score_bytes);
+  EXPECT_DOUBLE_EQ(fedtiny.score_bytes, 8.0 * 500);
+}
+
+TEST(Memory, TotalsAndMb) {
+  MemoryReport r;
+  r.weight_bytes = 1024.0 * 1024.0;
+  r.score_bytes = 1024.0 * 1024.0;
+  EXPECT_DOUBLE_EQ(r.total_bytes(), 2.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(r.total_mb(), 2.0);
+}
+
+TEST(Comms, SparseModelBytes) {
+  auto cost = tiny_cost();
+  EXPECT_DOUBLE_EQ(sparse_model_bytes(cost, 100),
+                   800.0 + 4.0 * static_cast<double>(cost.non_prunable_params));
+}
+
+TEST(Comms, DenseModelBytes) {
+  auto cost = tiny_cost();
+  EXPECT_DOUBLE_EQ(dense_model_bytes(cost), 4.0 * static_cast<double>(cost.total_params));
+}
+
+TEST(Comms, BnStatsAndTopK) {
+  EXPECT_DOUBLE_EQ(bn_stats_bytes(64), 512.0);
+  EXPECT_DOUBLE_EQ(topk_gradient_bytes(100), 800.0);
+}
+
+TEST(Comms, SelectionCostGrowsLinearlyInPoolSize) {
+  auto cost = tiny_cost();
+  const double c10 = bn_selection_comm_bytes(cost, 1000, 10, 64);
+  const double c20 = bn_selection_comm_bytes(cost, 1000, 20, 64);
+  EXPECT_NEAR(c20 / c10, 2.0, 1e-9);
+}
+
+TEST(Comms, SelectionCheaperThanDenseModelAtLowDensity) {
+  auto cost = tiny_cost();
+  // Paper §IV-D: with C* = 0.1/d the selection communication is ~20% of a
+  // full-size model; check the order of magnitude at d = 0.01, C = 10.
+  const int64_t nnz = cost.total_params / 100;
+  const double selection = bn_selection_comm_bytes(cost, nnz, 10, 64);
+  EXPECT_LT(selection, dense_model_bytes(cost));
+}
+
+}  // namespace
+}  // namespace fedtiny::metrics

@@ -1,0 +1,141 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+Tensor random4(int64_t n, int64_t c, int64_t h, int64_t w, uint64_t seed, float mean = 0.0f,
+               float stddev = 1.0f) {
+  Tensor x({n, c, h, w});
+  Rng rng(seed);
+  for (auto& v : x.flat()) v = rng.normal(mean, stddev);
+  return x;
+}
+
+TEST(BatchNorm, TrainOutputIsNormalized) {
+  BatchNorm2d bn(2);
+  Tensor x = random4(8, 2, 4, 4, 1, 3.0f, 2.0f);
+  Tensor y = bn.forward(x, Mode::kTrain);
+  // Per-channel output mean ~0, var ~1 (gamma=1, beta=0 at init).
+  for (int64_t c = 0; c < 2; ++c) {
+    double s = 0.0, ss = 0.0;
+    int64_t count = 0;
+    for (int64_t n = 0; n < 8; ++n) {
+      for (int64_t i = 0; i < 16; ++i) {
+        const float v = y.data()[(n * 2 + c) * 16 + i];
+        s += v;
+        ss += static_cast<double>(v) * v;
+        ++count;
+      }
+    }
+    EXPECT_NEAR(s / count, 0.0, 1e-4);
+    EXPECT_NEAR(ss / count, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataMoments) {
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  for (int step = 0; step < 40; ++step) {
+    Tensor x = random4(16, 1, 2, 2, 100 + static_cast<uint64_t>(step), 2.0f, 3.0f);
+    (void)bn.forward(x, Mode::kTrain);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 2.0f, 0.5f);
+  EXPECT_NEAR(bn.running_var()[0], 9.0f, 2.0f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = 4.0f;
+  bn.running_var()[0] = 4.0f;
+  Tensor x = Tensor::full({1, 1, 1, 1}, 6.0f);
+  Tensor y = bn.forward(x, Mode::kEval);
+  EXPECT_NEAR(y[0], (6.0f - 4.0f) / 2.0f, 1e-3);
+}
+
+TEST(BatchNorm, EvalDoesNotTouchRunningStats) {
+  BatchNorm2d bn(2);
+  auto mean_before = bn.running_mean();
+  auto var_before = bn.running_var();
+  (void)bn.forward(random4(4, 2, 2, 2, 5), Mode::kEval);
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(bn.running_mean()[c], mean_before[c]);
+    EXPECT_EQ(bn.running_var()[c], var_before[c]);
+  }
+}
+
+TEST(BatchNorm, StatRefreshComputesExactMoments) {
+  BatchNorm2d bn(1);
+  // Two "batches" of known data: overall mean/var must be exact dataset
+  // moments, independent of batch split (unlike EMA).
+  Tensor batch1({2, 1, 1, 2});
+  batch1[0] = 1.0f;
+  batch1[1] = 2.0f;
+  batch1[2] = 3.0f;
+  batch1[3] = 4.0f;
+  Tensor batch2({1, 1, 1, 2});
+  batch2[0] = 5.0f;
+  batch2[1] = 6.0f;
+
+  bn.begin_stat_refresh();
+  (void)bn.forward(batch1, Mode::kStatRefresh);
+  (void)bn.forward(batch2, Mode::kStatRefresh);
+  EXPECT_TRUE(bn.finalize_stat_refresh());
+
+  // Data {1..6}: mean 3.5, population variance 35/12.
+  EXPECT_NEAR(bn.running_mean()[0], 3.5f, 1e-5);
+  EXPECT_NEAR(bn.running_var()[0], 35.0f / 12.0f, 1e-4);
+}
+
+TEST(BatchNorm, StatRefreshDoesNotUpdateRunningDuringPasses) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = -7.0f;
+  bn.begin_stat_refresh();
+  (void)bn.forward(random4(4, 1, 2, 2, 9), Mode::kStatRefresh);
+  EXPECT_EQ(bn.running_mean()[0], -7.0f);  // unchanged until finalize
+}
+
+TEST(BatchNorm, FinalizeWithoutDataReturnsFalse) {
+  BatchNorm2d bn(3);
+  bn.begin_stat_refresh();
+  EXPECT_FALSE(bn.finalize_stat_refresh());
+}
+
+TEST(BatchNorm, IdentityModePassesThrough) {
+  BatchNorm2d bn(2);
+  bn.set_identity_mode(true);
+  Tensor x = random4(2, 2, 3, 3, 11);
+  Tensor y = bn.forward(x, Mode::kTrain);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+  Tensor g = random4(2, 2, 3, 3, 12);
+  Tensor gx = bn.backward(g);
+  for (int64_t i = 0; i < g.numel(); ++i) EXPECT_EQ(gx[i], g[i]);
+}
+
+TEST(BatchNorm, GammaBetaAffectOutput) {
+  BatchNorm2d bn(1);
+  bn.gamma().value[0] = 2.0f;
+  bn.beta().value[0] = 1.0f;
+  Tensor x = random4(8, 1, 2, 2, 13);
+  Tensor y = bn.forward(x, Mode::kTrain);
+  double s = 0.0;
+  for (float v : y.flat()) s += v;
+  EXPECT_NEAR(s / y.numel(), 1.0, 1e-3);  // beta shifts the mean
+}
+
+TEST(BatchNorm, CollectParams) {
+  BatchNorm2d bn(4);
+  std::vector<Param*> params;
+  bn.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->value.numel(), 4);
+  EXPECT_FALSE(params[0]->prunable);
+  EXPECT_FALSE(params[1]->prunable);
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

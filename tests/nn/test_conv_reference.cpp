@@ -1,0 +1,76 @@
+// Conv2d against a direct (non-im2col) reference implementation, swept over
+// kernel sizes, strides, and paddings.
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+// Direct convolution: y[n,o,oh,ow] = sum_{c,kh,kw} w[o,c,kh,kw] * x[n,c,ih,iw].
+Tensor naive_conv(const Tensor& x, const Tensor& weight, int64_t out_c, int64_t kernel,
+                  int64_t stride, int64_t pad) {
+  const int64_t n = x.dim(0), in_c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t out_h = ops::conv_out_size(h, kernel, stride, pad);
+  const int64_t out_w = ops::conv_out_size(w, kernel, stride, pad);
+  Tensor y({n, out_c, out_h, out_w});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t o = 0; o < out_c; ++o) {
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = 0.0;
+          for (int64_t c = 0; c < in_c; ++c) {
+            for (int64_t kh = 0; kh < kernel; ++kh) {
+              for (int64_t kw = 0; kw < kernel; ++kw) {
+                const int64_t ih = oh * stride - pad + kh;
+                const int64_t iw = ow * stride - pad + kw;
+                if (ih < 0 || ih >= h || iw < 0 || iw >= w) continue;
+                const float wv = weight.data()[((o * in_c + c) * kernel + kh) * kernel + kw];
+                acc += static_cast<double>(wv) * x.at4(i, c, ih, iw);
+              }
+            }
+          }
+          y.at4(i, o, oh, ow) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+struct ConvCase {
+  int64_t in_c, out_c, kernel, stride, pad, size;
+};
+
+class ConvReference : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvReference, MatchesNaiveConvolution) {
+  const auto p = GetParam();
+  Rng rng(11);
+  Conv2d conv(p.in_c, p.out_c, p.kernel, p.stride, p.pad, false, rng);
+  Tensor x({2, p.in_c, p.size, p.size});
+  Rng xr(12);
+  for (auto& v : x.flat()) v = xr.normal();
+
+  Tensor got = conv.forward(x, Mode::kEval);
+  Tensor want = naive_conv(x, conv.weight().value, p.out_c, p.kernel, p.stride, p.pad);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4f) << "flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvReference,
+                         ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5},   // pointwise
+                                           ConvCase{3, 4, 3, 1, 1, 8},   // standard 3x3
+                                           ConvCase{2, 3, 3, 2, 1, 8},   // strided
+                                           ConvCase{4, 2, 1, 2, 0, 6},   // 1x1 strided
+                                           ConvCase{2, 2, 5, 1, 2, 9},   // 5x5 wide pad
+                                           ConvCase{1, 8, 3, 1, 0, 4},   // no pad
+                                           ConvCase{3, 3, 3, 3, 1, 9},   // stride 3
+                                           ConvCase{5, 7, 3, 1, 1, 7})); // odd channels
+
+}  // namespace
+}  // namespace fedtiny::nn

@@ -1,0 +1,180 @@
+// Finite-difference gradient checks for every layer's backward pass.
+// Everything downstream (sparse FedAvg, SNIP scores, progressive pruning
+// growth) depends on these gradients being right.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+// Scalar objective: weighted sum of layer outputs (weights fixed per call).
+double objective(Layer& layer, const Tensor& x, const Tensor& out_weights) {
+  Tensor y = layer.forward(x, Mode::kTrain);
+  double s = 0.0;
+  auto ys = y.flat();
+  auto ws = out_weights.flat();
+  EXPECT_EQ(ys.size(), ws.size());
+  for (size_t i = 0; i < ys.size(); ++i) s += static_cast<double>(ys[i]) * ws[i];
+  return s;
+}
+
+// Check d(objective)/d(target) for both the input and every parameter.
+void check_layer(Layer& layer, Tensor x, double tol = 2e-2) {
+  Rng rng(99);
+  Tensor y = layer.forward(x, Mode::kTrain);
+  Tensor out_weights(y.shape());
+  for (auto& w : out_weights.flat()) w = rng.normal();
+
+  // Analytic gradients.
+  std::vector<Param*> params;
+  layer.collect_params(params);
+  for (auto* p : params) p->grad.zero();
+  (void)layer.forward(x, Mode::kTrain);
+  Tensor grad_x = layer.backward(out_weights);
+
+  const float eps = 2e-3f;
+  auto check_slot = [&](float* slot, float analytic, const char* what, int64_t index) {
+    const float saved = *slot;
+    *slot = saved + eps;
+    const double plus = objective(layer, x, out_weights);
+    *slot = saved - eps;
+    const double minus = objective(layer, x, out_weights);
+    *slot = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    const double scale = std::max({1.0, std::fabs(numeric), std::fabs((double)analytic)});
+    EXPECT_NEAR(analytic, numeric, tol * scale) << what << " index " << index;
+  };
+
+  // Input gradient: probe a subset for speed.
+  for (int64_t i = 0; i < x.numel(); i += std::max<int64_t>(1, x.numel() / 17)) {
+    check_slot(&x.data()[i], grad_x[i], "input", i);
+  }
+  // Parameter gradients.
+  for (auto* p : params) {
+    for (int64_t i = 0; i < p->value.numel();
+         i += std::max<int64_t>(1, p->value.numel() / 13)) {
+      check_slot(&p->value.data()[i], p->grad[i], p->name.empty() ? "param" : p->name.c_str(), i);
+    }
+  }
+}
+
+Tensor random_input(std::vector<int64_t> shape, uint64_t seed = 5) {
+  Tensor x(std::move(shape));
+  Rng rng(seed);
+  for (auto& v : x.flat()) v = rng.normal();
+  return x;
+}
+
+TEST(GradCheck, Conv2dStride1) {
+  Rng rng(1);
+  Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  check_layer(conv, random_input({2, 2, 5, 5}));
+}
+
+TEST(GradCheck, Conv2dStride2NoBias) {
+  Rng rng(2);
+  Conv2d conv(3, 4, 3, 2, 1, false, rng);
+  check_layer(conv, random_input({2, 3, 6, 6}));
+}
+
+TEST(GradCheck, Conv2d1x1) {
+  Rng rng(3);
+  Conv2d conv(4, 2, 1, 1, 0, false, rng);
+  check_layer(conv, random_input({2, 4, 4, 4}));
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(4);
+  Linear linear(6, 4, true, rng);
+  check_layer(linear, random_input({3, 6}));
+}
+
+TEST(GradCheck, LinearNoBias) {
+  Rng rng(5);
+  Linear linear(5, 3, false, rng);
+  check_layer(linear, random_input({2, 5}));
+}
+
+TEST(GradCheck, BatchNorm) {
+  BatchNorm2d bn(3);
+  // Nudge gamma/beta off their init so gradients are non-trivial.
+  Rng rng(6);
+  for (auto& g : bn.gamma().value.flat()) g = 1.0f + 0.3f * rng.normal();
+  for (auto& b : bn.beta().value.flat()) b = 0.2f * rng.normal();
+  check_layer(bn, random_input({4, 3, 3, 3}), /*tol=*/5e-2);
+}
+
+TEST(GradCheck, ReLU) {
+  ReLU relu;
+  check_layer(relu, random_input({2, 3, 4, 4}));
+}
+
+TEST(GradCheck, MaxPool) {
+  MaxPool2d pool(2);
+  check_layer(pool, random_input({2, 2, 4, 4}));
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  GlobalAvgPool pool;
+  check_layer(pool, random_input({2, 3, 4, 4}));
+}
+
+TEST(GradCheck, Flatten) {
+  Flatten flatten;
+  check_layer(flatten, random_input({2, 2, 3, 3}));
+}
+
+TEST(GradCheck, BasicBlockIdentityShortcut) {
+  Rng rng(7);
+  BasicBlock block(3, 3, 1, rng);
+  check_layer(block, random_input({2, 3, 4, 4}), /*tol=*/6e-2);
+}
+
+TEST(GradCheck, BasicBlockProjectionShortcut) {
+  Rng rng(8);
+  BasicBlock block(2, 4, 2, rng);
+  check_layer(block, random_input({2, 2, 4, 4}), /*tol=*/6e-2);
+}
+
+TEST(GradCheck, SequentialComposition) {
+  Rng rng(9);
+  Sequential seq;
+  seq.emplace<Conv2d>(2, 3, 3, 1, 1, false, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Conv2d>(3, 2, 3, 1, 1, true, rng);
+  check_layer(seq, random_input({2, 2, 4, 4}));
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyGradient) {
+  Rng rng(10);
+  Tensor logits({3, 4});
+  for (auto& v : logits.flat()) v = rng.normal();
+  std::vector<int> labels = {1, 3, 0};
+  auto result = softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float plus = cross_entropy_loss(logits, labels);
+    logits[i] = saved - eps;
+    const float minus = cross_entropy_loss(logits, labels);
+    logits[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(result.grad_logits[i], numeric, 1e-3) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

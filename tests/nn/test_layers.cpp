@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, false, rng);
+  Tensor x({2, 3, 16, 16});
+  Tensor y = conv.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 8, 16, 16}));
+  EXPECT_EQ(conv.last_out_h(), 16);
+}
+
+TEST(Conv2d, StrideHalvesSpatial) {
+  Rng rng(2);
+  Conv2d conv(4, 4, 3, 2, 1, false, rng);
+  Tensor y = conv.forward(Tensor({1, 4, 8, 8}), Mode::kEval);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Conv2d, KnownValue) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 1, 1, 0, false, rng);
+  conv.weight().value[0] = 2.0f;
+  Tensor x = Tensor::full({1, 1, 2, 2}, 3.0f);
+  Tensor y = conv.forward(x, Mode::kEval);
+  for (float v : y.flat()) EXPECT_FLOAT_EQ(v, 6.0f);
+}
+
+TEST(Conv2d, BiasAdds) {
+  Rng rng(4);
+  Conv2d conv(1, 2, 1, 1, 0, true, rng);
+  conv.weight().value.zero();
+  conv.bias()->value[0] = 1.5f;
+  conv.bias()->value[1] = -2.5f;
+  Tensor y = conv.forward(Tensor({1, 1, 2, 2}), Mode::kEval);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 1, 1), -2.5f);
+}
+
+TEST(Conv2d, WeightIsPrunableByDefault) {
+  Rng rng(5);
+  Conv2d conv(2, 2, 3, 1, 1, false, rng);
+  EXPECT_TRUE(conv.weight().prunable);
+}
+
+TEST(Linear, KnownValue) {
+  Rng rng(6);
+  Linear linear(2, 1, true, rng);
+  linear.weight().value[0] = 1.0f;
+  linear.weight().value[1] = 2.0f;
+  linear.bias()->value[0] = 0.5f;
+  Tensor x({1, 2});
+  x[0] = 3.0f;
+  x[1] = 4.0f;
+  Tensor y = linear.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[0], 3.0f + 8.0f + 0.5f);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::from_vector({-1.0f, 0.0f, 2.0f});
+  x.reshape({1, 3});
+  Tensor y = relu.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(ReLU, BackwardGatesBySign) {
+  ReLU relu;
+  Tensor x = Tensor::from_vector({-1.0f, 3.0f});
+  x.reshape({1, 2});
+  (void)relu.forward(x, Mode::kTrain);
+  Tensor g = Tensor::from_vector({5.0f, 7.0f});
+  g.reshape({1, 2});
+  Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 7.0f);
+}
+
+TEST(MaxPool, PicksMaximum) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 4.0f;
+  x[2] = 2.0f;
+  x[3] = 3.0f;
+  Tensor y = pool.forward(x, Mode::kEval);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  x[1] = 9.0f;
+  (void)pool.forward(x, Mode::kTrain);
+  Tensor g({1, 1, 1, 1});
+  g[0] = 5.0f;
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 5.0f);
+}
+
+TEST(GlobalAvgPool, Averages) {
+  GlobalAvgPool pool;
+  Tensor x({1, 2, 2, 2});
+  for (int64_t i = 0; i < 4; ++i) x[i] = 2.0f;       // channel 0
+  for (int64_t i = 4; i < 8; ++i) x[i] = 6.0f;       // channel 1
+  Tensor y = pool.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flatten;
+  Tensor x({2, 3, 2, 2});
+  Tensor y = flatten.forward(x, Mode::kTrain);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 12}));
+  Tensor gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Sequential, ChainsLayersAndCollects) {
+  Rng rng(7);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, 3, 1, 1, false, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<GlobalAvgPool>();
+  seq.emplace<Linear>(2, 3, true, rng);
+  Tensor y = seq.forward(Tensor({1, 1, 4, 4}), Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{1, 3}));
+
+  std::vector<Param*> params;
+  seq.collect_params(params);
+  EXPECT_EQ(params.size(), 3u);  // conv w, linear w, linear b
+
+  std::vector<Layer*> leaves;
+  seq.collect_leaves(leaves);
+  EXPECT_EQ(leaves.size(), 4u);
+}
+
+TEST(BasicBlock, ShapePreservingAndProjection) {
+  Rng rng(8);
+  BasicBlock same(4, 4, 1, rng);
+  Tensor y1 = same.forward(Tensor({2, 4, 8, 8}), Mode::kEval);
+  EXPECT_EQ(y1.shape(), (std::vector<int64_t>{2, 4, 8, 8}));
+  EXPECT_EQ(same.downsample_conv(), nullptr);
+
+  BasicBlock down(4, 8, 2, rng);
+  Tensor y2 = down.forward(Tensor({2, 4, 8, 8}), Mode::kEval);
+  EXPECT_EQ(y2.shape(), (std::vector<int64_t>{2, 8, 4, 4}));
+  EXPECT_NE(down.downsample_conv(), nullptr);
+}
+
+TEST(BasicBlock, OutputIsNonNegative) {
+  Rng rng(9);
+  BasicBlock block(2, 2, 1, rng);
+  Rng xr(10);
+  Tensor x({1, 2, 4, 4});
+  for (auto& v : x.flat()) v = xr.normal();
+  Tensor y = block.forward(x, Mode::kEval);
+  for (float v : y.flat()) EXPECT_GE(v, 0.0f);  // final ReLU
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

@@ -1,0 +1,80 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedtiny::nn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogK) {
+  Tensor logits({2, 4});
+  std::vector<int> labels = {0, 3};
+  EXPECT_NEAR(cross_entropy_loss(logits, labels), std::log(4.0f), 1e-5f);
+}
+
+TEST(Loss, ConfidentCorrectIsNearZero) {
+  Tensor logits({1, 3});
+  logits[0] = 20.0f;
+  std::vector<int> labels = {0};
+  EXPECT_LT(cross_entropy_loss(logits, labels), 1e-4f);
+}
+
+TEST(Loss, ConfidentWrongIsLarge) {
+  Tensor logits({1, 3});
+  logits[1] = 20.0f;
+  std::vector<int> labels = {0};
+  EXPECT_GT(cross_entropy_loss(logits, labels), 10.0f);
+}
+
+TEST(Loss, GradientRowsSumToZero) {
+  Tensor logits({3, 5});
+  for (int64_t i = 0; i < logits.numel(); ++i) logits[i] = static_cast<float>(i % 7) * 0.3f;
+  std::vector<int> labels = {1, 2, 4};
+  auto result = softmax_cross_entropy(logits, labels);
+  for (int64_t i = 0; i < 3; ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < 5; ++j) s += result.grad_logits.at2(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, LossMatchesGradVariant) {
+  Tensor logits({2, 3});
+  logits[0] = 1.0f;
+  logits[4] = -2.0f;
+  std::vector<int> labels = {2, 1};
+  auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, cross_entropy_loss(logits, labels), 1e-6f);
+}
+
+TEST(Loss, NumericalStabilityWithHugeLogits) {
+  Tensor logits({1, 2});
+  logits[0] = 1000.0f;
+  logits[1] = 999.0f;
+  std::vector<int> labels = {0};
+  const float loss = cross_entropy_loss(logits, labels);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, std::log(1.0f + std::exp(-1.0f)), 1e-4f);
+}
+
+TEST(Accuracy, PerfectAndWorst) {
+  Tensor logits({2, 3});
+  logits.at2(0, 1) = 5.0f;
+  logits.at2(1, 2) = 5.0f;
+  std::vector<int> right = {1, 2};
+  std::vector<int> wrong = {0, 0};
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, right), 1.0);
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, wrong), 0.0);
+}
+
+TEST(Accuracy, Half) {
+  Tensor logits({2, 2});
+  logits.at2(0, 0) = 1.0f;
+  logits.at2(1, 0) = 1.0f;
+  std::vector<int> labels = {0, 1};
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, labels), 0.5);
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

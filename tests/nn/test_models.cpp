@@ -1,0 +1,163 @@
+#include "nn/models.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+
+namespace fedtiny::nn {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig c;
+  c.num_classes = 10;
+  c.image_size = 8;
+  c.width_mult = 0.125f;
+  c.seed = 1;
+  return c;
+}
+
+class ModelZooTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Model> make() const {
+    const std::string name = GetParam();
+    if (name == "resnet18") return make_resnet18(tiny_config());
+    if (name == "vgg11") return make_vgg11(tiny_config());
+    return make_small_cnn(tiny_config(), 8);
+  }
+};
+
+TEST_P(ModelZooTest, ForwardShape) {
+  auto model = make();
+  Tensor x({2, 3, 8, 8});
+  Tensor y = model->forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 10}));
+}
+
+TEST_P(ModelZooTest, InputAndOutputLayersNotPrunable) {
+  auto model = make();
+  ASSERT_FALSE(model->prunable_indices().empty());
+  // The first conv weight and the final linear weight must be excluded.
+  int first_weight_like = -1, last_weight_like = -1;
+  for (size_t i = 0; i < model->params().size(); ++i) {
+    const auto& name = model->params()[i]->name;
+    if (name.find(".weight") != std::string::npos) {
+      if (first_weight_like < 0) first_weight_like = static_cast<int>(i);
+      last_weight_like = static_cast<int>(i);
+    }
+  }
+  for (int idx : model->prunable_indices()) {
+    EXPECT_NE(idx, first_weight_like);
+    EXPECT_NE(idx, last_weight_like);
+  }
+}
+
+TEST_P(ModelZooTest, StateRoundTrip) {
+  auto model = make();
+  auto state = model->state();
+  EXPECT_EQ(state.size(), model->state_tensor_count());
+  // Perturb, restore, verify.
+  auto perturbed = state;
+  for (auto& t : perturbed) {
+    for (auto& v : t.flat()) v += 1.0f;
+  }
+  model->set_state(perturbed);
+  model->set_state(state);
+  auto back = model->state();
+  for (size_t i = 0; i < state.size(); ++i) {
+    for (int64_t j = 0; j < state[i].numel(); ++j) {
+      ASSERT_EQ(back[i][j], state[i][j]);
+    }
+  }
+}
+
+TEST_P(ModelZooTest, FactoryIsDeterministic) {
+  auto a = make();
+  auto b = make();
+  auto sa = a->state();
+  auto sb = b->state();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    for (int64_t j = 0; j < sa[i].numel(); ++j) ASSERT_EQ(sa[i][j], sb[i][j]);
+  }
+}
+
+TEST_P(ModelZooTest, ZeroGradClearsAll) {
+  auto model = make();
+  Tensor x({1, 3, 8, 8});
+  Tensor y = model->forward(x, Mode::kTrain);
+  std::vector<int> labels = {0};
+  auto loss = softmax_cross_entropy(y, labels);
+  model->backward(loss.grad_logits);
+  model->zero_grad();
+  for (auto* p : model->params()) {
+    for (float g : p->grad.flat()) ASSERT_EQ(g, 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, ModelZooTest,
+                         ::testing::Values("resnet18", "vgg11", "small_cnn"));
+
+TEST(Models, ResNet18HasExpectedStructure) {
+  auto model = make_resnet18(tiny_config());
+  // CIFAR-style ResNet18: 1 stem conv + 16 block convs + 3 downsample convs
+  // = 20 convs, 20 BNs, 1 linear.
+  int convs = 0, bns = 0, linears = 0;
+  for (auto* leaf : model->leaves()) {
+    if (leaf->kind() == "Conv2d") ++convs;
+    if (leaf->kind() == "BatchNorm2d") ++bns;
+    if (leaf->kind() == "Linear") ++linears;
+  }
+  EXPECT_EQ(convs, 20);
+  EXPECT_EQ(bns, 20);
+  EXPECT_EQ(linears, 1);
+  // Prunable: 19 convs (stem excluded); linear excluded.
+  EXPECT_EQ(model->prunable_indices().size(), 19u);
+}
+
+TEST(Models, VGG11HasEightConvs) {
+  auto model = make_vgg11(tiny_config());
+  int convs = 0;
+  for (auto* leaf : model->leaves()) {
+    if (leaf->kind() == "Conv2d") ++convs;
+  }
+  EXPECT_EQ(convs, 8);
+  EXPECT_EQ(model->prunable_indices().size(), 7u);  // first conv excluded
+}
+
+TEST(Models, WidthMultiplierScalesParams) {
+  auto narrow = make_resnet18(tiny_config());
+  ModelConfig wide_config = tiny_config();
+  wide_config.width_mult = 0.25f;
+  auto wide = make_resnet18(wide_config);
+  // Doubling width roughly quadruples conv parameters.
+  EXPECT_GT(wide->num_params(), 3 * narrow->num_params());
+}
+
+TEST(Models, SmallCnnWidthForParamsMonotone) {
+  const auto config = tiny_config();
+  const int64_t w1 = small_cnn_width_for_params(config, 2000);
+  const int64_t w2 = small_cnn_width_for_params(config, 20000);
+  EXPECT_LE(w1, w2);
+  auto m = make_small_cnn(config, w2);
+  EXPECT_GE(m->num_params(), 20000);
+}
+
+TEST(Models, ScaledWidthFloor) {
+  EXPECT_EQ(scaled_width(64, 0.001f), 4);
+  EXPECT_EQ(scaled_width(64, 1.0f), 64);
+  EXPECT_EQ(scaled_width(64, 0.5f), 32);
+}
+
+TEST(Models, BnStatsExchange) {
+  auto model = make_resnet18(tiny_config());
+  auto stats = model->bn_stats();
+  EXPECT_EQ(stats.size(), 2 * model->bn_layers().size());
+  for (auto& t : stats) {
+    for (auto& v : t.flat()) v = 7.0f;
+  }
+  model->set_bn_stats(stats);
+  EXPECT_EQ(model->bn_layers()[0]->running_mean()[0], 7.0f);
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

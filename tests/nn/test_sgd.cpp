@@ -1,0 +1,95 @@
+#include "nn/sgd.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtiny::nn {
+namespace {
+
+Param make_param(std::vector<float> w, std::vector<float> g) {
+  Param p;
+  p.value = Tensor::from_vector(std::move(w));
+  p.grad = Tensor::from_vector(std::move(g));
+  return p;
+}
+
+TEST(SGD, PlainStepNoMomentumNoDecay) {
+  Param p = make_param({1.0f}, {2.0f});
+  SGD sgd({0.1f, 0.0f, 0.0f});
+  sgd.step({&p});
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(SGD, WeightDecayAddsToGradient) {
+  Param p = make_param({1.0f}, {0.0f});
+  SGD sgd({0.1f, 0.0f, 0.5f});
+  sgd.step({&p});
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f * 1.0f, 1e-6f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Param p = make_param({0.0f}, {1.0f});
+  SGD sgd({1.0f, 0.5f, 0.0f});
+  sgd.step({&p});  // v=1, w=-1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6f);
+  sgd.step({&p});  // v=0.5*1+1=1.5, w=-2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+}
+
+TEST(SGD, MaskedStepKeepsPrunedAtZero) {
+  Param p = make_param({0.5f, 0.7f}, {1.0f, 1.0f});
+  std::vector<uint8_t> mask = {1, 0};
+  SGD sgd({0.1f, 0.9f, 0.0f});
+  sgd.step_masked({&p}, {&mask});
+  EXPECT_NE(p.value[0], 0.5f);   // updated
+  EXPECT_EQ(p.value[1], 0.0f);   // forced to zero
+  sgd.step_masked({&p}, {&mask});
+  EXPECT_EQ(p.value[1], 0.0f);
+}
+
+TEST(SGD, MaskedStepZeroesVelocityOfPruned) {
+  Param p = make_param({1.0f}, {1.0f});
+  std::vector<uint8_t> keep = {1};
+  std::vector<uint8_t> drop = {0};
+  SGD sgd({0.1f, 0.9f, 0.0f});
+  sgd.step_masked({&p}, {&keep});  // build velocity
+  sgd.step_masked({&p}, {&drop});  // prune: w=0, v=0
+  EXPECT_EQ(p.value[0], 0.0f);
+  // Re-grow: with velocity cleared, the next step is a fresh SGD step.
+  p.grad[0] = 2.0f;
+  sgd.step_masked({&p}, {&keep});
+  EXPECT_NEAR(p.value[0], -0.1f * 2.0f, 1e-6f);
+}
+
+TEST(SGD, NullMaskMeansDense) {
+  Param p = make_param({1.0f, 1.0f}, {1.0f, 1.0f});
+  SGD sgd({0.1f, 0.0f, 0.0f});
+  sgd.step_masked({&p}, {nullptr});
+  EXPECT_NEAR(p.value[0], 0.9f, 1e-6f);
+  EXPECT_NEAR(p.value[1], 0.9f, 1e-6f);
+}
+
+TEST(SGD, ZeroGradHelper) {
+  Param p = make_param({1.0f}, {3.0f});
+  SGD::zero_grad({&p});
+  EXPECT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(SGD, SetLr) {
+  SGD sgd({0.1f, 0.0f, 0.0f});
+  sgd.set_lr(0.01f);
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.01f);
+}
+
+TEST(SGD, ResetStateClearsVelocity) {
+  Param p = make_param({0.0f}, {1.0f});
+  SGD sgd({1.0f, 0.9f, 0.0f});
+  sgd.step({&p});
+  sgd.reset_state();
+  p.grad[0] = 1.0f;
+  sgd.step({&p});
+  // After reset the second step is momentum-free: w = -1 - 1 = -2 (not -2.9).
+  EXPECT_NEAR(p.value[0], -2.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

@@ -1,0 +1,140 @@
+#include "prune/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+
+namespace fedtiny::prune {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_model() {
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  c.width_mult = 0.125f;
+  return nn::make_resnet18(c);
+}
+
+TEST(Candidates, PoolSizeHonored) {
+  auto model = tiny_model();
+  Rng rng(1);
+  CandidatePoolConfig config;
+  config.pool_size = 9;
+  config.target_density = 0.05;
+  auto pool = generate_candidate_pool(*model, config, rng);
+  EXPECT_EQ(pool.size(), 9u);
+}
+
+TEST(Candidates, EveryCandidateMeetsDensityBudget) {
+  auto model = tiny_model();
+  Rng rng(2);
+  CandidatePoolConfig config;
+  config.pool_size = 12;
+  config.target_density = 0.03;
+  auto pool = generate_candidate_pool(*model, config, rng);
+  for (size_t c = 0; c < pool.size(); ++c) {
+    // Eq. 1 constraint d <= d_target (small numeric slack from rounding and
+    // the one-weight-per-layer floor).
+    EXPECT_LE(pool[c].density(), 0.03 * 1.15) << "candidate " << c;
+    EXPECT_GT(pool[c].density(), 0.0) << "candidate " << c;
+  }
+}
+
+TEST(Candidates, BaseStrategiesAreDistinct) {
+  auto model = tiny_model();
+  Rng rng(3);
+  CandidatePoolConfig config;
+  config.pool_size = 4;
+  config.target_density = 0.02;
+  auto pool = generate_candidate_pool(*model, config, rng);
+  // uniform / equal-count / ERK / synflow must differ pairwise.
+  for (size_t a = 0; a < pool.size(); ++a) {
+    for (size_t b = a + 1; b < pool.size(); ++b) {
+      EXPECT_FALSE(pool[a] == pool[b]) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Candidates, UniformBaseHasUniformLayerDensities) {
+  auto model = tiny_model();
+  Rng rng(4);
+  CandidatePoolConfig config;
+  config.pool_size = 1;
+  config.target_density = 0.1;
+  auto pool = generate_candidate_pool(*model, config, rng);
+  for (double d : pool[0].layer_densities()) EXPECT_NEAR(d, 0.1, 0.05);
+}
+
+TEST(Candidates, EqualCountStrategyBalancesWeights) {
+  auto model = tiny_model();
+  const auto shapes = prunable_layer_shapes(*model);
+  auto densities = strategy_densities(AllocStrategy::kEqualCount, shapes, 0.05);
+  // kept_l = d_l * n_l should be near-constant across layers.
+  std::vector<double> kept;
+  for (size_t l = 0; l < shapes.size(); ++l) {
+    kept.push_back(densities[l] * static_cast<double>(shapes[l].size));
+  }
+  // Ignore layers clamped at density 1.
+  double lo = 1e18, hi = 0.0;
+  for (size_t l = 0; l < kept.size(); ++l) {
+    if (densities[l] >= 0.999) continue;
+    lo = std::min(lo, kept[l]);
+    hi = std::max(hi, kept[l]);
+  }
+  EXPECT_LT(hi / lo, 1.5);
+}
+
+TEST(Candidates, ERKFavorsSmallLayers) {
+  auto model = tiny_model();
+  const auto shapes = prunable_layer_shapes(*model);
+  auto densities = strategy_densities(AllocStrategy::kERK, shapes, 0.05);
+  // The smallest layer should get a higher density than the largest.
+  size_t smallest = 0, largest = 0;
+  for (size_t l = 1; l < shapes.size(); ++l) {
+    if (shapes[l].size < shapes[smallest].size) smallest = l;
+    if (shapes[l].size > shapes[largest].size) largest = l;
+  }
+  EXPECT_GT(densities[smallest], densities[largest]);
+}
+
+TEST(Candidates, PrunableLayerShapesMatchModel) {
+  auto model = tiny_model();
+  const auto shapes = prunable_layer_shapes(*model);
+  ASSERT_EQ(shapes.size(), model->prunable_indices().size());
+  for (size_t l = 0; l < shapes.size(); ++l) {
+    const int idx = model->prunable_indices()[l];
+    EXPECT_EQ(shapes[l].size, model->params()[static_cast<size_t>(idx)]->value.numel());
+    EXPECT_GT(shapes[l].fan_in, 0);
+    EXPECT_GT(shapes[l].fan_out, 0);
+  }
+}
+
+TEST(Candidates, NoisyDensitiesStayOnBudget) {
+  auto model = tiny_model();
+  const auto shapes = prunable_layer_shapes(*model);
+  Rng rng(5);
+  const auto base = strategy_densities(AllocStrategy::kUniform, shapes, 0.02);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto noisy = noisy_densities(base, shapes, 0.02, 0.9, rng);
+    double weighted = 0.0, total = 0.0;
+    for (size_t l = 0; l < shapes.size(); ++l) {
+      weighted += noisy[l] * static_cast<double>(shapes[l].size);
+      total += static_cast<double>(shapes[l].size);
+    }
+    EXPECT_NEAR(weighted / total, 0.02, 0.002);
+  }
+}
+
+TEST(Candidates, DeterministicGivenSeed) {
+  auto model = tiny_model();
+  CandidatePoolConfig config;
+  config.pool_size = 6;
+  config.target_density = 0.05;
+  Rng a(7), b(7);
+  auto pa = generate_candidate_pool(*model, config, a);
+  auto pb = generate_candidate_pool(*model, config, b);
+  for (size_t c = 0; c < pa.size(); ++c) EXPECT_TRUE(pa[c] == pb[c]);
+}
+
+}  // namespace
+}  // namespace fedtiny::prune

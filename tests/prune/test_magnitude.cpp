@@ -1,0 +1,114 @@
+#include "prune/magnitude.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/models.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::prune {
+namespace {
+
+TEST(MagnitudeGlobal, KeepsExactCount) {
+  ScoreSet scores = {{0.1f, 0.9f, 0.5f, 0.3f}, {0.8f, 0.2f, 0.7f, 0.4f}};
+  auto mask = mask_from_scores_global(scores, 0.5);
+  EXPECT_EQ(mask.nnz(), 4);
+  // Top-4 scores: 0.9, 0.8, 0.7, 0.5.
+  EXPECT_EQ(mask.layer(0)[1], 1);
+  EXPECT_EQ(mask.layer(0)[2], 1);
+  EXPECT_EQ(mask.layer(1)[0], 1);
+  EXPECT_EQ(mask.layer(1)[2], 1);
+}
+
+TEST(MagnitudeGlobal, TiesBrokenDeterministically) {
+  ScoreSet scores = {{0.5f, 0.5f, 0.5f, 0.5f}};
+  auto a = mask_from_scores_global(scores, 0.5);
+  auto b = mask_from_scores_global(scores, 0.5);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_EQ(a.layer(0)[0], 1);  // first-come on ties
+  EXPECT_EQ(a.layer(0)[1], 1);
+}
+
+TEST(MagnitudeGlobal, ZeroAndFullDensity) {
+  ScoreSet scores = {{1.0f, 2.0f}};
+  EXPECT_EQ(mask_from_scores_global(scores, 0.0).nnz(), 0);
+  EXPECT_EQ(mask_from_scores_global(scores, 1.0).nnz(), 2);
+}
+
+TEST(MagnitudeLayerwise, PerLayerDensities) {
+  ScoreSet scores = {{4.0f, 3.0f, 2.0f, 1.0f}, {1.0f, 2.0f, 3.0f, 4.0f}};
+  auto mask = mask_from_scores_layerwise(scores, {0.5, 0.25});
+  EXPECT_EQ(mask.layer(0)[0], 1);
+  EXPECT_EQ(mask.layer(0)[1], 1);
+  EXPECT_EQ(mask.layer(0)[2], 0);
+  EXPECT_EQ(mask.layer(1)[3], 1);
+  EXPECT_EQ(mask.layer(1)[0], 0);
+  // Layer 1 keeps exactly 1 of 4.
+  int64_t kept = 0;
+  for (uint8_t v : mask.layer(1)) kept += v;
+  EXPECT_EQ(kept, 1);
+}
+
+TEST(MagnitudeLayerwise, NeverEmptiesLayer) {
+  ScoreSet scores = {{1.0f, 2.0f, 3.0f, 4.0f}};
+  auto mask = mask_from_scores_layerwise(scores, {0.0});
+  EXPECT_EQ(mask.nnz(), 1);  // floor of one weight per layer
+}
+
+TEST(MagnitudeModel, GlobalDensityRespected) {
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  c.width_mult = 0.125f;
+  auto model = nn::make_resnet18(c);
+  auto mask = magnitude_prune_global(*model, 0.1);
+  EXPECT_NEAR(mask.density(), 0.1, 0.01);
+  // Magnitude property: kept weights have larger |w| than dropped, globally.
+  float min_kept = 1e9f, max_dropped = 0.0f;
+  for (size_t l = 0; l < mask.num_layers(); ++l) {
+    const int idx = model->prunable_indices()[l];
+    const auto w = model->params()[static_cast<size_t>(idx)]->value.flat();
+    for (size_t j = 0; j < w.size(); ++j) {
+      const float mag = std::fabs(w[j]);
+      if (mask.layer(l)[j] == 1) {
+        min_kept = std::min(min_kept, mag);
+      } else {
+        max_dropped = std::max(max_dropped, mag);
+      }
+    }
+  }
+  EXPECT_GE(min_kept, max_dropped - 1e-6f);
+}
+
+TEST(MagnitudeModel, UniformDensitiesVector) {
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  c.width_mult = 0.0625f;
+  auto model = nn::make_vgg11(c);
+  auto d = uniform_densities(*model, 0.3);
+  EXPECT_EQ(d.size(), model->prunable_indices().size());
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 0.3);
+  auto mask = magnitude_prune_layerwise(*model, d);
+  for (double ld : mask.layer_densities()) EXPECT_NEAR(ld, 0.3, 0.05);
+}
+
+class GlobalDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GlobalDensitySweep, NnzMatchesDensity) {
+  ScoreSet scores;
+  Rng rng(5);
+  scores.push_back({});
+  for (int i = 0; i < 1000; ++i) scores[0].push_back(rng.normal());
+  const double d = GetParam();
+  auto mask = mask_from_scores_global(scores, d);
+  EXPECT_NEAR(static_cast<double>(mask.nnz()), d * 1000.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, GlobalDensitySweep,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.33, 0.5, 0.9, 0.999));
+
+}  // namespace
+}  // namespace fedtiny::prune

@@ -1,0 +1,91 @@
+#include "prune/mask.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+
+namespace fedtiny::prune {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_model() {
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  c.width_mult = 0.0625f;
+  return nn::make_small_cnn(c, 4);
+}
+
+TEST(MaskSet, OnesLikeMatchesModel) {
+  auto model = tiny_model();
+  auto mask = MaskSet::ones_like(*model);
+  EXPECT_EQ(mask.num_layers(), model->prunable_indices().size());
+  EXPECT_EQ(mask.total(), model->num_prunable());
+  EXPECT_EQ(mask.nnz(), mask.total());
+  EXPECT_DOUBLE_EQ(mask.density(), 1.0);
+}
+
+TEST(MaskSet, DensityAndLayerDensities) {
+  MaskSet mask;
+  mask.append_layer({1, 1, 0, 0});
+  mask.append_layer({1, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(mask.total(), 12);
+  EXPECT_EQ(mask.nnz(), 3);
+  EXPECT_NEAR(mask.density(), 0.25, 1e-12);
+  const auto d = mask.layer_densities();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_NEAR(d[0], 0.5, 1e-12);
+  EXPECT_NEAR(d[1], 0.125, 1e-12);
+}
+
+TEST(MaskSet, ApplyZeroesMaskedWeights) {
+  auto model = tiny_model();
+  auto mask = MaskSet::ones_like(*model);
+  auto& layer0 = mask.layer(0);
+  for (size_t j = 0; j < layer0.size(); j += 2) layer0[j] = 0;
+  mask.apply(*model);
+  const int param_idx = model->prunable_indices()[0];
+  const auto w = model->params()[static_cast<size_t>(param_idx)]->value.flat();
+  for (size_t j = 0; j < w.size(); ++j) {
+    if (j % 2 == 0) {
+      EXPECT_EQ(w[j], 0.0f);
+    }
+  }
+}
+
+TEST(MaskSet, ForParamsAlignsNullForNonPrunable) {
+  auto model = tiny_model();
+  auto mask = MaskSet::ones_like(*model);
+  auto per_param = mask.for_params(*model);
+  EXPECT_EQ(per_param.size(), model->params().size());
+  size_t non_null = 0;
+  for (const auto* m : per_param) {
+    if (m != nullptr) ++non_null;
+  }
+  EXPECT_EQ(non_null, model->prunable_indices().size());
+  // BN/bias params map to nullptr.
+  for (size_t i = 0; i < model->params().size(); ++i) {
+    const bool prunable =
+        std::find(model->prunable_indices().begin(), model->prunable_indices().end(),
+                  static_cast<int>(i)) != model->prunable_indices().end();
+    EXPECT_EQ(per_param[i] != nullptr, prunable);
+  }
+}
+
+TEST(MaskSet, Equality) {
+  MaskSet a, b;
+  a.append_layer({1, 0});
+  b.append_layer({1, 0});
+  EXPECT_TRUE(a == b);
+  b.layer(0)[1] = 1;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MaskSet, EmptyMaskTotals) {
+  MaskSet m;
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_DOUBLE_EQ(m.density(), 0.0);
+}
+
+}  // namespace
+}  // namespace fedtiny::prune

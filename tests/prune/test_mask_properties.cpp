@@ -1,0 +1,117 @@
+// Property-style invariants tying masks, models, and training together.
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/sgd.h"
+#include "prune/magnitude.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::prune {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_model(uint64_t seed = 1) {
+  nn::ModelConfig c;
+  c.num_classes = 6;
+  c.image_size = 8;
+  c.width_mult = 0.0625f;
+  c.seed = seed;
+  return nn::make_resnet18(c);
+}
+
+Tensor random_input(uint64_t seed) {
+  Tensor x({2, 3, 8, 8});
+  Rng rng(seed);
+  for (auto& v : x.flat()) v = rng.normal();
+  return x;
+}
+
+class MaskedForwardInvariance : public ::testing::TestWithParam<double> {};
+
+// The defining property of a mask: the network's function depends only on
+// unmasked coordinates. Perturb every masked weight arbitrarily, re-apply
+// the mask, and the output must be bit-identical.
+TEST_P(MaskedForwardInvariance, MaskedWeightsAreDead) {
+  auto model = tiny_model();
+  auto mask = magnitude_prune_global(*model, GetParam());
+  mask.apply(*model);
+  Tensor x = random_input(3);
+  Tensor y1 = model->forward(x, nn::Mode::kEval);
+
+  Rng rng(4);
+  for (size_t l = 0; l < mask.num_layers(); ++l) {
+    auto w = model->params()[static_cast<size_t>(model->prunable_indices()[l])]->value.flat();
+    for (size_t j = 0; j < w.size(); ++j) {
+      if (mask.layer(l)[j] == 0) w[j] = rng.normal(0.0f, 10.0f);
+    }
+  }
+  mask.apply(*model);
+  Tensor y2 = model->forward(x, nn::Mode::kEval);
+  for (int64_t i = 0; i < y1.numel(); ++i) ASSERT_EQ(y1[i], y2[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, MaskedForwardInvariance,
+                         ::testing::Values(0.01, 0.1, 0.5));
+
+TEST(MaskProperties, FullMaskIsIdentity) {
+  auto a = tiny_model();
+  auto b = tiny_model();
+  auto mask = MaskSet::ones_like(*a);
+  mask.apply(*a);
+  Tensor x = random_input(5);
+  Tensor ya = a->forward(x, nn::Mode::kEval);
+  Tensor yb = b->forward(x, nn::Mode::kEval);
+  for (int64_t i = 0; i < ya.numel(); ++i) ASSERT_EQ(ya[i], yb[i]);
+}
+
+TEST(MaskProperties, MaskedSgdPreservesMaskThroughManySteps) {
+  auto model = tiny_model();
+  auto mask = magnitude_prune_global(*model, 0.1);
+  mask.apply(*model);
+  const auto param_masks = mask.for_params(*model);
+  nn::SGD sgd({0.05f, 0.9f, 5e-4f});
+  Rng rng(6);
+  for (int step = 0; step < 10; ++step) {
+    Tensor x = random_input(100 + static_cast<uint64_t>(step));
+    std::vector<int> labels = {static_cast<int>(rng.uniform_int(6)),
+                               static_cast<int>(rng.uniform_int(6))};
+    model->zero_grad();
+    Tensor logits = model->forward(x, nn::Mode::kTrain);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    model->backward(loss.grad_logits);
+    sgd.step_masked(model->params(), param_masks);
+  }
+  for (size_t l = 0; l < mask.num_layers(); ++l) {
+    const auto w =
+        model->params()[static_cast<size_t>(model->prunable_indices()[l])]->value.flat();
+    for (size_t j = 0; j < w.size(); ++j) {
+      if (mask.layer(l)[j] == 0) ASSERT_EQ(w[j], 0.0f);
+    }
+  }
+}
+
+TEST(MaskProperties, DensityMonotoneInTarget) {
+  auto model = tiny_model();
+  double prev = 0.0;
+  for (double d : {0.01, 0.05, 0.1, 0.3, 0.7, 1.0}) {
+    auto mask = magnitude_prune_global(*model, d);
+    EXPECT_GE(mask.density(), prev - 1e-9);
+    prev = mask.density();
+  }
+}
+
+TEST(MaskProperties, MasksNestUnderMagnitudeRanking) {
+  // A lower-density magnitude mask keeps a subset of a higher-density one
+  // (same scores, same tie-breaks).
+  auto model = tiny_model();
+  auto small = magnitude_prune_global(*model, 0.05);
+  auto big = magnitude_prune_global(*model, 0.2);
+  for (size_t l = 0; l < small.num_layers(); ++l) {
+    for (size_t j = 0; j < small.layer(l).size(); ++j) {
+      if (small.layer(l)[j] == 1) ASSERT_EQ(big.layer(l)[j], 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::prune

@@ -1,0 +1,121 @@
+#include "prune/structured.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+
+namespace fedtiny::prune {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_model() {
+  nn::ModelConfig c;
+  c.num_classes = 4;
+  c.image_size = 8;
+  c.width_mult = 0.125f;
+  return nn::make_resnet18(c);
+}
+
+TEST(Structured, FilterL1Norms) {
+  Tensor w({2, 3});
+  w.at2(0, 0) = 1.0f;
+  w.at2(0, 1) = -2.0f;
+  w.at2(0, 2) = 3.0f;
+  w.at2(1, 0) = -0.5f;
+  auto norms = filter_l1_norms(w, 2);
+  ASSERT_EQ(norms.size(), 2u);
+  EXPECT_FLOAT_EQ(norms[0], 6.0f);
+  EXPECT_FLOAT_EQ(norms[1], 0.5f);
+}
+
+TEST(Structured, PlanKeepsRequestedFraction) {
+  auto model = tiny_model();
+  auto plan = structured_channel_plan(*model, 0.5);
+  ASSERT_EQ(plan.keep.size(), model->prunable_indices().size());
+  EXPECT_NEAR(static_cast<double>(plan.kept_filters()) /
+                  static_cast<double>(plan.total_filters()),
+              0.5, 0.1);
+}
+
+TEST(Structured, PlanKeepsAtLeastOneFilterPerLayer) {
+  auto model = tiny_model();
+  auto plan = structured_channel_plan(*model, 0.0);
+  for (const auto& layer : plan.keep) {
+    int64_t kept = 0;
+    for (uint8_t v : layer) kept += v;
+    EXPECT_EQ(kept, 1);
+  }
+}
+
+TEST(Structured, PlanKeepsHighestNormFilters) {
+  auto model = tiny_model();
+  const int idx = model->prunable_indices()[0];
+  auto* param = model->params()[static_cast<size_t>(idx)];
+  const int64_t out = param->value.dim(0);
+  const int64_t fan_in = param->value.numel() / out;
+  // Make filter 0 dominant and filter 1 tiny.
+  for (int64_t j = 0; j < fan_in; ++j) {
+    param->value[j] = 10.0f;
+    param->value[fan_in + j] = 1e-4f;
+  }
+  auto plan = structured_channel_plan(*model, 0.5);
+  EXPECT_EQ(plan.keep[0][0], 1);
+  EXPECT_EQ(plan.keep[0][1], 0);
+}
+
+TEST(Structured, ExpandedMaskZeroesWholeRows) {
+  auto model = tiny_model();
+  auto plan = structured_channel_plan(*model, 0.25);
+  auto mask = expand_channel_plan(*model, plan);
+  for (size_t l = 0; l < mask.num_layers(); ++l) {
+    const auto* param =
+        model->params()[static_cast<size_t>(model->prunable_indices()[l])];
+    const int64_t out = param->value.dim(0);
+    const int64_t fan_in = param->value.numel() / out;
+    for (int64_t f = 0; f < out; ++f) {
+      const uint8_t expected = plan.keep[l][static_cast<size_t>(f)];
+      for (int64_t j = 0; j < fan_in; ++j) {
+        ASSERT_EQ(mask.layer(l)[static_cast<size_t>(f * fan_in + j)], expected);
+      }
+    }
+  }
+}
+
+TEST(Structured, MaskDensityMatchesChannelDensity) {
+  auto model = tiny_model();
+  auto mask = structured_prune(*model, 0.5);
+  EXPECT_NEAR(mask.density(), 0.5, 0.1);
+}
+
+TEST(Structured, PrunedModelStillRuns) {
+  auto model = tiny_model();
+  structured_prune(*model, 0.25);
+  Tensor x({2, 3, 8, 8});
+  Tensor y = model->forward(x, nn::Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(Structured, ComposesWithMaskSetApply) {
+  auto model = tiny_model();
+  auto mask = structured_prune(*model, 0.5);
+  // Applying again must be idempotent.
+  const auto state = model->state();
+  mask.apply(*model);
+  const auto state2 = model->state();
+  for (size_t i = 0; i < state.size(); ++i) {
+    for (int64_t j = 0; j < state[i].numel(); ++j) ASSERT_EQ(state[i][j], state2[i][j]);
+  }
+}
+
+class StructuredDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StructuredDensitySweep, DensityTracksChannelFraction) {
+  auto model = tiny_model();
+  auto mask = structured_prune(*model, GetParam());
+  EXPECT_NEAR(mask.density(), GetParam(), 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, StructuredDensitySweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace fedtiny::prune

@@ -1,0 +1,100 @@
+#include "prune/surgery.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtiny::prune {
+namespace {
+
+TEST(GrowPrune, GrowsTopGradientsAndPrunesSmallestWeights) {
+  //                 0     1     2     3     4     5
+  std::vector<float> w = {0.9f, 0.1f, 0.0f, 0.0f, 0.5f, 0.0f};
+  std::vector<uint8_t> mask = {1, 1, 0, 0, 1, 0};
+  // Pruned coords 2, 3, 5 with gradients: 3 has the largest magnitude.
+  std::vector<ScoredIndex> grads = {{2, 0.1f}, {3, -2.0f}, {5, 0.3f}};
+  auto stats = grow_prune_layer(w, mask, grads, 1);
+  EXPECT_EQ(stats.grown, 1);
+  EXPECT_EQ(stats.pruned, 1);
+  EXPECT_EQ(mask[3], 1);  // grown (largest |g|)
+  EXPECT_EQ(mask[1], 0);  // pruned (smallest |w| among old unpruned)
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[4], 1);
+}
+
+TEST(GrowPrune, PreservesDensity) {
+  std::vector<float> w(100, 0.0f);
+  std::vector<uint8_t> mask(100, 0);
+  for (int i = 0; i < 30; ++i) {
+    mask[static_cast<size_t>(i)] = 1;
+    w[static_cast<size_t>(i)] = 0.1f * static_cast<float>(i + 1);
+  }
+  std::vector<ScoredIndex> grads;
+  for (int i = 30; i < 100; ++i) grads.push_back({i, static_cast<float>(i)});
+  auto stats = grow_prune_layer(w, mask, grads, 10);
+  EXPECT_EQ(stats.grown, 10);
+  EXPECT_EQ(stats.pruned, 10);
+  int64_t nnz = 0;
+  for (uint8_t m : mask) nnz += m;
+  EXPECT_EQ(nnz, 30);
+}
+
+TEST(GrowPrune, JustGrownAreProtectedFromPruning) {
+  // Grown coordinates have weight 0 — the smallest possible — so if they
+  // were not excluded they would be pruned right back.
+  std::vector<float> w = {0.5f, 0.4f, 0.0f};
+  std::vector<uint8_t> mask = {1, 1, 0};
+  std::vector<ScoredIndex> grads = {{2, 9.0f}};
+  grow_prune_layer(w, mask, grads, 1);
+  EXPECT_EQ(mask[2], 1);  // grown and kept
+  EXPECT_EQ(mask[1], 0);  // 0.4 was the smallest pre-existing weight
+}
+
+TEST(GrowPrune, QuotaLargerThanCandidates) {
+  std::vector<float> w = {0.5f, 0.0f};
+  std::vector<uint8_t> mask = {1, 0};
+  std::vector<ScoredIndex> grads = {{1, 1.0f}};
+  auto stats = grow_prune_layer(w, mask, grads, 10);
+  EXPECT_EQ(stats.grown, 1);   // only one pruned coordinate existed
+  EXPECT_EQ(stats.pruned, 1);  // matched
+}
+
+TEST(GrowPrune, ZeroQuotaIsNoop) {
+  std::vector<float> w = {0.5f, 0.0f};
+  std::vector<uint8_t> mask = {1, 0};
+  std::vector<ScoredIndex> grads = {{1, 1.0f}};
+  auto stats = grow_prune_layer(w, mask, grads, 0);
+  EXPECT_EQ(stats.grown, 0);
+  EXPECT_EQ(stats.pruned, 0);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1], 0);
+}
+
+TEST(GrowPrune, IgnoresGradientsAtUnprunedCoords) {
+  std::vector<float> w = {0.5f, 0.4f, 0.0f};
+  std::vector<uint8_t> mask = {1, 1, 0};
+  // Gradient reported at index 0, which is already unpruned: not a grow
+  // candidate.
+  std::vector<ScoredIndex> grads = {{0, 100.0f}, {2, 1.0f}};
+  auto stats = grow_prune_layer(w, mask, grads, 1);
+  EXPECT_EQ(stats.grown, 1);
+  EXPECT_EQ(mask[2], 1);
+}
+
+TEST(GrowPrune, IgnoresOutOfRangeIndices) {
+  std::vector<float> w = {0.5f, 0.0f};
+  std::vector<uint8_t> mask = {1, 0};
+  std::vector<ScoredIndex> grads = {{-1, 9.0f}, {99, 9.0f}, {1, 1.0f}};
+  auto stats = grow_prune_layer(w, mask, grads, 2);
+  EXPECT_EQ(stats.grown, 1);
+  EXPECT_EQ(mask[1], 1);
+}
+
+TEST(GrowPrune, NoGradientsMeansNoChange) {
+  std::vector<float> w = {0.5f, 0.0f};
+  std::vector<uint8_t> mask = {1, 0};
+  auto stats = grow_prune_layer(w, mask, {}, 5);
+  EXPECT_EQ(stats.grown, 0);
+  EXPECT_EQ(stats.pruned, 0);
+}
+
+}  // namespace
+}  // namespace fedtiny::prune

@@ -1,0 +1,96 @@
+#include "prune/topk_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tensor/rng.h"
+
+namespace fedtiny::prune {
+namespace {
+
+TEST(TopKBuffer, KeepsLargestMagnitude) {
+  TopKBuffer buffer(2);
+  buffer.push(0, 1.0f);
+  buffer.push(1, -5.0f);  // magnitude 5
+  buffer.push(2, 3.0f);
+  buffer.push(3, 0.5f);
+  auto top = buffer.sorted();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1);
+  EXPECT_FLOAT_EQ(top[0].value, -5.0f);  // sign preserved
+  EXPECT_EQ(top[1].index, 2);
+}
+
+TEST(TopKBuffer, UnderfilledReturnsAll) {
+  TopKBuffer buffer(10);
+  buffer.push(4, 2.0f);
+  buffer.push(7, -1.0f);
+  EXPECT_EQ(buffer.size(), 2);
+  auto top = buffer.sorted();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 4);
+}
+
+TEST(TopKBuffer, ZeroCapacityIgnoresPushes) {
+  TopKBuffer buffer(0);
+  buffer.push(0, 100.0f);
+  EXPECT_EQ(buffer.size(), 0);
+  EXPECT_TRUE(buffer.sorted().empty());
+}
+
+TEST(TopKBuffer, MatchesFullSortReference) {
+  Rng rng(17);
+  const int n = 5000;
+  const int64_t k = 37;
+  std::vector<float> values(n);
+  for (auto& v : values) v = rng.normal();
+
+  TopKBuffer buffer(k);
+  for (int i = 0; i < n; ++i) buffer.push(i, values[static_cast<size_t>(i)]);
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::fabs(values[static_cast<size_t>(a)]) > std::fabs(values[static_cast<size_t>(b)]);
+  });
+
+  auto top = buffer.sorted();
+  ASSERT_EQ(top.size(), static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    EXPECT_EQ(top[static_cast<size_t>(i)].index, order[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(TopKBuffer, SortedIsDescendingByMagnitude) {
+  Rng rng(18);
+  TopKBuffer buffer(20);
+  for (int i = 0; i < 200; ++i) buffer.push(i, rng.normal());
+  auto top = buffer.sorted();
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(std::fabs(top[i - 1].value), std::fabs(top[i].value));
+  }
+}
+
+TEST(TopKBuffer, ClearResets) {
+  TopKBuffer buffer(3);
+  buffer.push(0, 1.0f);
+  buffer.clear();
+  EXPECT_EQ(buffer.size(), 0);
+  buffer.push(1, 2.0f);
+  EXPECT_EQ(buffer.sorted()[0].index, 1);
+}
+
+TEST(TopKBuffer, MemoryStaysBounded) {
+  // The structural point of §III-D: capacity never exceeded regardless of
+  // how many pushes arrive.
+  TopKBuffer buffer(8);
+  Rng rng(19);
+  for (int i = 0; i < 100000; ++i) {
+    buffer.push(i, rng.normal());
+    ASSERT_LE(buffer.size(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::prune

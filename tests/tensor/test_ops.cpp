@@ -1,0 +1,130 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace fedtiny::ops {
+namespace {
+
+// Reference GEMM with explicit indexing.
+void naive_gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                const float* b, float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        s += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(s) + beta * c[i * n + j];
+    }
+  }
+}
+
+class GemmTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  const int64_t m = 5, n = 7, k = 4;
+  Rng rng(21);
+  std::vector<float> a(static_cast<size_t>(m * k)), b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> c1(static_cast<size_t>(m * n), 0.5f), c2 = c1;
+
+  gemm(ta, tb, m, n, k, 1.3f, a.data(), b.data(), 0.7f, c1.data());
+  naive_gemm(ta, tb, m, n, k, 1.3f, a.data(), b.data(), 0.7f, c2.data());
+  for (size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  const int64_t m = 2, n = 2, k = 2;
+  std::vector<float> a = {1, 0, 0, 1}, b = {1, 2, 3, 4};
+  std::vector<float> c = {1e30f, -1e30f, 1e30f, -1e30f};
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[3], 4.0f);
+}
+
+TEST(Im2Col, IdentityKernelNoPad) {
+  // 1x1 kernel, stride 1, no pad: columns == image.
+  const int64_t c = 2, h = 3, w = 3;
+  std::vector<float> in(static_cast<size_t>(c * h * w));
+  for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i);
+  std::vector<float> out(in.size(), -1.0f);
+  im2col(in.data(), c, h, w, 1, 1, 1, 0, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  const int64_t c = 1, h = 2, w = 2;
+  std::vector<float> in = {1, 2, 3, 4};
+  // 3x3 kernel, pad 1, stride 1: out 2x2, rows = 9.
+  std::vector<float> out(9 * 4, -1.0f);
+  im2col(in.data(), c, h, w, 3, 3, 1, 1, out.data());
+  // Top-left kernel position (kh=0,kw=0) at output (0,0) reads in[-1,-1] = 0.
+  EXPECT_EQ(out[0], 0.0f);
+  // Center kernel position (kh=1,kw=1) equals the image itself.
+  const size_t center_row = 4;
+  EXPECT_EQ(out[center_row * 4 + 0], 1.0f);
+  EXPECT_EQ(out[center_row * 4 + 3], 4.0f);
+}
+
+TEST(Col2Im, IsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y.
+  const int64_t c = 2, h = 4, w = 4, kh = 3, kw = 3, stride = 1, pad = 1;
+  const int64_t out_h = conv_out_size(h, kh, stride, pad);
+  const int64_t out_w = conv_out_size(w, kw, stride, pad);
+  const size_t img = static_cast<size_t>(c * h * w);
+  const size_t cols = static_cast<size_t>(c * kh * kw * out_h * out_w);
+
+  Rng rng(31);
+  std::vector<float> x(img), y(cols), ix(cols, 0.0f), cy(img, 0.0f);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+
+  im2col(x.data(), c, h, w, kh, kw, stride, pad, ix.data());
+  col2im(y.data(), c, h, w, kh, kw, stride, pad, cy.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (size_t i = 0; i < cols; ++i) lhs += static_cast<double>(ix[i]) * y[i];
+  for (size_t i = 0; i < img; ++i) rhs += static_cast<double>(x[i]) * cy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, Axpy) {
+  std::vector<float> x = {1, 2, 3}, y = {10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+}
+
+TEST(Ops, ApplyMask) {
+  std::vector<float> x = {1, 2, 3, 4};
+  std::vector<uint8_t> m = {1, 0, 1, 0};
+  apply_mask(x, m);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+  EXPECT_FLOAT_EQ(x[3], 0.0f);
+}
+
+TEST(Ops, SumAndNorm) {
+  std::vector<float> x = {3, 4};
+  EXPECT_DOUBLE_EQ(sum(x), 7.0);
+  EXPECT_NEAR(l2_norm(x), 5.0, 1e-9);
+}
+
+TEST(Ops, ConvOutSize) {
+  EXPECT_EQ(conv_out_size(32, 3, 1, 1), 32);
+  EXPECT_EQ(conv_out_size(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_size(8, 2, 2, 0), 4);
+  EXPECT_EQ(conv_out_size(7, 3, 2, 0), 3);
+}
+
+}  // namespace
+}  // namespace fedtiny::ops

@@ -1,0 +1,139 @@
+#include "tensor/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fedtiny {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u32() != b.next_u32()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(1, 100), b(1, 200);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u32() != b.next_u32()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformFloatBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(u, -2.0f);
+    EXPECT_LT(u, 3.0f);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit with 1000 draws
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(12);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0f, 2.0f);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  auto p = rng.permutation(100);
+  std::set<int64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(14);
+  auto p = rng.permutation(100);
+  int fixed_points = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    if (p[static_cast<size_t>(i)] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 10);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(15);
+  for (double alpha : {0.1, 0.5, 1.0, 10.0}) {
+    auto p = rng.dirichlet(alpha, 8);
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletConcentration) {
+  // Large alpha => near-uniform; small alpha => concentrated.
+  Rng rng(16);
+  double spread_small = 0.0, spread_large = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto small = rng.dirichlet(0.1, 10);
+    auto large = rng.dirichlet(100.0, 10);
+    auto max_of = [](const std::vector<double>& v) {
+      double m = 0.0;
+      for (double x : v) m = std::max(m, x);
+      return m;
+    };
+    spread_small += max_of(small);
+    spread_large += max_of(large);
+  }
+  EXPECT_GT(spread_small / 50, 0.5);   // one client dominates
+  EXPECT_LT(spread_large / 50, 0.2);   // near uniform (1/10 each)
+}
+
+}  // namespace
+}  // namespace fedtiny

@@ -1,0 +1,88 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtiny {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ZerosShapeAndValues) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.dim(1), 3);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full({5}, 2.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, OnesHelper) {
+  Tensor t = Tensor::ones({3, 3});
+  for (float v : t.flat()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Tensor, FromVector) {
+  Tensor t = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.numel(), 3);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(Tensor, At2Indexing) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at2(1, 2), 7.0f);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6});
+  t.reshape({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.at2(1, 0), 4.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({4});
+  t.fill(3.0f);
+  EXPECT_EQ(t[0], 3.0f);
+  t.zero();
+  EXPECT_EQ(t[3], 0.0f);
+}
+
+TEST(Tensor, SameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({64, 3, 3, 3});
+  EXPECT_EQ(t.shape_string(), "[64, 3, 3, 3]");
+}
+
+TEST(Tensor, CopySemantics) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  Tensor b = a;
+  b[0] = 5.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace fedtiny
