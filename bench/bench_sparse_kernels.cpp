@@ -1,0 +1,146 @@
+// Dense vs CSR forward kernels across mask densities 100% -> 5%.
+//
+// Two kernels, matching the two nn-layer sparse dispatches:
+//   conv:   W[out_c, fan_in] x cols[fan_in, spatial]   (ops::gemm vs spmm)
+//   linear: x[batch, in] x W[out, in]^T                (ops::gemm vs spmm_nt)
+//
+// The dense gemm already skips stored zeros in its conv-shaped path, so the
+// conv speedup measures the win from dropping the zero-scan and its branch
+// misses; the linear dot-product path has no zero-skip, so its speedup
+// approaches 1/density. Usage: bench_sparse_kernels [--smoke]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/sparse.h"
+
+namespace {
+
+using namespace fedtiny;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n));
+  for (auto& m : mask) m = rng.uniform() < density ? 1 : 0;
+  return mask;
+}
+
+struct KernelResult {
+  double dense_ms = 0.0;
+  double sparse_ms = 0.0;
+  double max_abs_diff = 0.0;
+
+  [[nodiscard]] double speedup() const { return sparse_ms > 0.0 ? dense_ms / sparse_ms : 0.0; }
+};
+
+template <typename DenseFn, typename SparseFn>
+KernelResult time_pair(int reps, std::vector<float>& out_dense, std::vector<float>& out_sparse,
+                       DenseFn dense, SparseFn sparse_fn) {
+  KernelResult r;
+  dense();     // warm
+  sparse_fn();  // warm
+  auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) dense();
+  r.dense_ms = seconds_since(t0) * 1e3 / reps;
+  t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) sparse_fn();
+  r.sparse_ms = seconds_since(t0) * 1e3 / reps;
+  for (size_t i = 0; i < out_dense.size(); ++i) {
+    r.max_abs_diff =
+        std::max(r.max_abs_diff, static_cast<double>(std::fabs(out_dense[i] - out_sparse[i])));
+  }
+  return r;
+}
+
+void fill_random(std::vector<float>& v, Rng& rng) {
+  for (auto& x : v) x = rng.normal();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const int reps = smoke ? 3 : 50;
+  // conv-shaped: resnet block at width 1.0; linear-shaped: classifier-ish.
+  const int64_t conv_out = smoke ? 32 : 128;
+  const int64_t conv_fan = smoke ? 288 : 1152;
+  const int64_t conv_spatial = smoke ? 64 : 256;
+  const int64_t lin_out = smoke ? 64 : 512;
+  const int64_t lin_in = smoke ? 128 : 1024;
+  const int64_t lin_batch = smoke ? 16 : 64;
+  const double densities[] = {1.0, 0.5, 0.25, 0.10, 0.05};
+
+  Rng rng(7);
+  std::printf("%-8s %-8s | %-28s | %-28s\n", "", "", "conv  W*cols (spmm)", "linear x*W^T (spmm_nt)");
+  std::printf("%-8s %-8s | %8s %8s %8s | %8s %8s %8s\n", "density", "", "dense_ms", "csr_ms",
+              "speedup", "dense_ms", "csr_ms", "speedup");
+
+  bool low_density_wins = true;
+  for (double density : densities) {
+    // ---- conv kernel ----
+    std::vector<float> w(static_cast<size_t>(conv_out * conv_fan));
+    std::vector<float> cols(static_cast<size_t>(conv_fan * conv_spatial));
+    fill_random(w, rng);
+    fill_random(cols, rng);
+    auto mask = random_mask(conv_out * conv_fan, density, rng);
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (mask[i] == 0) w[i] = 0.0f;
+    }
+    auto csr = sparse::csr_from_mask(w.data(), conv_out, conv_fan, mask);
+    std::vector<float> yd(static_cast<size_t>(conv_out * conv_spatial));
+    std::vector<float> ys(yd.size());
+    auto conv = time_pair(
+        reps, yd, ys,
+        [&] {
+          ops::gemm(false, false, conv_out, conv_spatial, conv_fan, 1.0f, w.data(), cols.data(),
+                    0.0f, yd.data());
+        },
+        [&] { sparse::spmm(csr, cols.data(), conv_spatial, ys.data()); });
+
+    // ---- linear kernel ----
+    std::vector<float> lw(static_cast<size_t>(lin_out * lin_in));
+    std::vector<float> x(static_cast<size_t>(lin_batch * lin_in));
+    fill_random(lw, rng);
+    fill_random(x, rng);
+    auto lmask = random_mask(lin_out * lin_in, density, rng);
+    for (size_t i = 0; i < lw.size(); ++i) {
+      if (lmask[i] == 0) lw[i] = 0.0f;
+    }
+    auto lcsr = sparse::csr_from_mask(lw.data(), lin_out, lin_in, lmask);
+    std::vector<float> ld(static_cast<size_t>(lin_batch * lin_out));
+    std::vector<float> ls(ld.size());
+    auto lin = time_pair(
+        reps, ld, ls,
+        [&] {
+          ops::gemm(false, true, lin_batch, lin_out, lin_in, 1.0f, x.data(), lw.data(), 0.0f,
+                    ld.data());
+        },
+        [&] { sparse::spmm_nt(lcsr, x.data(), lin_batch, ls.data()); });
+
+    std::printf("%7.0f%% %-8s | %8.3f %8.3f %7.2fx | %8.3f %8.3f %7.2fx\n", density * 100.0, "",
+                conv.dense_ms, conv.sparse_ms, conv.speedup(), lin.dense_ms, lin.sparse_ms,
+                lin.speedup());
+    if (conv.max_abs_diff > 1e-5 || lin.max_abs_diff > 1e-5) {
+      std::printf("FAIL: dense/CSR mismatch (conv %.3g, linear %.3g)\n", conv.max_abs_diff,
+                  lin.max_abs_diff);
+      return 1;
+    }
+    if (density <= 0.10 && (conv.speedup() <= 1.0 || lin.speedup() <= 1.0)) {
+      low_density_wins = false;
+    }
+  }
+  if (!smoke && !low_density_wins) {
+    std::printf("FAIL: CSR did not beat dense at <=10%% density\n");
+    return 1;
+  }
+  return 0;
+}

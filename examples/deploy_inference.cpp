@@ -1,24 +1,24 @@
-// Deployment hand-off: the "server" trains and checkpoints a specialized
-// sparse model; the "device" process loads the checkpoint with no knowledge
-// of the training pipeline and serves predictions. Demonstrates the
-// io::checkpoint format as the interface between the two halves.
+// Deployment hand-off: the "server" trains over the sparse exchange path
+// and checkpoints a specialized sparse model as one payload file; the
+// "device" process loads the checkpoint with no knowledge of the training
+// pipeline, installs the CSR sparse forwards, and serves predictions.
 //
-//   ./build/examples/deploy_inference
+//   ./build/deploy_inference
 #include <cstdio>
 
 #include "core/fedtiny.h"
 #include "core/pretrain.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
-#include "io/checkpoint.h"
+#include "fl/payload.h"
 #include "nn/loss.h"
 #include "nn/models.h"
+#include "prune/sparse_exec.h"
 
 using namespace fedtiny;
 
 namespace {
-constexpr const char* kStatePath = "/tmp/fedtiny_deploy.state.bin";
-constexpr const char* kMaskPath = "/tmp/fedtiny_deploy.mask.bin";
+constexpr const char* kCheckpointPath = "/tmp/fedtiny_deploy.sparse.bin";
 
 nn::ModelConfig model_config() {
   nn::ModelConfig c;
@@ -29,7 +29,7 @@ nn::ModelConfig model_config() {
 }
 }  // namespace
 
-// Server role: federated training + checkpoint.
+// Server role: federated training over real sparse payloads + checkpoint.
 void server_role(const data::TrainTest& data) {
   Rng rng(1);
   auto partitions = data::dirichlet_partition(data.train.labels, 10, 0.5, rng);
@@ -40,6 +40,9 @@ void server_role(const data::TrainTest& data) {
   fl_config.rounds = 10;
   fl_config.local_epochs = 1;
   fl_config.lr = 0.06f;
+  fl_config.sparse_exchange = true;       // measured wire bytes
+  fl_config.sparse_exec_max_density = 0.5f;  // CSR eval forwards
+  fl_config.parallel_clients = 0;         // worker pool sized to hardware
   core::FedTinyConfig config;
   config.selection.pool.target_density = 0.05;
   config.selection.pool.pool_size = 10;
@@ -47,33 +50,44 @@ void server_role(const data::TrainTest& data) {
   config.schedule.r_stop = 6;
 
   core::FedTinyTrainer trainer(*model, data.train, data.test, partitions, fl_config, config);
+  trainer.set_model_factory([] { return nn::make_resnet18(model_config()); });
   trainer.initialize();
   const double acc = trainer.run();
+  const auto& last = trainer.history().back();
   std::printf("[server] trained sparse model: density %.4f, accuracy %.4f\n",
               trainer.mask().density(), acc);
-  io::save_state(kStatePath, trainer.global_state());
-  io::save_mask(kMaskPath, trainer.mask());
-  std::printf("[server] checkpoint written\n");
+  std::printf("[server] final-round comm: measured %.1f KiB vs analytic %.1f KiB\n",
+              last.comm_bytes / 1024.0, last.comm_bytes_analytic / 1024.0);
+
+  const auto payload =
+      fl::build_sparse_state(trainer.global_state(), trainer.mask(),
+                             trainer.model().prunable_indices());
+  const auto wire = fl::serialize(payload);
+  fl::save_sparse_checkpoint(kCheckpointPath, wire);
+  std::printf("[server] sparse checkpoint written (%zu bytes on the wire)\n", wire.size());
 }
 
-// Device role: load checkpoint, serve predictions. Knows only the model
-// architecture and the checkpoint paths.
+// Device role: load the sparse checkpoint, install CSR forwards, serve.
+// Knows only the model architecture and the checkpoint path.
 void device_role(const data::Dataset& test) {
   auto model = nn::make_resnet18(model_config());
-  const auto state = io::load_state(kStatePath);
-  const auto mask = io::load_mask(kMaskPath);
-  if (state.empty() || mask.num_layers() == 0) {
+  fl::SparseStatePayload payload;
+  if (!fl::load_sparse_checkpoint(kCheckpointPath, payload)) {
     std::printf("[device] checkpoint missing\n");
     return;
   }
-  model->set_state(state);
-  mask.apply(*model);
+  const auto mask = fl::payload_mask(payload);
+  if (!model->try_set_state(fl::reconstruct_state(payload, model->prunable_indices()))) {
+    std::printf("[device] checkpoint does not match this architecture\n");
+    return;
+  }
+  const auto report = prune::install_sparse_execution(*model, mask, /*max_density=*/0.5f);
 
   std::vector<int64_t> first = {0, 1, 2, 3, 4, 5, 6, 7};
   auto batch = data::gather_batch(test, first);
   Tensor logits = model->forward(batch.x, nn::Mode::kEval);
-  std::printf("[device] loaded sparse model (density %.4f); sample predictions:\n",
-              mask.density());
+  std::printf("[device] loaded sparse model (density %.4f, %d CSR layers); predictions:\n",
+              mask.density(), report.sparse_layers);
   for (int64_t i = 0; i < batch.size(); ++i) {
     int64_t best = 0;
     for (int64_t j = 1; j < logits.dim(1); ++j) {

@@ -20,6 +20,23 @@ struct FLConfig {
   /// Evaluate the global model on the test split every this many rounds
   /// (and always on the last round). 0 disables intermediate evaluation.
   int eval_every = 0;
+
+  // ---- Sparse execution & exchange engine ----
+  /// Exchange real serialized payloads each round (downlink: mask bitmap +
+  /// kept values; uplink: kept values at the round mask's support) instead
+  /// of simulated dense states. RoundStats::comm_bytes becomes the measured
+  /// wire size; the analytic estimate stays in comm_bytes_analytic.
+  bool sparse_exchange = false;
+  /// Prunable layers whose mask density is at or below this threshold run
+  /// the CSR sparse forward during evaluation (0 = always dense).
+  float sparse_exec_max_density = 0.0f;
+  /// Worker threads for sampled-client training: 1 = sequential, 0 = one
+  /// per hardware thread minus two, >1 = explicit count. Parallel execution
+  /// needs a model factory for per-worker replicas (set_model_factory);
+  /// without one the round loop falls back to sequential. Results are
+  /// bitwise identical for any worker count: client RNG streams are derived
+  /// from (seed, round, client) and aggregation runs in client order.
+  int parallel_clients = 1;
 };
 
 }  // namespace fedtiny::fl

@@ -1,0 +1,346 @@
+#include "fl/payload.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <fstream>
+
+#include "io/serialize.h"
+
+namespace fedtiny::fl {
+
+namespace {
+
+constexpr uint32_t kStateTag = 0x53505253;   // "SRPS"
+constexpr uint32_t kUpdateTag = 0x55505253;  // "SRPU"
+constexpr char kSparseCkptMagic[8] = {'F', 'T', 'S', 'P', 'R', 'S', '0', '1'};
+constexpr uint32_t kMaxRank = 8;
+constexpr uint64_t kMaxTensors = 1u << 20;
+
+std::vector<uint64_t> pack_bits(const std::vector<uint8_t>& mask) {
+  std::vector<uint64_t> bits((mask.size() + 63) / 64, 0);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) bits[i / 64] |= uint64_t{1} << (i % 64);
+  }
+  return bits;
+}
+
+void write_shape(io::ByteWriter& w, const std::vector<int64_t>& shape) {
+  w.write_u32(static_cast<uint32_t>(shape.size()));
+  for (int64_t d : shape) w.write_i64(d);
+}
+
+// Largest tensor a checkpoint may describe (mirrors io/checkpoint.cpp's
+// bound); also guards the numel product against int64 overflow.
+constexpr int64_t kMaxTensorNumel = int64_t{1} << 33;
+
+bool read_shape(io::ByteReader& r, std::vector<int64_t>& shape) {
+  uint32_t rank = 0;
+  if (!r.read_pod(rank) || rank > kMaxRank) return false;
+  shape.resize(rank);
+  int64_t numel = 1;
+  for (auto& d : shape) {
+    if (!r.read_pod(d) || d < 0 || d > kMaxTensorNumel) return false;
+    if (d > 1 && numel > kMaxTensorNumel / d) return false;  // pre-multiply: no overflow
+    numel *= std::max<int64_t>(d, 1);
+  }
+  return true;
+}
+
+void write_tensor(io::ByteWriter& w, const Tensor& t) {
+  write_shape(w, t.shape());
+  w.write_array(t.flat());
+}
+
+bool read_tensor(io::ByteReader& r, Tensor& t) {
+  std::vector<int64_t> shape;
+  if (!read_shape(r, shape)) return false;
+  // Never allocate more than the buffer can still back: header fields are
+  // untrusted, and a crafted tiny file must fail cleanly, not bad_alloc.
+  const auto numel = static_cast<uint64_t>(Tensor::compute_numel(shape));
+  if (numel * sizeof(float) > r.remaining()) return false;
+  t = Tensor(std::move(shape));
+  return r.read_array(t.flat());
+}
+
+/// Kept values of a tensor under its mask, in ascending index order.
+std::vector<float> collect_kept(const Tensor& t, const std::vector<uint8_t>& m) {
+  assert(static_cast<int64_t>(m.size()) == t.numel());
+  std::vector<float> values;
+  const auto data = t.flat();
+  for (size_t j = 0; j < m.size(); ++j) {
+    if (m[j] != 0) values.push_back(data[j]);
+  }
+  return values;
+}
+
+/// The non-prunable state tensors, in state order.
+std::vector<Tensor> collect_dense(const std::vector<Tensor>& state,
+                                  const std::vector<int>& prunable_indices) {
+  std::vector<bool> is_sparse(state.size(), false);
+  for (int idx : prunable_indices) is_sparse[static_cast<size_t>(idx)] = true;
+  std::vector<Tensor> dense;
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (!is_sparse[i]) dense.push_back(state[i]);
+  }
+  return dense;
+}
+
+}  // namespace
+
+std::vector<Tensor> place_state(std::vector<Tensor> sparse_tensors,
+                                const std::vector<Tensor>& dense_tensors,
+                                const std::vector<int>& prunable_indices) {
+  if (sparse_tensors.size() != prunable_indices.size()) return {};
+  const size_t total = sparse_tensors.size() + dense_tensors.size();
+  std::vector<Tensor> state(total);
+  std::vector<bool> placed(total, false);
+  for (size_t l = 0; l < sparse_tensors.size(); ++l) {
+    const int idx = prunable_indices[l];
+    if (idx < 0 || static_cast<size_t>(idx) >= total || placed[static_cast<size_t>(idx)]) {
+      return {};
+    }
+    state[static_cast<size_t>(idx)] = std::move(sparse_tensors[l]);
+    placed[static_cast<size_t>(idx)] = true;
+  }
+  size_t dense_at = 0;
+  for (size_t i = 0; i < total; ++i) {
+    if (!placed[i]) state[i] = dense_tensors[dense_at++];
+  }
+  return state;
+}
+
+SparseStatePayload build_sparse_state(const std::vector<Tensor>& state,
+                                      const prune::MaskSet& mask,
+                                      const std::vector<int>& prunable_indices) {
+  assert(mask.num_layers() == prunable_indices.size());
+  SparseStatePayload payload;
+  payload.sparse_layers.reserve(prunable_indices.size());
+  for (size_t l = 0; l < prunable_indices.size(); ++l) {
+    const auto& t = state[static_cast<size_t>(prunable_indices[l])];
+    SparseLayerPayload layer;
+    layer.shape = t.shape();
+    layer.mask_bits = pack_bits(mask.layer(l));
+    layer.values = collect_kept(t, mask.layer(l));
+    payload.sparse_layers.push_back(std::move(layer));
+  }
+  payload.dense_tensors = collect_dense(state, prunable_indices);
+  return payload;
+}
+
+std::vector<Tensor> reconstruct_state(const SparseStatePayload& payload,
+                                      const std::vector<int>& prunable_indices) {
+  // Checkpoint payloads are untrusted input: a payload that does not fit
+  // prunable_indices (different architecture) yields an empty state, never
+  // an assert or out-of-bounds access. deserialize() guarantees each
+  // layer's value count equals its bitmap popcount.
+  std::vector<Tensor> sparse_tensors;
+  sparse_tensors.reserve(payload.sparse_layers.size());
+  for (const auto& layer : payload.sparse_layers) {
+    Tensor t(layer.shape);
+    auto data = t.flat();
+    size_t at = 0;
+    for (size_t j = 0; j < data.size(); ++j) {
+      if ((layer.mask_bits[j / 64] >> (j % 64)) & 1u) {
+        if (at >= layer.values.size()) return {};  // bitmap/value mismatch
+        data[j] = layer.values[at++];
+      }
+    }
+    if (at != layer.values.size()) return {};
+    sparse_tensors.push_back(std::move(t));
+  }
+  return place_state(std::move(sparse_tensors), payload.dense_tensors, prunable_indices);
+}
+
+prune::MaskSet payload_mask(const SparseStatePayload& payload) {
+  prune::MaskSet mask;
+  for (const auto& layer : payload.sparse_layers) {
+    std::vector<uint8_t> m(static_cast<size_t>(layer.numel()), 0);
+    for (size_t j = 0; j < m.size(); ++j) {
+      m[j] = (layer.mask_bits[j / 64] >> (j % 64)) & 1u;
+    }
+    mask.append_layer(std::move(m));
+  }
+  return mask;
+}
+
+SparseUpdatePayload build_sparse_update(const std::vector<Tensor>& state,
+                                        const prune::MaskSet& mask,
+                                        const std::vector<int>& prunable_indices) {
+  assert(mask.num_layers() == prunable_indices.size());
+  SparseUpdatePayload payload;
+  payload.sparse_layers.reserve(prunable_indices.size());
+  for (size_t l = 0; l < prunable_indices.size(); ++l) {
+    const auto& t = state[static_cast<size_t>(prunable_indices[l])];
+    UpdateLayerPayload layer;
+    layer.shape = t.shape();
+    layer.values = collect_kept(t, mask.layer(l));
+    payload.sparse_layers.push_back(std::move(layer));
+  }
+  payload.dense_tensors = collect_dense(state, prunable_indices);
+  return payload;
+}
+
+std::vector<Tensor> reconstruct_update(const SparseUpdatePayload& payload,
+                                       const prune::MaskSet& mask,
+                                       const std::vector<int>& prunable_indices) {
+  // The update wire format carries no bitmap, so the value counts can only
+  // be validated here, against the round mask: a mismatch (e.g. a truncated
+  // or foreign payload) returns empty rather than reading out of bounds.
+  if (mask.num_layers() != payload.sparse_layers.size()) return {};
+  std::vector<Tensor> sparse_tensors;
+  sparse_tensors.reserve(payload.sparse_layers.size());
+  for (size_t l = 0; l < payload.sparse_layers.size(); ++l) {
+    const auto& layer = payload.sparse_layers[l];
+    const auto& m = mask.layer(l);
+    Tensor t(layer.shape);
+    auto data = t.flat();
+    if (m.size() != data.size()) return {};
+    size_t at = 0;
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (m[j] != 0) {
+        if (at >= layer.values.size()) return {};
+        data[j] = layer.values[at++];
+      }
+    }
+    if (at != layer.values.size()) return {};
+    sparse_tensors.push_back(std::move(t));
+  }
+  return place_state(std::move(sparse_tensors), payload.dense_tensors, prunable_indices);
+}
+
+std::vector<uint8_t> serialize(const SparseStatePayload& payload) {
+  io::ByteWriter w;
+  w.write_u32(kStateTag);
+  w.write_u32(static_cast<uint32_t>(payload.sparse_layers.size()));
+  w.write_u32(static_cast<uint32_t>(payload.dense_tensors.size()));
+  for (const auto& layer : payload.sparse_layers) {
+    write_shape(w, layer.shape);
+    w.write_array(std::span<const uint64_t>(layer.mask_bits));
+    w.write_u64(layer.values.size());
+    w.write_array(std::span<const float>(layer.values));
+  }
+  for (const auto& t : payload.dense_tensors) write_tensor(w, t);
+  return w.take();
+}
+
+bool deserialize(std::span<const uint8_t> bytes, SparseStatePayload& out) {
+  io::ByteReader r(bytes);
+  uint32_t tag = 0, sparse_count = 0, dense_count = 0;
+  if (!r.read_pod(tag) || tag != kStateTag) return false;
+  if (!r.read_pod(sparse_count) || !r.read_pod(dense_count)) return false;
+  if (sparse_count > kMaxTensors || dense_count > kMaxTensors) return false;
+  // Every tensor costs at least a rank field; a 12-byte header cannot claim
+  // a million tensors (allocation bound, like the per-field checks below).
+  if (static_cast<uint64_t>(sparse_count) + dense_count > r.remaining() / sizeof(uint32_t)) {
+    return false;
+  }
+  out.sparse_layers.assign(sparse_count, {});
+  out.dense_tensors.assign(dense_count, {});
+  for (auto& layer : out.sparse_layers) {
+    if (!read_shape(r, layer.shape)) return false;
+    const auto words = static_cast<uint64_t>((layer.numel() + 63) / 64);
+    if (words * sizeof(uint64_t) > r.remaining()) return false;
+    layer.mask_bits.resize(words);
+    if (!r.read_array(std::span<uint64_t>(layer.mask_bits))) return false;
+    // Clear tail bits past numel, then require the value count to equal the
+    // bitmap's popcount — reconstruct_state indexes values by set bit, so a
+    // mismatch would read out of bounds in release builds.
+    if (const int64_t tail = layer.numel() % 64; tail != 0 && !layer.mask_bits.empty()) {
+      layer.mask_bits.back() &= (uint64_t{1} << tail) - 1;
+    }
+    uint64_t kept = 0;
+    for (uint64_t word : layer.mask_bits) kept += static_cast<uint64_t>(std::popcount(word));
+    uint64_t value_count = 0;
+    if (!r.read_pod(value_count) || value_count != kept) return false;
+    if (value_count * sizeof(float) > r.remaining()) return false;
+    layer.values.resize(value_count);
+    if (!r.read_array(std::span<float>(layer.values))) return false;
+  }
+  for (auto& t : out.dense_tensors) {
+    if (!read_tensor(r, t)) return false;
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+std::vector<uint8_t> serialize(const SparseUpdatePayload& payload) {
+  io::ByteWriter w;
+  w.write_u32(kUpdateTag);
+  w.write_u32(static_cast<uint32_t>(payload.sparse_layers.size()));
+  w.write_u32(static_cast<uint32_t>(payload.dense_tensors.size()));
+  for (const auto& layer : payload.sparse_layers) {
+    write_shape(w, layer.shape);
+    w.write_u64(layer.values.size());
+    w.write_array(std::span<const float>(layer.values));
+  }
+  for (const auto& t : payload.dense_tensors) write_tensor(w, t);
+  return w.take();
+}
+
+bool deserialize(std::span<const uint8_t> bytes, SparseUpdatePayload& out) {
+  io::ByteReader r(bytes);
+  uint32_t tag = 0, sparse_count = 0, dense_count = 0;
+  if (!r.read_pod(tag) || tag != kUpdateTag) return false;
+  if (!r.read_pod(sparse_count) || !r.read_pod(dense_count)) return false;
+  if (sparse_count > kMaxTensors || dense_count > kMaxTensors) return false;
+  if (static_cast<uint64_t>(sparse_count) + dense_count > r.remaining() / sizeof(uint32_t)) {
+    return false;
+  }
+  out.sparse_layers.assign(sparse_count, {});
+  out.dense_tensors.assign(dense_count, {});
+  for (auto& layer : out.sparse_layers) {
+    if (!read_shape(r, layer.shape)) return false;
+    uint64_t value_count = 0;
+    if (!r.read_pod(value_count) ||
+        value_count > static_cast<uint64_t>(Tensor::compute_numel(layer.shape))) {
+      return false;
+    }
+    if (value_count * sizeof(float) > r.remaining()) return false;
+    layer.values.resize(value_count);
+    if (!r.read_array(std::span<float>(layer.values))) return false;
+  }
+  for (auto& t : out.dense_tensors) {
+    if (!read_tensor(r, t)) return false;
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+std::vector<uint8_t> serialize_grad_upload(
+    const std::vector<std::vector<prune::ScoredIndex>>& grads) {
+  io::ByteWriter w;
+  w.write_u32(static_cast<uint32_t>(grads.size()));
+  for (const auto& layer : grads) {
+    w.write_u64(layer.size());
+    for (const auto& e : layer) {
+      w.write_i64(e.index);
+      w.write_f32(e.value);
+    }
+  }
+  return w.take();
+}
+
+bool save_sparse_checkpoint(const std::string& path, const SparseStatePayload& payload) {
+  return save_sparse_checkpoint(path, serialize(payload));
+}
+
+bool save_sparse_checkpoint(const std::string& path, std::span<const uint8_t> wire) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kSparseCkptMagic, sizeof(kSparseCkptMagic));
+  out.write(reinterpret_cast<const char*>(wire.data()), static_cast<std::streamsize>(wire.size()));
+  return static_cast<bool>(out);
+}
+
+bool load_sparse_checkpoint(const std::string& path, SparseStatePayload& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSparseCkptMagic, sizeof(magic)) != 0) return false;
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return deserialize(bytes, out);
+}
+
+}  // namespace fedtiny::fl

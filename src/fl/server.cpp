@@ -5,6 +5,7 @@
 namespace fedtiny::fl {
 
 void StateAccumulator::add(const std::vector<Tensor>& state, double weight) {
+  assert(sparse_sum_.empty() && "do not mix dense and sparse accumulation");
   if (sum_.empty()) {
     sum_.reserve(state.size());
     for (const auto& t : state) sum_.emplace_back(t.shape());
@@ -21,8 +22,48 @@ void StateAccumulator::add(const std::vector<Tensor>& state, double weight) {
   total_weight_ += weight;
 }
 
+void StateAccumulator::add_sparse(const SparseUpdatePayload& update, double weight) {
+  assert(sum_.empty() && "do not mix dense and sparse accumulation");
+  if (sparse_sum_.empty() && sparse_dense_sum_.empty()) {
+    sparse_sum_.reserve(update.sparse_layers.size());
+    for (const auto& layer : update.sparse_layers) {
+      UpdateLayerPayload acc;
+      acc.shape = layer.shape;
+      acc.values.assign(layer.values.size(), 0.0f);
+      sparse_sum_.push_back(std::move(acc));
+    }
+    sparse_dense_sum_.reserve(update.dense_tensors.size());
+    for (const auto& t : update.dense_tensors) sparse_dense_sum_.emplace_back(t.shape());
+  }
+  // Uplinks must agree layer-for-layer with the first one accepted this
+  // round; a foreign/truncated payload is dropped instead of read past.
+  assert(sparse_sum_.size() == update.sparse_layers.size());
+  assert(sparse_dense_sum_.size() == update.dense_tensors.size());
+  if (sparse_sum_.size() != update.sparse_layers.size() ||
+      sparse_dense_sum_.size() != update.dense_tensors.size()) {
+    return;
+  }
+  for (size_t l = 0; l < update.sparse_layers.size(); ++l) {
+    assert(sparse_sum_[l].values.size() == update.sparse_layers[l].values.size());
+    if (sparse_sum_[l].values.size() != update.sparse_layers[l].values.size()) return;
+  }
+  const auto w = static_cast<float>(weight);
+  for (size_t l = 0; l < update.sparse_layers.size(); ++l) {
+    const auto& values = update.sparse_layers[l].values;
+    auto& acc = sparse_sum_[l].values;
+    for (size_t j = 0; j < values.size(); ++j) acc[j] += w * values[j];
+  }
+  for (size_t i = 0; i < update.dense_tensors.size(); ++i) {
+    auto dst = sparse_dense_sum_[i].flat();
+    const auto src = update.dense_tensors[i].flat();
+    assert(dst.size() == src.size());
+    for (size_t j = 0; j < src.size(); ++j) dst[j] += w * src[j];
+  }
+  total_weight_ += weight;
+}
+
 std::vector<Tensor> StateAccumulator::average() const {
-  assert(total_weight_ > 0.0);
+  if (total_weight_ <= 0.0) return {};
   std::vector<Tensor> out = sum_;
   const auto inv = static_cast<float>(1.0 / total_weight_);
   for (auto& t : out) {
@@ -31,8 +72,37 @@ std::vector<Tensor> StateAccumulator::average() const {
   return out;
 }
 
+std::vector<Tensor> StateAccumulator::average_sparse(
+    const prune::MaskSet& mask, const std::vector<int>& prunable_indices) const {
+  if (total_weight_ <= 0.0) return {};
+  assert(sparse_sum_.size() == prunable_indices.size());
+  assert(mask.num_layers() == prunable_indices.size());
+  const auto inv = static_cast<float>(1.0 / total_weight_);
+  // Scale the compact sums into a per-layer averaged update, then reuse the
+  // uplink reconstruction to scatter through the mask and interleave with
+  // the averaged dense remainder.
+  SparseUpdatePayload averaged;
+  averaged.sparse_layers.reserve(sparse_sum_.size());
+  for (const auto& layer : sparse_sum_) {
+    UpdateLayerPayload scaled;
+    scaled.shape = layer.shape;
+    scaled.values.reserve(layer.values.size());
+    for (float v : layer.values) scaled.values.push_back(v * inv);
+    averaged.sparse_layers.push_back(std::move(scaled));
+  }
+  averaged.dense_tensors.reserve(sparse_dense_sum_.size());
+  for (const auto& t : sparse_dense_sum_) {
+    Tensor scaled = t;
+    for (auto& v : scaled.flat()) v *= inv;
+    averaged.dense_tensors.push_back(std::move(scaled));
+  }
+  return reconstruct_update(averaged, mask, prunable_indices);
+}
+
 void StateAccumulator::reset() {
   sum_.clear();
+  sparse_sum_.clear();
+  sparse_dense_sum_.clear();
   total_weight_ = 0.0;
 }
 

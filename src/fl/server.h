@@ -1,27 +1,48 @@
-// Server-side aggregation primitives: weighted FedAvg state averaging and
-// weighted sparse gradient accumulation (Eq. 7).
+// Server-side aggregation primitives: weighted FedAvg state averaging (dense
+// and sparse-update paths) and weighted sparse gradient accumulation (Eq. 7).
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
+#include "fl/payload.h"
 #include "prune/topk_buffer.h"
 #include "tensor/tensor.h"
 
 namespace fedtiny::fl {
 
 /// Accumulates weighted model states and produces their weighted mean.
-/// All added states must have identical tensor shapes.
+/// Two mutually exclusive ingestion paths:
+///   - add(): dense client states (all tensor shapes identical);
+///   - add_sparse(): SparseUpdatePayload uplinks, accumulated compactly in
+///     O(nnz) per client without densifying, averaged by average_sparse().
+/// Per-coordinate arithmetic is identical across the two paths, so a sparse
+/// round aggregates bitwise the same as its dense oracle.
 class StateAccumulator {
  public:
   void add(const std::vector<Tensor>& state, double weight);
+  void add_sparse(const SparseUpdatePayload& update, double weight);
+
   [[nodiscard]] bool empty() const { return total_weight_ == 0.0; }
-  /// Weighted average; resets nothing (call reset() to reuse).
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+
+  /// Weighted average of dense add()s; empty vector when nothing was added
+  /// (an empty round must not produce garbage in release builds).
   [[nodiscard]] std::vector<Tensor> average() const;
+
+  /// Weighted average of add_sparse() uplinks, scattered back to dense
+  /// through the round mask. Empty vector when nothing was added.
+  [[nodiscard]] std::vector<Tensor> average_sparse(
+      const prune::MaskSet& mask, const std::vector<int>& prunable_indices) const;
+
   void reset();
 
  private:
+  // Dense path.
   std::vector<Tensor> sum_;
+  // Sparse path: compact per-layer value sums + dense remainder sums.
+  std::vector<UpdateLayerPayload> sparse_sum_;
+  std::vector<Tensor> sparse_dense_sum_;
   double total_weight_ = 0.0;
 };
 

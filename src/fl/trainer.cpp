@@ -1,12 +1,16 @@
 #include "fl/trainer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "fl/evaluate.h"
+#include "fl/payload.h"
 #include "metrics/comms.h"
 #include "nn/loss.h"
 #include "nn/sgd.h"
+#include "prune/sparse_exec.h"
+#include "tensor/parallel.h"
 
 namespace fedtiny::fl {
 
@@ -18,8 +22,8 @@ FederatedTrainer::FederatedTrainer(nn::Model& model, const data::Dataset& train_
       test_data_(test_data),
       partitions_(std::move(partitions)),
       config_(config),
-      rng_(config.seed, /*stream=*/0xfed),
-      cost_(metrics::analyze_model(model)) {
+      cost_(metrics::analyze_model(model)),
+      rng_(config.seed, /*stream=*/0xfed) {
   assert(static_cast<int>(partitions_.size()) == config_.num_clients);
   mask_ = prune::MaskSet::ones_like(model_);
   global_ = model_.state();
@@ -39,13 +43,13 @@ void FederatedTrainer::apply_mask_to_global() {
   global_ = model_.state();
 }
 
-void FederatedTrainer::local_train(int client, float lr) {
+void FederatedTrainer::local_train(nn::Model& model, int client, int round, float lr) {
   const auto& indices = partitions_[static_cast<size_t>(client)];
   if (indices.empty()) return;
   nn::SGD sgd({lr, config_.momentum, config_.weight_decay});
-  const auto param_masks = mask_.for_params(model_);
-  Rng client_rng(config_.seed * 7919 + static_cast<uint64_t>(client) * 104729 +
-                     static_cast<uint64_t>(history_.size()),
+  const auto param_masks = mask_.for_params(model);
+  Rng client_rng(derive_seed(config_.seed, static_cast<uint64_t>(round),
+                             static_cast<uint64_t>(client)),
                  /*stream=*/0xc11e47);
   for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
     auto perm = client_rng.permutation(static_cast<int64_t>(indices.size()));
@@ -55,18 +59,18 @@ void FederatedTrainer::local_train(int client, float lr) {
     }
     for (const auto& chunk : data::chunk_indices(shuffled, config_.batch_size)) {
       auto batch = data::gather_batch(train_data_, chunk);
-      model_.zero_grad();
-      Tensor logits = model_.forward(batch.x, nn::Mode::kTrain);
+      model.zero_grad();
+      Tensor logits = model.forward(batch.x, nn::Mode::kTrain);
       auto loss = nn::softmax_cross_entropy(logits, batch.y);
-      model_.backward(loss.grad_logits);
-      sgd.step_masked(model_.params(), param_masks);
+      model.backward(loss.grad_logits);
+      sgd.step_masked(model.params(), param_masks);
     }
   }
 }
 
 std::vector<std::vector<prune::ScoredIndex>> FederatedTrainer::topk_pruned_grads(
-    int client, const std::vector<int64_t>& quota) {
-  const auto& prunable = model_.prunable_indices();
+    nn::Model& model, int client, const std::vector<int64_t>& quota) {
+  const auto& prunable = model.prunable_indices();
   assert(quota.size() == prunable.size());
   std::vector<std::vector<prune::ScoredIndex>> out(prunable.size());
 
@@ -80,14 +84,14 @@ std::vector<std::vector<prune::ScoredIndex>> FederatedTrainer::topk_pruned_grads
   auto batch = data::gather_batch(
       train_data_, std::span<const int64_t>(indices.data(), static_cast<size_t>(take)));
 
-  model_.zero_grad();
-  Tensor logits = model_.forward(batch.x, nn::Mode::kTrain);
+  model.zero_grad();
+  Tensor logits = model.forward(batch.x, nn::Mode::kTrain);
   auto loss = nn::softmax_cross_entropy(logits, batch.y);
-  model_.backward(loss.grad_logits);
+  model.backward(loss.grad_logits);
 
   for (size_t l = 0; l < prunable.size(); ++l) {
     if (quota[l] <= 0) continue;
-    const auto g = model_.params()[static_cast<size_t>(prunable[l])]->grad.flat();
+    const auto g = model.params()[static_cast<size_t>(prunable[l])]->grad.flat();
     const auto& m = mask_.layer(l);
     prune::TopKBuffer buffer(quota[l]);
     for (size_t j = 0; j < g.size(); ++j) {
@@ -95,7 +99,7 @@ std::vector<std::vector<prune::ScoredIndex>> FederatedTrainer::topk_pruned_grads
     }
     out[l] = buffer.sorted();
   }
-  model_.zero_grad();
+  model.zero_grad();
   return out;
 }
 
@@ -110,11 +114,28 @@ double FederatedTrainer::round_training_flops(int round) {
          extra_device_flops(round);
 }
 
-double FederatedTrainer::round_comm_bytes(int round) {
+double FederatedTrainer::round_comm_bytes_analytic(int round) {
   const double model_bytes = dense_storage_ ? metrics::dense_model_bytes(cost_)
                                             : metrics::sparse_model_bytes(cost_, mask_.nnz());
   // Download + upload per device.
   return 2.0 * static_cast<double>(config_.num_clients) * model_bytes + extra_comm_bytes(round);
+}
+
+int FederatedTrainer::resolve_workers(int active_clients) const {
+  int workers = config_.parallel_clients;
+  if (workers == 0) workers = default_pool_workers();
+  if (!factory_) workers = 1;  // no replicas available: sequential fallback
+  return std::clamp(workers, 1, std::max(1, active_clients));
+}
+
+nn::Model& FederatedTrainer::worker_model(int worker) {
+  // Worker 0 trains on the primary model (no replica cost in the sequential
+  // case); workers >= 1 get lazily-built factory replicas.
+  if (worker == 0) return model_;
+  const auto slot = static_cast<size_t>(worker - 1);
+  while (replicas_.size() <= slot) replicas_.push_back(factory_());
+  assert(replicas_[slot]->state_tensor_count() == model_.state_tensor_count());
+  return *replicas_[slot];
 }
 
 void FederatedTrainer::run_round(int round) {
@@ -123,27 +144,104 @@ void FederatedTrainer::run_round(int round) {
   const float lr = config_.lr * std::pow(config_.lr_decay, static_cast<float>(round));
   const auto quota = pruned_grad_quota(round);
   assert(quota.empty() || quota.size() == model_.prunable_indices().size());
+  const auto& prunable = model_.prunable_indices();
 
-  StateAccumulator state_acc;
-  std::vector<SparseGradAccumulator> grad_acc(quota.empty() ? 0
-                                                            : model_.prunable_indices().size());
   double total_samples = 0.0;
   for (const auto& p : partitions_) total_samples += static_cast<double>(p.size());
-
+  std::vector<int> active;
   for (int k = 0; k < config_.num_clients; ++k) {
-    const double weight = static_cast<double>(client_size(k)) / std::max(1.0, total_samples);
-    if (weight == 0.0) continue;
-    model_.set_state(global_);
-    local_train(k, lr);
-    state_acc.add(model_.state(), weight);
-    if (!quota.empty()) {
-      auto grads = topk_pruned_grads(k, quota);
-      for (size_t l = 0; l < grads.size(); ++l) grad_acc[l].add(grads[l], weight);
-    }
+    if (client_size(k) > 0) active.push_back(k);
   }
-  global_ = state_acc.average();
+
+  // ---- Server broadcast. In sparse-exchange mode the state really goes
+  // through the wire format: serialize once, every client deserializes the
+  // same buffer. Masked coordinates of global_ are exact zeros, so the
+  // reconstruction is bit-identical to the dense broadcast.
+  double measured_down = 0.0;
+  std::vector<Tensor> round_start;
+  if (config_.sparse_exchange) {
+    const auto wire = serialize(build_sparse_state(global_, mask_, prunable));
+    measured_down = static_cast<double>(wire.size()) * static_cast<double>(active.size());
+    SparseStatePayload rx;
+    const bool ok = deserialize(wire, rx);
+    assert(ok);
+    (void)ok;
+    round_start = reconstruct_state(rx, prunable);
+  } else {
+    round_start = global_;
+  }
+
+  // ---- Local training across the sampled clients (worker pool).
+  struct ClientResult {
+    std::vector<Tensor> state;   // dense-exchange uplink
+    SparseUpdatePayload update;  // sparse-exchange uplink
+    std::vector<std::vector<prune::ScoredIndex>> grads;
+    double upload_bytes = 0.0;
+  };
+  std::vector<ClientResult> results(active.size());
+
+  auto train_one = [&](nn::Model& model, size_t slot) {
+    const int client = active[slot];
+    auto& result = results[slot];
+    model.set_state(round_start);
+    local_train(model, client, round, lr);
+    if (!quota.empty()) {
+      result.grads = topk_pruned_grads(model, client, quota);
+      if (config_.sparse_exchange) {  // measured bytes only used in sparse mode
+        result.upload_bytes += static_cast<double>(serialize_grad_upload(result.grads).size());
+      }
+    }
+    if (config_.sparse_exchange) {
+      const auto wire = serialize(build_sparse_update(model.state(), mask_, prunable));
+      result.upload_bytes += static_cast<double>(wire.size());
+      const bool ok = deserialize(wire, result.update);
+      assert(ok);
+      (void)ok;
+    } else {
+      result.state = model.state();
+    }
+  };
+
+  // Reduction runs in client order whatever the worker count, so parallel
+  // schedules are bitwise identical to sequential ones.
+  StateAccumulator state_acc;
+  std::vector<SparseGradAccumulator> grad_acc(quota.empty() ? 0 : prunable.size());
+  double measured_up = 0.0;
+  auto reduce_one = [&](size_t slot) {
+    const double weight =
+        static_cast<double>(client_size(active[slot])) / std::max(1.0, total_samples);
+    auto& result = results[slot];
+    if (config_.sparse_exchange) {
+      state_acc.add_sparse(result.update, weight);
+    } else {
+      state_acc.add(result.state, weight);
+    }
+    measured_up += result.upload_bytes;
+    if (!quota.empty()) {
+      for (size_t l = 0; l < result.grads.size(); ++l) grad_acc[l].add(result.grads[l], weight);
+    }
+    result = ClientResult{};  // drop the uplink buffers as soon as consumed
+  };
+
+  const int workers = resolve_workers(static_cast<int>(active.size()));
+  if (workers <= 1) {
+    // Sequential: fold each client straight into the accumulators so only
+    // one uplink is in memory at a time (O(1) extra, any client count).
+    for (size_t i = 0; i < active.size(); ++i) {
+      train_one(model_, i);
+      reduce_one(i);
+    }
+  } else {
+    for (int w = 0; w < workers; ++w) worker_model(w);  // build replicas up front
+    worker_pool_for(active.size(), workers,
+                    [&](int w, size_t i) { train_one(worker_model(w), i); });
+    for (size_t i = 0; i < active.size(); ++i) reduce_one(i);
+  }
+  auto averaged = config_.sparse_exchange ? state_acc.average_sparse(mask_, prunable)
+                                          : state_acc.average();
+  if (!averaged.empty()) global_ = std::move(averaged);  // empty round: keep state
   if (!quota.empty()) {
-    aggregated_grads_.assign(model_.prunable_indices().size(), {});
+    aggregated_grads_.assign(prunable.size(), {});
     for (size_t l = 0; l < grad_acc.size(); ++l) aggregated_grads_[l] = grad_acc[l].average();
   }
   // Keep pruned coordinates exactly zero after averaging.
@@ -155,7 +253,9 @@ void FederatedTrainer::run_round(int round) {
   RoundStats stats;
   stats.round = round;
   stats.device_flops = round_training_flops(round);
-  stats.comm_bytes = round_comm_bytes(round);
+  stats.comm_bytes_analytic = round_comm_bytes_analytic(round);
+  stats.comm_bytes =
+      config_.sparse_exchange ? measured_down + measured_up : stats.comm_bytes_analytic;
   max_round_flops_ = std::max(max_round_flops_, stats.device_flops);
   total_comm_bytes_ += stats.comm_bytes;
   if ((config_.eval_every > 0 && round % config_.eval_every == 0) ||
@@ -172,7 +272,13 @@ double FederatedTrainer::run() {
 
 double FederatedTrainer::evaluate() {
   model_.set_state(global_);
-  return evaluate_accuracy(model_, test_data_, config_.eval_batch);
+  const bool sparse_exec = config_.sparse_exec_max_density > 0.0f;
+  if (sparse_exec) {
+    prune::install_sparse_execution(model_, mask_, config_.sparse_exec_max_density);
+  }
+  const double acc = evaluate_accuracy(model_, test_data_, config_.eval_batch);
+  if (sparse_exec) prune::clear_sparse_execution(model_);
+  return acc;
 }
 
 }  // namespace fedtiny::fl

@@ -4,14 +4,19 @@
 //
 // Per round:
 //   1. before_round(r)              (hook: e.g. pick the block to prune)
-//   2. each client: download global state, E local epochs of masked SGD
-//      (Eq. 5), optionally compute top-K pruned-coordinate gradients
-//      through a bounded buffer (Alg. 2 lines 10-15), upload
-//   3. server: weighted-average states (FedAvg) and sparse gradients (Eq. 7)
+//   2. each client: download the global state (a serialized sparse payload
+//      when sparse_exchange is on), E local epochs of masked SGD (Eq. 5),
+//      optionally compute top-K pruned-coordinate gradients through a
+//      bounded buffer (Alg. 2 lines 10-15), upload. Sampled clients run on
+//      a worker pool with per-worker model replicas (parallel_clients).
+//   3. server: weighted-average states (FedAvg) and sparse gradients
+//      (Eq. 7), reducing uploads in client order for bitwise determinism
 //   4. after_aggregate(r)           (hook: mask surgery, re-mask weights)
-//   5. cost accounting: per-device FLOPs and communication bytes
+//   5. cost accounting: per-device FLOPs and communication bytes (measured
+//      wire size in sparse-exchange mode, analytic estimate alongside)
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
@@ -28,7 +33,11 @@ struct RoundStats {
   int round = 0;
   double test_accuracy = -1.0;  // -1 when not evaluated this round
   double device_flops = 0.0;    // per-device training FLOPs this round
-  double comm_bytes = 0.0;      // total bytes exchanged this round
+  /// Total bytes exchanged this round: the measured serialized payload size
+  /// when sparse_exchange is on, else the analytic estimate.
+  double comm_bytes = 0.0;
+  /// Analytic estimate (metrics/comms) kept alongside for cross-checking.
+  double comm_bytes_analytic = 0.0;
 };
 
 class FederatedTrainer {
@@ -61,6 +70,10 @@ class FederatedTrainer {
   /// FedAvg). Affects cost accounting only; masking still applies if set.
   void set_dense_storage(bool dense) { dense_storage_ = dense; }
 
+  /// Factory producing models with the same architecture as the trained
+  /// one; required for parallel client execution (per-worker replicas).
+  void set_model_factory(nn::ModelFactory factory) { factory_ = std::move(factory); }
+
  protected:
   // ---- Hooks for subclasses. ----
   virtual void before_round(int round) { (void)round; }
@@ -82,14 +95,16 @@ class FederatedTrainer {
     return 0.0;
   }
 
-  /// Masked local SGD on one client; model must hold the client state.
-  void local_train(int client, float lr);
+  /// Masked local SGD on one client; `model` (the global model or a worker
+  /// replica) must already hold the round-start state. The client RNG is
+  /// derived from (seed, round, client), independent of execution order.
+  void local_train(nn::Model& model, int client, int round, float lr);
 
   /// After local training: top-`quota[l]` gradient magnitudes at pruned
   /// coordinates of each requested layer, computed on one local batch
   /// through a bounded buffer (Alg. 2 line 12, O(a_l) memory).
   std::vector<std::vector<prune::ScoredIndex>> topk_pruned_grads(
-      int client, const std::vector<int64_t>& quota);
+      nn::Model& model, int client, const std::vector<int64_t>& quota);
 
   /// Zero out masked coordinates of the global state.
   void apply_mask_to_global();
@@ -124,7 +139,14 @@ class FederatedTrainer {
  private:
   void run_round(int round);
   double round_training_flops(int round);
-  double round_comm_bytes(int round);
+  double round_comm_bytes_analytic(int round);
+  /// Worker count for this round's client pool (>= 1, capped by active
+  /// clients; 1 unless a model factory enables replicas).
+  int resolve_workers(int active_clients) const;
+  nn::Model& worker_model(int worker);
+
+  nn::ModelFactory factory_;
+  std::vector<std::unique_ptr<nn::Model>> replicas_;  // lazily built per worker
 };
 
 }  // namespace fedtiny::fl

@@ -92,6 +92,9 @@ RunResult Experiment::run(const RunSpec& spec) const {
   fl_config.lr = scale_.lr;
   fl_config.seed = spec.seed;
   fl_config.eval_every = spec.eval_every;
+  fl_config.sparse_exchange = spec.sparse_exchange;
+  fl_config.sparse_exec_max_density = spec.sparse_exec_max_density;
+  fl_config.parallel_clients = spec.parallel_clients;
 
   if (spec.method == "small_model") {
     int64_t target = spec.small_model_params;
@@ -105,6 +108,8 @@ RunResult Experiment::run(const RunSpec& spec) const {
                           {scale_.pretrain_epochs, scale_.batch_size, scale_.lr, 0.9f, 5e-4f,
                            spec.seed});
     fl::FederatedTrainer trainer(*small, data.train, data.test, partitions, fl_config);
+    trainer.set_model_factory(
+        [model_config, width] { return nn::make_small_cnn(model_config, width); });
     trainer.set_dense_storage(true);
     trainer.capture_global_from_model();
     result.accuracy = trainer.run();
@@ -126,8 +131,16 @@ RunResult Experiment::run(const RunSpec& spec) const {
   const auto schedule = spec.schedule_overridden ? spec.schedule : default_schedule(scale_);
   const double d = spec.density;
 
+  // Replica factory for the parallel client pool (same architecture; the
+  // trainer overwrites replica weights with the broadcast state).
+  nn::ModelFactory factory = [model_config, model_name = spec.model] {
+    return model_name == "vgg11" ? nn::make_vgg11(model_config)
+                                 : nn::make_resnet18(model_config);
+  };
+
   auto finish = [&](fl::FederatedTrainer& trainer, metrics::ScoreStorage storage,
                     bool dense_stored, int64_t topk_capacity) {
+    trainer.set_model_factory(factory);
     result.accuracy = trainer.run();
     result.final_density = trainer.mask().density();
     result.max_round_flops = trainer.max_round_flops();

@@ -46,6 +46,13 @@ struct RunSpec {
   /// Capture the final global state and mask in the result (for
   /// checkpointing via io::save_state / io::save_mask).
   bool capture_final = false;
+  // ---- Sparse execution & exchange engine (see fl/config.h). ----
+  /// Ship real serialized sparse payloads; comm_bytes becomes measured.
+  bool sparse_exchange = false;
+  /// CSR eval-forward threshold (0 = dense evaluation).
+  float sparse_exec_max_density = 0.0f;
+  /// Client-training worker threads (1 = sequential, 0 = hardware auto).
+  int parallel_clients = 1;
 };
 
 struct RunResult {

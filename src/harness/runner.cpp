@@ -1,8 +1,9 @@
 #include "harness/runner.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdlib>
-#include <thread>
+
+#include "tensor/parallel.h"
 
 namespace fedtiny::harness {
 
@@ -13,27 +14,12 @@ std::vector<RunResult> run_all(const Experiment& experiment, const std::vector<R
     if (env != nullptr) {
       workers = std::atoi(env);
     }
-    if (workers <= 0) {
-      const unsigned hc = std::thread::hardware_concurrency();
-      workers = hc > 2 ? static_cast<int>(hc - 2) : 1;
-    }
+    if (workers <= 0) workers = default_pool_workers();
   }
   workers = std::min<int>(workers, static_cast<int>(specs.size()));
   std::vector<RunResult> results(specs.size());
-  if (specs.empty()) return results;
-
-  std::atomic<size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
-      results[i] = experiment.run(specs[i]);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
+  worker_pool_for(specs.size(), workers,
+                  [&](int /*worker*/, size_t i) { results[i] = experiment.run(specs[i]); });
   return results;
 }
 

@@ -8,6 +8,10 @@
 //   f32 data[] — for states.
 //   magic "FTMASK01" | u64 layer_count | per layer: u64 size, u8 bits[]
 //   (byte per entry; simplicity over compactness) — for masks.
+//
+// For a combined masks+state round-trip in one compact file, see the sparse
+// payload checkpoint ("FTSPRS01") in fl/payload.h: the mask lives in the
+// payload's bitmaps and kept values replace the dense tensor bodies.
 #pragma once
 
 #include <string>

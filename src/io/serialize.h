@@ -1,0 +1,87 @@
+// Little-endian byte-buffer writer/reader shared by the sparse-exchange
+// payloads and the checkpoint blobs. The writer's buffer size IS the
+// measured wire size reported in RoundStats — no analytic estimate involved.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace fedtiny::io {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void write_u32(uint32_t v) { write_pod(v); }
+  void write_u64(uint64_t v) { write_pod(v); }
+  void write_i64(int64_t v) { write_pod(v); }
+  void write_f32(float v) { write_pod(v); }
+
+  void write_bytes(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  template <typename T>
+  void write_array(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const uint8_t*>(values.data());
+    buf_.insert(buf_.end(), p, p + values.size_bytes());
+  }
+
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader; after any failed read, ok() is false and all
+/// further reads fail (monotone error latch, checked once at the end).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  bool read_pod(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok_ || data_.size() - pos_ < sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool read_array(std::span<T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t bytes = values.size_bytes();
+    if (!ok_ || data_.size() - pos_ < bytes) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(values.data(), data_.data() + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace fedtiny::io

@@ -46,12 +46,17 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   }
   Tensor y({n, out_channels_, out_h, out_w});
 
+  const bool use_sparse = sparse_active() && mode != Mode::kTrain;
   for (int64_t i = 0; i < n; ++i) {
     float* cols_i = cols_.data() + i * col_rows * col_cols;
     ops::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_, kernel_, stride_,
                 pad_, cols_i);
-    ops::gemm(false, false, out_channels_, col_cols, col_rows, 1.0f, weight_.value.data(), cols_i,
-              0.0f, y.data() + i * out_channels_ * col_cols);
+    if (use_sparse) {
+      sparse::spmm(sparse_weight_, cols_i, col_cols, y.data() + i * out_channels_ * col_cols);
+    } else {
+      ops::gemm(false, false, out_channels_, col_cols, col_rows, 1.0f, weight_.value.data(),
+                cols_i, 0.0f, y.data() + i * out_channels_ * col_cols);
+    }
   }
   if (has_bias_) {
     parallel_for(n * out_channels_, [&](int64_t idx) {
@@ -97,6 +102,17 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+bool Conv2d::install_sparse(std::span<const uint8_t> mask, float max_density) {
+  assert(static_cast<int64_t>(mask.size()) == weight_.value.numel());
+  if (sparse::mask_density(mask) > static_cast<double>(max_density)) {
+    clear_sparse();
+    return false;
+  }
+  const int64_t fan_in = in_channels_ * kernel_ * kernel_;
+  sparse_weight_ = sparse::csr_from_mask(weight_.value.data(), out_channels_, fan_in, mask);
+  return true;
 }
 
 void Conv2d::collect_params(std::vector<Param*>& out) {

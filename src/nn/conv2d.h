@@ -1,8 +1,12 @@
-// 2-D convolution layer (im2col + GEMM implementation).
+// 2-D convolution layer (im2col + GEMM implementation, with a CSR sparse
+// forward for heavily masked weights; im2col output stays dense).
 #pragma once
+
+#include <span>
 
 #include "nn/layer.h"
 #include "tensor/rng.h"
+#include "tensor/sparse.h"
 
 namespace fedtiny::nn {
 
@@ -30,6 +34,12 @@ class Conv2d final : public Layer {
   Param& weight() { return weight_; }
   Param* bias() { return has_bias_ ? &bias_ : nullptr; }
 
+  /// Same contract as Linear::install_sparse: CSR eval-mode forward when the
+  /// mask density is <= max_density, dense otherwise and during training.
+  bool install_sparse(std::span<const uint8_t> mask, float max_density);
+  void clear_sparse() { sparse_weight_ = {}; }
+  [[nodiscard]] bool sparse_active() const { return !sparse_weight_.empty(); }
+
  private:
   int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool has_bias_;
@@ -39,6 +49,7 @@ class Conv2d final : public Layer {
   // Cached for backward.
   Tensor cols_;  // [N, in_c*k*k, out_h*out_w]
   int64_t last_n_ = 0, last_in_h_ = 0, last_in_w_ = 0, last_out_h_ = 0, last_out_w_ = 0;
+  sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (eval forward)
 };
 
 }  // namespace fedtiny::nn

@@ -25,8 +25,12 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
   const int64_t n = x.dim(0);
   Tensor y({n, out_features_});
   // y = x * W^T
-  ops::gemm(false, true, n, out_features_, in_features_, 1.0f, x.data(), weight_.value.data(), 0.0f,
-            y.data());
+  if (sparse_active() && mode != Mode::kTrain) {
+    sparse::spmm_nt(sparse_weight_, x.data(), n, y.data());
+  } else {
+    ops::gemm(false, true, n, out_features_, in_features_, 1.0f, x.data(), weight_.value.data(),
+              0.0f, y.data());
+  }
   if (has_bias_) {
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t j = 0; j < out_features_; ++j) y.at2(i, j) += bias_.value[j];
@@ -56,6 +60,16 @@ Tensor Linear::backward(const Tensor& grad_output) {
   ops::gemm(false, false, n, in_features_, out_features_, 1.0f, grad_output.data(),
             weight_.value.data(), 0.0f, grad_input.data());
   return grad_input;
+}
+
+bool Linear::install_sparse(std::span<const uint8_t> mask, float max_density) {
+  assert(static_cast<int64_t>(mask.size()) == weight_.value.numel());
+  if (sparse::mask_density(mask) > static_cast<double>(max_density)) {
+    clear_sparse();
+    return false;
+  }
+  sparse_weight_ = sparse::csr_from_mask(weight_.value.data(), out_features_, in_features_, mask);
+  return true;
 }
 
 void Linear::collect_params(std::vector<Param*>& out) {

@@ -1,8 +1,11 @@
-// Fully connected layer.
+// Fully connected layer with dense/sparse forward dispatch.
 #pragma once
+
+#include <span>
 
 #include "nn/layer.h"
 #include "tensor/rng.h"
+#include "tensor/sparse.h"
 
 namespace fedtiny::nn {
 
@@ -20,12 +23,23 @@ class Linear final : public Layer {
   Param& weight() { return weight_; }
   Param* bias() { return has_bias_ ? &bias_ : nullptr; }
 
+  /// Compact the current masked weight into CSR and enable the sparse
+  /// eval-mode forward when the mask density is <= max_density; otherwise
+  /// any installed CSR is cleared. Returns whether the sparse path is now
+  /// active. Training-mode forwards always run dense: weight values change
+  /// every optimizer step, so the compaction is only valid for inference
+  /// on a frozen weight (re-install after each weight update).
+  bool install_sparse(std::span<const uint8_t> mask, float max_density);
+  void clear_sparse() { sparse_weight_ = {}; }
+  [[nodiscard]] bool sparse_active() const { return !sparse_weight_.empty(); }
+
  private:
   int64_t in_features_, out_features_;
   bool has_bias_;
   Param weight_;  // [out, in]
   Param bias_;    // [out]
   Tensor input_;  // cached for backward
+  sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (eval forward)
 };
 
 }  // namespace fedtiny::nn

@@ -68,6 +68,20 @@ void Model::set_state(const std::vector<Tensor>& state) {
   }
 }
 
+bool Model::try_set_state(const std::vector<Tensor>& state) {
+  if (state.size() != state_tensor_count()) return false;
+  size_t idx = 0;
+  for (const auto* p : params_) {
+    if (!state[idx++].same_shape(p->value)) return false;
+  }
+  for (const auto* bn : bn_layers_) {
+    if (!state[idx++].same_shape(bn->running_mean())) return false;
+    if (!state[idx++].same_shape(bn->running_var())) return false;
+  }
+  set_state(state);
+  return true;
+}
+
 size_t Model::state_tensor_count() const { return params_.size() + 2 * bn_layers_.size(); }
 
 std::vector<Tensor> Model::bn_stats() const {

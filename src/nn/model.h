@@ -48,6 +48,10 @@ class Model {
   // ---- Full state exchange (parameters + BN running statistics). ----
   [[nodiscard]] std::vector<Tensor> state() const;
   void set_state(const std::vector<Tensor>& state);
+  /// set_state for untrusted states (loaded checkpoints): validates tensor
+  /// count and every shape even in release builds; returns false and leaves
+  /// the model untouched on mismatch (e.g. a different-width architecture).
+  bool try_set_state(const std::vector<Tensor>& state);
   /// Number of tensors in state().
   [[nodiscard]] size_t state_tensor_count() const;
 

@@ -1,0 +1,63 @@
+#include "prune/sparse_exec.h"
+
+#include <cassert>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace fedtiny::prune {
+
+namespace {
+
+/// Dispatch on the two layer kinds that own prunable weights.
+template <typename Fn>
+void for_each_weight_layer(nn::Model& model, Fn fn) {
+  for (nn::Layer* layer : model.leaves()) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(layer)) {
+      fn(&conv->weight(), [conv](std::span<const uint8_t> m, float d) {
+        return conv->install_sparse(m, d);
+      }, [conv] { conv->clear_sparse(); });
+    } else if (auto* linear = dynamic_cast<nn::Linear*>(layer)) {
+      fn(&linear->weight(), [linear](std::span<const uint8_t> m, float d) {
+        return linear->install_sparse(m, d);
+      }, [linear] { linear->clear_sparse(); });
+    }
+  }
+}
+
+}  // namespace
+
+SparseExecReport install_sparse_execution(nn::Model& model, const MaskSet& mask,
+                                          float max_density) {
+  SparseExecReport report;
+  if (max_density <= 0.0f) {
+    clear_sparse_execution(model);
+    return report;
+  }
+  const auto& prunable = model.prunable_indices();
+  assert(mask.num_layers() == prunable.size());
+  for_each_weight_layer(model, [&](nn::Param* weight, auto install, auto clear) {
+    // Locate this weight among the prunable parameters; non-prunable
+    // conv/linear layers (input/output) always stay dense.
+    for (size_t l = 0; l < prunable.size(); ++l) {
+      if (model.params()[static_cast<size_t>(prunable[l])] == weight) {
+        const auto& layer_mask = mask.layer(l);
+        if (install({layer_mask.data(), layer_mask.size()}, max_density)) {
+          ++report.sparse_layers;
+          report.csr_nnz += sparse::mask_nnz({layer_mask.data(), layer_mask.size()});
+        } else {
+          ++report.dense_layers;
+        }
+        return;
+      }
+    }
+    clear();
+  });
+  return report;
+}
+
+void clear_sparse_execution(nn::Model& model) {
+  for_each_weight_layer(model, [](nn::Param*, auto /*install*/, auto clear) { clear(); });
+}
+
+}  // namespace fedtiny::prune

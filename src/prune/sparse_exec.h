@@ -1,0 +1,29 @@
+// Bridges pruning masks to the nn layers' sparse forward dispatch: compacts
+// each prunable conv/linear weight whose mask density is at or below a
+// threshold into CSR (tensor/sparse.h) so eval-mode forwards run the sparse
+// kernels. The dense path — masked weights stored as zeros — remains the
+// fallback and the numerical oracle.
+#pragma once
+
+#include "nn/model.h"
+#include "prune/mask.h"
+
+namespace fedtiny::prune {
+
+struct SparseExecReport {
+  int sparse_layers = 0;  // layers now running the CSR forward
+  int dense_layers = 0;   // prunable layers left on the dense path
+  int64_t csr_nnz = 0;    // total values held in CSR form
+};
+
+/// Install CSR forwards on every prunable layer with density <= max_density,
+/// compacting the model's *current* weight values. Call again after any
+/// weight or mask change (the compaction is a per-round snapshot, not a
+/// live view). max_density <= 0 clears everything.
+SparseExecReport install_sparse_execution(nn::Model& model, const MaskSet& mask,
+                                          float max_density);
+
+/// Remove all installed CSR weights; every forward runs dense again.
+void clear_sparse_execution(nn::Model& model);
+
+}  // namespace fedtiny::prune

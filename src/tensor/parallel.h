@@ -7,8 +7,11 @@
 // set_parallelism(N) to opt into kernel threading for single large runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 namespace fedtiny {
 
@@ -26,6 +29,38 @@ inline int& parallelism_slot() {
 /// Number of threads parallel_for may use (>= 1).
 inline int parallelism() { return detail::parallelism_slot(); }
 inline void set_parallelism(int n) { detail::parallelism_slot() = n >= 1 ? n : 1; }
+
+/// Default worker count for coarse-grained pools (experiment runs, client
+/// training): hardware threads minus two, at least one.
+inline int default_pool_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 2 ? static_cast<int>(hc - 2) : 1;
+}
+
+/// Coarse-grained work-stealing pool: invoke fn(worker, index) for index in
+/// [0, n) across `workers` threads (atomic next-index counter). workers <= 1
+/// runs inline as worker 0. Items must be independent; per-worker state
+/// (e.g. a model replica) is keyed by the worker argument. Shared by
+/// harness::run_all and the federated client round loop.
+template <typename Fn>
+void worker_pool_for(size_t n, int workers, Fn&& fn) {
+  if (workers <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&](int worker) {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      fn(worker, i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(drain, w);
+  for (auto& t : threads) t.join();
+}
 
 /// Invoke fn(i) for i in [0, n). Iterations must be independent.
 template <typename Fn>

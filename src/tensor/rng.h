@@ -11,6 +11,24 @@
 
 namespace fedtiny {
 
+/// SplitMix64 finalizer: a cheap, well-mixing 64-bit permutation.
+inline uint64_t mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Counter-based seed derivation for independent sub-streams, e.g.
+/// derive_seed(seed, round, client) for one client's local-training RNG.
+/// Depending only on the counters (never on execution order), the derived
+/// streams make parallel schedules bitwise-reproducible at any worker count.
+inline uint64_t derive_seed(uint64_t seed, uint64_t a, uint64_t b) {
+  return mix64(mix64(mix64(seed + 0x9e3779b97f4a7c15ULL) + a) + b);
+}
+
 /// PCG32 generator. Cheap to copy; every component that needs randomness
 /// owns its own seeded instance so experiments are order-independent.
 class Rng {

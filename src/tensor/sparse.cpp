@@ -1,0 +1,130 @@
+#include "tensor/sparse.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "tensor/parallel.h"
+
+namespace fedtiny::sparse {
+
+namespace {
+
+template <typename Keep>
+CsrMatrix compact(const float* dense, int64_t rows, int64_t cols, Keep keep) {
+  CsrMatrix out;
+  out.rows = rows;
+  out.cols = cols;
+  out.row_ptr.resize(static_cast<size_t>(rows) + 1, 0);
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t count = 0;
+    for (int64_t j = 0; j < cols; ++j) {
+      if (keep(i * cols + j)) ++count;
+    }
+    out.row_ptr[static_cast<size_t>(i) + 1] = out.row_ptr[static_cast<size_t>(i)] + count;
+  }
+  out.col_idx.resize(static_cast<size_t>(out.row_ptr[static_cast<size_t>(rows)]));
+  out.values.resize(out.col_idx.size());
+  for (int64_t i = 0; i < rows; ++i) {
+    auto at = static_cast<size_t>(out.row_ptr[static_cast<size_t>(i)]);
+    for (int64_t j = 0; j < cols; ++j) {
+      const int64_t flat = i * cols + j;
+      if (keep(flat)) {
+        out.col_idx[at] = static_cast<int32_t>(j);
+        out.values[at] = dense[flat];
+        ++at;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t mask_nnz(std::span<const uint8_t> mask) {
+  int64_t kept = 0;
+  for (uint8_t m : mask) kept += m != 0 ? 1 : 0;
+  return kept;
+}
+
+double mask_density(std::span<const uint8_t> mask) {
+  return mask.empty() ? 1.0
+                      : static_cast<double>(mask_nnz(mask)) / static_cast<double>(mask.size());
+}
+
+CsrMatrix csr_from_mask(const float* dense, int64_t rows, int64_t cols,
+                        std::span<const uint8_t> mask) {
+  assert(static_cast<int64_t>(mask.size()) == rows * cols);
+  return compact(dense, rows, cols,
+                 [&](int64_t flat) { return mask[static_cast<size_t>(flat)] != 0; });
+}
+
+CsrMatrix csr_from_dense(const float* dense, int64_t rows, int64_t cols) {
+  return compact(dense, rows, cols, [&](int64_t flat) { return dense[flat] != 0.0f; });
+}
+
+void refresh_values(CsrMatrix& out, const float* dense) {
+  for (int64_t i = 0; i < out.rows; ++i) {
+    const float* row = dense + i * out.cols;
+    for (int64_t p = out.row_ptr[static_cast<size_t>(i)];
+         p < out.row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+      out.values[static_cast<size_t>(p)] = row[out.col_idx[static_cast<size_t>(p)]];
+    }
+  }
+}
+
+void csr_to_dense(const CsrMatrix& a, float* dense) {
+  std::memset(dense, 0, static_cast<size_t>(a.rows * a.cols) * sizeof(float));
+  for (int64_t i = 0; i < a.rows; ++i) {
+    float* row = dense + i * a.cols;
+    for (int64_t p = a.row_ptr[static_cast<size_t>(i)]; p < a.row_ptr[static_cast<size_t>(i) + 1];
+         ++p) {
+      row[a.col_idx[static_cast<size_t>(p)]] = a.values[static_cast<size_t>(p)];
+    }
+  }
+}
+
+void spmm(const CsrMatrix& a, const float* b, int64_t n, float* c, bool accumulate) {
+  // Row-of-C parallel: each CSR row touches only its own output row. The
+  // inner accumulation visits columns in ascending order, matching the dense
+  // gemm's k-loop with zero-skipping (bitwise-identical results).
+  parallel_for(a.rows, [&](int64_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+    for (int64_t p = a.row_ptr[static_cast<size_t>(i)]; p < a.row_ptr[static_cast<size_t>(i) + 1];
+         ++p) {
+      const float v = a.values[static_cast<size_t>(p)];
+      const float* brow = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  });
+}
+
+void spmv(const CsrMatrix& a, const float* x, float* y) {
+  parallel_for(a.rows, [&](int64_t i) {
+    float s = 0.0f;
+    for (int64_t p = a.row_ptr[static_cast<size_t>(i)]; p < a.row_ptr[static_cast<size_t>(i) + 1];
+         ++p) {
+      s += a.values[static_cast<size_t>(p)] * x[a.col_idx[static_cast<size_t>(p)]];
+    }
+    y[i] = s;
+  });
+}
+
+void spmm_nt(const CsrMatrix& a, const float* b, int64_t n_rows, float* c) {
+  // C[i, j] = <B row i, A row j>; the sparse dot walks A's kept columns in
+  // ascending order — same accumulation order as the dense dot over all k.
+  parallel_for(n_rows, [&](int64_t i) {
+    const float* brow = b + i * a.cols;
+    float* crow = c + i * a.rows;
+    for (int64_t j = 0; j < a.rows; ++j) {
+      float s = 0.0f;
+      for (int64_t p = a.row_ptr[static_cast<size_t>(j)];
+           p < a.row_ptr[static_cast<size_t>(j) + 1]; ++p) {
+        s += a.values[static_cast<size_t>(p)] * brow[a.col_idx[static_cast<size_t>(p)]];
+      }
+      crow[j] = s;
+    }
+  });
+}
+
+}  // namespace fedtiny::sparse

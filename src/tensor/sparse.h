@@ -1,0 +1,73 @@
+// CSR sparse matrices and the sparse kernels behind the nn-layer sparse
+// forward dispatch (Linear / Conv2d at low mask density).
+//
+// Numerical contract: every kernel accumulates along ascending column index,
+// exactly the order in which the dense kernels in tensor/ops.cpp visit the
+// same coordinates while skipping stored zeros. Because adding a zero term
+// is exact in IEEE float, a CSR forward over a masked weight is therefore
+// bitwise identical to the dense forward over the same weight with masked
+// entries stored as zeros — the dense path doubles as an oracle in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedtiny::sparse {
+
+/// Compressed-sparse-row float32 matrix.
+struct CsrMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int64_t> row_ptr;  // rows + 1 entries
+  std::vector<int32_t> col_idx;  // nnz entries, ascending within each row
+  std::vector<float> values;     // nnz entries
+
+  [[nodiscard]] int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+  [[nodiscard]] bool empty() const { return rows == 0; }
+  [[nodiscard]] double density() const {
+    const int64_t total = rows * cols;
+    return total > 0 ? static_cast<double>(nnz()) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Number of non-zero bytes in a mask.
+int64_t mask_nnz(std::span<const uint8_t> mask);
+
+/// Kept fraction of a mask; an empty mask counts as fully dense.
+double mask_density(std::span<const uint8_t> mask);
+
+/// Compact a dense row-major [rows, cols] matrix to CSR, keeping entries
+/// whose mask byte is non-zero. mask.size() must equal rows * cols. Entries
+/// that are masked-in but numerically zero are kept: the CSR structure
+/// mirrors the mask, not the value pattern, so a weight update never changes
+/// the compaction structure within a round.
+CsrMatrix csr_from_mask(const float* dense, int64_t rows, int64_t cols,
+                        std::span<const uint8_t> mask);
+
+/// Compact keeping the non-zero value pattern (no mask available).
+CsrMatrix csr_from_dense(const float* dense, int64_t rows, int64_t cols);
+
+/// Refresh `out.values` from a dense matrix with an unchanged structure
+/// (same mask => same col_idx/row_ptr). Cheaper than re-running
+/// csr_from_mask when only the values moved.
+void refresh_values(CsrMatrix& out, const float* dense);
+
+/// Scatter to a zeroed dense row-major [rows, cols] buffer.
+void csr_to_dense(const CsrMatrix& a, float* dense);
+
+/// C[m, n] = A[m, k] * B[k, n], A in CSR, B/C dense row-major.
+/// When accumulate is false C is overwritten, otherwise added into.
+/// This is the Conv2d forward: W_csr[out_c, in_c*k*k] * cols.
+void spmm(const CsrMatrix& a, const float* b, int64_t n, float* c, bool accumulate = false);
+
+/// y[m] = A[m, k] * x[k].
+void spmv(const CsrMatrix& a, const float* x, float* y);
+
+/// C[n_rows, m] = B[n_rows, k] * A[m, k]^T, A in CSR, B/C dense row-major.
+/// This is the Linear forward y = x * W^T with W stored [out, in].
+void spmm_nt(const CsrMatrix& a, const float* b, int64_t n_rows, float* c);
+
+}  // namespace fedtiny::sparse

@@ -1,0 +1,203 @@
+// Sparse exchange payloads: build/reconstruct round-trips, the serialized
+// wire format, measured sizes, and the sparse checkpoint file format.
+#include "fl/payload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/serialize.h"
+#include "nn/models.h"
+#include "prune/magnitude.h"
+
+namespace fedtiny::fl {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<nn::Model> model;
+  prune::MaskSet mask;
+  std::vector<Tensor> state;  // masked coordinates exactly zero
+
+  explicit Fixture(double density = 0.2) {
+    nn::ModelConfig mc;
+    mc.num_classes = 10;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625f;
+    model = nn::make_resnet18(mc);
+    mask = prune::magnitude_prune_global(*model, density);
+    mask.apply(*model);
+    state = model->state();
+  }
+};
+
+void expect_states_equal(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].same_shape(b[i])) << "tensor " << i;
+    const auto av = a[i].flat();
+    const auto bv = b[i].flat();
+    for (size_t j = 0; j < av.size(); ++j) {
+      ASSERT_EQ(av[j], bv[j]) << "tensor " << i << " idx " << j;
+    }
+  }
+}
+
+TEST(Payload, StateBuildReconstructRoundTripsExactly) {
+  Fixture f;
+  auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
+  EXPECT_EQ(payload.state_tensor_count(), f.state.size());
+  auto back = reconstruct_state(payload, f.model->prunable_indices());
+  expect_states_equal(back, f.state);
+}
+
+TEST(Payload, MaskRecoveredFromBitmaps) {
+  Fixture f;
+  auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
+  EXPECT_TRUE(payload_mask(payload) == f.mask);
+}
+
+TEST(Payload, StateSerializeDeserializeRoundTrips) {
+  Fixture f;
+  auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
+  const auto wire = serialize(payload);
+  ASSERT_FALSE(wire.empty());
+  SparseStatePayload rx;
+  ASSERT_TRUE(deserialize(wire, rx));
+  expect_states_equal(reconstruct_state(rx, f.model->prunable_indices()), f.state);
+}
+
+TEST(Payload, DeserializeRejectsGarbageAndTruncation) {
+  Fixture f;
+  auto wire = serialize(build_sparse_state(f.state, f.mask, f.model->prunable_indices()));
+  SparseStatePayload rx;
+  std::vector<uint8_t> garbage = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(deserialize(garbage, rx));
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(deserialize(wire, rx));
+}
+
+TEST(Payload, DeserializeRejectsBitmapValueCountMismatch) {
+  Fixture f;
+  auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
+  // Corrupt: set one extra bitmap bit without providing its value. The
+  // loader must reject instead of reading past the value buffer at
+  // reconstruct time (release builds have no assert to catch it).
+  auto& bits = payload.sparse_layers[0].mask_bits;
+  for (auto& word : bits) {
+    if (~word != 0) {
+      word |= word + 1;  // set the lowest clear bit
+      break;
+    }
+  }
+  SparseStatePayload rx;
+  EXPECT_FALSE(deserialize(serialize(payload), rx));
+}
+
+TEST(Payload, ReconstructOfMismatchedArchitectureReturnsEmpty) {
+  Fixture f;
+  auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
+  payload.sparse_layers.pop_back();  // one layer short of the architecture
+  EXPECT_TRUE(reconstruct_state(payload, f.model->prunable_indices()).empty());
+}
+
+TEST(Payload, DeserializeRejectsOversizedClaimsWithoutAllocating) {
+  // A tiny crafted buffer whose header claims a huge tensor must fail
+  // cleanly (return false), not attempt a multi-gigabyte allocation.
+  io::ByteWriter w;
+  w.write_u32(0x53505253);  // state tag
+  w.write_u32(0);           // sparse layers
+  w.write_u32(1);           // dense tensors
+  w.write_u32(1);           // rank
+  w.write_i64(int64_t{1} << 33);  // numel claim far beyond the buffer
+  SparseStatePayload rx;
+  EXPECT_FALSE(deserialize(w.buffer(), rx));
+
+  io::ByteWriter huge_count;
+  huge_count.write_u32(0x53505253);
+  huge_count.write_u32(1u << 20);  // a million layers from a 12-byte file
+  huge_count.write_u32(0);
+  EXPECT_FALSE(deserialize(huge_count.buffer(), rx));
+}
+
+TEST(Payload, TrySetStateRejectsDifferentWidthArchitecture) {
+  Fixture f;  // width_mult 0.0625
+  auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
+  nn::ModelConfig wide_mc;
+  wide_mc.num_classes = 10;
+  wide_mc.image_size = 8;
+  wide_mc.width_mult = 0.125f;  // same tensor count, different shapes
+  auto wide = nn::make_resnet18(wide_mc);
+  auto state = reconstruct_state(payload, wide->prunable_indices());
+  EXPECT_FALSE(wide->try_set_state(state));
+  EXPECT_TRUE(f.model->try_set_state(f.state));
+}
+
+TEST(Payload, ReconstructUpdateRejectsTruncatedValues) {
+  Fixture f;
+  auto update = build_sparse_update(f.state, f.mask, f.model->prunable_indices());
+  update.sparse_layers[0].values.pop_back();  // fewer values than mask support
+  EXPECT_TRUE(reconstruct_update(update, f.mask, f.model->prunable_indices()).empty());
+}
+
+TEST(Payload, WireSizeShrinksWithDensity) {
+  Fixture sparse10(0.1);
+  Fixture sparse50(0.5);
+  const auto wire10 = serialize(
+      build_sparse_state(sparse10.state, sparse10.mask, sparse10.model->prunable_indices()));
+  const auto wire50 = serialize(
+      build_sparse_state(sparse50.state, sparse50.mask, sparse50.model->prunable_indices()));
+  // Same architecture: fewer kept values => fewer bytes; both < dense size.
+  int64_t dense_bytes = 0;
+  for (const auto& t : sparse10.state) dense_bytes += t.numel() * 4;
+  EXPECT_LT(wire10.size(), wire50.size());
+  EXPECT_LT(static_cast<int64_t>(wire50.size()), dense_bytes);
+}
+
+TEST(Payload, UpdateRoundTripsThroughWire) {
+  Fixture f;
+  auto update = build_sparse_update(f.state, f.mask, f.model->prunable_indices());
+  const auto wire = serialize(update);
+  SparseUpdatePayload rx;
+  ASSERT_TRUE(deserialize(wire, rx));
+  auto back = reconstruct_update(rx, f.mask, f.model->prunable_indices());
+  expect_states_equal(back, f.state);
+  // Uplink ships no bitmap, so it must be strictly smaller than the state
+  // payload of the same tensors.
+  EXPECT_LT(wire.size(),
+            serialize(build_sparse_state(f.state, f.mask, f.model->prunable_indices())).size());
+}
+
+TEST(Payload, GradUploadMeasuredBytes) {
+  std::vector<std::vector<prune::ScoredIndex>> grads(2);
+  grads[0] = {{3, 0.5f}, {9, -0.25f}};
+  grads[1] = {{1, 1.0f}};
+  const auto wire = serialize_grad_upload(grads);
+  // u32 layer count + per layer u64 count + 12 bytes per entry.
+  EXPECT_EQ(wire.size(), 4u + 2u * 8u + 3u * 12u);
+}
+
+TEST(Payload, SparseCheckpointRoundTripsThroughFile) {
+  Fixture f;
+  auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
+  const std::string path = ::testing::TempDir() + "/sparse_ckpt.bin";
+  ASSERT_TRUE(save_sparse_checkpoint(path, payload));
+  SparseStatePayload loaded;
+  ASSERT_TRUE(load_sparse_checkpoint(path, loaded));
+  expect_states_equal(reconstruct_state(loaded, f.model->prunable_indices()), f.state);
+  EXPECT_TRUE(payload_mask(loaded) == f.mask);
+  std::remove(path.c_str());
+}
+
+TEST(Payload, SparseCheckpointRejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/bogus_ckpt.bin";
+  FILE* fp = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(fp, nullptr);
+  std::fputs("NOTACKPTXXXX", fp);
+  std::fclose(fp);
+  SparseStatePayload loaded;
+  EXPECT_FALSE(load_sparse_checkpoint(path, loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedtiny::fl

@@ -43,6 +43,49 @@ TEST(StateAccumulator, EmptyAndReset) {
   EXPECT_TRUE(acc.empty());
 }
 
+TEST(StateAccumulator, EmptyRoundAveragesToEmptyVector) {
+  // An empty round (no sampled clients contributed) must not be UB in
+  // release builds: the average is an empty vector, not garbage.
+  StateAccumulator acc;
+  EXPECT_TRUE(acc.average().empty());
+  EXPECT_TRUE(acc.average_sparse(prune::MaskSet(), {}).empty());
+}
+
+TEST(StateAccumulator, SparseAddMatchesDenseAdd) {
+  // Two clients, one prunable tensor (state position 0) + one dense tensor.
+  prune::MaskSet mask;
+  mask.append_layer({1, 0, 1, 0});
+  const std::vector<int> prunable_indices = {0};
+
+  auto make_update = [&](std::vector<float> prunable_vals, float dense_val) {
+    SparseUpdatePayload update;
+    UpdateLayerPayload layer;
+    layer.shape = {4};
+    layer.values = std::move(prunable_vals);  // values at kept coords 0 and 2
+    update.sparse_layers.push_back(std::move(layer));
+    update.dense_tensors.push_back(Tensor::from_vector({dense_val}));
+    return update;
+  };
+
+  StateAccumulator dense_acc;
+  dense_acc.add({Tensor::from_vector({1.0f, 0.0f, 2.0f, 0.0f}), Tensor::from_vector({5.0f})},
+                0.25);
+  dense_acc.add({Tensor::from_vector({3.0f, 0.0f, 6.0f, 0.0f}), Tensor::from_vector({9.0f})},
+                0.75);
+  StateAccumulator sparse_acc;
+  sparse_acc.add_sparse(make_update({1.0f, 2.0f}, 5.0f), 0.25);
+  sparse_acc.add_sparse(make_update({3.0f, 6.0f}, 9.0f), 0.75);
+
+  const auto dense_avg = dense_acc.average();
+  const auto sparse_avg = sparse_acc.average_sparse(mask, prunable_indices);
+  ASSERT_EQ(dense_avg.size(), sparse_avg.size());
+  for (size_t i = 0; i < dense_avg.size(); ++i) {
+    for (int64_t j = 0; j < dense_avg[i].numel(); ++j) {
+      EXPECT_EQ(sparse_avg[i][j], dense_avg[i][j]) << "tensor " << i << " idx " << j;
+    }
+  }
+}
+
 TEST(SparseGradAccumulator, AveragesByTotalWeight) {
   // Eq. 7: indices missing from a device contribute zero.
   SparseGradAccumulator acc;

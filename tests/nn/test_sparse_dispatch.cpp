@@ -1,0 +1,139 @@
+// The layer-level sparse forward dispatch: CSR eval-mode forwards must
+// reproduce the dense oracle exactly, training-mode forwards stay dense,
+// and the density threshold gates installation.
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/models.h"
+#include "prune/magnitude.h"
+#include "prune/sparse_exec.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n));
+  for (auto& m : mask) m = rng.uniform() < density ? 1 : 0;
+  return mask;
+}
+
+Tensor random_input(std::vector<int64_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = rng.normal();
+  return t;
+}
+
+void mask_weight(Param& weight, const std::vector<uint8_t>& mask) {
+  auto w = weight.value.flat();
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (mask[i] == 0) w[i] = 0.0f;
+  }
+}
+
+TEST(SparseDispatch, LinearEvalForwardMatchesDense) {
+  Rng rng(11);
+  Linear layer(24, 16, /*bias=*/true, rng);
+  auto mask = random_mask(layer.weight().value.numel(), 0.15, rng);
+  mask_weight(layer.weight(), mask);
+  Tensor x = random_input({5, 24}, rng);
+
+  Tensor dense_y = layer.forward(x, Mode::kEval);
+  ASSERT_TRUE(layer.install_sparse(mask, /*max_density=*/0.5f));
+  ASSERT_TRUE(layer.sparse_active());
+  Tensor sparse_y = layer.forward(x, Mode::kEval);
+
+  ASSERT_TRUE(dense_y.same_shape(sparse_y));
+  for (int64_t i = 0; i < dense_y.numel(); ++i) {
+    ASSERT_NEAR(sparse_y[i], dense_y[i], 1e-5) << "idx " << i;
+  }
+}
+
+TEST(SparseDispatch, LinearTrainingForwardStaysDenseAndBackwardWorks) {
+  Rng rng(12);
+  Linear layer(10, 6, /*bias=*/false, rng);
+  auto mask = random_mask(layer.weight().value.numel(), 0.2, rng);
+  mask_weight(layer.weight(), mask);
+  ASSERT_TRUE(layer.install_sparse(mask, 0.9f));
+
+  Tensor x = random_input({3, 10}, rng);
+  Tensor y_eval = layer.forward(x, Mode::kEval);
+  Tensor y_train = layer.forward(x, Mode::kTrain);  // dense path, caches input
+  for (int64_t i = 0; i < y_eval.numel(); ++i) ASSERT_NEAR(y_train[i], y_eval[i], 1e-6);
+
+  Tensor grad({3, 6}, 1.0f);
+  Tensor dx = layer.backward(grad);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(SparseDispatch, ThresholdGatesInstallation) {
+  Rng rng(13);
+  Linear layer(8, 8, false, rng);
+  std::vector<uint8_t> full(static_cast<size_t>(layer.weight().value.numel()), 1);
+  EXPECT_FALSE(layer.install_sparse(full, /*max_density=*/0.5f));
+  EXPECT_FALSE(layer.sparse_active());
+  EXPECT_TRUE(layer.install_sparse(full, /*max_density=*/1.0f));
+  EXPECT_TRUE(layer.sparse_active());
+  layer.clear_sparse();
+  EXPECT_FALSE(layer.sparse_active());
+}
+
+TEST(SparseDispatch, Conv2dEvalForwardMatchesDense) {
+  Rng rng(14);
+  Conv2d layer(4, 8, /*kernel=*/3, /*stride=*/1, /*pad=*/1, /*bias=*/true, rng);
+  auto mask = random_mask(layer.weight().value.numel(), 0.1, rng);
+  mask_weight(layer.weight(), mask);
+  Tensor x = random_input({2, 4, 6, 6}, rng);
+
+  Tensor dense_y = layer.forward(x, Mode::kEval);
+  ASSERT_TRUE(layer.install_sparse(mask, 0.5f));
+  Tensor sparse_y = layer.forward(x, Mode::kEval);
+
+  ASSERT_TRUE(dense_y.same_shape(sparse_y));
+  for (int64_t i = 0; i < dense_y.numel(); ++i) {
+    ASSERT_NEAR(sparse_y[i], dense_y[i], 1e-5) << "idx " << i;
+  }
+}
+
+TEST(SparseDispatch, ModelInstallMatchesDenseEvaluation) {
+  ModelConfig mc;
+  mc.num_classes = 10;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625f;
+  auto model = make_resnet18(mc);
+  auto mask = prune::magnitude_prune_global(*model, 0.1);
+  mask.apply(*model);
+
+  Rng rng(15);
+  Tensor x = random_input({4, 3, 8, 8}, rng);
+  Tensor dense_y = model->forward(x, Mode::kEval);
+
+  const auto report = prune::install_sparse_execution(*model, mask, /*max_density=*/1.0f);
+  EXPECT_GT(report.sparse_layers, 0);
+  EXPECT_EQ(report.dense_layers, 0);  // threshold 1.0 installs every layer
+  EXPECT_EQ(report.csr_nnz, mask.nnz());
+  Tensor sparse_y = model->forward(x, Mode::kEval);
+  for (int64_t i = 0; i < dense_y.numel(); ++i) {
+    ASSERT_NEAR(sparse_y[i], dense_y[i], 1e-5) << "logit " << i;
+  }
+
+  prune::clear_sparse_execution(*model);
+  Tensor cleared_y = model->forward(x, Mode::kEval);
+  for (int64_t i = 0; i < dense_y.numel(); ++i) ASSERT_EQ(cleared_y[i], dense_y[i]);
+}
+
+TEST(SparseDispatch, InstallWithZeroThresholdClearsEverything) {
+  ModelConfig mc;
+  mc.num_classes = 10;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625f;
+  auto model = make_resnet18(mc);
+  auto mask = prune::magnitude_prune_global(*model, 0.1);
+  prune::install_sparse_execution(*model, mask, 0.5f);
+  const auto report = prune::install_sparse_execution(*model, mask, 0.0f);
+  EXPECT_EQ(report.sparse_layers, 0);
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

@@ -1,0 +1,176 @@
+// CSR construction and kernel equivalence against the dense oracles in
+// tensor/ops.cpp. The kernels are designed to be bitwise-identical to the
+// dense paths (same accumulation order, zero terms exact), so tolerances
+// here are belt-and-suspenders.
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::sparse {
+namespace {
+
+std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n));
+  for (auto& m : mask) m = rng.uniform() < density ? 1 : 0;
+  return mask;
+}
+
+std::vector<float> random_dense(int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(Csr, StructureMirrorsMaskIncludingZeroValues) {
+  Rng rng(1);
+  const int64_t rows = 7, cols = 13;
+  auto dense = random_dense(rows * cols, rng);
+  auto mask = random_mask(rows * cols, 0.4, rng);
+  dense[5] = 0.0f;  // a kept-but-zero value must stay in the structure
+  mask[5] = 1;
+
+  auto csr = csr_from_mask(dense.data(), rows, cols, mask);
+  int64_t kept = 0;
+  for (uint8_t m : mask) kept += m;
+  EXPECT_EQ(csr.nnz(), kept);
+  EXPECT_EQ(csr.rows, rows);
+  EXPECT_EQ(csr.cols, cols);
+  // Every stored entry maps back to a masked-in coordinate with its value.
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t p = csr.row_ptr[static_cast<size_t>(i)];
+         p < csr.row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+      const int64_t flat = i * cols + csr.col_idx[static_cast<size_t>(p)];
+      EXPECT_NE(mask[static_cast<size_t>(flat)], 0);
+      EXPECT_EQ(csr.values[static_cast<size_t>(p)], dense[static_cast<size_t>(flat)]);
+    }
+  }
+}
+
+TEST(Csr, FromDenseDropsZeros) {
+  const float dense[] = {1.0f, 0.0f, 2.0f, 0.0f, 0.0f, 3.0f};
+  auto csr = csr_from_dense(dense, 2, 3);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_NEAR(csr.density(), 0.5, 1e-12);
+}
+
+TEST(Csr, ToDenseRoundTrips) {
+  Rng rng(2);
+  const int64_t rows = 9, cols = 17;
+  auto dense = random_dense(rows * cols, rng);
+  auto mask = random_mask(rows * cols, 0.3, rng);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (mask[i] == 0) dense[i] = 0.0f;
+  }
+  auto csr = csr_from_mask(dense.data(), rows, cols, mask);
+  std::vector<float> back(dense.size(), -1.0f);
+  csr_to_dense(csr, back.data());
+  EXPECT_EQ(back, dense);
+}
+
+TEST(Csr, RefreshValuesTracksDense) {
+  Rng rng(3);
+  const int64_t rows = 5, cols = 8;
+  auto dense = random_dense(rows * cols, rng);
+  auto mask = random_mask(rows * cols, 0.5, rng);
+  auto csr = csr_from_mask(dense.data(), rows, cols, mask);
+  for (auto& v : dense) v += 1.5f;  // weights moved, structure unchanged
+  refresh_values(csr, dense.data());
+  auto expected = csr_from_mask(dense.data(), rows, cols, mask);
+  EXPECT_EQ(csr.values, expected.values);
+  EXPECT_EQ(csr.col_idx, expected.col_idx);
+}
+
+TEST(Csr, SpmmMatchesDenseGemmAcrossDensities) {
+  Rng rng(4);
+  for (double density : {1.0, 0.5, 0.1, 0.02, 0.0}) {
+    const int64_t m = 24, k = 40, n = 31;
+    auto a = random_dense(m * k, rng);
+    auto b = random_dense(k * n, rng);
+    auto mask = random_mask(m * k, density, rng);
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (mask[i] == 0) a[i] = 0.0f;
+    }
+    auto csr = csr_from_mask(a.data(), m, k, mask);
+
+    std::vector<float> dense_out(static_cast<size_t>(m * n));
+    std::vector<float> sparse_out(dense_out.size(), -7.0f);
+    ops::gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, dense_out.data());
+    spmm(csr, b.data(), n, sparse_out.data());
+    for (size_t i = 0; i < dense_out.size(); ++i) {
+      ASSERT_NEAR(sparse_out[i], dense_out[i], 1e-5) << "density " << density << " idx " << i;
+    }
+  }
+}
+
+TEST(Csr, SpmmAccumulateAddsIntoC) {
+  Rng rng(5);
+  const int64_t m = 6, k = 10, n = 4;
+  auto a = random_dense(m * k, rng);
+  auto b = random_dense(k * n, rng);
+  auto mask = random_mask(m * k, 0.5, rng);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (mask[i] == 0) a[i] = 0.0f;
+  }
+  auto csr = csr_from_mask(a.data(), m, k, mask);
+  std::vector<float> base(static_cast<size_t>(m * n), 2.0f);
+  std::vector<float> expected(base);
+  ops::gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 1.0f, expected.data());
+  spmm(csr, b.data(), n, base.data(), /*accumulate=*/true);
+  for (size_t i = 0; i < base.size(); ++i) ASSERT_NEAR(base[i], expected[i], 1e-5);
+}
+
+TEST(Csr, SpmmNtMatchesDenseLinearForward) {
+  Rng rng(6);
+  for (double density : {1.0, 0.25, 0.05}) {
+    const int64_t out = 19, in = 37, batch = 11;
+    auto w = random_dense(out * in, rng);
+    auto x = random_dense(batch * in, rng);
+    auto mask = random_mask(out * in, density, rng);
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (mask[i] == 0) w[i] = 0.0f;
+    }
+    auto csr = csr_from_mask(w.data(), out, in, mask);
+
+    std::vector<float> dense_out(static_cast<size_t>(batch * out));
+    std::vector<float> sparse_out(dense_out.size(), -7.0f);
+    ops::gemm(false, true, batch, out, in, 1.0f, x.data(), w.data(), 0.0f, dense_out.data());
+    spmm_nt(csr, x.data(), batch, sparse_out.data());
+    for (size_t i = 0; i < dense_out.size(); ++i) {
+      ASSERT_NEAR(sparse_out[i], dense_out[i], 1e-5) << "density " << density;
+    }
+  }
+}
+
+TEST(Csr, SpmvMatchesSpmmWithOneColumn) {
+  Rng rng(7);
+  const int64_t m = 15, k = 22;
+  auto a = random_dense(m * k, rng);
+  auto x = random_dense(k, rng);
+  auto mask = random_mask(m * k, 0.3, rng);
+  auto csr = csr_from_mask(a.data(), m, k, mask);
+
+  std::vector<float> y_spmv(static_cast<size_t>(m));
+  std::vector<float> y_spmm(static_cast<size_t>(m));
+  spmv(csr, x.data(), y_spmv.data());
+  spmm(csr, x.data(), 1, y_spmm.data());
+  for (int64_t i = 0; i < m; ++i) ASSERT_NEAR(y_spmv[i], y_spmm[i], 1e-6);
+}
+
+TEST(Csr, EmptyMaskGivesEmptyMatrixAndZeroOutput) {
+  Rng rng(8);
+  const int64_t m = 4, k = 6, n = 3;
+  auto a = random_dense(m * k, rng);
+  std::vector<uint8_t> mask(static_cast<size_t>(m * k), 0);
+  auto csr = csr_from_mask(a.data(), m, k, mask);
+  EXPECT_EQ(csr.nnz(), 0);
+  auto b = random_dense(k * n, rng);
+  std::vector<float> y(static_cast<size_t>(m * n), 5.0f);
+  spmm(csr, b.data(), n, y.data());
+  for (float v : y) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace fedtiny::sparse
