@@ -59,5 +59,46 @@ int main() {
   report.write_csv("fig5.csv");
   std::printf("\nExpected shape (paper): accuracy saturates past C* = 0.1/d while "
               "communication keeps growing linearly in the pool size.\n");
+
+  // ---- Right panel companion: measured vs analytic round-trip communication.
+  // One sparse-exchange run per density; every round ships real serialized
+  // payloads, so RoundStats carries the measured wire size next to the
+  // analytic 8-bytes-per-kept-value estimate. Engine/scheduler env knobs
+  // (FEDTINY_CLIENTS_PER_ROUND, ...) apply through run_all.
+  std::vector<harness::RunSpec> comm_specs;
+  for (double d : densities) {
+    harness::RunSpec s;
+    s.method = "fedtiny";
+    s.model = "vgg11";
+    s.density = d;
+    s.sparse_exchange = true;
+    comm_specs.push_back(s);
+  }
+  auto comm_results = harness::run_all(ex, comm_specs);
+
+  harness::Report comm_report("Fig. 5 companion — measured vs analytic comm per round (sparse exchange)");
+  comm_report.set_header({"density", "round", "participants", "measured_MB", "analytic_MB",
+                         "measured/analytic"});
+  for (size_t di = 0; di < comm_specs.size(); ++di) {
+    for (const auto& r : comm_results[di].history) {
+      comm_report.add_row(
+          {harness::Report::fmt(comm_specs[di].density, 3), std::to_string(r.round),
+           std::to_string(r.participants),
+           harness::Report::fmt(r.comm_bytes / (1024.0 * 1024.0), 4),
+           harness::Report::fmt(r.comm_bytes_analytic / (1024.0 * 1024.0), 4),
+           harness::Report::fmt(r.comm_bytes_analytic > 0.0
+                                    ? r.comm_bytes / r.comm_bytes_analytic
+                                    : 0.0,
+                                4)});
+    }
+  }
+  comm_report.print();
+  comm_report.write_csv("fig5_comm.csv");
+  std::printf("\nMeasured bytes are serialized wire sizes (downlink bitmap + kept values,\n"
+              "uplink values-at-support); the analytic curve charges 8 B per kept value\n"
+              "both ways. At moderate sparsity measured tracks analytic from below (no\n"
+              "uplink indices); at extreme sparsity the density-independent downlink\n"
+              "bitmap (1 bit/coordinate) floors the measured curve above the analytic\n"
+              "one — a real cost the 8 B/value model misses.\n");
   return 0;
 }

@@ -1,0 +1,153 @@
+// Dense vs masked sparse *backward* across mask densities 100% -> 5%,
+// measured on the real layer backward paths (Conv2d / Linear with
+// install_sparse(train=true)).
+//
+// The masked backward restricts the weight-gradient accumulation to the
+// mask's support (masked_grad_dot / masked_grad_tn) and routes the input
+// gradient through the CSR weight (spmm_tn / spmm_dn). Gradients are
+// asserted bitwise-equal to the dense backward with pruned-coordinate
+// weight gradients zeroed — the same oracle the unit tests use.
+// Usage: bench_sparse_backward [--smoke]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace fedtiny;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n));
+  for (auto& m : mask) m = rng.uniform() < density ? 1 : 0;
+  return mask;
+}
+
+Tensor random_tensor(std::vector<int64_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = rng.normal();
+  return t;
+}
+
+void mask_weight(nn::Param& weight, const std::vector<uint8_t>& mask) {
+  auto w = weight.value.flat();
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (mask[i] == 0) w[i] = 0.0f;
+  }
+}
+
+/// Max |a - b| over the weight gradient, with masked coordinates of the
+/// dense gradient zeroed (the masked step discards them anyway).
+double grad_diff(const nn::Param& dense, const nn::Param& sparse,
+                 const std::vector<uint8_t>& mask) {
+  const auto dg = dense.grad.flat();
+  const auto sg = sparse.grad.flat();
+  double max_diff = 0.0;
+  for (size_t i = 0; i < dg.size(); ++i) {
+    const float want = mask[i] != 0 ? dg[i] : 0.0f;
+    max_diff = std::max(max_diff, static_cast<double>(std::fabs(want - sg[i])));
+  }
+  return max_diff;
+}
+
+double time_backward(nn::Layer& layer, const Tensor& grad_out, int reps) {
+  layer.backward(grad_out);  // warm (gradient accumulation does not affect timing)
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) layer.backward(grad_out);
+  return seconds_since(t0) * 1e3 / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const int reps = smoke ? 2 : 20;
+  // conv: resnet-block shape; linear: classifier-ish shape.
+  const int64_t conv_in = smoke ? 8 : 64, conv_out = smoke ? 16 : 128;
+  const int64_t image = smoke ? 8 : 16, conv_batch = smoke ? 2 : 4;
+  const int64_t lin_in = smoke ? 128 : 1024, lin_out = smoke ? 64 : 512;
+  const int64_t lin_batch = smoke ? 16 : 64;
+  const double densities[] = {1.0, 0.5, 0.25, 0.10, 0.05};
+
+  std::printf("%-8s | %-28s | %-28s\n", "", "conv backward", "linear backward");
+  std::printf("%-8s | %8s %8s %8s | %8s %8s %8s\n", "density", "dense_ms", "masked_ms", "speedup",
+              "dense_ms", "masked_ms", "speedup");
+
+  bool low_density_wins = true;
+  for (double density : densities) {
+    Rng rng(11);
+    // ---- Conv2d: two identically initialized layers, same masked weight.
+    Rng seed_a(3), seed_b(3);
+    nn::Conv2d conv_dense(conv_in, conv_out, 3, 1, 1, false, seed_a);
+    nn::Conv2d conv_sparse(conv_in, conv_out, 3, 1, 1, false, seed_b);
+    const auto conv_mask = random_mask(conv_dense.weight().value.numel(), density, rng);
+    mask_weight(conv_dense.weight(), conv_mask);
+    mask_weight(conv_sparse.weight(), conv_mask);
+    conv_sparse.install_sparse({conv_mask.data(), conv_mask.size()}, 1.0f, /*train=*/true);
+
+    const auto conv_x = random_tensor({conv_batch, conv_in, image, image}, rng);
+    const auto conv_dy = random_tensor({conv_batch, conv_out, image, image}, rng);
+    conv_dense.forward(conv_x, nn::Mode::kTrain);
+    conv_sparse.forward(conv_x, nn::Mode::kTrain);
+    const double conv_dense_ms = time_backward(conv_dense, conv_dy, reps);
+    const double conv_masked_ms = time_backward(conv_sparse, conv_dy, reps);
+
+    // Correctness: one clean backward each, grads must agree bitwise.
+    conv_dense.weight().grad.fill(0.0f);
+    conv_sparse.weight().grad.fill(0.0f);
+    conv_dense.backward(conv_dy);
+    conv_sparse.backward(conv_dy);
+    const double conv_diff = grad_diff(conv_dense.weight(), conv_sparse.weight(), conv_mask);
+
+    // ---- Linear.
+    Rng seed_c(5), seed_d(5);
+    nn::Linear lin_dense(lin_in, lin_out, true, seed_c);
+    nn::Linear lin_sparse(lin_in, lin_out, true, seed_d);
+    const auto lin_mask = random_mask(lin_dense.weight().value.numel(), density, rng);
+    mask_weight(lin_dense.weight(), lin_mask);
+    mask_weight(lin_sparse.weight(), lin_mask);
+    lin_sparse.install_sparse({lin_mask.data(), lin_mask.size()}, 1.0f, /*train=*/true);
+
+    const auto lin_x = random_tensor({lin_batch, lin_in}, rng);
+    const auto lin_dy = random_tensor({lin_batch, lin_out}, rng);
+    lin_dense.forward(lin_x, nn::Mode::kTrain);
+    lin_sparse.forward(lin_x, nn::Mode::kTrain);
+    const double lin_dense_ms = time_backward(lin_dense, lin_dy, reps);
+    const double lin_masked_ms = time_backward(lin_sparse, lin_dy, reps);
+
+    lin_dense.weight().grad.fill(0.0f);
+    lin_sparse.weight().grad.fill(0.0f);
+    lin_dense.backward(lin_dy);
+    lin_sparse.backward(lin_dy);
+    const double lin_diff = grad_diff(lin_dense.weight(), lin_sparse.weight(), lin_mask);
+
+    const double conv_speedup = conv_masked_ms > 0.0 ? conv_dense_ms / conv_masked_ms : 0.0;
+    const double lin_speedup = lin_masked_ms > 0.0 ? lin_dense_ms / lin_masked_ms : 0.0;
+    std::printf("%7.0f%% | %8.3f %8.3f %7.2fx | %8.3f %8.3f %7.2fx\n", density * 100.0,
+                conv_dense_ms, conv_masked_ms, conv_speedup, lin_dense_ms, lin_masked_ms,
+                lin_speedup);
+    if (conv_diff != 0.0 || lin_diff != 0.0) {
+      std::printf("FAIL: dense/masked gradient mismatch (conv %.3g, linear %.3g)\n", conv_diff,
+                  lin_diff);
+      return 1;
+    }
+    if (density <= 0.10 && (conv_speedup <= 1.0 || lin_speedup <= 1.0)) {
+      low_density_wins = false;
+    }
+  }
+  if (!smoke && !low_density_wins) {
+    std::printf("FAIL: masked backward did not beat dense at <=10%% density\n");
+    return 1;
+  }
+  return 0;
+}

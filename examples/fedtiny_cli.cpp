@@ -27,6 +27,12 @@ void usage() {
       "  --alpha F     Dirichlet non-iid alpha (default 0.5)\n"
       "  --seed N      RNG seed (default 1)\n"
       "  --pool N      candidate pool size (default: C* = 0.1/density)\n"
+      "  --num-clients K       federation size (default 10)\n"
+      "  --clients-per-round M sample M of K clients per round (default 0 = all)\n"
+      "  --workers N           client-training lanes (default 1; 0 = executor auto)\n"
+      "  --sparse-exchange     ship real serialized payloads (measured comm bytes)\n"
+      "  --sparse-exec F       CSR forward below density F at eval (default 0 = dense)\n"
+      "  --sparse-train        masked sparse local SGD (needs --sparse-exec > 0)\n"
       "  --save-prefix P   write P.state.bin and P.mask.bin on success\n"
       "  --help\n"
       "Scale via FEDTINY_SCALE=tiny|small|paper.\n");
@@ -61,6 +67,18 @@ int main(int argc, char** argv) {
       spec.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
     } else if (std::strcmp(argv[i], "--pool") == 0) {
       spec.pool_size = std::atoi(next("--pool"));
+    } else if (std::strcmp(argv[i], "--num-clients") == 0) {
+      spec.num_clients = std::atoi(next("--num-clients"));
+    } else if (std::strcmp(argv[i], "--clients-per-round") == 0) {
+      spec.clients_per_round = std::atoi(next("--clients-per-round"));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      spec.parallel_clients = std::atoi(next("--workers"));
+    } else if (std::strcmp(argv[i], "--sparse-exchange") == 0) {
+      spec.sparse_exchange = true;
+    } else if (std::strcmp(argv[i], "--sparse-exec") == 0) {
+      spec.sparse_exec_max_density = static_cast<float>(std::atof(next("--sparse-exec")));
+    } else if (std::strcmp(argv[i], "--sparse-train") == 0) {
+      spec.sparse_training = true;
     } else if (std::strcmp(argv[i], "--save-prefix") == 0) {
       save_prefix = next("--save-prefix");
       spec.capture_final = true;
@@ -75,10 +93,13 @@ int main(int argc, char** argv) {
   }
 
   harness::Experiment experiment(harness::ScaleConfig::from_env());
-  std::printf("running %s on %s/%s at density %.4g (alpha %.2f, seed %llu, scale %s)\n",
+  std::printf("running %s on %s/%s at density %.4g (alpha %.2f, seed %llu, scale %s,\n"
+              "        K=%d, clients/round=%d, workers=%d%s%s)\n",
               spec.method.c_str(), spec.dataset.c_str(), spec.model.c_str(), spec.density,
               spec.dirichlet_alpha, static_cast<unsigned long long>(spec.seed),
-              experiment.scale().name.c_str());
+              experiment.scale().name.c_str(), spec.num_clients, spec.clients_per_round,
+              spec.parallel_clients, spec.sparse_exchange ? ", sparse-exchange" : "",
+              spec.sparse_training ? ", sparse-train" : "");
   try {
     auto result = experiment.run(spec);
     std::printf("top1_accuracy   %.4f\n", result.accuracy);

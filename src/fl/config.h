@@ -30,6 +30,13 @@ struct FLConfig {
   /// Prunable layers whose mask density is at or below this threshold run
   /// the CSR sparse forward during evaluation (0 = always dense).
   float sparse_exec_max_density = 0.0f;
+  /// Run local SGD itself on the sparse path: CSR train-mode forward, CSR
+  /// input gradients, and mask-restricted weight gradients, with per-step
+  /// CSR value refreshes. Requires sparse_exec_max_density > 0 (same
+  /// per-layer density gate as evaluation). Bitwise identical to dense
+  /// local training — pruned coordinates hold exact zeros and the masked
+  /// SGD step discards their gradients either way.
+  bool sparse_training = false;
   /// Worker threads for sampled-client training: 1 = sequential, 0 = one
   /// per hardware thread minus two, >1 = explicit count. Parallel execution
   /// needs a model factory for per-worker replicas (set_model_factory);
@@ -37,6 +44,14 @@ struct FLConfig {
   /// bitwise identical for any worker count: client RNG streams are derived
   /// from (seed, round, client) and aggregation runs in client order.
   int parallel_clients = 1;
+
+  // ---- Round scheduler ----
+  /// Clients sampled per round: 0 (default) trains all K clients; m in
+  /// [1, K) samples m distinct clients per round from the (seed, round) RNG
+  /// stream (independent of execution order and worker count), with FedAvg
+  /// weights renormalized over the sample. m >= K reproduces the
+  /// full-participation round loop bitwise.
+  int clients_per_round = 0;
 };
 
 }  // namespace fedtiny::fl

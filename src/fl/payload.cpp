@@ -266,9 +266,11 @@ bool deserialize(std::span<const uint8_t> bytes, SparseStatePayload& out) {
 
 std::vector<uint8_t> serialize(const SparseUpdatePayload& payload) {
   io::ByteWriter w;
+  w.reserve(64);  // header; value/tensor arrays grow it as needed
   w.write_u32(kUpdateTag);
   w.write_u32(static_cast<uint32_t>(payload.sparse_layers.size()));
   w.write_u32(static_cast<uint32_t>(payload.dense_tensors.size()));
+  w.write_i64(payload.num_samples);
   for (const auto& layer : payload.sparse_layers) {
     write_shape(w, layer.shape);
     w.write_u64(layer.values.size());
@@ -284,6 +286,7 @@ bool deserialize(std::span<const uint8_t> bytes, SparseUpdatePayload& out) {
   if (!r.read_pod(tag) || tag != kUpdateTag) return false;
   if (!r.read_pod(sparse_count) || !r.read_pod(dense_count)) return false;
   if (sparse_count > kMaxTensors || dense_count > kMaxTensors) return false;
+  if (!r.read_pod(out.num_samples) || out.num_samples < 0) return false;
   if (static_cast<uint64_t>(sparse_count) + dense_count > r.remaining() / sizeof(uint32_t)) {
     return false;
   }

@@ -52,10 +52,13 @@ struct UpdateLayerPayload {
   std::vector<float> values;  // one per mask-kept coordinate, ascending
 };
 
-/// Client -> server trained state (uplink).
+/// Client -> server trained state (uplink). Carries the sender's local
+/// sample count so the server can renormalize FedAvg weights over the
+/// round's (possibly subsampled) cohort from wire data alone.
 struct SparseUpdatePayload {
   std::vector<UpdateLayerPayload> sparse_layers;  // Model prunable order
   std::vector<Tensor> dense_tensors;              // remaining state, in order
+  int64_t num_samples = 0;                        // sender's local dataset size
 };
 
 // ---- Build / reconstruct ---------------------------------------------------

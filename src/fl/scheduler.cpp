@@ -1,0 +1,47 @@
+#include "fl/scheduler.h"
+
+#include <algorithm>
+
+#include "tensor/rng.h"
+
+namespace fedtiny::fl {
+
+int effective_clients_per_round(const FLConfig& config) {
+  if (config.clients_per_round <= 0) return 0;
+  return std::min(config.clients_per_round, config.num_clients);
+}
+
+RoundPlan plan_round(const FLConfig& config, const std::vector<int64_t>& partition_sizes,
+                     int round) {
+  RoundPlan plan;
+  const int k = config.num_clients;
+  const int m = effective_clients_per_round(config);
+
+  std::vector<int> chosen;
+  if (m == 0) {
+    chosen.resize(static_cast<size_t>(k));
+    for (int c = 0; c < k; ++c) chosen[static_cast<size_t>(c)] = c;
+  } else {
+    // m distinct ids from the (seed, round) stream, reduced to ascending
+    // order: participation is a pure function of the counters, and the
+    // ordered aggregation stays independent of the draw order. m == K sorts
+    // back to 0..K-1, reproducing full participation bitwise.
+    Rng rng(derive_seed(config.seed, static_cast<uint64_t>(round), /*b=*/0x5c4ed01eULL),
+            /*stream=*/0x9c4ed);
+    auto perm = rng.permutation(k);
+    chosen.reserve(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) chosen.push_back(static_cast<int>(perm[static_cast<size_t>(i)]));
+    std::sort(chosen.begin(), chosen.end());
+    plan.sampled = true;
+  }
+
+  plan.participants = static_cast<int>(chosen.size());
+  for (int c : chosen) {
+    const auto size = partition_sizes[static_cast<size_t>(c)];
+    plan.total_samples += static_cast<double>(size);
+    if (size > 0) plan.clients.push_back(c);
+  }
+  return plan;
+}
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,43 @@
+// Federated round scheduler: decides which clients participate in a round
+// and with what FedAvg weight denominator.
+//
+// Full participation (clients_per_round == 0) reproduces the historical
+// round loop exactly. Sampling draws m distinct clients from a dedicated
+// (seed, round) RNG stream — a deterministic function of the counters, never
+// of execution order — so a sampled run is bitwise identical at any worker
+// count, and m == K degenerates to full participation bitwise (the sorted
+// m-of-K sample is then 0..K-1 and the weight denominator accumulates the
+// same sizes in the same order).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/config.h"
+
+namespace fedtiny::fl {
+
+/// One round's participation decision.
+struct RoundPlan {
+  /// Participating clients with non-empty partitions, ascending ids (the
+  /// aggregation reduces in this order for bitwise determinism).
+  std::vector<int> clients;
+  /// Devices charged for this round's cost accounting: the sampled count
+  /// (empty partitions included) under sampling, K otherwise.
+  int participants = 0;
+  /// FedAvg weight denominator: total samples held by the participants
+  /// (empty partitions contribute zero, as in the historical loop).
+  double total_samples = 0.0;
+  /// Whether subsampling was active this round.
+  bool sampled = false;
+};
+
+/// Sample size for a config: 0 when sampling is off, else clamped to [1, K].
+int effective_clients_per_round(const FLConfig& config);
+
+/// Plan one round. partition_sizes[k] is the number of samples client k
+/// holds (Model-free so the scheduler is testable in isolation).
+RoundPlan plan_round(const FLConfig& config, const std::vector<int64_t>& partition_sizes,
+                     int round);
+
+}  // namespace fedtiny::fl

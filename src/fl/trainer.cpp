@@ -48,6 +48,10 @@ void FederatedTrainer::local_train(nn::Model& model, int client, int round, floa
   if (indices.empty()) return;
   nn::SGD sgd({lr, config_.momentum, config_.weight_decay});
   const auto param_masks = mask_.for_params(model);
+  // With sparse training installed the CSR values go stale at every step;
+  // refresh them so the next batch's sparse forward/backward (and any
+  // eval-time CSR dispatch) sees the updated weights.
+  const bool refresh_csr = config_.sparse_training && config_.sparse_exec_max_density > 0.0f;
   Rng client_rng(derive_seed(config_.seed, static_cast<uint64_t>(round),
                              static_cast<uint64_t>(client)),
                  /*stream=*/0xc11e47);
@@ -64,6 +68,7 @@ void FederatedTrainer::local_train(nn::Model& model, int client, int round, floa
       auto loss = nn::softmax_cross_entropy(logits, batch.y);
       model.backward(loss.grad_logits);
       sgd.step_masked(model.params(), param_masks);
+      if (refresh_csr) prune::refresh_sparse_values(model);
     }
   }
 }
@@ -103,22 +108,20 @@ std::vector<std::vector<prune::ScoredIndex>> FederatedTrainer::topk_pruned_grads
   return out;
 }
 
-double FederatedTrainer::round_training_flops(int round) {
-  // Per-device cost, using the mean client size (paper reports one device).
-  int64_t total = 0;
-  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
-  const double mean_size =
-      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+double FederatedTrainer::round_training_flops(int round, const RoundPlan& plan) {
+  // Per-device cost, using the mean size of this round's participants
+  // (paper reports one device; full participation averages over all K).
+  const double mean_size = plan.total_samples / static_cast<double>(std::max(1, plan.participants));
   const double per_sample = cost_.sparse_training_flops(layer_densities());
   return static_cast<double>(config_.local_epochs) * mean_size * per_sample +
          extra_device_flops(round);
 }
 
-double FederatedTrainer::round_comm_bytes_analytic(int round) {
+double FederatedTrainer::round_comm_bytes_analytic(int round, const RoundPlan& plan) {
   const double model_bytes = dense_storage_ ? metrics::dense_model_bytes(cost_)
                                             : metrics::sparse_model_bytes(cost_, mask_.nnz());
-  // Download + upload per device.
-  return 2.0 * static_cast<double>(config_.num_clients) * model_bytes + extra_comm_bytes(round);
+  // Download + upload per scheduled device.
+  return 2.0 * static_cast<double>(plan.participants) * model_bytes + extra_comm_bytes(round);
 }
 
 int FederatedTrainer::resolve_workers(int active_clients) const {
@@ -139,6 +142,16 @@ nn::Model& FederatedTrainer::worker_model(int worker) {
 }
 
 void FederatedTrainer::run_round(int round) {
+  // ---- Scheduler: who participates this round, and with what FedAvg
+  // weight denominator. A pure function of (config, round) — independent of
+  // execution order and worker count.
+  std::vector<int64_t> sizes(partitions_.size());
+  for (size_t k = 0; k < partitions_.size(); ++k) {
+    sizes[k] = static_cast<int64_t>(partitions_[k].size());
+  }
+  const RoundPlan plan = plan_round(config_, sizes, round);
+  const std::vector<int>& active = plan.clients;
+
   before_round(round);
 
   const float lr = config_.lr * std::pow(config_.lr_decay, static_cast<float>(round));
@@ -146,17 +159,14 @@ void FederatedTrainer::run_round(int round) {
   assert(quota.empty() || quota.size() == model_.prunable_indices().size());
   const auto& prunable = model_.prunable_indices();
 
-  double total_samples = 0.0;
-  for (const auto& p : partitions_) total_samples += static_cast<double>(p.size());
-  std::vector<int> active;
-  for (int k = 0; k < config_.num_clients; ++k) {
-    if (client_size(k) > 0) active.push_back(k);
-  }
-
   // ---- Server broadcast. In sparse-exchange mode the state really goes
   // through the wire format: serialize once, every client deserializes the
   // same buffer. Masked coordinates of global_ are exact zeros, so the
-  // reconstruction is bit-identical to the dense broadcast.
+  // reconstruction is bit-identical to the dense broadcast. Measured bytes
+  // charge the clients that actually exchange (non-empty partitions, i.e.
+  // no no-shows), while the analytic estimate charges every scheduled
+  // participant — the gap between the two is visible when a sampled cohort
+  // includes data-less clients.
   double measured_down = 0.0;
   std::vector<Tensor> round_start;
   if (config_.sparse_exchange) {
@@ -180,11 +190,22 @@ void FederatedTrainer::run_round(int round) {
   };
   std::vector<ClientResult> results(active.size());
 
+  // Local SGD runs on the CSR sparse path (masked backward + per-step value
+  // refresh) when configured; the top-K probe below still needs dense
+  // pruned-coordinate gradients (the growth signal), so the install is
+  // cleared before it.
+  const bool sparse_train = config_.sparse_training && config_.sparse_exec_max_density > 0.0f;
+
   auto train_one = [&](nn::Model& model, size_t slot) {
     const int client = active[slot];
     auto& result = results[slot];
     model.set_state(round_start);
+    if (sparse_train) {
+      prune::install_sparse_execution(model, mask_, config_.sparse_exec_max_density,
+                                      /*train=*/true);
+    }
     local_train(model, client, round, lr);
+    if (sparse_train) prune::clear_sparse_execution(model);
     if (!quota.empty()) {
       result.grads = topk_pruned_grads(model, client, quota);
       if (config_.sparse_exchange) {  // measured bytes only used in sparse mode
@@ -192,7 +213,9 @@ void FederatedTrainer::run_round(int round) {
       }
     }
     if (config_.sparse_exchange) {
-      const auto wire = serialize(build_sparse_update(model.state(), mask_, prunable));
+      auto update = build_sparse_update(model.state(), mask_, prunable);
+      update.num_samples = client_size(client);
+      const auto wire = serialize(update);
       result.upload_bytes += static_cast<double>(wire.size());
       const bool ok = deserialize(wire, result.update);
       assert(ok);
@@ -202,15 +225,18 @@ void FederatedTrainer::run_round(int round) {
     }
   };
 
-  // Reduction runs in client order whatever the worker count, so parallel
-  // schedules are bitwise identical to sequential ones.
+  // Reduction runs in client order whatever the lane count, so parallel
+  // schedules are bitwise identical to sequential ones. FedAvg weights are
+  // renormalized over this round's participants (plan.total_samples); in
+  // sparse-exchange mode the sample count comes off the wire.
   StateAccumulator state_acc;
   std::vector<SparseGradAccumulator> grad_acc(quota.empty() ? 0 : prunable.size());
   double measured_up = 0.0;
   auto reduce_one = [&](size_t slot) {
-    const double weight =
-        static_cast<double>(client_size(active[slot])) / std::max(1.0, total_samples);
     auto& result = results[slot];
+    const auto samples = config_.sparse_exchange ? result.update.num_samples
+                                                 : client_size(active[slot]);
+    const double weight = static_cast<double>(samples) / std::max(1.0, plan.total_samples);
     if (config_.sparse_exchange) {
       state_acc.add_sparse(result.update, weight);
     } else {
@@ -223,19 +249,30 @@ void FederatedTrainer::run_round(int round) {
     result = ClientResult{};  // drop the uplink buffers as soon as consumed
   };
 
-  const int workers = resolve_workers(static_cast<int>(active.size()));
-  if (workers <= 1) {
+  // Lanes come from the process-wide executor budget: nested parallelism
+  // (harness runs x clients) degrades to fewer lanes — eventually inline —
+  // instead of oversubscribing, and any lane count is bitwise-equivalent.
+  // The LaneSet scope ends before the serial reduction so the budget is
+  // back in the pool while this round folds its uplinks.
+  const int want = resolve_workers(static_cast<int>(active.size()));
+  bool ran_parallel = false;
+  if (want > 1) {
+    LaneSet lanes(want);
+    if (lanes.lanes() > 1) {
+      for (int w = 0; w < lanes.lanes(); ++w) worker_model(w);  // replicas up front
+      lanes.for_each(active.size(), [&](int w, size_t i) { train_one(worker_model(w), i); });
+      ran_parallel = true;
+    }
+  }
+  if (ran_parallel) {
+    for (size_t i = 0; i < active.size(); ++i) reduce_one(i);
+  } else {
     // Sequential: fold each client straight into the accumulators so only
     // one uplink is in memory at a time (O(1) extra, any client count).
     for (size_t i = 0; i < active.size(); ++i) {
       train_one(model_, i);
       reduce_one(i);
     }
-  } else {
-    for (int w = 0; w < workers; ++w) worker_model(w);  // build replicas up front
-    worker_pool_for(active.size(), workers,
-                    [&](int w, size_t i) { train_one(worker_model(w), i); });
-    for (size_t i = 0; i < active.size(); ++i) reduce_one(i);
   }
   auto averaged = config_.sparse_exchange ? state_acc.average_sparse(mask_, prunable)
                                           : state_acc.average();
@@ -252,8 +289,9 @@ void FederatedTrainer::run_round(int round) {
 
   RoundStats stats;
   stats.round = round;
-  stats.device_flops = round_training_flops(round);
-  stats.comm_bytes_analytic = round_comm_bytes_analytic(round);
+  stats.participants = plan.participants;
+  stats.device_flops = round_training_flops(round, plan);
+  stats.comm_bytes_analytic = round_comm_bytes_analytic(round, plan);
   stats.comm_bytes =
       config_.sparse_exchange ? measured_down + measured_up : stats.comm_bytes_analytic;
   max_round_flops_ = std::max(max_round_flops_, stats.device_flops);

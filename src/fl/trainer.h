@@ -3,16 +3,20 @@
 // baselines — subclasses this and overrides the mask-adjustment hooks.
 //
 // Per round:
-//   1. before_round(r)              (hook: e.g. pick the block to prune)
-//   2. each client: download the global state (a serialized sparse payload
-//      when sparse_exchange is on), E local epochs of masked SGD (Eq. 5),
+//   1. the scheduler plans participation (all K clients, or a
+//      clients_per_round subsample drawn from the (seed, round) stream with
+//      FedAvg weights renormalized over the sample)
+//   2. before_round(r)              (hook: e.g. pick the block to prune)
+//   3. each participant: download the global state (a serialized sparse
+//      payload when sparse_exchange is on), E local epochs of masked SGD
+//      (Eq. 5) — on the CSR sparse path when sparse_training is on —
 //      optionally compute top-K pruned-coordinate gradients through a
-//      bounded buffer (Alg. 2 lines 10-15), upload. Sampled clients run on
-//      a worker pool with per-worker model replicas (parallel_clients).
-//   3. server: weighted-average states (FedAvg) and sparse gradients
+//      bounded buffer (Alg. 2 lines 10-15), upload. Participants run on
+//      executor lanes with per-lane model replicas (parallel_clients).
+//   4. server: weighted-average states (FedAvg) and sparse gradients
 //      (Eq. 7), reducing uploads in client order for bitwise determinism
-//   4. after_aggregate(r)           (hook: mask surgery, re-mask weights)
-//   5. cost accounting: per-device FLOPs and communication bytes (measured
+//   5. after_aggregate(r)           (hook: mask surgery, re-mask weights)
+//   6. cost accounting: per-device FLOPs and communication bytes (measured
 //      wire size in sparse-exchange mode, analytic estimate alongside)
 #pragma once
 
@@ -21,6 +25,7 @@
 
 #include "data/dataset.h"
 #include "fl/config.h"
+#include "fl/scheduler.h"
 #include "fl/server.h"
 #include "metrics/flops.h"
 #include "nn/model.h"
@@ -31,6 +36,7 @@ namespace fedtiny::fl {
 
 struct RoundStats {
   int round = 0;
+  int participants = 0;         // devices scheduled this round (K or the sample)
   double test_accuracy = -1.0;  // -1 when not evaluated this round
   double device_flops = 0.0;    // per-device training FLOPs this round
   /// Total bytes exchanged this round: the measured serialized payload size
@@ -138,15 +144,16 @@ class FederatedTrainer {
 
  private:
   void run_round(int round);
-  double round_training_flops(int round);
-  double round_comm_bytes_analytic(int round);
-  /// Worker count for this round's client pool (>= 1, capped by active
-  /// clients; 1 unless a model factory enables replicas).
+  double round_training_flops(int round, const RoundPlan& plan);
+  double round_comm_bytes_analytic(int round, const RoundPlan& plan);
+  /// Lane count requested for this round's client pool (>= 1, capped by
+  /// active clients; 1 unless a model factory enables replicas). The
+  /// executor may grant fewer lanes than requested.
   int resolve_workers(int active_clients) const;
   nn::Model& worker_model(int worker);
 
   nn::ModelFactory factory_;
-  std::vector<std::unique_ptr<nn::Model>> replicas_;  // lazily built per worker
+  std::vector<std::unique_ptr<nn::Model>> replicas_;  // lazily built per lane
 };
 
 }  // namespace fedtiny::fl

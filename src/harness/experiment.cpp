@@ -43,8 +43,8 @@ RunResult Experiment::run(const RunSpec& spec) const {
   auto data = data::make_synthetic(data_spec, spec.seed);
 
   Rng part_rng(spec.seed, /*stream=*/0xd1d1);
-  auto partitions =
-      data::dirichlet_partition(data.train.labels, 10, spec.dirichlet_alpha, part_rng);
+  auto partitions = data::dirichlet_partition(data.train.labels, spec.num_clients,
+                                              spec.dirichlet_alpha, part_rng);
 
   // Public one-shot dataset D_s: an iid random sample of the train split
   // (stands in for the paper's server-held public data).
@@ -85,7 +85,7 @@ RunResult Experiment::run(const RunSpec& spec) const {
   result.dense_memory_bytes = dense_memory;
 
   fl::FLConfig fl_config;
-  fl_config.num_clients = 10;
+  fl_config.num_clients = spec.num_clients;
   fl_config.rounds = scale_.rounds;
   fl_config.local_epochs = scale_.local_epochs;
   fl_config.batch_size = scale_.batch_size;
@@ -94,7 +94,9 @@ RunResult Experiment::run(const RunSpec& spec) const {
   fl_config.eval_every = spec.eval_every;
   fl_config.sparse_exchange = spec.sparse_exchange;
   fl_config.sparse_exec_max_density = spec.sparse_exec_max_density;
+  fl_config.sparse_training = spec.sparse_training;
   fl_config.parallel_clients = spec.parallel_clients;
+  fl_config.clients_per_round = spec.clients_per_round;
 
   if (spec.method == "small_model") {
     int64_t target = spec.small_model_params;

@@ -51,8 +51,16 @@ struct RunSpec {
   bool sparse_exchange = false;
   /// CSR eval-forward threshold (0 = dense evaluation).
   float sparse_exec_max_density = 0.0f;
-  /// Client-training worker threads (1 = sequential, 0 = hardware auto).
+  /// Run local SGD on the CSR sparse path (masked backward); needs
+  /// sparse_exec_max_density > 0.
+  bool sparse_training = false;
+  /// Client-training worker lanes (1 = sequential, 0 = executor auto).
   int parallel_clients = 1;
+  // ---- Round scheduler (see fl/config.h). ----
+  /// Federation size K (clients the data is partitioned over).
+  int num_clients = 10;
+  /// Clients sampled per round (0 = all K).
+  int clients_per_round = 0;
 };
 
 struct RunResult {

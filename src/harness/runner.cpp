@@ -7,6 +7,25 @@
 
 namespace fedtiny::harness {
 
+RunSpec with_env_knobs(RunSpec spec) {
+  if (const char* v = std::getenv("FEDTINY_SPARSE_EXCHANGE")) {
+    spec.sparse_exchange = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("FEDTINY_SPARSE_EXEC")) {
+    spec.sparse_exec_max_density = static_cast<float>(std::atof(v));
+  }
+  if (const char* v = std::getenv("FEDTINY_SPARSE_TRAINING")) {
+    spec.sparse_training = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("FEDTINY_PARALLEL_CLIENTS")) {
+    spec.parallel_clients = std::atoi(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_CLIENTS_PER_ROUND")) {
+    spec.clients_per_round = std::atoi(v);
+  }
+  return spec;
+}
+
 std::vector<RunResult> run_all(const Experiment& experiment, const std::vector<RunSpec>& specs,
                                int workers) {
   if (workers <= 0) {
@@ -18,8 +37,9 @@ std::vector<RunResult> run_all(const Experiment& experiment, const std::vector<R
   }
   workers = std::min<int>(workers, static_cast<int>(specs.size()));
   std::vector<RunResult> results(specs.size());
-  worker_pool_for(specs.size(), workers,
-                  [&](int /*worker*/, size_t i) { results[i] = experiment.run(specs[i]); });
+  worker_pool_for(specs.size(), workers, [&](int /*worker*/, size_t i) {
+    results[i] = experiment.run(with_env_knobs(specs[i]));
+  });
   return results;
 }
 

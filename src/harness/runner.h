@@ -1,6 +1,8 @@
-// Parallel execution of independent experiment runs. Kernels are serial by
-// design (see tensor/parallel.h); bench throughput comes from running many
-// RunSpecs concurrently.
+// Parallel execution of independent experiment runs on the process-wide
+// executor (tensor/parallel.h). Kernels are serial by design; bench
+// throughput comes from running many RunSpecs concurrently on executor
+// lanes, which share one thread budget with the per-round client pools so
+// nested parallelism cannot oversubscribe the machine.
 #pragma once
 
 #include <vector>
@@ -9,8 +11,19 @@
 
 namespace fedtiny::harness {
 
-/// Run every spec (order-preserving results). workers <= 0 selects
-/// min(#specs, hardware_concurrency - 2). Honors FEDTINY_WORKERS.
+/// Apply the engine/scheduler environment overrides to a spec, so every
+/// bench binary picks the knobs up without per-binary flags:
+///   FEDTINY_SPARSE_EXCHANGE=0|1   ship real serialized payloads
+///   FEDTINY_SPARSE_EXEC=F         CSR eval-forward density threshold
+///   FEDTINY_SPARSE_TRAINING=0|1   masked sparse local SGD
+///   FEDTINY_PARALLEL_CLIENTS=N    client-training lanes (0 = auto)
+///   FEDTINY_CLIENTS_PER_ROUND=N   round subsample size (0 = all K)
+/// Unset variables leave the spec untouched.
+RunSpec with_env_knobs(RunSpec spec);
+
+/// Run every spec (order-preserving results) after applying the environment
+/// knob overrides above. workers <= 0 selects min(#specs,
+/// hardware_concurrency - 2). Honors FEDTINY_WORKERS.
 std::vector<RunResult> run_all(const Experiment& experiment, const std::vector<RunSpec>& specs,
                                int workers = 0);
 

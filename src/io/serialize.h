@@ -36,6 +36,8 @@ class ByteWriter {
     buf_.insert(buf_.end(), p, p + values.size_bytes());
   }
 
+  void reserve(size_t bytes) { buf_.reserve(bytes); }
+
   [[nodiscard]] size_t size() const { return buf_.size(); }
   [[nodiscard]] const std::vector<uint8_t>& buffer() const { return buf_; }
   std::vector<uint8_t> take() { return std::move(buf_); }

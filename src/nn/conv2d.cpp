@@ -46,7 +46,7 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   }
   Tensor y({n, out_channels_, out_h, out_w});
 
-  const bool use_sparse = sparse_active() && mode != Mode::kTrain;
+  const bool use_sparse = sparse_active() && (mode != Mode::kTrain || sparse_train_);
   for (int64_t i = 0; i < n; ++i) {
     float* cols_i = cols_.data() + i * col_rows * col_cols;
     ops::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_, kernel_, stride_,
@@ -79,15 +79,27 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   Tensor grad_input({n, in_channels_, last_in_h_, last_in_w_});
   Tensor dcols({col_rows, col_cols});
 
+  const bool use_sparse = sparse_active() && sparse_train_;
   for (int64_t i = 0; i < n; ++i) {
     const float* dy_i = grad_output.data() + i * out_channels_ * col_cols;
     const float* cols_i = cols_.data() + i * col_rows * col_cols;
-    // dW += dY * cols^T   => [out_c, col_rows]
-    ops::gemm(false, true, out_channels_, col_rows, col_cols, 1.0f, dy_i, cols_i, 1.0f,
-              weight_.grad.data());
-    // dcols = W^T * dY    => [col_rows, col_cols]
-    ops::gemm(true, false, col_rows, col_cols, out_channels_, 1.0f, weight_.value.data(), dy_i,
-              0.0f, dcols.data());
+    // dW += dY * cols^T   => [out_c, col_rows]; the masked path accumulates
+    // only at mask-kept coordinates (pruned grads are discarded by the
+    // masked step anyway).
+    if (use_sparse) {
+      sparse::masked_grad_dot(sparse_weight_, dy_i, cols_i, col_cols, weight_.grad.data());
+    } else {
+      ops::gemm(false, true, out_channels_, col_rows, col_cols, 1.0f, dy_i, cols_i, 1.0f,
+                weight_.grad.data());
+    }
+    // dcols = W^T * dY    => [col_rows, col_cols]; pruned weights are exact
+    // zeros, so the CSR product is bitwise identical to the dense one.
+    if (use_sparse) {
+      sparse::spmm_tn(sparse_weight_, dy_i, col_cols, dcols.data());
+    } else {
+      ops::gemm(true, false, col_rows, col_cols, out_channels_, 1.0f, weight_.value.data(), dy_i,
+                0.0f, dcols.data());
+    }
     ops::col2im(dcols.data(), in_channels_, last_in_h_, last_in_w_, kernel_, kernel_, stride_, pad_,
                 grad_input.data() + i * in_channels_ * last_in_h_ * last_in_w_);
   }
@@ -104,7 +116,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
-bool Conv2d::install_sparse(std::span<const uint8_t> mask, float max_density) {
+bool Conv2d::install_sparse(std::span<const uint8_t> mask, float max_density, bool train) {
   assert(static_cast<int64_t>(mask.size()) == weight_.value.numel());
   if (sparse::mask_density(mask) > static_cast<double>(max_density)) {
     clear_sparse();
@@ -112,6 +124,7 @@ bool Conv2d::install_sparse(std::span<const uint8_t> mask, float max_density) {
   }
   const int64_t fan_in = in_channels_ * kernel_ * kernel_;
   sparse_weight_ = sparse::csr_from_mask(weight_.value.data(), out_channels_, fan_in, mask);
+  sparse_train_ = train;
   return true;
 }
 

@@ -34,11 +34,21 @@ class Conv2d final : public Layer {
   Param& weight() { return weight_; }
   Param* bias() { return has_bias_ ? &bias_ : nullptr; }
 
-  /// Same contract as Linear::install_sparse: CSR eval-mode forward when the
-  /// mask density is <= max_density, dense otherwise and during training.
-  bool install_sparse(std::span<const uint8_t> mask, float max_density);
-  void clear_sparse() { sparse_weight_ = {}; }
+  /// Same contract as Linear::install_sparse: CSR forward when the mask
+  /// density is <= max_density, dense otherwise. train = true additionally
+  /// enables the masked sparse training-mode forward/backward; the caller
+  /// must refresh_sparse() after every weight update.
+  bool install_sparse(std::span<const uint8_t> mask, float max_density, bool train = false);
+  void clear_sparse() {
+    sparse_weight_ = {};
+    sparse_train_ = false;
+  }
+  /// Re-read the CSR values from the dense weight (structure unchanged).
+  void refresh_sparse() {
+    if (sparse_active()) sparse::refresh_values(sparse_weight_, weight_.value.data());
+  }
   [[nodiscard]] bool sparse_active() const { return !sparse_weight_.empty(); }
+  [[nodiscard]] bool sparse_training() const { return sparse_train_; }
 
  private:
   int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
@@ -49,7 +59,8 @@ class Conv2d final : public Layer {
   // Cached for backward.
   Tensor cols_;  // [N, in_c*k*k, out_h*out_w]
   int64_t last_n_ = 0, last_in_h_ = 0, last_in_w_ = 0, last_out_h_ = 0, last_out_w_ = 0;
-  sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (eval forward)
+  sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (sparse dispatch)
+  bool sparse_train_ = false;        // masked sparse training-mode dispatch
 };
 
 }  // namespace fedtiny::nn

@@ -25,7 +25,7 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
   const int64_t n = x.dim(0);
   Tensor y({n, out_features_});
   // y = x * W^T
-  if (sparse_active() && mode != Mode::kTrain) {
+  if (sparse_active() && (mode != Mode::kTrain || sparse_train_)) {
     sparse::spmm_nt(sparse_weight_, x.data(), n, y.data());
   } else {
     ops::gemm(false, true, n, out_features_, in_features_, 1.0f, x.data(), weight_.value.data(),
@@ -47,28 +47,41 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
 Tensor Linear::backward(const Tensor& grad_output) {
   assert(!input_.empty() && "backward requires a preceding forward(kTrain)");
   const int64_t n = grad_output.dim(0);
-  // dW += dY^T * X
-  ops::gemm(true, false, out_features_, in_features_, n, 1.0f, grad_output.data(), input_.data(),
-            1.0f, weight_.grad.data());
+  const bool use_sparse = sparse_active() && sparse_train_;
+  // dW += dY^T * X; the masked path skips pruned coordinates, whose dense
+  // gradients the masked SGD step would discard anyway.
+  if (use_sparse) {
+    sparse::masked_grad_tn(sparse_weight_, grad_output.data(), input_.data(), n,
+                           weight_.grad.data());
+  } else {
+    ops::gemm(true, false, out_features_, in_features_, n, 1.0f, grad_output.data(), input_.data(),
+              1.0f, weight_.grad.data());
+  }
   if (has_bias_) {
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t j = 0; j < out_features_; ++j) bias_.grad[j] += grad_output.at2(i, j);
     }
   }
-  // dX = dY * W
+  // dX = dY * W; pruned weights are exact zeros, so the CSR product is
+  // bitwise identical to the dense one.
   Tensor grad_input({n, in_features_});
-  ops::gemm(false, false, n, in_features_, out_features_, 1.0f, grad_output.data(),
-            weight_.value.data(), 0.0f, grad_input.data());
+  if (use_sparse) {
+    sparse::spmm_dn(sparse_weight_, grad_output.data(), n, grad_input.data());
+  } else {
+    ops::gemm(false, false, n, in_features_, out_features_, 1.0f, grad_output.data(),
+              weight_.value.data(), 0.0f, grad_input.data());
+  }
   return grad_input;
 }
 
-bool Linear::install_sparse(std::span<const uint8_t> mask, float max_density) {
+bool Linear::install_sparse(std::span<const uint8_t> mask, float max_density, bool train) {
   assert(static_cast<int64_t>(mask.size()) == weight_.value.numel());
   if (sparse::mask_density(mask) > static_cast<double>(max_density)) {
     clear_sparse();
     return false;
   }
   sparse_weight_ = sparse::csr_from_mask(weight_.value.data(), out_features_, in_features_, mask);
+  sparse_train_ = train;
   return true;
 }
 

@@ -24,14 +24,25 @@ class Linear final : public Layer {
   Param* bias() { return has_bias_ ? &bias_ : nullptr; }
 
   /// Compact the current masked weight into CSR and enable the sparse
-  /// eval-mode forward when the mask density is <= max_density; otherwise
-  /// any installed CSR is cleared. Returns whether the sparse path is now
-  /// active. Training-mode forwards always run dense: weight values change
-  /// every optimizer step, so the compaction is only valid for inference
-  /// on a frozen weight (re-install after each weight update).
-  bool install_sparse(std::span<const uint8_t> mask, float max_density);
-  void clear_sparse() { sparse_weight_ = {}; }
+  /// forward when the mask density is <= max_density; otherwise any
+  /// installed CSR is cleared. Returns whether the sparse path is now
+  /// active. With train = false (eval-only, the default) training-mode
+  /// forwards stay dense: weight values change every optimizer step, so the
+  /// compaction is only valid for inference on a frozen weight. With
+  /// train = true the layer also runs the masked sparse forward/backward in
+  /// training mode — the caller must refresh_sparse() after every weight
+  /// update so the CSR values track the dense weight.
+  bool install_sparse(std::span<const uint8_t> mask, float max_density, bool train = false);
+  void clear_sparse() {
+    sparse_weight_ = {};
+    sparse_train_ = false;
+  }
+  /// Re-read the CSR values from the dense weight (structure unchanged).
+  void refresh_sparse() {
+    if (sparse_active()) sparse::refresh_values(sparse_weight_, weight_.value.data());
+  }
   [[nodiscard]] bool sparse_active() const { return !sparse_weight_.empty(); }
+  [[nodiscard]] bool sparse_training() const { return sparse_train_; }
 
  private:
   int64_t in_features_, out_features_;
@@ -39,7 +50,8 @@ class Linear final : public Layer {
   Param weight_;  // [out, in]
   Param bias_;    // [out]
   Tensor input_;  // cached for backward
-  sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (eval forward)
+  sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (sparse dispatch)
+  bool sparse_train_ = false;        // masked sparse training-mode dispatch
 };
 
 }  // namespace fedtiny::nn

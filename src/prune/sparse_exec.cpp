@@ -9,18 +9,16 @@ namespace fedtiny::prune {
 
 namespace {
 
-/// Dispatch on the two layer kinds that own prunable weights.
+/// Dispatch on the two layer kinds that own prunable weights. fn receives
+/// the weight parameter and the concrete layer pointer (both kinds expose
+/// the same sparse-execution methods).
 template <typename Fn>
 void for_each_weight_layer(nn::Model& model, Fn fn) {
   for (nn::Layer* layer : model.leaves()) {
     if (auto* conv = dynamic_cast<nn::Conv2d*>(layer)) {
-      fn(&conv->weight(), [conv](std::span<const uint8_t> m, float d) {
-        return conv->install_sparse(m, d);
-      }, [conv] { conv->clear_sparse(); });
+      fn(&conv->weight(), conv);
     } else if (auto* linear = dynamic_cast<nn::Linear*>(layer)) {
-      fn(&linear->weight(), [linear](std::span<const uint8_t> m, float d) {
-        return linear->install_sparse(m, d);
-      }, [linear] { linear->clear_sparse(); });
+      fn(&linear->weight(), linear);
     }
   }
 }
@@ -28,7 +26,7 @@ void for_each_weight_layer(nn::Model& model, Fn fn) {
 }  // namespace
 
 SparseExecReport install_sparse_execution(nn::Model& model, const MaskSet& mask,
-                                          float max_density) {
+                                          float max_density, bool train) {
   SparseExecReport report;
   if (max_density <= 0.0f) {
     clear_sparse_execution(model);
@@ -36,13 +34,13 @@ SparseExecReport install_sparse_execution(nn::Model& model, const MaskSet& mask,
   }
   const auto& prunable = model.prunable_indices();
   assert(mask.num_layers() == prunable.size());
-  for_each_weight_layer(model, [&](nn::Param* weight, auto install, auto clear) {
+  for_each_weight_layer(model, [&](nn::Param* weight, auto* layer) {
     // Locate this weight among the prunable parameters; non-prunable
     // conv/linear layers (input/output) always stay dense.
     for (size_t l = 0; l < prunable.size(); ++l) {
       if (model.params()[static_cast<size_t>(prunable[l])] == weight) {
         const auto& layer_mask = mask.layer(l);
-        if (install({layer_mask.data(), layer_mask.size()}, max_density)) {
+        if (layer->install_sparse({layer_mask.data(), layer_mask.size()}, max_density, train)) {
           ++report.sparse_layers;
           report.csr_nnz += sparse::mask_nnz({layer_mask.data(), layer_mask.size()});
         } else {
@@ -51,13 +49,17 @@ SparseExecReport install_sparse_execution(nn::Model& model, const MaskSet& mask,
         return;
       }
     }
-    clear();
+    layer->clear_sparse();
   });
   return report;
 }
 
+void refresh_sparse_values(nn::Model& model) {
+  for_each_weight_layer(model, [](nn::Param*, auto* layer) { layer->refresh_sparse(); });
+}
+
 void clear_sparse_execution(nn::Model& model) {
-  for_each_weight_layer(model, [](nn::Param*, auto /*install*/, auto clear) { clear(); });
+  for_each_weight_layer(model, [](nn::Param*, auto* layer) { layer->clear_sparse(); });
 }
 
 }  // namespace fedtiny::prune

@@ -19,9 +19,18 @@ struct SparseExecReport {
 /// Install CSR forwards on every prunable layer with density <= max_density,
 /// compacting the model's *current* weight values. Call again after any
 /// weight or mask change (the compaction is a per-round snapshot, not a
-/// live view). max_density <= 0 clears everything.
+/// live view). max_density <= 0 clears everything. train = true additionally
+/// enables the masked sparse training path (train-mode CSR forward, CSR
+/// input gradients, mask-restricted weight gradients); during local SGD call
+/// refresh_sparse_values after every optimizer step so the CSR values track
+/// the moving dense weights.
 SparseExecReport install_sparse_execution(nn::Model& model, const MaskSet& mask,
-                                          float max_density);
+                                          float max_density, bool train = false);
+
+/// Re-read every installed CSR weight's values from its dense weight (the
+/// structure is mask-determined and unchanged). O(nnz); no-op on layers
+/// without an installed CSR.
+void refresh_sparse_values(nn::Model& model);
 
 /// Remove all installed CSR weights; every forward runs dense again.
 void clear_sparse_execution(nn::Model& model);

@@ -1,10 +1,16 @@
-// Minimal data-parallel loop helper.
+// Process-wide execution resources.
 //
-// Kernel-level parallelism is OFF by default: the reproduction's tensors are
-// small (tiny-model regime), where per-call OpenMP region overhead dominates
-// any speedup. The bench harness instead parallelizes across independent
-// experiment runs (see harness::run_all). Set FEDTINY_THREADS=N or call
-// set_parallelism(N) to opt into kernel threading for single large runs.
+// Two levels of parallelism share one machine:
+//   - coarse-grained pools (independent experiment runs in harness::run_all,
+//     sampled clients in the federated round loop) go through the Executor,
+//     which holds the single global thread budget — nested regions
+//     (runs x clients) acquire lanes from the same budget and degrade to
+//     inline execution instead of oversubscribing;
+//   - kernel-level parallelism (parallel_for) is OFF by default: the
+//     reproduction's tensors are small (tiny-model regime), where per-call
+//     OpenMP region overhead dominates any speedup. Set FEDTINY_THREADS=N or
+//     call set_parallelism(N) to opt into kernel threading for single large
+//     runs.
 #pragma once
 
 #include <atomic>
@@ -30,36 +36,118 @@ inline int& parallelism_slot() {
 inline int parallelism() { return detail::parallelism_slot(); }
 inline void set_parallelism(int n) { detail::parallelism_slot() = n >= 1 ? n : 1; }
 
-/// Default worker count for coarse-grained pools (experiment runs, client
-/// training): hardware threads minus two, at least one.
+/// Default worker-lane count for coarse-grained pools (experiment runs,
+/// client training): hardware threads minus two, at least one.
 inline int default_pool_workers() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 2 ? static_cast<int>(hc - 2) : 1;
 }
 
-/// Coarse-grained work-stealing pool: invoke fn(worker, index) for index in
-/// [0, n) across `workers` threads (atomic next-index counter). workers <= 1
-/// runs inline as worker 0. Items must be independent; per-worker state
-/// (e.g. a model replica) is keyed by the worker argument. Shared by
-/// harness::run_all and the federated client round loop.
+/// The process-wide coarse-grained executor. It does not own threads; it
+/// owns the *budget*: the maximum number of extra worker threads that may be
+/// alive at once across every LaneSet in the process. A parallel region asks
+/// for lanes and receives the caller's thread plus however many extra
+/// threads the remaining budget allows — a region nested inside an already
+/// saturated pool simply runs inline. Results never depend on how many
+/// lanes were granted (work items must be independent and reductions
+/// ordered), so the budget is purely a throughput knob.
+class Executor {
+ public:
+  static Executor& instance() {
+    static Executor executor;
+    return executor;
+  }
+
+  /// Maximum extra worker threads alive at once (the caller's thread rides
+  /// for free). Defaults to default_pool_workers(); FEDTINY_THREAD_BUDGET
+  /// overrides.
+  [[nodiscard]] int thread_budget() const { return budget_.load(std::memory_order_relaxed); }
+  void set_thread_budget(int n) { budget_.store(n >= 0 ? n : 0, std::memory_order_relaxed); }
+  [[nodiscard]] int threads_in_use() const { return in_use_.load(std::memory_order_relaxed); }
+
+  /// Take up to `want` extra threads from the budget; returns the number
+  /// actually granted (possibly 0). Pair with release().
+  int acquire(int want) {
+    if (want <= 0) return 0;
+    int current = in_use_.load(std::memory_order_relaxed);
+    while (true) {
+      const int available = thread_budget() - current;
+      const int take = available < want ? (available > 0 ? available : 0) : want;
+      if (take == 0) return 0;
+      if (in_use_.compare_exchange_weak(current, current + take, std::memory_order_relaxed)) {
+        return take;
+      }
+    }
+  }
+
+  void release(int count) {
+    if (count > 0) in_use_.fetch_sub(count, std::memory_order_relaxed);
+  }
+
+ private:
+  Executor() {
+    const char* env = std::getenv("FEDTINY_THREAD_BUDGET");
+    const int n = env != nullptr ? std::atoi(env) : default_pool_workers();
+    budget_.store(n >= 0 ? n : 0, std::memory_order_relaxed);
+  }
+
+  std::atomic<int> budget_{0};
+  std::atomic<int> in_use_{0};
+};
+
+/// RAII share of the executor's budget. Construction acquires up to
+/// `max_lanes - 1` extra threads (the caller is always lane 0); destruction
+/// returns them. lanes() is known before any work runs, so callers can size
+/// per-lane state (e.g. model replicas) to what was actually granted.
+class LaneSet {
+ public:
+  explicit LaneSet(int max_lanes) : extra_(Executor::instance().acquire(max_lanes - 1)) {}
+  ~LaneSet() { Executor::instance().release(extra_); }
+  LaneSet(const LaneSet&) = delete;
+  LaneSet& operator=(const LaneSet&) = delete;
+
+  /// Total lanes including the caller (>= 1).
+  [[nodiscard]] int lanes() const { return extra_ + 1; }
+
+  /// Invoke fn(lane, index) for index in [0, n), work-stealing across the
+  /// granted lanes (atomic next-index counter); the caller drains as lane 0.
+  /// Items must be independent; per-lane state is keyed by the lane argument.
+  template <typename Fn>
+  void for_each(size_t n, Fn&& fn) {
+    if (extra_ == 0 || n <= 1) {
+      for (size_t i = 0; i < n; ++i) fn(0, i);
+      return;
+    }
+    std::atomic<size_t> next{0};
+    auto drain = [&](int lane) {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(lane, i);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(extra_));
+    for (int w = 1; w <= extra_; ++w) threads.emplace_back(drain, w);
+    drain(0);
+    for (auto& t : threads) t.join();
+  }
+
+ private:
+  int extra_;
+};
+
+/// Convenience wrapper: fn(lane, index) for index in [0, n) on up to
+/// `workers` lanes drawn from the executor budget. workers <= 1 runs inline
+/// as lane 0.
 template <typename Fn>
 void worker_pool_for(size_t n, int workers, Fn&& fn) {
   if (workers <= 1 || n <= 1) {
     for (size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
-  std::atomic<size_t> next{0};
-  auto drain = [&](int worker) {
-    while (true) {
-      const size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      fn(worker, i);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) threads.emplace_back(drain, w);
-  for (auto& t : threads) t.join();
+  LaneSet lanes(workers);
+  lanes.for_each(n, fn);
 }
 
 /// Invoke fn(i) for i in [0, n). Iterations must be independent.

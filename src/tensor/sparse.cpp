@@ -110,6 +110,77 @@ void spmv(const CsrMatrix& a, const float* x, float* y) {
   });
 }
 
+void spmm_dn(const CsrMatrix& a, const float* b, int64_t n_rows, float* c) {
+  // C row i accumulates over CSR rows j in ascending order — the dense
+  // gemm(false, false) k-loop, which also skips b[i, j] == 0, so the skip is
+  // mirrored here for bitwise agreement.
+  parallel_for(n_rows, [&](int64_t i) {
+    const float* brow = b + i * a.rows;
+    float* crow = c + i * a.cols;
+    std::memset(crow, 0, static_cast<size_t>(a.cols) * sizeof(float));
+    for (int64_t j = 0; j < a.rows; ++j) {
+      const float bv = brow[j];
+      if (bv == 0.0f) continue;
+      for (int64_t p = a.row_ptr[static_cast<size_t>(j)];
+           p < a.row_ptr[static_cast<size_t>(j) + 1]; ++p) {
+        crow[a.col_idx[static_cast<size_t>(p)]] += bv * a.values[static_cast<size_t>(p)];
+      }
+    }
+  });
+}
+
+void spmm_tn(const CsrMatrix& a, const float* b, int64_t n, float* c) {
+  // Scatter form: every output element (j, t) accumulates over CSR rows i in
+  // ascending order, exactly the dense gemm(true, false) k-loop with its
+  // zero-operand skip (kept-but-zero values are skipped there too).
+  std::memset(c, 0, static_cast<size_t>(a.cols * n) * sizeof(float));
+  for (int64_t i = 0; i < a.rows; ++i) {
+    const float* brow = b + i * n;
+    for (int64_t p = a.row_ptr[static_cast<size_t>(i)]; p < a.row_ptr[static_cast<size_t>(i) + 1];
+         ++p) {
+      const float v = a.values[static_cast<size_t>(p)];
+      if (v == 0.0f) continue;
+      float* crow = c + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
+      for (int64_t t = 0; t < n; ++t) crow[t] += v * brow[t];
+    }
+  }
+}
+
+void masked_grad_dot(const CsrMatrix& s, const float* a, const float* b, int64_t n, float* grad) {
+  // Per structure entry: one contiguous dot over t ascending, then a single
+  // add into grad — the dense gemm(false, true) dot-product path restricted
+  // to the mask's support. Rows of grad are disjoint across CSR rows.
+  parallel_for(s.rows, [&](int64_t i) {
+    const float* arow = a + i * n;
+    float* grow = grad + i * s.cols;
+    for (int64_t p = s.row_ptr[static_cast<size_t>(i)]; p < s.row_ptr[static_cast<size_t>(i) + 1];
+         ++p) {
+      const float* brow = b + static_cast<int64_t>(s.col_idx[static_cast<size_t>(p)]) * n;
+      float acc = 0.0f;
+      for (int64_t t = 0; t < n; ++t) acc += arow[t] * brow[t];
+      grow[s.col_idx[static_cast<size_t>(p)]] += acc;
+    }
+  });
+}
+
+void masked_grad_tn(const CsrMatrix& s, const float* a, const float* b, int64_t n, float* grad) {
+  // Per structure row i: accumulate over samples r ascending, skipping
+  // a[r, i] == 0 — the dense gemm(true, false) k-loop order and skip,
+  // restricted to the mask's support. Rows of grad are disjoint.
+  parallel_for(s.rows, [&](int64_t i) {
+    float* grow = grad + i * s.cols;
+    for (int64_t r = 0; r < n; ++r) {
+      const float av = a[r * s.rows + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + r * s.cols;
+      for (int64_t p = s.row_ptr[static_cast<size_t>(i)];
+           p < s.row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+        grow[s.col_idx[static_cast<size_t>(p)]] += av * brow[s.col_idx[static_cast<size_t>(p)]];
+      }
+    }
+  });
+}
+
 void spmm_nt(const CsrMatrix& a, const float* b, int64_t n_rows, float* c) {
   // C[i, j] = <B row i, A row j>; the sparse dot walks A's kept columns in
   // ascending order — same accumulation order as the dense dot over all k.

@@ -70,4 +70,34 @@ void spmv(const CsrMatrix& a, const float* x, float* y);
 /// This is the Linear forward y = x * W^T with W stored [out, in].
 void spmm_nt(const CsrMatrix& a, const float* b, int64_t n_rows, float* c);
 
+// ---- Masked backward kernels -----------------------------------------------
+// The training-mode companions of the forward dispatch: a mask-compacted
+// weight makes both the input gradient and the weight gradient sparse. Each
+// kernel mirrors the accumulation order (and the zero-operand skips) of the
+// dense gemm it replaces, so a masked backward is bitwise identical to the
+// dense backward with pruned-coordinate weight gradients zeroed.
+
+/// C[n_rows, a.cols] = B[n_rows, a.rows] * A, A in CSR, B/C dense row-major.
+/// Linear backward dX = dY * W: pruned weight columns contribute nothing.
+void spmm_dn(const CsrMatrix& a, const float* b, int64_t n_rows, float* c);
+
+/// C[a.cols, n] = A^T * B[a.rows, n], A in CSR, B/C dense row-major.
+/// Conv2d backward dcols = W^T * dY. Serial scatter (rows of C are shared
+/// across CSR rows): do not wrap in parallel_for.
+void spmm_tn(const CsrMatrix& a, const float* b, int64_t n, float* c);
+
+/// Weight-gradient accumulation restricted to the structure of `s` (dot
+/// form): for every structure entry (i, j),
+///   grad[i * s.cols + j] += sum_t a[i, t] * b[j, t]
+/// with a dense [s.rows, n] and b dense [s.cols, n]. Conv2d backward
+/// dW += dY * cols^T, skipping pruned coordinates.
+void masked_grad_dot(const CsrMatrix& s, const float* a, const float* b, int64_t n, float* grad);
+
+/// Weight-gradient accumulation restricted to the structure of `s`
+/// (transposed form): for every structure entry (i, j),
+///   grad[i * s.cols + j] += sum_r a[r, i] * b[r, j]
+/// with a dense [n, s.rows] and b dense [n, s.cols]. Linear backward
+/// dW += dY^T * X, skipping pruned coordinates.
+void masked_grad_tn(const CsrMatrix& s, const float* a, const float* b, int64_t n, float* grad);
+
 }  // namespace fedtiny::sparse

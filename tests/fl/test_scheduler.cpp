@@ -1,0 +1,229 @@
+// Round scheduler guarantees: deterministic (seed, round) sampling,
+// sample-weighted FedAvg aggregation, bitwise reproducibility of sampled
+// rounds at any worker count, and clients_per_round == K degenerating to
+// the full-participation baseline bitwise.
+#include "fl/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/trainer.h"
+#include "nn/models.h"
+#include "prune/magnitude.h"
+
+namespace fedtiny::fl {
+namespace {
+
+struct Fixture {
+  data::TrainTest data;
+  std::vector<std::vector<int64_t>> partitions;
+  nn::ModelConfig mc;
+  std::unique_ptr<nn::Model> model;
+  FLConfig config;
+
+  explicit Fixture(int rounds = 3, int num_clients = 6) {
+    auto spec = data::cifar10s_spec(8, 180, 80);
+    data = data::make_synthetic(spec, 1);
+    Rng rng(2);
+    partitions = data::dirichlet_partition(data.train.labels, num_clients, 0.5, rng);
+    mc.num_classes = spec.num_classes;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625f;
+    model = nn::make_resnet18(mc);
+    config.num_clients = num_clients;
+    config.rounds = rounds;
+    config.local_epochs = 1;
+    config.batch_size = 16;
+    config.lr = 0.08f;
+    config.eval_every = 1;
+  }
+
+  [[nodiscard]] nn::ModelFactory factory() const {
+    return [mc = mc] { return nn::make_resnet18(mc); };
+  }
+
+  [[nodiscard]] std::vector<int64_t> sizes() const {
+    std::vector<int64_t> s;
+    for (const auto& p : partitions) s.push_back(static_cast<int64_t>(p.size()));
+    return s;
+  }
+};
+
+void expect_states_bitwise_equal(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto av = a[i].flat();
+    const auto bv = b[i].flat();
+    ASSERT_EQ(av.size(), bv.size());
+    for (size_t j = 0; j < av.size(); ++j) {
+      ASSERT_EQ(av[j], bv[j]) << "tensor " << i << " idx " << j;
+    }
+  }
+}
+
+TEST(Scheduler, PlanSamplesDistinctClientsDeterministically) {
+  Fixture f;
+  f.config.clients_per_round = 3;
+  const auto sizes = f.sizes();
+  const auto plan_a = plan_round(f.config, sizes, /*round=*/4);
+  const auto plan_b = plan_round(f.config, sizes, /*round=*/4);
+  EXPECT_TRUE(plan_a.sampled);
+  EXPECT_EQ(plan_a.participants, 3);
+  EXPECT_EQ(plan_a.clients, plan_b.clients);
+  EXPECT_EQ(plan_a.total_samples, plan_b.total_samples);
+
+  std::set<int> distinct(plan_a.clients.begin(), plan_a.clients.end());
+  EXPECT_EQ(distinct.size(), plan_a.clients.size());
+  for (int c : plan_a.clients) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, f.config.num_clients);
+    EXPECT_GT(sizes[static_cast<size_t>(c)], 0);
+  }
+  // Ascending client order (the aggregation reduces in this order).
+  EXPECT_TRUE(std::is_sorted(plan_a.clients.begin(), plan_a.clients.end()));
+  // The denominator covers exactly the sampled clients.
+  double expected = 0.0;
+  const auto plan_all = plan_round(f.config, sizes, 4);
+  for (int c : plan_all.clients) expected += static_cast<double>(sizes[static_cast<size_t>(c)]);
+  EXPECT_LE(plan_a.total_samples, expected + 1e-9);
+}
+
+TEST(Scheduler, DifferentRoundsDrawDifferentCohorts) {
+  Fixture f(/*rounds=*/3, /*num_clients=*/12);
+  f.config.clients_per_round = 4;
+  const auto sizes = f.sizes();
+  // At least one of the next rounds must differ from round 0 (the draw is a
+  // function of (seed, round); twelve-choose-four collisions across three
+  // rounds are astronomically unlikely for a working stream).
+  const auto r0 = plan_round(f.config, sizes, 0);
+  bool any_different = false;
+  for (int r = 1; r <= 3; ++r) {
+    if (plan_round(f.config, sizes, r).clients != r0.clients) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Scheduler, FullParticipationPlanMatchesHistoricalLoop) {
+  Fixture f;
+  const auto sizes = f.sizes();
+  const auto plan = plan_round(f.config, sizes, 0);
+  EXPECT_FALSE(plan.sampled);
+  EXPECT_EQ(plan.participants, f.config.num_clients);
+  double total = 0.0;
+  for (auto s : sizes) total += static_cast<double>(s);
+  EXPECT_EQ(plan.total_samples, total);
+}
+
+TEST(Scheduler, SampledRoundsBitwiseIdenticalAcrossWorkerCounts) {
+  Fixture seq_f;
+  seq_f.config.clients_per_round = 3;
+  seq_f.config.parallel_clients = 1;
+  FederatedTrainer seq(*seq_f.model, seq_f.data.train, seq_f.data.test, seq_f.partitions,
+                       seq_f.config);
+  seq.set_mask(prune::magnitude_prune_global(*seq_f.model, 0.2));
+  seq.run();
+
+  for (int workers : {2, 4, 0}) {  // 0 = executor auto (hardware)
+    Fixture par_f;
+    par_f.config.clients_per_round = 3;
+    par_f.config.parallel_clients = workers;
+    FederatedTrainer par(*par_f.model, par_f.data.train, par_f.data.test, par_f.partitions,
+                         par_f.config);
+    par.set_model_factory(par_f.factory());
+    par.set_mask(prune::magnitude_prune_global(*par_f.model, 0.2));
+    par.run();
+
+    ASSERT_EQ(seq.history().size(), par.history().size());
+    for (size_t r = 0; r < seq.history().size(); ++r) {
+      EXPECT_EQ(par.history()[r].test_accuracy, seq.history()[r].test_accuracy)
+          << "workers " << workers << " round " << r;
+      EXPECT_EQ(par.history()[r].participants, 3);
+    }
+    expect_states_bitwise_equal(par.global_state(), seq.global_state());
+  }
+}
+
+TEST(Scheduler, FullSampleReproducesFullParticipationBitwise) {
+  Fixture base_f;
+  FederatedTrainer base(*base_f.model, base_f.data.train, base_f.data.test, base_f.partitions,
+                        base_f.config);
+  base.set_mask(prune::magnitude_prune_global(*base_f.model, 0.2));
+  base.run();
+
+  Fixture full_f;
+  full_f.config.clients_per_round = full_f.config.num_clients;  // sample all K
+  FederatedTrainer full(*full_f.model, full_f.data.train, full_f.data.test, full_f.partitions,
+                        full_f.config);
+  full.set_mask(prune::magnitude_prune_global(*full_f.model, 0.2));
+  full.run();
+
+  ASSERT_EQ(base.history().size(), full.history().size());
+  for (size_t r = 0; r < base.history().size(); ++r) {
+    EXPECT_EQ(full.history()[r].test_accuracy, base.history()[r].test_accuracy) << "round " << r;
+    EXPECT_EQ(full.history()[r].device_flops, base.history()[r].device_flops) << "round " << r;
+    EXPECT_EQ(full.history()[r].comm_bytes, base.history()[r].comm_bytes) << "round " << r;
+  }
+  expect_states_bitwise_equal(full.global_state(), base.global_state());
+}
+
+// Exposes the protected local-training step so the aggregation oracle below
+// can replay exactly what the trainer does per client.
+class LocalTrainProbe : public FederatedTrainer {
+ public:
+  using FederatedTrainer::FederatedTrainer;
+  void train_client(nn::Model& model, int client, int round, float lr) {
+    local_train(model, client, round, lr);
+  }
+};
+
+TEST(Scheduler, SampleWeightedFedAvgMatchesHandComputedAverage) {
+  Fixture f(/*rounds=*/1);
+  f.config.clients_per_round = 3;
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, f.partitions, f.config);
+  const auto start = trainer.global_state();
+  trainer.run();
+
+  // Oracle: replay each sampled client's local training from the round-start
+  // state and average with weights n_k / sum(n_k) over the sample, using the
+  // same float accumulation the server uses.
+  const auto plan = plan_round(f.config, f.sizes(), /*round=*/0);
+  ASSERT_TRUE(plan.sampled);
+  ASSERT_FALSE(plan.clients.empty());
+
+  Fixture g(/*rounds=*/1);
+  g.config.clients_per_round = 3;
+  LocalTrainProbe probe(*g.model, g.data.train, g.data.test, g.partitions, g.config);
+
+  std::vector<Tensor> sum;
+  double total_weight = 0.0;
+  for (int client : plan.clients) {
+    g.model->set_state(start);
+    probe.train_client(*g.model, client, /*round=*/0, g.config.lr);
+    const auto state = g.model->state();
+    const double weight = static_cast<double>(g.partitions[static_cast<size_t>(client)].size()) /
+                          std::max(1.0, plan.total_samples);
+    if (sum.empty()) {
+      for (const auto& t : state) sum.emplace_back(t.shape());
+    }
+    for (size_t i = 0; i < state.size(); ++i) {
+      auto dst = sum[i].flat();
+      const auto src = state[i].flat();
+      for (size_t j = 0; j < src.size(); ++j) dst[j] += static_cast<float>(weight) * src[j];
+    }
+    total_weight += weight;
+  }
+  // Renormalize exactly as StateAccumulator::average does (weights over a
+  // sample need not sum to exactly 1 in float).
+  const auto inv = static_cast<float>(1.0 / total_weight);
+  for (auto& t : sum) {
+    for (auto& v : t.flat()) v *= inv;
+  }
+  expect_states_bitwise_equal(trainer.global_state(), sum);
+}
+
+}  // namespace
+}  // namespace fedtiny::fl

@@ -140,6 +140,29 @@ TEST(SparseExchange, DenseModeKeepsAnalyticBytes) {
   }
 }
 
+TEST(SparseExchange, SparseTrainingBitwiseMatchesDenseTraining) {
+  Fixture dense_f;
+  FederatedTrainer dense(*dense_f.model, dense_f.data.train, dense_f.data.test,
+                         dense_f.partitions, dense_f.config);
+  dense.set_mask(prune::magnitude_prune_global(*dense_f.model, 0.2));
+  dense.run();
+
+  Fixture sparse_f;
+  sparse_f.config.sparse_exec_max_density = 0.5f;
+  sparse_f.config.sparse_training = true;  // local SGD on the CSR path
+  FederatedTrainer sparse(*sparse_f.model, sparse_f.data.train, sparse_f.data.test,
+                          sparse_f.partitions, sparse_f.config);
+  sparse.set_mask(prune::magnitude_prune_global(*sparse_f.model, 0.2));
+  sparse.run();
+
+  ASSERT_EQ(dense.history().size(), sparse.history().size());
+  for (size_t r = 0; r < dense.history().size(); ++r) {
+    EXPECT_EQ(sparse.history()[r].test_accuracy, dense.history()[r].test_accuracy)
+        << "round " << r;
+  }
+  expect_states_bitwise_equal(sparse.global_state(), dense.global_state());
+}
+
 TEST(SparseExchange, FedTinySparsePathMatchesDense) {
   auto make_fixture = [](bool sparse) {
     auto spec = data::cifar10s_spec(8, 160, 60);

@@ -1,0 +1,166 @@
+// Masked sparse training path: with install_sparse(train=true), the
+// train-mode CSR forward and the masked backward must be bitwise identical
+// to the dense oracle — input and bias gradients exactly equal, weight
+// gradients exactly equal at mask-kept coordinates and exactly zero at
+// pruned ones ("dense backward with zeroed-mask gradients"). refresh_sparse
+// keeps the CSR values tracking the dense weight across optimizer steps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n));
+  for (auto& m : mask) m = rng.uniform() < density ? 1 : 0;
+  return mask;
+}
+
+Tensor random_tensor(std::vector<int64_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = rng.normal();
+  return t;
+}
+
+void mask_weight(Param& weight, const std::vector<uint8_t>& mask) {
+  auto w = weight.value.flat();
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (mask[i] == 0) w[i] = 0.0f;
+  }
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b, const char* what) {
+  const auto av = a.flat();
+  const auto bv = b.flat();
+  ASSERT_EQ(av.size(), bv.size()) << what;
+  for (size_t i = 0; i < av.size(); ++i) ASSERT_EQ(av[i], bv[i]) << what << " idx " << i;
+}
+
+void expect_masked_grad(const Param& dense, const Param& sparse,
+                        const std::vector<uint8_t>& mask) {
+  const auto dg = dense.grad.flat();
+  const auto sg = sparse.grad.flat();
+  ASSERT_EQ(dg.size(), sg.size());
+  for (size_t i = 0; i < dg.size(); ++i) {
+    if (mask[i] != 0) {
+      ASSERT_EQ(sg[i], dg[i]) << "kept coordinate " << i;
+    } else {
+      ASSERT_EQ(sg[i], 0.0f) << "pruned coordinate " << i;
+    }
+  }
+}
+
+constexpr double kDensities[] = {0.5, 0.25, 0.1, 0.03};
+
+TEST(SparseBackward, LinearMatchesDenseOracleAtSeveralDensities) {
+  for (double density : kDensities) {
+    Rng data_rng(17);
+    Rng seed_a(3), seed_b(3);
+    Linear dense(48, 32, /*bias=*/true, seed_a);
+    Linear sparse(48, 32, /*bias=*/true, seed_b);
+    const auto mask = random_mask(dense.weight().value.numel(), density, data_rng);
+    mask_weight(dense.weight(), mask);
+    mask_weight(sparse.weight(), mask);
+    ASSERT_TRUE(sparse.install_sparse({mask.data(), mask.size()}, 1.0f, /*train=*/true));
+    ASSERT_TRUE(sparse.sparse_training());
+
+    const auto x = random_tensor({8, 48}, data_rng);
+    const auto dy = random_tensor({8, 32}, data_rng);
+    const auto y_dense = dense.forward(x, Mode::kTrain);
+    const auto y_sparse = sparse.forward(x, Mode::kTrain);
+    expect_bitwise(y_dense, y_sparse, "linear train forward");
+
+    const auto dx_dense = dense.backward(dy);
+    const auto dx_sparse = sparse.backward(dy);
+    expect_bitwise(dx_dense, dx_sparse, "linear input grad");
+    expect_masked_grad(dense.weight(), sparse.weight(), mask);
+    expect_bitwise(dense.bias()->grad, sparse.bias()->grad, "linear bias grad");
+  }
+}
+
+TEST(SparseBackward, Conv2dMatchesDenseOracleAtSeveralDensities) {
+  for (double density : kDensities) {
+    Rng data_rng(23);
+    Rng seed_a(7), seed_b(7);
+    Conv2d dense(8, 12, 3, 1, 1, /*bias=*/true, seed_a);
+    Conv2d sparse(8, 12, 3, 1, 1, /*bias=*/true, seed_b);
+    const auto mask = random_mask(dense.weight().value.numel(), density, data_rng);
+    mask_weight(dense.weight(), mask);
+    mask_weight(sparse.weight(), mask);
+    ASSERT_TRUE(sparse.install_sparse({mask.data(), mask.size()}, 1.0f, /*train=*/true));
+
+    const auto x = random_tensor({3, 8, 6, 6}, data_rng);
+    const auto dy = random_tensor({3, 12, 6, 6}, data_rng);
+    const auto y_dense = dense.forward(x, Mode::kTrain);
+    const auto y_sparse = sparse.forward(x, Mode::kTrain);
+    expect_bitwise(y_dense, y_sparse, "conv train forward");
+
+    const auto dx_dense = dense.backward(dy);
+    const auto dx_sparse = sparse.backward(dy);
+    expect_bitwise(dx_dense, dx_sparse, "conv input grad");
+    expect_masked_grad(dense.weight(), sparse.weight(), mask);
+    expect_bitwise(dense.bias()->grad, sparse.bias()->grad, "conv bias grad");
+  }
+}
+
+TEST(SparseBackward, EvalOnlyInstallKeepsTrainingDense) {
+  Rng data_rng(29);
+  Rng seed_a(9), seed_b(9);
+  Linear dense(16, 8, false, seed_a);
+  Linear sparse(16, 8, false, seed_b);
+  const auto mask = random_mask(dense.weight().value.numel(), 0.2, data_rng);
+  mask_weight(dense.weight(), mask);
+  mask_weight(sparse.weight(), mask);
+  ASSERT_TRUE(sparse.install_sparse({mask.data(), mask.size()}, 1.0f));  // train = false
+  EXPECT_FALSE(sparse.sparse_training());
+
+  const auto x = random_tensor({4, 16}, data_rng);
+  const auto dy = random_tensor({4, 8}, data_rng);
+  dense.forward(x, Mode::kTrain);
+  sparse.forward(x, Mode::kTrain);
+  dense.backward(dy);
+  sparse.backward(dy);
+  // Dense training backward: pruned coordinates keep their dense gradients.
+  expect_bitwise(dense.weight().grad, sparse.weight().grad, "eval-only weight grad");
+}
+
+TEST(SparseBackward, RefreshTracksWeightUpdates) {
+  Rng data_rng(31);
+  Rng seed_a(13), seed_b(13);
+  Linear dense(24, 16, false, seed_a);
+  Linear sparse(24, 16, false, seed_b);
+  const auto mask = random_mask(dense.weight().value.numel(), 0.15, data_rng);
+  mask_weight(dense.weight(), mask);
+  mask_weight(sparse.weight(), mask);
+  ASSERT_TRUE(sparse.install_sparse({mask.data(), mask.size()}, 1.0f, /*train=*/true));
+
+  // Simulate a masked optimizer step on both copies: perturb kept weights.
+  auto dw = dense.weight().value.flat();
+  auto sw = sparse.weight().value.flat();
+  Rng step_rng(37);
+  for (size_t i = 0; i < dw.size(); ++i) {
+    if (mask[i] != 0) {
+      const float delta = step_rng.normal() * 0.01f;
+      dw[i] += delta;
+      sw[i] += delta;
+    }
+  }
+  sparse.refresh_sparse();  // CSR values must now match the moved weights
+
+  const auto x = random_tensor({5, 24}, data_rng);
+  const auto y_dense = dense.forward(x, Mode::kEval);
+  const auto y_sparse = sparse.forward(x, Mode::kEval);
+  expect_bitwise(y_dense, y_sparse, "post-step eval forward");
+
+  const auto yt_dense = dense.forward(x, Mode::kTrain);
+  const auto yt_sparse = sparse.forward(x, Mode::kTrain);
+  expect_bitwise(yt_dense, yt_sparse, "post-step train forward");
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

@@ -36,6 +36,77 @@ TEST(Parallel, SetParallelismRoundTrips) {
   set_parallelism(before);
 }
 
+TEST(Executor, BudgetAccountingRoundTrips) {
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  ex.set_thread_budget(3);
+  EXPECT_EQ(ex.thread_budget(), 3);
+  const int got = ex.acquire(5);
+  EXPECT_EQ(got, 3);  // clamped to the budget
+  EXPECT_EQ(ex.threads_in_use(), 3);
+  EXPECT_EQ(ex.acquire(1), 0);  // exhausted
+  ex.release(got);
+  EXPECT_EQ(ex.threads_in_use(), 0);
+  ex.set_thread_budget(before);
+}
+
+TEST(Executor, LaneSetCoversAllIndicesExactlyOnce) {
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  ex.set_thread_budget(3);
+  {
+    LaneSet lanes(4);
+    EXPECT_EQ(lanes.lanes(), 4);  // caller + 3 granted
+    std::vector<std::atomic<int>> hits(200);
+    std::vector<std::atomic<int>> lane_hits(8);
+    lanes.for_each(200, [&](int lane, size_t i) {
+      hits[i].fetch_add(1);
+      lane_hits[static_cast<size_t>(lane)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    for (size_t lane = 4; lane < lane_hits.size(); ++lane) {
+      EXPECT_EQ(lane_hits[lane].load(), 0);  // only granted lanes run
+    }
+  }
+  EXPECT_EQ(ex.threads_in_use(), 0);  // RAII released
+  ex.set_thread_budget(before);
+}
+
+TEST(Executor, NestedLaneSetsDegradeToInlineInsteadOfOversubscribing) {
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  ex.set_thread_budget(2);
+  LaneSet outer(3);
+  EXPECT_EQ(outer.lanes(), 3);
+  {
+    LaneSet inner(4);  // budget exhausted: caller lane only
+    EXPECT_EQ(inner.lanes(), 1);
+    std::vector<int> lanes_seen;
+    inner.for_each(5, [&](int lane, size_t) { lanes_seen.push_back(lane); });
+    EXPECT_EQ(lanes_seen, (std::vector<int>{0, 0, 0, 0, 0}));  // inline, ordered
+  }
+  ex.set_thread_budget(before);
+}
+
+TEST(Executor, ZeroBudgetStillRunsInline) {
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  ex.set_thread_budget(0);
+  bool ran = false;
+  worker_pool_for(3, 8, [&](int lane, size_t) {
+    EXPECT_EQ(lane, 0);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  ex.set_thread_budget(before);
+}
+
+TEST(Parallel, WorkerPoolCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(64);
+  worker_pool_for(64, 4, [&](int /*lane*/, size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(Parallel, ParallelMatchesSerialResult) {
   const int before = parallelism();
   std::vector<double> serial(1000), parallel(1000);
