@@ -1,0 +1,53 @@
+// Machine-readable bench output: one JSON object per line (JSONL), appended
+// to the file named by FEDTINY_BENCH_JSON. Unset variable = disabled, so
+// interactive runs keep their console tables and CI opts in explicitly.
+// Append mode lets several bench binaries share one BENCH_kernels.json.
+//
+// Record schema (all fields always present):
+//   {"bench": "<binary>", "kernel": "<kernel or timing label>",
+//    "shape": "MxNxK-style shape string", "density": 0.10,
+//    "mode": "reference" | "fast", "ns_op": 12345.6, "gflops": 1.234}
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace fedtiny::benchjson {
+
+class Writer {
+ public:
+  explicit Writer(std::string bench) : bench_(std::move(bench)) {
+    const char* path = std::getenv("FEDTINY_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') file_ = std::fopen(path, "a");
+  }
+  ~Writer() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return file_ != nullptr; }
+
+  /// ms_op is the per-call wall time; flops the FLOP count of one call
+  /// (0 when a GFLOP/s rate is not meaningful for the timing).
+  void record(const std::string& kernel, const std::string& shape, double density,
+              const std::string& mode, double ms_op, double flops) {
+    if (file_ == nullptr) return;
+    const double ns_op = ms_op * 1e6;
+    const double gflops = ms_op > 0.0 ? flops / (ms_op * 1e-3) / 1e9 : 0.0;
+    std::fprintf(file_,
+                 "{\"bench\":\"%s\",\"kernel\":\"%s\",\"shape\":\"%s\",\"density\":%.4f,"
+                 "\"mode\":\"%s\",\"ns_op\":%.1f,\"gflops\":%.3f}\n",
+                 bench_.c_str(), kernel.c_str(), shape.c_str(), density, mode.c_str(), ns_op,
+                 gflops);
+    std::fflush(file_);
+  }
+
+ private:
+  std::string bench_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace fedtiny::benchjson

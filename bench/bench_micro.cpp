@@ -1,14 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the primitives FedTiny's on-device
-// memory argument rests on: the bounded top-K buffer vs a full sort, GEMM,
-// mask surgery, and BN stat refresh.
+// memory argument rests on: the bounded top-K buffer vs a full sort, GEMM
+// (in both kernel engine modes), mask surgery, and BN stat refresh.
+//
+// JSON: set FEDTINY_BENCH_JSON=<path> to append one record per benchmark
+// (see bench_json.h); the console output is unchanged.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
+#include "bench_json.h"
 #include "nn/batchnorm.h"
 #include "prune/surgery.h"
 #include "prune/topk_buffer.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 
@@ -49,8 +55,11 @@ void BM_FullSortTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSortTopK)->Arg(100000)->Arg(1000000);
 
+// arg 1 selects the kernel engine mode: 0 = reference, 1 = fast.
 void BM_Gemm(benchmark::State& state) {
   const int64_t n = state.range(0);
+  kernels::ScopedMode mode(state.range(1) != 0 ? kernels::Mode::kFast
+                                               : kernels::Mode::kReference);
   Rng rng(7);
   std::vector<float> a(static_cast<size_t>(n * n)), b(a), c(a);
   for (auto& v : a) v = rng.normal();
@@ -61,7 +70,14 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)
+    ->ArgNames({"n", "fast"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
 
 void BM_GrowPrune(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -96,6 +112,56 @@ void BM_BNStatRefresh(benchmark::State& state) {
 }
 BENCHMARK(BM_BNStatRefresh)->Arg(16)->Arg(64);
 
+/// Console output plus one JSON record per benchmark run. The benchmark
+/// name carries the shape/mode args ("BM_Gemm/n:256/fast:1"); GFLOP/s comes
+/// from items_per_second, which BM_Gemm sets to the FLOP count.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    // Field renamed across google-benchmark versions: error_occurred
+    // (<= 1.7) became the skipped state (>= 1.8). The generic lambda makes
+    // the member probes dependent, so the absent branch is discarded.
+    const auto errored = [](const auto& r) {
+      if constexpr (requires { r.error_occurred; }) {
+        return static_cast<bool>(r.error_occurred);
+      } else if constexpr (requires { r.skipped; }) {
+        return static_cast<int>(r.skipped) != 0;
+      } else {
+        return false;
+      }
+    };
+    for (const Run& run : runs) {
+      if (errored(run)) continue;
+      const std::string name = run.benchmark_name();
+      // Only BM_Gemm carries the fast/reference arg (named "fast" in its
+      // ArgNames); everything else records mode "default" so an unrelated
+      // benchmark name can never alias a mode.
+      const bool is_gemm_name = name.rfind("BM_Gemm", 0) == 0;
+      const char* mode = !is_gemm_name                              ? "default"
+                         : name.find("fast:1") != std::string::npos ? "fast"
+                                                                    : "reference";
+      const double ns_op =
+          run.iterations > 0 ? run.real_accumulated_time * 1e9 / run.iterations : 0.0;
+      const auto items = run.counters.find("items_per_second");
+      // items_per_second x seconds-per-op = items per op (FLOPs for BM_Gemm).
+      const double flops =
+          is_gemm_name && items != run.counters.end() ? items->second.value * ns_op * 1e-9 : 0.0;
+      json_.record(name, "", 1.0, mode, ns_op / 1e6, flops);
+    }
+  }
+
+ private:
+  benchjson::Writer json_{"bench_micro"};
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

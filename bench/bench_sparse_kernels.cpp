@@ -1,13 +1,21 @@
-// Dense vs CSR forward kernels across mask densities 100% -> 5%.
+// Dense vs CSR kernels across mask densities 100% -> 5%, in both kernel
+// engine modes (reference and fast).
 //
-// Two kernels, matching the two nn-layer sparse dispatches:
+// Forward kernels, matching the two nn-layer sparse dispatches:
 //   conv:   W[out_c, fan_in] x cols[fan_in, spatial]   (ops::gemm vs spmm)
 //   linear: x[batch, in] x W[out, in]^T                (ops::gemm vs spmm_nt)
+// Backward kernels, matching the masked training path:
+//   conv:   dW  = masked_grad_dot, dcols = spmm_tn
+//   linear: dW  = masked_grad_tn,  dX    = spmm_dn
 //
-// The dense gemm already skips stored zeros in its conv-shaped path, so the
-// conv speedup measures the win from dropping the zero-scan and its branch
-// misses; the linear dot-product path has no zero-skip, so its speedup
-// approaches 1/density. Usage: bench_sparse_kernels [--smoke]
+// Correctness: in reference mode CSR output must equal the dense output
+// bitwise (the engine's oracle contract); fast mode is held to a relative
+// tolerance against the reference result. Exit checks: CSR beats dense at
+// <= 10% density within each mode, and the fast-mode CSR forward+backward
+// aggregate beats reference at 10%.
+//
+// Usage: bench_sparse_kernels [--smoke]
+// JSON:  set FEDTINY_BENCH_JSON=<path> to append records (see bench_json.h).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -15,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 #include "tensor/sparse.h"
@@ -34,112 +44,209 @@ std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
   return mask;
 }
 
-struct KernelResult {
-  double dense_ms = 0.0;
-  double sparse_ms = 0.0;
-  double max_abs_diff = 0.0;
-
-  [[nodiscard]] double speedup() const { return sparse_ms > 0.0 ? dense_ms / sparse_ms : 0.0; }
-};
-
-template <typename DenseFn, typename SparseFn>
-KernelResult time_pair(int reps, std::vector<float>& out_dense, std::vector<float>& out_sparse,
-                       DenseFn dense, SparseFn sparse_fn) {
-  KernelResult r;
-  dense();     // warm
-  sparse_fn();  // warm
-  auto t0 = Clock::now();
-  for (int i = 0; i < reps; ++i) dense();
-  r.dense_ms = seconds_since(t0) * 1e3 / reps;
-  t0 = Clock::now();
-  for (int i = 0; i < reps; ++i) sparse_fn();
-  r.sparse_ms = seconds_since(t0) * 1e3 / reps;
-  for (size_t i = 0; i < out_dense.size(); ++i) {
-    r.max_abs_diff =
-        std::max(r.max_abs_diff, static_cast<double>(std::fabs(out_dense[i] - out_sparse[i])));
-  }
-  return r;
-}
-
 void fill_random(std::vector<float>& v, Rng& rng) {
   for (auto& x : v) x = rng.normal();
 }
+
+template <typename Fn>
+double time_ms(int reps, Fn fn) {
+  fn();  // warm
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  return seconds_since(t0) * 1e3 / reps;
+}
+
+double max_abs_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(a[i] - b[i])));
+  }
+  return m;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+const char* mode_str(kernels::Mode m) { return kernels::mode_name(m); }
+
+struct Shapes {
+  int64_t conv_out, conv_fan, conv_spatial;
+  int64_t lin_out, lin_in, lin_batch;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
-  const int reps = smoke ? 3 : 50;
+  const int reps = smoke ? 3 : 30;
   // conv-shaped: resnet block at width 1.0; linear-shaped: classifier-ish.
-  const int64_t conv_out = smoke ? 32 : 128;
-  const int64_t conv_fan = smoke ? 288 : 1152;
-  const int64_t conv_spatial = smoke ? 64 : 256;
-  const int64_t lin_out = smoke ? 64 : 512;
-  const int64_t lin_in = smoke ? 128 : 1024;
-  const int64_t lin_batch = smoke ? 16 : 64;
+  const Shapes sh = smoke ? Shapes{32, 288, 64, 64, 128, 16}
+                          : Shapes{128, 1152, 256, 512, 1024, 64};
   const double densities[] = {1.0, 0.5, 0.25, 0.10, 0.05};
+  constexpr kernels::Mode kModes[] = {kernels::Mode::kReference, kernels::Mode::kFast};
+
+  benchjson::Writer json("bench_sparse_kernels");
+  char shape_buf[64];
+  auto conv_shape = [&](const char* what) {
+    std::snprintf(shape_buf, sizeof(shape_buf), "%s:%ldx%ldx%ld", what,
+                  static_cast<long>(sh.conv_out), static_cast<long>(sh.conv_fan),
+                  static_cast<long>(sh.conv_spatial));
+    return std::string(shape_buf);
+  };
+  auto lin_shape = [&](const char* what) {
+    std::snprintf(shape_buf, sizeof(shape_buf), "%s:%ldx%ldx%ld", what,
+                  static_cast<long>(sh.lin_batch), static_cast<long>(sh.lin_out),
+                  static_cast<long>(sh.lin_in));
+    return std::string(shape_buf);
+  };
 
   Rng rng(7);
-  std::printf("%-8s %-8s | %-28s | %-28s\n", "", "", "conv  W*cols (spmm)", "linear x*W^T (spmm_nt)");
-  std::printf("%-8s %-8s | %8s %8s %8s | %8s %8s %8s\n", "density", "", "dense_ms", "csr_ms",
-              "speedup", "dense_ms", "csr_ms", "speedup");
-
   bool low_density_wins = true;
+  bool fast_beats_reference = true;
+
+  std::printf("%-8s %-9s | %-26s | %-26s | %s\n", "", "", "conv W*cols (spmm)",
+              "linear x*W^T (spmm_nt)", "csr fwd+bwd");
+  std::printf("%-8s %-9s | %8s %8s %6s | %8s %8s %6s | %8s\n", "density", "mode", "dense_ms",
+              "csr_ms", "spdup", "dense_ms", "csr_ms", "spdup", "total_ms");
+
   for (double density : densities) {
-    // ---- conv kernel ----
-    std::vector<float> w(static_cast<size_t>(conv_out * conv_fan));
-    std::vector<float> cols(static_cast<size_t>(conv_fan * conv_spatial));
+    // ---- conv-shaped operands (shared across modes). ----
+    std::vector<float> w(static_cast<size_t>(sh.conv_out * sh.conv_fan));
+    std::vector<float> cols(static_cast<size_t>(sh.conv_fan * sh.conv_spatial));
+    std::vector<float> dy(static_cast<size_t>(sh.conv_out * sh.conv_spatial));
     fill_random(w, rng);
     fill_random(cols, rng);
-    auto mask = random_mask(conv_out * conv_fan, density, rng);
+    fill_random(dy, rng);
+    const auto mask = random_mask(sh.conv_out * sh.conv_fan, density, rng);
     for (size_t i = 0; i < w.size(); ++i) {
       if (mask[i] == 0) w[i] = 0.0f;
     }
-    auto csr = sparse::csr_from_mask(w.data(), conv_out, conv_fan, mask);
-    std::vector<float> yd(static_cast<size_t>(conv_out * conv_spatial));
-    std::vector<float> ys(yd.size());
-    auto conv = time_pair(
-        reps, yd, ys,
-        [&] {
-          ops::gemm(false, false, conv_out, conv_spatial, conv_fan, 1.0f, w.data(), cols.data(),
-                    0.0f, yd.data());
-        },
-        [&] { sparse::spmm(csr, cols.data(), conv_spatial, ys.data()); });
+    const auto csr = sparse::csr_from_mask(w.data(), sh.conv_out, sh.conv_fan, mask);
 
-    // ---- linear kernel ----
-    std::vector<float> lw(static_cast<size_t>(lin_out * lin_in));
-    std::vector<float> x(static_cast<size_t>(lin_batch * lin_in));
+    // ---- linear-shaped operands. ----
+    std::vector<float> lw(static_cast<size_t>(sh.lin_out * sh.lin_in));
+    std::vector<float> x(static_cast<size_t>(sh.lin_batch * sh.lin_in));
+    std::vector<float> ldy(static_cast<size_t>(sh.lin_batch * sh.lin_out));
     fill_random(lw, rng);
     fill_random(x, rng);
-    auto lmask = random_mask(lin_out * lin_in, density, rng);
+    fill_random(ldy, rng);
+    const auto lmask = random_mask(sh.lin_out * sh.lin_in, density, rng);
     for (size_t i = 0; i < lw.size(); ++i) {
       if (lmask[i] == 0) lw[i] = 0.0f;
     }
-    auto lcsr = sparse::csr_from_mask(lw.data(), lin_out, lin_in, lmask);
-    std::vector<float> ld(static_cast<size_t>(lin_batch * lin_out));
-    std::vector<float> ls(ld.size());
-    auto lin = time_pair(
-        reps, ld, ls,
-        [&] {
-          ops::gemm(false, true, lin_batch, lin_out, lin_in, 1.0f, x.data(), lw.data(), 0.0f,
-                    ld.data());
-        },
-        [&] { sparse::spmm_nt(lcsr, x.data(), lin_batch, ls.data()); });
+    const auto lcsr = sparse::csr_from_mask(lw.data(), sh.lin_out, sh.lin_in, lmask);
 
-    std::printf("%7.0f%% %-8s | %8.3f %8.3f %7.2fx | %8.3f %8.3f %7.2fx\n", density * 100.0, "",
-                conv.dense_ms, conv.sparse_ms, conv.speedup(), lin.dense_ms, lin.sparse_ms,
-                lin.speedup());
-    if (conv.max_abs_diff > 1e-5 || lin.max_abs_diff > 1e-5) {
-      std::printf("FAIL: dense/CSR mismatch (conv %.3g, linear %.3g)\n", conv.max_abs_diff,
-                  lin.max_abs_diff);
-      return 1;
+    // Output buffers (dense-path results in reference mode are the oracle).
+    std::vector<float> yd(static_cast<size_t>(sh.conv_out * sh.conv_spatial));
+    std::vector<float> ys(yd.size());
+    std::vector<float> ld(static_cast<size_t>(sh.lin_batch * sh.lin_out));
+    std::vector<float> ls(ld.size());
+    std::vector<float> dcols(static_cast<size_t>(sh.conv_fan * sh.conv_spatial));
+    std::vector<float> grad(w.size());
+    std::vector<float> ldx(static_cast<size_t>(sh.lin_batch * sh.lin_in));
+    std::vector<float> lgrad(lw.size());
+    std::vector<float> oracle_conv, oracle_lin;
+
+    double csr_total_ms[2] = {0.0, 0.0};
+
+    for (const kernels::Mode mode : kModes) {
+      kernels::ScopedMode scoped(mode);
+      const int mi = mode == kernels::Mode::kFast ? 1 : 0;
+
+      // ---- forward ----
+      const double conv_dense_ms = time_ms(reps, [&] {
+        ops::gemm(false, false, sh.conv_out, sh.conv_spatial, sh.conv_fan, 1.0f, w.data(),
+                  cols.data(), 0.0f, yd.data());
+      });
+      const double conv_csr_ms =
+          time_ms(reps, [&] { sparse::spmm(csr, cols.data(), sh.conv_spatial, ys.data()); });
+      const double lin_dense_ms = time_ms(reps, [&] {
+        ops::gemm(false, true, sh.lin_batch, sh.lin_out, sh.lin_in, 1.0f, x.data(), lw.data(),
+                  0.0f, ld.data());
+      });
+      const double lin_csr_ms =
+          time_ms(reps, [&] { sparse::spmm_nt(lcsr, x.data(), sh.lin_batch, ls.data()); });
+
+      // ---- backward kernels (masked training path) ----
+      const double conv_dgrad_ms = time_ms(reps, [&] {
+        std::memset(grad.data(), 0, grad.size() * sizeof(float));
+        sparse::masked_grad_dot(csr, dy.data(), cols.data(), sh.conv_spatial, grad.data());
+      });
+      const double conv_dcols_ms =
+          time_ms(reps, [&] { sparse::spmm_tn(csr, dy.data(), sh.conv_spatial, dcols.data()); });
+      const double lin_dgrad_ms = time_ms(reps, [&] {
+        std::memset(lgrad.data(), 0, lgrad.size() * sizeof(float));
+        sparse::masked_grad_tn(lcsr, ldy.data(), x.data(), sh.lin_batch, lgrad.data());
+      });
+      const double lin_dx_ms =
+          time_ms(reps, [&] { sparse::spmm_dn(lcsr, ldy.data(), sh.lin_batch, ldx.data()); });
+
+      csr_total_ms[mi] =
+          conv_csr_ms + lin_csr_ms + conv_dgrad_ms + conv_dcols_ms + lin_dgrad_ms + lin_dx_ms;
+
+      // ---- correctness ----
+      if (mode == kernels::Mode::kReference) {
+        // Engine contract: reference CSR == reference dense, bitwise.
+        if (!bitwise_equal(yd, ys) || !bitwise_equal(ld, ls)) {
+          std::printf("FAIL: reference CSR does not match dense bitwise at density %.2f\n",
+                      density);
+          return 1;
+        }
+        oracle_conv = yd;
+        oracle_lin = ld;
+      } else {
+        // Fast mode: reassociated sums; bound the drift against reference.
+        const double conv_diff = max_abs_diff(ys, oracle_conv);
+        const double lin_diff = max_abs_diff(ls, oracle_lin);
+        const double tol = 1e-3;  // |terms| ~ sqrt(k), float eps 1.2e-7
+        if (conv_diff > tol || lin_diff > tol) {
+          std::printf("FAIL: fast/reference drift too large (conv %.3g, linear %.3g)\n", conv_diff,
+                      lin_diff);
+          return 1;
+        }
+      }
+
+      // ---- report ----
+      const double conv_speedup = conv_csr_ms > 0.0 ? conv_dense_ms / conv_csr_ms : 0.0;
+      const double lin_speedup = lin_csr_ms > 0.0 ? lin_dense_ms / lin_csr_ms : 0.0;
+      std::printf("%7.0f%% %-9s | %8.3f %8.3f %5.2fx | %8.3f %8.3f %5.2fx | %8.3f\n",
+                  density * 100.0, mode_str(mode), conv_dense_ms, conv_csr_ms, conv_speedup,
+                  lin_dense_ms, lin_csr_ms, lin_speedup, csr_total_ms[mi]);
+      if (density <= 0.10 && (conv_speedup <= 1.0 || lin_speedup <= 1.0)) {
+        low_density_wins = false;
+      }
+
+      const double conv_flops = 2.0 * static_cast<double>(csr.nnz()) * sh.conv_spatial;
+      const double lin_flops = 2.0 * static_cast<double>(lcsr.nnz()) * sh.lin_batch;
+      json.record("gemm_nn", conv_shape("WxCols"), density, mode_str(mode), conv_dense_ms,
+                  2.0 * sh.conv_out * sh.conv_fan * sh.conv_spatial);
+      json.record("spmm", conv_shape("WxCols"), density, mode_str(mode), conv_csr_ms, conv_flops);
+      json.record("gemm_nt", lin_shape("xWt"), density, mode_str(mode), lin_dense_ms,
+                  2.0 * sh.lin_batch * sh.lin_out * sh.lin_in);
+      json.record("spmm_nt", lin_shape("xWt"), density, mode_str(mode), lin_csr_ms, lin_flops);
+      json.record("masked_grad_dot", conv_shape("dW"), density, mode_str(mode), conv_dgrad_ms,
+                  conv_flops);
+      json.record("spmm_tn", conv_shape("dcols"), density, mode_str(mode), conv_dcols_ms,
+                  conv_flops);
+      json.record("masked_grad_tn", lin_shape("dW"), density, mode_str(mode), lin_dgrad_ms,
+                  lin_flops);
+      json.record("spmm_dn", lin_shape("dX"), density, mode_str(mode), lin_dx_ms, lin_flops);
+      json.record("csr_fwd_bwd", "conv+linear", density, mode_str(mode), csr_total_ms[mi],
+                  2.0 * (conv_flops + lin_flops) + conv_flops + lin_flops);
     }
-    if (density <= 0.10 && (conv.speedup() <= 1.0 || lin.speedup() <= 1.0)) {
-      low_density_wins = false;
-    }
+
+    const double agg = csr_total_ms[1] > 0.0 ? csr_total_ms[0] / csr_total_ms[1] : 0.0;
+    std::printf("%7.0f%% %-9s   csr fwd+bwd fast/ref: %.2fx\n", density * 100.0, "", agg);
+    if (density == 0.10 && agg <= 1.0) fast_beats_reference = false;
   }
+
   if (!smoke && !low_density_wins) {
     std::printf("FAIL: CSR did not beat dense at <=10%% density\n");
+    return 1;
+  }
+  if (!smoke && !fast_beats_reference) {
+    std::printf("FAIL: fast CSR fwd+bwd did not beat reference at 10%% density\n");
     return 1;
   }
   return 0;

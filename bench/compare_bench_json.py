@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Warn-only comparison of two BENCH_kernels.json files (JSONL records).
+
+Usage: compare_bench_json.py BASELINE NEW [--threshold 1.3]
+
+Matches records on (bench, kernel, shape, density, mode) and warns when
+ns_op regressed by more than the threshold factor. Always exits 0: the
+baseline was measured on different hardware, so regressions are a signal to
+look at, not a gate. Hard perf gates live in the benches themselves
+(bench_sparse_kernels exits non-zero when fast stops beating reference).
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    records = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            key = (rec["bench"], rec["kernel"], rec["shape"],
+                   round(rec["density"], 4), rec["mode"])
+            records[key] = rec
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="warn when new ns_op > threshold * baseline ns_op")
+    args = parser.parse_args()
+
+    try:
+        base = load(args.baseline)
+        new = load(args.new)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"WARN input unreadable ({err}); nothing to compare")
+        return 0
+
+    regressions = improvements = 0
+    for key, rec in sorted(new.items()):
+        old = base.get(key)
+        if old is None or old["ns_op"] <= 0:
+            continue
+        ratio = rec["ns_op"] / old["ns_op"]
+        label = "/".join(str(k) for k in key)
+        if ratio > args.threshold:
+            print(f"WARN regression {ratio:5.2f}x  {label}  "
+                  f"{old['ns_op']:.0f} -> {rec['ns_op']:.0f} ns/op")
+            regressions += 1
+        elif ratio < 1.0 / args.threshold:
+            improvements += 1
+    missing = len(base.keys() - new.keys())
+    print(f"compared {len(new)} records: {regressions} regression warning(s), "
+          f"{improvements} improvement(s), {missing} baseline record(s) unmatched")
+    return 0  # warn-only by design
+
+
+if __name__ == "__main__":
+    sys.exit(main())

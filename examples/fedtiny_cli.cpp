@@ -33,6 +33,7 @@ void usage() {
       "  --sparse-exchange     ship real serialized payloads (measured comm bytes)\n"
       "  --sparse-exec F       CSR forward below density F at eval (default 0 = dense)\n"
       "  --sparse-train        masked sparse local SGD (needs --sparse-exec > 0)\n"
+      "  --kernels M           kernel engine: reference|fast (default fast)\n"
       "  --save-prefix P   write P.state.bin and P.mask.bin on success\n"
       "  --help\n"
       "Scale via FEDTINY_SCALE=tiny|small|paper.\n");
@@ -79,6 +80,8 @@ int main(int argc, char** argv) {
       spec.sparse_exec_max_density = static_cast<float>(std::atof(next("--sparse-exec")));
     } else if (std::strcmp(argv[i], "--sparse-train") == 0) {
       spec.sparse_training = true;
+    } else if (std::strcmp(argv[i], "--kernels") == 0) {
+      spec.kernels = next("--kernels");
     } else if (std::strcmp(argv[i], "--save-prefix") == 0) {
       save_prefix = next("--save-prefix");
       spec.capture_final = true;
@@ -94,12 +97,13 @@ int main(int argc, char** argv) {
 
   harness::Experiment experiment(harness::ScaleConfig::from_env());
   std::printf("running %s on %s/%s at density %.4g (alpha %.2f, seed %llu, scale %s,\n"
-              "        K=%d, clients/round=%d, workers=%d%s%s)\n",
+              "        K=%d, clients/round=%d, workers=%d%s%s%s)\n",
               spec.method.c_str(), spec.dataset.c_str(), spec.model.c_str(), spec.density,
               spec.dirichlet_alpha, static_cast<unsigned long long>(spec.seed),
               experiment.scale().name.c_str(), spec.num_clients, spec.clients_per_round,
               spec.parallel_clients, spec.sparse_exchange ? ", sparse-exchange" : "",
-              spec.sparse_training ? ", sparse-train" : "");
+              spec.sparse_training ? ", sparse-train" : "",
+              spec.kernels.empty() ? "" : (", kernels=" + spec.kernels).c_str());
   try {
     auto result = experiment.run(spec);
     std::printf("top1_accuracy   %.4f\n", result.accuracy);

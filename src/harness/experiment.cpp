@@ -13,6 +13,7 @@
 #include "data/synthetic.h"
 #include "metrics/memory.h"
 #include "nn/models.h"
+#include "tensor/kernels.h"
 
 namespace fedtiny::harness {
 
@@ -37,6 +38,14 @@ core::PruningSchedule default_schedule(const ScaleConfig& scale) {
 }  // namespace
 
 RunResult Experiment::run(const RunSpec& spec) const {
+  // Kernel engine selection is process-wide (see RunSpec::kernels); an
+  // explicit spec knob overrides the FEDTINY_KERNELS-seeded default.
+  // Unknown values are an error, not a silent fallback — a typo must not
+  // masquerade as the reference oracle.
+  if (!spec.kernels.empty()) {
+    kernels::set_mode(kernels::parse_mode(spec.kernels.c_str()));
+  }
+
   // ---- Data: synthetic dataset, Dirichlet partition, public split. ----
   auto data_spec = data::spec_by_name(spec.dataset, scale_.image_size, scale_.train_size,
                                       scale_.test_size);

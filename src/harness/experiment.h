@@ -56,6 +56,11 @@ struct RunSpec {
   bool sparse_training = false;
   /// Client-training worker lanes (1 = sequential, 0 = executor auto).
   int parallel_clients = 1;
+  /// Kernel engine implementation: "" = inherit the process mode
+  /// (FEDTINY_KERNELS env, default fast), or "reference" | "fast" (any
+  /// other value throws). The mode is process-wide, so run_all rejects
+  /// batches whose specs pin conflicting modes.
+  std::string kernels;
   // ---- Round scheduler (see fl/config.h). ----
   /// Federation size K (clients the data is partitioned over).
   int num_clients = 10;

@@ -1,8 +1,13 @@
 #include "harness/runner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
 
+#include "tensor/kernels.h"
 #include "tensor/parallel.h"
 
 namespace fedtiny::harness {
@@ -20,6 +25,16 @@ RunSpec with_env_knobs(RunSpec spec) {
   if (const char* v = std::getenv("FEDTINY_PARALLEL_CLIENTS")) {
     spec.parallel_clients = std::atoi(v);
   }
+  if (const char* v = std::getenv("FEDTINY_KERNELS")) {
+    // Env policy matches the engine's own seed (kernels::detail::mode_from_env):
+    // a typo'd env value warns and is ignored. Only explicit RunSpec/--kernels
+    // values are strict (Experiment::run throws via kernels::parse_mode).
+    if (std::strcmp(v, "reference") == 0 || std::strcmp(v, "fast") == 0) {
+      spec.kernels = v;
+    } else {
+      std::fprintf(stderr, "FEDTINY_KERNELS=%s unrecognized; ignoring\n", v);
+    }
+  }
   if (const char* v = std::getenv("FEDTINY_CLIENTS_PER_ROUND")) {
     spec.clients_per_round = std::atoi(v);
   }
@@ -28,6 +43,27 @@ RunSpec with_env_knobs(RunSpec spec) {
 
 std::vector<RunResult> run_all(const Experiment& experiment, const std::vector<RunSpec>& specs,
                                int workers) {
+  // Apply the env knobs once per spec (the workers run these verbatim).
+  std::vector<RunSpec> knobbed;
+  knobbed.reserve(specs.size());
+  for (const RunSpec& raw : specs) knobbed.push_back(with_env_knobs(raw));
+
+  // The kernel mode is process-wide, so concurrently running specs that pin
+  // different modes would flip each other's kernels mid-run. Reject
+  // conflicting batches, and apply an agreed pin once, up front: unpinned
+  // specs in the same batch then deterministically run under it too,
+  // instead of racing against whichever worker sets it first.
+  std::string pinned;
+  for (const RunSpec& spec : knobbed) {
+    if (spec.kernels.empty()) continue;
+    if (pinned.empty()) {
+      pinned = spec.kernels;
+    } else if (pinned != spec.kernels) {
+      throw std::invalid_argument("run_all: specs pin conflicting kernels modes (\"" + pinned +
+                                  "\" vs \"" + spec.kernels + "\"); the mode is process-wide");
+    }
+  }
+  if (!pinned.empty()) kernels::set_mode(kernels::parse_mode(pinned.c_str()));
   if (workers <= 0) {
     const char* env = std::getenv("FEDTINY_WORKERS");
     if (env != nullptr) {
@@ -38,7 +74,7 @@ std::vector<RunResult> run_all(const Experiment& experiment, const std::vector<R
   workers = std::min<int>(workers, static_cast<int>(specs.size()));
   std::vector<RunResult> results(specs.size());
   worker_pool_for(specs.size(), workers, [&](int /*worker*/, size_t i) {
-    results[i] = experiment.run(with_env_knobs(specs[i]));
+    results[i] = experiment.run(knobbed[i]);
   });
   return results;
 }

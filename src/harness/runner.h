@@ -18,6 +18,7 @@ namespace fedtiny::harness {
 ///   FEDTINY_SPARSE_TRAINING=0|1   masked sparse local SGD
 ///   FEDTINY_PARALLEL_CLIENTS=N    client-training lanes (0 = auto)
 ///   FEDTINY_CLIENTS_PER_ROUND=N   round subsample size (0 = all K)
+///   FEDTINY_KERNELS=reference|fast kernel engine mode (process-wide)
 /// Unset variables leave the spec untouched.
 RunSpec with_env_knobs(RunSpec spec);
 

@@ -8,6 +8,22 @@
 
 namespace fedtiny::nn {
 
+namespace {
+
+/// Allocation-free shape check for the cached workspaces (building a Tensor
+/// or a shape vector just to compare would put a heap allocation back into
+/// the per-step path).
+bool has_shape(const Tensor& t, std::initializer_list<int64_t> dims) {
+  if (t.rank() != static_cast<int>(dims.size())) return false;
+  int i = 0;
+  for (int64_t d : dims) {
+    if (t.dim(i++) != d) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
                int64_t pad, bool bias, Rng& rng)
     : in_channels_(in_channels),
@@ -41,7 +57,7 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   last_out_h_ = out_h;
   last_out_w_ = out_w;
 
-  if (!cols_.same_shape(Tensor({n, col_rows, col_cols}))) {
+  if (!has_shape(cols_, {n, col_rows, col_cols})) {
     cols_ = Tensor({n, col_rows, col_cols});
   }
   Tensor y({n, out_channels_, out_h, out_w});
@@ -65,7 +81,11 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
       for (int64_t j = 0; j < col_cols; ++j) row[j] += b;
     });
   }
-  if (mode != Mode::kTrain) cols_ = Tensor();  // no backward coming; free the cache
+  if (mode != Mode::kTrain) {
+    // No backward coming; free the per-step workspaces.
+    cols_ = Tensor();
+    dcols_ = Tensor();
+  }
   return y;
 }
 
@@ -77,7 +97,12 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const int64_t col_cols = last_out_h_ * last_out_w_;
 
   Tensor grad_input({n, in_channels_, last_in_h_, last_in_w_});
-  Tensor dcols({col_rows, col_cols});
+  // dcols is a cached workspace (layer replicas are per-worker, so there is
+  // no sharing): both producers below overwrite it, so no zeroing is needed
+  // between steps, and eval-mode forwards free it together with cols_.
+  if (!has_shape(dcols_, {col_rows, col_cols})) {
+    dcols_ = Tensor({col_rows, col_cols});
+  }
 
   const bool use_sparse = sparse_active() && sparse_train_;
   for (int64_t i = 0; i < n; ++i) {
@@ -95,12 +120,12 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     // dcols = W^T * dY    => [col_rows, col_cols]; pruned weights are exact
     // zeros, so the CSR product is bitwise identical to the dense one.
     if (use_sparse) {
-      sparse::spmm_tn(sparse_weight_, dy_i, col_cols, dcols.data());
+      sparse::spmm_tn(sparse_weight_, dy_i, col_cols, dcols_.data());
     } else {
       ops::gemm(true, false, col_rows, col_cols, out_channels_, 1.0f, weight_.value.data(), dy_i,
-                0.0f, dcols.data());
+                0.0f, dcols_.data());
     }
-    ops::col2im(dcols.data(), in_channels_, last_in_h_, last_in_w_, kernel_, kernel_, stride_, pad_,
+    ops::col2im(dcols_.data(), in_channels_, last_in_h_, last_in_w_, kernel_, kernel_, stride_, pad_,
                 grad_input.data() + i * in_channels_ * last_in_h_ * last_in_w_);
   }
   if (has_bias_) {

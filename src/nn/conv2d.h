@@ -56,8 +56,11 @@ class Conv2d final : public Layer {
   Param weight_;  // [out_c, in_c * k * k]
   Param bias_;    // [out_c]
 
-  // Cached for backward.
-  Tensor cols_;  // [N, in_c*k*k, out_h*out_w]
+  // Cached for backward. Both are per-step workspaces, not state: cols_ is
+  // the im2col expansion, dcols_ the column-gradient scratch buffer the
+  // backward used to reallocate every step. Eval-mode forwards free both.
+  Tensor cols_;   // [N, in_c*k*k, out_h*out_w]
+  Tensor dcols_;  // [in_c*k*k, out_h*out_w]
   int64_t last_n_ = 0, last_in_h_ = 0, last_in_w_ = 0, last_out_h_ = 0, last_out_w_ = 0;
   sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (sparse dispatch)
   bool sparse_train_ = false;        // masked sparse training-mode dispatch

@@ -37,6 +37,9 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
     }
   }
   if (mode == Mode::kTrain) {
+    // Copy-assignment reuses input_'s existing buffer when the batch shape
+    // is stable (vector copy-assign keeps capacity), so the per-step input
+    // cache does not allocate after the first step.
     input_ = x;
   } else {
     input_ = Tensor();

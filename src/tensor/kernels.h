@@ -1,0 +1,109 @@
+// Kernel engine: two selectable implementations of every hot math kernel.
+//
+//   reference — the scalar loops the repo has shipped since PR 1/2, kept
+//               verbatim. Accumulation order matches the dense zero-skipping
+//               oracle exactly, so reference-mode sparse kernels are bitwise
+//               identical to the dense forward/backward over the same masked
+//               weight. This is the mode every bitwise-oracle test pins.
+//   fast      — register-blocked / multi-accumulator rewrites (the default).
+//               Blocking order is a fixed compile-time constant, so fast
+//               results are deterministic across runs, thread counts, and
+//               worker counts — but the reassociated accumulation drifts
+//               from reference within a tolerance bounded by the parity
+//               tests (tests/tensor/test_kernels.cpp).
+//
+// Selection is process-wide: FEDTINY_KERNELS=reference|fast seeds the mode
+// at first use, set_mode() overrides (harness::Experiment::run applies the
+// RunSpec::kernels knob through it). The public entry points stay
+// ops::gemm / sparse::spmm etc. — they dispatch on mode(); call the
+// *_reference / *_fast functions below only from benches and tests that
+// need a specific implementation regardless of the process mode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/sparse_fwd.h"
+
+namespace fedtiny::kernels {
+
+enum class Mode : int { kReference = 0, kFast = 1 };
+
+/// Parse "reference"/"fast" (anything else falls back to `fallback`).
+Mode mode_from_name(const char* name, Mode fallback = Mode::kFast);
+/// Parse "reference"/"fast"; anything else throws std::invalid_argument.
+/// The single validation point for user-supplied mode strings (RunSpec
+/// knob, run_all batch pins).
+Mode parse_mode(const char* name);
+const char* mode_name(Mode mode);
+
+namespace detail {
+/// FEDTINY_KERNELS seed: unset -> fast; unrecognized values warn on stderr
+/// and fall back to fast (a typo must not silently pose as a mode choice).
+Mode mode_from_env();
+
+inline std::atomic<int>& mode_slot() {
+  static std::atomic<int> value{static_cast<int>(mode_from_env())};
+  return value;
+}
+}  // namespace detail
+
+/// Process-wide kernel implementation selection (FEDTINY_KERNELS seeds it).
+inline Mode mode() { return static_cast<Mode>(detail::mode_slot().load(std::memory_order_relaxed)); }
+inline void set_mode(Mode m) {
+  detail::mode_slot().store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+/// RAII mode pin for tests and benches; restores the previous mode. The mode
+/// is process-wide, so do not interleave scoped pins across threads.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m) : previous_(mode()) { set_mode(m); }
+  ~ScopedMode() { set_mode(previous_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode previous_;
+};
+
+// ---- Dense GEMM ------------------------------------------------------------
+// C[m,n] = alpha * op(A) * op(B) + beta * C (see ops::gemm for the layout
+// contract). The reference skips zero A operands (masked dense weights ride
+// that skip); fast trades the skip for register tiles and unrolled
+// multi-accumulator inner loops.
+
+void gemm_reference(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+                    const float* a, const float* b, float beta, float* c);
+void gemm_fast(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+               const float* a, const float* b, float beta, float* c);
+
+// ---- CSR kernels -----------------------------------------------------------
+// Same signatures as the sparse:: entry points that dispatch to them.
+
+void spmm_reference(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c,
+                    bool accumulate);
+void spmm_fast(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c, bool accumulate);
+
+void spmm_nt_reference(const sparse::CsrMatrix& a, const float* b, int64_t n_rows, float* c);
+void spmm_nt_fast(const sparse::CsrMatrix& a, const float* b, int64_t n_rows, float* c);
+
+void spmm_dn_reference(const sparse::CsrMatrix& a, const float* b, int64_t n_rows, float* c);
+void spmm_dn_fast(const sparse::CsrMatrix& a, const float* b, int64_t n_rows, float* c);
+
+void spmm_tn_reference(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c);
+void spmm_tn_fast(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c);
+
+void masked_grad_dot_reference(const sparse::CsrMatrix& s, const float* a, const float* b,
+                               int64_t n, float* grad);
+void masked_grad_dot_fast(const sparse::CsrMatrix& s, const float* a, const float* b, int64_t n,
+                          float* grad);
+
+void masked_grad_tn_reference(const sparse::CsrMatrix& s, const float* a, const float* b, int64_t n,
+                              float* grad);
+void masked_grad_tn_fast(const sparse::CsrMatrix& s, const float* a, const float* b, int64_t n,
+                         float* grad);
+
+}  // namespace fedtiny::kernels

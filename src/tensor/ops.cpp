@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernels.h"
 #include "tensor/parallel.h"
 
 namespace fedtiny::ops {
@@ -12,36 +13,12 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
   // Row-major. Leading dims follow the *stored* layout:
   //   !trans_a: a is [m,k]; trans_a: a is [k,m].
   //   !trans_b: b is [k,n]; trans_b: b is [n,k].
-  parallel_for(m, [&](int64_t i) {
-    float* crow = c + i * n;
-    if (beta == 0.0f) {
-      std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    if (trans_b && !trans_a) {
-      // Dot-product order: both a-row and b-row are contiguous.
-      const float* arow = a + i * k;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float s = 0.0f;
-        for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-        crow[j] += alpha * s;
-      }
-      return;
-    }
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = trans_a ? a[p * m + i] : a[i * k + p];
-      if (av == 0.0f) continue;
-      const float s = alpha * av;
-      if (!trans_b) {
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += s * brow[j];
-      } else {
-        for (int64_t j = 0; j < n; ++j) crow[j] += s * b[j * k + p];
-      }
-    }
-  });
+  // Implementation lives in the kernel engine (tensor/kernels.h).
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::gemm_fast(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+  } else {
+    kernels::gemm_reference(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+  }
 }
 
 void im2col(const float* in, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,

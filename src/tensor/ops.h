@@ -1,7 +1,9 @@
 // Math kernels shared by the neural-network layers: GEMM, im2col/col2im,
-// and a handful of elementwise helpers. All kernels are plain loops with
-// OpenMP-parallel outer dimensions — fast enough for the scaled-down
-// reproduction workloads, and dependency-free.
+// and a handful of elementwise helpers. GEMM dispatches on the process-wide
+// kernel engine mode (tensor/kernels.h): `reference` scalar loops (the
+// bitwise oracle) or register-blocked `fast` kernels (the default). The
+// remaining helpers are plain loops with OpenMP-parallel outer dimensions —
+// fast enough for the scaled-down reproduction workloads, dependency-free.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "tensor/kernels.h"
 #include "tensor/parallel.h"
 
 namespace fedtiny::sparse {
@@ -84,19 +85,11 @@ void csr_to_dense(const CsrMatrix& a, float* dense) {
 }
 
 void spmm(const CsrMatrix& a, const float* b, int64_t n, float* c, bool accumulate) {
-  // Row-of-C parallel: each CSR row touches only its own output row. The
-  // inner accumulation visits columns in ascending order, matching the dense
-  // gemm's k-loop with zero-skipping (bitwise-identical results).
-  parallel_for(a.rows, [&](int64_t i) {
-    float* crow = c + i * n;
-    if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
-    for (int64_t p = a.row_ptr[static_cast<size_t>(i)]; p < a.row_ptr[static_cast<size_t>(i) + 1];
-         ++p) {
-      const float v = a.values[static_cast<size_t>(p)];
-      const float* brow = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
-    }
-  });
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::spmm_fast(a, b, n, c, accumulate);
+  } else {
+    kernels::spmm_reference(a, b, n, c, accumulate);
+  }
 }
 
 void spmv(const CsrMatrix& a, const float* x, float* y) {
@@ -111,91 +104,43 @@ void spmv(const CsrMatrix& a, const float* x, float* y) {
 }
 
 void spmm_dn(const CsrMatrix& a, const float* b, int64_t n_rows, float* c) {
-  // C row i accumulates over CSR rows j in ascending order — the dense
-  // gemm(false, false) k-loop, which also skips b[i, j] == 0, so the skip is
-  // mirrored here for bitwise agreement.
-  parallel_for(n_rows, [&](int64_t i) {
-    const float* brow = b + i * a.rows;
-    float* crow = c + i * a.cols;
-    std::memset(crow, 0, static_cast<size_t>(a.cols) * sizeof(float));
-    for (int64_t j = 0; j < a.rows; ++j) {
-      const float bv = brow[j];
-      if (bv == 0.0f) continue;
-      for (int64_t p = a.row_ptr[static_cast<size_t>(j)];
-           p < a.row_ptr[static_cast<size_t>(j) + 1]; ++p) {
-        crow[a.col_idx[static_cast<size_t>(p)]] += bv * a.values[static_cast<size_t>(p)];
-      }
-    }
-  });
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::spmm_dn_fast(a, b, n_rows, c);
+  } else {
+    kernels::spmm_dn_reference(a, b, n_rows, c);
+  }
 }
 
 void spmm_tn(const CsrMatrix& a, const float* b, int64_t n, float* c) {
-  // Scatter form: every output element (j, t) accumulates over CSR rows i in
-  // ascending order, exactly the dense gemm(true, false) k-loop with its
-  // zero-operand skip (kept-but-zero values are skipped there too).
-  std::memset(c, 0, static_cast<size_t>(a.cols * n) * sizeof(float));
-  for (int64_t i = 0; i < a.rows; ++i) {
-    const float* brow = b + i * n;
-    for (int64_t p = a.row_ptr[static_cast<size_t>(i)]; p < a.row_ptr[static_cast<size_t>(i) + 1];
-         ++p) {
-      const float v = a.values[static_cast<size_t>(p)];
-      if (v == 0.0f) continue;
-      float* crow = c + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
-      for (int64_t t = 0; t < n; ++t) crow[t] += v * brow[t];
-    }
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::spmm_tn_fast(a, b, n, c);
+  } else {
+    kernels::spmm_tn_reference(a, b, n, c);
   }
 }
 
 void masked_grad_dot(const CsrMatrix& s, const float* a, const float* b, int64_t n, float* grad) {
-  // Per structure entry: one contiguous dot over t ascending, then a single
-  // add into grad — the dense gemm(false, true) dot-product path restricted
-  // to the mask's support. Rows of grad are disjoint across CSR rows.
-  parallel_for(s.rows, [&](int64_t i) {
-    const float* arow = a + i * n;
-    float* grow = grad + i * s.cols;
-    for (int64_t p = s.row_ptr[static_cast<size_t>(i)]; p < s.row_ptr[static_cast<size_t>(i) + 1];
-         ++p) {
-      const float* brow = b + static_cast<int64_t>(s.col_idx[static_cast<size_t>(p)]) * n;
-      float acc = 0.0f;
-      for (int64_t t = 0; t < n; ++t) acc += arow[t] * brow[t];
-      grow[s.col_idx[static_cast<size_t>(p)]] += acc;
-    }
-  });
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::masked_grad_dot_fast(s, a, b, n, grad);
+  } else {
+    kernels::masked_grad_dot_reference(s, a, b, n, grad);
+  }
 }
 
 void masked_grad_tn(const CsrMatrix& s, const float* a, const float* b, int64_t n, float* grad) {
-  // Per structure row i: accumulate over samples r ascending, skipping
-  // a[r, i] == 0 — the dense gemm(true, false) k-loop order and skip,
-  // restricted to the mask's support. Rows of grad are disjoint.
-  parallel_for(s.rows, [&](int64_t i) {
-    float* grow = grad + i * s.cols;
-    for (int64_t r = 0; r < n; ++r) {
-      const float av = a[r * s.rows + i];
-      if (av == 0.0f) continue;
-      const float* brow = b + r * s.cols;
-      for (int64_t p = s.row_ptr[static_cast<size_t>(i)];
-           p < s.row_ptr[static_cast<size_t>(i) + 1]; ++p) {
-        grow[s.col_idx[static_cast<size_t>(p)]] += av * brow[s.col_idx[static_cast<size_t>(p)]];
-      }
-    }
-  });
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::masked_grad_tn_fast(s, a, b, n, grad);
+  } else {
+    kernels::masked_grad_tn_reference(s, a, b, n, grad);
+  }
 }
 
 void spmm_nt(const CsrMatrix& a, const float* b, int64_t n_rows, float* c) {
-  // C[i, j] = <B row i, A row j>; the sparse dot walks A's kept columns in
-  // ascending order — same accumulation order as the dense dot over all k.
-  parallel_for(n_rows, [&](int64_t i) {
-    const float* brow = b + i * a.cols;
-    float* crow = c + i * a.rows;
-    for (int64_t j = 0; j < a.rows; ++j) {
-      float s = 0.0f;
-      for (int64_t p = a.row_ptr[static_cast<size_t>(j)];
-           p < a.row_ptr[static_cast<size_t>(j) + 1]; ++p) {
-        s += a.values[static_cast<size_t>(p)] * brow[a.col_idx[static_cast<size_t>(p)]];
-      }
-      crow[j] = s;
-    }
-  });
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::spmm_nt_fast(a, b, n_rows, c);
+  } else {
+    kernels::spmm_nt_reference(a, b, n_rows, c);
+  }
 }
 
 }  // namespace fedtiny::sparse

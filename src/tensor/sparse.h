@@ -1,12 +1,18 @@
 // CSR sparse matrices and the sparse kernels behind the nn-layer sparse
 // forward dispatch (Linear / Conv2d at low mask density).
 //
-// Numerical contract: every kernel accumulates along ascending column index,
-// exactly the order in which the dense kernels in tensor/ops.cpp visit the
-// same coordinates while skipping stored zeros. Because adding a zero term
-// is exact in IEEE float, a CSR forward over a masked weight is therefore
-// bitwise identical to the dense forward over the same weight with masked
-// entries stored as zeros — the dense path doubles as an oracle in tests.
+// Every kernel below dispatches on the process-wide kernel engine mode
+// (tensor/kernels.h, FEDTINY_KERNELS=reference|fast).
+//
+// Numerical contract (reference mode): every kernel accumulates along
+// ascending column index, exactly the order in which the dense kernels in
+// tensor/ops.cpp visit the same coordinates while skipping stored zeros.
+// Because adding a zero term is exact in IEEE float, a reference-mode CSR
+// forward over a masked weight is therefore bitwise identical to the
+// reference-mode dense forward over the same weight with masked entries
+// stored as zeros — the dense path doubles as an oracle in tests. Fast mode
+// reassociates the sums (blocked, multi-accumulator): still deterministic
+// across runs and worker counts, but only tolerance-close to reference.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,7 @@
+// Forward declaration of the CSR matrix type, for headers (tensor/kernels.h)
+// that only pass it by reference.
+#pragma once
+
+namespace fedtiny::sparse {
+struct CsrMatrix;
+}  // namespace fedtiny::sparse

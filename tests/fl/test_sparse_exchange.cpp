@@ -4,6 +4,10 @@
 //     worker count (counter-based RNG + ordered reduction),
 //   - FedTiny over sparse exchange matches FedTiny over dense exchange,
 //   - comm_bytes is measured (and cheaper than the analytic estimate).
+//
+// The sparse-vs-dense oracle tests pin the kernel engine's reference mode
+// (the bitwise contract lives there); the parallel-vs-sequential test runs
+// under the process default so fast-mode determinism gets e2e coverage.
 #include <gtest/gtest.h>
 
 #include "core/fedtiny.h"
@@ -13,6 +17,7 @@
 #include "fl/trainer.h"
 #include "nn/models.h"
 #include "prune/magnitude.h"
+#include "tensor/kernels.h"
 
 namespace fedtiny::fl {
 namespace {
@@ -59,6 +64,7 @@ void expect_states_bitwise_equal(const std::vector<Tensor>& a, const std::vector
 }
 
 TEST(SparseExchange, ReproducesDenseRoundLoopExactly) {
+  kernels::ScopedMode reference_mode(kernels::Mode::kReference);
   Fixture dense_f;
   FederatedTrainer dense(*dense_f.model, dense_f.data.train, dense_f.data.test,
                          dense_f.partitions, dense_f.config);
@@ -141,6 +147,7 @@ TEST(SparseExchange, DenseModeKeepsAnalyticBytes) {
 }
 
 TEST(SparseExchange, SparseTrainingBitwiseMatchesDenseTraining) {
+  kernels::ScopedMode reference_mode(kernels::Mode::kReference);
   Fixture dense_f;
   FederatedTrainer dense(*dense_f.model, dense_f.data.train, dense_f.data.test,
                          dense_f.partitions, dense_f.config);
@@ -164,6 +171,7 @@ TEST(SparseExchange, SparseTrainingBitwiseMatchesDenseTraining) {
 }
 
 TEST(SparseExchange, FedTinySparsePathMatchesDense) {
+  kernels::ScopedMode reference_mode(kernels::Mode::kReference);
   auto make_fixture = [](bool sparse) {
     auto spec = data::cifar10s_spec(8, 160, 60);
     auto data = data::make_synthetic(spec, 5);

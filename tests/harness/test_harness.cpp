@@ -6,6 +6,7 @@
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/scale.h"
+#include "tensor/kernels.h"
 
 namespace fedtiny::harness {
 namespace {
@@ -108,6 +109,69 @@ TEST(Experiment, DeterministicAcrossCalls) {
   auto a = ex.run(spec);
   auto b = ex.run(spec);
   EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+// PR 2 regression: the reference kernels are the PR 2 loops verbatim, so a
+// run with the kernels knob pinned to "reference" must reproduce a run under
+// a directly pinned reference mode bitwise — regardless of what mode the
+// process was in before (the knob, not the ambient default, decides).
+TEST(Experiment, KernelsKnobReproducesReferenceResultsBitwise) {
+  Experiment ex(micro_scale());
+  RunSpec spec;
+  spec.method = "fedavg";
+  spec.density = 1.0;
+  spec.eval_every = 1;
+
+  kernels::ScopedMode ambient(kernels::Mode::kFast);  // knob must override this
+  RunSpec knob = spec;
+  knob.kernels = "reference";
+  const auto via_knob = ex.run(knob);
+  EXPECT_EQ(kernels::mode(), kernels::Mode::kReference);
+
+  kernels::set_mode(kernels::Mode::kReference);
+  const auto direct = ex.run(spec);
+
+  ASSERT_EQ(via_knob.history.size(), direct.history.size());
+  for (size_t r = 0; r < direct.history.size(); ++r) {
+    EXPECT_EQ(via_knob.history[r].test_accuracy, direct.history[r].test_accuracy) << "round " << r;
+  }
+  EXPECT_EQ(via_knob.accuracy, direct.accuracy);
+}
+
+TEST(Experiment, UnknownKernelsModeThrows) {
+  Experiment ex(micro_scale());
+  RunSpec spec;
+  spec.method = "fedavg";
+  spec.kernels = "refrence";  // typo must not silently run in ambient mode
+  EXPECT_THROW(ex.run(spec), std::invalid_argument);
+}
+
+TEST(Runner, RejectsConflictingKernelsModes) {
+  Experiment ex(micro_scale());
+  std::vector<RunSpec> specs(2);
+  specs[0].method = "fedavg";
+  specs[0].kernels = "reference";
+  specs[1].method = "fedavg";
+  specs[1].kernels = "fast";
+  EXPECT_THROW(run_all(ex, specs, 2), std::invalid_argument);
+}
+
+TEST(Runner, PinnedModeAppliesToWholeBatchUpFront) {
+  // One pinned spec governs the batch: the unpinned spec must run under the
+  // pin deterministically (applied before any worker starts), not under
+  // whatever ambient mode it races to read.
+  Experiment ex(micro_scale());
+  kernels::ScopedMode ambient(kernels::Mode::kFast);
+  std::vector<RunSpec> specs(2);
+  specs[0].method = "fedavg";  // unpinned
+  specs[1].method = "fedavg";
+  specs[1].kernels = "reference";
+  const auto batch = run_all(ex, specs, 2);
+
+  kernels::set_mode(kernels::Mode::kReference);
+  const auto direct = ex.run(specs[0]);
+  EXPECT_EQ(batch[0].accuracy, direct.accuracy);
+  EXPECT_EQ(batch[1].accuracy, direct.accuracy);
 }
 
 TEST(Runner, PreservesOrderAndMatchesSerial) {

@@ -4,16 +4,26 @@
 // gradients exactly equal at mask-kept coordinates and exactly zero at
 // pruned ones ("dense backward with zeroed-mask gradients"). refresh_sparse
 // keeps the CSR values tracking the dense weight across optimizer steps.
+//
+// The dense-vs-sparse bitwise contract holds in the kernel engine's
+// reference mode, so every test here pins it; fast-mode drift is bounded
+// separately by tests/tensor/test_kernels.cpp.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "tensor/kernels.h"
 #include "tensor/rng.h"
 
 namespace fedtiny::nn {
 namespace {
+
+class SparseBackward : public ::testing::Test {
+ protected:
+  kernels::ScopedMode reference_mode_{kernels::Mode::kReference};
+};
 
 std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
   std::vector<uint8_t> mask(static_cast<size_t>(n));
@@ -57,7 +67,7 @@ void expect_masked_grad(const Param& dense, const Param& sparse,
 
 constexpr double kDensities[] = {0.5, 0.25, 0.1, 0.03};
 
-TEST(SparseBackward, LinearMatchesDenseOracleAtSeveralDensities) {
+TEST_F(SparseBackward, LinearMatchesDenseOracleAtSeveralDensities) {
   for (double density : kDensities) {
     Rng data_rng(17);
     Rng seed_a(3), seed_b(3);
@@ -83,7 +93,7 @@ TEST(SparseBackward, LinearMatchesDenseOracleAtSeveralDensities) {
   }
 }
 
-TEST(SparseBackward, Conv2dMatchesDenseOracleAtSeveralDensities) {
+TEST_F(SparseBackward, Conv2dMatchesDenseOracleAtSeveralDensities) {
   for (double density : kDensities) {
     Rng data_rng(23);
     Rng seed_a(7), seed_b(7);
@@ -108,7 +118,7 @@ TEST(SparseBackward, Conv2dMatchesDenseOracleAtSeveralDensities) {
   }
 }
 
-TEST(SparseBackward, EvalOnlyInstallKeepsTrainingDense) {
+TEST_F(SparseBackward, EvalOnlyInstallKeepsTrainingDense) {
   Rng data_rng(29);
   Rng seed_a(9), seed_b(9);
   Linear dense(16, 8, false, seed_a);
@@ -129,7 +139,7 @@ TEST(SparseBackward, EvalOnlyInstallKeepsTrainingDense) {
   expect_bitwise(dense.weight().grad, sparse.weight().grad, "eval-only weight grad");
 }
 
-TEST(SparseBackward, RefreshTracksWeightUpdates) {
+TEST_F(SparseBackward, RefreshTracksWeightUpdates) {
   Rng data_rng(31);
   Rng seed_a(13), seed_b(13);
   Linear dense(24, 16, false, seed_a);

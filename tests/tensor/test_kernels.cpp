@@ -1,0 +1,307 @@
+// Kernel engine contract tests:
+//   - the mode knob (FEDTINY_KERNELS semantics, ScopedMode restore),
+//   - reference kernels are the PR 2 loops verbatim (bitwise against an
+//     inlined copy of the original code),
+//   - fast kernels stay tolerance-close to reference on every shape,
+//     including tile-edge shapes (parity bounds the reassociation drift),
+//   - fast kernels are bitwise deterministic across kernel thread counts.
+#include "tensor/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+#include "tensor/sparse.h"
+
+namespace fedtiny::kernels {
+namespace {
+
+std::vector<float> random_dense(int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n));
+  for (auto& m : mask) m = rng.uniform() < density ? 1 : 0;
+  return mask;
+}
+
+sparse::CsrMatrix masked_csr(std::vector<float>& dense, int64_t rows, int64_t cols, double density,
+                             Rng& rng) {
+  auto mask = random_mask(rows * cols, density, rng);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (mask[i] == 0) dense[i] = 0.0f;
+  }
+  return sparse::csr_from_mask(dense.data(), rows, cols, mask);
+}
+
+/// Parity tolerance: fast reassociates sums of ~N(0,1) products, so the
+/// drift scales with the accumulation length. Generous but meaningful —
+/// a wrong index or dropped term shows up at O(1).
+void expect_close(const std::vector<float>& fast, const std::vector<float>& ref, int64_t acc_len,
+                  const char* what) {
+  ASSERT_EQ(fast.size(), ref.size()) << what;
+  const double tol = 1e-6 * std::sqrt(static_cast<double>(std::max<int64_t>(acc_len, 1))) * 40.0;
+  for (size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_NEAR(fast[i], ref[i], tol) << what << " idx " << i;
+  }
+}
+
+// ---- Mode knob --------------------------------------------------------------
+
+TEST(KernelMode, NameParsingAndFallback) {
+  EXPECT_EQ(mode_from_name("reference"), Mode::kReference);
+  EXPECT_EQ(mode_from_name("fast"), Mode::kFast);
+  EXPECT_EQ(mode_from_name(nullptr), Mode::kFast);
+  EXPECT_EQ(mode_from_name("typo"), Mode::kFast);
+  EXPECT_EQ(mode_from_name("typo", Mode::kReference), Mode::kReference);
+  EXPECT_STREQ(mode_name(Mode::kReference), "reference");
+  EXPECT_STREQ(mode_name(Mode::kFast), "fast");
+}
+
+TEST(KernelMode, ScopedModeRestores) {
+  const Mode before = mode();
+  {
+    ScopedMode pin(Mode::kReference);
+    EXPECT_EQ(mode(), Mode::kReference);
+    {
+      ScopedMode inner(Mode::kFast);
+      EXPECT_EQ(mode(), Mode::kFast);
+    }
+    EXPECT_EQ(mode(), Mode::kReference);
+  }
+  EXPECT_EQ(mode(), before);
+}
+
+// ---- Reference is the PR 2 code, verbatim -----------------------------------
+// An inlined copy of the original ops::gemm scalar loop (pre-engine). The
+// reference implementation must match it bitwise — reference mode is the
+// repo's reproducibility anchor, so "improving" it is a breaking change.
+
+void pr2_gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    if (trans_b && !trans_a) {
+      const float* arow = a + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float s = 0.0f;
+        for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] += alpha * s;
+      }
+      continue;
+    }
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = trans_a ? a[p * m + i] : a[i * k + p];
+      if (av == 0.0f) continue;
+      const float s = alpha * av;
+      if (!trans_b) {
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += s * brow[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] += s * b[j * k + p];
+      }
+    }
+  }
+}
+
+TEST(KernelReference, GemmMatchesPR2LoopBitwise) {
+  Rng rng(41);
+  const int64_t m = 13, n = 21, k = 17;
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (float beta : {0.0f, 0.7f, 1.0f}) {
+        std::vector<float> c1(static_cast<size_t>(m * n), 0.25f), c2 = c1;
+        gemm_reference(ta, tb, m, n, k, 1.3f, a.data(), b.data(), beta, c1.data());
+        pr2_gemm(ta, tb, m, n, k, 1.3f, a.data(), b.data(), beta, c2.data());
+        for (size_t i = 0; i < c1.size(); ++i) {
+          ASSERT_EQ(c1[i], c2[i]) << "ta " << ta << " tb " << tb << " beta " << beta << " idx "
+                                  << i;
+        }
+      }
+    }
+  }
+}
+
+// The original sparse::spmm loop (pre-engine), same contract.
+void pr2_spmm(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c, bool accumulate) {
+  for (int64_t i = 0; i < a.rows; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+    for (int64_t p = a.row_ptr[static_cast<size_t>(i)]; p < a.row_ptr[static_cast<size_t>(i) + 1];
+         ++p) {
+      const float v = a.values[static_cast<size_t>(p)];
+      const float* brow = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+TEST(KernelReference, SpmmMatchesPR2LoopBitwise) {
+  Rng rng(43);
+  const int64_t m = 11, k = 29, n = 9;
+  auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  const auto csr = masked_csr(a, m, k, 0.4, rng);
+  std::vector<float> c1(static_cast<size_t>(m * n), 1.0f), c2 = c1;
+  spmm_reference(csr, b.data(), n, c1.data(), /*accumulate=*/true);
+  pr2_spmm(csr, b.data(), n, c2.data(), /*accumulate=*/true);
+  for (size_t i = 0; i < c1.size(); ++i) ASSERT_EQ(c1[i], c2[i]) << i;
+}
+
+// ---- Fast vs reference parity ----------------------------------------------
+
+TEST(KernelParity, GemmAllTransposesAcrossTileEdgeShapes) {
+  Rng rng(47);
+  // Shapes straddle the 4-row band and 16-column tile boundaries of the
+  // fast kernel, plus the k-unroll of the NT dot.
+  const int64_t shapes[][3] = {{1, 1, 1},   {3, 5, 7},    {4, 16, 16},  {5, 17, 16},
+                               {8, 31, 33}, {17, 40, 23}, {12, 64, 65}, {64, 48, 100}};
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], n = s[1], k = s[2];
+    const auto a = random_dense(std::max(m * k, k * m), rng);
+    const auto b = random_dense(std::max(k * n, n * k), rng);
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        for (float beta : {0.0f, 1.0f}) {
+          std::vector<float> cf(static_cast<size_t>(m * n), 0.5f), cr = cf;
+          gemm_fast(ta, tb, m, n, k, 1.1f, a.data(), b.data(), beta, cf.data());
+          gemm_reference(ta, tb, m, n, k, 1.1f, a.data(), b.data(), beta, cr.data());
+          expect_close(cf, cr, k, "gemm");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParity, CsrKernelsAcrossDensities) {
+  Rng rng(53);
+  // Odd sizes exercise the nnz%4, batch%4, and pair tails of every kernel.
+  const int64_t m = 37, k = 53, n = 19;  // csr [m, k], dense ops vs [*, n]
+  for (double density : {1.0, 0.45, 0.1, 0.02, 0.0}) {
+    auto w = random_dense(m * k, rng);
+    const auto csr = masked_csr(w, m, k, density, rng);
+    const auto b_kn = random_dense(k * n, rng);    // spmm operand [k, n]
+    const auto b_nk = random_dense(n * k, rng);    // spmm_nt operand rows [n, k]
+    const auto b_nm = random_dense(n * m, rng);    // spmm_dn operand [n, m]
+    const auto b_mn = random_dense(m * n, rng);    // spmm_tn / grad operand [m, n]
+    const auto x_nk = random_dense(n * k, rng);    // masked_grad_tn operand [n, k]
+
+    {
+      std::vector<float> cf(static_cast<size_t>(m * n)), cr(cf);
+      spmm_fast(csr, b_kn.data(), n, cf.data(), false);
+      spmm_reference(csr, b_kn.data(), n, cr.data(), false);
+      expect_close(cf, cr, k, "spmm");
+      spmm_fast(csr, b_kn.data(), n, cf.data(), true);
+      spmm_reference(csr, b_kn.data(), n, cr.data(), true);
+      expect_close(cf, cr, k, "spmm accumulate");
+    }
+    {
+      std::vector<float> cf(static_cast<size_t>(n * m)), cr(cf);
+      spmm_nt_fast(csr, b_nk.data(), n, cf.data());
+      spmm_nt_reference(csr, b_nk.data(), n, cr.data());
+      expect_close(cf, cr, k, "spmm_nt");
+    }
+    {
+      std::vector<float> cf(static_cast<size_t>(n * k)), cr(cf);
+      spmm_dn_fast(csr, b_nm.data(), n, cf.data());
+      spmm_dn_reference(csr, b_nm.data(), n, cr.data());
+      expect_close(cf, cr, m, "spmm_dn");
+    }
+    {
+      std::vector<float> cf(static_cast<size_t>(k * n)), cr(cf);
+      spmm_tn_fast(csr, b_mn.data(), n, cf.data());
+      spmm_tn_reference(csr, b_mn.data(), n, cr.data());
+      expect_close(cf, cr, m, "spmm_tn");
+    }
+    {
+      std::vector<float> gf(static_cast<size_t>(m * k), 0.1f), gr(gf);
+      masked_grad_dot_fast(csr, b_mn.data(), b_kn.data(), n, gf.data());
+      masked_grad_dot_reference(csr, b_mn.data(), b_kn.data(), n, gr.data());
+      expect_close(gf, gr, n, "masked_grad_dot");
+    }
+    {
+      // a operand is [n, m] sample-major, b operand [n, k].
+      std::vector<float> gf(static_cast<size_t>(m * k), -0.2f), gr(gf);
+      masked_grad_tn_fast(csr, b_nm.data(), x_nk.data(), n, gf.data());
+      masked_grad_tn_reference(csr, b_nm.data(), x_nk.data(), n, gr.data());
+      expect_close(gf, gr, n, "masked_grad_tn");
+    }
+  }
+}
+
+TEST(KernelParity, PublicEntryPointsDispatchOnMode) {
+  Rng rng(59);
+  const int64_t m = 24, n = 32, k = 48;
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  std::vector<float> via_ops(static_cast<size_t>(m * n)), direct(via_ops);
+
+  {
+    ScopedMode pin(Mode::kReference);
+    ops::gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, via_ops.data());
+  }
+  gemm_reference(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, direct.data());
+  EXPECT_EQ(0, std::memcmp(via_ops.data(), direct.data(), via_ops.size() * sizeof(float)));
+
+  {
+    ScopedMode pin(Mode::kFast);
+    ops::gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, via_ops.data());
+  }
+  gemm_fast(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, direct.data());
+  EXPECT_EQ(0, std::memcmp(via_ops.data(), direct.data(), via_ops.size() * sizeof(float)));
+}
+
+// ---- Fast-mode determinism --------------------------------------------------
+// The blocking order is fixed, so kernel results must be bitwise identical
+// for any kernel thread count (and, transitively, any worker count — the
+// coarse pools never split a kernel).
+
+TEST(KernelDeterminism, FastBitwiseStableAcrossThreadCounts) {
+  ScopedMode pin(Mode::kFast);
+  Rng rng(61);
+  const int64_t m = 61, n = 45, k = 77;
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  auto w = random_dense(m * k, rng);
+  const auto csr = masked_csr(w, m, k, 0.2, rng);
+  const auto bx = random_dense(n * m, rng);
+
+  const int old_threads = parallelism();
+  std::vector<float> c1(static_cast<size_t>(m * n)), c2(c1);
+  std::vector<float> s1(static_cast<size_t>(m * n)), s2(s1);
+  std::vector<float> d1(static_cast<size_t>(n * k)), d2(d1);
+
+  set_parallelism(1);
+  gemm_fast(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+  spmm_fast(csr, b.data(), n, s1.data(), false);
+  spmm_dn_fast(csr, bx.data(), n, d1.data());
+
+  set_parallelism(4);
+  gemm_fast(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c2.data());
+  spmm_fast(csr, b.data(), n, s2.data(), false);
+  spmm_dn_fast(csr, bx.data(), n, d2.data());
+  set_parallelism(old_threads);
+
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(s1.data(), s2.data(), s1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace fedtiny::kernels
