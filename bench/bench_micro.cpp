@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the primitives FedTiny's on-device
 // memory argument rests on: the bounded top-K buffer vs a full sort, GEMM
-// (in both kernel engine modes), mask surgery, and BN stat refresh.
+// and im2col/col2im (in both kernel engine modes), mask surgery, and BN
+// stat refresh.
 //
 // JSON: set FEDTINY_BENCH_JSON=<path> to append one record per benchmark
 // (see bench_json.h); the console output is unchanged.
@@ -79,6 +80,56 @@ BENCHMARK(BM_Gemm)
     ->Args({256, 0})
     ->Args({256, 1});
 
+// arg selects the kernel engine mode: 0 = reference, 1 = fast. Shapes match
+// the conv bench geometry (64 channels @ 16x16, 3x3 s1 p1) plus a strided
+// variant that exercises the non-memcpy interior path.
+void BM_Im2col(benchmark::State& state) {
+  const int64_t c = 64, hw = 16;
+  const int64_t stride = state.range(0);
+  kernels::ScopedMode mode(state.range(1) != 0 ? kernels::Mode::kFast
+                                               : kernels::Mode::kReference);
+  Rng rng(5);
+  std::vector<float> in(static_cast<size_t>(c * hw * hw));
+  for (auto& v : in) v = rng.normal();
+  const int64_t out_hw = ops::conv_out_size(hw, 3, stride, 1);
+  std::vector<float> cols(static_cast<size_t>(c * 9 * out_hw * out_hw));
+  for (auto _ : state) {
+    ops::im2col(in.data(), c, hw, hw, 3, 3, stride, 1, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(cols.size()));
+}
+BENCHMARK(BM_Im2col)
+    ->ArgNames({"stride", "fast"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
+
+void BM_Col2im(benchmark::State& state) {
+  const int64_t c = 64, hw = 16;
+  const int64_t stride = state.range(0);
+  kernels::ScopedMode mode(state.range(1) != 0 ? kernels::Mode::kFast
+                                               : kernels::Mode::kReference);
+  Rng rng(6);
+  const int64_t out_hw = ops::conv_out_size(hw, 3, stride, 1);
+  std::vector<float> cols(static_cast<size_t>(c * 9 * out_hw * out_hw));
+  for (auto& v : cols) v = rng.normal();
+  std::vector<float> grad(static_cast<size_t>(c * hw * hw));
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    ops::col2im(cols.data(), c, hw, hw, 3, 3, stride, 1, grad.data());
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(cols.size()));
+}
+BENCHMARK(BM_Col2im)
+    ->ArgNames({"stride", "fast"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
+
 void BM_GrowPrune(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(3);
@@ -134,13 +185,15 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     for (const Run& run : runs) {
       if (errored(run)) continue;
       const std::string name = run.benchmark_name();
-      // Only BM_Gemm carries the fast/reference arg (named "fast" in its
-      // ArgNames); everything else records mode "default" so an unrelated
-      // benchmark name can never alias a mode.
-      const bool is_gemm_name = name.rfind("BM_Gemm", 0) == 0;
-      const char* mode = !is_gemm_name                              ? "default"
+      // Benchmarks whose ArgNames include "fast" (BM_Gemm, BM_Im2col,
+      // BM_Col2im) carry the engine mode in their name; everything else
+      // records mode "default" so an unrelated benchmark name can never
+      // alias a mode.
+      const bool has_mode_arg = name.find("/fast:") != std::string::npos;
+      const char* mode = !has_mode_arg                              ? "default"
                          : name.find("fast:1") != std::string::npos ? "fast"
                                                                     : "reference";
+      const bool is_gemm_name = name.rfind("BM_Gemm", 0) == 0;
       const double ns_op =
           run.iterations > 0 ? run.real_accumulated_time * 1e9 / run.iterations : 0.0;
       const auto items = run.counters.find("items_per_second");

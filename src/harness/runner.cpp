@@ -25,10 +25,14 @@ RunSpec with_env_knobs(RunSpec spec) {
   if (const char* v = std::getenv("FEDTINY_PARALLEL_CLIENTS")) {
     spec.parallel_clients = std::atoi(v);
   }
-  if (const char* v = std::getenv("FEDTINY_KERNELS")) {
+  if (const char* v = std::getenv("FEDTINY_KERNELS"); v != nullptr && spec.kernels.empty()) {
     // Env policy matches the engine's own seed (kernels::detail::mode_from_env):
     // a typo'd env value warns and is ignored. Only explicit RunSpec/--kernels
     // values are strict (Experiment::run throws via kernels::parse_mode).
+    // The env fills only *unpinned* specs: an explicit spec pin must keep
+    // winning (and conflicting explicit pins must keep throwing) no matter
+    // what ambient FEDTINY_KERNELS the process was launched with — the
+    // reference-mode CI ctest job runs this exact combination.
     if (std::strcmp(v, "reference") == 0 || std::strcmp(v, "fast") == 0) {
       spec.kernels = v;
     } else {

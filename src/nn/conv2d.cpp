@@ -1,8 +1,10 @@
 #include "nn/conv2d.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "nn/init.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
 
@@ -57,34 +59,70 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   last_out_h_ = out_h;
   last_out_w_ = out_w;
 
-  if (!has_shape(cols_, {n, col_rows, col_cols})) {
-    cols_ = Tensor({n, col_rows, col_cols});
-  }
   Tensor y({n, out_channels_, out_h, out_w});
-
   const bool use_sparse = sparse_active() && (mode != Mode::kTrain || sparse_train_);
-  for (int64_t i = 0; i < n; ++i) {
-    float* cols_i = cols_.data() + i * col_rows * col_cols;
-    ops::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_, kernel_, stride_,
-                pad_, cols_i);
-    if (use_sparse) {
-      sparse::spmm(sparse_weight_, cols_i, col_cols, y.data() + i * out_channels_ * col_cols);
-    } else {
-      ops::gemm(false, false, out_channels_, col_cols, col_rows, 1.0f, weight_.value.data(),
-                cols_i, 0.0f, y.data() + i * out_channels_ * col_cols);
+  // Batched layout only pays for the dense GEMM pipeline (packed register
+  // tiles): the CSR kernels gather B rows, and in the [fan_in, n*out_hw]
+  // buffer consecutive rows sit whole pages apart, which measured slower
+  // than the per-sample walk (1 KiB row pitch, hardware-prefetch friendly).
+  // The sparse fast path therefore keeps the per-sample loop — it still
+  // gets the fast im2col/col2im through the ops:: dispatch.
+  batched_ = kernels::mode() == kernels::Mode::kFast && !use_sparse;
+
+  if (batched_) {
+    // Batched pipeline: one [fan_in, n*out_hw] column buffer, one big GEMM,
+    // then a permute from the GEMM's [out_c, n*out_hw] layout to the
+    // sample-major output. Bias rides the GEMM epilogue (one pass over y
+    // instead of two).
+    const int64_t bcols = n * col_cols;
+    if (!has_shape(cols_, {col_rows, bcols})) cols_ = Tensor({col_rows, bcols});
+    if (!has_shape(ybuf_, {out_channels_, bcols})) ybuf_ = Tensor({out_channels_, bcols});
+    for (int64_t i = 0; i < n; ++i) {
+      ops::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_, kernel_,
+                  stride_, pad_, cols_.data() + i * col_cols, bcols);
     }
-  }
-  if (has_bias_) {
+    kernels::GemmEpilogue epi;
+    if (has_bias_) epi.row_bias = bias_.value.data();
+    ops::gemm(false, false, out_channels_, bcols, col_rows, 1.0f, weight_.value.data(),
+              cols_.data(), 0.0f, ybuf_.data(), epi);
     parallel_for(n * out_channels_, [&](int64_t idx) {
-      float* row = y.data() + idx * col_cols;
-      const float b = bias_.value[idx % out_channels_];
-      for (int64_t j = 0; j < col_cols; ++j) row[j] += b;
+      const int64_t i = idx / out_channels_;
+      const int64_t o = idx % out_channels_;
+      std::memcpy(y.data() + idx * col_cols, ybuf_.data() + o * bcols + i * col_cols,
+                  static_cast<size_t>(col_cols) * sizeof(float));
     });
+  } else {
+    // Per-sample pipeline (reference mode verbatim — reference results must
+    // reproduce the pre-batching pipeline bitwise — and the sparse fast
+    // path, whose ops:: calls dispatch to the fast kernels).
+    if (!has_shape(cols_, {n, col_rows, col_cols})) {
+      cols_ = Tensor({n, col_rows, col_cols});
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      float* cols_i = cols_.data() + i * col_rows * col_cols;
+      ops::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_, kernel_,
+                  stride_, pad_, cols_i);
+      if (use_sparse) {
+        sparse::spmm(sparse_weight_, cols_i, col_cols, y.data() + i * out_channels_ * col_cols);
+      } else {
+        ops::gemm(false, false, out_channels_, col_cols, col_rows, 1.0f, weight_.value.data(),
+                  cols_i, 0.0f, y.data() + i * out_channels_ * col_cols);
+      }
+    }
+    if (has_bias_) {
+      parallel_for(n * out_channels_, [&](int64_t idx) {
+        float* row = y.data() + idx * col_cols;
+        const float b = bias_.value[idx % out_channels_];
+        for (int64_t j = 0; j < col_cols; ++j) row[j] += b;
+      });
+    }
   }
   if (mode != Mode::kTrain) {
     // No backward coming; free the per-step workspaces.
     cols_ = Tensor();
     dcols_ = Tensor();
+    ybuf_ = Tensor();
+    dybuf_ = Tensor();
   }
   return y;
 }
@@ -97,14 +135,56 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const int64_t col_cols = last_out_h_ * last_out_w_;
 
   Tensor grad_input({n, in_channels_, last_in_h_, last_in_w_});
-  // dcols is a cached workspace (layer replicas are per-worker, so there is
-  // no sharing): both producers below overwrite it, so no zeroing is needed
+  const bool use_sparse = sparse_active() && sparse_train_;
+
+  if (batched_) {
+    // Batched pipeline (fast-mode *dense* forward — the forward never sets
+    // batched_ with a sparse dispatch, so this block is dense-only): permute
+    // dY to [out_c, n*out_hw] once, then one GEMM per gradient instead of n
+    // small ones.
+    assert(!use_sparse && "batched pipeline is dense-only (see forward)");
+    const int64_t bcols = n * col_cols;
+    if (!has_shape(dybuf_, {out_channels_, bcols})) dybuf_ = Tensor({out_channels_, bcols});
+    if (!has_shape(dcols_, {col_rows, bcols})) dcols_ = Tensor({col_rows, bcols});
+    parallel_for(n * out_channels_, [&](int64_t idx) {
+      const int64_t i = idx / out_channels_;
+      const int64_t o = idx % out_channels_;
+      std::memcpy(dybuf_.data() + o * bcols + i * col_cols, grad_output.data() + idx * col_cols,
+                  static_cast<size_t>(col_cols) * sizeof(float));
+    });
+    // dW += dY * cols^T over the whole batch in one call.
+    ops::gemm(false, true, out_channels_, col_rows, bcols, 1.0f, dybuf_.data(), cols_.data(), 1.0f,
+              weight_.grad.data());
+    // dcols = W^T * dY for the whole batch, then per-sample col2im out of
+    // the strided buffer.
+    ops::gemm(true, false, col_rows, bcols, out_channels_, 1.0f, weight_.value.data(),
+              dybuf_.data(), 0.0f, dcols_.data());
+    for (int64_t i = 0; i < n; ++i) {
+      ops::col2im(dcols_.data() + i * col_cols, in_channels_, last_in_h_, last_in_w_, kernel_,
+                  kernel_, stride_, pad_,
+                  grad_input.data() + i * in_channels_ * last_in_h_ * last_in_w_, bcols);
+    }
+    if (has_bias_) {
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t c = 0; c < out_channels_; ++c) {
+          const float* row = grad_output.data() + (i * out_channels_ + c) * col_cols;
+          float s = 0.0f;
+          for (int64_t j = 0; j < col_cols; ++j) s += row[j];
+          bias_.grad[c] += s;
+        }
+      }
+    }
+    return grad_input;
+  }
+
+  // Per-sample pipeline (reference-mode forward), kept verbatim. dcols is a
+  // cached workspace (layer replicas are per-worker, so there is no
+  // sharing): both producers below overwrite it, so no zeroing is needed
   // between steps, and eval-mode forwards free it together with cols_.
   if (!has_shape(dcols_, {col_rows, col_cols})) {
     dcols_ = Tensor({col_rows, col_cols});
   }
 
-  const bool use_sparse = sparse_active() && sparse_train_;
   for (int64_t i = 0; i < n; ++i) {
     const float* dy_i = grad_output.data() + i * out_channels_ * col_cols;
     const float* cols_i = cols_.data() + i * col_rows * col_cols;
@@ -149,6 +229,10 @@ bool Conv2d::install_sparse(std::span<const uint8_t> mask, float max_density, bo
   }
   const int64_t fan_in = in_channels_ * kernel_ * kernel_;
   sparse_weight_ = sparse::csr_from_mask(weight_.value.data(), out_channels_, fan_in, mask);
+  // The masked backward runs spmm_tn once per sample per step on this
+  // matrix; cache its transpose so the fast kernel does not rebuild the
+  // structure every call (refresh_sparse keeps the values in sync).
+  if (train) sparse::build_transpose(sparse_weight_);
   sparse_train_ = train;
   return true;
 }

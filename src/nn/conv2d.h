@@ -1,5 +1,14 @@
 // 2-D convolution layer (im2col + GEMM implementation, with a CSR sparse
 // forward for heavily masked weights; im2col output stays dense).
+//
+// Two execution pipelines, chosen by the process-wide kernel engine mode at
+// forward time:
+//   fast (default) — batched: the whole minibatch is expanded into one
+//     [fan_in, batch*out_hw] column buffer so each direction issues a single
+//     large GEMM/spmm (bias fused into the GEMM epilogue on the dense path)
+//     plus a cheap output permute, instead of `batch` small multiplies.
+//   reference — the per-sample PR 3 loop verbatim, so reference mode remains
+//     the bitwise reproducibility anchor (and the dense-vs-sparse oracle).
 #pragma once
 
 #include <span>
@@ -50,17 +59,33 @@ class Conv2d final : public Layer {
   [[nodiscard]] bool sparse_active() const { return !sparse_weight_.empty(); }
   [[nodiscard]] bool sparse_training() const { return sparse_train_; }
 
+  /// Bytes currently held by the per-step workspaces (cols_/dcols_/ybuf_/
+  /// dybuf_). 0 after an eval-mode forward; stable across repeated
+  /// train-step cycles at a fixed batch shape (regression-tested).
+  [[nodiscard]] int64_t workspace_bytes() const {
+    return static_cast<int64_t>(cols_.numel() + dcols_.numel() + ybuf_.numel() + dybuf_.numel()) *
+           static_cast<int64_t>(sizeof(float));
+  }
+
  private:
   int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool has_bias_;
   Param weight_;  // [out_c, in_c * k * k]
   Param bias_;    // [out_c]
 
-  // Cached for backward. Both are per-step workspaces, not state: cols_ is
-  // the im2col expansion, dcols_ the column-gradient scratch buffer the
-  // backward used to reallocate every step. Eval-mode forwards free both.
-  Tensor cols_;   // [N, in_c*k*k, out_h*out_w]
-  Tensor dcols_;  // [in_c*k*k, out_h*out_w]
+  // Cached for backward. All are per-step workspaces, not state; eval-mode
+  // forwards free every one of them. Layouts depend on the pipeline the last
+  // kTrain forward chose (batched_):
+  //   batched (fast mode): cols_/dcols_ are [in_c*k*k, N*out_hw] with
+  //     per-sample blocks side by side; ybuf_/dybuf_ stage the
+  //     [out_c, N*out_hw] GEMM output / permuted upstream gradient.
+  //   per-sample (reference mode): cols_ is [N, in_c*k*k, out_hw], dcols_
+  //     [in_c*k*k, out_hw]; ybuf_/dybuf_ stay empty.
+  Tensor cols_;
+  Tensor dcols_;
+  Tensor ybuf_;
+  Tensor dybuf_;
+  bool batched_ = false;  // pipeline used by the most recent kTrain forward
   int64_t last_n_ = 0, last_in_h_ = 0, last_in_w_ = 0, last_out_h_ = 0, last_out_w_ = 0;
   sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (sparse dispatch)
   bool sparse_train_ = false;        // masked sparse training-mode dispatch

@@ -24,17 +24,18 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
   assert(x.rank() == 2 && x.dim(1) == in_features_);
   const int64_t n = x.dim(0);
   Tensor y({n, out_features_});
-  // y = x * W^T
+  // y = x * W^T. Bias rides the GEMM epilogue: fused into the tile
+  // write-back in fast mode, an ordered post-pass in reference mode — both
+  // bitwise-identical to the separate bias loop this replaced. The sparse
+  // forward applies the same epilogue as a post-pass.
+  kernels::GemmEpilogue epi;
+  if (has_bias_) epi.col_bias = bias_.value.data();
   if (sparse_active() && (mode != Mode::kTrain || sparse_train_)) {
     sparse::spmm_nt(sparse_weight_, x.data(), n, y.data());
+    kernels::gemm_epilogue_apply(n, out_features_, y.data(), epi);
   } else {
     ops::gemm(false, true, n, out_features_, in_features_, 1.0f, x.data(), weight_.value.data(),
-              0.0f, y.data());
-  }
-  if (has_bias_) {
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = 0; j < out_features_; ++j) y.at2(i, j) += bias_.value[j];
-    }
+              0.0f, y.data(), epi);
   }
   if (mode == Mode::kTrain) {
     // Copy-assignment reuses input_'s existing buffer when the batch shape
@@ -84,6 +85,12 @@ bool Linear::install_sparse(std::span<const uint8_t> mask, float max_density, bo
     return false;
   }
   sparse_weight_ = sparse::csr_from_mask(weight_.value.data(), out_features_, in_features_, mask);
+  // Linear's CSR feeds spmm_nt (forward) and spmm_dn (input grad): give it
+  // the fan-in-major panel index those kernels use for gather/scatter
+  // locality. Structure-only, so refresh_sparse() leaves it valid.
+  if (in_features_ > sparse::kDefaultPanelWidth) {
+    sparse::build_panels(sparse_weight_, sparse::kDefaultPanelWidth);
+  }
   sparse_train_ = train;
   return true;
 }

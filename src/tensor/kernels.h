@@ -75,10 +75,62 @@ class ScopedMode {
 // that skip); fast trades the skip for register tiles and unrolled
 // multi-accumulator inner loops.
 
+/// Optional fused epilogue applied to every C element as it is written back
+/// from the register tile: bias add (per row and/or per column) and a ReLU
+/// clamp, saving the separate bias/activation pass over C. Applied after the
+/// alpha/beta blend, so it is meant for beta == 0 forward-style calls; biases
+/// whose pointer is null are not applied at all (no "+ 0.0f" that could flip
+/// a -0.0 output). The epilogue is a property of the *call*, not the mode:
+/// reference-mode dispatch applies it as an ordered post-pass over C
+/// (gemm_epilogue_apply), bitwise-identical to the separate bias loop the
+/// layers used before.
+struct GemmEpilogue {
+  const float* row_bias = nullptr;  // length m: added to every element of C row i
+  const float* col_bias = nullptr;  // length n: added to every element of C column j
+  bool relu = false;                // clamp at zero, applied after the bias adds
+  [[nodiscard]] bool active() const {
+    return row_bias != nullptr || col_bias != nullptr || relu;
+  }
+};
+
+/// Ordered post-pass form of the epilogue (row-major, ascending i then j) —
+/// the reference-mode implementation, and the fallback for fast paths that
+/// accumulate in place instead of staging a register tile.
+void gemm_epilogue_apply(int64_t m, int64_t n, float* c, const GemmEpilogue& epi);
+
 void gemm_reference(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
                     const float* a, const float* b, float beta, float* c);
 void gemm_fast(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
                const float* a, const float* b, float beta, float* c);
+/// gemm_fast with a fused epilogue on the write-back of each output tile.
+void gemm_fast_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+                  const float* a, const float* b, float beta, float* c, const GemmEpilogue& epi);
+
+// ---- im2col / col2im -------------------------------------------------------
+// Patch expansion and its scatter-add inverse (see ops::im2col for the layout
+// contract). `out_ld` / `cols_ld` is the column-buffer row pitch: out_h*out_w
+// for a standalone per-sample buffer, batch*out_h*out_w when the caller packs
+// per-sample blocks side by side in one [fan_in, batch*out_hw] workspace (the
+// batched conv pipeline). The reference implementations are the PR 1 scalar
+// loops verbatim modulo that pitch generalization (pure address arithmetic).
+// Unlike the arithmetic kernels, fast here is *bitwise-equal* to reference:
+// im2col only moves data, and col2im's fast variant preserves the per-output-
+// element (kh, kw, oh) accumulation order while vectorizing the disjoint
+// inner width loop.
+
+void im2col_reference(const float* in, int64_t channels, int64_t height, int64_t width,
+                      int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                      int64_t out_ld);
+void im2col_fast(const float* in, int64_t channels, int64_t height, int64_t width,
+                 int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                 int64_t out_ld);
+
+void col2im_reference(const float* cols, int64_t channels, int64_t height, int64_t width,
+                      int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                      int64_t cols_ld);
+void col2im_fast(const float* cols, int64_t channels, int64_t height, int64_t width,
+                 int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                 int64_t cols_ld);
 
 // ---- CSR kernels -----------------------------------------------------------
 // Same signatures as the sparse:: entry points that dispatch to them.

@@ -26,6 +26,7 @@
 // function that would silently stay on the baseline ISA.
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "tensor/kernels.h"
 #include "tensor/parallel.h"
@@ -54,6 +55,31 @@ namespace {
 constexpr int64_t kMr = 4;
 constexpr int64_t kNr = 16;
 
+// Cache panel budget for the B operand. The batched conv pipeline feeds the
+// GEMMs [fan_in, batch*out_hw] column buffers that overflow L2; without
+// panels every row band re-walks all of B from L3. The outer loops below cut
+// the B traversal into panels of ~this many bytes so one panel stays
+// L2-resident across all bands/rows. Panel geometry depends only on (k, n),
+// and panels partition the output columns (NN/TN) or B rows (NT) — every
+// output element is still produced by exactly the same accumulation, so
+// paneling changes locality, not results.
+constexpr int64_t kPanelBytes = 1 << 20;
+
+/// NN/TN: B panel is k rows x pn columns; keep pn a multiple of the kNr tile.
+inline int64_t gemm_panel_cols(int64_t k, int64_t n) {
+  int64_t pn = kPanelBytes / (static_cast<int64_t>(sizeof(float)) * std::max<int64_t>(k, 1));
+  pn = pn / kNr * kNr;
+  if (pn < kNr) pn = kNr;
+  return pn >= n ? n : pn;
+}
+
+/// NT: B panel is pr rows of length k.
+inline int64_t gemm_panel_rows(int64_t k, int64_t n) {
+  int64_t pr = kPanelBytes / (static_cast<int64_t>(sizeof(float)) * std::max<int64_t>(k, 1));
+  if (pr < 8) pr = 8;
+  return pr >= n ? n : pr;
+}
+
 /// Fixed-order pairwise reduction of kNr partial sums (the order is part of
 /// the deterministic-results contract).
 inline float reduce_tile(const float* s) {
@@ -77,22 +103,205 @@ inline void store_row(float* crow, const float* acc, int64_t nr, float alpha, fl
   }
 }
 
-// ---- gemm, op(B) = B (NN / TN): one kMr-row band of C -----------------------
+/// Epilogue-aware write-back: blend, then row bias, column bias, ReLU — the
+/// same order gemm_epilogue_apply uses, so a fused store is bitwise-identical
+/// to "plain gemm + ordered post-pass". The loop-invariant branches are
+/// unswitched by the compiler; bias terms are only added when present (no
+/// "+ 0.0f" that could flip a -0.0 output).
+inline void store_row_epi(float* crow, const float* acc, int64_t nr, float alpha, float beta,
+                          bool has_rbias, float rbias, const float* cbias, bool relu) {
+  for (int64_t jj = 0; jj < nr; ++jj) {
+    float v = alpha * acc[jj];
+    if (beta != 0.0f) v += beta * crow[jj];
+    if (has_rbias) v += rbias;
+    if (cbias != nullptr) v += cbias[jj];
+    if (relu && v < 0.0f) v = 0.0f;
+    crow[jj] = v;
+  }
+}
+
+/// Ordered in-place epilogue over one C row (the band fallback paths
+/// accumulate into C directly instead of staging a register tile).
+inline void apply_epi_row(float* crow, int64_t n, bool has_rbias, float rbias,
+                          const float* cbias, bool relu) {
+  if (has_rbias) {
+    for (int64_t j = 0; j < n; ++j) crow[j] += rbias;
+  }
+  if (cbias != nullptr) {
+    for (int64_t j = 0; j < n; ++j) crow[j] += cbias[j];
+  }
+  if (relu) {
+    for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+  }
+}
+
+// ---- GEMM bands over a packed B panel --------------------------------------
+// Large B operands are repacked one cache panel at a time into strip-major
+// layout: strip s holds columns [s*kNr, (s+1)*kNr) of the panel as a
+// contiguous [k, kNr] block (zero-padded past the panel edge). Two wins:
+//   * the register-tile k-loop reads 64-byte contiguous chunks instead of
+//     striding by the full row pitch (a batched conv buffer strides by
+//     whole pages, which defeats the L1 prefetcher and thrashes the TLB),
+//   * one packed panel serves every row band while it is L2-resident.
+// Packing is pure data movement and the tile accumulation order is identical
+// to the unpacked tile, so packed NN/TN results are bitwise-equal to the
+// unpacked fast path. The NT form reuses the same packed tile (B^T columns
+// become strips), trading its old dot-product association for the tile's —
+// fast-mode results stay deterministic, only the (tolerance-bounded)
+// rounding vs reference shifts.
+
+/// Pack columns [jb, jb+width) of B[k, n] (op(B) = B) into strips.
+FEDTINY_KERNEL_CLONES
+void gemm_pack_bn(const float* b, int64_t n, int64_t k, int64_t jb, int64_t width, float* pack) {
+  const int64_t strips = (width + kNr - 1) / kNr;
+  for (int64_t s = 0; s < strips; ++s) {
+    float* dst = pack + s * k * kNr;
+    const int64_t j0 = jb + s * kNr;
+    const int64_t w = std::min<int64_t>(kNr, jb + width - j0);
+    for (int64_t p = 0; p < k; ++p) {
+      const float* srow = b + p * n + j0;
+      float* drow = dst + p * kNr;
+      for (int64_t jj = 0; jj < w; ++jj) drow[jj] = srow[jj];
+      for (int64_t jj = w; jj < kNr; ++jj) drow[jj] = 0.0f;
+    }
+  }
+}
+
+/// Pack rows [jb, jb+width) of B[n, k] (op(B) = B^T) into strips.
+FEDTINY_KERNEL_CLONES
+void gemm_pack_nt(const float* b, int64_t k, int64_t jb, int64_t width, float* pack) {
+  const int64_t strips = (width + kNr - 1) / kNr;
+  for (int64_t s = 0; s < strips; ++s) {
+    float* dst = pack + s * k * kNr;
+    const int64_t j0 = jb + s * kNr;
+    const int64_t w = std::min<int64_t>(kNr, jb + width - j0);
+    for (int64_t jj = 0; jj < w; ++jj) {
+      const float* src = b + (j0 + jj) * k;
+      for (int64_t p = 0; p < k; ++p) dst[p * kNr + jj] = src[p];
+    }
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t jj = w; jj < kNr; ++jj) dst[p * kNr + jj] = 0.0f;
+    }
+  }
+}
+
+// Flat packed-band helpers: the tile loops live in their own small
+// functions (not inside the big band dispatcher) so the vectorizer reliably
+// keeps the accumulators in SIMD registers; A addressing is hoisted to a
+// base-pointer + stride pair instead of a per-iteration trans_a ternary.
+
+/// Zero-skip accumulation for one C row of a zero-heavy band (flat helper
+/// for the same codegen reason as the packed-band helpers: inside the big
+/// band dispatcher the vectorizer degrades this loop to scalar code).
+FEDTINY_KERNEL_CLONES
+void skip_band_row(const float* a0, int64_t astride, int64_t k, const float* b, int64_t n,
+                   float alpha, float beta, float* crow, int64_t jb, int64_t je) {
+  if (beta == 0.0f) {
+    std::memset(crow + jb, 0, static_cast<size_t>(je - jb) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (int64_t j = jb; j < je; ++j) crow[j] *= beta;
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const float av = a0[p * astride];
+    if (av == 0.0f) continue;
+    const float s = alpha * av;
+    const float* brow = b + p * n;
+    for (int64_t j = jb; j < je; ++j) crow[j] += s * brow[j];
+  }
+}
+
+FEDTINY_KERNEL_CLONES
+void packed_band_rows4(const float* a0, const float* a1, const float* a2, const float* a3,
+                       int64_t astride, int64_t k, const float* pack, int64_t jb, int64_t je,
+                       int64_t n, int64_t i0, float alpha, float beta, float* c,
+                       const GemmEpilogue& epi) {
+  const int64_t strips = (je - jb + kNr - 1) / kNr;
+  for (int64_t s = 0; s < strips; ++s) {
+    const float* bp = pack + s * k * kNr;
+    const int64_t j0 = jb + s * kNr;
+    const int64_t nr = std::min<int64_t>(kNr, je - j0);
+    float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = bp + p * kNr;
+      const float v0 = a0[p * astride];
+      const float v1 = a1[p * astride];
+      const float v2 = a2[p * astride];
+      const float v3 = a3[p * astride];
+      for (int64_t jj = 0; jj < kNr; ++jj) {
+        const float bv = brow[jj];
+        acc0[jj] += v0 * bv;
+        acc1[jj] += v1 * bv;
+        acc2[jj] += v2 * bv;
+        acc3[jj] += v3 * bv;
+      }
+    }
+    if (!epi.active()) {
+      store_row(c + (i0 + 0) * n + j0, acc0, nr, alpha, beta);
+      store_row(c + (i0 + 1) * n + j0, acc1, nr, alpha, beta);
+      store_row(c + (i0 + 2) * n + j0, acc2, nr, alpha, beta);
+      store_row(c + (i0 + 3) * n + j0, acc3, nr, alpha, beta);
+    } else {
+      const float* cb = epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr;
+      const bool rb = epi.row_bias != nullptr;
+      store_row_epi(c + (i0 + 0) * n + j0, acc0, nr, alpha, beta, rb,
+                    rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu);
+      store_row_epi(c + (i0 + 1) * n + j0, acc1, nr, alpha, beta, rb,
+                    rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu);
+      store_row_epi(c + (i0 + 2) * n + j0, acc2, nr, alpha, beta, rb,
+                    rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu);
+      store_row_epi(c + (i0 + 3) * n + j0, acc3, nr, alpha, beta, rb,
+                    rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu);
+    }
+  }
+}
+
+FEDTINY_KERNEL_CLONES
+void packed_band_row1(const float* a0, int64_t astride, int64_t k, const float* pack, int64_t jb,
+                      int64_t je, int64_t n, int64_t i, float alpha, float beta, float* c,
+                      const GemmEpilogue& epi) {
+  const int64_t strips = (je - jb + kNr - 1) / kNr;
+  for (int64_t s = 0; s < strips; ++s) {
+    const float* bp = pack + s * k * kNr;
+    const int64_t j0 = jb + s * kNr;
+    const int64_t nr = std::min<int64_t>(kNr, je - j0);
+    float acc[kNr] = {};
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a0[p * astride];
+      const float* brow = bp + p * kNr;
+      for (int64_t jj = 0; jj < kNr; ++jj) acc[jj] += av * brow[jj];
+    }
+    if (!epi.active()) {
+      store_row(c + i * n + j0, acc, nr, alpha, beta);
+    } else {
+      store_row_epi(c + i * n + j0, acc, nr, alpha, beta, epi.row_bias != nullptr,
+                    epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
+                    epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu);
+    }
+  }
+}
+
+// ---- gemm band: one kMr-row band of C over panel columns [jb, je) ----------
 // Interleaved accumulators: the jj loop reads each B chunk once and feeds
 // all four C rows, so the compiler vectorizes jj and keeps acc0..acc3 in
 // registers. trans_a only changes the (loop-invariant) A element address and
-// stays outside the vector loop.
+// stays outside the vector loop. `pack` (when non-null) supplies the panel
+// in strip-major layout; `b` (when non-null) is the unpacked op(B) = B
+// operand, required for the zero-heavy skip fallback and the unpacked tile.
 
 FEDTINY_KERNEL_CLONES
 void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, float alpha,
-                  const float* a, const float* b, float beta, float* c) {
+                  const float* a, const float* b, const float* pack, float beta, float* c,
+                  const GemmEpilogue& epi, int64_t jb, int64_t je) {
   const int64_t mr = std::min<int64_t>(kMr, m - i0);
   // Zero-heavy bands (masked dense weights with no CSR installed) take the
   // reference-style skip loop instead of the full-work tile: the tile is
   // ~4x faster on dense data, so the crossover sits around 25% density.
   // The O(mr*k) scan is 1/n of the band's work, and the choice depends only
-  // on the data, so results stay deterministic across runs and threads.
-  if (n >= kNr && k >= 8) {
+  // on the data, so results stay deterministic across runs and threads. The
+  // skip loop walks unpacked B rows, so it needs b != nullptr (the NT form
+  // has no row layout to walk — same as the pre-pack NT path, which never
+  // had a skip).
+  if (b != nullptr && je - jb >= kNr && k >= 8) {
     int64_t zeros = 0;
     for (int64_t r = 0; r < mr; ++r) {
       for (int64_t p = 0; p < k; ++p) {
@@ -103,25 +312,39 @@ void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, flo
       for (int64_t r = 0; r < mr; ++r) {
         const int64_t i = i0 + r;
         float* crow = c + i * n;
-        if (beta == 0.0f) {
-          std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
-        } else if (beta != 1.0f) {
-          for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
-        }
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = trans_a ? a[p * m + i] : a[i * k + p];
-          if (av == 0.0f) continue;
-          const float s = alpha * av;
-          const float* brow = b + p * n;
-          for (int64_t j = 0; j < n; ++j) crow[j] += s * brow[j];
+        skip_band_row(trans_a ? a + i : a + i * k, trans_a ? m : 1, k, b, n, alpha, beta, crow,
+                      jb, je);
+        if (epi.active()) {
+          apply_epi_row(crow + jb, je - jb, epi.row_bias != nullptr,
+                        epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
+                        epi.col_bias != nullptr ? epi.col_bias + jb : nullptr, epi.relu);
         }
       }
       return;
     }
   }
-  int64_t j0 = 0;
+  if (pack != nullptr) {
+    // Packed tile loop: every strip is kNr wide (zero-padded), so there is
+    // no column tail; stores clip to the real panel edge.
+    const int64_t astride = trans_a ? m : 1;
+    if (mr == kMr) {
+      const float* a0 = trans_a ? a + (i0 + 0) : a + (i0 + 0) * k;
+      const float* a1 = trans_a ? a + (i0 + 1) : a + (i0 + 1) * k;
+      const float* a2 = trans_a ? a + (i0 + 2) : a + (i0 + 2) * k;
+      const float* a3 = trans_a ? a + (i0 + 3) : a + (i0 + 3) * k;
+      packed_band_rows4(a0, a1, a2, a3, astride, k, pack, jb, je, n, i0, alpha, beta, c, epi);
+      return;
+    }
+    for (int64_t r = 0; r < mr; ++r) {
+      const int64_t i = i0 + r;
+      packed_band_row1(trans_a ? a + i : a + i * k, astride, k, pack, jb, je, n, i, alpha, beta,
+                       c, epi);
+    }
+    return;
+  }
+  int64_t j0 = jb;
   if (mr == kMr) {
-    for (; j0 + kNr <= n; j0 += kNr) {
+    for (; j0 + kNr <= je; j0 += kNr) {
       float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
       for (int64_t p = 0; p < k; ++p) {
         const float* brow = b + p * n + j0;
@@ -137,42 +360,66 @@ void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, flo
           acc3[jj] += a3 * bv;
         }
       }
-      store_row(c + (i0 + 0) * n + j0, acc0, kNr, alpha, beta);
-      store_row(c + (i0 + 1) * n + j0, acc1, kNr, alpha, beta);
-      store_row(c + (i0 + 2) * n + j0, acc2, kNr, alpha, beta);
-      store_row(c + (i0 + 3) * n + j0, acc3, kNr, alpha, beta);
+      if (!epi.active()) {
+        store_row(c + (i0 + 0) * n + j0, acc0, kNr, alpha, beta);
+        store_row(c + (i0 + 1) * n + j0, acc1, kNr, alpha, beta);
+        store_row(c + (i0 + 2) * n + j0, acc2, kNr, alpha, beta);
+        store_row(c + (i0 + 3) * n + j0, acc3, kNr, alpha, beta);
+      } else {
+        // Four explicit calls: an acc pointer array here would take the
+        // accumulators' addresses and spill them out of SIMD registers.
+        const float* cb = epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr;
+        const bool rb = epi.row_bias != nullptr;
+        store_row_epi(c + (i0 + 0) * n + j0, acc0, kNr, alpha, beta, rb,
+                      rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu);
+        store_row_epi(c + (i0 + 1) * n + j0, acc1, kNr, alpha, beta, rb,
+                      rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu);
+        store_row_epi(c + (i0 + 2) * n + j0, acc2, kNr, alpha, beta, rb,
+                      rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu);
+        store_row_epi(c + (i0 + 3) * n + j0, acc3, kNr, alpha, beta, rb,
+                      rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu);
+      }
     }
   }
-  // Row remainder (mr < kMr) and column tail (n % kNr): one row at a time,
-  // same accumulation order with runtime bounds.
+  // Row remainder (mr < kMr) and column tail of the panel: one row at a
+  // time, same accumulation order with runtime bounds.
   const int64_t j_tail = j0;
   for (int64_t r = 0; r < mr; ++r) {
     const int64_t i = i0 + r;
-    for (j0 = (mr == kMr) ? j_tail : 0; j0 < n; j0 += kNr) {
-      const int64_t nr = std::min<int64_t>(kNr, n - j0);
+    for (j0 = (mr == kMr) ? j_tail : jb; j0 < je; j0 += kNr) {
+      const int64_t nr = std::min<int64_t>(kNr, je - j0);
       float acc[kNr] = {};
       for (int64_t p = 0; p < k; ++p) {
         const float av = trans_a ? a[p * m + i] : a[i * k + p];
         const float* brow = b + p * n + j0;
         for (int64_t jj = 0; jj < nr; ++jj) acc[jj] += av * brow[jj];
       }
-      store_row(c + i * n + j0, acc, nr, alpha, beta);
+      if (!epi.active()) {
+        store_row(c + i * n + j0, acc, nr, alpha, beta);
+      } else {
+        store_row_epi(c + i * n + j0, acc, nr, alpha, beta, epi.row_bias != nullptr,
+                      epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
+                      epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu);
+      }
     }
   }
 }
 
-// ---- gemm NT (A row and B row both contiguous): one C row -------------------
+// ---- gemm NT, small B (A row and B row both contiguous): one C row ----------
 // Four dots at a time, kNr independent partial sums each: each A chunk is
-// loaded once and fed to all four B rows.
+// loaded once and fed to all four B rows. Large-B NT calls go through the
+// packed tile above instead.
 
 FEDTINY_KERNEL_CLONES
 void gemm_nt_row(int64_t i, int64_t n, int64_t k, float alpha, const float* a, const float* b,
-                 float beta, float* c) {
+                 float beta, float* c, const GemmEpilogue& epi, int64_t jb, int64_t je) {
   constexpr int64_t kJb = 4;
   const float* arow = a + i * k;
   float* crow = c + i * n;
-  int64_t j0 = 0;
-  for (; j0 + kJb <= n; j0 += kJb) {
+  const bool has_rb = epi.row_bias != nullptr;
+  const float rb = has_rb ? epi.row_bias[i] : 0.0f;
+  int64_t j0 = jb;
+  for (; j0 + kJb <= je; j0 += kJb) {
     const float* b0 = b + (j0 + 0) * k;
     const float* b1 = b + (j0 + 1) * k;
     const float* b2 = b + (j0 + 2) * k;
@@ -198,10 +445,14 @@ void gemm_nt_row(int64_t i, int64_t n, int64_t k, float alpha, const float* a, c
     const float* ss[kJb] = {s0, s1, s2, s3};
     for (int64_t jj = 0; jj < kJb; ++jj) {
       const float dot = alpha * reduce_tile(ss[jj]);
-      crow[j0 + jj] = beta == 0.0f ? dot : dot + beta * crow[j0 + jj];
+      float v = beta == 0.0f ? dot : dot + beta * crow[j0 + jj];
+      if (has_rb) v += rb;
+      if (epi.col_bias != nullptr) v += epi.col_bias[j0 + jj];
+      if (epi.relu && v < 0.0f) v = 0.0f;
+      crow[j0 + jj] = v;
     }
   }
-  for (; j0 < n; ++j0) {
+  for (; j0 < je; ++j0) {
     const float* brow = b + j0 * k;
     float s[kNr] = {};
     int64_t p = 0;
@@ -210,36 +461,41 @@ void gemm_nt_row(int64_t i, int64_t n, int64_t k, float alpha, const float* a, c
     }
     for (; p < k; ++p) s[0] += arow[p] * brow[p];
     const float dot = alpha * reduce_tile(s);
-    crow[j0] = beta == 0.0f ? dot : dot + beta * crow[j0];
+    float v = beta == 0.0f ? dot : dot + beta * crow[j0];
+    if (has_rb) v += rb;
+    if (epi.col_bias != nullptr) v += epi.col_bias[j0];
+    if (epi.relu && v < 0.0f) v = 0.0f;
+    crow[j0] = v;
   }
 }
 
 // ---- CSR row helpers --------------------------------------------------------
 
 FEDTINY_KERNEL_CLONES
-void spmm_row(const sparse::CsrMatrix& a, const float* b, int64_t n, float* crow, int64_t i,
-              bool accumulate) {
+void spmm_row(const int64_t* row_ptr, const int32_t* col_idx, const float* values, const float* b,
+              int64_t n, float* crow, int64_t i, bool accumulate) {
   // Four CSR entries per pass: one read-modify-write of the C row amortizes
-  // over four B rows instead of one.
+  // over four B rows instead of one. Raw-pointer structure so spmm_tn_fast
+  // can run the same kernel over a matrix's cached transpose.
   if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
-  const int64_t end = a.row_ptr[static_cast<size_t>(i) + 1];
-  int64_t p = a.row_ptr[static_cast<size_t>(i)];
+  const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+  int64_t p = row_ptr[static_cast<size_t>(i)];
   for (; p + 4 <= end; p += 4) {
-    const float v0 = a.values[static_cast<size_t>(p)];
-    const float v1 = a.values[static_cast<size_t>(p) + 1];
-    const float v2 = a.values[static_cast<size_t>(p) + 2];
-    const float v3 = a.values[static_cast<size_t>(p) + 3];
-    const float* b0 = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
-    const float* b1 = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p) + 1]) * n;
-    const float* b2 = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p) + 2]) * n;
-    const float* b3 = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p) + 3]) * n;
+    const float v0 = values[static_cast<size_t>(p)];
+    const float v1 = values[static_cast<size_t>(p) + 1];
+    const float v2 = values[static_cast<size_t>(p) + 2];
+    const float v3 = values[static_cast<size_t>(p) + 3];
+    const float* b0 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p)]) * n;
+    const float* b1 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 1]) * n;
+    const float* b2 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 2]) * n;
+    const float* b3 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 3]) * n;
     for (int64_t j = 0; j < n; ++j) {
       crow[j] += (v0 * b0[j] + v1 * b1[j]) + (v2 * b2[j] + v3 * b3[j]);
     }
   }
   for (; p < end; ++p) {
-    const float v = a.values[static_cast<size_t>(p)];
-    const float* brow = b + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
+    const float v = values[static_cast<size_t>(p)];
+    const float* brow = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p)]) * n;
     for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
   }
 }
@@ -248,20 +504,105 @@ void spmm_row(const sparse::CsrMatrix& a, const float* b, int64_t n, float* crow
 // scatter into C; on those access patterns the wide clones lose (GCC emits
 // hardware gather/scatter instructions that run slower than the scalar
 // loads), so they stay un-annotated and win through batch blocking instead:
-// four batch rows share one walk of the CSR structure, amortizing the
-// value/col_idx loads and running four independent accumulator chains.
+// kBs batch rows share one walk of the CSR structure, amortizing the
+// value/col_idx loads and running kBs independent accumulator chains. When
+// the matrix carries a column-panel index (fan-in-major panels, see
+// sparse::build_panels), the walk additionally iterates panel-major so the
+// gathers (nt) / scatters (dn) stay inside one ~1 KiB column window per
+// batch row at a time. Panels partition each row's ascending col_idx run, so
+// per-output-element accumulation still visits CSR rows/columns in ascending
+// order — paneling changes locality and partial-sum association, never the
+// visit order, and the fixed geometry keeps results bitwise-deterministic
+// across thread and worker counts.
+
+// Batch rows per CSR structure walk (PR 3 used 4): halves the values/col_idx
+// stream traffic per batch row while staying in the scalar register budget.
+constexpr int64_t kBs = 8;
 
 void spmm_nt_block(const sparse::CsrMatrix& a, const float* b, int64_t i0, int64_t n_rows,
                    float* c) {
-  if (i0 + 4 <= n_rows) {
-    const float* b0 = b + (i0 + 0) * a.cols;
-    const float* b1 = b + (i0 + 1) * a.cols;
-    const float* b2 = b + (i0 + 2) * a.cols;
-    const float* b3 = b + (i0 + 3) * a.cols;
-    float* c0 = c + (i0 + 0) * a.rows;
-    float* c1 = c + (i0 + 1) * a.rows;
-    float* c2 = c + (i0 + 2) * a.rows;
-    float* c3 = c + (i0 + 3) * a.rows;
+  if (i0 + kBs <= n_rows) {
+    const float* br[kBs];
+    float* cr[kBs];
+    for (int64_t u = 0; u < kBs; ++u) {
+      br[u] = b + (i0 + u) * a.cols;
+      cr[u] = c + (i0 + u) * a.rows;
+    }
+    if (a.has_panels()) {
+      const int64_t np = a.num_panels();
+      const size_t out_bytes = static_cast<size_t>(a.rows) * sizeof(float);
+      for (int64_t u = 0; u < kBs; ++u) std::memset(cr[u], 0, out_bytes);
+      for (int64_t pan = 0; pan < np; ++pan) {
+        for (int64_t j = 0; j < a.rows; ++j) {
+          const int64_t* pp = a.panel_ptr.data() + j * (np + 1);
+          int64_t p = pp[pan];
+          const int64_t end = pp[pan + 1];
+          if (p == end) continue;
+          float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+          float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+          for (; p < end; ++p) {
+            const float v = a.values[static_cast<size_t>(p)];
+            const int64_t col = a.col_idx[static_cast<size_t>(p)];
+            s0 += v * br[0][col];
+            s1 += v * br[1][col];
+            s2 += v * br[2][col];
+            s3 += v * br[3][col];
+            s4 += v * br[4][col];
+            s5 += v * br[5][col];
+            s6 += v * br[6][col];
+            s7 += v * br[7][col];
+          }
+          cr[0][j] += s0;
+          cr[1][j] += s1;
+          cr[2][j] += s2;
+          cr[3][j] += s3;
+          cr[4][j] += s4;
+          cr[5][j] += s5;
+          cr[6][j] += s6;
+          cr[7][j] += s7;
+        }
+      }
+      return;
+    }
+    for (int64_t j = 0; j < a.rows; ++j) {
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+      for (int64_t p = a.row_ptr[static_cast<size_t>(j)];
+           p < a.row_ptr[static_cast<size_t>(j) + 1]; ++p) {
+        const float v = a.values[static_cast<size_t>(p)];
+        const int64_t col = a.col_idx[static_cast<size_t>(p)];
+        s0 += v * br[0][col];
+        s1 += v * br[1][col];
+        s2 += v * br[2][col];
+        s3 += v * br[3][col];
+        s4 += v * br[4][col];
+        s5 += v * br[5][col];
+        s6 += v * br[6][col];
+        s7 += v * br[7][col];
+      }
+      cr[0][j] = s0;
+      cr[1][j] = s1;
+      cr[2][j] = s2;
+      cr[3][j] = s3;
+      cr[4][j] = s4;
+      cr[5][j] = s5;
+      cr[6][j] = s6;
+      cr[7][j] = s7;
+    }
+    return;
+  }
+  // Tail block (< kBs rows): a 4-wide mid-tier keeps the PR 3 amortization
+  // for 4-7 leftover batch rows, then one scalar walk per remaining row.
+  int64_t i = i0;
+  if (i + 4 <= n_rows) {
+    const float* b0 = b + (i + 0) * a.cols;
+    const float* b1 = b + (i + 1) * a.cols;
+    const float* b2 = b + (i + 2) * a.cols;
+    const float* b3 = b + (i + 3) * a.cols;
+    float* c0 = c + (i + 0) * a.rows;
+    float* c1 = c + (i + 1) * a.rows;
+    float* c2 = c + (i + 2) * a.rows;
+    float* c3 = c + (i + 3) * a.rows;
     for (int64_t j = 0; j < a.rows; ++j) {
       float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
       for (int64_t p = a.row_ptr[static_cast<size_t>(j)];
@@ -278,9 +619,9 @@ void spmm_nt_block(const sparse::CsrMatrix& a, const float* b, int64_t i0, int64
       c2[j] = s2;
       c3[j] = s3;
     }
-    return;
+    i += 4;
   }
-  for (int64_t i = i0; i < n_rows; ++i) {
+  for (; i < n_rows; ++i) {
     const float* brow = b + i * a.cols;
     float* crow = c + i * a.rows;
     for (int64_t j = 0; j < a.rows; ++j) {
@@ -296,15 +637,79 @@ void spmm_nt_block(const sparse::CsrMatrix& a, const float* b, int64_t i0, int64
 
 void spmm_dn_block(const sparse::CsrMatrix& a, const float* b, int64_t i0, int64_t n_rows,
                    float* c) {
-  if (i0 + 4 <= n_rows) {
-    const float* b0 = b + (i0 + 0) * a.rows;
-    const float* b1 = b + (i0 + 1) * a.rows;
-    const float* b2 = b + (i0 + 2) * a.rows;
-    const float* b3 = b + (i0 + 3) * a.rows;
-    float* c0 = c + (i0 + 0) * a.cols;
-    float* c1 = c + (i0 + 1) * a.cols;
-    float* c2 = c + (i0 + 2) * a.cols;
-    float* c3 = c + (i0 + 3) * a.cols;
+  if (i0 + kBs <= n_rows) {
+    const float* br[kBs];
+    float* cr[kBs];
+    for (int64_t u = 0; u < kBs; ++u) {
+      br[u] = b + (i0 + u) * a.rows;
+      cr[u] = c + (i0 + u) * a.cols;
+    }
+    const size_t row_bytes = static_cast<size_t>(a.cols) * sizeof(float);
+    for (int64_t u = 0; u < kBs; ++u) std::memset(cr[u], 0, row_bytes);
+    if (a.has_panels()) {
+      const int64_t np = a.num_panels();
+      for (int64_t pan = 0; pan < np; ++pan) {
+        for (int64_t j = 0; j < a.rows; ++j) {
+          const int64_t* pp = a.panel_ptr.data() + j * (np + 1);
+          int64_t p = pp[pan];
+          const int64_t end = pp[pan + 1];
+          if (p == end) continue;
+          const float v0 = br[0][j], v1 = br[1][j], v2 = br[2][j], v3 = br[3][j];
+          const float v4 = br[4][j], v5 = br[5][j], v6 = br[6][j], v7 = br[7][j];
+          if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f && v4 == 0.0f && v5 == 0.0f &&
+              v6 == 0.0f && v7 == 0.0f) {
+            continue;
+          }
+          for (; p < end; ++p) {
+            const float v = a.values[static_cast<size_t>(p)];
+            const int64_t col = a.col_idx[static_cast<size_t>(p)];
+            cr[0][col] += v0 * v;
+            cr[1][col] += v1 * v;
+            cr[2][col] += v2 * v;
+            cr[3][col] += v3 * v;
+            cr[4][col] += v4 * v;
+            cr[5][col] += v5 * v;
+            cr[6][col] += v6 * v;
+            cr[7][col] += v7 * v;
+          }
+        }
+      }
+      return;
+    }
+    for (int64_t j = 0; j < a.rows; ++j) {
+      const float v0 = br[0][j], v1 = br[1][j], v2 = br[2][j], v3 = br[3][j];
+      const float v4 = br[4][j], v5 = br[5][j], v6 = br[6][j], v7 = br[7][j];
+      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f && v4 == 0.0f && v5 == 0.0f &&
+          v6 == 0.0f && v7 == 0.0f) {
+        continue;
+      }
+      for (int64_t p = a.row_ptr[static_cast<size_t>(j)];
+           p < a.row_ptr[static_cast<size_t>(j) + 1]; ++p) {
+        const float v = a.values[static_cast<size_t>(p)];
+        const int64_t col = a.col_idx[static_cast<size_t>(p)];
+        cr[0][col] += v0 * v;
+        cr[1][col] += v1 * v;
+        cr[2][col] += v2 * v;
+        cr[3][col] += v3 * v;
+        cr[4][col] += v4 * v;
+        cr[5][col] += v5 * v;
+        cr[6][col] += v6 * v;
+        cr[7][col] += v7 * v;
+      }
+    }
+    return;
+  }
+  // Tail block (< kBs rows): 4-wide mid-tier, then scalar rows.
+  int64_t i = i0;
+  if (i + 4 <= n_rows) {
+    const float* b0 = b + (i + 0) * a.rows;
+    const float* b1 = b + (i + 1) * a.rows;
+    const float* b2 = b + (i + 2) * a.rows;
+    const float* b3 = b + (i + 3) * a.rows;
+    float* c0 = c + (i + 0) * a.cols;
+    float* c1 = c + (i + 1) * a.cols;
+    float* c2 = c + (i + 2) * a.cols;
+    float* c3 = c + (i + 3) * a.cols;
     const size_t row_bytes = static_cast<size_t>(a.cols) * sizeof(float);
     std::memset(c0, 0, row_bytes);
     std::memset(c1, 0, row_bytes);
@@ -323,9 +728,9 @@ void spmm_dn_block(const sparse::CsrMatrix& a, const float* b, int64_t i0, int64
         c3[col] += v3 * v;
       }
     }
-    return;
+    i += 4;
   }
-  for (int64_t i = i0; i < n_rows; ++i) {
+  for (; i < n_rows; ++i) {
     const float* brow = b + i * a.rows;
     float* crow = c + i * a.cols;
     std::memset(crow, 0, static_cast<size_t>(a.cols) * sizeof(float));
@@ -341,72 +746,78 @@ void spmm_dn_block(const sparse::CsrMatrix& a, const float* b, int64_t i0, int64
 }
 
 FEDTINY_KERNEL_CLONES
-void spmm_tn_serial(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c) {
-  // Serial scatter (C rows are shared across CSR rows — same contract as
-  // reference). Two CSR entries per pass: col_idx is strictly ascending
-  // within a row, so the two target C rows are distinct and the fused loop
-  // loads brow once for both.
-  std::memset(c, 0, static_cast<size_t>(a.cols * n) * sizeof(float));
-  for (int64_t i = 0; i < a.rows; ++i) {
-    const float* brow = b + i * n;
-    const int64_t end = a.row_ptr[static_cast<size_t>(i) + 1];
-    int64_t p = a.row_ptr[static_cast<size_t>(i)];
-    for (; p + 2 <= end; p += 2) {
-      const float v0 = a.values[static_cast<size_t>(p)];
-      const float v1 = a.values[static_cast<size_t>(p) + 1];
-      float* c0 = c + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
-      float* c1 = c + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p) + 1]) * n;
-      for (int64_t t = 0; t < n; ++t) {
-        c0[t] += v0 * brow[t];
-        c1[t] += v1 * brow[t];
-      }
-    }
-    for (; p < end; ++p) {
-      const float v = a.values[static_cast<size_t>(p)];
-      float* crow = c + static_cast<int64_t>(a.col_idx[static_cast<size_t>(p)]) * n;
-      for (int64_t t = 0; t < n; ++t) crow[t] += v * brow[t];
-    }
-  }
-}
-
-FEDTINY_KERNEL_CLONES
 void masked_grad_dot_row(const sparse::CsrMatrix& s, const float* arow, const float* b, int64_t n,
-                         float* grow, int64_t i) {
-  // One contiguous dot per structure entry, kNr independent partial sums.
+                         int64_t t0, int64_t t1, float* grow, int64_t i) {
+  // One contiguous dot per structure entry over [t0, t1), kNr independent
+  // partial sums. Wide batched operands call this once per t-panel so the
+  // gathered B rows stay cache-resident across the row's entries; each
+  // panel's partial dot accumulates into grad (one extra rounding per panel,
+  // bounded by the parity tests).
   for (int64_t p = s.row_ptr[static_cast<size_t>(i)]; p < s.row_ptr[static_cast<size_t>(i) + 1];
        ++p) {
     const float* brow = b + static_cast<int64_t>(s.col_idx[static_cast<size_t>(p)]) * n;
     float acc[kNr] = {};
-    int64_t t = 0;
-    for (; t + kNr <= n; t += kNr) {
+    int64_t t = t0;
+    for (; t + kNr <= t1; t += kNr) {
       for (int64_t u = 0; u < kNr; ++u) acc[u] += arow[t + u] * brow[t + u];
     }
-    for (; t < n; ++t) acc[0] += arow[t] * brow[t];
+    for (; t < t1; ++t) acc[0] += arow[t] * brow[t];
     grow[s.col_idx[static_cast<size_t>(p)]] += reduce_tile(acc);
   }
 }
 
 void masked_grad_tn_row(const sparse::CsrMatrix& s, const float* a, const float* b, int64_t n,
                         float* grow, int64_t i) {
-  // Four samples per pass: one read-modify-write of grad per structure entry
-  // amortizes over four B rows (the reference pays it per sample).
+  // Eight samples per pass (PR 3 used four): one read-modify-write of grad
+  // per structure entry amortizes over eight B rows (the reference pays it
+  // per sample), halving the col_idx stream and grad update traffic.
   const int64_t begin = s.row_ptr[static_cast<size_t>(i)];
   const int64_t end = s.row_ptr[static_cast<size_t>(i) + 1];
   int64_t r = 0;
-  for (; r + 4 <= n; r += 4) {
+  for (; r + kBs <= n; r += kBs) {
     const float av0 = a[(r + 0) * s.rows + i];
     const float av1 = a[(r + 1) * s.rows + i];
     const float av2 = a[(r + 2) * s.rows + i];
     const float av3 = a[(r + 3) * s.rows + i];
-    if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) continue;
+    const float av4 = a[(r + 4) * s.rows + i];
+    const float av5 = a[(r + 5) * s.rows + i];
+    const float av6 = a[(r + 6) * s.rows + i];
+    const float av7 = a[(r + 7) * s.rows + i];
+    if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f && av4 == 0.0f && av5 == 0.0f &&
+        av6 == 0.0f && av7 == 0.0f) {
+      continue;
+    }
     const float* b0 = b + (r + 0) * s.cols;
     const float* b1 = b + (r + 1) * s.cols;
     const float* b2 = b + (r + 2) * s.cols;
     const float* b3 = b + (r + 3) * s.cols;
+    const float* b4 = b + (r + 4) * s.cols;
+    const float* b5 = b + (r + 5) * s.cols;
+    const float* b6 = b + (r + 6) * s.cols;
+    const float* b7 = b + (r + 7) * s.cols;
     for (int64_t p = begin; p < end; ++p) {
       const int64_t col = s.col_idx[static_cast<size_t>(p)];
-      grow[col] += (av0 * b0[col] + av1 * b1[col]) + (av2 * b2[col] + av3 * b3[col]);
+      grow[col] += ((av0 * b0[col] + av1 * b1[col]) + (av2 * b2[col] + av3 * b3[col])) +
+                   ((av4 * b4[col] + av5 * b5[col]) + (av6 * b6[col] + av7 * b7[col]));
     }
+  }
+  // 4-wide mid-tier for 4-7 leftover samples, then the scalar tail.
+  if (r + 4 <= n) {
+    const float av0 = a[(r + 0) * s.rows + i];
+    const float av1 = a[(r + 1) * s.rows + i];
+    const float av2 = a[(r + 2) * s.rows + i];
+    const float av3 = a[(r + 3) * s.rows + i];
+    if (av0 != 0.0f || av1 != 0.0f || av2 != 0.0f || av3 != 0.0f) {
+      const float* b0 = b + (r + 0) * s.cols;
+      const float* b1 = b + (r + 1) * s.cols;
+      const float* b2 = b + (r + 2) * s.cols;
+      const float* b3 = b + (r + 3) * s.cols;
+      for (int64_t p = begin; p < end; ++p) {
+        const int64_t col = s.col_idx[static_cast<size_t>(p)];
+        grow[col] += (av0 * b0[col] + av1 * b1[col]) + (av2 * b2[col] + av3 * b3[col]);
+      }
+    }
+    r += 4;
   }
   for (; r < n; ++r) {
     const float av = a[r * s.rows + i];
@@ -418,47 +829,247 @@ void masked_grad_tn_row(const sparse::CsrMatrix& s, const float* a, const float*
   }
 }
 
+// ---- im2col / col2im row helpers -------------------------------------------
+// Interior/halo split: for one (kw, stride, pad) tap, the output columns that
+// map inside the image are the contiguous range [lo, hi) below; everything
+// outside is padding. The reference loop pays a bounds branch per element —
+// these helpers zero-fill (im2col) or skip (col2im) the halo once and run the
+// pad-free interior as a straight memcpy / vector add (stride 1) or a
+// branch-free strided loop.
+
+/// In-bounds output-column range for a tap: ow in [lo, hi) iff
+/// 0 <= ow*stride - pad + kw < width.
+inline void tap_bounds(int64_t out_w, int64_t width, int64_t kw, int64_t stride, int64_t pad,
+                       int64_t* lo, int64_t* hi) {
+  const int64_t d = pad - kw;
+  int64_t l = d <= 0 ? 0 : (d + stride - 1) / stride;
+  // Clamp to the row: kernels wider than width+pad give taps whose first
+  // in-bounds column lies past out_w, and the halo memset below sizes off lo.
+  if (l > out_w) l = out_w;
+  *lo = l;
+  const int64_t limit = width - 1 + pad - kw;  // largest in-bounds iw numerator
+  int64_t h = limit < 0 ? 0 : limit / stride + 1;
+  if (h > out_w) h = out_w;
+  if (h < l) h = l;
+  *hi = h;
+}
+
+FEDTINY_KERNEL_CLONES
+void im2col_row(const float* in_c, int64_t height, int64_t width, int64_t kh, int64_t kw,
+                int64_t stride, int64_t pad, int64_t out_h, int64_t out_w, float* out_row) {
+  int64_t lo = 0, hi = 0;
+  tap_bounds(out_w, width, kw, stride, pad, &lo, &hi);
+  for (int64_t oh = 0; oh < out_h; ++oh) {
+    float* orow = out_row + oh * out_w;
+    const int64_t ih = oh * stride - pad + kh;
+    if (ih < 0 || ih >= height) {
+      std::memset(orow, 0, static_cast<size_t>(out_w) * sizeof(float));
+      continue;
+    }
+    const float* in_row = in_c + ih * width;
+    if (lo > 0) std::memset(orow, 0, static_cast<size_t>(lo) * sizeof(float));
+    if (hi < out_w) {
+      std::memset(orow + hi, 0, static_cast<size_t>(out_w - hi) * sizeof(float));
+    }
+    if (stride == 1) {
+      std::memcpy(orow + lo, in_row + (lo - pad + kw), static_cast<size_t>(hi - lo) * sizeof(float));
+    } else {
+      for (int64_t ow = lo; ow < hi; ++ow) orow[ow] = in_row[ow * stride - pad + kw];
+    }
+  }
+}
+
+FEDTINY_KERNEL_CLONES
+void col2im_tap_add(const float* col_row, float* out_c, int64_t height, int64_t width, int64_t kh,
+                    int64_t kw, int64_t stride, int64_t pad, int64_t out_h, int64_t out_w) {
+  int64_t lo = 0, hi = 0;
+  tap_bounds(out_w, width, kw, stride, pad, &lo, &hi);
+  for (int64_t oh = 0; oh < out_h; ++oh) {
+    const int64_t ih = oh * stride - pad + kh;
+    if (ih < 0 || ih >= height) continue;
+    float* out_row = out_c + ih * width;
+    const float* crow = col_row + oh * out_w;
+    if (stride == 1) {
+      // Interior: contiguous accumulate. Within one (kh, kw, oh) tap the
+      // ow -> iw map is injective, so vectorizing this loop cannot reorder
+      // any single output element's accumulation.
+      float* dst = out_row + (lo - pad + kw);
+      for (int64_t t = 0; t < hi - lo; ++t) dst[t] += crow[lo + t];
+    } else {
+      for (int64_t ow = lo; ow < hi; ++ow) out_row[ow * stride - pad + kw] += crow[ow];
+    }
+  }
+}
+
 }  // namespace
 
 void gemm_fast(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
                const float* a, const float* b, float beta, float* c) {
+  gemm_fast_ex(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, GemmEpilogue{});
+}
+
+void gemm_fast_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+                  const float* a, const float* b, float beta, float* c, const GemmEpilogue& epi) {
+  // B operands past this size get panel-packed (see gemm_pack_bn): below it
+  // the whole operand is cache-resident and the copy would be pure overhead.
+  constexpr int64_t kPackMinBytes = 1 << 18;
+  bool packed = k * n * static_cast<int64_t>(sizeof(float)) >= kPackMinBytes;
+  if (packed && !trans_b) {
+    // Masked-dense A operands (no CSR installed) send most bands down the
+    // zero-skip loop, which never reads the pack — packing B would be pure
+    // overhead. One layout-independent scan of A decides; like the per-band
+    // skip, the choice depends only on the data, so results stay
+    // deterministic across runs and threads (and packing never changes NN/TN
+    // results bitwise anyway).
+    int64_t zeros = 0;
+    const int64_t total = m * k;
+    for (int64_t i = 0; i < total; ++i) zeros += a[i] == 0.0f ? 1 : 0;
+    // > 62.5% zeros: most bands will clear the per-band 75% bar or sit close
+    // to it, so the pack would mostly feed skip-path bands that never read
+    // it. Measured crossover on the bench shapes sits between 50% (packing
+    // wins) and 75% (packing is pure overhead).
+    if (zeros * 8 > total * 5) packed = false;
+  }
   if (!trans_b) {
+    // Column panels keep the B panel L2-resident across all row bands (see
+    // kPanelBytes); panels partition the output columns, so every element is
+    // still computed by exactly one band/panel visit. Unpacked calls (small
+    // or zero-heavy operands) run one full-width pass — panels without the
+    // pack would only fragment the skip loop's row walks.
     const int64_t bands = (m + kMr - 1) / kMr;
-    parallel_for(bands, [&](int64_t band) {
-      gemm_bn_band(trans_a, band * kMr, m, n, k, alpha, a, b, beta, c);
-    });
+    const int64_t pn = packed ? gemm_panel_cols(k, n) : n;
+    // Reused per-thread scratch: every packed call fully overwrites the
+    // strips it reads, so no per-call allocation is needed in the hot loop.
+    static thread_local std::vector<float> pack;
+    if (packed) pack.resize(static_cast<size_t>((pn + kNr - 1) / kNr * kNr * k));
+    for (int64_t jc = 0; jc < n; jc += pn) {
+      const int64_t je = std::min<int64_t>(n, jc + pn);
+      if (packed) gemm_pack_bn(b, n, k, jc, je - jc, pack.data());
+      const float* pk = packed ? pack.data() : nullptr;
+      parallel_for(bands, [&](int64_t band) {
+        gemm_bn_band(trans_a, band * kMr, m, n, k, alpha, a, b, pk, beta, c, epi, jc, je);
+      });
+    }
     return;
   }
   if (!trans_a) {
-    parallel_for(m, [&](int64_t i) { gemm_nt_row(i, n, k, alpha, a, b, beta, c); });
+    if (packed) {
+      // NT through the packed tile: B^T columns pack into the same strip
+      // layout, lifting NT to the NN tile's throughput.
+      const int64_t bands = (m + kMr - 1) / kMr;
+      const int64_t pn = gemm_panel_rows(k, n);
+      static thread_local std::vector<float> pack;
+      pack.resize(static_cast<size_t>((pn + kNr - 1) / kNr * kNr * k));
+      // Hoisted: the lambda runs on kernel worker threads, whose own
+      // thread_local `pack` is a different (empty) vector.
+      float* pk = pack.data();
+      for (int64_t jc = 0; jc < n; jc += pn) {
+        const int64_t je = std::min<int64_t>(n, jc + pn);
+        gemm_pack_nt(b, k, jc, je - jc, pk);
+        parallel_for(bands, [&](int64_t band) {
+          gemm_bn_band(false, band * kMr, m, n, k, alpha, a, nullptr, pk, beta, c, epi, jc, je);
+        });
+      }
+      return;
+    }
+    parallel_for(m, [&](int64_t i) { gemm_nt_row(i, n, k, alpha, a, b, beta, c, epi, 0, n); });
     return;
   }
   // TT: no caller uses it on a hot path; keep the reference loop.
   gemm_reference(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+  gemm_epilogue_apply(m, n, c, epi);
+}
+
+void im2col_fast(const float* in, int64_t channels, int64_t height, int64_t width,
+                 int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                 int64_t out_ld) {
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  const int64_t col_rows = channels * kernel_h * kernel_w;
+  parallel_for(col_rows, [&](int64_t row) {
+    const int64_t c = row / (kernel_h * kernel_w);
+    const int64_t rem = row % (kernel_h * kernel_w);
+    im2col_row(in + c * height * width, height, width, rem / kernel_w, rem % kernel_w, stride, pad,
+               out_h, out_w, out + row * out_ld);
+  });
+}
+
+void col2im_fast(const float* cols, int64_t channels, int64_t height, int64_t width,
+                 int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                 int64_t cols_ld) {
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  // Parallel over channels (disjoint scatter targets); the (kh, kw) tap order
+  // inside a channel matches reference, keeping results bitwise-identical.
+  parallel_for(channels, [&](int64_t c) {
+    float* out_c = out + c * height * width;
+    for (int64_t kh = 0; kh < kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < kernel_w; ++kw) {
+        const int64_t row = (c * kernel_h + kh) * kernel_w + kw;
+        col2im_tap_add(cols + row * cols_ld, out_c, height, width, kh, kw, stride, pad, out_h,
+                       out_w);
+      }
+    }
+  });
 }
 
 void spmm_fast(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c, bool accumulate) {
-  parallel_for(a.rows, [&](int64_t i) { spmm_row(a, b, n, c + i * n, i, accumulate); });
+  // Full-width row walks: output-column paneling was tried here and measured
+  // slower at the batched conv widths (the 4-entry B-row groups are already
+  // streamed once per C row; panels only re-stream the structure).
+  parallel_for(a.rows, [&](int64_t i) {
+    spmm_row(a.row_ptr.data(), a.col_idx.data(), a.values.data(), b, n, c + i * n, i, accumulate);
+  });
 }
 
 void spmm_nt_fast(const sparse::CsrMatrix& a, const float* b, int64_t n_rows, float* c) {
-  const int64_t blocks = (n_rows + 3) / 4;
-  parallel_for(blocks, [&](int64_t bi) { spmm_nt_block(a, b, bi * 4, n_rows, c); });
+  const int64_t blocks = (n_rows + kBs - 1) / kBs;
+  parallel_for(blocks, [&](int64_t bi) { spmm_nt_block(a, b, bi * kBs, n_rows, c); });
 }
 
 void spmm_dn_fast(const sparse::CsrMatrix& a, const float* b, int64_t n_rows, float* c) {
-  const int64_t blocks = (n_rows + 3) / 4;
-  parallel_for(blocks, [&](int64_t bi) { spmm_dn_block(a, b, bi * 4, n_rows, c); });
+  const int64_t blocks = (n_rows + kBs - 1) / kBs;
+  parallel_for(blocks, [&](int64_t bi) { spmm_dn_block(a, b, bi * kBs, n_rows, c); });
 }
 
 void spmm_tn_fast(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c) {
-  spmm_tn_serial(a, b, n, c);
+  // A^T * B == (transpose of A) * B, run through the spmm row kernel: each C
+  // row is produced by one owner with the 4-entry amortized read-modify-write
+  // — the in-place scatter form pays a full C-row RMW per structure entry
+  // and cannot parallelize (rows shared across CSR rows). Walking A's rows
+  // in ascending order fills each transposed row with ascending original-row
+  // indices, so per output element the accumulation visits the same terms in
+  // the same order as the scatter form modulo the row kernel's fixed 4-entry
+  // blocking (tolerance-bounded, and bitwise-deterministic across runs and
+  // thread counts as always). Matrices used repeatedly (Conv2d's masked
+  // backward) carry a cached transpose (sparse::build_transpose, kept fresh
+  // by refresh_values); otherwise build it for this call.
+  if (a.has_transpose()) {
+    parallel_for(a.cols, [&](int64_t j) {
+      spmm_row(a.tr_row_ptr.data(), a.tr_col_idx.data(), a.tr_values.data(), b, n, c + j * n, j,
+               /*accumulate=*/false);
+    });
+    return;
+  }
+  sparse::CsrMatrix tr;
+  sparse::build_transpose(a, tr);  // fills only tr's tr_* arrays, no copy of a
+  parallel_for(a.cols, [&](int64_t j) {
+    spmm_row(tr.tr_row_ptr.data(), tr.tr_col_idx.data(), tr.tr_values.data(), b, n, c + j * n, j,
+             /*accumulate=*/false);
+  });
 }
 
 void masked_grad_dot_fast(const sparse::CsrMatrix& s, const float* a, const float* b, int64_t n,
                           float* grad) {
-  parallel_for(s.rows,
-               [&](int64_t i) { masked_grad_dot_row(s, a + i * n, b, n, grad + i * s.cols, i); });
+  // t-panels keep the gathered B row slices cache-resident for wide batched
+  // operands; per grad element each panel contributes one partial dot.
+  constexpr int64_t kTn = 512;
+  for (int64_t t0 = 0; t0 < n; t0 += kTn) {
+    const int64_t t1 = std::min<int64_t>(n, t0 + kTn);
+    parallel_for(s.rows, [&](int64_t i) {
+      masked_grad_dot_row(s, a + i * n, b, n, t0, t1, grad + i * s.cols, i);
+    });
+  }
 }
 
 void masked_grad_tn_fast(const sparse::CsrMatrix& s, const float* a, const float* b, int64_t n,

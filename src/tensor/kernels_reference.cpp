@@ -82,6 +82,82 @@ void gemm_reference(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   });
 }
 
+void gemm_epilogue_apply(int64_t m, int64_t n, float* c, const GemmEpilogue& epi) {
+  if (!epi.active()) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (epi.row_bias != nullptr) {
+      const float rb = epi.row_bias[i];
+      for (int64_t j = 0; j < n; ++j) crow[j] += rb;
+    }
+    if (epi.col_bias != nullptr) {
+      for (int64_t j = 0; j < n; ++j) crow[j] += epi.col_bias[j];
+    }
+    if (epi.relu) {
+      for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+    }
+  }
+}
+
+void im2col_reference(const float* in, int64_t channels, int64_t height, int64_t width,
+                      int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                      int64_t out_ld) {
+  // The PR 1 ops::im2col loop verbatim; `out_ld` replaces the implicit
+  // out_h*out_w row pitch (address arithmetic only — the values written are
+  // unchanged, pinned bitwise by tests/tensor/test_kernels.cpp).
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  const int64_t col_rows = channels * kernel_h * kernel_w;
+  parallel_for(col_rows, [&](int64_t row) {
+    const int64_t c = row / (kernel_h * kernel_w);
+    const int64_t rem = row % (kernel_h * kernel_w);
+    const int64_t kh = rem / kernel_w;
+    const int64_t kw = rem % kernel_w;
+    float* out_row = out + row * out_ld;
+    const float* in_c = in + c * height * width;
+    for (int64_t oh = 0; oh < out_h; ++oh) {
+      const int64_t ih = oh * stride - pad + kh;
+      if (ih < 0 || ih >= height) {
+        std::memset(out_row + oh * out_w, 0, static_cast<size_t>(out_w) * sizeof(float));
+        continue;
+      }
+      const float* in_row = in_c + ih * width;
+      for (int64_t ow = 0; ow < out_w; ++ow) {
+        const int64_t iw = ow * stride - pad + kw;
+        out_row[oh * out_w + ow] = (iw >= 0 && iw < width) ? in_row[iw] : 0.0f;
+      }
+    }
+  });
+}
+
+void col2im_reference(const float* cols, int64_t channels, int64_t height, int64_t width,
+                      int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
+                      int64_t cols_ld) {
+  // The PR 1 ops::col2im loop verbatim; `cols_ld` replaces the implicit
+  // out_h*out_w row pitch (address arithmetic only).
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  // Parallel over channels: each channel's scatter targets are disjoint.
+  parallel_for(channels, [&](int64_t c) {
+    float* out_c = out + c * height * width;
+    for (int64_t kh = 0; kh < kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < kernel_w; ++kw) {
+        const int64_t row = (c * kernel_h + kh) * kernel_w + kw;
+        const float* col_row = cols + row * cols_ld;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) continue;
+          float* out_row = out_c + ih * width;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * stride - pad + kw;
+            if (iw >= 0 && iw < width) out_row[iw] += col_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  });
+}
+
 void spmm_reference(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c,
                     bool accumulate) {
   // Row-of-C parallel: each CSR row touches only its own output row. The

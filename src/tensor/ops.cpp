@@ -21,56 +21,53 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
   }
 }
 
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c,
+          const kernels::GemmEpilogue& epi) {
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::gemm_fast_ex(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, epi);
+  } else {
+    kernels::gemm_reference(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+    kernels::gemm_epilogue_apply(m, n, c, epi);
+  }
+}
+
 void im2col(const float* in, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
             int64_t kernel_w, int64_t stride, int64_t pad, float* out) {
-  const int64_t out_h = conv_out_size(height, kernel_h, stride, pad);
-  const int64_t out_w = conv_out_size(width, kernel_w, stride, pad);
-  const int64_t col_rows = channels * kernel_h * kernel_w;
-  parallel_for(col_rows, [&](int64_t row) {
-    const int64_t c = row / (kernel_h * kernel_w);
-    const int64_t rem = row % (kernel_h * kernel_w);
-    const int64_t kh = rem / kernel_w;
-    const int64_t kw = rem % kernel_w;
-    float* out_row = out + row * out_h * out_w;
-    const float* in_c = in + c * height * width;
-    for (int64_t oh = 0; oh < out_h; ++oh) {
-      const int64_t ih = oh * stride - pad + kh;
-      if (ih < 0 || ih >= height) {
-        std::memset(out_row + oh * out_w, 0, static_cast<size_t>(out_w) * sizeof(float));
-        continue;
-      }
-      const float* in_row = in_c + ih * width;
-      for (int64_t ow = 0; ow < out_w; ++ow) {
-        const int64_t iw = ow * stride - pad + kw;
-        out_row[oh * out_w + ow] = (iw >= 0 && iw < width) ? in_row[iw] : 0.0f;
-      }
-    }
-  });
+  const int64_t out_hw =
+      conv_out_size(height, kernel_h, stride, pad) * conv_out_size(width, kernel_w, stride, pad);
+  im2col(in, channels, height, width, kernel_h, kernel_w, stride, pad, out, out_hw);
+}
+
+void im2col(const float* in, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
+            int64_t kernel_w, int64_t stride, int64_t pad, float* out, int64_t out_ld) {
+  // Implementation lives in the kernel engine (tensor/kernels.h). Both modes
+  // write identical bits; the split exists so FEDTINY_KERNELS=reference runs
+  // only the pinned scalar loops.
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::im2col_fast(in, channels, height, width, kernel_h, kernel_w, stride, pad, out, out_ld);
+  } else {
+    kernels::im2col_reference(in, channels, height, width, kernel_h, kernel_w, stride, pad, out,
+                              out_ld);
+  }
 }
 
 void col2im(const float* cols, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
             int64_t kernel_w, int64_t stride, int64_t pad, float* out) {
-  const int64_t out_h = conv_out_size(height, kernel_h, stride, pad);
-  const int64_t out_w = conv_out_size(width, kernel_w, stride, pad);
-  // Parallel over channels: each channel's scatter targets are disjoint.
-  parallel_for(channels, [&](int64_t c) {
-    float* out_c = out + c * height * width;
-    for (int64_t kh = 0; kh < kernel_h; ++kh) {
-      for (int64_t kw = 0; kw < kernel_w; ++kw) {
-        const int64_t row = (c * kernel_h + kh) * kernel_w + kw;
-        const float* col_row = cols + row * out_h * out_w;
-        for (int64_t oh = 0; oh < out_h; ++oh) {
-          const int64_t ih = oh * stride - pad + kh;
-          if (ih < 0 || ih >= height) continue;
-          float* out_row = out_c + ih * width;
-          for (int64_t ow = 0; ow < out_w; ++ow) {
-            const int64_t iw = ow * stride - pad + kw;
-            if (iw >= 0 && iw < width) out_row[iw] += col_row[oh * out_w + ow];
-          }
-        }
-      }
-    }
-  });
+  const int64_t out_hw =
+      conv_out_size(height, kernel_h, stride, pad) * conv_out_size(width, kernel_w, stride, pad);
+  col2im(cols, channels, height, width, kernel_h, kernel_w, stride, pad, out, out_hw);
+}
+
+void col2im(const float* cols, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
+            int64_t kernel_w, int64_t stride, int64_t pad, float* out, int64_t cols_ld) {
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::col2im_fast(cols, channels, height, width, kernel_h, kernel_w, stride, pad, out,
+                         cols_ld);
+  } else {
+    kernels::col2im_reference(cols, channels, height, width, kernel_h, kernel_w, stride, pad, out,
+                              cols_ld);
+  }
 }
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {

@@ -41,6 +41,30 @@ CsrMatrix compact(const float* dense, int64_t rows, int64_t cols, Keep keep) {
 
 }  // namespace
 
+void build_panels(CsrMatrix& m, int64_t width) {
+  if (width <= 0) {
+    m.panel_width = 0;
+    m.panel_ptr.clear();
+    return;
+  }
+  m.panel_width = width;
+  const int64_t np = m.num_panels();
+  m.panel_ptr.assign(static_cast<size_t>(m.rows * (np + 1)), 0);
+  // One ascending walk per row: col_idx is sorted within a row, so panel
+  // boundaries are found by advancing a single cursor.
+  for (int64_t i = 0; i < m.rows; ++i) {
+    int64_t* row = m.panel_ptr.data() + i * (np + 1);
+    int64_t p = m.row_ptr[static_cast<size_t>(i)];
+    const int64_t end = m.row_ptr[static_cast<size_t>(i) + 1];
+    row[0] = p;
+    for (int64_t pan = 0; pan < np; ++pan) {
+      const int64_t col_end = (pan + 1) * width;
+      while (p < end && static_cast<int64_t>(m.col_idx[static_cast<size_t>(p)]) < col_end) ++p;
+      row[pan + 1] = p;
+    }
+  }
+}
+
 int64_t mask_nnz(std::span<const uint8_t> mask) {
   int64_t kept = 0;
   for (uint8_t m : mask) kept += m != 0 ? 1 : 0;
@@ -69,6 +93,38 @@ void refresh_values(CsrMatrix& out, const float* dense) {
     for (int64_t p = out.row_ptr[static_cast<size_t>(i)];
          p < out.row_ptr[static_cast<size_t>(i) + 1]; ++p) {
       out.values[static_cast<size_t>(p)] = row[out.col_idx[static_cast<size_t>(p)]];
+    }
+  }
+  if (out.has_transpose()) {
+    for (size_t p = 0; p < out.tr_values.size(); ++p) {
+      out.tr_values[p] = out.values[static_cast<size_t>(out.tr_perm[p])];
+    }
+  }
+}
+
+void build_transpose(const CsrMatrix& src, CsrMatrix& out) {
+  const int64_t nnz = src.nnz();
+  out.tr_row_ptr.assign(static_cast<size_t>(src.cols) + 1, 0);
+  for (int64_t p = 0; p < nnz; ++p) {
+    ++out.tr_row_ptr[static_cast<size_t>(src.col_idx[static_cast<size_t>(p)]) + 1];
+  }
+  for (int64_t j = 0; j < src.cols; ++j) {
+    out.tr_row_ptr[static_cast<size_t>(j) + 1] += out.tr_row_ptr[static_cast<size_t>(j)];
+  }
+  out.tr_col_idx.resize(static_cast<size_t>(nnz));
+  out.tr_values.resize(static_cast<size_t>(nnz));
+  out.tr_perm.resize(static_cast<size_t>(nnz));
+  std::vector<int64_t> cursor(out.tr_row_ptr.begin(), out.tr_row_ptr.end() - 1);
+  // Walking rows in ascending order fills each transposed row with ascending
+  // original-row indices — the order the spmm_tn accumulation contract wants.
+  for (int64_t i = 0; i < src.rows; ++i) {
+    for (int64_t p = src.row_ptr[static_cast<size_t>(i)];
+         p < src.row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+      const auto col = static_cast<size_t>(src.col_idx[static_cast<size_t>(p)]);
+      const auto at = static_cast<size_t>(cursor[col]++);
+      out.tr_col_idx[at] = static_cast<int32_t>(i);
+      out.tr_values[at] = src.values[static_cast<size_t>(p)];
+      out.tr_perm[at] = p;
     }
   }
 }

@@ -31,8 +31,39 @@ struct CsrMatrix {
   std::vector<int32_t> col_idx;  // nnz entries, ascending within each row
   std::vector<float> values;     // nnz entries
 
+  // Fan-in-major (column-panel) index for the fast spmm_nt / spmm_dn kernels:
+  // panel p covers columns [p*panel_width, (p+1)*panel_width), and row i's
+  // entries inside panel p sit at positions
+  //   [panel_ptr[i*(num_panels()+1) + p], panel_ptr[i*(num_panels()+1) + p+1])
+  // of col_idx/values. The panel loop confines the dense-operand gathers and
+  // scatters of those kernels to one cache-resident column window at a time.
+  // Structure-only (refresh_values leaves it valid); built via build_panels()
+  // by the consumers whose kernels read it (Linear::install_sparse — the
+  // spmm_nt/spmm_dn dispatch), empty otherwise — kernels fall back to the
+  // unpaneled walk when absent. Deliberately NOT built by csr_from_mask:
+  // matrices consumed by the streaming kernels (conv spmm/masked_grad_dot)
+  // measured slower with the extra index resident.
+  int64_t panel_width = 0;
+  std::vector<int64_t> panel_ptr;  // rows * (num_panels + 1) entries
+
+  // Cached transpose for the fast spmm_tn (A^T * B): structure + values of
+  // A^T plus the permutation mapping each transposed entry back to its
+  // original position (tr_values[p] == values[tr_perm[p]]). Built via
+  // build_transpose() by consumers whose backward runs spmm_tn on a stable
+  // structure (Conv2d::install_sparse); refresh_values keeps tr_values in
+  // sync through tr_perm. Empty => spmm_tn_fast transposes per call.
+  std::vector<int64_t> tr_row_ptr;  // cols + 1 entries
+  std::vector<int32_t> tr_col_idx;  // nnz entries: original row index, ascending
+  std::vector<float> tr_values;     // nnz entries
+  std::vector<int64_t> tr_perm;     // nnz entries: transposed -> original entry
+
   [[nodiscard]] int64_t nnz() const { return static_cast<int64_t>(values.size()); }
   [[nodiscard]] bool empty() const { return rows == 0; }
+  [[nodiscard]] int64_t num_panels() const {
+    return panel_width > 0 ? (cols + panel_width - 1) / panel_width : 0;
+  }
+  [[nodiscard]] bool has_panels() const { return !panel_ptr.empty(); }
+  [[nodiscard]] bool has_transpose() const { return !tr_row_ptr.empty(); }
   [[nodiscard]] double density() const {
     const int64_t total = rows * cols;
     return total > 0 ? static_cast<double>(nnz()) / static_cast<double>(total) : 0.0;
@@ -60,6 +91,25 @@ CsrMatrix csr_from_dense(const float* dense, int64_t rows, int64_t cols);
 /// (same mask => same col_idx/row_ptr). Cheaper than re-running
 /// csr_from_mask when only the values moved.
 void refresh_values(CsrMatrix& out, const float* dense);
+
+/// Build the transpose of `src` into `out`'s tr_* arrays (out's primary
+/// arrays are untouched; src and out may be the same object). Call on
+/// matrices fed to spmm_tn in a loop (Conv2d's masked training backward
+/// does); rebuild after structure changes, refresh_values handles value-only
+/// updates.
+void build_transpose(const CsrMatrix& src, CsrMatrix& out);
+inline void build_transpose(CsrMatrix& m) { build_transpose(m, m); }
+
+/// (Re)build the column-panel index with the given panel width (see the
+/// CsrMatrix field comment). width <= 0 clears the index. Call on matrices
+/// fed to spmm_nt/spmm_dn (Linear does); exposed so tests and benches can
+/// force a specific panel geometry.
+void build_panels(CsrMatrix& m, int64_t width);
+
+/// Default panel width: 256 columns = 1 KiB of dense operand per panel per
+/// batch row, sized so the fast kernels' 8-row batch blocks keep their
+/// gather/scatter window L1-resident.
+inline constexpr int64_t kDefaultPanelWidth = 256;
 
 /// Scatter to a zeroed dense row-major [rows, cols] buffer.
 void csr_to_dense(const CsrMatrix& a, float* dense);

@@ -1,0 +1,163 @@
+// Conv edge geometry under the batched fast pipeline: stride > 1, pad > 0,
+// kernels larger than the pad-free interior, and 1x1 kernels. For every
+// geometry:
+//   - fast forward/backward must stay tolerance-close to the reference
+//     (per-sample) pipeline — a wrong pitch or permute shows up at O(1);
+//   - the dense-vs-sparse bitwise oracle must hold in reference mode and
+//     within tolerance in fast mode (both pipelines dispatch the same CSR
+//     kernels over the same column buffers).
+// Plus the workspace-lifetime regression: eval-mode forwards free every
+// cached buffer and repeated train/eval cycles do not grow the footprint.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "tensor/kernels.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+std::vector<uint8_t> random_mask(int64_t n, double density, Rng& rng) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n));
+  for (auto& m : mask) m = rng.uniform() < density ? 1 : 0;
+  return mask;
+}
+
+Tensor random_tensor(std::vector<int64_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = rng.normal();
+  return t;
+}
+
+void mask_weight(Param& weight, const std::vector<uint8_t>& mask) {
+  auto w = weight.value.flat();
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (mask[i] == 0) w[i] = 0.0f;
+  }
+}
+
+struct Geom {
+  int64_t in_c, out_c, kernel, stride, pad, size, batch;
+};
+
+class ConvFastGeometry : public ::testing::TestWithParam<Geom> {};
+
+/// Tolerance for fast-vs-reference drift (reassociated sums over fan_in).
+double tol(const Geom& g) {
+  return 1e-6 * std::sqrt(static_cast<double>(g.in_c * g.kernel * g.kernel)) * 40.0;
+}
+
+TEST_P(ConvFastGeometry, FastMatchesReferenceForwardAndBackward) {
+  const Geom g = GetParam();
+  Tensor y[2], gin[2], grad[2];
+  for (int mi = 0; mi < 2; ++mi) {
+    kernels::ScopedMode mode(mi == 0 ? kernels::Mode::kReference : kernels::Mode::kFast);
+    Rng seed(7);
+    Conv2d conv(g.in_c, g.out_c, g.kernel, g.stride, g.pad, /*bias=*/true, seed);
+    Rng data(11);
+    Tensor x = random_tensor({g.batch, g.in_c, g.size, g.size}, data);
+    y[mi] = conv.forward(x, Mode::kTrain);
+    Tensor dy = random_tensor(y[mi].shape(), data);
+    gin[mi] = conv.backward(dy);
+    grad[mi] = conv.weight().grad;
+  }
+  ASSERT_EQ(y[0].shape(), y[1].shape());
+  const double t = tol(g);
+  for (int64_t i = 0; i < y[0].numel(); ++i) ASSERT_NEAR(y[1][i], y[0][i], t) << "y idx " << i;
+  for (int64_t i = 0; i < gin[0].numel(); ++i) {
+    ASSERT_NEAR(gin[1][i], gin[0][i], t) << "gin idx " << i;
+  }
+  // Weight grads accumulate over batch * out_hw samples; scale the bound.
+  const double gt = t * std::sqrt(static_cast<double>(y[0].numel() / g.out_c));
+  for (int64_t i = 0; i < grad[0].numel(); ++i) {
+    ASSERT_NEAR(grad[1][i], grad[0][i], gt) << "grad idx " << i;
+  }
+}
+
+TEST_P(ConvFastGeometry, DenseVsSparseOracleAtEachGeometry) {
+  const Geom g = GetParam();
+  for (int mi = 0; mi < 2; ++mi) {
+    kernels::ScopedMode mode(mi == 0 ? kernels::Mode::kReference : kernels::Mode::kFast);
+    Rng seed_a(3), seed_b(3), mrng(13);
+    Conv2d dense(g.in_c, g.out_c, g.kernel, g.stride, g.pad, /*bias=*/false, seed_a);
+    Conv2d sparse_l(g.in_c, g.out_c, g.kernel, g.stride, g.pad, /*bias=*/false, seed_b);
+    const auto mask = random_mask(dense.weight().value.numel(), 0.25, mrng);
+    mask_weight(dense.weight(), mask);
+    mask_weight(sparse_l.weight(), mask);
+    ASSERT_TRUE(sparse_l.install_sparse({mask.data(), mask.size()}, 1.0f, /*train=*/true));
+
+    Rng data(17);
+    Tensor x = random_tensor({g.batch, g.in_c, g.size, g.size}, data);
+    Tensor yd = dense.forward(x, Mode::kTrain);
+    Tensor ys = sparse_l.forward(x, Mode::kTrain);
+    Tensor dy = random_tensor(yd.shape(), data);
+    Tensor gd = dense.backward(dy);
+    Tensor gs = sparse_l.backward(dy);
+
+    if (mi == 0) {
+      // Reference mode: the engine's oracle contract — CSR over a masked
+      // weight is bitwise-identical to dense (pruned entries are exact
+      // zeros, and the CSR kernels mirror the dense accumulation order).
+      for (int64_t i = 0; i < yd.numel(); ++i) ASSERT_EQ(ys[i], yd[i]) << "y idx " << i;
+      for (int64_t i = 0; i < gd.numel(); ++i) ASSERT_EQ(gs[i], gd[i]) << "gin idx " << i;
+      const auto dg = dense.weight().grad.flat();
+      const auto sg = sparse_l.weight().grad.flat();
+      for (size_t i = 0; i < dg.size(); ++i) {
+        const float want = mask[i] != 0 ? dg[i] : 0.0f;
+        ASSERT_EQ(sg[i], want) << "grad idx " << i;
+      }
+    } else {
+      // Fast mode: both paths reassociate differently; bound the drift.
+      const double t = tol(g);
+      for (int64_t i = 0; i < yd.numel(); ++i) ASSERT_NEAR(ys[i], yd[i], t) << "y idx " << i;
+      for (int64_t i = 0; i < gd.numel(); ++i) ASSERT_NEAR(gs[i], gd[i], t) << "gin idx " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeGeometries, ConvFastGeometry,
+    ::testing::Values(Geom{3, 8, 3, 1, 1, 8, 3},    // standard 3x3
+                      Geom{4, 6, 3, 2, 1, 9, 2},    // stride 2
+                      Geom{2, 5, 3, 3, 1, 10, 2},   // stride 3
+                      Geom{2, 4, 5, 1, 2, 4, 3},    // kernel larger than interior
+                      Geom{3, 7, 5, 2, 2, 7, 2},    // 5x5 strided wide pad
+                      Geom{5, 9, 1, 1, 0, 6, 2},    // 1x1 pointwise
+                      Geom{4, 4, 1, 2, 0, 8, 2},    // 1x1 strided
+                      Geom{2, 3, 8, 1, 4, 2, 2}));  // kernel wider than width+pad
+
+TEST(ConvWorkspace, EvalFreesAllBuffersAndTrainCyclesDoNotGrow) {
+  for (const kernels::Mode mode : {kernels::Mode::kFast, kernels::Mode::kReference}) {
+    kernels::ScopedMode pin(mode);
+    Rng seed(5);
+    Conv2d conv(8, 16, 3, 1, 1, /*bias=*/false, seed);
+    Rng data(9);
+    Tensor x = random_tensor({4, 8, 10, 10}, data);
+    Tensor dy;
+
+    int64_t steady = -1;
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      Tensor y = conv.forward(x, Mode::kTrain);
+      if (dy.empty()) dy = random_tensor(y.shape(), data);
+      conv.backward(dy);
+      const int64_t after_train = conv.workspace_bytes();
+      EXPECT_GT(after_train, 0) << "train step must cache workspaces";
+      if (steady < 0) {
+        steady = after_train;
+      } else {
+        // The regression this pins: repeated train/eval cycles must reuse
+        // the cached buffers at a fixed footprint, not reallocate or grow.
+        EXPECT_EQ(after_train, steady) << "cycle " << cycle;
+      }
+      conv.forward(x, Mode::kEval);
+      EXPECT_EQ(conv.workspace_bytes(), 0)
+          << "eval-mode forward must free cols_/dcols_/ybuf_/dybuf_";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

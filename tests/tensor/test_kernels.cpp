@@ -164,6 +164,252 @@ TEST(KernelReference, SpmmMatchesPR2LoopBitwise) {
   for (size_t i = 0; i < c1.size(); ++i) ASSERT_EQ(c1[i], c2[i]) << i;
 }
 
+// The original ops::im2col loop (pre-engine), natural row pitch.
+void pr3_im2col(const float* in, int64_t channels, int64_t height, int64_t width, int64_t kernel_h,
+                int64_t kernel_w, int64_t stride, int64_t pad, float* out) {
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  const int64_t col_rows = channels * kernel_h * kernel_w;
+  for (int64_t row = 0; row < col_rows; ++row) {
+    const int64_t c = row / (kernel_h * kernel_w);
+    const int64_t rem = row % (kernel_h * kernel_w);
+    const int64_t kh = rem / kernel_w;
+    const int64_t kw = rem % kernel_w;
+    float* out_row = out + row * out_h * out_w;
+    const float* in_c = in + c * height * width;
+    for (int64_t oh = 0; oh < out_h; ++oh) {
+      const int64_t ih = oh * stride - pad + kh;
+      if (ih < 0 || ih >= height) {
+        std::memset(out_row + oh * out_w, 0, static_cast<size_t>(out_w) * sizeof(float));
+        continue;
+      }
+      const float* in_row = in_c + ih * width;
+      for (int64_t ow = 0; ow < out_w; ++ow) {
+        const int64_t iw = ow * stride - pad + kw;
+        out_row[oh * out_w + ow] = (iw >= 0 && iw < width) ? in_row[iw] : 0.0f;
+      }
+    }
+  }
+}
+
+// The original ops::col2im loop (pre-engine), natural row pitch.
+void pr3_col2im(const float* cols, int64_t channels, int64_t height, int64_t width,
+                int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out) {
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* out_c = out + c * height * width;
+    for (int64_t kh = 0; kh < kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < kernel_w; ++kw) {
+        const int64_t row = (c * kernel_h + kh) * kernel_w + kw;
+        const float* col_row = cols + row * out_h * out_w;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) continue;
+          float* out_row = out_c + ih * width;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * stride - pad + kw;
+            if (iw >= 0 && iw < width) out_row[iw] += col_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Conv geometries covering the interior/halo splits: plain, strided, wide
+// pad, 1x1, stride 3, and a 5x5 kernel on a 4x4 image (no pad-free interior
+// at all — the whole expansion is halo).
+struct ColGeom {
+  int64_t c, h, w, kh, kw, stride, pad;
+};
+constexpr ColGeom kColGeoms[] = {
+    {3, 8, 8, 3, 3, 1, 1},  {2, 9, 7, 3, 3, 2, 1}, {1, 6, 6, 5, 5, 1, 2}, {4, 5, 5, 1, 1, 1, 0},
+    {2, 10, 10, 3, 3, 3, 1}, {1, 4, 4, 5, 5, 1, 2}, {2, 7, 7, 1, 1, 2, 0},
+    // Kernel wider than width+pad: taps whose first in-bounds column lies
+    // past out_w (the halo-clamp regression case).
+    {2, 2, 2, 8, 8, 1, 4},
+};
+
+TEST(KernelReference, Im2colCol2imMatchPR3LoopsBitwise) {
+  Rng rng(67);
+  for (const auto& g : kColGeoms) {
+    const int64_t out_h = (g.h + 2 * g.pad - g.kh) / g.stride + 1;
+    const int64_t out_w = (g.w + 2 * g.pad - g.kw) / g.stride + 1;
+    const int64_t col_rows = g.c * g.kh * g.kw;
+    const auto in = random_dense(g.c * g.h * g.w, rng);
+    std::vector<float> cols1(static_cast<size_t>(col_rows * out_h * out_w), -1.0f), cols2 = cols1;
+    im2col_reference(in.data(), g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, cols1.data(),
+                     out_h * out_w);
+    pr3_im2col(in.data(), g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, cols2.data());
+    ASSERT_EQ(0, std::memcmp(cols1.data(), cols2.data(), cols1.size() * sizeof(float)));
+
+    const auto dcols = random_dense(col_rows * out_h * out_w, rng);
+    std::vector<float> im1(static_cast<size_t>(g.c * g.h * g.w)), im2 = im1;
+    col2im_reference(dcols.data(), g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, im1.data(),
+                     out_h * out_w);
+    pr3_col2im(dcols.data(), g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, im2.data());
+    ASSERT_EQ(0, std::memcmp(im1.data(), im2.data(), im1.size() * sizeof(float)));
+  }
+}
+
+// Unlike the arithmetic kernels, the fast im2col/col2im must equal reference
+// BITWISE: im2col is pure data movement and the fast col2im preserves each
+// output element's (kh, kw, oh) accumulation order.
+TEST(KernelParity, Im2colFastBitwiseEqualsReferenceIncludingBatchedPitch) {
+  Rng rng(71);
+  for (const auto& g : kColGeoms) {
+    const int64_t out_h = (g.h + 2 * g.pad - g.kh) / g.stride + 1;
+    const int64_t out_w = (g.w + 2 * g.pad - g.kw) / g.stride + 1;
+    const int64_t hw = out_h * out_w;
+    const int64_t col_rows = g.c * g.kh * g.kw;
+    const int64_t batch = 3;
+    const auto in = random_dense(batch * g.c * g.h * g.w, rng);
+    // Batched pitch: each sample's block sits side by side in one buffer.
+    std::vector<float> fast(static_cast<size_t>(col_rows * batch * hw), -2.0f), ref = fast;
+    for (int64_t i = 0; i < batch; ++i) {
+      im2col_fast(in.data() + i * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad,
+                  fast.data() + i * hw, batch * hw);
+      im2col_reference(in.data() + i * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw, g.stride,
+                       g.pad, ref.data() + i * hw, batch * hw);
+    }
+    ASSERT_EQ(0, std::memcmp(fast.data(), ref.data(), fast.size() * sizeof(float)))
+        << "geom c" << g.c << " k" << g.kh << " s" << g.stride << " p" << g.pad;
+  }
+}
+
+TEST(KernelParity, Col2imFastBitwiseEqualsReferenceIncludingBatchedPitch) {
+  Rng rng(73);
+  for (const auto& g : kColGeoms) {
+    const int64_t out_h = (g.h + 2 * g.pad - g.kh) / g.stride + 1;
+    const int64_t out_w = (g.w + 2 * g.pad - g.kw) / g.stride + 1;
+    const int64_t hw = out_h * out_w;
+    const int64_t col_rows = g.c * g.kh * g.kw;
+    const int64_t batch = 3;
+    const auto dcols = random_dense(col_rows * batch * hw, rng);
+    std::vector<float> fast(static_cast<size_t>(batch * g.c * g.h * g.w)), ref = fast;
+    for (int64_t i = 0; i < batch; ++i) {
+      col2im_fast(dcols.data() + i * hw, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad,
+                  fast.data() + i * g.c * g.h * g.w, batch * hw);
+      col2im_reference(dcols.data() + i * hw, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad,
+                       ref.data() + i * g.c * g.h * g.w, batch * hw);
+    }
+    ASSERT_EQ(0, std::memcmp(fast.data(), ref.data(), fast.size() * sizeof(float)))
+        << "geom c" << g.c << " k" << g.kh << " s" << g.stride << " p" << g.pad;
+  }
+}
+
+// ---- Fused GEMM epilogue ----------------------------------------------------
+
+TEST(GemmEpilogue, FusedBiasAndReluMatchOrderedPostPass) {
+  Rng rng(79);
+  // Shapes straddle the packing threshold indirectly via k*n; both small
+  // (unpacked) and large-ish shapes run the same checks.
+  const int64_t shapes[][3] = {{5, 17, 9}, {24, 33, 48}, {64, 640, 128}};
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], n = s[1], k = s[2];
+    const auto a = random_dense(m * k, rng);
+    const auto b = random_dense(std::max(k * n, n * k), rng);
+    const auto rbias = random_dense(m, rng);
+    const auto cbias = random_dense(n, rng);
+    for (bool tb : {false, true}) {
+      for (bool relu : {false, true}) {
+        GemmEpilogue epi;
+        epi.row_bias = rbias.data();
+        epi.col_bias = cbias.data();
+        epi.relu = relu;
+        // Fused fast call vs plain fast call + ordered post-pass: must be
+        // bitwise-identical (the fused store applies the same operations in
+        // the same order at write-back).
+        std::vector<float> fused(static_cast<size_t>(m * n)), plain(fused);
+        gemm_fast_ex(false, tb, m, n, k, 1.0f, a.data(), b.data(), 0.0f, fused.data(), epi);
+        gemm_fast(false, tb, m, n, k, 1.0f, a.data(), b.data(), 0.0f, plain.data());
+        gemm_epilogue_apply(m, n, plain.data(), epi);
+        for (size_t i = 0; i < fused.size(); ++i) {
+          ASSERT_EQ(fused[i], plain[i]) << "tb " << tb << " relu " << relu << " idx " << i;
+        }
+        if (relu) {
+          for (float v : fused) ASSERT_GE(v, 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEpilogue, ReferenceDispatchAppliesEpilogueIdentically) {
+  Rng rng(83);
+  const int64_t m = 12, n = 21, k = 17;
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  const auto cbias = random_dense(n, rng);
+  GemmEpilogue epi;
+  epi.col_bias = cbias.data();
+  std::vector<float> with_epi(static_cast<size_t>(m * n)), manual(with_epi);
+  {
+    ScopedMode pin(Mode::kReference);
+    ops::gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, with_epi.data(), epi);
+  }
+  gemm_reference(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, manual.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) manual[static_cast<size_t>(i * n + j)] += cbias[j];
+  }
+  for (size_t i = 0; i < with_epi.size(); ++i) ASSERT_EQ(with_epi[i], manual[i]) << i;
+}
+
+// ---- Column panels ----------------------------------------------------------
+
+TEST(CsrPanels, PanelPtrPartitionsEachRowByColumnRange) {
+  Rng rng(89);
+  const int64_t m = 19, k = 700;  // several default-width panels
+  auto w = random_dense(m * k, rng);
+  auto csr = masked_csr(w, m, k, 0.3, rng);
+  sparse::build_panels(csr, sparse::kDefaultPanelWidth);
+  ASSERT_TRUE(csr.has_panels());
+  ASSERT_EQ(csr.panel_width, sparse::kDefaultPanelWidth);
+  const int64_t np = csr.num_panels();
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t* pp = csr.panel_ptr.data() + i * (np + 1);
+    EXPECT_EQ(pp[0], csr.row_ptr[static_cast<size_t>(i)]);
+    EXPECT_EQ(pp[np], csr.row_ptr[static_cast<size_t>(i) + 1]);
+    for (int64_t pan = 0; pan < np; ++pan) {
+      for (int64_t p = pp[pan]; p < pp[pan + 1]; ++p) {
+        const int64_t col = csr.col_idx[static_cast<size_t>(p)];
+        EXPECT_GE(col, pan * csr.panel_width);
+        EXPECT_LT(col, (pan + 1) * csr.panel_width);
+      }
+    }
+  }
+}
+
+TEST(CsrPanels, PanelizedKernelsMatchReferenceAtForcedSmallWidth) {
+  Rng rng(97);
+  // Force several panels at test-sized shapes (the default width would give
+  // one panel and skip the panel loops entirely).
+  const int64_t m = 23, k = 61, n = 19;
+  auto w = random_dense(m * k, rng);
+  auto csr = masked_csr(w, m, k, 0.3, rng);
+  sparse::build_panels(csr, 16);
+  ASSERT_GT(csr.num_panels(), 2);
+
+  const auto b_nk = random_dense(n * k, rng);
+  const auto b_nm = random_dense(n * m, rng);
+  {
+    std::vector<float> cf(static_cast<size_t>(n * m)), cr(cf);
+    spmm_nt_fast(csr, b_nk.data(), n, cf.data());
+    spmm_nt_reference(csr, b_nk.data(), n, cr.data());
+    expect_close(cf, cr, k, "spmm_nt panelized");
+  }
+  {
+    // spmm_dn visits CSR rows in ascending order within the unique panel
+    // holding each output column, so the panel walk is bitwise-identical to
+    // the reference accumulation.
+    std::vector<float> cf(static_cast<size_t>(n * k)), cr(cf);
+    spmm_dn_fast(csr, b_nm.data(), n, cf.data());
+    spmm_dn_reference(csr, b_nm.data(), n, cr.data());
+    EXPECT_EQ(0, std::memcmp(cf.data(), cr.data(), cf.size() * sizeof(float)));
+  }
+}
+
 // ---- Fast vs reference parity ----------------------------------------------
 
 TEST(KernelParity, GemmAllTransposesAcrossTileEdgeShapes) {
@@ -300,6 +546,46 @@ TEST(KernelDeterminism, FastBitwiseStableAcrossThreadCounts) {
 
   EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
   EXPECT_EQ(0, std::memcmp(s1.data(), s2.data(), s1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(float)));
+}
+
+TEST(KernelDeterminism, PackedGemmAndPanelizedCsrStableAcrossThreadCounts) {
+  // Shapes chosen to engage the panel-packed GEMM path (k*n*4 > 256 KiB) and
+  // the multi-panel CSR kernels (cols > the default 256-column panel width).
+  ScopedMode pin(Mode::kFast);
+  Rng rng(101);
+  const int64_t m = 48, n = 600, k = 320;
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(std::max(k * n, n * k), rng);
+  auto w = random_dense(m * 600, rng);
+  auto csr = masked_csr(w, m, 600, 0.15, rng);
+  sparse::build_panels(csr, sparse::kDefaultPanelWidth);  // cols 600 => 3 panels
+  ASSERT_TRUE(csr.has_panels());
+  const auto bx = random_dense(17 * 600, rng);
+  const auto bm = random_dense(17 * m, rng);
+
+  const int old_threads = parallelism();
+  std::vector<float> nn1(static_cast<size_t>(m * n)), nn2(nn1);
+  std::vector<float> nt1(nn1), nt2(nn1);
+  std::vector<float> p1(static_cast<size_t>(17 * m)), p2(p1);
+  std::vector<float> d1(static_cast<size_t>(17 * 600)), d2(d1);
+
+  set_parallelism(1);
+  gemm_fast(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, nn1.data());
+  gemm_fast(false, true, m, n, k, 1.0f, a.data(), b.data(), 0.0f, nt1.data());
+  spmm_nt_fast(csr, bx.data(), 17, p1.data());
+  spmm_dn_fast(csr, bm.data(), 17, d1.data());
+
+  set_parallelism(3);
+  gemm_fast(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, nn2.data());
+  gemm_fast(false, true, m, n, k, 1.0f, a.data(), b.data(), 0.0f, nt2.data());
+  spmm_nt_fast(csr, bx.data(), 17, p2.data());
+  spmm_dn_fast(csr, bm.data(), 17, d2.data());
+  set_parallelism(old_threads);
+
+  EXPECT_EQ(0, std::memcmp(nn1.data(), nn2.data(), nn1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(nt1.data(), nt2.data(), nt1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(p1.data(), p2.data(), p1.size() * sizeof(float)));
   EXPECT_EQ(0, std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(float)));
 }
 
