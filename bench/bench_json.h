@@ -6,8 +6,15 @@
 // Record schema (all fields always present):
 //   {"bench": "<binary>", "kernel": "<kernel or timing label>",
 //    "shape": "MxNxK-style shape string", "density": 0.10,
-//    "mode": "reference" | "fast", "ns_op": 12345.6, "gflops": 1.234}
+//    "mode": "reference" | "fast", "ns_op": 12345.6, "gflops": 1.234,
+//    "git_sha": "abc1234", "host": "runner-01"}
+// git_sha/host are provenance stamps: compare_bench_json.py warns when two
+// files come from different hosts (absolute-time comparisons across hardware
+// are advisory, never a gate). The SHA is baked at configure time
+// (FEDTINY_GIT_SHA_DEFAULT); the FEDTINY_GIT_SHA env overrides it at runtime.
 #pragma once
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,9 +23,25 @@
 
 namespace fedtiny::benchjson {
 
+#ifndef FEDTINY_GIT_SHA_DEFAULT
+#define FEDTINY_GIT_SHA_DEFAULT "unknown"
+#endif
+
+inline std::string git_sha() {
+  const char* env = std::getenv("FEDTINY_GIT_SHA");
+  return (env != nullptr && env[0] != '\0') ? env : FEDTINY_GIT_SHA_DEFAULT;
+}
+
+inline std::string hostname() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? buf : "unknown";
+}
+
 class Writer {
  public:
-  explicit Writer(std::string bench) : bench_(std::move(bench)) {
+  explicit Writer(std::string bench)
+      : bench_(std::move(bench)), sha_(git_sha()), host_(hostname()) {
     const char* path = std::getenv("FEDTINY_BENCH_JSON");
     if (path != nullptr && path[0] != '\0') file_ = std::fopen(path, "a");
   }
@@ -39,14 +62,17 @@ class Writer {
     const double gflops = ms_op > 0.0 ? flops / (ms_op * 1e-3) / 1e9 : 0.0;
     std::fprintf(file_,
                  "{\"bench\":\"%s\",\"kernel\":\"%s\",\"shape\":\"%s\",\"density\":%.4f,"
-                 "\"mode\":\"%s\",\"ns_op\":%.1f,\"gflops\":%.3f}\n",
+                 "\"mode\":\"%s\",\"ns_op\":%.1f,\"gflops\":%.3f,"
+                 "\"git_sha\":\"%s\",\"host\":\"%s\"}\n",
                  bench_.c_str(), kernel.c_str(), shape.c_str(), density, mode.c_str(), ns_op,
-                 gflops);
+                 gflops, sha_.c_str(), host_.c_str());
     std::fflush(file_);
   }
 
  private:
   std::string bench_;
+  std::string sha_;
+  std::string host_;
   std::FILE* file_ = nullptr;
 };
 

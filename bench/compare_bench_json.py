@@ -11,6 +11,11 @@ so regressions are a signal to look at, not a gate. Hard perf gates live in
 the benches themselves (bench_sparse_kernels / bench_sparse_backward exit
 non-zero when fast stops beating reference at the gated densities).
 
+Records carry provenance stamps ("host", "git_sha" — see bench_json.h);
+when both files name a host and they differ, the script prints a prominent
+cross-host warning: absolute-time comparisons across hardware are advisory,
+and --fail-threshold refuses to gate on them.
+
 --fail-threshold PCT turns the comparison into a gate: exit non-zero when
 any matched record regressed by more than PCT percent (e.g.
 ``--fail-threshold 25`` fails on >1.25x ns_op). Intended for same-host
@@ -57,9 +62,25 @@ def main():
         print(f"WARN input unreadable ({err}); nothing to compare")
         return 0
 
+    def stamps(records, field):
+        return {rec.get(field) for rec in records.values() if rec.get(field)}
+
+    base_hosts, new_hosts = stamps(base, "host"), stamps(new, "host")
+    cross_host = bool(base_hosts and new_hosts and base_hosts != new_hosts)
+    if cross_host:
+        print(f"WARN cross-host comparison: baseline from {sorted(base_hosts)}, "
+              f"new from {sorted(new_hosts)} — absolute-time deltas are advisory")
+    base_shas, new_shas = stamps(base, "git_sha"), stamps(new, "git_sha")
+    if base_shas and new_shas and base_shas != new_shas:
+        print(f"note: comparing git {sorted(base_shas)} -> {sorted(new_shas)}")
+
     fail_factor = None
     if args.fail_threshold is not None:
-        fail_factor = 1.0 + args.fail_threshold / 100.0
+        if cross_host:
+            print("WARN --fail-threshold ignored: refusing to gate a cross-host "
+                  "comparison (rerun both files on one machine to gate)")
+        else:
+            fail_factor = 1.0 + args.fail_threshold / 100.0
 
     regressions = improvements = failures = 0
     for key, rec in sorted(new.items()):

@@ -34,6 +34,19 @@ void usage() {
       "  --sparse-exec F       CSR forward below density F at eval (default 0 = dense)\n"
       "  --sparse-train        masked sparse local SGD (needs --sparse-exec > 0)\n"
       "  --kernels M           kernel engine: reference|fast (default fast)\n"
+      "  Simulated deployment (default: ideal fleet, all times 0):\n"
+      "  --sim-device-flops F  mean device speed, FLOP/s (0 = infinite)\n"
+      "  --sim-bandwidth F     mean link bandwidth, bytes/s (0 = infinite)\n"
+      "  --sim-latency F       per-transfer latency, seconds\n"
+      "  --sim-het F           log-uniform per-client spread factor (1 = none)\n"
+      "  --sim-stragglers F    straggler fraction [0,1]\n"
+      "  --sim-slowdown F      straggler slowdown factor (default 10)\n"
+      "  --availability F      per-round check-in probability (default 1)\n"
+      "  --dropout F           mid-round dropout probability (default 0)\n"
+      "  --deadline F          round deadline, simulated seconds (0 = none)\n"
+      "  --async               async overlapping rounds (FedBuff-style)\n"
+      "  --async-m N           arrivals aggregated per async round (0 = half cohort)\n"
+      "  --staleness-alpha F   staleness discount exponent (default 0.5)\n"
       "  --save-prefix P   write P.state.bin and P.mask.bin on success\n"
       "  --help\n"
       "Scale via FEDTINY_SCALE=tiny|small|paper.\n");
@@ -82,6 +95,30 @@ int main(int argc, char** argv) {
       spec.sparse_training = true;
     } else if (std::strcmp(argv[i], "--kernels") == 0) {
       spec.kernels = next("--kernels");
+    } else if (std::strcmp(argv[i], "--sim-device-flops") == 0) {
+      spec.sim.device_flops_per_s = std::atof(next("--sim-device-flops"));
+    } else if (std::strcmp(argv[i], "--sim-bandwidth") == 0) {
+      spec.sim.bandwidth_bps = std::atof(next("--sim-bandwidth"));
+    } else if (std::strcmp(argv[i], "--sim-latency") == 0) {
+      spec.sim.latency_s = std::atof(next("--sim-latency"));
+    } else if (std::strcmp(argv[i], "--sim-het") == 0) {
+      spec.sim.het_spread = std::atof(next("--sim-het"));
+    } else if (std::strcmp(argv[i], "--sim-stragglers") == 0) {
+      spec.sim.straggler_fraction = std::atof(next("--sim-stragglers"));
+    } else if (std::strcmp(argv[i], "--sim-slowdown") == 0) {
+      spec.sim.straggler_slowdown = std::atof(next("--sim-slowdown"));
+    } else if (std::strcmp(argv[i], "--availability") == 0) {
+      spec.sim.availability = std::atof(next("--availability"));
+    } else if (std::strcmp(argv[i], "--dropout") == 0) {
+      spec.sim.dropout = std::atof(next("--dropout"));
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      spec.sim.deadline_s = std::atof(next("--deadline"));
+    } else if (std::strcmp(argv[i], "--async") == 0) {
+      spec.sim.async_rounds = true;
+    } else if (std::strcmp(argv[i], "--async-m") == 0) {
+      spec.sim.async_aggregate_m = std::atoi(next("--async-m"));
+    } else if (std::strcmp(argv[i], "--staleness-alpha") == 0) {
+      spec.sim.staleness_alpha = std::atof(next("--staleness-alpha"));
     } else if (std::strcmp(argv[i], "--save-prefix") == 0) {
       save_prefix = next("--save-prefix");
       spec.capture_final = true;
@@ -112,6 +149,10 @@ int main(int argc, char** argv) {
     std::printf("memory_MB       %.4f (dense: %.4f)\n", result.memory_mb(),
                 result.dense_memory_mb());
     std::printf("comm_total_MB   %.3f\n", result.total_comm_bytes / (1024.0 * 1024.0));
+    if (result.sim_time_s > 0.0) {
+      std::printf("sim_time_s      %.2f (simulated wall-clock of the whole run)\n",
+                  result.sim_time_s);
+    }
     if (result.selected_candidate >= 0) {
       std::printf("selected coarse candidate: %d\n", result.selected_candidate);
     }

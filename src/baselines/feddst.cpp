@@ -45,15 +45,14 @@ void FedDSTTrainer::after_aggregate(int round) {
   }
 }
 
-double FedDSTTrainer::extra_device_flops(int round) {
+double FedDSTTrainer::extra_device_flops(int round, const fl::RoundPlan& plan) {
   if (!schedule_.is_pruning_round(round)) return 0.0;
   // Recovery fine-tuning (paper: grown weights need extra epochs before
   // upload): one extra sparse epoch, plus one batch whose weight-backward
-  // is dense for the entire model (local mask adjustment).
-  int64_t total = 0;
-  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
+  // is dense for the entire model (local mask adjustment). Mean local size
+  // is the cohort's: under sampling only scheduled devices fine-tune.
   const double mean_size =
-      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+      plan.total_samples / static_cast<double>(std::max(1, plan.effective_participants));
   const auto densities = layer_densities();
   const double sparse_train = cost_.sparse_training_flops(densities);
   const double dense_fwd = static_cast<double>(cost_.dense_forward_flops());
@@ -62,11 +61,12 @@ double FedDSTTrainer::extra_device_flops(int round) {
          static_cast<double>(config_.batch_size) * (sparse_train + dense_fwd - sparse_fwd);
 }
 
-double FedDSTTrainer::extra_comm_bytes(int round) {
+double FedDSTTrainer::extra_comm_bytes(int round, const fl::RoundPlan& plan) {
   if (!schedule_.is_pruning_round(round)) return 0.0;
   const auto quota = quotas(round);
   const int64_t total = std::accumulate(quota.begin(), quota.end(), int64_t{0});
-  return static_cast<double>(config_.num_clients) * metrics::topk_gradient_bytes(total);
+  // Gradient uploads come from the cohort, not the whole fleet.
+  return static_cast<double>(plan.participants) * metrics::topk_gradient_bytes(total);
 }
 
 }  // namespace fedtiny::baselines

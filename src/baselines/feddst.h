@@ -25,8 +25,8 @@ class FedDSTTrainer : public fl::FederatedTrainer {
  protected:
   std::vector<int64_t> pruned_grad_quota(int round) override;
   void after_aggregate(int round) override;
-  double extra_device_flops(int round) override;
-  double extra_comm_bytes(int round) override;
+  double extra_device_flops(int round, const fl::RoundPlan& plan) override;
+  double extra_comm_bytes(int round, const fl::RoundPlan& plan) override;
 
  private:
   std::vector<int64_t> quotas(int round);

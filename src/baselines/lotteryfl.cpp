@@ -39,14 +39,12 @@ void LotteryFLTrainer::after_aggregate(int round) {
   global_ = model_.state();
 }
 
-double LotteryFLTrainer::extra_device_flops(int round) {
+double LotteryFLTrainer::extra_device_flops(int round, const fl::RoundPlan& plan) {
   (void)round;
   // Devices always train the dense model; report the difference between
-  // dense and masked-sparse training cost.
-  int64_t total = 0;
-  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
+  // dense and masked-sparse training cost, at the cohort's mean local size.
   const double mean_size =
-      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+      plan.total_samples / static_cast<double>(std::max(1, plan.effective_participants));
   const double dense = cost_.dense_training_flops();
   const double sparse = cost_.sparse_training_flops(layer_densities());
   return static_cast<double>(config_.local_epochs) * mean_size * (dense - sparse);

@@ -20,7 +20,7 @@ class LotteryFLTrainer : public fl::FederatedTrainer {
 
  protected:
   void after_aggregate(int round) override;
-  double extra_device_flops(int round) override;
+  double extra_device_flops(int round, const fl::RoundPlan& plan) override;
 
  private:
   core::PruningSchedule schedule_;

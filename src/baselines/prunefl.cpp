@@ -38,24 +38,24 @@ void PruneFLTrainer::after_aggregate(int round) {
   }
 }
 
-double PruneFLTrainer::extra_device_flops(int round) {
+double PruneFLTrainer::extra_device_flops(int round, const fl::RoundPlan& plan) {
   if (!schedule_.is_pruning_round(round)) return 0.0;
   // On pruning rounds every local iteration computes dense weight gradients:
   // forward and input-backward stay sparse, the weight-backward is dense.
-  // Extra over masked training = (dense - sparse) forward-equivalent.
-  int64_t total = 0;
-  for (const auto& p : partitions_) total += static_cast<int64_t>(p.size());
+  // Extra over masked training = (dense - sparse) forward-equivalent. The
+  // mean local size is the cohort's, not the fleet's: under sampling only
+  // the scheduled devices pay the dense-backward premium.
   const double mean_size =
-      static_cast<double>(total) / static_cast<double>(std::max(1, config_.num_clients));
+      plan.total_samples / static_cast<double>(std::max(1, plan.effective_participants));
   const double dense_fwd = static_cast<double>(cost_.dense_forward_flops());
   const double sparse_fwd = cost_.sparse_forward_flops(layer_densities());
   return static_cast<double>(config_.local_epochs) * mean_size * (dense_fwd - sparse_fwd);
 }
 
-double PruneFLTrainer::extra_comm_bytes(int round) {
+double PruneFLTrainer::extra_comm_bytes(int round, const fl::RoundPlan& plan) {
   if (!schedule_.is_pruning_round(round)) return 0.0;
-  // Dense score upload per device.
-  return static_cast<double>(config_.num_clients) * metrics::dense_model_bytes(cost_);
+  // Dense score upload per scheduled device (the cohort, not the fleet).
+  return static_cast<double>(plan.participants) * metrics::dense_model_bytes(cost_);
 }
 
 }  // namespace fedtiny::baselines

@@ -21,8 +21,8 @@ class PruneFLTrainer : public fl::FederatedTrainer {
  protected:
   std::vector<int64_t> pruned_grad_quota(int round) override;
   void after_aggregate(int round) override;
-  double extra_device_flops(int round) override;
-  double extra_comm_bytes(int round) override;
+  double extra_device_flops(int round, const fl::RoundPlan& plan) override;
+  double extra_comm_bytes(int round, const fl::RoundPlan& plan) override;
 
  private:
   core::PruningSchedule schedule_;

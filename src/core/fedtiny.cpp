@@ -86,7 +86,8 @@ void FedTinyTrainer::after_aggregate(int round) {
   // Base class re-applies the (adjusted) mask to the global state.
 }
 
-double FedTinyTrainer::extra_device_flops(int round) {
+double FedTinyTrainer::extra_device_flops(int round, const fl::RoundPlan& plan) {
+  (void)plan;  // per-device: one extra batch, independent of cohort size
   if (!ft_config_.progressive_pruning || !ft_config_.schedule.is_pruning_round(round)) return 0.0;
   // One extra batch whose backward computes dense weight gradients for the
   // scheduled block's layers (everything else stays sparse).
@@ -104,11 +105,12 @@ double FedTinyTrainer::extra_device_flops(int round) {
   return static_cast<double>(config().batch_size) * (sparse + dense_block_extra);
 }
 
-double FedTinyTrainer::extra_comm_bytes(int round) {
+double FedTinyTrainer::extra_comm_bytes(int round, const fl::RoundPlan& plan) {
   if (!ft_config_.progressive_pruning || !ft_config_.schedule.is_pruning_round(round)) return 0.0;
   const auto quota = quotas_for_round(round);
   const int64_t total = std::accumulate(quota.begin(), quota.end(), int64_t{0});
-  return static_cast<double>(config().num_clients) * metrics::topk_gradient_bytes(total);
+  // Gradient uploads come from the round's cohort, not the whole fleet.
+  return static_cast<double>(plan.participants) * metrics::topk_gradient_bytes(total);
 }
 
 }  // namespace fedtiny::core

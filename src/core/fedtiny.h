@@ -40,8 +40,8 @@ class FedTinyTrainer : public fl::FederatedTrainer {
  protected:
   std::vector<int64_t> pruned_grad_quota(int round) override;
   void after_aggregate(int round) override;
-  double extra_device_flops(int round) override;
-  double extra_comm_bytes(int round) override;
+  double extra_device_flops(int round, const fl::RoundPlan& plan) override;
+  double extra_comm_bytes(int round, const fl::RoundPlan& plan) override;
 
  private:
   /// Prunable-layer positions in the block scheduled for this round.

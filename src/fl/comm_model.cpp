@@ -1,0 +1,74 @@
+#include "fl/comm_model.h"
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace fedtiny::fl {
+
+namespace {
+
+// Stream tags keep the simulation draws independent of every other consumer
+// of the (seed, round, client) counter space (local training, scheduler,
+// partitioning all use their own tags).
+constexpr uint64_t kProfileTag = 0x51dca7eULL;    // per-client device/link
+constexpr uint64_t kAvailTag = 0xa7a11ab1eULL;    // per-(round, client)
+constexpr uint64_t kDropoutTag = 0xd203b07ULL;    // per-(round, client)
+
+}  // namespace
+
+CommModel::CommModel(const SimConfig& sim, uint64_t seed, int num_clients)
+    : sim_(sim), seed_(seed) {
+  profiles_.resize(static_cast<size_t>(num_clients < 0 ? 0 : num_clients));
+  for (int k = 0; k < num_clients; ++k) {
+    Rng rng(derive_seed(seed, static_cast<uint64_t>(k), kProfileTag), /*stream=*/0x9f0f11e);
+    DeviceLink& p = profiles_[static_cast<size_t>(k)];
+    // Log-uniform heterogeneity factor in [1/spread, spread]: multiplicative
+    // spread is symmetric around the fleet mean (a 4x-slow device is as
+    // likely as a 4x-fast one). Speed and bandwidth draw independently — a
+    // fast CPU behind a slow uplink is a real device class.
+    const double spread = sim.het_spread > 1.0 ? sim.het_spread : 1.0;
+    const double log_span = std::log(spread);
+    const double speed_mult = std::exp((2.0 * rng.uniform() - 1.0) * log_span);
+    const double bw_mult = std::exp((2.0 * rng.uniform() - 1.0) * log_span);
+    p.straggler = rng.uniform() < sim.straggler_fraction;
+    const double slow =
+        p.straggler && sim.straggler_slowdown > 1.0 ? sim.straggler_slowdown : 1.0;
+    p.flops_per_s = sim.device_flops_per_s > 0.0 ? sim.device_flops_per_s * speed_mult / slow : 0.0;
+    p.bandwidth_bps = sim.bandwidth_bps > 0.0 ? sim.bandwidth_bps * bw_mult / slow : 0.0;
+    p.latency_s = sim.latency_s > 0.0 ? sim.latency_s : 0.0;
+  }
+}
+
+double CommModel::transfer_s(int client, double bytes) const {
+  const DeviceLink& p = profile(client);
+  double t = p.latency_s;
+  if (p.bandwidth_bps > 0.0 && bytes > 0.0) t += bytes / p.bandwidth_bps;
+  return t;
+}
+
+double CommModel::train_s(int client, double flops) const {
+  const DeviceLink& p = profile(client);
+  if (p.flops_per_s <= 0.0 || flops <= 0.0) return 0.0;
+  return flops / p.flops_per_s;
+}
+
+bool CommModel::available(int round, int client) const {
+  if (sim_.availability >= 1.0) return true;
+  Rng rng(derive_seed(derive_seed(seed_, static_cast<uint64_t>(round),
+                                  static_cast<uint64_t>(client)),
+                      kAvailTag, 0),
+          /*stream=*/0xa11ce);
+  return rng.uniform() < sim_.availability;
+}
+
+bool CommModel::drops_out(int round, int client) const {
+  if (sim_.dropout <= 0.0) return false;
+  Rng rng(derive_seed(derive_seed(seed_, static_cast<uint64_t>(round),
+                                  static_cast<uint64_t>(client)),
+                      kDropoutTag, 0),
+          /*stream=*/0xd20d);
+  return rng.uniform() < sim_.dropout;
+}
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,66 @@
+// Per-link communication + device-speed model for the simulated federation.
+//
+// CommModel turns the analytic FLOP cost and the measured payload bytes of a
+// round into per-client simulated durations:
+//
+//   download_s = latency + bytes / bandwidth_k
+//   train_s    = flops / device_flops_k
+//   upload_s   = latency + bytes / bandwidth_k
+//
+// where bandwidth_k and device_flops_k are per-client values: the configured
+// fleet means scaled by a log-uniform heterogeneity factor and (for the
+// configured straggler fraction) a straggler slowdown, both drawn once per
+// client from counter-based (seed, client) RNG streams. Availability and
+// mid-round dropout are per-(round, client) draws from their own streams.
+// Every draw is a pure function of the counters — never of execution order
+// or wall time — so simulated schedules are bitwise-reproducible from
+// (seed, config) at any worker count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fl/config.h"
+
+namespace fedtiny::fl {
+
+/// One client's resolved simulation profile.
+struct DeviceLink {
+  double flops_per_s = 0.0;    // 0 = infinitely fast
+  double bandwidth_bps = 0.0;  // bytes/s; 0 = infinite
+  double latency_s = 0.0;
+  bool straggler = false;
+};
+
+class CommModel {
+ public:
+  CommModel(const SimConfig& sim, uint64_t seed, int num_clients);
+
+  /// Client k's device/link profile (derived once, cached).
+  [[nodiscard]] const DeviceLink& profile(int client) const {
+    return profiles_[static_cast<size_t>(client)];
+  }
+
+  /// Simulated transfer time for `bytes` over client k's link (either
+  /// direction; the link is modeled symmetric).
+  [[nodiscard]] double transfer_s(int client, double bytes) const;
+  /// Simulated local-training time for `flops` on client k's device.
+  [[nodiscard]] double train_s(int client, double flops) const;
+
+  /// Whether client k checks in when sampled at round `round`.
+  [[nodiscard]] bool available(int round, int client) const;
+  /// Whether client k dies mid-round at round `round` (after download,
+  /// before upload).
+  [[nodiscard]] bool drops_out(int round, int client) const;
+
+  [[nodiscard]] const SimConfig& config() const { return sim_; }
+  /// Ideal fleet: all durations zero, nobody unavailable or dropped.
+  [[nodiscard]] bool ideal() const { return sim_.ideal(); }
+
+ private:
+  SimConfig sim_;
+  uint64_t seed_;
+  std::vector<DeviceLink> profiles_;
+};
+
+}  // namespace fedtiny::fl

@@ -6,6 +6,75 @@
 
 namespace fedtiny::fl {
 
+/// Simulated-deployment model: per-client device speed and link quality,
+/// cohort realism (availability, mid-round dropout, deadlines), and async
+/// round overlap. All times are *simulated* — derived from the analytic
+/// FLOP model and the measured/analytic payload bytes on a discrete-event
+/// clock (fl/simclock.h), never from wall time — so every run, sync or
+/// async, is bitwise-reproducible from (seed, config) at any worker count.
+///
+/// The default-constructed SimConfig is the *ideal* fleet: infinitely fast
+/// devices, zero-latency links, every client always available, no dropout,
+/// no deadline, synchronous rounds. The trainer's sync path under the ideal
+/// model reproduces the historical lock-step engine bitwise.
+struct SimConfig {
+  // ---- Device & link model (0 = ideal/instantaneous) ----
+  /// Mean device training throughput in FLOP/s (0 = infinitely fast).
+  double device_flops_per_s = 0.0;
+  /// Mean link bandwidth in bytes/s (0 = infinite).
+  double bandwidth_bps = 0.0;
+  /// Fixed per-transfer link latency in seconds (applied to both the
+  /// downlink and the uplink).
+  double latency_s = 0.0;
+  /// Per-client heterogeneity: each client's device speed and bandwidth are
+  /// scaled by an independent log-uniform factor in [1/spread, spread],
+  /// drawn once per client from the (seed, client) stream. 1 = homogeneous.
+  double het_spread = 1.0;
+  /// Fraction of clients that are stragglers: their device speed and
+  /// bandwidth are additionally divided by straggler_slowdown. Membership
+  /// is a per-client draw from the (seed, client) stream.
+  double straggler_fraction = 0.0;
+  double straggler_slowdown = 10.0;
+
+  // ---- Cohort realism ----
+  /// Probability a sampled client checks in at round dispatch; drawn per
+  /// (round, client). Unavailable clients never download (no comm charged)
+  /// and FedAvg weights renormalize over the survivors.
+  double availability = 1.0;
+  /// Probability a participating client dies mid-round (after downloading,
+  /// before uploading); drawn per (round, client). Its downlink is charged,
+  /// its update is lost, weights renormalize.
+  double dropout = 0.0;
+  /// Per-round deadline in simulated seconds (relative to round dispatch).
+  /// Clients whose upload would arrive later are dropped as stragglers and
+  /// weights renormalize. 0 = wait for every survivor.
+  double deadline_s = 0.0;
+
+  // ---- Async rounds ----
+  /// Overlapping rounds: the server aggregates the first
+  /// `async_aggregate_m` uplink arrivals (FedBuff-style buffer), advances
+  /// the global model, and immediately dispatches the next cohort while
+  /// stragglers keep training against stale state. Their late arrivals fold
+  /// into later aggregations with staleness-discounted weights.
+  bool async_rounds = false;
+  /// Arrivals folded per aggregation, clamped to the uplinks actually
+  /// pending on the clock (a backlog of stragglers can exceed one cohort);
+  /// 0 = half the dispatched cohort.
+  int async_aggregate_m = 0;
+  /// Staleness discount exponent: an arrival dispatched at round r0 and
+  /// aggregated at round r weighs n_k * (1 + r - r0)^-alpha (0 = no
+  /// discount; fresh arrivals always have discount 1).
+  double staleness_alpha = 0.5;
+
+  /// True when every knob is at its ideal default (no timing model, full
+  /// availability, no dropout/deadline, synchronous rounds).
+  [[nodiscard]] bool ideal() const {
+    return device_flops_per_s <= 0.0 && bandwidth_bps <= 0.0 && latency_s <= 0.0 &&
+           het_spread <= 1.0 && straggler_fraction <= 0.0 && availability >= 1.0 &&
+           dropout <= 0.0 && deadline_s <= 0.0 && !async_rounds;
+  }
+};
+
 struct FLConfig {
   int num_clients = 10;      // K (paper: 10)
   int rounds = 60;           // paper: 300 (CIFAR) / 200 (SVHN)
@@ -52,6 +121,12 @@ struct FLConfig {
   /// weights renormalized over the sample. m >= K reproduces the
   /// full-participation round loop bitwise.
   int clients_per_round = 0;
+
+  // ---- Simulated deployment (event-driven federation core) ----
+  /// Device/link timing model, cohort realism, and async-round knobs. The
+  /// default is the ideal fleet, under which the sync round loop reproduces
+  /// the historical engine bitwise.
+  SimConfig sim;
 };
 
 }  // namespace fedtiny::fl

@@ -36,6 +36,7 @@ RoundPlan plan_round(const FLConfig& config, const std::vector<int64_t>& partiti
   }
 
   plan.participants = static_cast<int>(chosen.size());
+  plan.effective_participants = plan.participants;
   for (int c : chosen) {
     const auto size = partition_sizes[static_cast<size_t>(c)];
     plan.total_samples += static_cast<double>(size);

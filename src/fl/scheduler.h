@@ -1,5 +1,6 @@
 // Federated round scheduler: decides which clients participate in a round
-// and with what FedAvg weight denominator.
+// and with what FedAvg weight denominator, and — once the simulation layer
+// annotates it — which of them actually deliver an update and when.
 //
 // Full participation (clients_per_round == 0) reproduces the historical
 // round loop exactly. Sampling draws m distinct clients from a dedicated
@@ -8,6 +9,12 @@
 // count, and m == K degenerates to full participation bitwise (the sorted
 // m-of-K sample is then 0..K-1 and the weight denominator accumulates the
 // same sizes in the same order).
+//
+// Cohort realism (fl/simclock.h::simulate_round) then fills the plan's
+// per-client schedule: availability, mid-round dropout, per-link simulated
+// download/train/upload durations, and deadline enforcement, rewriting
+// `clients`/`total_samples` to the surviving cohort so FedAvg weights
+// renormalize over the clients whose updates actually arrive.
 #pragma once
 
 #include <cstdint>
@@ -17,19 +24,61 @@
 
 namespace fedtiny::fl {
 
+/// Why a scheduled client's update never reached the server this round.
+enum class DropCause : uint8_t {
+  kNone = 0,     // survived: update arrives
+  kUnavailable,  // never checked in at dispatch (no download)
+  kDropout,      // died mid-round (downloaded, never uploaded)
+  kDeadline,     // upload would arrive after the round deadline
+};
+
+/// One scheduled client's simulated round trip (fl/simclock.h fills it).
+struct ClientSim {
+  int client = -1;
+  DropCause drop = DropCause::kNone;
+  double download_s = 0.0;  // simulated durations
+  double train_s = 0.0;
+  double upload_s = 0.0;
+  /// Absolute simulated server-receipt time (dispatch + the three legs);
+  /// meaningful unless drop == kUnavailable.
+  double arrival_s = 0.0;
+};
+
 /// One round's participation decision.
 struct RoundPlan {
   /// Participating clients with non-empty partitions, ascending ids (the
-  /// aggregation reduces in this order for bitwise determinism).
+  /// aggregation reduces in this order for bitwise determinism). After
+  /// simulate_round() this is the *surviving* cohort only.
   std::vector<int> clients;
   /// Devices charged for this round's cost accounting: the sampled count
   /// (empty partitions included) under sampling, K otherwise.
   int participants = 0;
+  /// Devices whose samples total_samples actually covers: participants
+  /// until simulate_round runs, then participants minus the dropped
+  /// clients. Per-device means divide by this, not participants, so cohort
+  /// realism does not dilute the mean local size.
+  int effective_participants = 0;
   /// FedAvg weight denominator: total samples held by the participants
-  /// (empty partitions contribute zero, as in the historical loop).
+  /// (empty partitions contribute zero, as in the historical loop). After
+  /// simulate_round() it covers the surviving cohort only, renormalizing
+  /// the weights over the updates that actually arrive.
   double total_samples = 0.0;
   /// Whether subsampling was active this round.
   bool sampled = false;
+
+  // ---- Filled by simulate_round (fl/simclock.h). ----
+  /// Per-client simulated round trips, one entry per pre-realism trainable
+  /// participant, ascending client id. Empty until simulate_round runs (and
+  /// left empty by it under the ideal model, where nothing can drop and all
+  /// durations are zero).
+  std::vector<ClientSim> schedule;
+  int unavailable = 0;  // never checked in
+  int dropouts = 0;     // died mid-round
+  int stragglers = 0;   // dropped by the deadline
+  /// Simulated duration of a synchronous barrier on this plan: latest
+  /// surviving arrival relative to dispatch (the deadline if a straggler
+  /// was cut and outlived every survivor). 0 under the ideal model.
+  double duration_s = 0.0;
 };
 
 /// Sample size for a config: 0 when sampling is off, else clamped to [1, K].

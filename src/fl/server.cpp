@@ -1,11 +1,19 @@
 #include "fl/server.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace fedtiny::fl {
 
 void StateAccumulator::add(const std::vector<Tensor>& state, double weight) {
-  assert(sparse_sum_.empty() && "do not mix dense and sparse accumulation");
+  // The two ingestion paths are mutually exclusive per accumulation; mixing
+  // them would silently average incompatible representations, so it is a
+  // hard error in release builds too (not just an assert).
+  if (!sparse_sum_.empty() || !sparse_dense_sum_.empty()) {
+    throw std::logic_error(
+        "StateAccumulator: add() after add_sparse() — the dense and sparse "
+        "ingestion paths must not be mixed in one accumulation");
+  }
   if (sum_.empty()) {
     sum_.reserve(state.size());
     for (const auto& t : state) sum_.emplace_back(t.shape());
@@ -23,7 +31,11 @@ void StateAccumulator::add(const std::vector<Tensor>& state, double weight) {
 }
 
 void StateAccumulator::add_sparse(const SparseUpdatePayload& update, double weight) {
-  assert(sum_.empty() && "do not mix dense and sparse accumulation");
+  if (!sum_.empty()) {
+    throw std::logic_error(
+        "StateAccumulator: add_sparse() after add() — the dense and sparse "
+        "ingestion paths must not be mixed in one accumulation");
+  }
   if (sparse_sum_.empty() && sparse_dense_sum_.empty()) {
     sparse_sum_.reserve(update.sparse_layers.size());
     for (const auto& layer : update.sparse_layers) {

@@ -16,6 +16,9 @@ namespace fedtiny::fl {
 ///   - add(): dense client states (all tensor shapes identical);
 ///   - add_sparse(): SparseUpdatePayload uplinks, accumulated compactly in
 ///     O(nnz) per client without densifying, averaged by average_sparse().
+/// Mixing the two in one accumulation throws std::logic_error (release
+/// builds included — silently averaging incompatible representations is
+/// worse than aborting the round).
 /// Per-coordinate arithmetic is identical across the two paths, so a sparse
 /// round aggregates bitwise the same as its dense oracle.
 class StateAccumulator {

@@ -1,0 +1,85 @@
+#include "fl/simclock.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fedtiny::fl {
+
+void simulate_round(RoundPlan& plan, const CommModel& comm, int round, double dispatch_s,
+                    double down_bytes, double up_bytes,
+                    const std::vector<double>& train_flops,
+                    const std::vector<int64_t>& partition_sizes) {
+  plan.schedule.clear();
+  plan.unavailable = plan.dropouts = plan.stragglers = 0;
+  plan.duration_s = 0.0;
+  if (comm.ideal()) return;  // nothing can drop, every duration is zero
+
+  assert(train_flops.size() == plan.clients.size());
+  const double deadline = comm.config().deadline_s;
+
+  std::vector<int> survivors;
+  survivors.reserve(plan.clients.size());
+  double latest_arrival = dispatch_s;
+  bool any_straggler_cut = false;
+
+  plan.schedule.reserve(plan.clients.size());
+  for (size_t i = 0; i < plan.clients.size(); ++i) {
+    ClientSim cs;
+    cs.client = plan.clients[i];
+    if (!comm.available(round, cs.client)) {
+      cs.drop = DropCause::kUnavailable;
+      ++plan.unavailable;
+      plan.schedule.push_back(cs);
+      continue;
+    }
+    cs.download_s = comm.transfer_s(cs.client, down_bytes);
+    cs.train_s = comm.train_s(cs.client, train_flops[i]);
+    cs.upload_s = comm.transfer_s(cs.client, up_bytes);
+    cs.arrival_s = dispatch_s + cs.download_s + cs.train_s + cs.upload_s;
+    if (comm.drops_out(round, cs.client)) {
+      cs.drop = DropCause::kDropout;
+      ++plan.dropouts;
+      // A sync server cannot observe the death; model it noticing at the
+      // client's would-be completion (capped by the deadline when one is
+      // set), so silent deaths still cost barrier time.
+      const double noticed = deadline > 0.0
+                                 ? std::min(cs.arrival_s, dispatch_s + deadline)
+                                 : cs.arrival_s;
+      latest_arrival = std::max(latest_arrival, noticed);
+    } else if (deadline > 0.0 && cs.arrival_s - dispatch_s > deadline) {
+      cs.drop = DropCause::kDeadline;
+      ++plan.stragglers;
+      any_straggler_cut = true;
+    } else {
+      survivors.push_back(cs.client);
+      latest_arrival = std::max(latest_arrival, cs.arrival_s);
+    }
+    plan.schedule.push_back(cs);
+  }
+
+  // FedAvg weights renormalize over the updates that actually arrive: the
+  // denominator is rebuilt from the surviving cohort. When nobody dropped
+  // the sum re-accumulates the same sizes in the same ascending order the
+  // planner used, so it is bitwise identical to the planner's value.
+  if (survivors.size() != plan.clients.size()) {
+    plan.clients = std::move(survivors);
+    plan.total_samples = 0.0;
+    for (int c : plan.clients) {
+      plan.total_samples += static_cast<double>(partition_sizes[static_cast<size_t>(c)]);
+    }
+  }
+  // total_samples now covers the survivors only; per-device means must
+  // divide by the matching head count (the scheduled cohort minus drops,
+  // which keeps any sampled empty-partition clients in the denominator
+  // exactly as the planner did).
+  plan.effective_participants =
+      plan.participants - plan.unavailable - plan.dropouts - plan.stragglers;
+
+  // Sync-barrier duration: the server waits for the latest surviving upload
+  // — or, when a straggler was cut, at least until the deadline expires
+  // (the server cannot know earlier that nothing more is coming).
+  plan.duration_s = latest_arrival - dispatch_s;
+  if (any_straggler_cut) plan.duration_s = std::max(plan.duration_s, deadline);
+}
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,98 @@
+// Deterministic discrete-event clock for the simulated federation.
+//
+// The clock is *simulated*: time only moves when an event is consumed, and
+// event timestamps are pure functions of (seed, config) — the analytic FLOP
+// model and payload bytes through fl/comm_model.h — never wall time. Events
+// are totally ordered by (time, round, client), so two uploads landing at
+// the same simulated instant (e.g. every arrival in the ideal zero-latency
+// fleet) are consumed in (round, client) order and the whole simulation is
+// bitwise-reproducible at any worker count.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "fl/comm_model.h"
+#include "fl/scheduler.h"
+
+namespace fedtiny::fl {
+
+/// An uplink arrival at the server: client `client`, dispatched in round
+/// `round`, whose trained update reaches the server at simulated `time_s`.
+/// `slot` indexes the trainer's pending-result pool.
+struct SimEvent {
+  double time_s = 0.0;
+  int round = 0;
+  int client = 0;
+  size_t slot = 0;
+};
+
+/// Strict-weak order for the event heap: earliest time first, ties broken by
+/// (round, client) so the pop order never depends on push order.
+struct SimEventAfter {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    if (a.round != b.round) return a.round > b.round;
+    return a.client > b.client;
+  }
+};
+
+class SimClock {
+ public:
+  [[nodiscard]] double now() const { return now_s_; }
+
+  /// Advance to an absolute simulated time. Time is monotone: advancing to
+  /// the past is a logic error in the event schedule.
+  void advance_to(double t) {
+    assert(t >= now_s_ - 1e-12 && "simulated time must be monotone");
+    if (t > now_s_) now_s_ = t;
+  }
+
+  void push(SimEvent event) { queue_.push(event); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] size_t pending() const { return queue_.size(); }
+  [[nodiscard]] const SimEvent& peek() const { return queue_.top(); }
+
+  /// Pop the earliest event and advance the clock to it.
+  SimEvent pop() {
+    SimEvent e = queue_.top();
+    queue_.pop();
+    advance_to(e.time_s);
+    return e;
+  }
+
+ private:
+  double now_s_ = 0.0;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, SimEventAfter> queue_;
+};
+
+/// Apply cohort realism and per-link timing to a fresh RoundPlan.
+///
+/// For each trainable participant (plan.clients on entry): draw availability
+/// and mid-round dropout from the (seed, round, client) streams, compute the
+/// simulated download/train/upload legs from the comm model, and — when a
+/// deadline is configured — drop clients whose upload would arrive after
+/// `dispatch_s + deadline`. plan.schedule records every participant with
+/// its drop cause and absolute arrival time; plan.clients/total_samples are
+/// rewritten to the surviving cohort (renormalizing FedAvg weights) and the
+/// drop counters and sync-barrier duration_s are filled.
+///
+/// `down_bytes`/`up_bytes` are the per-client payload sizes of this round's
+/// broadcast and uplink (identical across clients: the broadcast is one
+/// serialized buffer and the uplink support is the shared round mask);
+/// `train_flops[i]` is the per-device training cost of plan.clients[i] and
+/// `partition_sizes[k]` the sample count of client k (for renormalizing
+/// total_samples over the survivors).
+///
+/// Under the ideal model this is a no-op beyond zeroing the counters: no
+/// one drops, every duration is zero, and plan.clients is left bitwise
+/// untouched — the contract that makes the sync+ideal path reproduce the
+/// historical engine.
+void simulate_round(RoundPlan& plan, const CommModel& comm, int round, double dispatch_s,
+                    double down_bytes, double up_bytes,
+                    const std::vector<double>& train_flops,
+                    const std::vector<int64_t>& partition_sizes);
+
+}  // namespace fedtiny::fl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "fl/evaluate.h"
 #include "fl/payload.h"
@@ -23,7 +24,8 @@ FederatedTrainer::FederatedTrainer(nn::Model& model, const data::Dataset& train_
       partitions_(std::move(partitions)),
       config_(config),
       cost_(metrics::analyze_model(model)),
-      rng_(config.seed, /*stream=*/0xfed) {
+      rng_(config.seed, /*stream=*/0xfed),
+      comm_(config.sim, config.seed, config.num_clients) {
   assert(static_cast<int>(partitions_.size()) == config_.num_clients);
   mask_ = prune::MaskSet::ones_like(model_);
   global_ = model_.state();
@@ -109,19 +111,69 @@ std::vector<std::vector<prune::ScoredIndex>> FederatedTrainer::topk_pruned_grads
 }
 
 double FederatedTrainer::round_training_flops(int round, const RoundPlan& plan) {
-  // Per-device cost, using the mean size of this round's participants
-  // (paper reports one device; full participation averages over all K).
-  const double mean_size = plan.total_samples / static_cast<double>(std::max(1, plan.participants));
+  // Per-device cost, using the mean size of this round's effective
+  // participants — the head count total_samples actually covers after
+  // cohort realism (paper reports one device; full participation averages
+  // over all K).
+  const double mean_size =
+      plan.total_samples / static_cast<double>(std::max(1, plan.effective_participants));
   const double per_sample = cost_.sparse_training_flops(layer_densities());
   return static_cast<double>(config_.local_epochs) * mean_size * per_sample +
-         extra_device_flops(round);
+         extra_device_flops(round, plan);
 }
 
 double FederatedTrainer::round_comm_bytes_analytic(int round, const RoundPlan& plan) {
   const double model_bytes = dense_storage_ ? metrics::dense_model_bytes(cost_)
                                             : metrics::sparse_model_bytes(cost_, mask_.nnz());
-  // Download + upload per scheduled device.
-  return 2.0 * static_cast<double>(plan.participants) * model_bytes + extra_comm_bytes(round);
+  // Download + upload per scheduled device; the extra-cost hooks likewise
+  // charge the cohort (plan.participants), not the full fleet.
+  return 2.0 * static_cast<double>(plan.participants) * model_bytes +
+         extra_comm_bytes(round, plan);
+}
+
+double FederatedTrainer::downlink_bytes_estimate(size_t wire_bytes) const {
+  if (config_.sparse_exchange) return static_cast<double>(wire_bytes);
+  return dense_storage_ ? metrics::dense_model_bytes(cost_)
+                        : metrics::sparse_model_bytes(cost_, mask_.nnz());
+}
+
+double FederatedTrainer::uplink_bytes_estimate(const std::vector<int64_t>& quota) const {
+  // The uplink support is the shared round mask, so the payload size is
+  // identical across clients and known before anyone trains: measure it by
+  // serializing the current global state at the round support. The top-K
+  // gradient probe rides along analytically (its size depends only on the
+  // quota, not the gradient values).
+  double bytes = 0.0;
+  if (config_.sparse_exchange) {
+    auto update = build_sparse_update(global_, mask_, model_.prunable_indices());
+    bytes = static_cast<double>(serialize(update).size());
+  } else {
+    bytes = dense_storage_ ? metrics::dense_model_bytes(cost_)
+                           : metrics::sparse_model_bytes(cost_, mask_.nnz());
+  }
+  const int64_t total_quota = std::accumulate(quota.begin(), quota.end(), int64_t{0});
+  if (total_quota > 0) bytes += metrics::topk_gradient_bytes(total_quota);
+  return bytes;
+}
+
+std::vector<double> FederatedTrainer::cohort_train_flops(const RoundPlan& plan, int round) {
+  const double per_sample = cost_.sparse_training_flops(layer_densities());
+  const double extra = extra_device_flops(round, plan);
+  std::vector<double> flops(plan.clients.size());
+  for (size_t i = 0; i < plan.clients.size(); ++i) {
+    flops[i] = static_cast<double>(config_.local_epochs) *
+                   static_cast<double>(client_size(plan.clients[i])) * per_sample +
+               extra;
+  }
+  return flops;
+}
+
+std::vector<int64_t> FederatedTrainer::partition_sizes() const {
+  std::vector<int64_t> sizes(partitions_.size());
+  for (size_t k = 0; k < partitions_.size(); ++k) {
+    sizes[k] = static_cast<int64_t>(partitions_[k].size());
+  }
+  return sizes;
 }
 
 int FederatedTrainer::resolve_workers(int active_clients) const {
@@ -141,16 +193,52 @@ nn::Model& FederatedTrainer::worker_model(int worker) {
   return *replicas_[slot];
 }
 
+void FederatedTrainer::train_client_into(nn::Model& model, int client, int round, float lr,
+                                         const std::vector<int64_t>& quota,
+                                         const std::vector<Tensor>& round_start,
+                                         bool keep_dense_state, ClientResult& result) {
+  // Local SGD runs on the CSR sparse path (masked backward + per-step value
+  // refresh) when configured; the top-K probe below still needs dense
+  // pruned-coordinate gradients (the growth signal), so the install is
+  // cleared before it.
+  const bool sparse_train = config_.sparse_training && config_.sparse_exec_max_density > 0.0f;
+  model.set_state(round_start);
+  if (sparse_train) {
+    prune::install_sparse_execution(model, mask_, config_.sparse_exec_max_density,
+                                    /*train=*/true);
+  }
+  local_train(model, client, round, lr);
+  if (sparse_train) prune::clear_sparse_execution(model);
+  if (!quota.empty()) {
+    result.grads = topk_pruned_grads(model, client, quota);
+    if (config_.sparse_exchange) {  // measured bytes only used in sparse mode
+      result.upload_bytes += static_cast<double>(serialize_grad_upload(result.grads).size());
+    }
+  }
+  if (config_.sparse_exchange) {
+    auto update = build_sparse_update(model.state(), mask_, model_.prunable_indices());
+    update.num_samples = client_size(client);
+    const auto wire = serialize(update);
+    result.upload_bytes += static_cast<double>(wire.size());
+    if (!keep_dense_state) {
+      // Sync aggregates off-the-wire data; the async aggregator folds the
+      // dense state below, so only the measured wire size is needed there.
+      const bool ok = deserialize(wire, result.update);
+      assert(ok);
+      (void)ok;
+    }
+  }
+  if (!config_.sparse_exchange || keep_dense_state) {
+    result.state = model.state();
+  }
+}
+
 void FederatedTrainer::run_round(int round) {
   // ---- Scheduler: who participates this round, and with what FedAvg
   // weight denominator. A pure function of (config, round) — independent of
   // execution order and worker count.
-  std::vector<int64_t> sizes(partitions_.size());
-  for (size_t k = 0; k < partitions_.size(); ++k) {
-    sizes[k] = static_cast<int64_t>(partitions_[k].size());
-  }
-  const RoundPlan plan = plan_round(config_, sizes, round);
-  const std::vector<int>& active = plan.clients;
+  const auto sizes = partition_sizes();
+  RoundPlan plan = plan_round(config_, sizes, round);
 
   before_round(round);
 
@@ -159,76 +247,52 @@ void FederatedTrainer::run_round(int round) {
   assert(quota.empty() || quota.size() == model_.prunable_indices().size());
   const auto& prunable = model_.prunable_indices();
 
-  // ---- Server broadcast. In sparse-exchange mode the state really goes
-  // through the wire format: serialize once, every client deserializes the
-  // same buffer. Masked coordinates of global_ are exact zeros, so the
-  // reconstruction is bit-identical to the dense broadcast. Measured bytes
-  // charge the clients that actually exchange (non-empty partitions, i.e.
-  // no no-shows), while the analytic estimate charges every scheduled
+  // ---- Server broadcast. Measured bytes charge the clients that actually
+  // exchange (non-empty partitions, i.e. no no-shows, and only those that
+  // checked in), while the analytic estimate charges every scheduled
   // participant — the gap between the two is visible when a sampled cohort
-  // includes data-less clients.
-  double measured_down = 0.0;
-  std::vector<Tensor> round_start;
-  if (config_.sparse_exchange) {
-    const auto wire = serialize(build_sparse_state(global_, mask_, prunable));
-    measured_down = static_cast<double>(wire.size()) * static_cast<double>(active.size());
-    SparseStatePayload rx;
-    const bool ok = deserialize(wire, rx);
-    assert(ok);
-    (void)ok;
-    round_start = reconstruct_state(rx, prunable);
-  } else {
-    round_start = global_;
+  // includes data-less or absent clients.
+  size_t wire_bytes = 0;
+  const std::vector<Tensor> round_start = broadcast_round_start(wire_bytes);
+
+  // ---- Simulation: availability, mid-round dropout, per-link timing, and
+  // the round deadline. Rewrites plan.clients to the surviving cohort and
+  // renormalizes plan.total_samples over it. A no-op under the ideal model,
+  // which is what keeps this path bitwise-identical to the historical
+  // engine.
+  const size_t trainable = plan.clients.size();
+  const double dispatch_s = clock_.now();
+  if (!comm_.ideal()) {
+    simulate_round(plan, comm_, round, dispatch_s, downlink_bytes_estimate(wire_bytes),
+                   uplink_bytes_estimate(quota), cohort_train_flops(plan, round), sizes);
+  }
+  const std::vector<int>& active = plan.clients;
+  // Downlink bytes: everyone who checked in downloaded, including clients
+  // that later dropped out or missed the deadline.
+  const double measured_down =
+      static_cast<double>(wire_bytes) * static_cast<double>(trainable - plan.unavailable);
+  // Deadline-cut stragglers trained and transmitted their (late) uploads;
+  // charge them like the async path charges uplinks at dispatch, so
+  // sync-vs-async measured comm stays commensurable. Sized from the round
+  // mask now — aggregation below may change the support. (Mid-round
+  // dropouts died before uploading: nothing to charge.)
+  double straggler_up = 0.0;
+  if (config_.sparse_exchange && plan.stragglers > 0) {
+    straggler_up = static_cast<double>(plan.stragglers) * uplink_bytes_estimate(quota);
   }
 
-  // ---- Local training across the sampled clients (worker pool).
-  struct ClientResult {
-    std::vector<Tensor> state;   // dense-exchange uplink
-    SparseUpdatePayload update;  // sparse-exchange uplink
-    std::vector<std::vector<prune::ScoredIndex>> grads;
-    double upload_bytes = 0.0;
-  };
+  // ---- Local training across the surviving clients (worker pool).
   std::vector<ClientResult> results(active.size());
-
-  // Local SGD runs on the CSR sparse path (masked backward + per-step value
-  // refresh) when configured; the top-K probe below still needs dense
-  // pruned-coordinate gradients (the growth signal), so the install is
-  // cleared before it.
-  const bool sparse_train = config_.sparse_training && config_.sparse_exec_max_density > 0.0f;
-
   auto train_one = [&](nn::Model& model, size_t slot) {
-    const int client = active[slot];
-    auto& result = results[slot];
-    model.set_state(round_start);
-    if (sparse_train) {
-      prune::install_sparse_execution(model, mask_, config_.sparse_exec_max_density,
-                                      /*train=*/true);
-    }
-    local_train(model, client, round, lr);
-    if (sparse_train) prune::clear_sparse_execution(model);
-    if (!quota.empty()) {
-      result.grads = topk_pruned_grads(model, client, quota);
-      if (config_.sparse_exchange) {  // measured bytes only used in sparse mode
-        result.upload_bytes += static_cast<double>(serialize_grad_upload(result.grads).size());
-      }
-    }
-    if (config_.sparse_exchange) {
-      auto update = build_sparse_update(model.state(), mask_, prunable);
-      update.num_samples = client_size(client);
-      const auto wire = serialize(update);
-      result.upload_bytes += static_cast<double>(wire.size());
-      const bool ok = deserialize(wire, result.update);
-      assert(ok);
-      (void)ok;
-    } else {
-      result.state = model.state();
-    }
+    train_client_into(model, active[slot], round, lr, quota, round_start,
+                      /*keep_dense_state=*/false, results[slot]);
   };
 
   // Reduction runs in client order whatever the lane count, so parallel
   // schedules are bitwise identical to sequential ones. FedAvg weights are
-  // renormalized over this round's participants (plan.total_samples); in
-  // sparse-exchange mode the sample count comes off the wire.
+  // renormalized over this round's surviving participants
+  // (plan.total_samples); in sparse-exchange mode the sample count comes
+  // off the wire.
   StateAccumulator state_acc;
   std::vector<SparseGradAccumulator> grad_acc(quota.empty() ? 0 : prunable.size());
   double measured_up = 0.0;
@@ -287,9 +351,41 @@ void FederatedTrainer::run_round(int round) {
   after_aggregate(round);
   apply_mask_to_global();
 
+  clock_.advance_to(dispatch_s + plan.duration_s);
+  record_round(round, plan, static_cast<int>(active.size()), /*mean_staleness=*/0.0, dispatch_s,
+               measured_down, measured_up + straggler_up);
+}
+
+std::vector<Tensor> FederatedTrainer::broadcast_round_start(size_t& wire_bytes) {
+  wire_bytes = 0;
+  if (!config_.sparse_exchange) return global_;
+  // The state really goes through the wire format: serialize once, every
+  // client deserializes the same buffer. Masked coordinates of global_ are
+  // exact zeros, so the reconstruction is bit-identical to the dense
+  // broadcast.
+  const auto& prunable = model_.prunable_indices();
+  const auto wire = serialize(build_sparse_state(global_, mask_, prunable));
+  wire_bytes = wire.size();
+  SparseStatePayload rx;
+  const bool ok = deserialize(wire, rx);
+  assert(ok);
+  (void)ok;
+  return reconstruct_state(rx, prunable);
+}
+
+void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggregated,
+                                    double mean_staleness, double dispatch_s,
+                                    double measured_down, double measured_up) {
   RoundStats stats;
   stats.round = round;
   stats.participants = plan.participants;
+  stats.aggregated = aggregated;
+  stats.unavailable = plan.unavailable;
+  stats.dropouts = plan.dropouts;
+  stats.stragglers = plan.stragglers;
+  stats.round_time_s = clock_.now() - dispatch_s;
+  stats.sim_time_s = clock_.now();
+  stats.mean_staleness = mean_staleness;
   stats.device_flops = round_training_flops(round, plan);
   stats.comm_bytes_analytic = round_comm_bytes_analytic(round, plan);
   stats.comm_bytes =
@@ -303,8 +399,160 @@ void FederatedTrainer::run_round(int round) {
   history_.push_back(stats);
 }
 
+void FederatedTrainer::run_async() {
+  // Async event loop: each iteration dispatches one cohort at the current
+  // simulated time, then aggregates the first M uplink arrivals from the
+  // event queue — which may include stragglers dispatched rounds ago, folded
+  // with staleness-discounted weights. Client training executes eagerly at
+  // dispatch (the clock, not the executor, decides when an upload *lands*),
+  // so the executor stays saturated while round r+1 overlaps the stragglers
+  // of round r on the simulated timeline.
+  const auto sizes = partition_sizes();
+  const auto& prunable = model_.prunable_indices();
+
+  struct Pending {
+    ClientResult result;
+    int64_t samples = 0;
+  };
+  std::vector<Pending> pool;
+  std::vector<size_t> free_slots;
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    // ---- Dispatch this round's cohort at the current clock. ----
+    RoundPlan plan = plan_round(config_, sizes, round);
+    before_round(round);
+    const float lr = config_.lr * std::pow(config_.lr_decay, static_cast<float>(round));
+    const auto quota = pruned_grad_quota(round);
+    assert(quota.empty() || quota.size() == prunable.size());
+
+    size_t wire_bytes = 0;
+    const std::vector<Tensor> round_start = broadcast_round_start(wire_bytes);
+
+    const size_t trainable = plan.clients.size();
+    const double dispatch_s = clock_.now();
+    simulate_round(plan, comm_, round, dispatch_s, downlink_bytes_estimate(wire_bytes),
+                   uplink_bytes_estimate(quota), cohort_train_flops(plan, round), sizes);
+    const std::vector<int>& active = plan.clients;
+
+    // Train the surviving cohort eagerly on the executor lanes.
+    std::vector<ClientResult> results(active.size());
+    const int want = resolve_workers(static_cast<int>(active.size()));
+    auto train_one = [&](nn::Model& model, size_t slot) {
+      train_client_into(model, active[slot], round, lr, quota, round_start,
+                        /*keep_dense_state=*/true, results[slot]);
+    };
+    bool ran_parallel = false;
+    if (want > 1) {
+      LaneSet lanes(want);
+      if (lanes.lanes() > 1) {
+        for (int w = 0; w < lanes.lanes(); ++w) worker_model(w);
+        lanes.for_each(active.size(), [&](int w, size_t i) { train_one(worker_model(w), i); });
+        ran_parallel = true;
+      }
+    }
+    if (!ran_parallel) {
+      for (size_t i = 0; i < active.size(); ++i) train_one(model_, i);
+    }
+
+    // Enqueue their arrivals on the simulated clock and charge the round's
+    // exchanged bytes at dispatch (uplinks are transmitted regardless of
+    // when the server folds them).
+    double measured_up = 0.0;
+    // Walk schedule (all pre-realism participants, ascending) and clients
+    // (survivors, ascending) in lockstep to find each survivor's arrival.
+    size_t sched = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+      double arrival = dispatch_s;
+      if (!plan.schedule.empty()) {
+        while (sched < plan.schedule.size() &&
+               (plan.schedule[sched].client != active[i] ||
+                plan.schedule[sched].drop != DropCause::kNone)) {
+          ++sched;
+        }
+        assert(sched < plan.schedule.size());
+        arrival = plan.schedule[sched].arrival_s;
+        ++sched;
+      }
+      size_t slot;
+      if (!free_slots.empty()) {
+        slot = free_slots.back();
+        free_slots.pop_back();
+      } else {
+        slot = pool.size();
+        pool.emplace_back();
+      }
+      measured_up += results[i].upload_bytes;
+      pool[slot] = Pending{std::move(results[i]), client_size(active[i])};
+      clock_.push(SimEvent{arrival, round, active[i], slot});
+    }
+    const double measured_down =
+        static_cast<double>(wire_bytes) * static_cast<double>(trainable - plan.unavailable);
+
+    // ---- Aggregate the first M arrivals (FedBuff-style buffer). ----
+    int m = config_.sim.async_aggregate_m;
+    if (m <= 0) m = std::max(1, static_cast<int>(trainable) / 2);
+    const size_t m_eff = std::min(static_cast<size_t>(m), clock_.pending());
+
+    // The async aggregator folds dense states: stragglers may have trained
+    // under an older mask, whose sparse support no longer matches the
+    // current round's — dense folding keeps the arithmetic well-defined and
+    // the post-aggregate re-mask restores exact zeros off the live support.
+    StateAccumulator state_acc;
+    std::vector<SparseGradAccumulator> grad_acc(prunable.size());
+    bool any_fresh_grads = false;
+    double staleness_sum = 0.0;
+    for (size_t j = 0; j < m_eff; ++j) {
+      const SimEvent e = clock_.pop();
+      Pending& p = pool[e.slot];
+      const double staleness = static_cast<double>(round - e.round);
+      staleness_sum += staleness;
+      const double discount =
+          std::pow(1.0 + staleness, -config_.sim.staleness_alpha);
+      const double weight = static_cast<double>(p.samples) * discount;
+      state_acc.add(p.result.state, weight);
+      // Gradient probes feed mask surgery against *this* round's quota and
+      // scheduled block, so only fresh arrivals (dispatched this round)
+      // contribute — a straggler's probe was measured under an older mask
+      // and block and would silently mis-steer grow/prune.
+      if (e.round == round && p.result.grads.size() == prunable.size()) {
+        any_fresh_grads = true;
+        for (size_t l = 0; l < prunable.size(); ++l) {
+          grad_acc[l].add(p.result.grads[l], weight);
+        }
+      }
+      p = Pending{};  // free the buffers
+      free_slots.push_back(e.slot);
+    }
+    auto averaged = state_acc.average();  // divides by the summed weights
+    if (!averaged.empty()) global_ = std::move(averaged);
+    if (any_fresh_grads) {
+      aggregated_grads_.assign(prunable.size(), {});
+      for (size_t l = 0; l < prunable.size(); ++l) aggregated_grads_[l] = grad_acc[l].average();
+    } else {
+      // No fresh probes this aggregation: clear instead of letting stale
+      // ones linger, so after_aggregate's empty() guard skips surgery (the
+      // pruning step waits for a round whose own cohort makes the buffer —
+      // the honest behavior for a backlogged async federation).
+      aggregated_grads_.clear();
+    }
+    apply_mask_to_global();
+    after_aggregate(round);
+    apply_mask_to_global();
+
+    record_round(round, plan, static_cast<int>(m_eff),
+                 m_eff > 0 ? staleness_sum / static_cast<double>(m_eff) : 0.0, dispatch_s,
+                 measured_down, measured_up);
+  }
+  // Uplinks still in flight at shutdown were charged at dispatch but never
+  // folded — exactly the waste async deployments accept.
+}
+
 double FederatedTrainer::run() {
-  for (int round = 0; round < config_.rounds; ++round) run_round(round);
+  if (config_.sim.async_rounds) {
+    run_async();
+  } else {
+    for (int round = 0; round < config_.rounds; ++round) run_round(round);
+  }
   return history_.empty() ? evaluate() : history_.back().test_accuracy;
 }
 

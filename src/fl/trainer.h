@@ -2,31 +2,52 @@
 // method — FedTiny, PruneFL, FedDST, LotteryFL, and the static-mask
 // baselines — subclasses this and overrides the mask-adjustment hooks.
 //
-// Per round:
+// The loop runs on an event-driven federation core: a deterministic
+// discrete-event clock (fl/simclock.h) schedules each scheduled client's
+// download -> train -> upload completion, with durations from the client's
+// device-speed profile applied to the analytic FLOP model and its link
+// profile applied to the round's payload bytes (fl/comm_model.h). Cohort
+// realism (availability, mid-round dropout, per-round deadlines) drops
+// clients from the (seed, round, client) streams, renormalizing FedAvg
+// weights over the survivors. Everything is simulated — no wall time — so
+// runs are bitwise-reproducible from (seed, config) at any worker count,
+// and the sync path under the ideal (zero-latency, always-available) model
+// reproduces the historical lock-step engine bitwise.
+//
+// Per synchronous round:
 //   1. the scheduler plans participation (all K clients, or a
 //      clients_per_round subsample drawn from the (seed, round) stream with
-//      FedAvg weights renormalized over the sample)
+//      FedAvg weights renormalized over the sample); simulate_round then
+//      applies availability/dropout/deadline and per-link timing
 //   2. before_round(r)              (hook: e.g. pick the block to prune)
-//   3. each participant: download the global state (a serialized sparse
+//   3. each survivor: download the global state (a serialized sparse
 //      payload when sparse_exchange is on), E local epochs of masked SGD
 //      (Eq. 5) — on the CSR sparse path when sparse_training is on —
 //      optionally compute top-K pruned-coordinate gradients through a
-//      bounded buffer (Alg. 2 lines 10-15), upload. Participants run on
+//      bounded buffer (Alg. 2 lines 10-15), upload. Survivors run on
 //      executor lanes with per-lane model replicas (parallel_clients).
 //   4. server: weighted-average states (FedAvg) and sparse gradients
 //      (Eq. 7), reducing uploads in client order for bitwise determinism
 //   5. after_aggregate(r)           (hook: mask surgery, re-mask weights)
-//   6. cost accounting: per-device FLOPs and communication bytes (measured
-//      wire size in sparse-exchange mode, analytic estimate alongside)
+//   6. cost accounting: per-device FLOPs, communication bytes (measured
+//      wire size in sparse-exchange mode), and the simulated round time
+//
+// Async mode (SimConfig::async_rounds): the server aggregates the first M
+// uplink arrivals on the simulated clock (FedBuff-style buffer) with
+// staleness-discounted weights, then immediately dispatches the next cohort
+// against the new global state while stragglers keep training against stale
+// state; their late arrivals fold into later aggregations.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "data/dataset.h"
+#include "fl/comm_model.h"
 #include "fl/config.h"
 #include "fl/scheduler.h"
 #include "fl/server.h"
+#include "fl/simclock.h"
 #include "metrics/flops.h"
 #include "nn/model.h"
 #include "prune/mask.h"
@@ -44,6 +65,23 @@ struct RoundStats {
   double comm_bytes = 0.0;
   /// Analytic estimate (metrics/comms) kept alongside for cross-checking.
   double comm_bytes_analytic = 0.0;
+
+  // ---- Simulated deployment (event-driven core). ----
+  /// Uplinks folded into this round's aggregate (sync: the surviving
+  /// cohort; async: the buffered arrivals, possibly from earlier rounds).
+  int aggregated = 0;
+  int unavailable = 0;  // sampled but never checked in
+  int dropouts = 0;     // died mid-round after downloading
+  int stragglers = 0;   // cut by the round deadline
+  /// Simulated duration of this round (sync: dispatch to barrier; async:
+  /// dispatch to the aggregation-triggering arrival). 0 under the ideal model.
+  double round_time_s = 0.0;
+  /// Cumulative simulated clock at the end of this round — the x-axis of
+  /// time-to-accuracy curves.
+  double sim_time_s = 0.0;
+  /// Async: mean staleness (aggregation round minus dispatch round) of the
+  /// folded uplinks. 0 in sync mode.
+  double mean_staleness = 0.0;
 };
 
 class FederatedTrainer {
@@ -66,9 +104,12 @@ class FederatedTrainer {
 
   [[nodiscard]] double max_round_flops() const { return max_round_flops_; }
   [[nodiscard]] double total_comm_bytes() const { return total_comm_bytes_; }
+  /// Simulated wall-clock of the whole run (0 under the ideal model).
+  [[nodiscard]] double sim_time_s() const { return clock_.now(); }
   [[nodiscard]] const std::vector<RoundStats>& history() const { return history_; }
   [[nodiscard]] const metrics::ModelCost& model_cost() const { return cost_; }
   [[nodiscard]] const FLConfig& config() const { return config_; }
+  [[nodiscard]] const CommModel& comm_model() const { return comm_; }
   [[nodiscard]] nn::Model& model() { return model_; }
   [[nodiscard]] const std::vector<Tensor>& global_state() const { return global_; }
 
@@ -91,13 +132,20 @@ class FederatedTrainer {
     return {};
   }
   /// Extra per-device FLOPs beyond masked local training (e.g. dense weight
-  /// gradients during pruning rounds).
-  virtual double extra_device_flops(int round) {
+  /// gradients during pruning rounds), for this round's cohort: the plan
+  /// carries the cohort size and its sample total, so per-device estimates
+  /// scale with the sampled cohort rather than the full fleet.
+  virtual double extra_device_flops(int round, const RoundPlan& plan) {
     (void)round;
+    (void)plan;
     return 0.0;
   }
-  virtual double extra_comm_bytes(int round) {
+  /// Extra communication bytes this round across the cohort (e.g. score or
+  /// gradient uploads). Charge plan.participants devices, not num_clients:
+  /// under sampling only the cohort exchanges.
+  virtual double extra_comm_bytes(int round, const RoundPlan& plan) {
     (void)round;
+    (void)plan;
     return 0.0;
   }
 
@@ -143,15 +191,48 @@ class FederatedTrainer {
   std::vector<RoundStats> history_;
 
  private:
+  /// One client's uplink as produced by train_client_into.
+  struct ClientResult {
+    std::vector<Tensor> state;   // dense-exchange uplink (and async aggregate)
+    SparseUpdatePayload update;  // sparse-exchange uplink
+    std::vector<std::vector<prune::ScoredIndex>> grads;
+    double upload_bytes = 0.0;
+  };
+
   void run_round(int round);
+  void run_async();
+  /// Server broadcast: the round-start state every participant downloads.
+  /// In sparse-exchange mode the state round-trips the wire format and
+  /// wire_bytes reports the serialized size (0 otherwise).
+  std::vector<Tensor> broadcast_round_start(size_t& wire_bytes);
+  /// Fill and push this round's RoundStats (clock must already be advanced
+  /// past the round) and run the scheduled evaluation.
+  void record_round(int round, const RoundPlan& plan, int aggregated, double mean_staleness,
+                    double dispatch_s, double measured_down, double measured_up);
+  /// Download -> local SGD -> (optional) top-K grad probe -> uplink build
+  /// for one client. keep_dense_state forces result.state even in
+  /// sparse-exchange mode (the async aggregator folds dense states so mask
+  /// surgery between dispatch and arrival cannot invalidate the support).
+  void train_client_into(nn::Model& model, int client, int round, float lr,
+                         const std::vector<int64_t>& quota,
+                         const std::vector<Tensor>& round_start, bool keep_dense_state,
+                         ClientResult& result);
   double round_training_flops(int round, const RoundPlan& plan);
   double round_comm_bytes_analytic(int round, const RoundPlan& plan);
+  /// Per-client simulated-timing inputs for this round (only consulted when
+  /// the sim model is non-ideal).
+  [[nodiscard]] double downlink_bytes_estimate(size_t wire_bytes) const;
+  [[nodiscard]] double uplink_bytes_estimate(const std::vector<int64_t>& quota) const;
+  [[nodiscard]] std::vector<double> cohort_train_flops(const RoundPlan& plan, int round);
+  [[nodiscard]] std::vector<int64_t> partition_sizes() const;
   /// Lane count requested for this round's client pool (>= 1, capped by
   /// active clients; 1 unless a model factory enables replicas). The
   /// executor may grant fewer lanes than requested.
   int resolve_workers(int active_clients) const;
   nn::Model& worker_model(int worker);
 
+  CommModel comm_;
+  SimClock clock_;
   nn::ModelFactory factory_;
   std::vector<std::unique_ptr<nn::Model>> replicas_;  // lazily built per lane
 };

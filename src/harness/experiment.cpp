@@ -106,6 +106,7 @@ RunResult Experiment::run(const RunSpec& spec) const {
   fl_config.sparse_training = spec.sparse_training;
   fl_config.parallel_clients = spec.parallel_clients;
   fl_config.clients_per_round = spec.clients_per_round;
+  fl_config.sim = spec.sim;
 
   if (spec.method == "small_model") {
     int64_t target = spec.small_model_params;
@@ -130,6 +131,7 @@ RunResult Experiment::run(const RunSpec& spec) const {
     result.memory_bytes =
         metrics::device_memory(small_cost, 0, true, metrics::ScoreStorage::kNone).total_bytes();
     result.total_comm_bytes = trainer.total_comm_bytes();
+    result.sim_time_s = trainer.sim_time_s();
     result.history = trainer.history();
     return result;
   }
@@ -156,6 +158,7 @@ RunResult Experiment::run(const RunSpec& spec) const {
     result.final_density = trainer.mask().density();
     result.max_round_flops = trainer.max_round_flops();
     result.total_comm_bytes = trainer.total_comm_bytes();
+    result.sim_time_s = trainer.sim_time_s();
     result.memory_bytes = metrics::device_memory(dense_cost, trainer.mask().nnz(), dense_stored,
                                                  storage, topk_capacity)
                               .total_bytes();

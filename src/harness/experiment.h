@@ -66,6 +66,11 @@ struct RunSpec {
   int num_clients = 10;
   /// Clients sampled per round (0 = all K).
   int clients_per_round = 0;
+  // ---- Simulated deployment (see fl::SimConfig). ----
+  /// Device/link timing, cohort realism (availability/dropout/deadline),
+  /// and async-round knobs. Defaults to the ideal fleet, which reproduces
+  /// the historical engine bitwise.
+  fl::SimConfig sim;
 };
 
 struct RunResult {
@@ -78,6 +83,8 @@ struct RunResult {
   double memory_bytes = 0.0;
   double dense_memory_bytes = 0.0;
   double total_comm_bytes = 0.0;
+  /// Simulated wall-clock of the whole run (0 under the ideal fleet model).
+  double sim_time_s = 0.0;
   // Adaptive BN selection module (Table II / Fig. 5).
   double selection_comm_bytes = 0.0;
   double selection_flops = 0.0;

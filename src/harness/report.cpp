@@ -52,6 +52,28 @@ bool Report::write_csv(const std::string& path) const {
   return true;
 }
 
+double time_to_accuracy_s(const std::vector<fl::RoundStats>& history, double target) {
+  for (const auto& r : history) {
+    if (r.test_accuracy >= target) return r.sim_time_s;
+  }
+  return -1.0;
+}
+
+void print_time_to_accuracy(const std::string& title,
+                            const std::vector<fl::RoundStats>& history) {
+  Report report(title);
+  report.set_header({"round", "sim_time_s", "round_time_s", "aggregated", "unavail", "dropout",
+                     "straggler", "staleness", "accuracy"});
+  for (const auto& r : history) {
+    report.add_row({std::to_string(r.round), Report::fmt(r.sim_time_s, 2),
+                    Report::fmt(r.round_time_s, 2), std::to_string(r.aggregated),
+                    std::to_string(r.unavailable), std::to_string(r.dropouts),
+                    std::to_string(r.stragglers), Report::fmt(r.mean_staleness, 2),
+                    r.test_accuracy >= 0.0 ? Report::fmt(r.test_accuracy) : "-"});
+  }
+  report.print();
+}
+
 void print_banner(const std::string& experiment_id, const std::string& scale_name) {
   std::printf("FedTiny reproduction — %s (scale=%s)\n", experiment_id.c_str(),
               scale_name.c_str());

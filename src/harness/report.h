@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "fl/trainer.h"
+
 namespace fedtiny::harness {
 
 /// A simple column-aligned text table with a CSV twin.
@@ -29,5 +31,17 @@ class Report {
 
 /// Standard banner: experiment id + scale disclaimer.
 void print_banner(const std::string& experiment_id, const std::string& scale_name);
+
+/// Simulated time at which the run first reached `target` test accuracy:
+/// the sim_time_s of the earliest evaluated round whose test_accuracy is at
+/// or above the target. Returns -1 when the target was never reached (or
+/// the run never evaluated). With the ideal fleet model every sim_time_s is
+/// 0, so run with timing knobs set for a meaningful x-axis.
+double time_to_accuracy_s(const std::vector<fl::RoundStats>& history, double target);
+
+/// Print a per-round time/accuracy table ("round, sim_time_s, round_time_s,
+/// aggregated, drops, staleness, accuracy") for time-to-accuracy curves.
+void print_time_to_accuracy(const std::string& title,
+                            const std::vector<fl::RoundStats>& history);
 
 }  // namespace fedtiny::harness

@@ -42,6 +42,42 @@ RunSpec with_env_knobs(RunSpec spec) {
   if (const char* v = std::getenv("FEDTINY_CLIENTS_PER_ROUND")) {
     spec.clients_per_round = std::atoi(v);
   }
+  if (const char* v = std::getenv("FEDTINY_SIM_DEVICE_FLOPS")) {
+    spec.sim.device_flops_per_s = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_BANDWIDTH")) {
+    spec.sim.bandwidth_bps = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_LATENCY")) {
+    spec.sim.latency_s = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_HET")) {
+    spec.sim.het_spread = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_STRAGGLERS")) {
+    spec.sim.straggler_fraction = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_SLOWDOWN")) {
+    spec.sim.straggler_slowdown = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_AVAILABILITY")) {
+    spec.sim.availability = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_DROPOUT")) {
+    spec.sim.dropout = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_SIM_DEADLINE")) {
+    spec.sim.deadline_s = std::atof(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_ASYNC")) {
+    spec.sim.async_rounds = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("FEDTINY_ASYNC_M")) {
+    spec.sim.async_aggregate_m = std::atoi(v);
+  }
+  if (const char* v = std::getenv("FEDTINY_STALENESS_ALPHA")) {
+    spec.sim.staleness_alpha = std::atof(v);
+  }
   return spec;
 }
 

@@ -19,6 +19,19 @@ namespace fedtiny::harness {
 ///   FEDTINY_PARALLEL_CLIENTS=N    client-training lanes (0 = auto)
 ///   FEDTINY_CLIENTS_PER_ROUND=N   round subsample size (0 = all K)
 ///   FEDTINY_KERNELS=reference|fast kernel engine mode (process-wide)
+/// Simulated-deployment knobs (fl::SimConfig; unset = ideal fleet):
+///   FEDTINY_SIM_DEVICE_FLOPS=F    mean device speed, FLOP/s (0 = infinite)
+///   FEDTINY_SIM_BANDWIDTH=F       mean link bandwidth, bytes/s (0 = infinite)
+///   FEDTINY_SIM_LATENCY=F         per-transfer link latency, seconds
+///   FEDTINY_SIM_HET=F             log-uniform per-client spread factor
+///   FEDTINY_SIM_STRAGGLERS=F      straggler fraction [0, 1]
+///   FEDTINY_SIM_SLOWDOWN=F        straggler slowdown factor
+///   FEDTINY_SIM_AVAILABILITY=F    per-round check-in probability
+///   FEDTINY_SIM_DROPOUT=F         mid-round dropout probability
+///   FEDTINY_SIM_DEADLINE=F        round deadline, simulated seconds
+///   FEDTINY_ASYNC=0|1             async overlapping rounds (FedBuff-style)
+///   FEDTINY_ASYNC_M=N             arrivals aggregated per async round
+///   FEDTINY_STALENESS_ALPHA=F     async staleness discount exponent
 /// Unset variables leave the spec untouched.
 RunSpec with_env_knobs(RunSpec spec);
 

@@ -172,5 +172,76 @@ TEST(LotteryFL, PaysDenseTrainingFlops) {
   EXPECT_NEAR(lottery.max_round_flops() / dense.max_round_flops(), 1.0, 0.05);
 }
 
+// Exposes the extra-cost hooks so cohort scaling is directly testable.
+class FedDSTCostProbe : public FedDSTTrainer {
+ public:
+  using FedDSTTrainer::FedDSTTrainer;
+  double comm_for(int round, const fl::RoundPlan& plan) {
+    return extra_comm_bytes(round, plan);
+  }
+  double flops_for(int round, const fl::RoundPlan& plan) {
+    return extra_device_flops(round, plan);
+  }
+};
+
+TEST(ExtraCostHooks, ChargeTheCohortNotTheFleet) {
+  // Regression for the sampling bug: the extra comm/FLOP hooks used to
+  // charge config.num_clients devices (and the fleet's mean local size)
+  // even when only a sampled cohort participated.
+  Fixture f;
+  FedDSTCostProbe trainer(*f.model, f.data.train, f.data.test, f.partitions, f.fl_config,
+                          f.schedule);
+  trainer.set_mask(random_initial_mask(*f.model, 0.1, 9));
+
+  fl::RoundPlan full;
+  full.participants = 4;
+  full.effective_participants = 4;
+  full.total_samples = 120.0;
+  fl::RoundPlan cohort = full;
+  cohort.participants = 2;
+  cohort.effective_participants = 2;
+  cohort.total_samples = 60.0;
+
+  const int pruning_round = 1;
+  ASSERT_TRUE(f.schedule.is_pruning_round(pruning_round));
+  const double comm_full = trainer.comm_for(pruning_round, full);
+  const double comm_cohort = trainer.comm_for(pruning_round, cohort);
+  ASSERT_GT(comm_full, 0.0);
+  // Gradient uploads scale with the cohort size.
+  EXPECT_DOUBLE_EQ(comm_cohort, comm_full / 2.0);
+  // Per-device extra FLOPs follow the cohort's mean local size (same mean
+  // here: 120/4 == 60/2), so the per-device estimate is unchanged.
+  EXPECT_DOUBLE_EQ(trainer.flops_for(pruning_round, cohort),
+                   trainer.flops_for(pruning_round, full));
+}
+
+TEST(ExtraCostHooks, FullSampleReproducesFullParticipationBitwise) {
+  // clients_per_round == K must stay bitwise identical to the historical
+  // full-participation loop for a method with extra-cost hooks — the
+  // cohort-scaled accounting degenerates exactly (participants == K and the
+  // cohort mean re-accumulates the same sizes in the same order).
+  Fixture base_f;
+  FedDSTTrainer base(*base_f.model, base_f.data.train, base_f.data.test, base_f.partitions,
+                     base_f.fl_config, base_f.schedule);
+  base.set_mask(random_initial_mask(*base_f.model, 0.1, 9));
+  base.run();
+
+  Fixture full_f;
+  full_f.fl_config.clients_per_round = full_f.fl_config.num_clients;
+  FedDSTTrainer full(*full_f.model, full_f.data.train, full_f.data.test, full_f.partitions,
+                     full_f.fl_config, full_f.schedule);
+  full.set_mask(random_initial_mask(*full_f.model, 0.1, 9));
+  full.run();
+
+  ASSERT_EQ(base.history().size(), full.history().size());
+  for (size_t r = 0; r < base.history().size(); ++r) {
+    EXPECT_EQ(full.history()[r].device_flops, base.history()[r].device_flops) << "round " << r;
+    EXPECT_EQ(full.history()[r].comm_bytes, base.history()[r].comm_bytes) << "round " << r;
+    EXPECT_EQ(full.history()[r].comm_bytes_analytic, base.history()[r].comm_bytes_analytic)
+        << "round " << r;
+  }
+  EXPECT_EQ(base.total_comm_bytes(), full.total_comm_bytes());
+}
+
 }  // namespace
 }  // namespace fedtiny::baselines

@@ -170,6 +170,58 @@ TEST(Scheduler, FullSampleReproducesFullParticipationBitwise) {
   expect_states_bitwise_equal(full.global_state(), base.global_state());
 }
 
+TEST(Scheduler, ZeroClientFederationPlansEmptyRounds) {
+  // K=0 is degenerate but must not crash or index out of bounds: the plan is
+  // empty whatever clients_per_round says.
+  FLConfig config;
+  config.num_clients = 0;
+  for (int cpr : {0, 3}) {
+    config.clients_per_round = cpr;
+    EXPECT_EQ(effective_clients_per_round(config), 0);
+    const auto plan = plan_round(config, {}, /*round=*/0);
+    EXPECT_EQ(plan.participants, 0);
+    EXPECT_TRUE(plan.clients.empty());
+    EXPECT_EQ(plan.total_samples, 0.0);
+  }
+}
+
+TEST(Scheduler, SampleSizeClampsToFederationSize) {
+  Fixture f(/*rounds=*/1, /*num_clients=*/4);
+  f.config.clients_per_round = 9;  // m > K clamps to K
+  EXPECT_EQ(effective_clients_per_round(f.config), 4);
+  const auto plan = plan_round(f.config, f.sizes(), /*round=*/0);
+  EXPECT_EQ(plan.participants, 4);
+  // m == K degenerates to full participation: ascending 0..K-1.
+  ASSERT_EQ(plan.clients.size(), 4u);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(plan.clients[static_cast<size_t>(c)], c);
+}
+
+TEST(Scheduler, AllEmptyPartitionsYieldNoActiveClients) {
+  FLConfig config;
+  config.num_clients = 5;
+  const std::vector<int64_t> sizes(5, 0);
+  for (int cpr : {0, 2}) {
+    config.clients_per_round = cpr;
+    const auto plan = plan_round(config, sizes, /*round=*/1);
+    EXPECT_TRUE(plan.clients.empty());  // nobody has data to train on
+    EXPECT_EQ(plan.total_samples, 0.0);
+    EXPECT_EQ(plan.participants, cpr == 0 ? 5 : 2);  // still charged for cost
+  }
+}
+
+TEST(Scheduler, SingleClientCohortRenormalizesToLoneParticipant) {
+  Fixture f(/*rounds=*/1);
+  f.config.clients_per_round = 1;
+  const auto sizes = f.sizes();
+  const auto plan = plan_round(f.config, sizes, /*round=*/0);
+  ASSERT_EQ(plan.clients.size(), 1u);
+  EXPECT_EQ(plan.participants, 1);
+  // The FedAvg denominator is exactly the lone participant's sample count,
+  // so its weight renormalizes to 1 and the aggregate is its state alone.
+  EXPECT_EQ(plan.total_samples,
+            static_cast<double>(sizes[static_cast<size_t>(plan.clients[0])]));
+}
+
 // Exposes the protected local-training step so the aggregation oracle below
 // can replay exactly what the trainer does per client.
 class LocalTrainProbe : public FederatedTrainer {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace fedtiny::fl {
 namespace {
 
@@ -49,6 +51,30 @@ TEST(StateAccumulator, EmptyRoundAveragesToEmptyVector) {
   StateAccumulator acc;
   EXPECT_TRUE(acc.average().empty());
   EXPECT_TRUE(acc.average_sparse(prune::MaskSet(), {}).empty());
+}
+
+TEST(StateAccumulator, MixingDenseAndSparseIngestionThrows) {
+  // The two paths are mutually exclusive per accumulation; mixing them
+  // would silently average incompatible representations, so both orders
+  // must throw (in release builds too, not just under asserts).
+  SparseUpdatePayload update;
+  UpdateLayerPayload layer;
+  layer.shape = {2};
+  layer.values = {1.0f};
+  update.sparse_layers.push_back(layer);
+
+  StateAccumulator dense_first;
+  dense_first.add({Tensor::from_vector({1.0f, 2.0f})}, 1.0);
+  EXPECT_THROW(dense_first.add_sparse(update, 1.0), std::logic_error);
+
+  StateAccumulator sparse_first;
+  sparse_first.add_sparse(update, 1.0);
+  EXPECT_THROW(sparse_first.add({Tensor::from_vector({1.0f, 2.0f})}, 1.0), std::logic_error);
+
+  // reset() clears the mode: the other path is legal again afterwards.
+  sparse_first.reset();
+  sparse_first.add({Tensor::from_vector({1.0f, 2.0f})}, 1.0);
+  EXPECT_FALSE(sparse_first.empty());
 }
 
 TEST(StateAccumulator, SparseAddMatchesDenseAdd) {
