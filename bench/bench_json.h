@@ -7,11 +7,17 @@
 //   {"bench": "<binary>", "kernel": "<kernel or timing label>",
 //    "shape": "MxNxK-style shape string", "density": 0.10,
 //    "mode": "reference" | "fast", "ns_op": 12345.6, "gflops": 1.234,
+//    "max_rss_mb": 123.4, "acc_bytes": 0,
 //    "git_sha": "abc1234", "host": "runner-01"}
-// git_sha/host are provenance stamps: compare_bench_json.py warns when two
-// files come from different hosts (absolute-time comparisons across hardware
-// are advisory, never a gate). The SHA is baked at configure time
-// (FEDTINY_GIT_SHA_DEFAULT); the FEDTINY_GIT_SHA env overrides it at runtime.
+// max_rss_mb is the process peak RSS (getrusage) at record time — monotone
+// within a run, so the last record of a bench carries its high-water mark.
+// acc_bytes is the resident server-accumulator footprint for benches that
+// measure one (0 elsewhere). compare_bench_json.py diffs both alongside
+// ns_op. git_sha/host are provenance stamps: compare_bench_json.py warns
+// when two files come from different hosts (absolute-time comparisons
+// across hardware are advisory, never a gate). The SHA is baked at
+// configure time (FEDTINY_GIT_SHA_DEFAULT); the FEDTINY_GIT_SHA env
+// overrides it at runtime.
 #pragma once
 
 #include <unistd.h>
@@ -20,6 +26,8 @@
 #include <cstdlib>
 #include <string>
 #include <utility>
+
+#include "metrics/memory.h"
 
 namespace fedtiny::benchjson {
 
@@ -54,18 +62,23 @@ class Writer {
   [[nodiscard]] bool enabled() const { return file_ != nullptr; }
 
   /// ms_op is the per-call wall time; flops the FLOP count of one call
-  /// (0 when a GFLOP/s rate is not meaningful for the timing).
+  /// (0 when a GFLOP/s rate is not meaningful for the timing). acc_bytes
+  /// is the resident server-accumulator footprint for benches that measure
+  /// one; the peak-RSS stamp is taken here, so every record carries it.
   void record(const std::string& kernel, const std::string& shape, double density,
-              const std::string& mode, double ms_op, double flops) {
+              const std::string& mode, double ms_op, double flops, size_t acc_bytes = 0) {
     if (file_ == nullptr) return;
     const double ns_op = ms_op * 1e6;
     const double gflops = ms_op > 0.0 ? flops / (ms_op * 1e-3) / 1e9 : 0.0;
+    const double max_rss_mb =
+        static_cast<double>(metrics::peak_rss_bytes()) / (1024.0 * 1024.0);
     std::fprintf(file_,
                  "{\"bench\":\"%s\",\"kernel\":\"%s\",\"shape\":\"%s\",\"density\":%.4f,"
                  "\"mode\":\"%s\",\"ns_op\":%.1f,\"gflops\":%.3f,"
+                 "\"max_rss_mb\":%.2f,\"acc_bytes\":%zu,"
                  "\"git_sha\":\"%s\",\"host\":\"%s\"}\n",
                  bench_.c_str(), kernel.c_str(), shape.c_str(), density, mode.c_str(), ns_op,
-                 gflops, sha_.c_str(), host_.c_str());
+                 gflops, max_rss_mb, acc_bytes, sha_.c_str(), host_.c_str());
     std::fflush(file_);
   }
 

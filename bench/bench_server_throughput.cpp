@@ -1,0 +1,143 @@
+// Server-throughput bench for the streaming-aggregation core: rounds/sec
+// and peak RSS as the fleet size K sweeps 1e3 -> 1e6 with a fixed sampled
+// cohort. Per-round server work (fold + average + scheduler) must stay
+// O(cohort + model), so rounds/sec should be flat in K and peak RSS bounded
+// by the fixed base plus ~100 B/client of scheduler metadata.
+//
+// Setup: tiny ResNet18 over a generate-on-demand synthetic fleet
+// (data::SyntheticFleetSource — nothing fleet-sized is materialized),
+// synchronous ideal rounds, 8 clients sampled per round. Per K the bench
+// reports rounds/sec, the train/aggregate wall split (RoundStats), the
+// streaming accumulator's resident bytes, and the process peak RSS.
+//
+// Hard gates (exit non-zero on violation; these are the bounded-memory
+// acceptance checks, not advisory perf numbers):
+//   - peak RSS growth across the sweep <= 100 B/client + 64 MB slack
+//   - accumulator resident bytes are K-independent (largest K <= 2x smallest)
+//
+// Usage: bench_server_throughput [--smoke]     (--smoke caps the sweep at 1e5)
+// JSON:  set FEDTINY_BENCH_JSON=<path> to append records (see bench_json.h).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "data/synthetic.h"
+#include "fl/trainer.h"
+#include "metrics/memory.h"
+#include "nn/models.h"
+#include "tensor/kernels.h"
+
+namespace {
+
+using namespace fedtiny;
+using Clock = std::chrono::steady_clock;
+
+struct SweepPoint {
+  int num_clients = 0;
+  double rounds_per_s = 0.0;
+  double wall_train_s = 0.0;
+  double wall_agg_s = 0.0;
+  size_t acc_bytes = 0;
+  size_t peak_rss = 0;
+};
+
+SweepPoint run_point(int num_clients, const nn::ModelConfig& mc, const data::Dataset& test) {
+  auto spec = data::cifar10s_spec(/*image_size=*/8, /*train=*/0, /*test=*/0);
+  auto source = std::make_shared<data::SyntheticFleetSource>(spec, /*seed=*/7, num_clients,
+                                                             /*samples_per_client=*/16);
+  auto model = nn::make_resnet18(mc);
+
+  fl::FLConfig config;
+  config.num_clients = num_clients;
+  config.clients_per_round = 8;
+  config.rounds = 4;
+  config.local_epochs = 1;
+  config.batch_size = 16;
+  config.lr = 0.06f;
+  config.seed = 7;
+  fl::FederatedTrainer trainer(*model, source, test, config);
+  trainer.set_dense_storage(true);
+
+  const auto t0 = Clock::now();
+  trainer.run();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  SweepPoint point;
+  point.num_clients = num_clients;
+  point.rounds_per_s = wall > 0.0 ? static_cast<double>(config.rounds) / wall : 0.0;
+  for (const auto& r : trainer.history()) {
+    point.wall_train_s += r.wall_train_s;
+    point.wall_agg_s += r.wall_agg_s;
+  }
+  point.acc_bytes = trainer.aggregator_resident_bytes();
+  point.peak_rss = metrics::peak_rss_bytes();
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  std::vector<int> sweep = {1'000, 10'000, 100'000};
+  if (!smoke) sweep.push_back(1'000'000);
+
+  nn::ModelConfig mc;
+  mc.num_classes = 10;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625f;
+  mc.seed = 7;
+  // One shared test split; evaluation happens once per run (final round).
+  auto test_spec = data::cifar10s_spec(8, /*train=*/32, /*test=*/64);
+  auto data = data::make_synthetic(test_spec, 7);
+
+  benchjson::Writer json("bench_server_throughput");
+  const std::string mode = kernels::mode_name(kernels::mode());
+
+  std::printf("Server throughput vs fleet size (8 clients/round, 4 rounds, %s kernels)\n",
+              mode.c_str());
+  std::printf("%12s %12s %12s %12s %14s %12s\n", "K", "rounds/s", "train_s", "agg_s",
+              "acc_bytes", "peak_rss_MB");
+
+  std::vector<SweepPoint> points;
+  for (int k : sweep) {
+    points.push_back(run_point(k, mc, data.test));
+    const auto& p = points.back();
+    std::printf("%12d %12.2f %12.3f %12.3f %14zu %12.1f\n", p.num_clients, p.rounds_per_s,
+                p.wall_train_s, p.wall_agg_s, p.acc_bytes,
+                static_cast<double>(p.peak_rss) / (1024.0 * 1024.0));
+    const double ms_round = p.rounds_per_s > 0.0 ? 1e3 / p.rounds_per_s : 0.0;
+    json.record("server_round", "K" + std::to_string(p.num_clients) + "-c8", 1.0, mode,
+                ms_round, /*flops=*/0.0, p.acc_bytes);
+    json.record("server_aggregate", "K" + std::to_string(p.num_clients) + "-c8", 1.0, mode,
+                p.wall_agg_s * 1e3 / 4.0, /*flops=*/0.0, p.acc_bytes);
+  }
+
+  // ---- Bounded-memory gates. ----
+  int failures = 0;
+  const SweepPoint& lo = points.front();
+  const SweepPoint& hi = points.back();
+  const size_t rss_growth = hi.peak_rss > lo.peak_rss ? hi.peak_rss - lo.peak_rss : 0;
+  const size_t rss_allow =
+      static_cast<size_t>(hi.num_clients) * 100 + size_t{64} * 1024 * 1024;
+  std::printf("\npeak RSS growth %zu -> %zu clients: %.1f MB (allowed %.1f MB)\n",
+              static_cast<size_t>(lo.num_clients), static_cast<size_t>(hi.num_clients),
+              static_cast<double>(rss_growth) / (1024.0 * 1024.0),
+              static_cast<double>(rss_allow) / (1024.0 * 1024.0));
+  if (rss_growth > rss_allow) {
+    std::printf("FAIL: fleet state leaked into the server: RSS grew faster than "
+                "100 B/client\n");
+    ++failures;
+  }
+  if (hi.acc_bytes > 2 * lo.acc_bytes) {
+    std::printf("FAIL: accumulator resident bytes scale with K (%zu at K=%d vs %zu at K=%d)\n",
+                hi.acc_bytes, hi.num_clients, lo.acc_bytes, lo.num_clients);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("OK: server state is fleet-size-independent across the sweep\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -82,7 +82,7 @@ def main():
         else:
             fail_factor = 1.0 + args.fail_threshold / 100.0
 
-    regressions = improvements = failures = 0
+    regressions = improvements = failures = mem_regressions = 0
     for key, rec in sorted(new.items()):
         old = base.get(key)
         if old is None or old["ns_op"] <= 0:
@@ -99,9 +99,26 @@ def main():
             regressions += 1
         elif ratio < 1.0 / args.threshold:
             improvements += 1
+        # Memory stamps (bench_json.h): peak RSS and resident accumulator
+        # bytes. Memory is host-comparable, but pre-stamp baselines may lack
+        # the fields — diff only when both sides carry them. Always
+        # warn-only: RSS includes allocator/runtime noise, and the hard
+        # bounded-memory gates live in the benches themselves.
+        for field, unit, fmt in (("max_rss_mb", "MB", "%.1f"),
+                                 ("acc_bytes", "B", "%.0f")):
+            ov, nv = old.get(field), rec.get(field)
+            if ov is None or nv is None or ov <= 0:
+                continue
+            mratio = nv / ov
+            if mratio > args.threshold:
+                print(f"WARN memory {mratio:5.2f}x  {label}  {field} "
+                      f"{fmt % ov} -> {fmt % nv} {unit}")
+                mem_regressions += 1
     missing = len(base.keys() - new.keys())
     print(f"compared {len(new)} records: {failures} failure(s), "
-          f"{regressions} regression warning(s), {improvements} improvement(s), "
+          f"{regressions} regression warning(s), "
+          f"{mem_regressions} memory warning(s), "
+          f"{improvements} improvement(s), "
           f"{missing} baseline record(s) unmatched")
     if failures:
         print(f"FAIL: {failures} record(s) regressed beyond "

@@ -13,7 +13,7 @@
 namespace fedtiny::core {
 
 BNSelectionReport select_coarse_mask(nn::Model& model, const data::Dataset& train_data,
-                                     const std::vector<std::vector<int64_t>>& partitions,
+                                     const data::PartitionArena& partitions,
                                      const BNSelectionConfig& config) {
   BNSelectionReport report;
   const std::vector<Tensor> dense_state = model.state();
@@ -81,7 +81,7 @@ BNSelectionReport select_coarse_mask(nn::Model& model, const data::Dataset& trai
   report.comm_bytes_per_device = metrics::bn_selection_comm_bytes(
       cost, report.mask.nnz(), static_cast<int>(pool.size()), bn_channels);
   const double mean_dev =
-      total_dev / static_cast<double>(std::max<size_t>(1, partitions.size()));
+      total_dev / static_cast<double>(std::max(1, partitions.num_clients()));
   const double passes = config.adaptive ? 2.0 : 1.0;  // refresh pass + eval pass
   report.extra_flops_per_device = passes * static_cast<double>(pool.size()) * mean_dev *
                                   cost.sparse_forward_flops(report.mask.layer_densities());

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/partition.h"
 #include "nn/model.h"
 #include "prune/candidates.h"
 #include "prune/mask.h"
@@ -39,8 +40,10 @@ struct BNSelectionReport {
 /// Run candidate selection. `model` must hold the pretrained dense state;
 /// it is restored to that state (with the winning mask applied and, for
 /// adaptive mode, the winning aggregated BN statistics installed) on return.
+/// Partitions come in compact arena form (nested index lists convert
+/// implicitly).
 BNSelectionReport select_coarse_mask(nn::Model& model, const data::Dataset& train_data,
-                                     const std::vector<std::vector<int64_t>>& partitions,
+                                     const data::PartitionArena& partitions,
                                      const BNSelectionConfig& config);
 
 }  // namespace fedtiny::core

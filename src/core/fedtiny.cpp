@@ -36,7 +36,8 @@ FedTinyTrainer::FedTinyTrainer(nn::Model& model, const data::Dataset& train_data
 
 const BNSelectionReport& FedTinyTrainer::initialize() {
   assert(!initialized_);
-  selection_report_ = select_coarse_mask(model_, train_data_, partitions_, ft_config_.selection);
+  assert(train_data_ != nullptr);  // FedTiny is built on materialized data
+  selection_report_ = select_coarse_mask(model_, *train_data_, partitions_, ft_config_.selection);
   capture_global_from_model();
   set_mask(selection_report_.mask);
   initialized_ = true;

@@ -1,0 +1,18 @@
+#include "data/client_source.h"
+
+#include <cassert>
+#include <vector>
+
+namespace fedtiny::data {
+
+Batch PartitionedSource::gather(int client, std::span<const int64_t> local_ids) const {
+  const auto indices = partitions_->client(client);
+  std::vector<int64_t> global_ids(local_ids.size());
+  for (size_t i = 0; i < local_ids.size(); ++i) {
+    assert(local_ids[i] >= 0 && local_ids[i] < static_cast<int64_t>(indices.size()));
+    global_ids[i] = indices[static_cast<size_t>(local_ids[i])];
+  }
+  return gather_batch(*dataset_, global_ids);
+}
+
+}  // namespace fedtiny::data

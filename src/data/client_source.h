@@ -1,0 +1,51 @@
+// Per-client training-data access for the federated round loop.
+//
+// The trainer never needs the fleet's data materialized — it needs, for one
+// client at a time, (a) the client's local sample count and (b) minibatches
+// gathered by *local* sample position. ClientDataSource is that contract.
+// Two implementations:
+//   - PartitionedSource: the historical path — a shared in-memory Dataset
+//     plus a compact PartitionArena mapping local positions to global rows.
+//     Bitwise-identical batches to the old index-list gather.
+//   - SyntheticFleetSource (data/synthetic.h): generate-on-demand — client
+//     k's sample j is a pure function of (seed, client, j), so a
+//     million-client fleet stores no training data at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+
+namespace fedtiny::data {
+
+class ClientDataSource {
+ public:
+  virtual ~ClientDataSource() = default;
+
+  [[nodiscard]] virtual int num_clients() const = 0;
+  /// Samples held by client k.
+  [[nodiscard]] virtual int64_t size(int client) const = 0;
+  /// Gather a minibatch by local sample position (each id in [0, size(k))).
+  [[nodiscard]] virtual Batch gather(int client,
+                                     std::span<const int64_t> local_ids) const = 0;
+};
+
+/// Shared dataset + compact partition arena (the historical trainer path).
+/// Non-owning: both referents must outlive the source.
+class PartitionedSource final : public ClientDataSource {
+ public:
+  PartitionedSource(const Dataset& dataset, const PartitionArena& partitions)
+      : dataset_(&dataset), partitions_(&partitions) {}
+
+  [[nodiscard]] int num_clients() const override { return partitions_->num_clients(); }
+  [[nodiscard]] int64_t size(int client) const override { return partitions_->size(client); }
+  [[nodiscard]] Batch gather(int client, std::span<const int64_t> local_ids) const override;
+
+ private:
+  const Dataset* dataset_;
+  const PartitionArena* partitions_;
+};
+
+}  // namespace fedtiny::data

@@ -5,6 +5,45 @@
 
 namespace fedtiny::data {
 
+PartitionArena::PartitionArena(const std::vector<std::vector<int64_t>>& parts) {
+  offsets_.reserve(parts.size() + 1);
+  offsets_.push_back(0);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  indices_.reserve(total);
+  for (const auto& p : parts) {
+    indices_.insert(indices_.end(), p.begin(), p.end());
+    offsets_.push_back(static_cast<int64_t>(indices_.size()));
+  }
+}
+
+PartitionArena PartitionArena::uniform(int num_clients, int64_t samples_per_client) {
+  PartitionArena arena;
+  arena.uniform_size_ = samples_per_client >= 0 ? samples_per_client : 0;
+  arena.uniform_clients_ = num_clients >= 0 ? num_clients : 0;
+  return arena;
+}
+
+std::vector<int64_t> PartitionArena::sizes() const {
+  std::vector<int64_t> out(static_cast<size_t>(num_clients()));
+  for (int k = 0; k < num_clients(); ++k) out[static_cast<size_t>(k)] = size(k);
+  return out;
+}
+
+std::vector<std::vector<int64_t>> PartitionArena::to_nested() const {
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_clients()));
+  for (int k = 0; k < num_clients(); ++k) {
+    if (uniform_size_ >= 0) {
+      out[static_cast<size_t>(k)].resize(static_cast<size_t>(uniform_size_));
+      for (int64_t j = 0; j < uniform_size_; ++j) out[static_cast<size_t>(k)][static_cast<size_t>(j)] = j;
+    } else {
+      const auto span = client(k);
+      out[static_cast<size_t>(k)].assign(span.begin(), span.end());
+    }
+  }
+  return out;
+}
+
 std::vector<std::vector<int64_t>> dirichlet_partition(const std::vector<int>& labels,
                                                       int num_clients, double alpha, Rng& rng,
                                                       int64_t min_per_client) {
@@ -70,6 +109,19 @@ std::vector<std::vector<int64_t>> development_split(
     const auto n = static_cast<int64_t>(partitions[k].size());
     const int64_t take = std::max<int64_t>(1, static_cast<int64_t>(fraction * static_cast<double>(n)));
     dev[k].assign(partitions[k].begin(), partitions[k].begin() + std::min(take, n));
+  }
+  return dev;
+}
+
+std::vector<std::vector<int64_t>> development_split(const PartitionArena& partitions,
+                                                    double fraction) {
+  std::vector<std::vector<int64_t>> dev(static_cast<size_t>(partitions.num_clients()));
+  for (int k = 0; k < partitions.num_clients(); ++k) {
+    const auto span = partitions.client(k);
+    const auto n = static_cast<int64_t>(span.size());
+    const int64_t take =
+        std::max<int64_t>(1, static_cast<int64_t>(fraction * static_cast<double>(n)));
+    dev[static_cast<size_t>(k)].assign(span.begin(), span.begin() + std::min(take, n));
   }
   return dev;
 }

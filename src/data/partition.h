@@ -2,12 +2,69 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
 #include "tensor/rng.h"
 
 namespace fedtiny::data {
+
+/// Compact arena form of a fleet partition: every client's sample-index list
+/// lives in one flat buffer addressed by K+1 offsets (CSR-style). A
+/// million-client fleet costs 8 B/client of offsets plus the indices
+/// themselves — no per-client heap vector (24 B + allocator overhead each,
+/// even when empty). Implicitly convertible from the nested form the
+/// partitioners produce so existing call sites keep working.
+class PartitionArena {
+ public:
+  PartitionArena() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate — the arena is a
+  // drop-in representation change for nested partition lists.
+  PartitionArena(const std::vector<std::vector<int64_t>>& parts);
+
+  /// On-demand uniform fleet: client k implicitly owns local samples
+  /// [0, samples_per_client) — no index storage at all (offsets are
+  /// computed, not stored).
+  static PartitionArena uniform(int num_clients, int64_t samples_per_client);
+
+  [[nodiscard]] int num_clients() const {
+    return uniform_size_ >= 0 ? uniform_clients_
+                              : static_cast<int>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] int64_t size(int client) const {
+    if (uniform_size_ >= 0) return uniform_size_;
+    return offsets_[static_cast<size_t>(client) + 1] - offsets_[static_cast<size_t>(client)];
+  }
+  /// Client k's sample indices. Empty (not a dangling view) for uniform
+  /// arenas, whose clients address their local samples implicitly.
+  [[nodiscard]] std::span<const int64_t> client(int k) const {
+    if (uniform_size_ >= 0) return {};
+    const auto lo = static_cast<size_t>(offsets_[static_cast<size_t>(k)]);
+    const auto hi = static_cast<size_t>(offsets_[static_cast<size_t>(k) + 1]);
+    return {indices_.data() + lo, hi - lo};
+  }
+  [[nodiscard]] int64_t total() const {
+    if (uniform_size_ >= 0) return uniform_size_ * uniform_clients_;
+    return static_cast<int64_t>(indices_.size());
+  }
+  /// Per-client sizes, one flat vector (for the round scheduler).
+  [[nodiscard]] std::vector<int64_t> sizes() const;
+  /// Resident footprint of the arena itself.
+  [[nodiscard]] size_t bytes() const {
+    return indices_.capacity() * sizeof(int64_t) + offsets_.capacity() * sizeof(int64_t);
+  }
+  /// Expand back to the nested form (test/diagnostic convenience only —
+  /// allocates K vectors, exactly what the arena exists to avoid).
+  [[nodiscard]] std::vector<std::vector<int64_t>> to_nested() const;
+
+ private:
+  std::vector<int64_t> indices_;  // all clients' indices, concatenated
+  std::vector<int64_t> offsets_;  // K+1 cut points into indices_
+  // Uniform on-demand form: no storage, sizes are implicit.
+  int64_t uniform_size_ = -1;
+  int uniform_clients_ = 0;
+};
 
 /// Label-distribution-skew non-iid partition: for each class, draw client
 /// proportions from Dirichlet(alpha) and assign that class's samples
@@ -26,5 +83,10 @@ std::vector<std::vector<int64_t>> iid_partition(int64_t num_samples, int num_cli
 /// lists; each has at least one element.
 std::vector<std::vector<int64_t>> development_split(
     const std::vector<std::vector<int64_t>>& partitions, double fraction);
+
+/// Arena overload: same first-`fraction` rule, reading straight from the
+/// compact form.
+std::vector<std::vector<int64_t>> development_split(const PartitionArena& partitions,
+                                                    double fraction);
 
 }  // namespace fedtiny::data

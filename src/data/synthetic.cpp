@@ -40,31 +40,59 @@ float prototype_value(const Prototype& proto, int64_t c, int64_t h, int64_t w, i
   return v / std::sqrt(static_cast<float>(proto[static_cast<size_t>(c)].size()));
 }
 
+/// Fill one [C, H, W] image from `rng` (shift draws, then per-pixel noise —
+/// the draw order every split and the on-demand fleet share). `dst` points
+/// at the sample's first element; rows are contiguous.
+void fill_sample(const SyntheticSpec& spec, const Prototype& proto, Rng& rng, float* dst) {
+  const int64_t s = spec.image_size;
+  const int64_t dh = rng.uniform_int(2 * spec.max_shift + 1) - spec.max_shift;
+  const int64_t dw = rng.uniform_int(2 * spec.max_shift + 1) - spec.max_shift;
+  for (int64_t c = 0; c < spec.channels; ++c) {
+    for (int64_t h = 0; h < s; ++h) {
+      for (int64_t w = 0; w < s; ++w) {
+        const int64_t sh = ((h + dh) % s + s) % s;
+        const int64_t sw = ((w + dw) % s + s) % s;
+        const float clean = spec.signal * prototype_value(proto, c, sh, sw, s);
+        dst[(c * s + h) * s + w] = clean + spec.noise * rng.normal();
+      }
+    }
+  }
+}
+
 Dataset generate_split(const SyntheticSpec& spec, const std::vector<Prototype>& prototypes,
                        int64_t n, Rng& rng) {
   Dataset ds;
   ds.num_classes = spec.num_classes;
   ds.images = Tensor({n, spec.channels, spec.image_size, spec.image_size});
   ds.labels.resize(static_cast<size_t>(n));
-  const int64_t s = spec.image_size;
+  const int64_t sample_elems = spec.channels * spec.image_size * spec.image_size;
   for (int64_t i = 0; i < n; ++i) {
     const int label = static_cast<int>(i % spec.num_classes);  // balanced
     ds.labels[static_cast<size_t>(i)] = label;
-    const auto& proto = prototypes[static_cast<size_t>(label)];
-    const int64_t dh = rng.uniform_int(2 * spec.max_shift + 1) - spec.max_shift;
-    const int64_t dw = rng.uniform_int(2 * spec.max_shift + 1) - spec.max_shift;
-    for (int64_t c = 0; c < spec.channels; ++c) {
-      for (int64_t h = 0; h < s; ++h) {
-        for (int64_t w = 0; w < s; ++w) {
-          const int64_t sh = ((h + dh) % s + s) % s;
-          const int64_t sw = ((w + dw) % s + s) % s;
-          const float clean = spec.signal * prototype_value(proto, c, sh, sw, s);
-          ds.images.at4(i, c, h, w) = clean + spec.noise * rng.normal();
-        }
-      }
-    }
+    fill_sample(spec, prototypes[static_cast<size_t>(label)], rng,
+                ds.images.data() + i * sample_elems);
   }
   return ds;
+}
+
+std::vector<Prototype> make_prototypes(const SyntheticSpec& spec, uint64_t seed) {
+  Rng proto_rng(seed, /*stream=*/0x9e3779b9);
+  std::vector<Prototype> prototypes;
+  prototypes.reserve(static_cast<size_t>(spec.num_classes));
+  for (int c = 0; c < spec.num_classes; ++c) prototypes.push_back(make_prototype(spec, proto_rng));
+  return prototypes;
+}
+
+// Stream tag for per-sample fleet draws: sample j of client k derives
+// Rng(derive_seed(derive_seed(seed, client, kFleetTag), j, 0)) — a pure
+// function of the counters, so generation order (or which samples a batch
+// requests) never changes a sample's pixels.
+constexpr uint64_t kFleetTag = 0xf1ee7da7aULL;
+
+Rng fleet_sample_rng(uint64_t seed, int client, int64_t sample) {
+  return Rng(derive_seed(derive_seed(seed, static_cast<uint64_t>(client), kFleetTag),
+                         static_cast<uint64_t>(sample), 0),
+             /*stream=*/0x5a3d);
 }
 
 }  // namespace
@@ -73,10 +101,7 @@ TrainTest make_synthetic(const SyntheticSpec& spec, uint64_t seed) {
   if (spec.num_classes <= 1 || spec.image_size < 4 || spec.train_size < spec.num_classes) {
     throw std::invalid_argument("make_synthetic: degenerate spec");
   }
-  Rng proto_rng(seed, /*stream=*/0x9e3779b9);
-  std::vector<Prototype> prototypes;
-  prototypes.reserve(static_cast<size_t>(spec.num_classes));
-  for (int c = 0; c < spec.num_classes; ++c) prototypes.push_back(make_prototype(spec, proto_rng));
+  const auto prototypes = make_prototypes(spec, seed);
 
   TrainTest out;
   Rng train_rng(seed, /*stream=*/0x1234);
@@ -141,6 +166,91 @@ SyntheticSpec spec_by_name(const std::string& name, int64_t image_size, int64_t 
   if (name == "cinic10s") return cinic10s_spec(image_size, train_size, test_size);
   if (name == "svhns") return svhns_spec(image_size, train_size, test_size);
   throw std::invalid_argument("unknown synthetic dataset: " + name);
+}
+
+// ---- Generate-on-demand fleet data -----------------------------------------
+
+namespace {
+
+int fleet_label(const SyntheticSpec& spec, int64_t sample) {
+  return static_cast<int>(sample % spec.num_classes);  // balanced per client
+}
+
+}  // namespace
+
+Dataset make_client_shard(const SyntheticSpec& spec, uint64_t seed, int client,
+                          int64_t samples_per_client) {
+  const auto prototypes = make_prototypes(spec, seed);
+  Dataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.images = Tensor({samples_per_client, spec.channels, spec.image_size, spec.image_size});
+  ds.labels.resize(static_cast<size_t>(samples_per_client));
+  const int64_t sample_elems = spec.channels * spec.image_size * spec.image_size;
+  for (int64_t j = 0; j < samples_per_client; ++j) {
+    const int label = fleet_label(spec, j);
+    ds.labels[static_cast<size_t>(j)] = label;
+    Rng rng = fleet_sample_rng(seed, client, j);
+    fill_sample(spec, prototypes[static_cast<size_t>(label)], rng,
+                ds.images.data() + j * sample_elems);
+  }
+  return ds;
+}
+
+Dataset make_fleet_dataset(const SyntheticSpec& spec, uint64_t seed, int num_clients,
+                           int64_t samples_per_client) {
+  const auto prototypes = make_prototypes(spec, seed);
+  const int64_t total = static_cast<int64_t>(num_clients) * samples_per_client;
+  Dataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.images = Tensor({total, spec.channels, spec.image_size, spec.image_size});
+  ds.labels.resize(static_cast<size_t>(total));
+  const int64_t sample_elems = spec.channels * spec.image_size * spec.image_size;
+  for (int k = 0; k < num_clients; ++k) {
+    for (int64_t j = 0; j < samples_per_client; ++j) {
+      const int64_t row = static_cast<int64_t>(k) * samples_per_client + j;
+      const int label = fleet_label(spec, j);
+      ds.labels[static_cast<size_t>(row)] = label;
+      Rng rng = fleet_sample_rng(seed, k, j);
+      fill_sample(spec, prototypes[static_cast<size_t>(label)], rng,
+                  ds.images.data() + row * sample_elems);
+    }
+  }
+  return ds;
+}
+
+struct SyntheticFleetSource::Impl {
+  std::vector<Prototype> prototypes;
+};
+
+SyntheticFleetSource::SyntheticFleetSource(SyntheticSpec spec, uint64_t seed, int num_clients,
+                                           int64_t samples_per_client)
+    : spec_(std::move(spec)), seed_(seed), num_clients_(num_clients),
+      samples_per_client_(samples_per_client) {
+  if (num_clients_ <= 0 || samples_per_client_ <= 0) {
+    throw std::invalid_argument("SyntheticFleetSource: empty fleet");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->prototypes = make_prototypes(spec_, seed_);
+  impl_ = std::move(impl);
+}
+
+SyntheticFleetSource::~SyntheticFleetSource() = default;
+
+Batch SyntheticFleetSource::gather(int client, std::span<const int64_t> local_ids) const {
+  const auto n = static_cast<int64_t>(local_ids.size());
+  Batch batch;
+  batch.x = Tensor({n, spec_.channels, spec_.image_size, spec_.image_size});
+  batch.y.resize(static_cast<size_t>(n));
+  const int64_t sample_elems = spec_.channels * spec_.image_size * spec_.image_size;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t j = local_ids[static_cast<size_t>(i)];
+    const int label = fleet_label(spec_, j);
+    batch.y[static_cast<size_t>(i)] = label;
+    Rng rng = fleet_sample_rng(seed_, client, j);
+    fill_sample(spec_, impl_->prototypes[static_cast<size_t>(label)], rng,
+                batch.x.data() + i * sample_elems);
+  }
+  return batch;
 }
 
 }  // namespace fedtiny::data

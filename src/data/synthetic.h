@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "data/client_source.h"
 #include "data/dataset.h"
 #include "tensor/rng.h"
 
@@ -51,5 +53,51 @@ SyntheticSpec svhns_spec(int64_t image_size, int64_t train_size, int64_t test_si
 /// "cinic10s", "svhns"). Throws std::invalid_argument for unknown names.
 SyntheticSpec spec_by_name(const std::string& name, int64_t image_size, int64_t train_size,
                            int64_t test_size);
+
+// ---- Generate-on-demand fleet data -----------------------------------------
+//
+// At million-client scale the fleet's training data must not be
+// materialized. Sample j of client k is a pure function of
+// (seed, client, j) — its own counter-derived RNG stream, independent of
+// every other sample — so a client's shard can be generated (and discarded)
+// the moment it trains. The class prototypes are shared with make_synthetic
+// for the same seed, so on-demand fleets classify against the same signal
+// as the materialized test split.
+
+/// Materialize client k's local shard (test oracle for the on-demand path).
+Dataset make_client_shard(const SyntheticSpec& spec, uint64_t seed, int client,
+                          int64_t samples_per_client);
+
+/// Materialize the whole fleet as one dataset: client k owns the contiguous
+/// row range [k*samples_per_client, (k+1)*samples_per_client). Identical
+/// sample-for-sample to make_client_shard — the equivalence the determinism
+/// tests pin. Only sensible for small K (it is what on-demand avoids).
+Dataset make_fleet_dataset(const SyntheticSpec& spec, uint64_t seed, int num_clients,
+                           int64_t samples_per_client);
+
+/// ClientDataSource that generates minibatches on demand from the counter
+/// RNG: O(1) resident data for any fleet size. Thread-safe for concurrent
+/// gather() calls (each sample derives a private RNG).
+class SyntheticFleetSource final : public ClientDataSource {
+ public:
+  SyntheticFleetSource(SyntheticSpec spec, uint64_t seed, int num_clients,
+                       int64_t samples_per_client);
+  ~SyntheticFleetSource() override;
+
+  [[nodiscard]] int num_clients() const override { return num_clients_; }
+  [[nodiscard]] int64_t size(int client) const override {
+    (void)client;
+    return samples_per_client_;
+  }
+  [[nodiscard]] Batch gather(int client, std::span<const int64_t> local_ids) const override;
+
+ private:
+  struct Impl;  // cached class prototypes
+  std::unique_ptr<const Impl> impl_;
+  SyntheticSpec spec_;
+  uint64_t seed_;
+  int num_clients_ = 0;
+  int64_t samples_per_client_ = 0;
+};
 
 }  // namespace fedtiny::data

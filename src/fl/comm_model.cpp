@@ -18,37 +18,41 @@ constexpr uint64_t kDropoutTag = 0xd203b07ULL;    // per-(round, client)
 }  // namespace
 
 CommModel::CommModel(const SimConfig& sim, uint64_t seed, int num_clients)
-    : sim_(sim), seed_(seed) {
-  profiles_.resize(static_cast<size_t>(num_clients < 0 ? 0 : num_clients));
-  for (int k = 0; k < num_clients; ++k) {
-    Rng rng(derive_seed(seed, static_cast<uint64_t>(k), kProfileTag), /*stream=*/0x9f0f11e);
-    DeviceLink& p = profiles_[static_cast<size_t>(k)];
-    // Log-uniform heterogeneity factor in [1/spread, spread]: multiplicative
-    // spread is symmetric around the fleet mean (a 4x-slow device is as
-    // likely as a 4x-fast one). Speed and bandwidth draw independently — a
-    // fast CPU behind a slow uplink is a real device class.
-    const double spread = sim.het_spread > 1.0 ? sim.het_spread : 1.0;
-    const double log_span = std::log(spread);
-    const double speed_mult = std::exp((2.0 * rng.uniform() - 1.0) * log_span);
-    const double bw_mult = std::exp((2.0 * rng.uniform() - 1.0) * log_span);
-    p.straggler = rng.uniform() < sim.straggler_fraction;
-    const double slow =
-        p.straggler && sim.straggler_slowdown > 1.0 ? sim.straggler_slowdown : 1.0;
-    p.flops_per_s = sim.device_flops_per_s > 0.0 ? sim.device_flops_per_s * speed_mult / slow : 0.0;
-    p.bandwidth_bps = sim.bandwidth_bps > 0.0 ? sim.bandwidth_bps * bw_mult / slow : 0.0;
-    p.latency_s = sim.latency_s > 0.0 ? sim.latency_s : 0.0;
-  }
+    : sim_(sim), seed_(seed), num_clients_(num_clients < 0 ? 0 : num_clients) {}
+
+DeviceLink CommModel::profile(int client) const {
+  // Derived fresh on every call from the (seed, client) counter stream —
+  // draw-for-draw identical to the table the model used to materialize, so
+  // simulated schedules are unchanged while fleet state stays O(1).
+  Rng rng(derive_seed(seed_, static_cast<uint64_t>(client), kProfileTag),
+          /*stream=*/0x9f0f11e);
+  DeviceLink p;
+  // Log-uniform heterogeneity factor in [1/spread, spread]: multiplicative
+  // spread is symmetric around the fleet mean (a 4x-slow device is as
+  // likely as a 4x-fast one). Speed and bandwidth draw independently — a
+  // fast CPU behind a slow uplink is a real device class.
+  const double spread = sim_.het_spread > 1.0 ? sim_.het_spread : 1.0;
+  const double log_span = std::log(spread);
+  const double speed_mult = std::exp((2.0 * rng.uniform() - 1.0) * log_span);
+  const double bw_mult = std::exp((2.0 * rng.uniform() - 1.0) * log_span);
+  p.straggler = rng.uniform() < sim_.straggler_fraction;
+  const double slow =
+      p.straggler && sim_.straggler_slowdown > 1.0 ? sim_.straggler_slowdown : 1.0;
+  p.flops_per_s = sim_.device_flops_per_s > 0.0 ? sim_.device_flops_per_s * speed_mult / slow : 0.0;
+  p.bandwidth_bps = sim_.bandwidth_bps > 0.0 ? sim_.bandwidth_bps * bw_mult / slow : 0.0;
+  p.latency_s = sim_.latency_s > 0.0 ? sim_.latency_s : 0.0;
+  return p;
 }
 
 double CommModel::transfer_s(int client, double bytes) const {
-  const DeviceLink& p = profile(client);
+  const DeviceLink p = profile(client);
   double t = p.latency_s;
   if (p.bandwidth_bps > 0.0 && bytes > 0.0) t += bytes / p.bandwidth_bps;
   return t;
 }
 
 double CommModel::train_s(int client, double flops) const {
-  const DeviceLink& p = profile(client);
+  const DeviceLink p = profile(client);
   if (p.flops_per_s <= 0.0 || flops <= 0.0) return 0.0;
   return flops / p.flops_per_s;
 }

@@ -9,16 +9,18 @@
 //
 // where bandwidth_k and device_flops_k are per-client values: the configured
 // fleet means scaled by a log-uniform heterogeneity factor and (for the
-// configured straggler fraction) a straggler slowdown, both drawn once per
-// client from counter-based (seed, client) RNG streams. Availability and
-// mid-round dropout are per-(round, client) draws from their own streams.
-// Every draw is a pure function of the counters — never of execution order
-// or wall time — so simulated schedules are bitwise-reproducible from
-// (seed, config) at any worker count.
+// configured straggler fraction) a straggler slowdown, both drawn from
+// counter-based (seed, client) RNG streams. Availability and mid-round
+// dropout are per-(round, client) draws from their own streams. Every draw
+// is a pure function of the counters — never of execution order or wall
+// time — so simulated schedules are bitwise-reproducible from (seed, config)
+// at any worker count. Profiles are REGENERATED from the counters on every
+// profile() call rather than materialized: a million-client fleet costs the
+// model zero resident bytes (out-of-core fleet state), and the derivation is
+// identical draw-for-draw to the historical cached table.
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
 #include "fl/config.h"
 
@@ -36,10 +38,9 @@ class CommModel {
  public:
   CommModel(const SimConfig& sim, uint64_t seed, int num_clients);
 
-  /// Client k's device/link profile (derived once, cached).
-  [[nodiscard]] const DeviceLink& profile(int client) const {
-    return profiles_[static_cast<size_t>(client)];
-  }
+  /// Client k's device/link profile, computed on demand from the
+  /// (seed, client) counter stream — O(1) time, no per-client storage.
+  [[nodiscard]] DeviceLink profile(int client) const;
 
   /// Simulated transfer time for `bytes` over client k's link (either
   /// direction; the link is modeled symmetric).
@@ -60,7 +61,7 @@ class CommModel {
  private:
   SimConfig sim_;
   uint64_t seed_;
-  std::vector<DeviceLink> profiles_;
+  int num_clients_ = 0;
 };
 
 }  // namespace fedtiny::fl

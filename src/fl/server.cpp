@@ -74,9 +74,12 @@ void StateAccumulator::add_sparse(const SparseUpdatePayload& update, double weig
   total_weight_ += weight;
 }
 
-std::vector<Tensor> StateAccumulator::average() const {
+std::vector<Tensor> StateAccumulator::average() {
   if (total_weight_ <= 0.0) return {};
-  std::vector<Tensor> out = sum_;
+  // Fold the final scale into the sum buffers and move them out — no
+  // fleet-sized copy. The accumulator is spent; the next add() re-seeds.
+  std::vector<Tensor> out = std::move(sum_);
+  sum_.clear();
   const auto inv = static_cast<float>(1.0 / total_weight_);
   for (auto& t : out) {
     for (auto& v : t.flat()) v *= inv;
@@ -84,29 +87,25 @@ std::vector<Tensor> StateAccumulator::average() const {
   return out;
 }
 
-std::vector<Tensor> StateAccumulator::average_sparse(
-    const prune::MaskSet& mask, const std::vector<int>& prunable_indices) const {
+std::vector<Tensor> StateAccumulator::average_sparse(const prune::MaskSet& mask,
+                                                     const std::vector<int>& prunable_indices) {
   if (total_weight_ <= 0.0) return {};
   assert(sparse_sum_.size() == prunable_indices.size());
   assert(mask.num_layers() == prunable_indices.size());
   const auto inv = static_cast<float>(1.0 / total_weight_);
-  // Scale the compact sums into a per-layer averaged update, then reuse the
-  // uplink reconstruction to scatter through the mask and interleave with
-  // the averaged dense remainder.
+  // Scale the compact sums in place, hand them to a payload by move, then
+  // reuse the uplink reconstruction to scatter through the mask and
+  // interleave with the (likewise moved) dense remainder.
   SparseUpdatePayload averaged;
-  averaged.sparse_layers.reserve(sparse_sum_.size());
-  for (const auto& layer : sparse_sum_) {
-    UpdateLayerPayload scaled;
-    scaled.shape = layer.shape;
-    scaled.values.reserve(layer.values.size());
-    for (float v : layer.values) scaled.values.push_back(v * inv);
-    averaged.sparse_layers.push_back(std::move(scaled));
+  averaged.sparse_layers = std::move(sparse_sum_);
+  sparse_sum_.clear();
+  for (auto& layer : averaged.sparse_layers) {
+    for (auto& v : layer.values) v *= inv;
   }
-  averaged.dense_tensors.reserve(sparse_dense_sum_.size());
-  for (const auto& t : sparse_dense_sum_) {
-    Tensor scaled = t;
-    for (auto& v : scaled.flat()) v *= inv;
-    averaged.dense_tensors.push_back(std::move(scaled));
+  averaged.dense_tensors = std::move(sparse_dense_sum_);
+  sparse_dense_sum_.clear();
+  for (auto& t : averaged.dense_tensors) {
+    for (auto& v : t.flat()) v *= inv;
   }
   return reconstruct_update(averaged, mask, prunable_indices);
 }

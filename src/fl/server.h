@@ -31,12 +31,16 @@ class StateAccumulator {
 
   /// Weighted average of dense add()s; empty vector when nothing was added
   /// (an empty round must not produce garbage in release builds).
-  [[nodiscard]] std::vector<Tensor> average() const;
+  /// Consuming: the final scale folds into the sum buffers in place (no
+  /// fleet-sized copy) and moves them out — the accumulator is spent until
+  /// the next add() starts a fresh accumulation.
+  [[nodiscard]] std::vector<Tensor> average();
 
   /// Weighted average of add_sparse() uplinks, scattered back to dense
   /// through the round mask. Empty vector when nothing was added.
-  [[nodiscard]] std::vector<Tensor> average_sparse(
-      const prune::MaskSet& mask, const std::vector<int>& prunable_indices) const;
+  /// Consuming, like average().
+  [[nodiscard]] std::vector<Tensor> average_sparse(const prune::MaskSet& mask,
+                                                   const std::vector<int>& prunable_indices);
 
   void reset();
 

@@ -1,0 +1,271 @@
+#include "fl/sharded_accumulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/parallel.h"
+
+namespace fedtiny::fl {
+
+namespace {
+
+/// Below this many elements a fold runs inline: spawning lanes costs more
+/// than the sweep (tiny-model regime, and nested inside training lanes the
+/// executor budget is usually exhausted anyway).
+constexpr size_t kShardMinElems = size_t{1} << 16;
+
+/// Run fn(lo, hi) over [0, total) split into contiguous shards, parallel on
+/// the executor budget. Shard boundaries never affect results — callers only
+/// perform independent per-element operations.
+template <typename Fn>
+void run_sharded(size_t total, Fn&& fn) {
+  const int budget = Executor::instance().thread_budget();
+  size_t shards = 1;
+  if (total >= 2 * kShardMinElems && budget > 0) {
+    shards = std::min<size_t>(static_cast<size_t>(budget) + 1, total / kShardMinElems);
+  }
+  if (shards <= 1) {
+    fn(size_t{0}, total);
+    return;
+  }
+  const size_t chunk = (total + shards - 1) / shards;
+  worker_pool_for(shards, static_cast<int>(shards), [&](int /*lane*/, size_t s) {
+    const size_t lo = s * chunk;
+    const size_t hi = std::min(total, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+}  // namespace
+
+void ShardedAccumulator::begin_round() {
+  mode_ = Mode::kIdle;
+  total_weight_ = 0.0;
+  folded_ = 0;
+  zeroed_ = false;  // first fold clears (or re-lays-out) the sums
+}
+
+void ShardedAccumulator::init_dense_layout(const std::vector<Tensor>& state) {
+  bool same = dense_shapes_.size() == state.size();
+  for (size_t i = 0; same && i < state.size(); ++i) {
+    same = dense_shapes_[i] == state[i].shape();
+  }
+  if (!same) {
+    dense_shapes_.resize(state.size());
+    offsets_.assign(state.size() + 1, 0);
+    for (size_t i = 0; i < state.size(); ++i) {
+      dense_shapes_[i] = state[i].shape();
+      offsets_[i + 1] = offsets_[i] + state[i].flat().size();
+    }
+    sum_.resize(offsets_.back());
+    sparse_counts_.clear();
+    sparse_shapes_.clear();
+    remainder_shapes_.clear();
+  }
+  run_sharded(sum_.size(), [&](size_t lo, size_t hi) {
+    std::memset(sum_.data() + lo, 0, (hi - lo) * sizeof(float));
+  });
+  zeroed_ = true;
+}
+
+void ShardedAccumulator::init_sparse_layout(const SparseUpdatePayload& update) {
+  const size_t ns = update.sparse_layers.size();
+  const size_t nd = update.dense_tensors.size();
+  bool same = sparse_counts_.size() == ns && remainder_shapes_.size() == nd;
+  for (size_t l = 0; same && l < ns; ++l) {
+    same = sparse_counts_[l] == update.sparse_layers[l].values.size() &&
+           sparse_shapes_[l] == update.sparse_layers[l].shape;
+  }
+  for (size_t i = 0; same && i < nd; ++i) {
+    same = remainder_shapes_[i] == update.dense_tensors[i].shape();
+  }
+  if (!same) {
+    sparse_counts_.resize(ns);
+    sparse_shapes_.resize(ns);
+    remainder_shapes_.resize(nd);
+    offsets_.assign(ns + nd + 1, 0);
+    for (size_t l = 0; l < ns; ++l) {
+      sparse_counts_[l] = update.sparse_layers[l].values.size();
+      sparse_shapes_[l] = update.sparse_layers[l].shape;
+      offsets_[l + 1] = offsets_[l] + sparse_counts_[l];
+    }
+    for (size_t i = 0; i < nd; ++i) {
+      remainder_shapes_[i] = update.dense_tensors[i].shape();
+      offsets_[ns + i + 1] = offsets_[ns + i] + update.dense_tensors[i].flat().size();
+    }
+    sum_.resize(offsets_.back());
+    dense_shapes_.clear();
+  }
+  run_sharded(sum_.size(), [&](size_t lo, size_t hi) {
+    std::memset(sum_.data() + lo, 0, (hi - lo) * sizeof(float));
+  });
+  zeroed_ = true;
+}
+
+void ShardedAccumulator::fold_spans(double weight) {
+  const auto w = static_cast<float>(weight);
+  run_sharded(sum_.size(), [&](size_t lo, size_t hi) {
+    // Walk the tensors overlapping [lo, hi); per-element arithmetic is
+    // identical whatever the shard cuts.
+    auto it = std::upper_bound(offsets_.begin(), offsets_.end(), lo);
+    auto i = static_cast<size_t>(it - offsets_.begin()) - 1;
+    while (lo < hi) {
+      const size_t end = std::min(hi, offsets_[i + 1]);
+      float* dst = sum_.data() + lo;
+      const float* src = srcs_[i] + (lo - offsets_[i]);
+      const size_t n = end - lo;
+      for (size_t j = 0; j < n; ++j) dst[j] += w * src[j];
+      lo = end;
+      ++i;
+    }
+  });
+}
+
+void ShardedAccumulator::fold(const std::vector<Tensor>& state, double weight) {
+  if (mode_ == Mode::kSparse) {
+    throw std::logic_error(
+        "ShardedAccumulator: fold() after fold_sparse() — the dense and "
+        "sparse ingestion paths must not be mixed in one round");
+  }
+  if (mode_ == Mode::kIdle || !zeroed_) {
+    init_dense_layout(state);
+    mode_ = Mode::kDense;
+  }
+  assert(dense_shapes_.size() == state.size());
+  srcs_.resize(state.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    assert(state[i].flat().size() == offsets_[i + 1] - offsets_[i]);
+    srcs_[i] = state[i].data();
+  }
+  fold_spans(weight);
+  total_weight_ += weight;
+  ++folded_;
+}
+
+void ShardedAccumulator::fold_sparse(const SparseUpdatePayload& update, double weight) {
+  if (mode_ == Mode::kDense) {
+    throw std::logic_error(
+        "ShardedAccumulator: fold_sparse() after fold() — the dense and "
+        "sparse ingestion paths must not be mixed in one round");
+  }
+  if (mode_ == Mode::kIdle || !zeroed_) {
+    init_sparse_layout(update);
+    mode_ = Mode::kSparse;
+  }
+  // Uplinks must agree layer-for-layer with the first one accepted this
+  // round; a foreign/truncated payload is dropped instead of read past.
+  const size_t ns = sparse_counts_.size();
+  assert(ns == update.sparse_layers.size());
+  assert(remainder_shapes_.size() == update.dense_tensors.size());
+  if (ns != update.sparse_layers.size() ||
+      remainder_shapes_.size() != update.dense_tensors.size()) {
+    return;
+  }
+  for (size_t l = 0; l < ns; ++l) {
+    assert(sparse_counts_[l] == update.sparse_layers[l].values.size());
+    if (sparse_counts_[l] != update.sparse_layers[l].values.size()) return;
+  }
+  srcs_.resize(ns + update.dense_tensors.size());
+  for (size_t l = 0; l < ns; ++l) srcs_[l] = update.sparse_layers[l].values.data();
+  for (size_t i = 0; i < update.dense_tensors.size(); ++i) {
+    assert(update.dense_tensors[i].flat().size() == offsets_[ns + i + 1] - offsets_[ns + i]);
+    srcs_[ns + i] = update.dense_tensors[i].data();
+  }
+  fold_spans(weight);
+  total_weight_ += weight;
+  ++folded_;
+}
+
+bool ShardedAccumulator::average_into(std::vector<Tensor>& out) {
+  if (total_weight_ <= 0.0 || mode_ != Mode::kDense) return false;
+  const auto inv = static_cast<float>(1.0 / total_weight_);
+  if (out.size() != dense_shapes_.size()) out.resize(dense_shapes_.size());
+  for (size_t i = 0; i < dense_shapes_.size(); ++i) {
+    if (out[i].shape() != dense_shapes_[i]) out[i] = Tensor(dense_shapes_[i]);
+  }
+  run_sharded(sum_.size(), [&](size_t lo, size_t hi) {
+    auto it = std::upper_bound(offsets_.begin(), offsets_.end(), lo);
+    auto i = static_cast<size_t>(it - offsets_.begin()) - 1;
+    while (lo < hi) {
+      const size_t end = std::min(hi, offsets_[i + 1]);
+      float* dst = out[i].data() + (lo - offsets_[i]);
+      const float* src = sum_.data() + lo;
+      const size_t n = end - lo;
+      for (size_t j = 0; j < n; ++j) dst[j] = src[j] * inv;
+      lo = end;
+      ++i;
+    }
+  });
+  return true;
+}
+
+bool ShardedAccumulator::average_sparse_into(std::vector<Tensor>& out, const prune::MaskSet& mask,
+                                             const std::vector<int>& prunable_indices) {
+  if (total_weight_ <= 0.0 || mode_ != Mode::kSparse) return false;
+  const size_t ns = sparse_counts_.size();
+  if (mask.num_layers() != ns || prunable_indices.size() != ns) return false;
+  const size_t total = ns + remainder_shapes_.size();
+  // Placement mirrors place_state(): prunable layer l lands at
+  // prunable_indices[l], the dense remainder fills the rest in order.
+  std::vector<char> is_sparse(total, 0);
+  std::vector<size_t> slot_of(total, 0);  // state index -> layout entry
+  for (size_t l = 0; l < ns; ++l) {
+    const int idx = prunable_indices[l];
+    if (idx < 0 || static_cast<size_t>(idx) >= total || is_sparse[static_cast<size_t>(idx)]) {
+      return false;
+    }
+    is_sparse[static_cast<size_t>(idx)] = 1;
+    slot_of[static_cast<size_t>(idx)] = l;
+  }
+  // Validate support sizes against the mask before touching `out`.
+  for (size_t l = 0; l < ns; ++l) {
+    const auto& m = mask.layer(l);
+    if (static_cast<int64_t>(m.size()) != Tensor::compute_numel(sparse_shapes_[l])) return false;
+    size_t kept = 0;
+    for (uint8_t bit : m) kept += bit != 0 ? 1 : 0;
+    if (kept != sparse_counts_[l]) return false;
+  }
+  const auto inv = static_cast<float>(1.0 / total_weight_);
+  if (out.size() != total) out.resize(total);
+  size_t dense_at = ns;  // layout entries ns.. are the remainder, in order
+  std::vector<size_t> entry_of(total, 0);
+  for (size_t i = 0; i < total; ++i) {
+    entry_of[i] = is_sparse[i] ? slot_of[i] : dense_at++;
+  }
+  // Scatter/scale each state tensor in place, parallel across tensors (the
+  // per-layer `at` cursor makes intra-layer splits awkward; tensors are few
+  // and large, which is parallelism enough).
+  const int budget = Executor::instance().thread_budget();
+  const int workers = sum_.size() >= 2 * kShardMinElems ? budget + 1 : 1;
+  worker_pool_for(total, workers, [&](int /*lane*/, size_t i) {
+    const size_t e = entry_of[i];
+    const auto& shape = is_sparse[i] ? sparse_shapes_[slot_of[i]] : remainder_shapes_[e - ns];
+    if (out[i].shape() != shape) out[i] = Tensor(shape);
+    auto data = out[i].flat();
+    const float* src = sum_.data() + offsets_[e];
+    if (is_sparse[i]) {
+      const auto& m = mask.layer(slot_of[i]);
+      size_t at = 0;
+      for (size_t j = 0; j < data.size(); ++j) {
+        data[j] = m[j] != 0 ? src[at++] * inv : 0.0f;
+      }
+    } else {
+      for (size_t j = 0; j < data.size(); ++j) data[j] = src[j] * inv;
+    }
+  });
+  return true;
+}
+
+size_t ShardedAccumulator::resident_bytes() const {
+  size_t bytes = sum_.capacity() * sizeof(float) + offsets_.capacity() * sizeof(size_t) +
+                 srcs_.capacity() * sizeof(const float*);
+  for (const auto& s : dense_shapes_) bytes += s.capacity() * sizeof(int64_t);
+  for (const auto& s : sparse_shapes_) bytes += s.capacity() * sizeof(int64_t);
+  for (const auto& s : remainder_shapes_) bytes += s.capacity() * sizeof(int64_t);
+  bytes += sparse_counts_.capacity() * sizeof(size_t);
+  return bytes;
+}
+
+}  // namespace fedtiny::fl

@@ -1,0 +1,102 @@
+// ShardedAccumulator: the streaming replacement for the batch
+// StateAccumulator in the federated round loop.
+//
+// The server never holds more than one uplink plus one packed sum buffer:
+// each arriving client state (dense or sparse-compact) is folded into the
+// sums the moment the trainer hands it over, in simulated-clock arrival
+// order, and the buffers are reused round after round. The sums live in ONE
+// flat float arena spanning the concatenated parameter space; folds and the
+// final scale run parallel across contiguous *shards* of that arena on the
+// process Executor. Because every operation is per-element
+// (sum[j] += w * src[j]; out[j] = sum[j] * inv), shard boundaries and lane
+// counts cannot change a single bit — any shard/worker count reproduces the
+// serial StateAccumulator bitwise as long as clients fold in the same order,
+// which the trainer guarantees (ascending client order in sync, pop order in
+// async).
+//
+// average_into()/average_sparse_into() write the weighted mean straight into
+// the caller's state tensors (the trainer's global model) instead of
+// returning a fresh fleet-sized copy, and the sparse scatter reuses those
+// same tensors as its scratch — zero per-round allocation once the layout is
+// warm.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fl/payload.h"
+#include "prune/mask.h"
+#include "tensor/tensor.h"
+
+namespace fedtiny::fl {
+
+class ShardedAccumulator {
+ public:
+  /// Start a new accumulation. O(1): buffers are kept and lazily zeroed (or
+  /// re-laid-out) by the first fold, so an empty round costs nothing.
+  void begin_round();
+
+  /// Fold one dense uplink: sum[j] += weight * state[j], shard-parallel.
+  /// Same mixing rule as StateAccumulator: dense and sparse ingestion must
+  /// not meet in one round (throws std::logic_error).
+  void fold(const std::vector<Tensor>& state, double weight);
+
+  /// Fold one sparse-exchange uplink compactly: O(nnz) per client, no
+  /// densify. Payloads disagreeing with the round's first accepted layout
+  /// are dropped (mirrors StateAccumulator::add_sparse).
+  void fold_sparse(const SparseUpdatePayload& update, double weight);
+
+  [[nodiscard]] bool empty() const { return total_weight_ == 0.0; }
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+  [[nodiscard]] int folded() const { return folded_; }
+
+  /// Scale the dense sums by 1/total_weight into `out`, reallocating its
+  /// tensors only on shape change. Returns false (leaving `out` untouched)
+  /// when nothing was folded — an empty round keeps the previous state.
+  bool average_into(std::vector<Tensor>& out);
+
+  /// Sparse-path average: scale the compact sums and scatter them through
+  /// the round mask into `out` (Model::state() layout, prunable layer l at
+  /// prunable_indices[l], dense remainder in order; pruned coordinates get
+  /// exact zeros). Returns false on an empty round or a mask/layout
+  /// mismatch, leaving `out` untouched.
+  bool average_sparse_into(std::vector<Tensor>& out, const prune::MaskSet& mask,
+                           const std::vector<int>& prunable_indices);
+
+  /// Bytes resident in the accumulator's packed buffers — the server-side
+  /// aggregation footprint, independent of fleet size.
+  [[nodiscard]] size_t resident_bytes() const;
+
+ private:
+  enum class Mode { kIdle, kDense, kSparse };
+
+  void init_dense_layout(const std::vector<Tensor>& state);
+  void init_sparse_layout(const SparseUpdatePayload& update);
+  /// sum_[offsets_[i] + a .. offsets_[i] + b) += w * srcs[i][a .. b),
+  /// shard-parallel over the packed arena.
+  void fold_spans(double weight);
+
+  Mode mode_ = Mode::kIdle;
+  double total_weight_ = 0.0;
+  int folded_ = 0;
+
+  // Packed sum arena + per-tensor layout. Dense mode: one entry per state
+  // tensor. Sparse mode: one entry per compact prunable layer, then one per
+  // dense-remainder tensor.
+  std::vector<float> sum_;
+  std::vector<size_t> offsets_;  // tensor_count + 1 prefix offsets into sum_
+  bool zeroed_ = false;          // sums cleared since begin_round()
+
+  // Dense-mode shapes (layout identity + average_into allocation).
+  std::vector<std::vector<int64_t>> dense_shapes_;
+  // Sparse-mode layout: compact value counts + shapes per prunable layer,
+  // then dense-remainder shapes.
+  std::vector<size_t> sparse_counts_;
+  std::vector<std::vector<int64_t>> sparse_shapes_;
+  std::vector<std::vector<int64_t>> remainder_shapes_;
+
+  // Per-fold source pointers (scratch, reused).
+  std::vector<const float*> srcs_;
+};
+
+}  // namespace fedtiny::fl

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
 #include "fl/evaluate.h"
@@ -15,18 +17,49 @@
 
 namespace fedtiny::fl {
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
 FederatedTrainer::FederatedTrainer(nn::Model& model, const data::Dataset& train_data,
                                    const data::Dataset& test_data,
                                    std::vector<std::vector<int64_t>> partitions, FLConfig config)
     : model_(model),
-      train_data_(train_data),
+      train_data_(&train_data),
       test_data_(test_data),
-      partitions_(std::move(partitions)),
+      partitions_(partitions),
       config_(config),
       cost_(metrics::analyze_model(model)),
       rng_(config.seed, /*stream=*/0xfed),
       comm_(config.sim, config.seed, config.num_clients) {
-  assert(static_cast<int>(partitions_.size()) == config_.num_clients);
+  assert(partitions_.num_clients() == config_.num_clients);
+  // The source points at this trainer's own members; both outlive it.
+  source_ = std::make_shared<data::PartitionedSource>(*train_data_, partitions_);
+  sizes_ = partitions_.sizes();
+  mask_ = prune::MaskSet::ones_like(model_);
+  global_ = model_.state();
+}
+
+FederatedTrainer::FederatedTrainer(nn::Model& model,
+                                   std::shared_ptr<const data::ClientDataSource> source,
+                                   const data::Dataset& test_data, FLConfig config)
+    : model_(model),
+      test_data_(test_data),
+      config_(config),
+      cost_(metrics::analyze_model(model)),
+      rng_(config.seed, /*stream=*/0xfed),
+      source_(std::move(source)),
+      comm_(config.sim, config.seed, config.num_clients) {
+  assert(source_ != nullptr);
+  assert(source_->num_clients() == config_.num_clients);
+  sizes_.resize(static_cast<size_t>(source_->num_clients()));
+  for (int k = 0; k < source_->num_clients(); ++k) {
+    sizes_[static_cast<size_t>(k)] = source_->size(k);
+  }
   mask_ = prune::MaskSet::ones_like(model_);
   global_ = model_.state();
 }
@@ -46,8 +79,8 @@ void FederatedTrainer::apply_mask_to_global() {
 }
 
 void FederatedTrainer::local_train(nn::Model& model, int client, int round, float lr) {
-  const auto& indices = partitions_[static_cast<size_t>(client)];
-  if (indices.empty()) return;
+  const int64_t n = client_size(client);
+  if (n == 0) return;
   nn::SGD sgd({lr, config_.momentum, config_.weight_decay});
   const auto param_masks = mask_.for_params(model);
   // With sparse training installed the CSR values go stale at every step;
@@ -58,13 +91,13 @@ void FederatedTrainer::local_train(nn::Model& model, int client, int round, floa
                              static_cast<uint64_t>(client)),
                  /*stream=*/0xc11e47);
   for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
-    auto perm = client_rng.permutation(static_cast<int64_t>(indices.size()));
-    std::vector<int64_t> shuffled(indices.size());
-    for (size_t i = 0; i < indices.size(); ++i) {
-      shuffled[i] = indices[static_cast<size_t>(perm[i])];
-    }
-    for (const auto& chunk : data::chunk_indices(shuffled, config_.batch_size)) {
-      auto batch = data::gather_batch(train_data_, chunk);
+    // The permutation is over *local* sample positions; the source maps them
+    // to whatever backs them (global rows, or nothing at all for
+    // generate-on-demand shards). Same sample sequence as the historical
+    // shuffled-global-index path, batch for batch.
+    auto perm = client_rng.permutation(n);
+    for (const auto& chunk : data::chunk_indices(perm, config_.batch_size)) {
+      auto batch = source_->gather(client, chunk);
       model.zero_grad();
       Tensor logits = model.forward(batch.x, nn::Mode::kTrain);
       auto loss = nn::softmax_cross_entropy(logits, batch.y);
@@ -81,15 +114,15 @@ std::vector<std::vector<prune::ScoredIndex>> FederatedTrainer::topk_pruned_grads
   assert(quota.size() == prunable.size());
   std::vector<std::vector<prune::ScoredIndex>> out(prunable.size());
 
-  const auto& indices = partitions_[static_cast<size_t>(client)];
-  if (indices.empty()) return out;
+  const int64_t n = client_size(client);
+  if (n == 0) return out;
   // Two batches' worth of samples: the growth signal (Eq. 6) is the only
   // guidance the server gets for pruned coordinates, so halving its variance
   // is worth one extra forward/backward.
-  const auto take =
-      std::min<int64_t>(2 * config_.batch_size, static_cast<int64_t>(indices.size()));
-  auto batch = data::gather_batch(
-      train_data_, std::span<const int64_t>(indices.data(), static_cast<size_t>(take)));
+  const auto take = std::min<int64_t>(2 * config_.batch_size, n);
+  std::vector<int64_t> head(static_cast<size_t>(take));
+  std::iota(head.begin(), head.end(), int64_t{0});
+  auto batch = source_->gather(client, head);
 
   model.zero_grad();
   Tensor logits = model.forward(batch.x, nn::Mode::kTrain);
@@ -168,14 +201,6 @@ std::vector<double> FederatedTrainer::cohort_train_flops(const RoundPlan& plan, 
   return flops;
 }
 
-std::vector<int64_t> FederatedTrainer::partition_sizes() const {
-  std::vector<int64_t> sizes(partitions_.size());
-  for (size_t k = 0; k < partitions_.size(); ++k) {
-    sizes[k] = static_cast<int64_t>(partitions_[k].size());
-  }
-  return sizes;
-}
-
 int FederatedTrainer::resolve_workers(int active_clients) const {
   int workers = config_.parallel_clients;
   if (workers == 0) workers = default_pool_workers();
@@ -237,7 +262,7 @@ void FederatedTrainer::run_round(int round) {
   // ---- Scheduler: who participates this round, and with what FedAvg
   // weight denominator. A pure function of (config, round) — independent of
   // execution order and worker count.
-  const auto sizes = partition_sizes();
+  const auto& sizes = partition_sizes();
   RoundPlan plan = plan_round(config_, sizes, round);
 
   before_round(round);
@@ -281,70 +306,100 @@ void FederatedTrainer::run_round(int round) {
     straggler_up = static_cast<double>(plan.stragglers) * uplink_bytes_estimate(quota);
   }
 
-  // ---- Local training across the surviving clients (worker pool).
+  const auto round_t0 = std::chrono::steady_clock::now();
+  double agg_seconds = 0.0;
+
+  // ---- Local training across the surviving clients (worker pool), with
+  // each uplink STREAMING into the sharded accumulator as soon as the
+  // ascending-client-order prefix reaches it — the server fold overlaps
+  // client training, and each ClientResult is freed the moment it folds, so
+  // resident uplinks stay O(granted lanes), not O(cohort).
   std::vector<ClientResult> results(active.size());
   auto train_one = [&](nn::Model& model, size_t slot) {
     train_client_into(model, active[slot], round, lr, quota, round_start,
                       /*keep_dense_state=*/false, results[slot]);
   };
 
-  // Reduction runs in client order whatever the lane count, so parallel
+  // Folds run in client order whatever the lane count, so parallel
   // schedules are bitwise identical to sequential ones. FedAvg weights are
   // renormalized over this round's surviving participants
   // (plan.total_samples); in sparse-exchange mode the sample count comes
   // off the wire.
-  StateAccumulator state_acc;
+  agg_.begin_round();
   std::vector<SparseGradAccumulator> grad_acc(quota.empty() ? 0 : prunable.size());
   double measured_up = 0.0;
-  auto reduce_one = [&](size_t slot) {
+  auto fold_one = [&](size_t slot) {
+    const auto t0 = std::chrono::steady_clock::now();
     auto& result = results[slot];
     const auto samples = config_.sparse_exchange ? result.update.num_samples
                                                  : client_size(active[slot]);
     const double weight = static_cast<double>(samples) / std::max(1.0, plan.total_samples);
     if (config_.sparse_exchange) {
-      state_acc.add_sparse(result.update, weight);
+      agg_.fold_sparse(result.update, weight);
     } else {
-      state_acc.add(result.state, weight);
+      agg_.fold(result.state, weight);
     }
     measured_up += result.upload_bytes;
     if (!quota.empty()) {
       for (size_t l = 0; l < result.grads.size(); ++l) grad_acc[l].add(result.grads[l], weight);
     }
     result = ClientResult{};  // drop the uplink buffers as soon as consumed
+    agg_seconds += seconds_since(t0);
   };
 
   // Lanes come from the process-wide executor budget: nested parallelism
   // (harness runs x clients) degrades to fewer lanes — eventually inline —
   // instead of oversubscribing, and any lane count is bitwise-equivalent.
-  // The LaneSet scope ends before the serial reduction so the budget is
-  // back in the pool while this round folds its uplinks.
   const int want = resolve_workers(static_cast<int>(active.size()));
   bool ran_parallel = false;
   if (want > 1) {
     LaneSet lanes(want);
     if (lanes.lanes() > 1) {
       for (int w = 0; w < lanes.lanes(); ++w) worker_model(w);  // replicas up front
-      lanes.for_each(active.size(), [&](int w, size_t i) { train_one(worker_model(w), i); });
+      // Fold-on-arrival: after finishing slot i, a lane folds every
+      // contiguous ready slot starting at the fold cursor. The last
+      // finisher of a prefix drains it, so folds happen as soon as client
+      // order allows instead of after the barrier.
+      std::mutex fold_mu;
+      std::vector<char> ready(active.size(), 0);
+      size_t next_fold = 0;
+      lanes.for_each(active.size(), [&](int w, size_t i) {
+        train_one(worker_model(w), i);
+        std::lock_guard<std::mutex> lock(fold_mu);
+        ready[i] = 1;
+        while (next_fold < active.size() && ready[next_fold] != 0) {
+          fold_one(next_fold);
+          ++next_fold;
+        }
+      });
+      assert(next_fold == active.size());
       ran_parallel = true;
     }
   }
-  if (ran_parallel) {
-    for (size_t i = 0; i < active.size(); ++i) reduce_one(i);
-  } else {
+  if (!ran_parallel) {
     // Sequential: fold each client straight into the accumulators so only
     // one uplink is in memory at a time (O(1) extra, any client count).
     for (size_t i = 0; i < active.size(); ++i) {
       train_one(model_, i);
-      reduce_one(i);
+      fold_one(i);
     }
   }
-  auto averaged = config_.sparse_exchange ? state_acc.average_sparse(mask_, prunable)
-                                          : state_acc.average();
-  if (!averaged.empty()) global_ = std::move(averaged);  // empty round: keep state
-  if (!quota.empty()) {
-    aggregated_grads_.assign(prunable.size(), {});
-    for (size_t l = 0; l < grad_acc.size(); ++l) aggregated_grads_[l] = grad_acc[l].average();
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    // Scale the packed sums straight into the global state (no fleet-sized
+    // copy); an empty round keeps the previous state.
+    if (config_.sparse_exchange) {
+      agg_.average_sparse_into(global_, mask_, prunable);
+    } else {
+      agg_.average_into(global_);
+    }
+    if (!quota.empty()) {
+      aggregated_grads_.assign(prunable.size(), {});
+      for (size_t l = 0; l < grad_acc.size(); ++l) aggregated_grads_[l] = grad_acc[l].average();
+    }
+    agg_seconds += seconds_since(t0);
   }
+  const double round_seconds = seconds_since(round_t0);
   // Keep pruned coordinates exactly zero after averaging.
   apply_mask_to_global();
 
@@ -353,7 +408,8 @@ void FederatedTrainer::run_round(int round) {
 
   clock_.advance_to(dispatch_s + plan.duration_s);
   record_round(round, plan, static_cast<int>(active.size()), /*mean_staleness=*/0.0, dispatch_s,
-               measured_down, measured_up + straggler_up);
+               measured_down, measured_up + straggler_up,
+               std::max(0.0, round_seconds - agg_seconds), agg_seconds);
 }
 
 std::vector<Tensor> FederatedTrainer::broadcast_round_start(size_t& wire_bytes) {
@@ -375,7 +431,8 @@ std::vector<Tensor> FederatedTrainer::broadcast_round_start(size_t& wire_bytes) 
 
 void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggregated,
                                     double mean_staleness, double dispatch_s,
-                                    double measured_down, double measured_up) {
+                                    double measured_down, double measured_up,
+                                    double wall_train_s, double wall_agg_s) {
   RoundStats stats;
   stats.round = round;
   stats.participants = plan.participants;
@@ -386,6 +443,8 @@ void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggreg
   stats.round_time_s = clock_.now() - dispatch_s;
   stats.sim_time_s = clock_.now();
   stats.mean_staleness = mean_staleness;
+  stats.wall_train_s = wall_train_s;
+  stats.wall_agg_s = wall_agg_s;
   stats.device_flops = round_training_flops(round, plan);
   stats.comm_bytes_analytic = round_comm_bytes_analytic(round, plan);
   stats.comm_bytes =
@@ -401,13 +460,13 @@ void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggreg
 
 void FederatedTrainer::run_async() {
   // Async event loop: each iteration dispatches one cohort at the current
-  // simulated time, then aggregates the first M uplink arrivals from the
-  // event queue — which may include stragglers dispatched rounds ago, folded
-  // with staleness-discounted weights. Client training executes eagerly at
+  // simulated time, then folds the first M uplink arrivals from the event
+  // queue — which may include stragglers dispatched rounds ago, folded with
+  // staleness-discounted weights. Client training executes eagerly at
   // dispatch (the clock, not the executor, decides when an upload *lands*),
   // so the executor stays saturated while round r+1 overlaps the stragglers
   // of round r on the simulated timeline.
-  const auto sizes = partition_sizes();
+  const auto& sizes = partition_sizes();
   const auto& prunable = model_.prunable_indices();
 
   struct Pending {
@@ -434,6 +493,7 @@ void FederatedTrainer::run_async() {
                    uplink_bytes_estimate(quota), cohort_train_flops(plan, round), sizes);
     const std::vector<int>& active = plan.clients;
 
+    const auto train_t0 = std::chrono::steady_clock::now();
     // Train the surviving cohort eagerly on the executor lanes.
     std::vector<ClientResult> results(active.size());
     const int want = resolve_workers(static_cast<int>(active.size()));
@@ -453,6 +513,7 @@ void FederatedTrainer::run_async() {
     if (!ran_parallel) {
       for (size_t i = 0; i < active.size(); ++i) train_one(model_, i);
     }
+    const double wall_train_s = seconds_since(train_t0);
 
     // Enqueue their arrivals on the simulated clock and charge the round's
     // exchanged bytes at dispatch (uplinks are transmitted regardless of
@@ -488,7 +549,10 @@ void FederatedTrainer::run_async() {
     const double measured_down =
         static_cast<double>(wire_bytes) * static_cast<double>(trainable - plan.unavailable);
 
-    // ---- Aggregate the first M arrivals (FedBuff-style buffer). ----
+    // ---- Fold the first M arrivals (FedBuff-style buffer), streaming:
+    // each popped uplink folds into the sharded accumulator and its buffers
+    // are freed before the next pop. ----
+    const auto agg_t0 = std::chrono::steady_clock::now();
     int m = config_.sim.async_aggregate_m;
     if (m <= 0) m = std::max(1, static_cast<int>(trainable) / 2);
     const size_t m_eff = std::min(static_cast<size_t>(m), clock_.pending());
@@ -497,7 +561,7 @@ void FederatedTrainer::run_async() {
     // under an older mask, whose sparse support no longer matches the
     // current round's — dense folding keeps the arithmetic well-defined and
     // the post-aggregate re-mask restores exact zeros off the live support.
-    StateAccumulator state_acc;
+    agg_.begin_round();
     std::vector<SparseGradAccumulator> grad_acc(prunable.size());
     bool any_fresh_grads = false;
     double staleness_sum = 0.0;
@@ -509,7 +573,7 @@ void FederatedTrainer::run_async() {
       const double discount =
           std::pow(1.0 + staleness, -config_.sim.staleness_alpha);
       const double weight = static_cast<double>(p.samples) * discount;
-      state_acc.add(p.result.state, weight);
+      agg_.fold(p.result.state, weight);
       // Gradient probes feed mask surgery against *this* round's quota and
       // scheduled block, so only fresh arrivals (dispatched this round)
       // contribute — a straggler's probe was measured under an older mask
@@ -523,8 +587,7 @@ void FederatedTrainer::run_async() {
       p = Pending{};  // free the buffers
       free_slots.push_back(e.slot);
     }
-    auto averaged = state_acc.average();  // divides by the summed weights
-    if (!averaged.empty()) global_ = std::move(averaged);
+    agg_.average_into(global_);  // divides by the summed weights; empty: keep
     if (any_fresh_grads) {
       aggregated_grads_.assign(prunable.size(), {});
       for (size_t l = 0; l < prunable.size(); ++l) aggregated_grads_[l] = grad_acc[l].average();
@@ -535,13 +598,14 @@ void FederatedTrainer::run_async() {
       // the honest behavior for a backlogged async federation).
       aggregated_grads_.clear();
     }
+    const double wall_agg_s = seconds_since(agg_t0);
     apply_mask_to_global();
     after_aggregate(round);
     apply_mask_to_global();
 
     record_round(round, plan, static_cast<int>(m_eff),
                  m_eff > 0 ? staleness_sum / static_cast<double>(m_eff) : 0.0, dispatch_s,
-                 measured_down, measured_up);
+                 measured_down, measured_up, wall_train_s, wall_agg_s);
   }
   // Uplinks still in flight at shutdown were charged at dispatch but never
   // folded — exactly the waste async deployments accept.

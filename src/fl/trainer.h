@@ -14,6 +14,15 @@
 // and the sync path under the ideal (zero-latency, always-available) model
 // reproduces the historical lock-step engine bitwise.
 //
+// Server-side state is sized for the cohort, not the fleet: client data
+// comes through a ClientDataSource (in-memory partition arena, or
+// generate-on-demand synthetic shards that store nothing), per-client comm
+// profiles are regenerated from (seed, client) counters, and uplinks STREAM
+// into a ShardedAccumulator in simulated arrival order — each one folded
+// into a packed sum arena (shard-parallel on the executor) and freed — so a
+// million-client fleet costs the server O(model) plus ~16 B/client of
+// metadata, never K model copies.
+//
 // Per synchronous round:
 //   1. the scheduler plans participation (all K clients, or a
 //      clients_per_round subsample drawn from the (seed, round) stream with
@@ -26,27 +35,33 @@
 //      optionally compute top-K pruned-coordinate gradients through a
 //      bounded buffer (Alg. 2 lines 10-15), upload. Survivors run on
 //      executor lanes with per-lane model replicas (parallel_clients).
-//   4. server: weighted-average states (FedAvg) and sparse gradients
-//      (Eq. 7), reducing uploads in client order for bitwise determinism
+//   4. server: each finished uplink folds into the ShardedAccumulator the
+//      moment the ascending-client-order prefix allows (streaming FedAvg;
+//      bitwise identical to the old batch reduce at any lane count), plus
+//      weighted sparse gradient accumulation (Eq. 7)
 //   5. after_aggregate(r)           (hook: mask surgery, re-mask weights)
 //   6. cost accounting: per-device FLOPs, communication bytes (measured
 //      wire size in sparse-exchange mode), and the simulated round time
 //
-// Async mode (SimConfig::async_rounds): the server aggregates the first M
-// uplink arrivals on the simulated clock (FedBuff-style buffer) with
-// staleness-discounted weights, then immediately dispatches the next cohort
-// against the new global state while stragglers keep training against stale
-// state; their late arrivals fold into later aggregations.
+// Async mode (SimConfig::async_rounds): the server folds the first M uplink
+// arrivals on the simulated clock (FedBuff-style buffer) with
+// staleness-discounted weights as it pops them, then immediately dispatches
+// the next cohort against the new global state while stragglers keep
+// training against stale state; their late arrivals fold into later
+// aggregations.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "data/client_source.h"
 #include "data/dataset.h"
+#include "data/partition.h"
 #include "fl/comm_model.h"
 #include "fl/config.h"
 #include "fl/scheduler.h"
 #include "fl/server.h"
+#include "fl/sharded_accumulator.h"
 #include "fl/simclock.h"
 #include "metrics/flops.h"
 #include "nn/model.h"
@@ -82,13 +97,28 @@ struct RoundStats {
   /// Async: mean staleness (aggregation round minus dispatch round) of the
   /// folded uplinks. 0 in sync mode.
   double mean_staleness = 0.0;
+
+  // ---- Real (host) wall-clock split, for server-throughput profiling. ----
+  /// Seconds this process spent training the cohort (client-side work).
+  double wall_train_s = 0.0;
+  /// Seconds spent in server-side aggregation: uplink folds + the final
+  /// average/scatter into the global state.
+  double wall_agg_s = 0.0;
 };
 
 class FederatedTrainer {
  public:
+  /// Materialized-data construction: a shared dataset plus per-client index
+  /// lists (compacted into a PartitionArena internally).
   FederatedTrainer(nn::Model& model, const data::Dataset& train_data,
                    const data::Dataset& test_data, std::vector<std::vector<int64_t>> partitions,
                    FLConfig config);
+  /// Out-of-core construction: client data served on demand by `source`
+  /// (e.g. data::SyntheticFleetSource) — nothing fleet-sized is resident.
+  /// Methods that need the raw dataset server-side (FedTiny's BN selection)
+  /// require the materialized constructor.
+  FederatedTrainer(nn::Model& model, std::shared_ptr<const data::ClientDataSource> source,
+                   const data::Dataset& test_data, FLConfig config);
   virtual ~FederatedTrainer() = default;
 
   /// Run the configured number of rounds. Returns the final test accuracy.
@@ -112,6 +142,9 @@ class FederatedTrainer {
   [[nodiscard]] const CommModel& comm_model() const { return comm_; }
   [[nodiscard]] nn::Model& model() { return model_; }
   [[nodiscard]] const std::vector<Tensor>& global_state() const { return global_; }
+  /// Resident bytes of the server's streaming aggregation buffers — the
+  /// fleet-size-independent footprint the memory benches assert on.
+  [[nodiscard]] size_t aggregator_resident_bytes() const { return agg_.resident_bytes(); }
 
   /// Whether local training stores/ships the dense model (LotteryFL,
   /// FedAvg). Affects cost accounting only; masking still applies if set.
@@ -166,15 +199,16 @@ class FederatedTrainer {
   /// Current per-prunable-layer densities of mask_.
   [[nodiscard]] std::vector<double> layer_densities() const { return mask_.layer_densities(); }
 
-  /// Samples held by client k.
-  [[nodiscard]] int64_t client_size(int k) const {
-    return static_cast<int64_t>(partitions_[static_cast<size_t>(k)].size());
-  }
+  /// Samples held by client k (cached; 8 B/client).
+  [[nodiscard]] int64_t client_size(int k) const { return sizes_[static_cast<size_t>(k)]; }
 
   nn::Model& model_;
-  const data::Dataset& train_data_;
+  /// Raw training dataset; null under the out-of-core constructor (methods
+  /// needing it server-side must be built on materialized data).
+  const data::Dataset* train_data_ = nullptr;
   const data::Dataset& test_data_;
-  std::vector<std::vector<int64_t>> partitions_;
+  /// Compact client->sample-index map; empty/uniform under out-of-core.
+  data::PartitionArena partitions_;
   FLConfig config_;
   std::vector<Tensor> global_;
   prune::MaskSet mask_;
@@ -208,7 +242,8 @@ class FederatedTrainer {
   /// Fill and push this round's RoundStats (clock must already be advanced
   /// past the round) and run the scheduled evaluation.
   void record_round(int round, const RoundPlan& plan, int aggregated, double mean_staleness,
-                    double dispatch_s, double measured_down, double measured_up);
+                    double dispatch_s, double measured_down, double measured_up,
+                    double wall_train_s, double wall_agg_s);
   /// Download -> local SGD -> (optional) top-K grad probe -> uplink build
   /// for one client. keep_dense_state forces result.state even in
   /// sparse-exchange mode (the async aggregator folds dense states so mask
@@ -224,15 +259,23 @@ class FederatedTrainer {
   [[nodiscard]] double downlink_bytes_estimate(size_t wire_bytes) const;
   [[nodiscard]] double uplink_bytes_estimate(const std::vector<int64_t>& quota) const;
   [[nodiscard]] std::vector<double> cohort_train_flops(const RoundPlan& plan, int round);
-  [[nodiscard]] std::vector<int64_t> partition_sizes() const;
+  [[nodiscard]] const std::vector<int64_t>& partition_sizes() const { return sizes_; }
   /// Lane count requested for this round's client pool (>= 1, capped by
   /// active clients; 1 unless a model factory enables replicas). The
   /// executor may grant fewer lanes than requested.
   int resolve_workers(int active_clients) const;
   nn::Model& worker_model(int worker);
 
+  /// Per-client minibatch access: PartitionedSource over (train_data_,
+  /// partitions_) for the materialized ctor, or the caller's on-demand
+  /// source. Bitwise-identical batches either way.
+  std::shared_ptr<const data::ClientDataSource> source_;
+  std::vector<int64_t> sizes_;  // cached source_->size(k), the scheduler input
+
   CommModel comm_;
   SimClock clock_;
+  /// Streaming per-round aggregation state, reused across rounds.
+  ShardedAccumulator agg_;
   nn::ModelFactory factory_;
   std::vector<std::unique_ptr<nn::Model>> replicas_;  // lazily built per lane
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 #include "baselines/feddst.h"
@@ -51,9 +52,19 @@ RunResult Experiment::run(const RunSpec& spec) const {
                                       scale_.test_size);
   auto data = data::make_synthetic(data_spec, spec.seed);
 
-  Rng part_rng(spec.seed, /*stream=*/0xd1d1);
-  auto partitions = data::dirichlet_partition(data.train.labels, spec.num_clients,
-                                              spec.dirichlet_alpha, part_rng);
+  // Out-of-core fleet: client shards are generated on demand from
+  // (seed, client, sample) counters — no train-split partitioning, and no
+  // per-client state proportional to K beyond the scheduler's size cache.
+  std::shared_ptr<const data::ClientDataSource> fleet;
+  std::vector<std::vector<int64_t>> partitions;
+  if (spec.on_demand_samples_per_client > 0) {
+    fleet = std::make_shared<data::SyntheticFleetSource>(
+        data_spec, spec.seed, spec.num_clients, spec.on_demand_samples_per_client);
+  } else {
+    Rng part_rng(spec.seed, /*stream=*/0xd1d1);
+    partitions = data::dirichlet_partition(data.train.labels, spec.num_clients,
+                                           spec.dirichlet_alpha, part_rng);
+  }
 
   // Public one-shot dataset D_s: an iid random sample of the train split
   // (stands in for the paper's server-held public data).
@@ -81,7 +92,8 @@ RunResult Experiment::run(const RunSpec& spec) const {
   // Dense references (shared by every method for ratio reporting).
   auto dense_cost = metrics::analyze_model(*model);
   const double mean_client =
-      static_cast<double>(data.train.size()) / static_cast<double>(partitions.size());
+      fleet ? static_cast<double>(spec.on_demand_samples_per_client)
+            : static_cast<double>(data.train.size()) / static_cast<double>(partitions.size());
   const double dense_round = static_cast<double>(scale_.local_epochs) * mean_client *
                              dense_cost.dense_training_flops();
   const double dense_memory =
@@ -108,6 +120,21 @@ RunResult Experiment::run(const RunSpec& spec) const {
   fl_config.clients_per_round = spec.clients_per_round;
   fl_config.sim = spec.sim;
 
+  // Plain-trainer construction, honoring the out-of-core fleet when set.
+  auto make_plain = [&](nn::Model& m) {
+    return fleet ? std::make_unique<fl::FederatedTrainer>(m, fleet, data.test, fl_config)
+                 : std::make_unique<fl::FederatedTrainer>(m, data.train, data.test, partitions,
+                                                          fl_config);
+  };
+  const bool plain_method = spec.method == "fedavg" || spec.method == "snip" ||
+                            spec.method == "synflow" || spec.method == "flpqsu" ||
+                            spec.method == "small_model";
+  if (fleet && !plain_method) {
+    throw std::invalid_argument("method '" + spec.method +
+                                "' needs materialized client data (on_demand_samples_per_client "
+                                "supports fedavg/snip/synflow/flpqsu/small_model)");
+  }
+
   if (spec.method == "small_model") {
     int64_t target = spec.small_model_params;
     if (target <= 0) {
@@ -119,20 +146,20 @@ RunResult Experiment::run(const RunSpec& spec) const {
     core::server_pretrain(*small, public_data,
                           {scale_.pretrain_epochs, scale_.batch_size, scale_.lr, 0.9f, 5e-4f,
                            spec.seed});
-    fl::FederatedTrainer trainer(*small, data.train, data.test, partitions, fl_config);
-    trainer.set_model_factory(
+    auto trainer = make_plain(*small);
+    trainer->set_model_factory(
         [model_config, width] { return nn::make_small_cnn(model_config, width); });
-    trainer.set_dense_storage(true);
-    trainer.capture_global_from_model();
-    result.accuracy = trainer.run();
+    trainer->set_dense_storage(true);
+    trainer->capture_global_from_model();
+    result.accuracy = trainer->run();
     result.final_density = 1.0;
     auto small_cost = metrics::analyze_model(*small);
-    result.max_round_flops = trainer.max_round_flops();
+    result.max_round_flops = trainer->max_round_flops();
     result.memory_bytes =
         metrics::device_memory(small_cost, 0, true, metrics::ScoreStorage::kNone).total_bytes();
-    result.total_comm_bytes = trainer.total_comm_bytes();
-    result.sim_time_s = trainer.sim_time_s();
-    result.history = trainer.history();
+    result.total_comm_bytes = trainer->total_comm_bytes();
+    result.sim_time_s = trainer->sim_time_s();
+    result.history = trainer->history();
     return result;
   }
 
@@ -173,9 +200,9 @@ RunResult Experiment::run(const RunSpec& spec) const {
   };
 
   if (spec.method == "fedavg") {
-    fl::FederatedTrainer trainer(*model, data.train, data.test, partitions, fl_config);
-    trainer.set_dense_storage(true);
-    finish(trainer, metrics::ScoreStorage::kNone, true, 0);
+    auto trainer = make_plain(*model);
+    trainer->set_dense_storage(true);
+    finish(*trainer, metrics::ScoreStorage::kNone, true, 0);
   } else if (spec.method == "snip" || spec.method == "synflow" || spec.method == "flpqsu") {
     prune::MaskSet mask;
     if (spec.method == "snip") {
@@ -186,9 +213,9 @@ RunResult Experiment::run(const RunSpec& spec) const {
     } else {
       mask = baselines::flpqsu_initial_mask(*model, d);
     }
-    fl::FederatedTrainer trainer(*model, data.train, data.test, partitions, fl_config);
-    trainer.set_mask(mask);
-    finish(trainer, metrics::ScoreStorage::kNone, false, 0);
+    auto trainer = make_plain(*model);
+    trainer->set_mask(mask);
+    finish(*trainer, metrics::ScoreStorage::kNone, false, 0);
   } else if (spec.method == "prunefl") {
     auto mask = baselines::prunefl_initial_mask(*model, d);
     baselines::PruneFLTrainer trainer(*model, data.train, data.test, partitions, fl_config,

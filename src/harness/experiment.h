@@ -66,6 +66,13 @@ struct RunSpec {
   int num_clients = 10;
   /// Clients sampled per round (0 = all K).
   int clients_per_round = 0;
+  /// Out-of-core fleet: when > 0, client training data is generated on
+  /// demand (data::SyntheticFleetSource, this many samples per client)
+  /// instead of materializing and partitioning a train split — the path
+  /// that scales K to a million. Supported for the plain-trainer methods
+  /// (fedavg, snip, synflow, flpqsu); methods needing server-side raw data
+  /// (fedtiny's BN selection) throw.
+  int64_t on_demand_samples_per_client = 0;
   // ---- Simulated deployment (see fl::SimConfig). ----
   /// Device/link timing, cohort realism (availability/dropout/deadline),
   /// and async-round knobs. Defaults to the ideal fleet, which reproduces

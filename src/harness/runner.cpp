@@ -42,6 +42,9 @@ RunSpec with_env_knobs(RunSpec spec) {
   if (const char* v = std::getenv("FEDTINY_CLIENTS_PER_ROUND")) {
     spec.clients_per_round = std::atoi(v);
   }
+  if (const char* v = std::getenv("FEDTINY_ON_DEMAND_SAMPLES")) {
+    spec.on_demand_samples_per_client = std::atoll(v);
+  }
   if (const char* v = std::getenv("FEDTINY_SIM_DEVICE_FLOPS")) {
     spec.sim.device_flops_per_s = std::atof(v);
   }

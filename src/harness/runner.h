@@ -18,6 +18,8 @@ namespace fedtiny::harness {
 ///   FEDTINY_SPARSE_TRAINING=0|1   masked sparse local SGD
 ///   FEDTINY_PARALLEL_CLIENTS=N    client-training lanes (0 = auto)
 ///   FEDTINY_CLIENTS_PER_ROUND=N   round subsample size (0 = all K)
+///   FEDTINY_ON_DEMAND_SAMPLES=N   generate-on-demand fleet data, N samples
+///                                 per client (plain-trainer methods only)
 ///   FEDTINY_KERNELS=reference|fast kernel engine mode (process-wide)
 /// Simulated-deployment knobs (fl::SimConfig; unset = ideal fleet):
 ///   FEDTINY_SIM_DEVICE_FLOPS=F    mean device speed, FLOP/s (0 = infinite)

@@ -1,6 +1,15 @@
 #include "metrics/memory.h"
 
+#include <sys/resource.h>
+
 namespace fedtiny::metrics {
+
+size_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
 
 MemoryReport device_memory(const ModelCost& cost, int64_t prunable_nnz, bool dense_stored,
                            ScoreStorage score_storage, int64_t topk_capacity) {

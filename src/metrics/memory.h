@@ -4,11 +4,19 @@
 // score buffer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "metrics/flops.h"
 
 namespace fedtiny::metrics {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss;
+/// 0 when the platform cannot report it). Monotone over the process
+/// lifetime — deltas between two calls bound the growth in between, which
+/// is what the fleet-scale smoke tests and the server-throughput bench
+/// gate on.
+size_t peak_rss_bytes();
 
 /// What a method stores on-device for importance scores.
 enum class ScoreStorage {

@@ -1,0 +1,167 @@
+// Generate-on-demand fleet determinism: sample j of client k is a pure
+// function of (seed, client, j), so the on-demand path must reproduce the
+// materialized fleet BITWISE at every level — per-shard rows, gathered
+// minibatches, and a whole federated run. These are the oracles that let
+// the million-client server drop the fleet's training data entirely.
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "fl/trainer.h"
+#include "nn/models.h"
+
+namespace fedtiny::data {
+namespace {
+
+void expect_rows_bitwise_equal(const Dataset& a, int64_t a_row, const Dataset& b,
+                               int64_t b_row) {
+  const int64_t stride = a.channels() * a.height() * a.width();
+  ASSERT_EQ(stride, b.channels() * b.height() * b.width());
+  const auto av = a.images.flat();
+  const auto bv = b.images.flat();
+  for (int64_t j = 0; j < stride; ++j) {
+    ASSERT_EQ(av[a_row * stride + j], bv[b_row * stride + j])
+        << "row " << a_row << " vs " << b_row << " elem " << j;
+  }
+  ASSERT_EQ(a.labels[a_row], b.labels[b_row]);
+}
+
+TEST(FleetSource, FleetDatasetSliceMatchesClientShard) {
+  const auto spec = cifar10s_spec(8, 0, 0);
+  const uint64_t seed = 5;
+  const int num_clients = 4;
+  const int64_t per_client = 6;
+  const auto fleet = make_fleet_dataset(spec, seed, num_clients, per_client);
+  ASSERT_EQ(fleet.size(), num_clients * per_client);
+
+  for (int k = 0; k < num_clients; ++k) {
+    const auto shard = make_client_shard(spec, seed, k, per_client);
+    ASSERT_EQ(shard.size(), per_client);
+    for (int64_t j = 0; j < per_client; ++j) {
+      expect_rows_bitwise_equal(fleet, k * per_client + j, shard, j);
+    }
+  }
+}
+
+TEST(FleetSource, GatherMatchesMaterializedShard) {
+  const auto spec = cifar10s_spec(8, 0, 0);
+  const uint64_t seed = 9;
+  const int64_t per_client = 8;
+  SyntheticFleetSource source(spec, seed, /*num_clients=*/1000, per_client);
+  EXPECT_EQ(source.num_clients(), 1000);
+  EXPECT_EQ(source.size(7), per_client);
+
+  // Spot-check clients across the id range, including a permuted gather —
+  // every sample derives a private RNG, so order must not matter.
+  for (int client : {0, 7, 999}) {
+    const auto shard = make_client_shard(spec, seed, client, per_client);
+    const std::vector<int64_t> ids = {3, 0, 7, 5};
+    const auto batch = source.gather(client, ids);
+    ASSERT_EQ(batch.size(), static_cast<int64_t>(ids.size()));
+    const int64_t stride = shard.channels() * shard.height() * shard.width();
+    const auto got = batch.x.flat();
+    const auto want = shard.images.flat();
+    for (size_t b = 0; b < ids.size(); ++b) {
+      EXPECT_EQ(batch.y[b], shard.labels[ids[b]]);
+      for (int64_t j = 0; j < stride; ++j) {
+        ASSERT_EQ(got[b * stride + j], want[ids[b] * stride + j])
+            << "client " << client << " sample " << ids[b] << " elem " << j;
+      }
+    }
+  }
+}
+
+TEST(FleetSource, RepeatedGatherIsDeterministic) {
+  const auto spec = cifar10s_spec(8, 0, 0);
+  SyntheticFleetSource a(spec, 21, 50, 4);
+  SyntheticFleetSource b(spec, 21, 50, 4);
+  std::vector<int64_t> ids(4);
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto ba = a.gather(17, ids);
+  const auto bb = b.gather(17, ids);
+  const auto av = ba.x.flat();
+  const auto bv = bb.x.flat();
+  ASSERT_EQ(av.size(), bv.size());
+  for (size_t j = 0; j < av.size(); ++j) ASSERT_EQ(av[j], bv[j]);
+  EXPECT_EQ(ba.y, bb.y);
+
+  // A different seed must actually change the data.
+  SyntheticFleetSource c(spec, 22, 50, 4);
+  const auto bc = c.gather(17, ids);
+  bool any_diff = false;
+  const auto cv = bc.x.flat();
+  for (size_t j = 0; j < av.size() && !any_diff; ++j) any_diff = av[j] != cv[j];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FleetSource, TrainerOnDemandBitwiseMatchesMaterialized) {
+  // The full-stack oracle: a federated run over the on-demand source must
+  // reproduce, bit for bit, the same run over the materialized fleet with
+  // contiguous per-client partitions.
+  const auto spec = cifar10s_spec(8, 0, 0);
+  const uint64_t seed = 3;
+  const int num_clients = 4;
+  const int64_t per_client = 16;
+  auto test_data = make_synthetic(cifar10s_spec(8, 32, 48), 3).test;
+
+  nn::ModelConfig mc;
+  mc.num_classes = spec.num_classes;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625f;
+  mc.seed = 11;
+
+  fl::FLConfig config;
+  config.num_clients = num_clients;
+  config.clients_per_round = 2;
+  config.rounds = 3;
+  config.local_epochs = 1;
+  config.batch_size = 8;
+  config.lr = 0.08f;
+  config.eval_every = 1;
+  config.seed = 11;
+
+  // On-demand run.
+  auto source =
+      std::make_shared<SyntheticFleetSource>(spec, seed, num_clients, per_client);
+  auto on_demand_model = nn::make_resnet18(mc);
+  fl::FederatedTrainer on_demand(*on_demand_model, source, test_data, config);
+  const double acc_on_demand = on_demand.run();
+
+  // Materialized run: same fleet rows, contiguous partitions.
+  const auto fleet = make_fleet_dataset(spec, seed, num_clients, per_client);
+  std::vector<std::vector<int64_t>> partitions(num_clients);
+  for (int k = 0; k < num_clients; ++k) {
+    partitions[k].resize(per_client);
+    std::iota(partitions[k].begin(), partitions[k].end(), k * per_client);
+  }
+  auto materialized_model = nn::make_resnet18(mc);
+  fl::FederatedTrainer materialized(*materialized_model, fleet, test_data,
+                                    std::move(partitions), config);
+  const double acc_materialized = materialized.run();
+
+  EXPECT_EQ(acc_on_demand, acc_materialized);
+  ASSERT_EQ(on_demand.history().size(), materialized.history().size());
+  for (size_t r = 0; r < on_demand.history().size(); ++r) {
+    EXPECT_EQ(on_demand.history()[r].test_accuracy,
+              materialized.history()[r].test_accuracy)
+        << "round " << r;
+  }
+  const auto& a = on_demand.global_state();
+  const auto& b = materialized.global_state();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto av = a[i].flat();
+    const auto bv = b[i].flat();
+    ASSERT_EQ(av.size(), bv.size());
+    for (size_t j = 0; j < av.size(); ++j) {
+      ASSERT_EQ(av[j], bv[j]) << "tensor " << i << " idx " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::data
