@@ -6,9 +6,14 @@
 // Record schema (all fields always present):
 //   {"bench": "<binary>", "kernel": "<kernel or timing label>",
 //    "shape": "MxNxK-style shape string", "density": 0.10,
-//    "mode": "reference" | "fast", "ns_op": 12345.6, "gflops": 1.234,
-//    "max_rss_mb": 123.4, "acc_bytes": 0,
+//    "mode": "reference" | "fast", "threads": 1, "ns_op": 12345.6,
+//    "gflops": 1.234, "max_rss_mb": 123.4, "acc_bytes": 0,
 //    "git_sha": "abc1234", "host": "runner-01"}
+// threads is the kernel lane count the record was measured at (1 + the
+// Executor thread budget unless the bench overrides it); together with
+// gflops it gives BENCH_kernels.json roofline-style scaling rows — the same
+// kernel/shape at several lane counts. compare_bench_json.py keys on it, so
+// multi-lane and single-lane records never cross-match.
 // max_rss_mb is the process peak RSS (getrusage) at record time — monotone
 // within a run, so the last record of a bench carries its high-water mark.
 // acc_bytes is the resident server-accumulator footprint for benches that
@@ -28,6 +33,7 @@
 #include <utility>
 
 #include "metrics/memory.h"
+#include "tensor/parallel.h"
 
 namespace fedtiny::benchjson {
 
@@ -65,20 +71,25 @@ class Writer {
   /// (0 when a GFLOP/s rate is not meaningful for the timing). acc_bytes
   /// is the resident server-accumulator footprint for benches that measure
   /// one; the peak-RSS stamp is taken here, so every record carries it.
+  /// threads is the kernel lane count the timing ran at; the default -1
+  /// stamps the process-wide count (1 caller lane + the Executor budget) —
+  /// pass it explicitly when the bench sweeps lane counts itself.
   void record(const std::string& kernel, const std::string& shape, double density,
-              const std::string& mode, double ms_op, double flops, size_t acc_bytes = 0) {
+              const std::string& mode, double ms_op, double flops, size_t acc_bytes = 0,
+              int threads = -1) {
     if (file_ == nullptr) return;
     const double ns_op = ms_op * 1e6;
     const double gflops = ms_op > 0.0 ? flops / (ms_op * 1e-3) / 1e9 : 0.0;
     const double max_rss_mb =
         static_cast<double>(metrics::peak_rss_bytes()) / (1024.0 * 1024.0);
+    if (threads < 0) threads = 1 + Executor::instance().thread_budget();
     std::fprintf(file_,
                  "{\"bench\":\"%s\",\"kernel\":\"%s\",\"shape\":\"%s\",\"density\":%.4f,"
-                 "\"mode\":\"%s\",\"ns_op\":%.1f,\"gflops\":%.3f,"
+                 "\"mode\":\"%s\",\"threads\":%d,\"ns_op\":%.1f,\"gflops\":%.3f,"
                  "\"max_rss_mb\":%.2f,\"acc_bytes\":%zu,"
                  "\"git_sha\":\"%s\",\"host\":\"%s\"}\n",
-                 bench_.c_str(), kernel.c_str(), shape.c_str(), density, mode.c_str(), ns_op,
-                 gflops, max_rss_mb, acc_bytes, sha_.c_str(), host_.c_str());
+                 bench_.c_str(), kernel.c_str(), shape.c_str(), density, mode.c_str(), threads,
+                 ns_op, gflops, max_rss_mb, acc_bytes, sha_.c_str(), host_.c_str());
     std::fflush(file_);
   }
 

@@ -8,15 +8,21 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 
 #include "bench_json.h"
+#include "nn/activations.h"
 #include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/fusion.h"
+#include "nn/sequential.h"
 #include "prune/surgery.h"
 #include "prune/topk_buffer.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 #include "tensor/rng.h"
 
 namespace {
@@ -79,6 +85,66 @@ BENCHMARK(BM_Gemm)
     ->Args({128, 1})
     ->Args({256, 0})
     ->Args({256, 1});
+
+// Panel-parallel fast GEMM at an explicit kernel lane count. The arg is the
+// *total* lane count (caller + pool workers): the Executor thread budget is
+// pinned to lanes-1 for the timing loop and restored after, so the JSON
+// record's "threads" field matches the sweep arg. The fixed-blocking
+// contract makes every lane count produce bitwise-identical output — these
+// rows differ only in wall time, giving BENCH_kernels.json its
+// roofline-style scaling curve. (On a single-core host the curve is flat:
+// extra lanes time-slice one core.)
+void BM_GemmLanes(benchmark::State& state) {
+  const int64_t n = 256;
+  const int lanes = static_cast<int>(state.range(0));
+  kernels::ScopedMode mode(kernels::Mode::kFast);
+  auto& exec = Executor::instance();
+  const int saved_budget = exec.thread_budget();
+  exec.set_thread_budget(lanes - 1);
+  Rng rng(7);
+  std::vector<float> a(static_cast<size_t>(n * n)), b(a), c(a);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    ops::gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c);
+  }
+  exec.set_thread_budget(saved_budget);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+// UseRealTime: the default CPU-time rate counts only the caller lane, which
+// would inflate GF/s by the lane count; wall time is the honest rate.
+BENCHMARK(BM_GemmLanes)
+    ->ArgNames({"lanes"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// End-to-end conv+ReLU training step (forward kTrain + backward) with and
+// without graph-level fusion. fused:1 rewrites the two-layer graph via
+// nn::fuse_conv_relu, folding the clamp into the conv's GEMM epilogue and
+// erasing the ReLU layer; fused:0 keeps the separate ReLU pass. Both
+// variants produce bitwise-identical outputs and gradients — the delta is
+// pure data movement (one fewer full activation read+write each way).
+void BM_ConvReluFwdBwd(benchmark::State& state) {
+  const bool fuse = state.range(0) != 0;
+  kernels::ScopedMode mode(kernels::Mode::kFast);
+  Rng rng(11);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(16, 32, 3, 1, 1, true, rng);
+  model.emplace<nn::ReLU>();
+  if (fuse) nn::fuse_conv_relu(model);
+  Tensor x({8, 16, 16, 16});
+  for (auto& v : x.flat()) v = rng.normal();
+  for (auto _ : state) {
+    Tensor y = model.forward(x, nn::Mode::kTrain);
+    benchmark::DoNotOptimize(model.backward(y));
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_ConvReluFwdBwd)->ArgNames({"fused"})->Arg(0)->Arg(1)->UseRealTime();
 
 // arg selects the kernel engine mode: 0 = reference, 1 = fast. Shapes match
 // the conv bench geometry (64 channels @ 16x16, 3x3 s1 p1) plus a strided
@@ -186,21 +252,34 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       if (errored(run)) continue;
       const std::string name = run.benchmark_name();
       // Benchmarks whose ArgNames include "fast" (BM_Gemm, BM_Im2col,
-      // BM_Col2im) carry the engine mode in their name; everything else
-      // records mode "default" so an unrelated benchmark name can never
-      // alias a mode.
+      // BM_Col2im) carry the engine mode in their name. BM_GemmLanes and
+      // BM_ConvReluFwdBwd pin the fast engine internally (they sweep lane
+      // count / fusion, not engine mode), so their records stamp "fast".
+      // Everything else records mode "default" so an unrelated benchmark
+      // name can never alias a mode.
       const bool has_mode_arg = name.find("/fast:") != std::string::npos;
-      const char* mode = !has_mode_arg                              ? "default"
+      const bool pins_fast = name.find("/lanes:") != std::string::npos ||
+                             name.find("/fused:") != std::string::npos;
+      const char* mode = pins_fast         ? "fast"
+                         : !has_mode_arg   ? "default"
                          : name.find("fast:1") != std::string::npos ? "fast"
                                                                     : "reference";
       const bool is_gemm_name = name.rfind("BM_Gemm", 0) == 0;
       const double ns_op =
           run.iterations > 0 ? run.real_accumulated_time * 1e9 / run.iterations : 0.0;
       const auto items = run.counters.find("items_per_second");
-      // items_per_second x seconds-per-op = items per op (FLOPs for BM_Gemm).
+      // items_per_second x seconds-per-op = items per op (FLOPs for
+      // BM_Gemm*, which set it to the GEMM FLOP count).
       const double flops =
           is_gemm_name && items != run.counters.end() ? items->second.value * ns_op * 1e-9 : 0.0;
-      json_.record(name, "", 1.0, mode, ns_op / 1e6, flops);
+      // The lane sweep pins the Executor budget per run; stamp the swept
+      // count rather than the process-wide default the Writer would infer.
+      int threads = -1;
+      const size_t lanes_at = name.find("/lanes:");
+      if (lanes_at != std::string::npos) {
+        threads = std::atoi(name.c_str() + lanes_at + 7);
+      }
+      json_.record(name, "", 1.0, mode, ns_op / 1e6, flops, 0, threads);
     }
   }
 

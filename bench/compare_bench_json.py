@@ -4,12 +4,26 @@
 Usage: compare_bench_json.py BASELINE NEW [--threshold 1.3]
                                           [--fail-threshold PCT]
 
-Matches records on (bench, kernel, shape, density, mode) and warns when
-ns_op regressed by more than the --threshold factor. By default the script
-always exits 0: the committed baseline was measured on different hardware,
-so regressions are a signal to look at, not a gate. Hard perf gates live in
-the benches themselves (bench_sparse_kernels / bench_sparse_backward exit
-non-zero when fast stops beating reference at the gated densities).
+Matches records on (bench, kernel, shape, density, mode, threads) and warns
+when ns_op regressed by more than the --threshold factor. By default the
+script always exits 0: the committed baseline was measured on different
+hardware, so regressions are a signal to look at, not a gate. Hard perf
+gates live in the benches themselves (bench_sparse_kernels /
+bench_sparse_backward exit non-zero when fast stops beating reference at
+the gated densities). bench_micro's BM_GemmLanes sweep is warn-only here
+like every other record: lane scaling is core-count-bound, so a 1-core
+runner legitimately shows a flat curve.
+
+Roofline fields (bench_json.h): every record carries "gflops" (the
+per-kernel GF/s rate computed from ns_op and the call's FLOP count; 0.0
+when a rate is not meaningful) and "threads" (the kernel lane count the
+timing ran at — 1 + the Executor thread budget unless the bench swept lane
+counts itself). "threads" is part of the match key, so a 4-lane record only
+ever compares against the baseline's 4-lane record for the same
+kernel/shape; records whose lane counts differ are treated as different
+measurements, never as a regression. Baselines written before the field
+existed default to threads=1. The gflops rate itself is informational —
+the time-based thresholds above remain the comparison signal.
 
 Records carry provenance stamps ("host", "git_sha" — see bench_json.h);
 when both files name a host and they differ, the script prints a prominent
@@ -38,13 +52,15 @@ def load(path):
                 continue
             rec = json.loads(line)
             key = (rec["bench"], rec["kernel"], rec["shape"],
-                   round(rec["density"], 4), rec["mode"])
+                   round(rec["density"], 4), rec["mode"],
+                   rec.get("threads", 1))
             records[key] = rec
     return records
 
 
 def main():
-    parser = argparse.ArgumentParser()
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("baseline")
     parser.add_argument("new")
     parser.add_argument("--threshold", type=float, default=1.3,

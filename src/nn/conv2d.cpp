@@ -72,25 +72,36 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   if (batched_) {
     // Batched pipeline: one [fan_in, n*out_hw] column buffer, one big GEMM,
     // then a permute from the GEMM's [out_c, n*out_hw] layout to the
-    // sample-major output. Bias rides the GEMM epilogue (one pass over y
-    // instead of two).
+    // sample-major output. Bias (and the fused ReLU clamp, when installed)
+    // ride the GEMM epilogue — one pass over y instead of two or three.
     const int64_t bcols = n * col_cols;
     if (!has_shape(cols_, {col_rows, bcols})) cols_ = Tensor({col_rows, bcols});
     if (!has_shape(ybuf_, {out_channels_, bcols})) ybuf_ = Tensor({out_channels_, bcols});
-    for (int64_t i = 0; i < n; ++i) {
-      ops::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_, kernel_,
-                  stride_, pad_, cols_.data() + i * col_cols, bcols);
-    }
+    ops::im2col_batched(x.data(), n, in_channels_, h, w, kernel_, kernel_, stride_, pad_,
+                        cols_.data());
     kernels::GemmEpilogue epi;
     if (has_bias_) epi.row_bias = bias_.value.data();
+    if (fused_relu_) {
+      epi.relu = true;
+      if (mode == Mode::kTrain) {
+        // Mask recorded at tile write-back in GEMM layout, permuted to the
+        // output layout alongside y below.
+        maskbuf_.resize(static_cast<size_t>(out_channels_ * bcols));
+        epi.relu_mask = maskbuf_.data();
+      }
+    }
     ops::gemm(false, false, out_channels_, bcols, col_rows, 1.0f, weight_.value.data(),
               cols_.data(), 0.0f, ybuf_.data(), epi);
-    parallel_for(n * out_channels_, [&](int64_t idx) {
-      const int64_t i = idx / out_channels_;
-      const int64_t o = idx % out_channels_;
-      std::memcpy(y.data() + idx * col_cols, ybuf_.data() + o * bcols + i * col_cols,
-                  static_cast<size_t>(col_cols) * sizeof(float));
-    });
+    kernels::permute_to_samples(ybuf_.data(), out_channels_, n, col_cols, y.data());
+    if (epi.relu_mask != nullptr) {
+      relu_mask_.resize(static_cast<size_t>(n * out_channels_ * col_cols));
+      parallel_for(n * out_channels_, [&](int64_t idx) {
+        const int64_t i = idx / out_channels_;
+        const int64_t o = idx % out_channels_;
+        std::memcpy(relu_mask_.data() + idx * col_cols, maskbuf_.data() + o * bcols + i * col_cols,
+                    static_cast<size_t>(col_cols));
+      });
+    }
   } else {
     // Per-sample pipeline (reference mode verbatim — reference results must
     // reproduce the pre-batching pipeline bitwise — and the sparse fast
@@ -116,18 +127,56 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
         for (int64_t j = 0; j < col_cols; ++j) row[j] += b;
       });
     }
+    if (fused_relu_) {
+      // Ordered post-pass over the finished output — exactly what the
+      // separate nn::ReLU layer computes (same predicate, same order), so
+      // reference-mode and sparse fused results are bitwise-identical to the
+      // unfused graph.
+      const int64_t total = y.numel();
+      float* yd = y.data();
+      if (mode == Mode::kTrain) {
+        relu_mask_.resize(static_cast<size_t>(total));
+        for (int64_t t = 0; t < total; ++t) {
+          const bool pos = yd[t] > 0.0f;
+          relu_mask_[static_cast<size_t>(t)] = pos ? 1 : 0;
+          if (!pos) yd[t] = 0.0f;
+        }
+      } else {
+        for (int64_t t = 0; t < total; ++t) {
+          if (!(yd[t] > 0.0f)) yd[t] = 0.0f;
+        }
+      }
+    }
   }
   if (mode != Mode::kTrain) {
-    // No backward coming; free the per-step workspaces.
+    // No backward coming; free the per-step workspaces (masks included).
     cols_ = Tensor();
     dcols_ = Tensor();
     ybuf_ = Tensor();
     dybuf_ = Tensor();
+    // Not `= {}`: the initializer_list overload keeps the allocation.
+    relu_mask_ = std::vector<uint8_t>();
+    maskbuf_ = std::vector<uint8_t>();
   }
   return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (fused_relu_) {
+    // ReLU backward first: zero the upstream gradient wherever the saved
+    // activation mask is zero — bitwise-identical to the separate ReLU
+    // layer's backward — then run the conv backward on the masked gradient.
+    assert(static_cast<int64_t>(relu_mask_.size()) == grad_output.numel() &&
+           "fused backward requires a preceding fused forward(kTrain)");
+    Tensor dy = grad_output;
+    ops::apply_mask(std::span<float>(dy.data(), static_cast<size_t>(dy.numel())),
+                    std::span<const uint8_t>(relu_mask_.data(), relu_mask_.size()));
+    return backward_impl(dy);
+  }
+  return backward_impl(grad_output);
+}
+
+Tensor Conv2d::backward_impl(const Tensor& grad_output) {
   assert(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_);
   assert(!cols_.empty() && "backward requires a preceding forward(kTrain)");
   const int64_t n = last_n_;
@@ -146,33 +195,28 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     const int64_t bcols = n * col_cols;
     if (!has_shape(dybuf_, {out_channels_, bcols})) dybuf_ = Tensor({out_channels_, bcols});
     if (!has_shape(dcols_, {col_rows, bcols})) dcols_ = Tensor({col_rows, bcols});
-    parallel_for(n * out_channels_, [&](int64_t idx) {
-      const int64_t i = idx / out_channels_;
-      const int64_t o = idx % out_channels_;
-      std::memcpy(dybuf_.data() + o * bcols + i * col_cols, grad_output.data() + idx * col_cols,
-                  static_cast<size_t>(col_cols) * sizeof(float));
-    });
+    kernels::permute_to_staging(grad_output.data(), out_channels_, n, col_cols, dybuf_.data());
     // dW += dY * cols^T over the whole batch in one call.
     ops::gemm(false, true, out_channels_, col_rows, bcols, 1.0f, dybuf_.data(), cols_.data(), 1.0f,
               weight_.grad.data());
-    // dcols = W^T * dY for the whole batch, then per-sample col2im out of
-    // the strided buffer.
+    // dcols = W^T * dY for the whole batch, then the threaded whole-batch
+    // col2im out of the strided buffer.
     ops::gemm(true, false, col_rows, bcols, out_channels_, 1.0f, weight_.value.data(),
               dybuf_.data(), 0.0f, dcols_.data());
-    for (int64_t i = 0; i < n; ++i) {
-      ops::col2im(dcols_.data() + i * col_cols, in_channels_, last_in_h_, last_in_w_, kernel_,
-                  kernel_, stride_, pad_,
-                  grad_input.data() + i * in_channels_ * last_in_h_ * last_in_w_, bcols);
-    }
+    ops::col2im_batched(dcols_.data(), n, in_channels_, last_in_h_, last_in_w_, kernel_, kernel_,
+                        stride_, pad_, grad_input.data());
     if (has_bias_) {
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t c = 0; c < out_channels_; ++c) {
+      // Parallel over output channels: each bias_.grad[c] still accumulates
+      // its per-sample sums in ascending i order (the exact serial order),
+      // and channels are disjoint — bitwise-identical at any thread count.
+      parallel_for(out_channels_, [&](int64_t c) {
+        for (int64_t i = 0; i < n; ++i) {
           const float* row = grad_output.data() + (i * out_channels_ + c) * col_cols;
           float s = 0.0f;
           for (int64_t j = 0; j < col_cols; ++j) s += row[j];
           bias_.grad[c] += s;
         }
-      }
+      });
     }
     return grad_input;
   }

@@ -11,7 +11,9 @@
 //     the bitwise reproducibility anchor (and the dense-vs-sparse oracle).
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "nn/layer.h"
 #include "tensor/rng.h"
@@ -59,12 +61,23 @@ class Conv2d final : public Layer {
   [[nodiscard]] bool sparse_active() const { return !sparse_weight_.empty(); }
   [[nodiscard]] bool sparse_training() const { return sparse_train_; }
 
+  /// Graph-level conv+ReLU fusion (set by nn::fuse_conv_relu when this conv
+  /// is directly followed by a ReLU layer): forward fuses the clamp into the
+  /// GEMM epilogue write-back and records the activation mask; backward
+  /// applies the saved mask to the upstream gradient before the conv
+  /// backward. Bitwise-identical to conv -> separate ReLU in both kernel
+  /// modes (the clamp predicate and ordering match nn::ReLU exactly).
+  void set_fused_relu(bool on) { fused_relu_ = on; }
+  [[nodiscard]] bool fused_relu() const { return fused_relu_; }
+
   /// Bytes currently held by the per-step workspaces (cols_/dcols_/ybuf_/
-  /// dybuf_). 0 after an eval-mode forward; stable across repeated
-  /// train-step cycles at a fixed batch shape (regression-tested).
+  /// dybuf_ plus the fused-ReLU masks). 0 after an eval-mode forward; stable
+  /// across repeated train-step cycles at a fixed batch shape
+  /// (regression-tested).
   [[nodiscard]] int64_t workspace_bytes() const {
     return static_cast<int64_t>(cols_.numel() + dcols_.numel() + ybuf_.numel() + dybuf_.numel()) *
-           static_cast<int64_t>(sizeof(float));
+               static_cast<int64_t>(sizeof(float)) +
+           static_cast<int64_t>(relu_mask_.capacity() + maskbuf_.capacity());
   }
 
  private:
@@ -89,6 +102,18 @@ class Conv2d final : public Layer {
   int64_t last_n_ = 0, last_in_h_ = 0, last_in_w_ = 0, last_out_h_ = 0, last_out_w_ = 0;
   sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (sparse dispatch)
   bool sparse_train_ = false;        // masked sparse training-mode dispatch
+
+  // Fused conv+ReLU state. relu_mask_ holds the activation mask in the
+  // output's sample-major layout (what backward applies); maskbuf_ stages the
+  // batched pipeline's [out_c, n*out_hw] GEMM-layout mask before the permute.
+  // Both are per-step workspaces, freed on eval-mode forwards.
+  bool fused_relu_ = false;
+  std::vector<uint8_t> relu_mask_;
+  std::vector<uint8_t> maskbuf_;
+
+  /// The pre-fusion backward body: conv gradients from an (already masked,
+  /// when fused) upstream gradient.
+  Tensor backward_impl(const Tensor& grad_output);
 };
 
 }  // namespace fedtiny::nn

@@ -1,0 +1,32 @@
+#include "nn/fusion.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+
+namespace fedtiny::nn {
+
+int fuse_conv_relu(Sequential& model) {
+  int fused = 0;
+  size_t i = 0;
+  while (i + 1 < model.size()) {
+    if (auto* nested = dynamic_cast<Sequential*>(model.at(i))) {
+      fused += fuse_conv_relu(*nested);
+      ++i;
+      continue;
+    }
+    auto* conv = dynamic_cast<Conv2d*>(model.at(i));
+    if (conv != nullptr && dynamic_cast<ReLU*>(model.at(i + 1)) != nullptr) {
+      conv->set_fused_relu(true);
+      model.erase(i + 1);
+      ++fused;
+    }
+    ++i;
+  }
+  // A trailing nested Sequential (i + 1 == size) still deserves the walk.
+  if (i < model.size()) {
+    if (auto* nested = dynamic_cast<Sequential*>(model.at(i))) fused += fuse_conv_relu(*nested);
+  }
+  return fused;
+}
+
+}  // namespace fedtiny::nn

@@ -1,0 +1,22 @@
+// Graph-level operator fusion over built models.
+#pragma once
+
+#include "nn/sequential.h"
+
+namespace fedtiny::nn {
+
+/// Fuse every Conv2d that is *directly* followed by a ReLU layer in `model`
+/// (recursing into nested Sequentials): the conv takes over the clamp via
+/// its GEMM-epilogue fused-ReLU path and the ReLU layer is erased from the
+/// graph. Returns the number of pairs fused.
+///
+/// Dispatch rule: only direct Conv2d -> ReLU adjacency fuses. Conv -> BN ->
+/// ReLU chains (every conv in the shipped models) are left untouched — the
+/// BN between them consumes the conv's raw output, so the clamp cannot fold
+/// into the conv's write-back. BasicBlock's internal ReLUs are likewise not
+/// fusion targets (the second one clamps a residual *sum*, not a conv
+/// output). Fused forward/backward are bitwise-identical to the unfused
+/// graph in both kernel modes, so fusing is always safe where it applies.
+int fuse_conv_relu(Sequential& model);
+
+}  // namespace fedtiny::nn

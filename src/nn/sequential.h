@@ -1,6 +1,7 @@
 // Composite layers: Sequential chain and the ResNet basic residual block.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,9 @@ class Sequential final : public Layer {
 
   [[nodiscard]] size_t size() const { return layers_.size(); }
   Layer* at(size_t i) { return layers_[i].get(); }
+  /// Remove the i-th layer (graph rewrites like nn::fuse_conv_relu, which
+  /// drops a ReLU after folding it into the preceding conv's epilogue).
+  void erase(size_t i) { layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(i)); }
 
  private:
   std::vector<LayerPtr> layers_;

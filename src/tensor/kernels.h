@@ -88,6 +88,12 @@ struct GemmEpilogue {
   const float* row_bias = nullptr;  // length m: added to every element of C row i
   const float* col_bias = nullptr;  // length n: added to every element of C column j
   bool relu = false;                // clamp at zero, applied after the bias adds
+  /// Optional activation mask recorded at write-back when relu is set:
+  /// relu_mask[i*n + j] = 1 iff the pre-clamp value was > 0 (the exact
+  /// predicate nn::ReLU stores), 0 otherwise. Lets a fused conv+ReLU save
+  /// the backward mask for free instead of re-running a separate ReLU pass.
+  /// Ignored unless relu is true.
+  uint8_t* relu_mask = nullptr;
   [[nodiscard]] bool active() const {
     return row_bias != nullptr || col_bias != nullptr || relu;
   }
@@ -105,6 +111,13 @@ void gemm_fast(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, floa
 /// gemm_fast with a fused epilogue on the write-back of each output tile.
 void gemm_fast_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
                   const float* a, const float* b, float beta, float* c, const GemmEpilogue& epi);
+
+/// Bytes currently held by the fast GEMM's per-thread pack scratch, summed
+/// across all threads that ever packed. The shared-pack engine caps each
+/// thread's arena at one L2 panel, so this must plateau after the first call
+/// of a given size instead of growing with lane count x matrix size (the
+/// PR 4 regression this probe guards).
+int64_t scratch_bytes();
 
 // ---- im2col / col2im -------------------------------------------------------
 // Patch expansion and its scatter-add inverse (see ops::im2col for the layout
@@ -131,6 +144,46 @@ void col2im_reference(const float* cols, int64_t channels, int64_t height, int64
 void col2im_fast(const float* cols, int64_t channels, int64_t height, int64_t width,
                  int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
                  int64_t cols_ld);
+
+// ---- Batched conv data movement --------------------------------------------
+// The whole-batch movers of the batched conv pipeline. `in` / `out` hold
+// `batch` contiguous [channels, height, width] samples; the column buffer is
+// one [channels*kernel_h*kernel_w, batch*out_h*out_w] workspace with sample
+// i's block starting at column i*out_h*out_w. Reference loops the per-sample
+// reference movers serially; fast spreads (sample x row) / (sample x channel)
+// items over kernel-pool lanes. Both orderings write every output element
+// exactly once from the same inputs (col2im accumulates only within one
+// (sample, channel) item), so fast is bitwise-equal to reference at any lane
+// count — same contract as the per-sample movers above.
+
+void im2col_batched_reference(const float* in, int64_t batch, int64_t channels, int64_t height,
+                              int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                              int64_t pad, float* cols);
+void im2col_batched_fast(const float* in, int64_t batch, int64_t channels, int64_t height,
+                         int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                         int64_t pad, float* cols);
+
+void col2im_batched_reference(const float* cols, int64_t batch, int64_t channels, int64_t height,
+                              int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                              int64_t pad, float* out);
+void col2im_batched_fast(const float* cols, int64_t batch, int64_t channels, int64_t height,
+                         int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                         int64_t pad, float* out);
+
+// ---- Batched layout permutes -----------------------------------------------
+// Transpose between the batched GEMM staging layout [rows, batch*cols]
+// (sample i's block at column offset i*cols of each row) and the per-sample
+// layout [batch, rows, cols]. Pure row-sized memcpys — bitwise-trivially
+// deterministic — threaded over (sample x row) items, with a non-temporal
+// streaming store variant engaged for large buffers whose page-strided
+// destination rows defeat the hardware prefetcher.
+
+/// staging [rows, batch*cols] -> samples [batch, rows, cols].
+void permute_to_samples(const float* staging, int64_t rows, int64_t batch, int64_t cols,
+                        float* samples);
+/// samples [batch, rows, cols] -> staging [rows, batch*cols].
+void permute_to_staging(const float* samples, int64_t rows, int64_t batch, int64_t cols,
+                        float* staging);
 
 // ---- CSR kernels -----------------------------------------------------------
 // Same signatures as the sparse:: entry points that dispatch to them.

@@ -25,6 +25,8 @@
 // applies to the function it annotates, and a lambda body is a different
 // function that would silently stay on the baseline ISA.
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -39,6 +41,13 @@
 #if __has_attribute(target_clones)
 #define FEDTINY_KERNEL_CLONES __attribute__((target_clones("avx512f", "avx2", "default")))
 #endif
+// Single-target variant for the non-temporal streaming copy: it needs real
+// intrinsics (_mm256_stream_ps has no portable spelling), so it is compiled
+// for AVX behind a runtime __builtin_cpu_supports check instead of cloned.
+#if __has_attribute(target)
+#define FEDTINY_HAVE_AVX_STREAM 1
+#include <immintrin.h>
+#endif
 #endif
 #ifndef FEDTINY_KERNEL_CLONES
 #define FEDTINY_KERNEL_CLONES
@@ -47,6 +56,53 @@
 namespace fedtiny::kernels {
 
 namespace {
+
+// ---- Pack scratch accounting ------------------------------------------------
+// Every thread that packs B panels holds one arena, capped at a single L2
+// panel (the shared-pack engine never needs more). The global byte counter
+// sums live capacity across all arenas so tests can assert the scratch
+// plateaus instead of growing with lane count x matrix size.
+
+std::atomic<int64_t> g_scratch_bytes{0};
+
+struct PackArena {
+  std::vector<float> buf;
+  ~PackArena() {
+    g_scratch_bytes.fetch_sub(static_cast<int64_t>(buf.capacity() * sizeof(float)),
+                              std::memory_order_relaxed);
+  }
+  float* get(size_t floats) {
+    if (floats > buf.size()) {
+      g_scratch_bytes.fetch_sub(static_cast<int64_t>(buf.capacity() * sizeof(float)),
+                                std::memory_order_relaxed);
+      buf.resize(floats);
+      buf.shrink_to_fit();
+      g_scratch_bytes.fetch_add(static_cast<int64_t>(buf.capacity() * sizeof(float)),
+                                std::memory_order_relaxed);
+    }
+    return buf.data();
+  }
+};
+
+float* pack_arena(size_t floats) {
+  static thread_local PackArena arena;
+  return arena.get(floats);
+}
+
+// ---- Kernel lane sizing -----------------------------------------------------
+// Extra Executor-budget lanes worth requesting for a call of `work` abstract
+// units (flops for GEMM, bytes for the data movers). Below 2x the per-lane
+// floor the handoff overhead eats the win and the call stays inline; above it
+// one extra lane per floor unit, capped at 15 extras (16 lanes total).
+
+constexpr double kMinLaneFlops = 1 << 19;   // ~100 us of register-tile GEMM per lane
+constexpr double kMinLaneBytes = 1 << 20;   // ~100 us of streaming copy per lane
+
+int extra_lanes_for(double work, double min_lane_work) {
+  if (!(work >= 2.0 * min_lane_work)) return 0;
+  const double lanes = work / min_lane_work;
+  return lanes >= 16.0 ? 15 : static_cast<int>(lanes) - 1;
+}
 
 // GEMM register tile: kMr C-rows x kNr C-columns accumulate in registers
 // across the whole k loop. kNr = 16 floats is one full zmm (or two ymm /
@@ -107,15 +163,23 @@ inline void store_row(float* crow, const float* acc, int64_t nr, float alpha, fl
 /// same order gemm_epilogue_apply uses, so a fused store is bitwise-identical
 /// to "plain gemm + ordered post-pass". The loop-invariant branches are
 /// unswitched by the compiler; bias terms are only added when present (no
-/// "+ 0.0f" that could flip a -0.0 output).
+/// "+ 0.0f" that could flip a -0.0 output). The clamp predicate is v > 0.0f —
+/// the exact nn::ReLU / gemm_epilogue_apply predicate (normalizes -0.0 to
+/// +0.0) — and `mrow`, when given, records it per element for the fused
+/// conv+ReLU backward.
 inline void store_row_epi(float* crow, const float* acc, int64_t nr, float alpha, float beta,
-                          bool has_rbias, float rbias, const float* cbias, bool relu) {
+                          bool has_rbias, float rbias, const float* cbias, bool relu,
+                          uint8_t* mrow) {
   for (int64_t jj = 0; jj < nr; ++jj) {
     float v = alpha * acc[jj];
     if (beta != 0.0f) v += beta * crow[jj];
     if (has_rbias) v += rbias;
     if (cbias != nullptr) v += cbias[jj];
-    if (relu && v < 0.0f) v = 0.0f;
+    if (relu) {
+      const bool pos = v > 0.0f;
+      if (mrow != nullptr) mrow[jj] = pos ? 1 : 0;
+      if (!pos) v = 0.0f;
+    }
     crow[jj] = v;
   }
 }
@@ -123,7 +187,7 @@ inline void store_row_epi(float* crow, const float* acc, int64_t nr, float alpha
 /// Ordered in-place epilogue over one C row (the band fallback paths
 /// accumulate into C directly instead of staging a register tile).
 inline void apply_epi_row(float* crow, int64_t n, bool has_rbias, float rbias,
-                          const float* cbias, bool relu) {
+                          const float* cbias, bool relu, uint8_t* mrow) {
   if (has_rbias) {
     for (int64_t j = 0; j < n; ++j) crow[j] += rbias;
   }
@@ -131,7 +195,15 @@ inline void apply_epi_row(float* crow, int64_t n, bool has_rbias, float rbias,
     for (int64_t j = 0; j < n; ++j) crow[j] += cbias[j];
   }
   if (relu) {
-    for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+    if (mrow != nullptr) {
+      for (int64_t j = 0; j < n; ++j) {
+        const bool pos = crow[j] > 0.0f;
+        mrow[j] = pos ? 1 : 0;
+        if (!pos) crow[j] = 0.0f;
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+    }
   }
 }
 
@@ -150,38 +222,30 @@ inline void apply_epi_row(float* crow, int64_t n, bool has_rbias, float rbias,
 // fast-mode results stay deterministic, only the (tolerance-bounded)
 // rounding vs reference shifts.
 
-/// Pack columns [jb, jb+width) of B[k, n] (op(B) = B) into strips.
+/// Pack one strip — columns [j0, j0+w) of B[k, n] (op(B) = B) — into a
+/// contiguous zero-padded [k, kNr] block. Per-strip granularity so the panel
+/// pack can spread strips across kernel lanes (each strip is written by
+/// exactly one task; the bytes written don't depend on who writes them).
 FEDTINY_KERNEL_CLONES
-void gemm_pack_bn(const float* b, int64_t n, int64_t k, int64_t jb, int64_t width, float* pack) {
-  const int64_t strips = (width + kNr - 1) / kNr;
-  for (int64_t s = 0; s < strips; ++s) {
-    float* dst = pack + s * k * kNr;
-    const int64_t j0 = jb + s * kNr;
-    const int64_t w = std::min<int64_t>(kNr, jb + width - j0);
-    for (int64_t p = 0; p < k; ++p) {
-      const float* srow = b + p * n + j0;
-      float* drow = dst + p * kNr;
-      for (int64_t jj = 0; jj < w; ++jj) drow[jj] = srow[jj];
-      for (int64_t jj = w; jj < kNr; ++jj) drow[jj] = 0.0f;
-    }
+void gemm_pack_bn_strip(const float* b, int64_t n, int64_t k, int64_t j0, int64_t w, float* dst) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* srow = b + p * n + j0;
+    float* drow = dst + p * kNr;
+    for (int64_t jj = 0; jj < w; ++jj) drow[jj] = srow[jj];
+    for (int64_t jj = w; jj < kNr; ++jj) drow[jj] = 0.0f;
   }
 }
 
-/// Pack rows [jb, jb+width) of B[n, k] (op(B) = B^T) into strips.
+/// Pack one strip — rows [j0, j0+w) of B[n, k] (op(B) = B^T) — into the same
+/// zero-padded [k, kNr] block layout.
 FEDTINY_KERNEL_CLONES
-void gemm_pack_nt(const float* b, int64_t k, int64_t jb, int64_t width, float* pack) {
-  const int64_t strips = (width + kNr - 1) / kNr;
-  for (int64_t s = 0; s < strips; ++s) {
-    float* dst = pack + s * k * kNr;
-    const int64_t j0 = jb + s * kNr;
-    const int64_t w = std::min<int64_t>(kNr, jb + width - j0);
-    for (int64_t jj = 0; jj < w; ++jj) {
-      const float* src = b + (j0 + jj) * k;
-      for (int64_t p = 0; p < k; ++p) dst[p * kNr + jj] = src[p];
-    }
-    for (int64_t p = 0; p < k; ++p) {
-      for (int64_t jj = w; jj < kNr; ++jj) dst[p * kNr + jj] = 0.0f;
-    }
+void gemm_pack_nt_strip(const float* b, int64_t k, int64_t j0, int64_t w, float* dst) {
+  for (int64_t jj = 0; jj < w; ++jj) {
+    const float* src = b + (j0 + jj) * k;
+    for (int64_t p = 0; p < k; ++p) dst[p * kNr + jj] = src[p];
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t jj = w; jj < kNr; ++jj) dst[p * kNr + jj] = 0.0f;
   }
 }
 
@@ -243,14 +307,19 @@ void packed_band_rows4(const float* a0, const float* a1, const float* a2, const 
     } else {
       const float* cb = epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr;
       const bool rb = epi.row_bias != nullptr;
+      uint8_t* mk = epi.relu_mask;
       store_row_epi(c + (i0 + 0) * n + j0, acc0, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu);
+                    rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu,
+                    mk != nullptr ? mk + (i0 + 0) * n + j0 : nullptr);
       store_row_epi(c + (i0 + 1) * n + j0, acc1, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu);
+                    rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu,
+                    mk != nullptr ? mk + (i0 + 1) * n + j0 : nullptr);
       store_row_epi(c + (i0 + 2) * n + j0, acc2, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu);
+                    rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu,
+                    mk != nullptr ? mk + (i0 + 2) * n + j0 : nullptr);
       store_row_epi(c + (i0 + 3) * n + j0, acc3, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu);
+                    rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu,
+                    mk != nullptr ? mk + (i0 + 3) * n + j0 : nullptr);
     }
   }
 }
@@ -275,7 +344,8 @@ void packed_band_row1(const float* a0, int64_t astride, int64_t k, const float* 
     } else {
       store_row_epi(c + i * n + j0, acc, nr, alpha, beta, epi.row_bias != nullptr,
                     epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
-                    epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu);
+                    epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu,
+                    epi.relu_mask != nullptr ? epi.relu_mask + i * n + j0 : nullptr);
     }
   }
 }
@@ -317,7 +387,8 @@ void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, flo
         if (epi.active()) {
           apply_epi_row(crow + jb, je - jb, epi.row_bias != nullptr,
                         epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
-                        epi.col_bias != nullptr ? epi.col_bias + jb : nullptr, epi.relu);
+                        epi.col_bias != nullptr ? epi.col_bias + jb : nullptr, epi.relu,
+                        epi.relu_mask != nullptr ? epi.relu_mask + i * n + jb : nullptr);
         }
       }
       return;
@@ -370,14 +441,19 @@ void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, flo
         // accumulators' addresses and spill them out of SIMD registers.
         const float* cb = epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr;
         const bool rb = epi.row_bias != nullptr;
+        uint8_t* mk = epi.relu_mask;
         store_row_epi(c + (i0 + 0) * n + j0, acc0, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu);
+                      rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu,
+                      mk != nullptr ? mk + (i0 + 0) * n + j0 : nullptr);
         store_row_epi(c + (i0 + 1) * n + j0, acc1, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu);
+                      rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu,
+                      mk != nullptr ? mk + (i0 + 1) * n + j0 : nullptr);
         store_row_epi(c + (i0 + 2) * n + j0, acc2, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu);
+                      rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu,
+                      mk != nullptr ? mk + (i0 + 2) * n + j0 : nullptr);
         store_row_epi(c + (i0 + 3) * n + j0, acc3, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu);
+                      rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu,
+                      mk != nullptr ? mk + (i0 + 3) * n + j0 : nullptr);
       }
     }
   }
@@ -399,7 +475,8 @@ void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, flo
       } else {
         store_row_epi(c + i * n + j0, acc, nr, alpha, beta, epi.row_bias != nullptr,
                       epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
-                      epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu);
+                      epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu,
+                      epi.relu_mask != nullptr ? epi.relu_mask + i * n + j0 : nullptr);
       }
     }
   }
@@ -448,7 +525,11 @@ void gemm_nt_row(int64_t i, int64_t n, int64_t k, float alpha, const float* a, c
       float v = beta == 0.0f ? dot : dot + beta * crow[j0 + jj];
       if (has_rb) v += rb;
       if (epi.col_bias != nullptr) v += epi.col_bias[j0 + jj];
-      if (epi.relu && v < 0.0f) v = 0.0f;
+      if (epi.relu) {
+        const bool pos = v > 0.0f;
+        if (epi.relu_mask != nullptr) epi.relu_mask[i * n + j0 + jj] = pos ? 1 : 0;
+        if (!pos) v = 0.0f;
+      }
       crow[j0 + jj] = v;
     }
   }
@@ -464,7 +545,11 @@ void gemm_nt_row(int64_t i, int64_t n, int64_t k, float alpha, const float* a, c
     float v = beta == 0.0f ? dot : dot + beta * crow[j0];
     if (has_rb) v += rb;
     if (epi.col_bias != nullptr) v += epi.col_bias[j0];
-    if (epi.relu && v < 0.0f) v = 0.0f;
+    if (epi.relu) {
+      const bool pos = v > 0.0f;
+      if (epi.relu_mask != nullptr) epi.relu_mask[i * n + j0] = pos ? 1 : 0;
+      if (!pos) v = 0.0f;
+    }
     crow[j0] = v;
   }
 }
@@ -901,6 +986,52 @@ void col2im_tap_add(const float* col_row, float* out_c, int64_t height, int64_t 
   }
 }
 
+// ---- Non-temporal row copy --------------------------------------------------
+// The batched permutes copy whole page-strided rows that are written once and
+// next read by a different kernel (or never this pass) — exactly the pattern
+// where regular stores pollute the cache the GEMM panels want. The streaming
+// variant bypasses the cache with _mm256_stream_ps; engaged only for large
+// buffers (small permutes *want* the destination cached) and only when the
+// CPU reports AVX. Bitwise-trivial either way: it is a memcpy.
+
+#ifdef FEDTINY_HAVE_AVX_STREAM
+__attribute__((target("avx"))) void copy_stream_avx(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  // Scalar head until dst hits 32-byte alignment (stream stores require it).
+  while (i < n && (reinterpret_cast<uintptr_t>(dst + i) & 31u) != 0) {
+    dst[i] = src[i];
+    ++i;
+  }
+  for (; i + 8 <= n; i += 8) _mm256_stream_ps(dst + i, _mm256_loadu_ps(src + i));
+  for (; i < n; ++i) dst[i] = src[i];
+  // Order the weakly-ordered streaming stores before the pool's completion
+  // handshake publishes this chunk.
+  _mm_sfence();
+}
+
+bool stream_supported() {
+  static const bool ok = __builtin_cpu_supports("avx") != 0;
+  return ok;
+}
+#else
+bool stream_supported() { return false; }
+#endif
+
+// Total buffer size below which the permutes keep regular cached stores.
+constexpr int64_t kStreamMinBytes = 1 << 21;
+
+inline void copy_row(float* dst, const float* src, int64_t n, bool stream) {
+#ifdef FEDTINY_HAVE_AVX_STREAM
+  if (stream) {
+    copy_stream_avx(dst, src, n);
+    return;
+  }
+#else
+  (void)stream;
+#endif
+  std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+
 }  // namespace
 
 void gemm_fast(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
@@ -930,24 +1061,43 @@ void gemm_fast_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, f
     // wins) and 75% (packing is pure overhead).
     if (zeros * 8 > total * 5) packed = false;
   }
+  // One Executor-budget grant covers the whole call: panel packing and the
+  // row-band compute share the granted lanes (pack-once/compute-many — the
+  // pack lives in the *calling* thread's arena and every lane reads it).
+  // Small calls stay inline: below ~2x the per-lane flop floor the pool
+  // handoff costs more than it saves.
+  KernelLanes lanes(extra_lanes_for(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                                        static_cast<double>(k),
+                                    kMinLaneFlops));
+  const int extra = lanes.extra();
   if (!trans_b) {
     // Column panels keep the B panel L2-resident across all row bands (see
     // kPanelBytes); panels partition the output columns, so every element is
     // still computed by exactly one band/panel visit. Unpacked calls (small
     // or zero-heavy operands) run one full-width pass — panels without the
     // pack would only fragment the skip loop's row walks.
-    const int64_t bands = (m + kMr - 1) / kMr;
     const int64_t pn = packed ? gemm_panel_cols(k, n) : n;
-    // Reused per-thread scratch: every packed call fully overwrites the
-    // strips it reads, so no per-call allocation is needed in the hot loop.
-    static thread_local std::vector<float> pack;
-    if (packed) pack.resize(static_cast<size_t>((pn + kNr - 1) / kNr * kNr * k));
+    // One panel of per-thread scratch, shared across lanes: strips are packed
+    // in parallel (each strip written by exactly one task), then every row
+    // band reads the same panel. Row-band boundaries fall on kMr multiples
+    // (pool_for_bands grain), so each kMr band computes exactly what the
+    // serial walk computes — lane count cannot change bits.
+    float* pk = packed ? pack_arena(static_cast<size_t>((pn + kNr - 1) / kNr * kNr * k)) : nullptr;
     for (int64_t jc = 0; jc < n; jc += pn) {
       const int64_t je = std::min<int64_t>(n, jc + pn);
-      if (packed) gemm_pack_bn(b, n, k, jc, je - jc, pack.data());
-      const float* pk = packed ? pack.data() : nullptr;
-      parallel_for(bands, [&](int64_t band) {
-        gemm_bn_band(trans_a, band * kMr, m, n, k, alpha, a, b, pk, beta, c, epi, jc, je);
+      if (packed) {
+        const int64_t strips = (je - jc + kNr - 1) / kNr;
+        pool_for_bands(strips, 1, extra, [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int64_t j0 = jc + s * kNr;
+            gemm_pack_bn_strip(b, n, k, j0, std::min<int64_t>(kNr, je - j0), pk + s * k * kNr);
+          }
+        });
+      }
+      pool_for_bands(m, kMr, extra, [&](int64_t r0, int64_t r1) {
+        for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+          gemm_bn_band(trans_a, i0, m, n, k, alpha, a, b, pk, beta, c, epi, jc, je);
+        }
       });
     }
     return;
@@ -956,29 +1106,36 @@ void gemm_fast_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, f
     if (packed) {
       // NT through the packed tile: B^T columns pack into the same strip
       // layout, lifting NT to the NN tile's throughput.
-      const int64_t bands = (m + kMr - 1) / kMr;
       const int64_t pn = gemm_panel_rows(k, n);
-      static thread_local std::vector<float> pack;
-      pack.resize(static_cast<size_t>((pn + kNr - 1) / kNr * kNr * k));
-      // Hoisted: the lambda runs on kernel worker threads, whose own
-      // thread_local `pack` is a different (empty) vector.
-      float* pk = pack.data();
+      float* pk = pack_arena(static_cast<size_t>((pn + kNr - 1) / kNr * kNr * k));
       for (int64_t jc = 0; jc < n; jc += pn) {
         const int64_t je = std::min<int64_t>(n, jc + pn);
-        gemm_pack_nt(b, k, jc, je - jc, pk);
-        parallel_for(bands, [&](int64_t band) {
-          gemm_bn_band(false, band * kMr, m, n, k, alpha, a, nullptr, pk, beta, c, epi, jc, je);
+        const int64_t strips = (je - jc + kNr - 1) / kNr;
+        pool_for_bands(strips, 1, extra, [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int64_t j0 = jc + s * kNr;
+            gemm_pack_nt_strip(b, k, j0, std::min<int64_t>(kNr, je - j0), pk + s * k * kNr);
+          }
+        });
+        pool_for_bands(m, kMr, extra, [&](int64_t r0, int64_t r1) {
+          for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+            gemm_bn_band(false, i0, m, n, k, alpha, a, nullptr, pk, beta, c, epi, jc, je);
+          }
         });
       }
       return;
     }
-    parallel_for(m, [&](int64_t i) { gemm_nt_row(i, n, k, alpha, a, b, beta, c, epi, 0, n); });
+    pool_for_bands(m, 1, extra, [&](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) gemm_nt_row(i, n, k, alpha, a, b, beta, c, epi, 0, n);
+    });
     return;
   }
   // TT: no caller uses it on a hot path; keep the reference loop.
   gemm_reference(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
   gemm_epilogue_apply(m, n, c, epi);
 }
+
+int64_t scratch_bytes() { return g_scratch_bytes.load(std::memory_order_relaxed); }
 
 void im2col_fast(const float* in, int64_t channels, int64_t height, int64_t width,
                  int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* out,
@@ -1009,6 +1166,98 @@ void col2im_fast(const float* cols, int64_t channels, int64_t height, int64_t wi
         col2im_tap_add(cols + row * cols_ld, out_c, height, width, kh, kw, stride, pad, out_h,
                        out_w);
       }
+    }
+  });
+}
+
+void im2col_batched_fast(const float* in, int64_t batch, int64_t channels, int64_t height,
+                         int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                         int64_t pad, float* cols) {
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  const int64_t taps = kernel_h * kernel_w;
+  const int64_t col_rows = channels * taps;
+  const int64_t col_cols = out_h * out_w;
+  // (sample x column-row) items: each writes one disjoint pitched row of the
+  // staging buffer with the single-sample row mover, so any lane count
+  // produces the serial bytes.
+  const int64_t items = batch * col_rows;
+  KernelLanes lanes(
+      extra_lanes_for(static_cast<double>(items * col_cols) * 2.0 * sizeof(float), kMinLaneBytes));
+  pool_for_bands(items, 1, lanes.extra(), [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t i = t / col_rows;
+      const int64_t row = t % col_rows;
+      const int64_t c = row / taps;
+      const int64_t rem = row % taps;
+      im2col_row(in + (i * channels + c) * height * width, height, width, rem / kernel_w,
+                 rem % kernel_w, stride, pad, out_h, out_w,
+                 cols + row * batch * col_cols + i * col_cols);
+    }
+  });
+}
+
+void col2im_batched_fast(const float* cols, int64_t batch, int64_t channels, int64_t height,
+                         int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                         int64_t pad, float* out) {
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  const int64_t col_cols = out_h * out_w;
+  // (sample x channel) items: scatter targets are disjoint across items, and
+  // within an item the (kh, kw) tap order matches the reference loop, so the
+  // threaded accumulate is bitwise-identical at any lane count.
+  const int64_t items = batch * channels;
+  KernelLanes lanes(extra_lanes_for(
+      static_cast<double>(items * kernel_h * kernel_w * col_cols) * 2.0 * sizeof(float),
+      kMinLaneBytes));
+  pool_for_bands(items, 1, lanes.extra(), [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t i = t / channels;
+      const int64_t c = t % channels;
+      float* out_c = out + (i * channels + c) * height * width;
+      for (int64_t kh = 0; kh < kernel_h; ++kh) {
+        for (int64_t kw = 0; kw < kernel_w; ++kw) {
+          const int64_t row = (c * kernel_h + kh) * kernel_w + kw;
+          col2im_tap_add(cols + row * batch * col_cols + i * col_cols, out_c, height, width, kh,
+                         kw, stride, pad, out_h, out_w);
+        }
+      }
+    }
+  });
+}
+
+void permute_to_samples(const float* staging, int64_t rows, int64_t batch, int64_t cols,
+                        float* samples) {
+  const int64_t items = batch * rows;
+  const double bytes = static_cast<double>(items * cols) * 2.0 * sizeof(float);
+  const bool stream =
+      items * cols * static_cast<int64_t>(sizeof(float)) >= kStreamMinBytes && stream_supported();
+  KernelLanes lanes(extra_lanes_for(bytes, kMinLaneBytes));
+  // Item t writes destination row t (contiguous ascending within a band, the
+  // layout streaming stores want); the source side takes the page strides.
+  pool_for_bands(items, 1, lanes.extra(), [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t i = t / rows;
+      const int64_t r = t % rows;
+      copy_row(samples + t * cols, staging + r * batch * cols + i * cols, cols, stream);
+    }
+  });
+}
+
+void permute_to_staging(const float* samples, int64_t rows, int64_t batch, int64_t cols,
+                        float* staging) {
+  const int64_t items = rows * batch;
+  const double bytes = static_cast<double>(items * cols) * 2.0 * sizeof(float);
+  const bool stream =
+      items * cols * static_cast<int64_t>(sizeof(float)) >= kStreamMinBytes && stream_supported();
+  KernelLanes lanes(extra_lanes_for(bytes, kMinLaneBytes));
+  // Item t = r * batch + i writes staging row-block t (again contiguous on
+  // the destination side).
+  pool_for_bands(items, 1, lanes.extra(), [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t r = t / batch;
+      const int64_t i = t % batch;
+      copy_row(staging + t * cols, samples + (i * rows + r) * cols, cols, stream);
     }
   });
 }

@@ -94,7 +94,16 @@ void gemm_epilogue_apply(int64_t m, int64_t n, float* c, const GemmEpilogue& epi
       for (int64_t j = 0; j < n; ++j) crow[j] += epi.col_bias[j];
     }
     if (epi.relu) {
-      for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+      if (epi.relu_mask != nullptr) {
+        uint8_t* mrow = epi.relu_mask + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+          const bool pos = crow[j] > 0.0f;
+          mrow[j] = pos ? 1 : 0;
+          if (!pos) crow[j] = 0.0f;
+        }
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+      }
     }
   }
 }
@@ -156,6 +165,32 @@ void col2im_reference(const float* cols, int64_t channels, int64_t height, int64
       }
     }
   });
+}
+
+void im2col_batched_reference(const float* in, int64_t batch, int64_t channels, int64_t height,
+                              int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                              int64_t pad, float* cols) {
+  // Serial per-sample loop over the pitched single-sample reference mover —
+  // the exact PR 4 batched-pipeline staging order.
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  const int64_t col_cols = out_h * out_w;
+  for (int64_t i = 0; i < batch; ++i) {
+    im2col_reference(in + i * channels * height * width, channels, height, width, kernel_h,
+                     kernel_w, stride, pad, cols + i * col_cols, batch * col_cols);
+  }
+}
+
+void col2im_batched_reference(const float* cols, int64_t batch, int64_t channels, int64_t height,
+                              int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                              int64_t pad, float* out) {
+  const int64_t out_h = (height + 2 * pad - kernel_h) / stride + 1;
+  const int64_t out_w = (width + 2 * pad - kernel_w) / stride + 1;
+  const int64_t col_cols = out_h * out_w;
+  for (int64_t i = 0; i < batch; ++i) {
+    col2im_reference(cols + i * col_cols, channels, height, width, kernel_h, kernel_w, stride, pad,
+                     out + i * channels * height * width, batch * col_cols);
+  }
 }
 
 void spmm_reference(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c,

@@ -70,6 +70,29 @@ void col2im(const float* cols, int64_t channels, int64_t height, int64_t width, 
   }
 }
 
+void im2col_batched(const float* in, int64_t batch, int64_t channels, int64_t height, int64_t width,
+                    int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad, float* cols) {
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::im2col_batched_fast(in, batch, channels, height, width, kernel_h, kernel_w, stride,
+                                 pad, cols);
+  } else {
+    kernels::im2col_batched_reference(in, batch, channels, height, width, kernel_h, kernel_w,
+                                      stride, pad, cols);
+  }
+}
+
+void col2im_batched(const float* cols, int64_t batch, int64_t channels, int64_t height,
+                    int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t stride, int64_t pad,
+                    float* out) {
+  if (kernels::mode() == kernels::Mode::kFast) {
+    kernels::col2im_batched_fast(cols, batch, channels, height, width, kernel_h, kernel_w, stride,
+                                 pad, out);
+  } else {
+    kernels::col2im_batched_reference(cols, batch, channels, height, width, kernel_h, kernel_w,
+                                      stride, pad, out);
+  }
+}
+
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   const size_t n = std::min(x.size(), y.size());
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];

@@ -1,0 +1,187 @@
+// Graph-level conv+ReLU fusion (nn::fuse_conv_relu):
+//   - fused forward/backward are bitwise-identical to the separate-pass
+//     graph in BOTH kernel engine modes — outputs, input grads, weight and
+//     bias grads. Not tolerance-close: the fused epilogue applies the same
+//     clamp predicate in the same order the ReLU layer would.
+//   - the rewrite only fires on direct Conv2d -> ReLU adjacency: conv-BN-ReLU
+//     chains and lone layers are untouched; nested Sequentials are walked.
+//   - fused masks ride the conv workspace: freed by eval forwards, stable
+//     across train cycles, bitwise-stable across kernel lane counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/fusion.h"
+#include "nn/sequential.h"
+#include "tensor/kernels.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+
+namespace fedtiny::nn {
+namespace {
+
+Tensor random_tensor(std::vector<int64_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = rng.normal();
+  return t;
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), static_cast<size_t>(a.numel()) * sizeof(float)))
+      << what;
+}
+
+/// Builds conv+ReLU with identical weights, runs one train step through the
+/// separate and the fused graph, and demands bitwise-equal everything.
+void check_fused_matches_separate(kernels::Mode mode, double sparse_density) {
+  kernels::ScopedMode pin(mode);
+  Conv2d* convs[2];
+  Sequential graphs[2];
+  for (int gi = 0; gi < 2; ++gi) {
+    Rng seed(7);
+    convs[gi] = graphs[gi].emplace<Conv2d>(6, 10, 3, 1, 1, /*bias=*/true, seed);
+    graphs[gi].emplace<ReLU>();
+  }
+  if (sparse_density > 0.0) {
+    // Masked training engages the per-sample sparse pipeline, whose fused
+    // clamp is the ordered post-pass rather than the GEMM epilogue.
+    Rng mrng(23);
+    std::vector<uint8_t> mask(static_cast<size_t>(convs[0]->weight().value.numel()));
+    for (auto& m : mask) m = mrng.uniform() < sparse_density ? 1 : 0;
+    for (auto* conv : convs) {
+      auto w = conv->weight().value.flat();
+      for (size_t i = 0; i < w.size(); ++i) {
+        if (mask[i] == 0) w[i] = 0.0f;
+      }
+      ASSERT_TRUE(conv->install_sparse(mask, 1.0f, /*train=*/true));
+    }
+  }
+  ASSERT_EQ(fuse_conv_relu(graphs[1]), 1);
+  ASSERT_EQ(graphs[1].size(), 1u) << "the ReLU layer must be erased from the graph";
+  ASSERT_TRUE(convs[1]->fused_relu());
+
+  Rng data(11);
+  Tensor x = random_tensor({3, 6, 9, 9}, data);
+  Tensor dy;
+  Tensor y[2], gin[2];
+  for (int gi = 0; gi < 2; ++gi) {
+    y[gi] = graphs[gi].forward(x, Mode::kTrain);
+    if (dy.empty()) dy = random_tensor(y[gi].shape(), data);
+    gin[gi] = graphs[gi].backward(dy);
+  }
+  expect_bitwise(y[1], y[0], "forward output");
+  expect_bitwise(gin[1], gin[0], "input gradient");
+  expect_bitwise(convs[1]->weight().grad, convs[0]->weight().grad, "weight gradient");
+  expect_bitwise(convs[1]->bias()->grad, convs[0]->bias()->grad, "bias gradient");
+}
+
+TEST(ConvFusion, FusedMatchesSeparateBitwiseReferenceMode) {
+  check_fused_matches_separate(kernels::Mode::kReference, 0.0);
+}
+
+TEST(ConvFusion, FusedMatchesSeparateBitwiseFastMode) {
+  check_fused_matches_separate(kernels::Mode::kFast, 0.0);
+}
+
+TEST(ConvFusion, FusedMatchesSeparateBitwiseSparseTrainingPath) {
+  check_fused_matches_separate(kernels::Mode::kFast, 0.3);
+}
+
+TEST(ConvFusion, FusedForwardBitwiseStableAcrossKernelLaneCounts) {
+  kernels::ScopedMode pin(kernels::Mode::kFast);
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  Rng seed(7);
+  Sequential model;
+  Conv2d* conv = model.emplace<Conv2d>(6, 10, 3, 1, 1, /*bias=*/true, seed);
+  model.emplace<ReLU>();
+  ASSERT_EQ(fuse_conv_relu(model), 1);
+  Rng data(11);
+  Tensor x = random_tensor({3, 6, 9, 9}, data);
+  ex.set_thread_budget(0);
+  Tensor base = model.forward(x, Mode::kTrain);
+  Tensor dy = random_tensor(base.shape(), data);
+  Tensor gbase = model.backward(dy);
+  Tensor wbase = conv->weight().grad;
+  for (int budget : {1, 7}) {
+    ex.set_thread_budget(budget);
+    conv->weight().grad.zero();
+    if (conv->bias() != nullptr) conv->bias()->grad.zero();
+    Tensor y = model.forward(x, Mode::kTrain);
+    expect_bitwise(y, base, "fused forward across lane counts");
+    Tensor gin = model.backward(dy);
+    expect_bitwise(gin, gbase, "fused input grad across lane counts");
+    expect_bitwise(conv->weight().grad, wbase, "fused weight grad across lane counts");
+  }
+  ex.set_thread_budget(before);
+}
+
+TEST(ConvFusion, DoesNotFuseThroughBatchNorm) {
+  Rng seed(3);
+  Sequential model;
+  model.emplace<Conv2d>(4, 8, 3, 1, 1, /*bias=*/false, seed);
+  model.emplace<BatchNorm2d>(8);
+  model.emplace<ReLU>();
+  EXPECT_EQ(fuse_conv_relu(model), 0);
+  EXPECT_EQ(model.size(), 3u) << "conv-BN-ReLU must be left untouched";
+}
+
+TEST(ConvFusion, RecursesIntoNestedSequentialsAndCountsPairs) {
+  Rng seed(5);
+  Sequential model;
+  model.emplace<Conv2d>(4, 4, 3, 1, 1, /*bias=*/false, seed);
+  model.emplace<ReLU>();
+  auto* inner = model.emplace<Sequential>();
+  inner->emplace<Conv2d>(4, 4, 1, 1, 0, /*bias=*/false, seed);
+  inner->emplace<ReLU>();
+  EXPECT_EQ(fuse_conv_relu(model), 2);
+  EXPECT_EQ(model.size(), 2u);   // conv + nested sequential
+  EXPECT_EQ(inner->size(), 1u);  // nested ReLU erased too
+}
+
+TEST(ConvFusion, LoneReluAndLoneConvAreNotTargets) {
+  Rng seed(5);
+  Sequential model;
+  model.emplace<ReLU>();
+  model.emplace<Conv2d>(4, 4, 3, 1, 1, /*bias=*/false, seed);
+  EXPECT_EQ(fuse_conv_relu(model), 0);
+  EXPECT_EQ(model.size(), 2u);
+}
+
+TEST(ConvFusion, EvalForwardFreesActivationMasks) {
+  for (const kernels::Mode mode : {kernels::Mode::kFast, kernels::Mode::kReference}) {
+    kernels::ScopedMode pin(mode);
+    Rng seed(5);
+    Sequential model;
+    Conv2d* conv = model.emplace<Conv2d>(4, 8, 3, 1, 1, /*bias=*/false, seed);
+    model.emplace<ReLU>();
+    ASSERT_EQ(fuse_conv_relu(model), 1);
+    Rng data(9);
+    Tensor x = random_tensor({2, 4, 8, 8}, data);
+    Tensor dy;
+    int64_t steady = -1;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      Tensor y = model.forward(x, Mode::kTrain);
+      if (dy.empty()) dy = random_tensor(y.shape(), data);
+      model.backward(dy);
+      const int64_t after_train = conv->workspace_bytes();
+      EXPECT_GT(after_train, 0);
+      if (steady < 0) {
+        steady = after_train;
+      } else {
+        EXPECT_EQ(after_train, steady) << "mask buffers must not grow, cycle " << cycle;
+      }
+      model.forward(x, Mode::kEval);
+      EXPECT_EQ(conv->workspace_bytes(), 0)
+          << "eval forward must free the fused-ReLU masks with the rest";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedtiny::nn

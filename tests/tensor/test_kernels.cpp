@@ -589,5 +589,197 @@ TEST(KernelDeterminism, PackedGemmAndPanelizedCsrStableAcrossThreadCounts) {
   EXPECT_EQ(0, std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(float)));
 }
 
+// ---- Kernel-lane determinism ------------------------------------------------
+// The panel-parallel engine threads row bands and pack strips over Executor
+// kernel lanes. Fixed blocking + grain-aligned bands mean every lane count
+// must reproduce the 1-lane result bitwise — not close, identical.
+
+TEST(KernelDeterminism, GemmBitwiseStableAcrossKernelLaneCounts) {
+  ScopedMode pin(Mode::kFast);
+  Rng rng(111);
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  struct Shape {
+    bool ta, tb;
+    int64_t m, n, k;
+  };
+  // Tile-edge shapes (m % kMr, n % kNr nonzero) across the dispatch paths:
+  // unpacked NN, packed multi-panel NN, TN, packed NT, unpacked NT.
+  const Shape shapes[] = {
+      {false, false, 61, 45, 77},   {false, false, 48, 600, 320}, {true, false, 33, 50, 40},
+      {false, true, 30, 530, 256},  {false, true, 9, 33, 21},
+  };
+  for (const auto& s : shapes) {
+    const auto a = random_dense(s.ta ? s.k * s.m : s.m * s.k, rng);
+    const auto b = random_dense(s.tb ? s.n * s.k : s.k * s.n, rng);
+    std::vector<float> base(static_cast<size_t>(s.m * s.n));
+    ex.set_thread_budget(0);  // 1 lane: the serial oracle ordering
+    gemm_fast(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f, base.data());
+    for (int budget : {1, 2, 7}) {  // 2, 3, 8 lanes
+      ex.set_thread_budget(budget);
+      std::vector<float> got(base.size(), -1.0f);
+      gemm_fast(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f, got.data());
+      ASSERT_EQ(0, std::memcmp(base.data(), got.data(), base.size() * sizeof(float)))
+          << "ta " << s.ta << " tb " << s.tb << " m " << s.m << " n " << s.n << " k " << s.k
+          << " budget " << budget;
+    }
+  }
+  ex.set_thread_budget(before);
+}
+
+TEST(KernelDeterminism, FusedEpilogueAndMaskStableAcrossKernelLaneCounts) {
+  ScopedMode pin(Mode::kFast);
+  Rng rng(113);
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  const int64_t m = 45, n = 530, k = 128;  // packed path, ragged tiles
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  const auto cbias = random_dense(n, rng);
+  GemmEpilogue epi;
+  epi.col_bias = cbias.data();
+  epi.relu = true;
+  std::vector<float> base_c(static_cast<size_t>(m * n));
+  std::vector<uint8_t> base_mask(base_c.size(), 2);
+  ex.set_thread_budget(0);
+  epi.relu_mask = base_mask.data();
+  gemm_fast_ex(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, base_c.data(), epi);
+  for (int budget : {1, 7}) {
+    ex.set_thread_budget(budget);
+    std::vector<float> c(base_c.size(), -1.0f);
+    std::vector<uint8_t> mask(base_mask.size(), 2);
+    epi.relu_mask = mask.data();
+    gemm_fast_ex(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data(), epi);
+    ASSERT_EQ(0, std::memcmp(base_c.data(), c.data(), c.size() * sizeof(float))) << budget;
+    ASSERT_EQ(base_mask, mask) << budget;
+  }
+  ex.set_thread_budget(before);
+}
+
+// ---- Fused-ReLU activation mask ---------------------------------------------
+
+TEST(GemmEpilogue, ReluMaskRecordsPreClampPositivePredicate) {
+  // mask[i] must be exactly (pre-clamp value > 0) — the nn::ReLU backward
+  // predicate — in both engine modes, and the clamped output must be the
+  // pre-clamp value gated by the mask.
+  Rng rng(117);
+  const int64_t m = 23, n = 37, k = 29;
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  GemmEpilogue epi;
+  epi.relu = true;
+  for (Mode mode : {Mode::kReference, Mode::kFast}) {
+    ScopedMode pin(mode);
+    std::vector<float> pre(static_cast<size_t>(m * n)), post(pre);
+    ops::gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, pre.data());
+    std::vector<uint8_t> mask(pre.size(), 2);
+    epi.relu_mask = mask.data();
+    ops::gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, post.data(), epi);
+    for (size_t i = 0; i < pre.size(); ++i) {
+      const bool pos = pre[i] > 0.0f;
+      ASSERT_EQ(mask[i], pos ? 1 : 0) << mode_name(mode) << " idx " << i;
+      ASSERT_EQ(post[i], pos ? pre[i] : 0.0f) << mode_name(mode) << " idx " << i;
+    }
+  }
+}
+
+// ---- Batched conv data movers -----------------------------------------------
+
+TEST(KernelParity, BatchedMoversBitwiseEqualReferenceAtAnyLaneCount) {
+  Rng rng(131);
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  const int64_t batch = 3, c = 5, h = 13, w = 11, kh = 3, kw = 3, stride = 2, pad = 1;
+  const int64_t oh = ops::conv_out_size(h, kh, stride, pad);
+  const int64_t ow = ops::conv_out_size(w, kw, stride, pad);
+  const int64_t col_rows = c * kh * kw, col_cols = oh * ow;
+  const auto in = random_dense(batch * c * h * w, rng);
+  std::vector<float> ref_cols(static_cast<size_t>(col_rows * batch * col_cols));
+  im2col_batched_reference(in.data(), batch, c, h, w, kh, kw, stride, pad, ref_cols.data());
+  const auto grad_cols = random_dense(col_rows * batch * col_cols, rng);
+  std::vector<float> ref_out(in.size(), 0.0f);
+  col2im_batched_reference(grad_cols.data(), batch, c, h, w, kh, kw, stride, pad, ref_out.data());
+  for (int budget : {0, 2, 7}) {
+    ex.set_thread_budget(budget);
+    std::vector<float> cols(ref_cols.size(), -1.0f);
+    im2col_batched_fast(in.data(), batch, c, h, w, kh, kw, stride, pad, cols.data());
+    ASSERT_EQ(0, std::memcmp(ref_cols.data(), cols.data(), cols.size() * sizeof(float)))
+        << "im2col budget " << budget;
+    std::vector<float> out(ref_out.size(), 0.0f);
+    col2im_batched_fast(grad_cols.data(), batch, c, h, w, kh, kw, stride, pad, out.data());
+    ASSERT_EQ(0, std::memcmp(ref_out.data(), out.data(), out.size() * sizeof(float)))
+        << "col2im budget " << budget;
+  }
+  ex.set_thread_budget(before);
+}
+
+TEST(KernelParity, PermutesInvertEachOtherAndMatchNaiveLayout) {
+  Rng rng(137);
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  const int64_t rows = 4, batch = 3, cols = 7;
+  const auto staging = random_dense(rows * batch * cols, rng);
+  std::vector<float> samples(staging.size(), -1.0f), round(staging.size(), -1.0f);
+  for (int budget : {0, 3}) {
+    ex.set_thread_budget(budget);
+    permute_to_samples(staging.data(), rows, batch, cols, samples.data());
+    for (int64_t i = 0; i < batch; ++i) {
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t j = 0; j < cols; ++j) {
+          ASSERT_EQ(samples[static_cast<size_t>((i * rows + r) * cols + j)],
+                    staging[static_cast<size_t>(r * batch * cols + i * cols + j)])
+              << i << "," << r << "," << j;
+        }
+      }
+    }
+    permute_to_staging(samples.data(), rows, batch, cols, round.data());
+    ASSERT_EQ(0, std::memcmp(staging.data(), round.data(), staging.size() * sizeof(float)));
+  }
+  ex.set_thread_budget(before);
+}
+
+TEST(KernelParity, PermuteLargeEnoughToEngageStreamingStores) {
+  // Above kStreamMinBytes the permutes switch to non-temporal stores where
+  // the CPU supports them; the bits must not care which store path ran.
+  Rng rng(139);
+  const int64_t rows = 2, batch = 2, cols = (1 << 18) + 3;  // > 2 MiB total
+  const auto staging = random_dense(rows * batch * cols, rng);
+  std::vector<float> samples(staging.size(), -1.0f), round(staging.size(), -1.0f);
+  permute_to_samples(staging.data(), rows, batch, cols, samples.data());
+  permute_to_staging(samples.data(), rows, batch, cols, round.data());
+  EXPECT_EQ(0, std::memcmp(staging.data(), round.data(), staging.size() * sizeof(float)));
+  EXPECT_EQ(samples[static_cast<size_t>(cols)],  // sample 0, row 1, col 0
+            staging[static_cast<size_t>(batch * cols)]);
+}
+
+// ---- Pack scratch accounting ------------------------------------------------
+
+TEST(KernelScratch, PackArenaBoundedAndSteadyAcrossRepeatedCalls) {
+  ScopedMode pin(Mode::kFast);
+  Rng rng(141);
+  auto& ex = Executor::instance();
+  const int before = ex.thread_budget();
+  ex.set_thread_budget(3);
+  const int64_t m = 32, n = 600, k = 320;  // engages the packed path
+  const auto a = random_dense(m * k, rng);
+  const auto b = random_dense(k * n, rng);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  gemm_fast(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());  // warm arenas
+  const int64_t high = scratch_bytes();
+  EXPECT_GT(high, 0);  // the packed call must have gone through the arena
+  // One L2 panel per packing thread is the contract; workers share the
+  // caller's pack, so the global footprint stays a small multiple of the
+  // panel budget no matter the lane count.
+  EXPECT_LE(high, int64_t{1} << 21);
+  for (int i = 0; i < 8; ++i) {
+    gemm_fast(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  }
+  EXPECT_EQ(scratch_bytes(), high) << "steady-state repeat calls must not grow pack scratch";
+  // A smaller packed shape must reuse (not grow) the warm arena.
+  gemm_fast(false, false, 16, 300, 256, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_LE(scratch_bytes(), high);
+  ex.set_thread_budget(before);
+}
+
 }  // namespace
 }  // namespace fedtiny::kernels
