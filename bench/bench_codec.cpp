@@ -1,0 +1,247 @@
+// Payload codec benchmarks: the three measurements behind the v2 wire
+// format (fl/codec.h).
+//
+//   1. Value-kernel throughput — per-chunk int8 / stochastic 4-bit
+//      encode+decode and StreamVByte index encode+decode, in GB/s of fp32
+//      (resp. u32) payload processed. Hard same-host gate: int8 decode must
+//      sustain >= 1.0 GB/s or the bench exits 1 (skipped under --smoke,
+//      whose arrays are too small to saturate).
+//   2. Encoded-bytes-vs-density curves — one conv-shaped layer swept over
+//      support densities, encoded by every codec, against the v1 fp32 wire.
+//      This is the table that justifies the per-layer bitmap-vs-varint
+//      switch and the >= 3.5x uplink claim.
+//   3. Accuracy-vs-bits sweep (full runs; skipped under --smoke) — the
+//      standard sparse-exchange scenario trained end-to-end once per codec,
+//      recording final accuracy next to total wire bytes.
+//
+// Usage: bench_codec [--smoke]
+// JSON:  set FEDTINY_BENCH_JSON=<path> to append records (see bench_json.h);
+//        codec records fill enc_bytes / dec_gbps / accuracy. Encode-timing
+//        records carry their GB/s in dec_gbps too ("the record's measured
+//        codec throughput"); they are named *_encode to keep match keys
+//        distinct.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "fl/codec.h"
+#include "fl/payload.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "tensor/quant.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace fedtiny;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+template <typename Fn>
+double time_ms(int reps, Fn fn) {
+  fn();  // warm
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  return seconds_since(t0) * 1e3 / reps;
+}
+
+double gbps(size_t bytes, double ms) {
+  return ms > 0.0 ? static_cast<double>(bytes) / (ms * 1e-3) / 1e9 : 0.0;
+}
+
+// One conv-shaped prunable layer ({256,256,3,3} full-size) with a random
+// support at `density`, as both wire payload directions.
+struct LayerFixture {
+  fl::SparseStatePayload state;
+  fl::SparseUpdatePayload update;
+};
+
+LayerFixture make_layer(const std::vector<int64_t>& shape, double density, Rng& rng) {
+  LayerFixture fx;
+  const int64_t numel = Tensor::compute_numel(shape);
+  fl::SparseLayerPayload layer;
+  layer.shape = shape;
+  layer.mask_bits.assign(static_cast<size_t>((numel + 63) / 64), 0);
+  for (int64_t i = 0; i < numel; ++i) {
+    if (rng.uniform() < density) {
+      layer.mask_bits[static_cast<size_t>(i) / 64] |= uint64_t{1} << (i % 64);
+      layer.values.push_back(rng.normal() * 0.05f);
+    }
+  }
+  fl::UpdateLayerPayload up;
+  up.shape = shape;
+  up.values = layer.values;
+  fx.update.sparse_layers.push_back(std::move(up));
+  fx.update.num_samples = 600;
+  fx.state.sparse_layers.push_back(std::move(layer));
+  return fx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  benchjson::Writer json("bench_codec");
+  std::printf("Payload codec benchmarks%s\n", smoke ? " (smoke)" : "");
+
+  // ---- 1. Value-kernel throughput -----------------------------------------
+  const size_t n = smoke ? (size_t{1} << 20) : (size_t{4} << 20);  // floats
+  const size_t chunk = 256;
+  const size_t fp32_bytes = n * sizeof(float);
+  const int reps = smoke ? 3 : 10;
+  Rng rng(7);
+  std::vector<float> src(n), dst(n);
+  for (auto& x : src) x = rng.normal();
+  std::vector<quant::ChunkParams> params(quant::chunk_count(n, chunk));
+  std::vector<uint8_t> codes8(n);
+  std::vector<uint8_t> codes4(quant::packed_u4_bytes(n));
+  std::vector<uint32_t> rand(n);
+  const std::string shape = std::to_string(n) + "f32";
+
+  // Encode timings include the parameter pass (and, for q4, the randomness
+  // fill) — that is what the real codec pays per payload.
+  const double enc8_ms = time_ms(reps, [&] {
+    quant::compute_chunk_params(src.data(), n, chunk, 255, params.data());
+    quant::encode_u8(src.data(), n, chunk, params.data(), codes8.data());
+  });
+  const double dec8_ms = time_ms(reps, [&] {
+    quant::decode_u8(codes8.data(), n, chunk, params.data(), dst.data());
+  });
+  const double enc4_ms = time_ms(reps, [&] {
+    Rng stream(11);
+    for (auto& r : rand) r = stream.next_u32();
+    quant::compute_chunk_params(src.data(), n, chunk, 15, params.data());
+    quant::encode_u4(src.data(), n, chunk, params.data(), rand.data(), codes4.data());
+  });
+  const double dec4_ms = time_ms(reps, [&] {
+    quant::decode_u4(codes4.data(), n, chunk, params.data(), dst.data());
+  });
+
+  // StreamVByte on delta gaps: mixed 1-3 byte values, the shape real
+  // support-index streams take at moderate densities.
+  const size_t n32 = n / 4;
+  const size_t u32_bytes = n32 * sizeof(uint32_t);
+  std::vector<uint32_t> gaps(n32), decoded(n32);
+  for (auto& g : gaps) g = rng.next_u32() % 300000;
+  std::vector<uint8_t> svb(quant::svb_max_bytes(n32));
+  size_t svb_bytes = 0;
+  const double svbe_ms =
+      time_ms(reps, [&] { svb_bytes = quant::svb_encode(gaps.data(), n32, svb.data()); });
+  bool svb_ok = true;
+  const double svbd_ms = time_ms(reps, [&] {
+    svb_ok = quant::svb_decode(svb.data(), svb_bytes, decoded.data(), n32) && svb_ok;
+  });
+  if (!svb_ok || std::memcmp(gaps.data(), decoded.data(), u32_bytes) != 0) {
+    std::printf("FAIL: svb round-trip mismatch\n");
+    return 1;
+  }
+
+  harness::Report kernels_report("codec value kernels (GB/s of payload processed)");
+  kernels_report.set_header({"kernel", "payload_MB", "encode_GBps", "decode_GBps"});
+  auto add_kernel = [&](const char* name, size_t bytes, double enc_ms, double dec_ms,
+                        size_t enc_out_bytes) {
+    kernels_report.add_row({name, harness::Report::fmt(bytes / (1024.0 * 1024.0), 1),
+                            harness::Report::fmt(gbps(bytes, enc_ms), 2),
+                            harness::Report::fmt(gbps(bytes, dec_ms), 2)});
+    json.record(std::string(name) + "_encode", shape, 1.0, "fast", enc_ms, 0, 0, -1,
+                enc_out_bytes, gbps(bytes, enc_ms));
+    json.record(name, shape, 1.0, "fast", dec_ms, 0, 0, -1, enc_out_bytes,
+                gbps(bytes, dec_ms));
+  };
+  add_kernel("int8", fp32_bytes, enc8_ms, dec8_ms, codes8.size());
+  add_kernel("q4", fp32_bytes, enc4_ms, dec4_ms, codes4.size());
+  add_kernel("svb", u32_bytes, svbe_ms, svbd_ms, svb_bytes);
+  kernels_report.print();
+
+  const double dec8_gbps = gbps(fp32_bytes, dec8_ms);
+  if (!smoke && dec8_gbps < 1.0) {
+    std::printf("FAIL: int8 decode %.2f GB/s below the 1.0 GB/s same-host gate\n", dec8_gbps);
+    return 1;
+  }
+
+  // ---- 2. Encoded bytes vs density ----------------------------------------
+  const std::vector<int64_t> layer_shape =
+      smoke ? std::vector<int64_t>{64, 64, 3, 3} : std::vector<int64_t>{256, 256, 3, 3};
+  const std::vector<double> densities = {0.01, 0.02, 0.05, 0.10, 0.20, 0.50};
+  const std::vector<std::string> codecs = {"int8", "q4", "topk8"};
+  harness::Report size_report("encoded bytes vs density (one conv layer, v1 = fp32 wire)");
+  size_report.set_header({"density", "v1_state_KB", "int8_state_KB", "v1_up_KB", "int8_up_KB",
+                          "q4_up_KB", "topk8_up_KB", "int8_up_cut"});
+  for (double d : densities) {
+    Rng layer_rng(17);
+    auto fx = make_layer(layer_shape, d, layer_rng);
+    const size_t v1_state = fl::serialize(fx.state).size();
+    const size_t v1_up = fl::serialize(fx.update).size();
+    std::vector<std::string> row = {harness::Report::fmt(d, 2),
+                                    harness::Report::fmt(v1_state / 1024.0, 1)};
+    size_t int8_up = 0;
+    for (const auto& c : codecs) {
+      const fl::CodecConfig cfg = fl::codec::config_from_name(c);
+      if (c == "int8") {
+        const size_t state_bytes = fl::codec::encode_state(fx.state, cfg, 1, 0).size();
+        row.push_back(harness::Report::fmt(state_bytes / 1024.0, 1));
+        row.push_back(harness::Report::fmt(v1_up / 1024.0, 1));
+        json.record("state_int8", "conv", d, "fast", 0.0, 0, 0, -1, state_bytes);
+      }
+      const size_t up_bytes =
+          fl::codec::encode_update(fx.update, cfg, 1, 0, fl::codec::kBroadcastClient,
+                                   nullptr, nullptr)
+              .size();
+      if (c == "int8") int8_up = up_bytes;
+      row.push_back(harness::Report::fmt(up_bytes / 1024.0, 1));
+      json.record("update_" + c, "conv", d, "fast", 0.0, 0, 0, -1, up_bytes);
+    }
+    row.push_back(harness::Report::fmt(static_cast<double>(v1_up) /
+                                           static_cast<double>(std::max(int8_up, size_t{1})),
+                                       2));
+    size_report.add_row(row);
+  }
+  size_report.print();
+  std::printf("\nThe int8 uplink cut approaches the 4x value-coding bound as density grows\n"
+              "(fp32 values -> 1 B codes + 8 B params per 256-value chunk; the fixed\n"
+              "per-layer header weighs more at low density); state payloads additionally\n"
+              "switch the bitmap to delta+varint indices below the per-layer breakeven.\n");
+
+  // ---- 3. Accuracy vs bits (full runs) ------------------------------------
+  if (smoke) {
+    std::printf("\n--smoke: skipping the accuracy-vs-bits training sweep\n");
+    return 0;
+  }
+  harness::Experiment ex(harness::ScaleConfig::from_env());
+  const std::vector<std::string> sweep = {"none", "int8", "q4", "topk8"};
+  std::vector<harness::RunSpec> specs;
+  for (const auto& c : sweep) {
+    harness::RunSpec s;
+    s.method = "synflow";
+    s.density = 0.10;
+    s.sparse_exchange = true;
+    s.codec = c;
+    specs.push_back(s);
+  }
+  auto results = harness::run_all(ex, specs);
+  harness::Report acc_report("accuracy vs codec bits (synflow, density 0.10, sparse exchange)");
+  acc_report.set_header({"codec", "value_bits", "top1_acc", "total_comm_MB"});
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const fl::CodecConfig cfg = fl::codec::config_from_name(sweep[i]);
+    const int bits = cfg.codec == fl::Codec::kNone ? 32
+                     : cfg.codec == fl::Codec::kQ4 ? 4
+                                                   : cfg.quant_bits;
+    acc_report.add_row({sweep[i], std::to_string(bits),
+                        harness::Report::fmt(results[i].accuracy),
+                        harness::Report::fmt(results[i].total_comm_bytes / (1024.0 * 1024.0), 3)});
+    json.record("acc_" + sweep[i], "synflow-d0.10", 0.10, "fast", 0.0, 0, 0, -1,
+                static_cast<size_t>(results[i].total_comm_bytes), 0.0, results[i].accuracy);
+  }
+  acc_report.print();
+  std::printf("\nExpected shape: int8 matches fp32 within noise, q4 within ~a point, and\n"
+              "topk8 trades a little accuracy-per-round for the smallest uplinks.\n");
+  return 0;
+}

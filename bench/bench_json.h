@@ -8,6 +8,7 @@
 //    "shape": "MxNxK-style shape string", "density": 0.10,
 //    "mode": "reference" | "fast", "threads": 1, "ns_op": 12345.6,
 //    "gflops": 1.234, "max_rss_mb": 123.4, "acc_bytes": 0,
+//    "enc_bytes": 0, "dec_gbps": 0.000, "accuracy": 0.0,
 //    "git_sha": "abc1234", "host": "runner-01"}
 // threads is the kernel lane count the record was measured at (1 + the
 // Executor thread budget unless the bench overrides it); together with
@@ -18,7 +19,12 @@
 // within a run, so the last record of a bench carries its high-water mark.
 // acc_bytes is the resident server-accumulator footprint for benches that
 // measure one (0 elsewhere). compare_bench_json.py diffs both alongside
-// ns_op. git_sha/host are provenance stamps: compare_bench_json.py warns
+// ns_op.
+// enc_bytes / dec_gbps / accuracy are the codec triple (bench_codec,
+// bench_fig5 codec rows): encoded payload size, decode throughput in GB/s,
+// and end-to-end model accuracy for sweeps that train (0 when the record
+// does not measure them). compare_bench_json.py warns when enc_bytes grows
+// or dec_gbps drops beyond the threshold factor. git_sha/host are provenance stamps: compare_bench_json.py warns
 // when two files come from different hosts (absolute-time comparisons
 // across hardware are advisory, never a gate). The SHA is baked at
 // configure time (FEDTINY_GIT_SHA_DEFAULT); the FEDTINY_GIT_SHA env
@@ -74,9 +80,11 @@ class Writer {
   /// threads is the kernel lane count the timing ran at; the default -1
   /// stamps the process-wide count (1 caller lane + the Executor budget) —
   /// pass it explicitly when the bench sweeps lane counts itself.
+  /// enc_bytes/dec_gbps/accuracy are the codec triple (0 = not measured).
   void record(const std::string& kernel, const std::string& shape, double density,
               const std::string& mode, double ms_op, double flops, size_t acc_bytes = 0,
-              int threads = -1) {
+              int threads = -1, size_t enc_bytes = 0, double dec_gbps = 0.0,
+              double accuracy = 0.0) {
     if (file_ == nullptr) return;
     const double ns_op = ms_op * 1e6;
     const double gflops = ms_op > 0.0 ? flops / (ms_op * 1e-3) / 1e9 : 0.0;
@@ -87,9 +95,11 @@ class Writer {
                  "{\"bench\":\"%s\",\"kernel\":\"%s\",\"shape\":\"%s\",\"density\":%.4f,"
                  "\"mode\":\"%s\",\"threads\":%d,\"ns_op\":%.1f,\"gflops\":%.3f,"
                  "\"max_rss_mb\":%.2f,\"acc_bytes\":%zu,"
+                 "\"enc_bytes\":%zu,\"dec_gbps\":%.3f,\"accuracy\":%.4f,"
                  "\"git_sha\":\"%s\",\"host\":\"%s\"}\n",
                  bench_.c_str(), kernel.c_str(), shape.c_str(), density, mode.c_str(), threads,
-                 ns_op, gflops, max_rss_mb, acc_bytes, sha_.c_str(), host_.c_str());
+                 ns_op, gflops, max_rss_mb, acc_bytes, enc_bytes, dec_gbps, accuracy,
+                 sha_.c_str(), host_.c_str());
     std::fflush(file_);
   }
 

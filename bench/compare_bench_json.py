@@ -25,6 +25,11 @@ measurements, never as a regression. Baselines written before the field
 existed default to threads=1. The gflops rate itself is informational —
 the time-based thresholds above remain the comparison signal.
 
+Codec fields (bench_json.h): "enc_bytes" (encoded payload size, diffed like
+the memory stamps — growth warns) and "dec_gbps" (decode throughput; a drop
+beyond the threshold factor warns, direction inverted because higher is
+better). Both warn-only: bench_codec carries its own hard same-host gate.
+
 Records carry provenance stamps ("host", "git_sha" — see bench_json.h);
 when both files name a host and they differ, the script prints a prominent
 cross-host warning: absolute-time comparisons across hardware are advisory,
@@ -121,7 +126,8 @@ def main():
         # warn-only: RSS includes allocator/runtime noise, and the hard
         # bounded-memory gates live in the benches themselves.
         for field, unit, fmt in (("max_rss_mb", "MB", "%.1f"),
-                                 ("acc_bytes", "B", "%.0f")):
+                                 ("acc_bytes", "B", "%.0f"),
+                                 ("enc_bytes", "B", "%.0f")):
             ov, nv = old.get(field), rec.get(field)
             if ov is None or nv is None or ov <= 0:
                 continue
@@ -129,6 +135,17 @@ def main():
             if mratio > args.threshold:
                 print(f"WARN memory {mratio:5.2f}x  {label}  {field} "
                       f"{fmt % ov} -> {fmt % nv} {unit}")
+                mem_regressions += 1
+        # Codec decode throughput (bench_json.h "dec_gbps"): higher is
+        # better, so the warning direction inverts — flag drops beyond the
+        # threshold factor. Warn-only like the time fields: the hard
+        # same-host GB/s gate lives in bench_codec itself.
+        ov, nv = old.get("dec_gbps"), rec.get("dec_gbps")
+        if ov is not None and nv is not None and ov > 0 and nv > 0:
+            dratio = ov / nv
+            if dratio > args.threshold:
+                print(f"WARN throughput {dratio:5.2f}x slower  {label}  "
+                      f"dec_gbps {ov:.2f} -> {nv:.2f} GB/s")
                 mem_regressions += 1
     missing = len(base.keys() - new.keys())
     print(f"compared {len(new)} records: {failures} failure(s), "

@@ -77,7 +77,9 @@ void device_role(const data::Dataset& test) {
     return;
   }
   const auto mask = fl::payload_mask(payload);
-  if (!model->try_set_state(fl::reconstruct_state(payload, model->prunable_indices()))) {
+  std::vector<Tensor> state;
+  if (!fl::reconstruct_state(payload, model->prunable_indices(), state) ||
+      !model->try_set_state(state)) {
     std::printf("[device] checkpoint does not match this architecture\n");
     return;
   }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/runner.h"
 #include "io/checkpoint.h"
 
 namespace {
@@ -34,6 +35,13 @@ void usage() {
       "  --sparse-exec F       CSR forward below density F at eval (default 0 = dense)\n"
       "  --sparse-train        masked sparse local SGD (needs --sparse-exec > 0)\n"
       "  --kernels M           kernel engine: reference|fast (default fast)\n"
+      "  --codec C             sparse-exchange payload codec (needs --sparse-exchange):\n"
+      "                        none|int8|q4|topk8|topk4 (default none = v1 fp32 wire)\n"
+      "  --quant-bits N        top-k value quantization width: 4|8 (default per codec)\n"
+      "  --topk-frac F         top-k kept fraction, (0,1] (default 0.08)\n"
+      "                        Env fallbacks when flags are absent: FEDTINY_CODEC,\n"
+      "                        FEDTINY_QUANT_BITS, FEDTINY_TOPK_FRAC (via with_env_knobs;\n"
+      "                        explicit flags always win, env typos warn and are ignored)\n"
       "  Simulated deployment (default: ideal fleet, all times 0):\n"
       "  --sim-device-flops F  mean device speed, FLOP/s (0 = infinite)\n"
       "  --sim-bandwidth F     mean link bandwidth, bytes/s (0 = infinite)\n"
@@ -95,6 +103,12 @@ int main(int argc, char** argv) {
       spec.sparse_training = true;
     } else if (std::strcmp(argv[i], "--kernels") == 0) {
       spec.kernels = next("--kernels");
+    } else if (std::strcmp(argv[i], "--codec") == 0) {
+      spec.codec = next("--codec");
+    } else if (std::strcmp(argv[i], "--quant-bits") == 0) {
+      spec.quant_bits = std::atoi(next("--quant-bits"));
+    } else if (std::strcmp(argv[i], "--topk-frac") == 0) {
+      spec.topk_frac = std::atof(next("--topk-frac"));
     } else if (std::strcmp(argv[i], "--sim-device-flops") == 0) {
       spec.sim.device_flops_per_s = std::atof(next("--sim-device-flops"));
     } else if (std::strcmp(argv[i], "--sim-bandwidth") == 0) {
@@ -132,15 +146,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Env knobs (FEDTINY_CODEC, FEDTINY_SIM_*, ...) fill whatever the flags
+  // above left unpinned; explicit flags always win.
+  spec = harness::with_env_knobs(std::move(spec));
   harness::Experiment experiment(harness::ScaleConfig::from_env());
   std::printf("running %s on %s/%s at density %.4g (alpha %.2f, seed %llu, scale %s,\n"
-              "        K=%d, clients/round=%d, workers=%d%s%s%s)\n",
+              "        K=%d, clients/round=%d, workers=%d%s%s%s%s)\n",
               spec.method.c_str(), spec.dataset.c_str(), spec.model.c_str(), spec.density,
               spec.dirichlet_alpha, static_cast<unsigned long long>(spec.seed),
               experiment.scale().name.c_str(), spec.num_clients, spec.clients_per_round,
               spec.parallel_clients, spec.sparse_exchange ? ", sparse-exchange" : "",
               spec.sparse_training ? ", sparse-train" : "",
-              spec.kernels.empty() ? "" : (", kernels=" + spec.kernels).c_str());
+              spec.kernels.empty() ? "" : (", kernels=" + spec.kernels).c_str(),
+              spec.codec.empty() ? "" : (", codec=" + spec.codec).c_str());
   try {
     auto result = experiment.run(spec);
     std::printf("top1_accuracy   %.4f\n", result.accuracy);

@@ -75,6 +75,38 @@ struct SimConfig {
   }
 };
 
+/// Payload codec for the sparse exchange path (fl/codec.*). `none` ships
+/// the v1 wire format (fp32 values at support + raw mask bitmap) and is
+/// byte-identical to the historical engine. The quantizing codecs emit the
+/// v2 framing: per-chunk affine-quantized values (int8 linear or 4-bit
+/// stochastic) and per-layer delta+varint support indices whenever that
+/// beats the raw bitmap by measured size.
+enum class Codec : std::uint8_t {
+  kNone = 0,   // v1 wire format, bitwise-historical
+  kInt8 = 1,   // 8-bit linear per-chunk quantization
+  kQ4 = 2,     // 4-bit stochastic per-chunk quantization
+  kTopK = 3,   // top-k sparsified uplink + error feedback, int8 values
+};
+
+struct CodecConfig {
+  Codec codec = Codec::kNone;
+  /// Value width for the top-k codec's kept coordinates (8 or 4); the
+  /// int8/q4 codecs imply their own width.
+  int quant_bits = 8;
+  /// Fraction of support coordinates a top-k uplink keeps (0 < f <= 1).
+  /// Ignored by the other codecs.
+  double topk_frac = 0.08;
+  /// Quantize the downlink state payload too (uplink is always quantized
+  /// when a codec is active). Downlink quantization perturbs the state
+  /// every client trains from, so it is the knob to relax first if
+  /// accuracy drifts.
+  bool quantize_downlink = true;
+  /// Values per quantization chunk (one lo/scale pair each).
+  int chunk = 256;
+
+  [[nodiscard]] bool enabled() const { return codec != Codec::kNone; }
+};
+
 struct FLConfig {
   int num_clients = 10;      // K (paper: 10)
   int rounds = 60;           // paper: 300 (CIFAR) / 200 (SVHN)
@@ -127,6 +159,13 @@ struct FLConfig {
   /// default is the ideal fleet, under which the sync round loop reproduces
   /// the historical engine bitwise.
   SimConfig sim;
+
+  // ---- Payload codec ----
+  /// Wire codec for round payloads. Only meaningful with sparse_exchange
+  /// (there is no serialized wire otherwise); Codec::kNone keeps the round
+  /// loop byte-identical to the historical engine. Encoded bytes feed the
+  /// comm model, so a smaller wire directly shortens simulated rounds.
+  CodecConfig codec;
 };
 
 }  // namespace fedtiny::fl

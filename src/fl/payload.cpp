@@ -6,6 +6,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "fl/codec.h"
 #include "io/serialize.h"
 
 namespace fedtiny::fl {
@@ -129,28 +130,32 @@ SparseStatePayload build_sparse_state(const std::vector<Tensor>& state,
   return payload;
 }
 
-std::vector<Tensor> reconstruct_state(const SparseStatePayload& payload,
-                                      const std::vector<int>& prunable_indices) {
+bool reconstruct_state(const SparseStatePayload& payload,
+                       const std::vector<int>& prunable_indices,
+                       std::vector<Tensor>& out) {
   // Checkpoint payloads are untrusted input: a payload that does not fit
-  // prunable_indices (different architecture) yields an empty state, never
-  // an assert or out-of-bounds access. deserialize() guarantees each
-  // layer's value count equals its bitmap popcount.
+  // prunable_indices (different architecture) fails cleanly, never an
+  // assert or out-of-bounds access. deserialize() guarantees each layer's
+  // value count equals its bitmap popcount.
+  out.clear();
   std::vector<Tensor> sparse_tensors;
   sparse_tensors.reserve(payload.sparse_layers.size());
   for (const auto& layer : payload.sparse_layers) {
     Tensor t(layer.shape);
     auto data = t.flat();
+    if (layer.mask_bits.size() < (data.size() + 63) / 64) return false;
     size_t at = 0;
     for (size_t j = 0; j < data.size(); ++j) {
       if ((layer.mask_bits[j / 64] >> (j % 64)) & 1u) {
-        if (at >= layer.values.size()) return {};  // bitmap/value mismatch
+        if (at >= layer.values.size()) return false;  // bitmap/value mismatch
         data[j] = layer.values[at++];
       }
     }
-    if (at != layer.values.size()) return {};
+    if (at != layer.values.size()) return false;
     sparse_tensors.push_back(std::move(t));
   }
-  return place_state(std::move(sparse_tensors), payload.dense_tensors, prunable_indices);
+  out = place_state(std::move(sparse_tensors), payload.dense_tensors, prunable_indices);
+  return out.size() == payload.state_tensor_count();
 }
 
 prune::MaskSet payload_mask(const SparseStatePayload& payload) {
@@ -182,13 +187,15 @@ SparseUpdatePayload build_sparse_update(const std::vector<Tensor>& state,
   return payload;
 }
 
-std::vector<Tensor> reconstruct_update(const SparseUpdatePayload& payload,
-                                       const prune::MaskSet& mask,
-                                       const std::vector<int>& prunable_indices) {
+bool reconstruct_update(const SparseUpdatePayload& payload,
+                        const prune::MaskSet& mask,
+                        const std::vector<int>& prunable_indices,
+                        std::vector<Tensor>& out) {
   // The update wire format carries no bitmap, so the value counts can only
   // be validated here, against the round mask: a mismatch (e.g. a truncated
-  // or foreign payload) returns empty rather than reading out of bounds.
-  if (mask.num_layers() != payload.sparse_layers.size()) return {};
+  // or foreign payload) fails rather than reading out of bounds.
+  out.clear();
+  if (mask.num_layers() != payload.sparse_layers.size()) return false;
   std::vector<Tensor> sparse_tensors;
   sparse_tensors.reserve(payload.sparse_layers.size());
   for (size_t l = 0; l < payload.sparse_layers.size(); ++l) {
@@ -196,18 +203,19 @@ std::vector<Tensor> reconstruct_update(const SparseUpdatePayload& payload,
     const auto& m = mask.layer(l);
     Tensor t(layer.shape);
     auto data = t.flat();
-    if (m.size() != data.size()) return {};
+    if (m.size() != data.size()) return false;
     size_t at = 0;
     for (size_t j = 0; j < data.size(); ++j) {
       if (m[j] != 0) {
-        if (at >= layer.values.size()) return {};
+        if (at >= layer.values.size()) return false;
         data[j] = layer.values[at++];
       }
     }
-    if (at != layer.values.size()) return {};
+    if (at != layer.values.size()) return false;
     sparse_tensors.push_back(std::move(t));
   }
-  return place_state(std::move(sparse_tensors), payload.dense_tensors, prunable_indices);
+  out = place_state(std::move(sparse_tensors), payload.dense_tensors, prunable_indices);
+  return out.size() == payload.sparse_layers.size() + payload.dense_tensors.size();
 }
 
 std::vector<uint8_t> serialize(const SparseStatePayload& payload) {
@@ -226,6 +234,7 @@ std::vector<uint8_t> serialize(const SparseStatePayload& payload) {
 }
 
 bool deserialize(std::span<const uint8_t> bytes, SparseStatePayload& out) {
+  if (codec::is_v2_wire(bytes)) return codec::decode_state(bytes, out);
   io::ByteReader r(bytes);
   uint32_t tag = 0, sparse_count = 0, dense_count = 0;
   if (!r.read_pod(tag) || tag != kStateTag) return false;
@@ -281,6 +290,9 @@ std::vector<uint8_t> serialize(const SparseUpdatePayload& payload) {
 }
 
 bool deserialize(std::span<const uint8_t> bytes, SparseUpdatePayload& out) {
+  // v2 dispatch: only non-delta update wires decode without the shared
+  // reference; the trainer decodes delta uplinks via codec::decode_update.
+  if (codec::is_v2_wire(bytes)) return codec::decode_update(bytes, out, nullptr);
   io::ByteReader r(bytes);
   uint32_t tag = 0, sparse_count = 0, dense_count = 0;
   if (!r.read_pod(tag) || tag != kUpdateTag) return false;

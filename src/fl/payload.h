@@ -69,11 +69,14 @@ SparseStatePayload build_sparse_state(const std::vector<Tensor>& state,
                                       const prune::MaskSet& mask,
                                       const std::vector<int>& prunable_indices);
 
-/// Inverse of build_sparse_state: dense state with masked coordinates zero.
-/// Returns an empty vector when the payload does not fit prunable_indices
-/// (e.g. a checkpoint saved from a different architecture).
-std::vector<Tensor> reconstruct_state(const SparseStatePayload& payload,
-                                      const std::vector<int>& prunable_indices);
+/// Inverse of build_sparse_state: fills `out` with the dense state, masked
+/// coordinates zero. Returns false — leaving `out` empty — when the payload
+/// does not fit prunable_indices (e.g. a checkpoint saved from a different
+/// architecture), so failure is distinguishable from a legitimately empty
+/// payload (zero tensors), which returns true.
+bool reconstruct_state(const SparseStatePayload& payload,
+                       const std::vector<int>& prunable_indices,
+                       std::vector<Tensor>& out);
 
 /// Recover the mask encoded in a state payload's bitmaps.
 prune::MaskSet payload_mask(const SparseStatePayload& payload);
@@ -83,11 +86,13 @@ SparseUpdatePayload build_sparse_update(const std::vector<Tensor>& state,
                                         const std::vector<int>& prunable_indices);
 
 /// Dense state from an uplink payload; needs the round mask for the support.
-/// Returns an empty vector when the payload does not fit prunable_indices or
-/// a layer's value count disagrees with the mask's support.
-std::vector<Tensor> reconstruct_update(const SparseUpdatePayload& payload,
-                                       const prune::MaskSet& mask,
-                                       const std::vector<int>& prunable_indices);
+/// Returns false — leaving `out` empty — when the payload does not fit
+/// prunable_indices or a layer's value count disagrees with the mask's
+/// support; a legitimately empty payload returns true.
+bool reconstruct_update(const SparseUpdatePayload& payload,
+                        const prune::MaskSet& mask,
+                        const std::vector<int>& prunable_indices,
+                        std::vector<Tensor>& out);
 
 /// Interleave per-prunable-layer tensors with the dense remainder into the
 /// Model::state() layout: sparse_tensors[l] lands at prunable_indices[l],
@@ -100,6 +105,11 @@ std::vector<Tensor> place_state(std::vector<Tensor> sparse_tensors,
 
 // ---- Wire format -----------------------------------------------------------
 
+// serialize() emits the v1 format (fp32 values + raw bitmap). deserialize()
+// dispatches on the leading tag: v1 wires decode here, v2 codec wires
+// (fl/codec.h) route through codec::decode_*, so checkpoints and callers
+// are format-agnostic. Note a delta-coded v2 *update* wire needs the shared
+// reference and only decodes via codec::decode_update.
 std::vector<uint8_t> serialize(const SparseStatePayload& payload);
 std::vector<uint8_t> serialize(const SparseUpdatePayload& payload);
 bool deserialize(std::span<const uint8_t> bytes, SparseStatePayload& out);

@@ -107,7 +107,12 @@ std::vector<Tensor> StateAccumulator::average_sparse(const prune::MaskSet& mask,
   for (auto& t : averaged.dense_tensors) {
     for (auto& v : t.flat()) v *= inv;
   }
-  return reconstruct_update(averaged, mask, prunable_indices);
+  std::vector<Tensor> out;
+  // The payload was assembled from this accumulator's own sums, so the
+  // reconstruction cannot legitimately fail; an empty result means the
+  // caller mixed masks and is a programming error upstream.
+  reconstruct_update(averaged, mask, prunable_indices, out);
+  return out;
 }
 
 void StateAccumulator::reset() {

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "fl/codec.h"
 #include "fl/evaluate.h"
 #include "fl/payload.h"
 #include "metrics/comms.h"
@@ -173,13 +174,23 @@ double FederatedTrainer::downlink_bytes_estimate(size_t wire_bytes) const {
 double FederatedTrainer::uplink_bytes_estimate(const std::vector<int64_t>& quota) const {
   // The uplink support is the shared round mask, so the payload size is
   // identical across clients and known before anyone trains: measure it by
-  // serializing the current global state at the round support. The top-K
+  // encoding the current global state at the round support. The top-K
   // gradient probe rides along analytically (its size depends only on the
-  // quota, not the gradient values).
+  // quota, not the gradient values). With a codec the estimate encodes the
+  // same wire layout clients will ship (exact for int8/q4, whose size is
+  // value-independent; representative for top-k, whose varint index stream
+  // depends on which coordinates win).
   double bytes = 0.0;
   if (config_.sparse_exchange) {
     auto update = build_sparse_update(global_, mask_, model_.prunable_indices());
-    bytes = static_cast<double>(serialize(update).size());
+    if (config_.codec.enabled()) {
+      bytes = static_cast<double>(
+          codec::encode_update(update, config_.codec, config_.seed, /*round=*/0,
+                               codec::kBroadcastClient, nullptr, nullptr)
+              .size());
+    } else {
+      bytes = static_cast<double>(serialize(update).size());
+    }
   } else {
     bytes = dense_storage_ ? metrics::dense_model_bytes(cost_)
                            : metrics::sparse_model_bytes(cost_, mask_.nnz());
@@ -221,7 +232,9 @@ nn::Model& FederatedTrainer::worker_model(int worker) {
 void FederatedTrainer::train_client_into(nn::Model& model, int client, int round, float lr,
                                          const std::vector<int64_t>& quota,
                                          const std::vector<Tensor>& round_start,
-                                         bool keep_dense_state, ClientResult& result) {
+                                         bool keep_dense_state,
+                                         const codec::SupportValues* reference,
+                                         ClientResult& result) {
   // Local SGD runs on the CSR sparse path (masked backward + per-step value
   // refresh) when configured; the top-K probe below still needs dense
   // pruned-coordinate gradients (the growth signal), so the install is
@@ -240,20 +253,50 @@ void FederatedTrainer::train_client_into(nn::Model& model, int client, int round
       result.upload_bytes += static_cast<double>(serialize_grad_upload(result.grads).size());
     }
   }
+  const bool codec_on = config_.sparse_exchange && config_.codec.enabled();
   if (config_.sparse_exchange) {
     auto update = build_sparse_update(model.state(), mask_, model_.prunable_indices());
     update.num_samples = client_size(client);
-    const auto wire = serialize(update);
-    result.upload_bytes += static_cast<double>(wire.size());
-    if (!keep_dense_state) {
-      // Sync aggregates off-the-wire data; the async aggregator folds the
-      // dense state below, so only the measured wire size is needed there.
-      const bool ok = deserialize(wire, result.update);
+    if (codec_on) {
+      // Encode -> measure -> decode: the aggregate always folds exactly what
+      // came off the wire, quantization noise included. Top-k keeps its
+      // error-feedback residual in ef_store_, updated inside the encode.
+      codec::EfState* ef =
+          config_.codec.codec == Codec::kTopK
+              ? &ef_store_.acquire(static_cast<uint64_t>(client))
+              : nullptr;
+      const auto wire =
+          codec::encode_update(update, config_.codec, config_.seed, round,
+                               static_cast<uint64_t>(client), reference, ef);
+      result.upload_bytes += static_cast<double>(wire.size());
+      SparseUpdatePayload rx;
+      const bool ok = codec::decode_update(wire, rx, reference);
       assert(ok);
       (void)ok;
+      if (!keep_dense_state) {
+        result.update = std::move(rx);
+      } else {
+        // The async aggregator folds dense states; reconstruct the decoded
+        // uplink through the dispatch-time mask so the fold sees the
+        // codec round-trip, not the exact local state.
+        const bool rok =
+            reconstruct_update(rx, mask_, model_.prunable_indices(), result.state);
+        assert(rok);
+        (void)rok;
+      }
+    } else {
+      const auto wire = serialize(update);
+      result.upload_bytes += static_cast<double>(wire.size());
+      if (!keep_dense_state) {
+        // Sync aggregates off-the-wire data; the async aggregator folds the
+        // dense state below, so only the measured wire size is needed there.
+        const bool ok = deserialize(wire, result.update);
+        assert(ok);
+        (void)ok;
+      }
     }
   }
-  if (!config_.sparse_exchange || keep_dense_state) {
+  if (!config_.sparse_exchange || (keep_dense_state && !codec_on)) {
     result.state = model.state();
   }
 }
@@ -278,7 +321,12 @@ void FederatedTrainer::run_round(int round) {
   // participant — the gap between the two is visible when a sampled cohort
   // includes data-less or absent clients.
   size_t wire_bytes = 0;
-  const std::vector<Tensor> round_start = broadcast_round_start(wire_bytes);
+  const std::vector<Tensor> round_start = broadcast_round_start(round, wire_bytes);
+  const codec::SupportValues reference =
+      config_.sparse_exchange && config_.codec.enabled()
+          ? round_reference(round_start)
+          : codec::SupportValues{};
+  const codec::SupportValues* ref_ptr = reference.empty() ? nullptr : &reference;
 
   // ---- Simulation: availability, mid-round dropout, per-link timing, and
   // the round deadline. Rewrites plan.clients to the surviving cohort and
@@ -317,7 +365,7 @@ void FederatedTrainer::run_round(int round) {
   std::vector<ClientResult> results(active.size());
   auto train_one = [&](nn::Model& model, size_t slot) {
     train_client_into(model, active[slot], round, lr, quota, round_start,
-                      /*keep_dense_state=*/false, results[slot]);
+                      /*keep_dense_state=*/false, ref_ptr, results[slot]);
   };
 
   // Folds run in client order whatever the lane count, so parallel
@@ -412,21 +460,46 @@ void FederatedTrainer::run_round(int round) {
                std::max(0.0, round_seconds - agg_seconds), agg_seconds);
 }
 
-std::vector<Tensor> FederatedTrainer::broadcast_round_start(size_t& wire_bytes) {
+std::vector<Tensor> FederatedTrainer::broadcast_round_start(int round, size_t& wire_bytes) {
   wire_bytes = 0;
   if (!config_.sparse_exchange) return global_;
-  // The state really goes through the wire format: serialize once, every
-  // client deserializes the same buffer. Masked coordinates of global_ are
-  // exact zeros, so the reconstruction is bit-identical to the dense
-  // broadcast.
+  // The state really goes through the wire format: encode once, every
+  // client decodes the same buffer. Without a codec, masked coordinates of
+  // global_ are exact zeros, so the reconstruction is bit-identical to the
+  // dense broadcast; with one, clients train from the dequantized state —
+  // exactly the bytes the wire carried.
   const auto& prunable = model_.prunable_indices();
-  const auto wire = serialize(build_sparse_state(global_, mask_, prunable));
+  const auto payload = build_sparse_state(global_, mask_, prunable);
+  const auto wire = config_.codec.enabled()
+                        ? codec::encode_state(payload, config_.codec, config_.seed, round)
+                        : serialize(payload);
   wire_bytes = wire.size();
   SparseStatePayload rx;
   const bool ok = deserialize(wire, rx);
   assert(ok);
   (void)ok;
-  return reconstruct_state(rx, prunable);
+  std::vector<Tensor> out;
+  const bool rec_ok = reconstruct_state(rx, prunable, out);
+  assert(rec_ok);
+  (void)rec_ok;
+  return out;
+}
+
+codec::SupportValues FederatedTrainer::round_reference(
+    const std::vector<Tensor>& round_start) const {
+  // Kept values of the decoded broadcast at the round mask's support, then
+  // the dense remainder's flat values — identical on both ends because both
+  // hold the same decoded bytes. The dense extension switches the uplink's
+  // dense tensors (biases, BN stats) to delta coding too.
+  auto update = build_sparse_update(round_start, mask_, model_.prunable_indices());
+  codec::SupportValues ref;
+  ref.reserve(update.sparse_layers.size() + update.dense_tensors.size());
+  for (auto& layer : update.sparse_layers) ref.push_back(std::move(layer.values));
+  for (const auto& t : update.dense_tensors) {
+    const auto v = t.flat();
+    ref.emplace_back(v.begin(), v.end());
+  }
+  return ref;
 }
 
 void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggregated,
@@ -449,6 +522,10 @@ void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggreg
   stats.comm_bytes_analytic = round_comm_bytes_analytic(round, plan);
   stats.comm_bytes =
       config_.sparse_exchange ? measured_down + measured_up : stats.comm_bytes_analytic;
+  stats.comm_down_bytes =
+      config_.sparse_exchange ? measured_down : 0.5 * stats.comm_bytes_analytic;
+  stats.comm_up_bytes =
+      config_.sparse_exchange ? measured_up : 0.5 * stats.comm_bytes_analytic;
   max_round_flops_ = std::max(max_round_flops_, stats.device_flops);
   total_comm_bytes_ += stats.comm_bytes;
   if ((config_.eval_every > 0 && round % config_.eval_every == 0) ||
@@ -485,7 +562,12 @@ void FederatedTrainer::run_async() {
     assert(quota.empty() || quota.size() == prunable.size());
 
     size_t wire_bytes = 0;
-    const std::vector<Tensor> round_start = broadcast_round_start(wire_bytes);
+    const std::vector<Tensor> round_start = broadcast_round_start(round, wire_bytes);
+    const codec::SupportValues reference =
+        config_.sparse_exchange && config_.codec.enabled()
+            ? round_reference(round_start)
+            : codec::SupportValues{};
+    const codec::SupportValues* ref_ptr = reference.empty() ? nullptr : &reference;
 
     const size_t trainable = plan.clients.size();
     const double dispatch_s = clock_.now();
@@ -499,7 +581,7 @@ void FederatedTrainer::run_async() {
     const int want = resolve_workers(static_cast<int>(active.size()));
     auto train_one = [&](nn::Model& model, size_t slot) {
       train_client_into(model, active[slot], round, lr, quota, round_start,
-                        /*keep_dense_state=*/true, results[slot]);
+                        /*keep_dense_state=*/true, ref_ptr, results[slot]);
     };
     bool ran_parallel = false;
     if (want > 1) {

@@ -57,6 +57,7 @@
 #include "data/client_source.h"
 #include "data/dataset.h"
 #include "data/partition.h"
+#include "fl/codec.h"
 #include "fl/comm_model.h"
 #include "fl/config.h"
 #include "fl/scheduler.h"
@@ -75,11 +76,19 @@ struct RoundStats {
   int participants = 0;         // devices scheduled this round (K or the sample)
   double test_accuracy = -1.0;  // -1 when not evaluated this round
   double device_flops = 0.0;    // per-device training FLOPs this round
-  /// Total bytes exchanged this round: the measured serialized payload size
-  /// when sparse_exchange is on, else the analytic estimate.
+  /// Total bytes exchanged this round: the measured *encoded* payload size
+  /// when sparse_exchange is on (whatever codec is active), else the
+  /// analytic estimate.
   double comm_bytes = 0.0;
   /// Analytic estimate (metrics/comms) kept alongside for cross-checking.
   double comm_bytes_analytic = 0.0;
+  /// Direction split of comm_bytes: server->client broadcasts and
+  /// client->server uplinks (uplinks include straggler transmissions cut by
+  /// the deadline). The uplink side is what a codec is judged on — the
+  /// downlink is one shared encode. Analytic mode splits the estimate in
+  /// half per direction.
+  double comm_down_bytes = 0.0;
+  double comm_up_bytes = 0.0;
 
   // ---- Simulated deployment (event-driven core). ----
   /// Uplinks folded into this round's aggregate (sync: the surviving
@@ -236,9 +245,16 @@ class FederatedTrainer {
   void run_round(int round);
   void run_async();
   /// Server broadcast: the round-start state every participant downloads.
-  /// In sparse-exchange mode the state round-trips the wire format and
-  /// wire_bytes reports the serialized size (0 otherwise).
-  std::vector<Tensor> broadcast_round_start(size_t& wire_bytes);
+  /// In sparse-exchange mode the state round-trips the wire format (the
+  /// active codec's encoding when one is configured — clients train from
+  /// the dequantized broadcast, exactly what they would receive) and
+  /// wire_bytes reports the encoded size (0 otherwise).
+  std::vector<Tensor> broadcast_round_start(int round, size_t& wire_bytes);
+  /// The shared delta reference for codec uplinks: the decoded broadcast
+  /// state's values at the round mask's support. Both ends can compute it
+  /// (the server encoded the broadcast), so it never rides the wire.
+  [[nodiscard]] codec::SupportValues round_reference(
+      const std::vector<Tensor>& round_start) const;
   /// Fill and push this round's RoundStats (clock must already be advanced
   /// past the round) and run the scheduled evaluation.
   void record_round(int round, const RoundPlan& plan, int aggregated, double mean_staleness,
@@ -248,10 +264,14 @@ class FederatedTrainer {
   /// for one client. keep_dense_state forces result.state even in
   /// sparse-exchange mode (the async aggregator folds dense states so mask
   /// surgery between dispatch and arrival cannot invalidate the support).
+  /// `reference` is the shared codec delta reference for this round (null
+  /// when no codec is active); with a codec the uplink round-trips
+  /// encode_update/decode_update so the aggregate sees exactly the decoded
+  /// wire, and top-k error-feedback residuals update in ef_store_.
   void train_client_into(nn::Model& model, int client, int round, float lr,
                          const std::vector<int64_t>& quota,
                          const std::vector<Tensor>& round_start, bool keep_dense_state,
-                         ClientResult& result);
+                         const codec::SupportValues* reference, ClientResult& result);
   double round_training_flops(int round, const RoundPlan& plan);
   double round_comm_bytes_analytic(int round, const RoundPlan& plan);
   /// Per-client simulated-timing inputs for this round (only consulted when
@@ -276,6 +296,11 @@ class FederatedTrainer {
   SimClock clock_;
   /// Streaming per-round aggregation state, reused across rounds.
   ShardedAccumulator agg_;
+  /// Per-client top-k error-feedback residuals (codec == kTopK only):
+  /// O(participating clients x support), following the out-of-core
+  /// fleet-state pattern. Each client's residual is only touched by its own
+  /// training task, so updates are deterministic at any worker count.
+  codec::EfResidualStore ef_store_;
   nn::ModelFactory factory_;
   std::vector<std::unique_ptr<nn::Model>> replicas_;  // lazily built per lane
 };

@@ -12,6 +12,7 @@
 #include "core/pretrain.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fl/codec.h"
 #include "metrics/memory.h"
 #include "nn/models.h"
 #include "tensor/kernels.h"
@@ -119,6 +120,25 @@ RunResult Experiment::run(const RunSpec& spec) const {
   fl_config.parallel_clients = spec.parallel_clients;
   fl_config.clients_per_round = spec.clients_per_round;
   fl_config.sim = spec.sim;
+  // Payload codec: parsed strictly (a typo must not silently run
+  // uncompressed). Without sparse_exchange there is no serialized wire, so
+  // the codec stays disabled and the run is bitwise-identical to "none".
+  if (!spec.codec.empty()) {
+    fl_config.codec = fl::codec::config_from_name(spec.codec);
+    if (spec.quant_bits != 0) {
+      if (spec.quant_bits != 4 && spec.quant_bits != 8) {
+        throw std::invalid_argument("quant_bits must be 4 or 8");
+      }
+      fl_config.codec.quant_bits = spec.quant_bits;
+    }
+    if (spec.topk_frac != 0.0) {
+      if (spec.topk_frac < 0.0 || spec.topk_frac > 1.0) {
+        throw std::invalid_argument("topk_frac must be in (0, 1]");
+      }
+      fl_config.codec.topk_frac = spec.topk_frac;
+    }
+    if (!spec.sparse_exchange) fl_config.codec = fl::CodecConfig{};
+  }
 
   // Plain-trainer construction, honoring the out-of-core fleet when set.
   auto make_plain = [&](nn::Model& m) {

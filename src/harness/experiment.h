@@ -56,6 +56,17 @@ struct RunSpec {
   bool sparse_training = false;
   /// Client-training worker lanes (1 = sequential, 0 = executor auto).
   int parallel_clients = 1;
+  /// Payload codec for sparse-exchange rounds: "" or "none" keeps the v1
+  /// fp32 wire (bitwise-historical); "int8" | "q4" | "topk8" | "topk4"
+  /// activate the v2 quantizing codec stack (fl/codec.h). Ignored (with the
+  /// v1 wire) unless sparse_exchange is on — there is no wire to encode
+  /// otherwise. Any other value throws.
+  std::string codec;
+  /// Override CodecConfig::quant_bits for the top-k codec (0 = keep the
+  /// codec's default; only 4 and 8 are valid).
+  int quant_bits = 0;
+  /// Override CodecConfig::topk_frac (0 = keep default 0.08).
+  double topk_frac = 0.0;
   /// Kernel engine implementation: "" = inherit the process mode
   /// (FEDTINY_KERNELS env, default fast), or "reference" | "fast" (any
   /// other value throws). The mode is process-wide, so run_all rejects

@@ -39,6 +39,35 @@ RunSpec with_env_knobs(RunSpec spec) {
       std::fprintf(stderr, "FEDTINY_KERNELS=%s unrecognized; ignoring\n", v);
     }
   }
+  if (const char* v = std::getenv("FEDTINY_CODEC"); v != nullptr && spec.codec.empty()) {
+    // Same policy as FEDTINY_KERNELS: a typo'd ambient env value warns and is
+    // ignored (the FEDTINY_CODEC=int8 CI ctest job must not turn unrelated
+    // binaries into hard failures), while explicit RunSpec/--codec values stay
+    // strict. The env fills only unpinned specs so an explicit pin wins.
+    if (std::strcmp(v, "none") == 0 || std::strcmp(v, "int8") == 0 ||
+        std::strcmp(v, "q4") == 0 || std::strcmp(v, "topk") == 0 ||
+        std::strcmp(v, "topk8") == 0 || std::strcmp(v, "topk4") == 0) {
+      spec.codec = v;
+    } else {
+      std::fprintf(stderr, "FEDTINY_CODEC=%s unrecognized; ignoring\n", v);
+    }
+  }
+  if (const char* v = std::getenv("FEDTINY_QUANT_BITS"); v != nullptr && spec.quant_bits == 0) {
+    const int bits = std::atoi(v);
+    if (bits == 4 || bits == 8) {
+      spec.quant_bits = bits;
+    } else {
+      std::fprintf(stderr, "FEDTINY_QUANT_BITS=%s unrecognized (want 4 or 8); ignoring\n", v);
+    }
+  }
+  if (const char* v = std::getenv("FEDTINY_TOPK_FRAC"); v != nullptr && spec.topk_frac == 0.0) {
+    const double frac = std::atof(v);
+    if (frac > 0.0 && frac <= 1.0) {
+      spec.topk_frac = frac;
+    } else {
+      std::fprintf(stderr, "FEDTINY_TOPK_FRAC=%s out of (0, 1]; ignoring\n", v);
+    }
+  }
   if (const char* v = std::getenv("FEDTINY_CLIENTS_PER_ROUND")) {
     spec.clients_per_round = std::atoi(v);
   }

@@ -21,6 +21,11 @@ namespace fedtiny::harness {
 ///   FEDTINY_ON_DEMAND_SAMPLES=N   generate-on-demand fleet data, N samples
 ///                                 per client (plain-trainer methods only)
 ///   FEDTINY_KERNELS=reference|fast kernel engine mode (process-wide)
+///   FEDTINY_CODEC=none|int8|q4|topk8|topk4  sparse-exchange payload codec
+///                                 (fills only specs with no explicit pin;
+///                                 typos warn and are ignored)
+///   FEDTINY_QUANT_BITS=4|8        top-k value quantization width override
+///   FEDTINY_TOPK_FRAC=F           top-k kept fraction override, (0, 1]
 /// Simulated-deployment knobs (fl::SimConfig; unset = ideal fleet):
 ///   FEDTINY_SIM_DEVICE_FLOPS=F    mean device speed, FLOP/s (0 = infinite)
 ///   FEDTINY_SIM_BANDWIDTH=F       mean link bandwidth, bytes/s (0 = infinite)

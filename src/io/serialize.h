@@ -72,7 +72,9 @@ class ByteReader {
       ok_ = false;
       return false;
     }
-    std::memcpy(values.data(), data_.data() + pos_, bytes);
+    // An empty span may carry a null data() (zero-numel tensor from a
+    // corrupt wire); memcpy's pointers must be non-null even for n == 0.
+    if (bytes != 0) std::memcpy(values.data(), data_.data() + pos_, bytes);
     pos_ += bytes;
     return true;
   }

@@ -1,0 +1,72 @@
+#pragma once
+
+// Chunked linear quantization + StreamVByte-style varint index coding.
+//
+// These are the value/index kernels under fl/codec.*: per-chunk affine
+// int8 / 4-bit quantization of float spans, and delta+varint encoding of
+// sorted support indices. Everything here is deterministic: int8 uses
+// round-half-up (t + 0.5f truncated), 4-bit uses stochastic rounding
+// driven by caller-supplied per-value u32 randomness, so the encoded
+// bytes are a pure function of (input, params, randomness) regardless of
+// thread count or ISA clone selected at runtime.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedtiny {
+namespace quant {
+
+// Affine parameters for one chunk of values: x_hat = lo + code * scale.
+struct ChunkParams {
+  float lo = 0.0f;
+  float scale = 0.0f;
+};
+static_assert(sizeof(ChunkParams) == 8, "ChunkParams is serialized as-is");
+
+inline std::size_t chunk_count(std::size_t n, std::size_t chunk) {
+  return chunk == 0 ? 0 : (n + chunk - 1) / chunk;
+}
+
+// Per-chunk min/range params. qmax is the top code (255 for int8, 15 for
+// 4-bit). Constant chunks get scale == 0 and encode to code 0 exactly.
+void compute_chunk_params(const float* src, std::size_t n, std::size_t chunk,
+                          int qmax, ChunkParams* params);
+
+// Linear int8: code = clamp(round_half_up((x - lo) / scale), 0, 255).
+void encode_u8(const float* src, std::size_t n, std::size_t chunk,
+               const ChunkParams* params, std::uint8_t* codes);
+void decode_u8(const std::uint8_t* codes, std::size_t n, std::size_t chunk,
+               const ChunkParams* params, float* dst);
+
+// Stochastic 4-bit: code = floor(t) + (frac(t) > u), u ~ U[0,1) from the
+// caller's per-value u32 stream (rand[i] * 2^-32). Codes are packed two
+// per byte, low nibble first; the last byte of an odd-length span has a
+// zero high nibble.
+void encode_u4(const float* src, std::size_t n, std::size_t chunk,
+               const ChunkParams* params, const std::uint32_t* rand,
+               std::uint8_t* codes);
+void decode_u4(const std::uint8_t* codes, std::size_t n, std::size_t chunk,
+               const ChunkParams* params, float* dst);
+
+inline std::size_t packed_u4_bytes(std::size_t n) { return (n + 1) / 2; }
+
+// StreamVByte-style varint coding of u32 values: a control stream of
+// 2-bit byte-length tags (4 tags per control byte) followed by the
+// variable-length data bytes. Decoding uses an SSSE3 shuffle fast path
+// when the CPU supports it; both paths produce identical bytes.
+std::size_t svb_max_bytes(std::size_t n);
+
+// Encodes n values into out (capacity >= svb_max_bytes(n)); returns the
+// number of bytes written.
+std::size_t svb_encode(const std::uint32_t* in, std::size_t n,
+                       std::uint8_t* out);
+
+// Decodes exactly n values from buf[0..len). Returns false on truncated
+// input or when the buffer is not consumed exactly (length corruption);
+// never reads outside buf[0..len).
+bool svb_decode(const std::uint8_t* buf, std::size_t len, std::uint32_t* out,
+                std::size_t n);
+
+}  // namespace quant
+}  // namespace fedtiny

@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cstdio>
+#include <cstring>
+#include <span>
 
 #include "io/serialize.h"
 #include "nn/models.h"
 #include "prune/magnitude.h"
+#include "tensor/rng.h"
 
 namespace fedtiny::fl {
 namespace {
@@ -46,7 +51,8 @@ TEST(Payload, StateBuildReconstructRoundTripsExactly) {
   Fixture f;
   auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
   EXPECT_EQ(payload.state_tensor_count(), f.state.size());
-  auto back = reconstruct_state(payload, f.model->prunable_indices());
+  std::vector<Tensor> back;
+  ASSERT_TRUE(reconstruct_state(payload, f.model->prunable_indices(), back));
   expect_states_equal(back, f.state);
 }
 
@@ -63,7 +69,9 @@ TEST(Payload, StateSerializeDeserializeRoundTrips) {
   ASSERT_FALSE(wire.empty());
   SparseStatePayload rx;
   ASSERT_TRUE(deserialize(wire, rx));
-  expect_states_equal(reconstruct_state(rx, f.model->prunable_indices()), f.state);
+  std::vector<Tensor> back;
+  ASSERT_TRUE(reconstruct_state(rx, f.model->prunable_indices(), back));
+  expect_states_equal(back, f.state);
 }
 
 TEST(Payload, DeserializeRejectsGarbageAndTruncation) {
@@ -93,11 +101,27 @@ TEST(Payload, DeserializeRejectsBitmapValueCountMismatch) {
   EXPECT_FALSE(deserialize(serialize(payload), rx));
 }
 
-TEST(Payload, ReconstructOfMismatchedArchitectureReturnsEmpty) {
+TEST(Payload, ReconstructOfMismatchedArchitectureFailsExplicitly) {
   Fixture f;
   auto payload = build_sparse_state(f.state, f.mask, f.model->prunable_indices());
   payload.sparse_layers.pop_back();  // one layer short of the architecture
-  EXPECT_TRUE(reconstruct_state(payload, f.model->prunable_indices()).empty());
+  std::vector<Tensor> out = {Tensor({1})};  // pre-populated: must be cleared
+  EXPECT_FALSE(reconstruct_state(payload, f.model->prunable_indices(), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Payload, ReconstructOfEmptyPayloadSucceedsDistinguishably) {
+  // A legitimately empty payload (zero tensors) is success-with-empty, NOT
+  // failure: the explicit status is what separates the two.
+  SparseStatePayload empty_state;
+  std::vector<Tensor> out;
+  EXPECT_TRUE(reconstruct_state(empty_state, {}, out));
+  EXPECT_TRUE(out.empty());
+
+  SparseUpdatePayload empty_update;
+  prune::MaskSet no_mask;
+  EXPECT_TRUE(reconstruct_update(empty_update, no_mask, {}, out));
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(Payload, DeserializeRejectsOversizedClaimsWithoutAllocating) {
@@ -127,7 +151,8 @@ TEST(Payload, TrySetStateRejectsDifferentWidthArchitecture) {
   wide_mc.image_size = 8;
   wide_mc.width_mult = 0.125f;  // same tensor count, different shapes
   auto wide = nn::make_resnet18(wide_mc);
-  auto state = reconstruct_state(payload, wide->prunable_indices());
+  std::vector<Tensor> state;
+  ASSERT_TRUE(reconstruct_state(payload, wide->prunable_indices(), state));
   EXPECT_FALSE(wide->try_set_state(state));
   EXPECT_TRUE(f.model->try_set_state(f.state));
 }
@@ -136,7 +161,9 @@ TEST(Payload, ReconstructUpdateRejectsTruncatedValues) {
   Fixture f;
   auto update = build_sparse_update(f.state, f.mask, f.model->prunable_indices());
   update.sparse_layers[0].values.pop_back();  // fewer values than mask support
-  EXPECT_TRUE(reconstruct_update(update, f.mask, f.model->prunable_indices()).empty());
+  std::vector<Tensor> out;
+  EXPECT_FALSE(reconstruct_update(update, f.mask, f.model->prunable_indices(), out));
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(Payload, WireSizeShrinksWithDensity) {
@@ -159,7 +186,8 @@ TEST(Payload, UpdateRoundTripsThroughWire) {
   const auto wire = serialize(update);
   SparseUpdatePayload rx;
   ASSERT_TRUE(deserialize(wire, rx));
-  auto back = reconstruct_update(rx, f.mask, f.model->prunable_indices());
+  std::vector<Tensor> back;
+  ASSERT_TRUE(reconstruct_update(rx, f.mask, f.model->prunable_indices(), back));
   expect_states_equal(back, f.state);
   // Uplink ships no bitmap, so it must be strictly smaller than the state
   // payload of the same tensors.
@@ -183,9 +211,122 @@ TEST(Payload, SparseCheckpointRoundTripsThroughFile) {
   ASSERT_TRUE(save_sparse_checkpoint(path, payload));
   SparseStatePayload loaded;
   ASSERT_TRUE(load_sparse_checkpoint(path, loaded));
-  expect_states_equal(reconstruct_state(loaded, f.model->prunable_indices()), f.state);
+  std::vector<Tensor> back;
+  ASSERT_TRUE(reconstruct_state(loaded, f.model->prunable_indices(), back));
+  expect_states_equal(back, f.state);
   EXPECT_TRUE(payload_mask(loaded) == f.mask);
   std::remove(path.c_str());
+}
+
+// ---- Fuzz/robustness: deserialize must fail cleanly (never read OOB) on
+// truncated, bit-flipped, and length-field-corrupted wires. The whole suite
+// runs under the ASan+UBSan CI job, which is what turns "never OOB" into an
+// enforced property rather than a hope. A deterministic (seeded) corpus
+// keeps failures reproducible.
+
+TEST(PayloadFuzz, StateTruncationSweepNeverCrashes) {
+  Fixture f(0.15);
+  const auto wire = serialize(build_sparse_state(f.state, f.mask, f.model->prunable_indices()));
+  // Every strict prefix must be rejected: the format has no trailing
+  // padding, so any truncation loses bytes some field needed (or trips the
+  // exact-consumption check).
+  const size_t step = std::max<size_t>(1, wire.size() / 512);
+  for (size_t len = 0; len < wire.size(); len += step) {
+    SparseStatePayload rx;
+    EXPECT_FALSE(deserialize(std::span<const uint8_t>(wire.data(), len), rx))
+        << "prefix length " << len;
+  }
+}
+
+TEST(PayloadFuzz, UpdateTruncationSweepNeverCrashes) {
+  Fixture f(0.15);
+  auto update = build_sparse_update(f.state, f.mask, f.model->prunable_indices());
+  update.num_samples = 17;
+  const auto wire = serialize(update);
+  const size_t step = std::max<size_t>(1, wire.size() / 512);
+  for (size_t len = 0; len < wire.size(); len += step) {
+    SparseUpdatePayload rx;
+    EXPECT_FALSE(deserialize(std::span<const uint8_t>(wire.data(), len), rx))
+        << "prefix length " << len;
+  }
+}
+
+TEST(PayloadFuzz, StateBitFlipSweepNeverReadsOutOfBounds) {
+  Fixture f(0.15);
+  const auto wire = serialize(build_sparse_state(f.state, f.mask, f.model->prunable_indices()));
+  // Single-bit flips across the buffer (stride keeps runtime bounded). Value
+  // bytes still parse — floats accept any bit pattern — so the invariant is
+  // "false or a payload whose invariants hold", with no OOB either way.
+  Rng rng(0xf1aebu);
+  for (int trial = 0; trial < 600; ++trial) {
+    auto corrupt = wire;
+    const auto byte = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(corrupt.size())));
+    corrupt[byte] ^= static_cast<uint8_t>(1u << rng.uniform_int(8));
+    SparseStatePayload rx;
+    if (deserialize(corrupt, rx)) {
+      // Parsed payloads must uphold the popcount == value-count invariant
+      // that keeps reconstruct_state in bounds.
+      for (const auto& layer : rx.sparse_layers) {
+        uint64_t kept = 0;
+        for (uint64_t w : layer.mask_bits) kept += static_cast<uint64_t>(std::popcount(w));
+        EXPECT_EQ(kept, layer.values.size());
+      }
+    }
+  }
+}
+
+TEST(PayloadFuzz, UpdateBitFlipSweepNeverReadsOutOfBounds) {
+  Fixture f(0.15);
+  auto update = build_sparse_update(f.state, f.mask, f.model->prunable_indices());
+  update.num_samples = 23;
+  const auto wire = serialize(update);
+  Rng rng(0xf1ae2u);
+  for (int trial = 0; trial < 600; ++trial) {
+    auto corrupt = wire;
+    const auto byte = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(corrupt.size())));
+    corrupt[byte] ^= static_cast<uint8_t>(1u << rng.uniform_int(8));
+    SparseUpdatePayload rx;
+    if (deserialize(corrupt, rx)) {
+      std::vector<Tensor> out;
+      // May legitimately fail against the round mask; must never crash.
+      reconstruct_update(rx, f.mask, f.model->prunable_indices(), out);
+    }
+  }
+}
+
+TEST(PayloadFuzz, LengthFieldCorruptionRejected) {
+  Fixture f(0.15);
+  const auto wire = serialize(build_sparse_state(f.state, f.mask, f.model->prunable_indices()));
+  // The first sparse layer's value-count u64 sits right after the header,
+  // shape, and bitmap. Overwrite it with hostile values: each must fail
+  // (count != popcount, or the claimed bytes exceed the buffer).
+  const auto numel = static_cast<uint64_t>(f.state[static_cast<size_t>(
+      f.model->prunable_indices()[0])].numel());
+  const size_t shape_bytes = 4 + 8 * f.state[static_cast<size_t>(
+      f.model->prunable_indices()[0])].shape().size();
+  const size_t count_at = 12 + shape_bytes + ((numel + 63) / 64) * 8;
+  ASSERT_LE(count_at + 8, wire.size());
+  for (uint64_t bogus : {uint64_t{0}, uint64_t{1}, numel + 1, ~uint64_t{0},
+                         uint64_t{1} << 60}) {
+    auto corrupt = wire;
+    std::memcpy(corrupt.data() + count_at, &bogus, sizeof(bogus));
+    SparseStatePayload rx;
+    EXPECT_FALSE(deserialize(corrupt, rx)) << "bogus count " << bogus;
+  }
+}
+
+TEST(PayloadFuzz, RandomGarbageBuffersRejected) {
+  Rng rng(0xdeadf00du);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> junk(static_cast<size_t>(rng.uniform_int(4096)));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.next_u32() & 0xFF);
+    SparseStatePayload s;
+    SparseUpdatePayload u;
+    // Random bytes essentially never carry a valid tag + consistent
+    // structure; both decoders must return false without reading OOB.
+    deserialize(junk, s);
+    deserialize(junk, u);
+  }
 }
 
 TEST(Payload, SparseCheckpointRejectsWrongMagic) {
