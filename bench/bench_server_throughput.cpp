@@ -44,7 +44,8 @@ struct SweepPoint {
   size_t peak_rss = 0;
 };
 
-SweepPoint run_point(int num_clients, const nn::ModelConfig& mc, const data::Dataset& test) {
+SweepPoint run_point(int num_clients, const nn::ModelConfig& mc, const data::Dataset& test,
+                     fl::Aggregation policy = fl::Aggregation::kFedAvg) {
   auto spec = data::cifar10s_spec(/*image_size=*/8, /*train=*/0, /*test=*/0);
   auto source = std::make_shared<data::SyntheticFleetSource>(spec, /*seed=*/7, num_clients,
                                                              /*samples_per_client=*/16);
@@ -58,6 +59,7 @@ SweepPoint run_point(int num_clients, const nn::ModelConfig& mc, const data::Dat
   config.batch_size = 16;
   config.lr = 0.06f;
   config.seed = 7;
+  config.aggregation.policy = policy;
   fl::FederatedTrainer trainer(*model, source, test, config);
   trainer.set_dense_storage(true);
 
@@ -115,6 +117,24 @@ int main(int argc, char** argv) {
                 p.wall_agg_s * 1e3 / 4.0, /*flops=*/0.0, p.acc_bytes);
   }
 
+  // ---- Retained-payload mode (trimmed_mean): the accumulator keeps every
+  // accepted uplink row until finalize, so its resident bytes grow by
+  // O(cohort x model) over streaming fedavg — but must stay bound to the
+  // sampled cohort, never the fleet. Two points at the sweep extremes make
+  // that a gate below.
+  std::printf("\nRetained-payload mode (aggregation=trimmed_mean, same cohort of 8):\n");
+  std::vector<SweepPoint> retained;
+  for (int k : {sweep.front(), sweep.back()}) {
+    retained.push_back(run_point(k, mc, data.test, fl::Aggregation::kTrimmedMean));
+    const auto& p = retained.back();
+    std::printf("%12d %12.2f %12.3f %12.3f %14zu %12.1f\n", p.num_clients, p.rounds_per_s,
+                p.wall_train_s, p.wall_agg_s, p.acc_bytes,
+                static_cast<double>(p.peak_rss) / (1024.0 * 1024.0));
+    json.record("server_round_retained", "K" + std::to_string(p.num_clients) + "-c8", 1.0,
+                mode, p.rounds_per_s > 0.0 ? 1e3 / p.rounds_per_s : 0.0, /*flops=*/0.0,
+                p.acc_bytes);
+  }
+
   // ---- Bounded-memory gates. ----
   int failures = 0;
   const SweepPoint& lo = points.front();
@@ -134,6 +154,23 @@ int main(int argc, char** argv) {
   if (hi.acc_bytes > 2 * lo.acc_bytes) {
     std::printf("FAIL: accumulator resident bytes scale with K (%zu at K=%d vs %zu at K=%d)\n",
                 hi.acc_bytes, hi.num_clients, lo.acc_bytes, lo.num_clients);
+    ++failures;
+  }
+  // Retained rows cost O(cohort x model) regardless of K: the big-K point
+  // may not hold more than 2x the small-K point (same 8-client cohort), and
+  // it must exceed the streaming accumulator's footprint (it really kept
+  // the rows).
+  const SweepPoint& rlo = retained.front();
+  const SweepPoint& rhi = retained.back();
+  std::printf("retained acc_bytes: %zu at K=%d vs %zu at K=%d (streaming: %zu)\n",
+              rhi.acc_bytes, rhi.num_clients, rlo.acc_bytes, rlo.num_clients, hi.acc_bytes);
+  if (rhi.acc_bytes > 2 * rlo.acc_bytes) {
+    std::printf("FAIL: retained-mode resident bytes scale with the fleet, not the cohort\n");
+    ++failures;
+  }
+  if (rhi.acc_bytes <= hi.acc_bytes) {
+    std::printf("FAIL: retained mode reports no extra resident bytes over streaming — "
+                "resident_bytes is not counting the kept rows\n");
     ++failures;
   }
   if (failures == 0) {

@@ -1,361 +1,109 @@
-// Deployment scenarios: the paper's motivating use case. Given a fleet of
-// device classes with different memory budgets, derive the densest model
-// each class can hold, run FedTiny for each budget, and print the resulting
-// specialized tiny models with their actual memory footprint. Then exercise
-// the event-driven federation core: a thousand-device sampled fleet under
-// availability/dropout (async, measured comm), and a straggler-heavy fleet
-// where async staleness-aware rounds beat the synchronous barrier on
-// time-to-target-accuracy.
+// Deployment scenarios: the paper's motivating use cases, as named entries
+// in the fl::ScenarioRegistry (src/fl/scenarios.*). This binary is a thin
+// CLI over the registry:
 //
-//   ./build/examples/deployment_scenarios                # all sections
-//   ./build/examples/deployment_scenarios --fleet-smoke  # fleet + async only
-#include <algorithm>
-#include <cmath>
+//   ./build/examples/deployment_scenarios                   # default set
+//   ./build/examples/deployment_scenarios --list            # names + summaries
+//   ./build/examples/deployment_scenarios --scenario NAME   # one (repeatable)
+//   ./build/examples/deployment_scenarios --fleet-smoke     # fleet sections only
+//
+// The default set runs every scenario except `adversarial` (which triples
+// the federation work for its seed-averaged arms — CI runs it as its own
+// job); --fleet-smoke keeps its historical meaning of skipping the
+// device-classes sweep as well. Exit code is nonzero when any gated
+// scenario's claim fails.
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
-#include "harness/report.h"
+#include "fl/scenarios.h"
 #include "harness/runner.h"
-#include "metrics/memory.h"
 
 namespace {
 
-// Shared straggler-heavy fleet: 25% of devices are 20x slower, per-client
-// speeds spread 3x around a 1 GFLOP/s edge-class mean, narrow uplinks.
-fedtiny::harness::RunSpec straggler_fleet_spec() {
-  fedtiny::harness::RunSpec spec;
-  spec.method = "synflow";  // one-shot server pruning: cheap, learns steadily
-  spec.density = 0.10;
-  spec.num_clients = 16;
-  spec.clients_per_round = 8;
-  spec.eval_every = 1;
-  spec.sim.device_flops_per_s = 1e9;
-  spec.sim.bandwidth_bps = 1e6;
-  spec.sim.latency_s = 0.05;
-  spec.sim.het_spread = 3.0;
-  spec.sim.straggler_fraction = 0.25;
-  spec.sim.straggler_slowdown = 20.0;
-  return spec;
-}
-
-// Shared bandwidth-bound fleet for the codec comparison: compute is nearly
-// free (1 TFLOP/s devices) behind a narrow 200 KB/s uplink, so the simulated
-// clock is dominated by transfer time and every wire byte the codec removes
-// is simulated seconds saved.
-fedtiny::harness::RunSpec codec_fleet_spec() {
-  fedtiny::harness::RunSpec spec;
-  spec.method = "synflow";
-  spec.density = 0.10;
-  spec.num_clients = 16;
-  spec.clients_per_round = 8;
-  spec.eval_every = 1;
-  spec.sparse_exchange = true;
-  spec.sim.device_flops_per_s = 1e12;
-  spec.sim.bandwidth_bps = 2e5;
-  spec.sim.latency_s = 0.05;
-  return spec;
+void usage() {
+  std::printf(
+      "deployment_scenarios — named fleet scenarios over the experiment harness\n"
+      "  --list            print registered scenarios and exit\n"
+      "  --scenario NAME   run one scenario (repeatable, runs in given order)\n"
+      "  --fleet-smoke     fleet-1k fleet-million straggler-async bandwidth-codec\n"
+      "  --help\n"
+      "Default (no flags): every scenario except `adversarial`.\n"
+      "Scale via FEDTINY_SCALE=tiny|small|paper.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fedtiny;
-  const bool fleet_smoke_only =
-      argc > 1 && std::strcmp(argv[1], "--fleet-smoke") == 0;
-  harness::Experiment experiment(harness::ScaleConfig::from_env());
-  std::printf("Deployment scenarios (scale=%s)\n", experiment.scale().name.c_str());
+  fl::register_builtin_scenarios();
+  const auto& registry = fl::ScenarioRegistry::instance();
 
-  if (!fleet_smoke_only) {
-    std::printf(
-        "One specialized subnetwork per device class, all from the same dense model.\n\n");
-
-    struct DeviceClass {
-      const char* name;
-      double density;  // derived from the class's memory budget
-    };
-    const std::vector<DeviceClass> classes = {
-        {"gateway-class (generous RAM)", 0.10},
-        {"mcu-class (tight RAM)", 0.03},
-        {"sensor-class (tiny RAM)", 0.01},
-    };
-
-    std::vector<harness::RunSpec> specs;
-    for (const auto& dc : classes) {
-      harness::RunSpec spec;
-      spec.method = "fedtiny";
-      spec.density = dc.density;
-      specs.push_back(spec);
-    }
-    auto results = harness::run_all(experiment, specs);
-
-    harness::Report report("specialized models per device class");
-    report.set_header({"device class", "density", "top1_acc", "model_memory_MB", "vs_dense",
-                       "max_round_flops_ratio"});
-    for (size_t i = 0; i < specs.size(); ++i) {
-      const auto& r = results[i];
-      report.add_row({classes[i].name, harness::Report::fmt(specs[i].density, 3),
-                      harness::Report::fmt(r.accuracy),
-                      harness::Report::fmt(r.memory_mb(), 4),
-                      harness::Report::fmt(r.memory_bytes / r.dense_memory_bytes, 4),
-                      harness::Report::fmt(r.flops_ratio(), 3)});
-    }
-    report.print();
-    std::printf("\nEach row is a deployment-ready sparse model: same federation, same dense\n"
-                "parent model, different accuracy/footprint point per hardware class.\n");
-  }
-
-  // ---- Fleet-scale smoke: K=1000 devices, 10 sampled per round, under
-  // cohort realism (80% availability, 10% mid-round dropout) with async
-  // staleness-aware aggregation. The round scheduler keeps per-round work
-  // (and measured comm) proportional to the sample, so a thousand-device
-  // federation runs at 10-device cost, and every drop/straggle decision is
-  // a pure function of (seed, round, client) — reproducible at any worker
-  // count.
-  std::printf("\nFleet-scale smoke: K=1000 clients, 10 sampled per round "
-              "(sparse exchange, async, 80%% availability, 10%% dropout)\n");
-  harness::RunSpec fleet;
-  fleet.method = "fedtiny";
-  fleet.density = 0.05;
-  fleet.num_clients = 1000;
-  fleet.clients_per_round = 10;
-  fleet.sparse_exchange = true;
-  fleet.sim.device_flops_per_s = 1e9;
-  fleet.sim.bandwidth_bps = 1e6;
-  fleet.sim.latency_s = 0.05;
-  fleet.sim.het_spread = 2.0;
-  fleet.sim.availability = 0.8;
-  fleet.sim.dropout = 0.1;
-  fleet.sim.async_rounds = true;
-  // Env knobs (the CI fleet-smoke job sets FEDTINY_CODEC=int8 here) fill the
-  // knobs this spec leaves unpinned, matching run_all's behavior.
-  auto fleet_result = experiment.run(harness::with_env_knobs(fleet));
-
-  double fleet_measured = 0.0, fleet_analytic = 0.0;
-  double fleet_train_s = 0.0, fleet_agg_s = 0.0;
-  int max_participants = 0, unavailable = 0, dropouts = 0;
-  for (const auto& r : fleet_result.history) {
-    fleet_measured += r.comm_bytes;
-    fleet_analytic += r.comm_bytes_analytic;
-    fleet_train_s += r.wall_train_s;
-    fleet_agg_s += r.wall_agg_s;
-    max_participants = std::max(max_participants, r.participants);
-    unavailable += r.unavailable;
-    dropouts += r.dropouts;
-  }
-  std::printf("  rounds                %zu\n", fleet_result.history.size());
-  std::printf("  participants/round    %d of %d\n", max_participants, fleet.num_clients);
-  std::printf("  unavailable/dropouts  %d / %d (across the run)\n", unavailable, dropouts);
-  std::printf("  top1_accuracy         %.4f\n", fleet_result.accuracy);
-  std::printf("  sim_time_s            %.2f (simulated)\n", fleet_result.sim_time_s);
-  // Host-side wall split: client training vs server aggregation. The server
-  // share is what the streaming accumulator keeps flat as the fleet grows.
-  std::printf("  wall_client_train_s   %.3f (host, all rounds)\n", fleet_train_s);
-  std::printf("  wall_server_agg_s     %.3f (host, fold + average)\n", fleet_agg_s);
-  std::printf("  measured_comm_MB      %.3f (total across rounds)\n",
-              fleet_measured / (1024.0 * 1024.0));
-  std::printf("  analytic_comm_MB      %.3f\n", fleet_analytic / (1024.0 * 1024.0));
-
-  // ---- Million-client smoke: K=1,000,000 devices on the generate-on-demand
-  // fleet (no materialized partition, no per-client comm profiles, no
-  // resident uplinks), async staleness-aware rounds. The assertion is the
-  // headline server property: peak RSS grows by at most ~100 B/client of
-  // scheduler metadata over the K=1000 run above — the model, cohort, and
-  // accumulator footprint are fleet-size-independent.
-  std::printf("\nMillion-client smoke: K=1000000, 8 sampled per round "
-              "(on-demand data, async, sparse exchange)\n");
-  const size_t rss_before = metrics::peak_rss_bytes();
-  harness::RunSpec mega;
-  mega.method = "synflow";  // data-free server pruning: no fleet data needed
-  mega.density = 0.10;
-  mega.num_clients = 1'000'000;
-  mega.clients_per_round = 8;
-  mega.on_demand_samples_per_client = 16;
-  mega.sparse_exchange = true;
-  mega.sim.device_flops_per_s = 1e9;
-  mega.sim.bandwidth_bps = 1e6;
-  mega.sim.latency_s = 0.05;
-  mega.sim.het_spread = 2.0;
-  mega.sim.async_rounds = true;
-  auto mega_result = experiment.run(harness::with_env_knobs(mega));
-
-  double mega_train_s = 0.0, mega_agg_s = 0.0;
-  for (const auto& r : mega_result.history) {
-    mega_train_s += r.wall_train_s;
-    mega_agg_s += r.wall_agg_s;
-  }
-  const size_t rss_after = metrics::peak_rss_bytes();
-  const size_t rss_growth = rss_after > rss_before ? rss_after - rss_before : 0;
-  const size_t rss_allow = static_cast<size_t>(mega.num_clients) * 100 +
-                           size_t{64} * 1024 * 1024;
-  std::printf("  rounds                %zu\n", mega_result.history.size());
-  std::printf("  top1_accuracy         %.4f\n", mega_result.accuracy);
-  std::printf("  sim_time_s            %.2f (simulated)\n", mega_result.sim_time_s);
-  std::printf("  wall_client_train_s   %.3f (host)\n", mega_train_s);
-  std::printf("  wall_server_agg_s     %.3f (host)\n", mega_agg_s);
-  std::printf("  peak_rss_growth_MB    %.1f (allowed %.1f)\n",
-              static_cast<double>(rss_growth) / (1024.0 * 1024.0),
-              static_cast<double>(rss_allow) / (1024.0 * 1024.0));
-  if (rss_growth > rss_allow) {
-    std::printf("FAIL: million-client fleet state leaked into the server "
-                "(> 100 B/client RSS growth)\n");
-    return 1;
-  }
-  std::printf("  => server memory is bounded by the cohort, not the fleet\n");
-
-  // ---- Straggler-heavy fleet: sync barrier vs async staleness-aware
-  // rounds, same federation, same seed. The sync server waits for the
-  // slowest surviving upload every round; the async server aggregates the
-  // first half of the cohort and keeps dispatching, so slow devices stop
-  // gating the clock and time-to-accuracy improves even though per-round
-  // aggregates are smaller and partly stale.
-  std::printf("\nStraggler-heavy fleet: sync barrier vs async staleness-aware rounds\n");
-  harness::RunSpec sync_spec = straggler_fleet_spec();
-  harness::RunSpec async_spec = straggler_fleet_spec();
-  async_spec.sim.async_rounds = true;  // default M: half the cohort
-  auto sa_results = harness::run_all(experiment, {sync_spec, async_spec});
-  const auto& sync_r = sa_results[0];
-  const auto& async_r = sa_results[1];
-
-  harness::print_time_to_accuracy("sync rounds (barrier on slowest survivor)", sync_r.history);
-  harness::print_time_to_accuracy("async rounds (first M arrivals, staleness-weighted)",
-                                  async_r.history);
-
-  // Target: something both runs reach — 90% of the weaker *peak* accuracy
-  // (tiny-scale trajectories are noisy late in the run, so final accuracy
-  // understates what either engine achieved).
-  auto peak = [](const std::vector<fl::RoundStats>& history) {
-    double best = 0.0;
-    for (const auto& r : history) best = std::max(best, r.test_accuracy);
-    return best;
-  };
-  const double target = 0.9 * std::min(peak(sync_r.history), peak(async_r.history));
-  const double sync_t = harness::time_to_accuracy_s(sync_r.history, target);
-  const double async_t = harness::time_to_accuracy_s(async_r.history, target);
-  std::printf("\n  target accuracy         %.4f\n", target);
-  std::printf("  sync  time-to-target    %s s (final acc %.4f, total %.1f s)\n",
-              sync_t >= 0 ? harness::Report::fmt(sync_t, 1).c_str() : "never", sync_r.accuracy,
-              sync_r.sim_time_s);
-  std::printf("  async time-to-target    %s s (final acc %.4f, total %.1f s)\n",
-              async_t >= 0 ? harness::Report::fmt(async_t, 1).c_str() : "never",
-              async_r.accuracy, async_r.sim_time_s);
-  if (async_t >= 0 && sync_t >= 0 && async_t < sync_t) {
-    std::printf("  => async reaches the target %.1fx sooner on the simulated clock\n",
-                sync_t / std::max(async_t, 1e-9));
-  } else if (async_t >= 0 && sync_t < 0) {
-    std::printf("  => only async reached the target within the round budget\n");
-  }
-
-  // ---- Bandwidth-bound fleet: v1 fp32 wire vs the int8 payload codec,
-  // same federation. Transfer time dominates the simulated clock here, so
-  // shrinking the uplink ~4x must show up directly as earlier
-  // time-to-target — this is the codec's deployment claim, and the section
-  // enforces it (exit 1): int8 cuts measured uplink bytes >= 3.5x, costs
-  // no more accuracy than 0.5 pt (floored by the measured cross-seed noise
-  // at reduced scale — the tiny eval split swings whole points round to
-  // round, far above any quantization effect), and reaches the shared
-  // target accuracy sooner on the simulated clock. Trajectories are
-  // averaged over three seeds so none of the gates ride one noisy run.
-  std::printf("\nBandwidth-bound fleet: fp32 wire vs int8 payload codec "
-              "(sync rounds, narrow uplink)\n");
-  const std::vector<uint64_t> codec_seeds = {1, 2, 3};
-  std::vector<harness::RunSpec> codec_specs;
-  for (uint64_t seed : codec_seeds) {
-    for (const char* codec : {"none", "int8"}) {
-      harness::RunSpec s = codec_fleet_spec();
-      s.codec = codec;  // explicit pin: ambient FEDTINY_CODEC must not flip it
-      s.seed = seed;
-      codec_specs.push_back(s);
+  bool fleet_smoke = false;
+  bool list_only = false;
+  std::vector<std::string> selected;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list_only = true;
+    } else if (std::strcmp(argv[i], "--fleet-smoke") == 0) {
+      fleet_smoke = true;
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --scenario\n");
+        return 2;
+      }
+      selected.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage();
+      return 2;
     }
   }
-  auto codec_results = harness::run_all(experiment, codec_specs);
-  std::vector<const harness::RunResult*> raw_runs, int8_runs;
-  for (size_t i = 0; i < codec_results.size(); i += 2) {
-    raw_runs.push_back(&codec_results[i]);
-    int8_runs.push_back(&codec_results[i + 1]);
+
+  if (list_only) {
+    for (const auto& s : registry.all()) {
+      std::printf("%-16s %s\n", s.name.c_str(), s.summary.c_str());
+    }
+    return 0;
   }
 
-  // Element-wise mean trajectory across seeds (accuracy and simulated
-  // clock), so target selection and time-to-target read one smoothed curve
-  // per codec instead of a single seed's noise.
-  auto mean_history = [](const std::vector<const harness::RunResult*>& runs) {
-    std::vector<fl::RoundStats> mean = runs[0]->history;
-    for (size_t r = 1; r < runs.size(); ++r) {
-      for (size_t i = 0; i < mean.size(); ++i) {
-        mean[i].test_accuracy += runs[r]->history[i].test_accuracy;
-        mean[i].sim_time_s += runs[r]->history[i].sim_time_s;
+  if (selected.empty()) {
+    if (fleet_smoke) {
+      selected = {"fleet-1k", "fleet-million", "straggler-async", "bandwidth-codec"};
+    } else {
+      for (const auto& s : registry.all()) {
+        if (s.name != "adversarial") selected.push_back(s.name);
       }
     }
-    for (auto& s : mean) {
-      s.test_accuracy /= static_cast<double>(runs.size());
-      s.sim_time_s /= static_cast<double>(runs.size());
+  }
+
+  // Resolve all names before running anything: a typo'd --scenario must not
+  // burn the preceding scenarios' runtime first.
+  std::vector<const fl::Scenario*> to_run;
+  for (const auto& name : selected) {
+    const fl::Scenario* s = registry.find(name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown scenario %s (see --list)\n", name.c_str());
+      return 2;
     }
-    return mean;
-  };
-  const auto raw_mean = mean_history(raw_runs);
-  const auto int8_mean = mean_history(int8_runs);
-
-  double raw_up = 0.0, int8_up = 0.0;
-  for (const auto* r : raw_runs)
-    for (const auto& s : r->history) raw_up += s.comm_up_bytes;
-  for (const auto* r : int8_runs)
-    for (const auto& s : r->history) int8_up += s.comm_up_bytes;
-  const double up_ratio = raw_up / std::max(int8_up, 1.0);
-
-  // Accuracy per codec: mean over the final quarter of every seed's
-  // trajectory — 12 evaluations per codec instead of one noisy final round.
-  // The gate tolerance is 0.5 pt floored by twice the cross-seed spread of
-  // those per-seed means, so at reduced scale it tests "within noise of
-  // uncompressed" and tightens back to the raw 0.5 pt as scale grows.
-  auto tail_mean = [](const harness::RunResult& r) {
-    const size_t n = r.history.size();
-    const size_t tail = std::max<size_t>(1, n / 4);
-    double sum = 0.0;
-    for (size_t i = n - tail; i < n; ++i) sum += r.history[i].test_accuracy;
-    return sum / static_cast<double>(tail);
-  };
-  double raw_acc = 0.0, int8_acc = 0.0, spread = 0.0;
-  std::vector<double> tails;
-  for (const auto* r : raw_runs) tails.push_back(tail_mean(*r));
-  for (double t : tails) raw_acc += t;
-  raw_acc /= static_cast<double>(tails.size());
-  for (double t : tails) spread += (t - raw_acc) * (t - raw_acc);
-  spread = std::sqrt(spread / static_cast<double>(tails.size()));
-  for (const auto* r : int8_runs) int8_acc += tail_mean(*r);
-  int8_acc /= static_cast<double>(int8_runs.size());
-  const double acc_tolerance = std::max(0.005, 2.0 * spread);
-
-  const double codec_target = 0.9 * std::min(peak(raw_mean), peak(int8_mean));
-  const double raw_t = harness::time_to_accuracy_s(raw_mean, codec_target);
-  const double int8_t = harness::time_to_accuracy_s(int8_mean, codec_target);
-
-  std::printf("  uplink_MB (3 seeds)     fp32 %.3f vs int8 %.3f (%.2fx smaller)\n",
-              raw_up / (1024.0 * 1024.0), int8_up / (1024.0 * 1024.0), up_ratio);
-  std::printf("  final-quarter accuracy  fp32 %.4f vs int8 %.4f (gap %+.4f, tolerance %.4f)\n",
-              raw_acc, int8_acc, raw_acc - int8_acc, acc_tolerance);
-  std::printf("  target accuracy         %.4f (from seed-averaged curves)\n", codec_target);
-  std::printf("  fp32 time-to-target     %s s (mean total %.1f s)\n",
-              raw_t >= 0 ? harness::Report::fmt(raw_t, 1).c_str() : "never",
-              raw_mean.back().sim_time_s);
-  std::printf("  int8 time-to-target     %s s (mean total %.1f s)\n",
-              int8_t >= 0 ? harness::Report::fmt(int8_t, 1).c_str() : "never",
-              int8_mean.back().sim_time_s);
-  bool codec_ok = true;
-  if (up_ratio < 3.5) {
-    std::printf("FAIL: int8 codec cut uplink bytes only %.2fx (need >= 3.5x)\n", up_ratio);
-    codec_ok = false;
+    to_run.push_back(s);
   }
-  if (int8_acc < raw_acc - acc_tolerance) {
-    std::printf("FAIL: int8 codec costs %.4f accuracy (tolerance %.4f)\n",
-                raw_acc - int8_acc, acc_tolerance);
-    codec_ok = false;
+
+  harness::Experiment experiment(harness::ScaleConfig::from_env());
+  std::printf("Deployment scenarios (scale=%s)\n", experiment.scale().name.c_str());
+  int exit_code = 0;
+  for (size_t i = 0; i < to_run.size(); ++i) {
+    if (i > 0) std::printf("\n");
+    std::printf("\n[%s]\n", to_run[i]->name.c_str());
+    const int rc = to_run[i]->run(experiment);
+    if (rc != 0) {
+      std::printf("scenario %s FAILED (exit %d)\n", to_run[i]->name.c_str(), rc);
+      exit_code = rc;
+    }
   }
-  if (!(int8_t >= 0) || (raw_t >= 0 && int8_t >= raw_t)) {
-    std::printf("FAIL: int8 codec did not improve time-to-target on the "
-                "bandwidth-bound fleet\n");
-    codec_ok = false;
-  }
-  if (!codec_ok) return 1;
-  std::printf("  => int8 turns a %.2fx byte cut into reaching the target %.1fx sooner\n",
-              up_ratio, raw_t >= 0 ? raw_t / std::max(int8_t, 1e-9) : 0.0);
-  return 0;
+  return exit_code;
 }

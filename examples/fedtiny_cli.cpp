@@ -42,6 +42,15 @@ void usage() {
       "                        Env fallbacks when flags are absent: FEDTINY_CODEC,\n"
       "                        FEDTINY_QUANT_BITS, FEDTINY_TOPK_FRAC (via with_env_knobs;\n"
       "                        explicit flags always win, env typos warn and are ignored)\n"
+      "  Robust aggregation & adversaries:\n"
+      "  --aggregation P       fedavg|norm_clip|trimmed_mean|coord_median (default fedavg)\n"
+      "  --trim-frac F         trimmed_mean per-coordinate trim fraction, (0,0.5) (default 0.3)\n"
+      "  --clip-tau F          fixed norm_clip threshold (default 0 = adaptive median)\n"
+      "  --adversary-frac F    fraction of clients marked adversarial (default 0)\n"
+      "  --adversary-mode M    none|label_flip|scale|sign_flip|free_ride|corrupt\n"
+      "  --adversary-scale F   update scaling for --adversary-mode scale (default -10)\n"
+      "                        Env fallbacks: FEDTINY_AGGREGATION, FEDTINY_TRIM_FRAC,\n"
+      "                        FEDTINY_CLIP_TAU, FEDTINY_ADVERSARY_{FRAC,MODE,SCALE}\n"
       "  Simulated deployment (default: ideal fleet, all times 0):\n"
       "  --sim-device-flops F  mean device speed, FLOP/s (0 = infinite)\n"
       "  --sim-bandwidth F     mean link bandwidth, bytes/s (0 = infinite)\n"
@@ -109,6 +118,18 @@ int main(int argc, char** argv) {
       spec.quant_bits = std::atoi(next("--quant-bits"));
     } else if (std::strcmp(argv[i], "--topk-frac") == 0) {
       spec.topk_frac = std::atof(next("--topk-frac"));
+    } else if (std::strcmp(argv[i], "--aggregation") == 0) {
+      spec.aggregation = next("--aggregation");
+    } else if (std::strcmp(argv[i], "--trim-frac") == 0) {
+      spec.trim_frac = std::atof(next("--trim-frac"));
+    } else if (std::strcmp(argv[i], "--clip-tau") == 0) {
+      spec.clip_tau = std::atof(next("--clip-tau"));
+    } else if (std::strcmp(argv[i], "--adversary-frac") == 0) {
+      spec.adversary_frac = std::atof(next("--adversary-frac"));
+    } else if (std::strcmp(argv[i], "--adversary-mode") == 0) {
+      spec.adversary_mode = next("--adversary-mode");
+    } else if (std::strcmp(argv[i], "--adversary-scale") == 0) {
+      spec.adversary_scale = std::atof(next("--adversary-scale"));
     } else if (std::strcmp(argv[i], "--sim-device-flops") == 0) {
       spec.sim.device_flops_per_s = std::atof(next("--sim-device-flops"));
     } else if (std::strcmp(argv[i], "--sim-bandwidth") == 0) {
@@ -151,14 +172,20 @@ int main(int argc, char** argv) {
   spec = harness::with_env_knobs(std::move(spec));
   harness::Experiment experiment(harness::ScaleConfig::from_env());
   std::printf("running %s on %s/%s at density %.4g (alpha %.2f, seed %llu, scale %s,\n"
-              "        K=%d, clients/round=%d, workers=%d%s%s%s%s)\n",
+              "        K=%d, clients/round=%d, workers=%d%s%s%s%s%s%s)\n",
               spec.method.c_str(), spec.dataset.c_str(), spec.model.c_str(), spec.density,
               spec.dirichlet_alpha, static_cast<unsigned long long>(spec.seed),
               experiment.scale().name.c_str(), spec.num_clients, spec.clients_per_round,
               spec.parallel_clients, spec.sparse_exchange ? ", sparse-exchange" : "",
               spec.sparse_training ? ", sparse-train" : "",
               spec.kernels.empty() ? "" : (", kernels=" + spec.kernels).c_str(),
-              spec.codec.empty() ? "" : (", codec=" + spec.codec).c_str());
+              spec.codec.empty() ? "" : (", codec=" + spec.codec).c_str(),
+              spec.aggregation.empty() ? "" : (", aggregation=" + spec.aggregation).c_str(),
+              spec.adversary_frac > 0.0
+                  ? (", adversaries=" + spec.adversary_mode + "@" +
+                     std::to_string(spec.adversary_frac))
+                        .c_str()
+                  : "");
   try {
     auto result = experiment.run(spec);
     std::printf("top1_accuracy   %.4f\n", result.accuracy);

@@ -15,4 +15,12 @@ Batch PartitionedSource::gather(int client, std::span<const int64_t> local_ids) 
   return gather_batch(*dataset_, global_ids);
 }
 
+Batch LabelFlippingSource::gather(int client, std::span<const int64_t> local_ids) const {
+  Batch batch = inner_->gather(client, local_ids);
+  if (num_classes_ > 1 && poisoned_ && poisoned_(client)) {
+    for (auto& y : batch.y) y = num_classes_ - 1 - y;
+  }
+  return batch;
+}
+
 }  // namespace fedtiny::data

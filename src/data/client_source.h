@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 
 #include "data/dataset.h"
@@ -46,6 +48,28 @@ class PartitionedSource final : public ClientDataSource {
  private:
   const Dataset* dataset_;
   const PartitionArena* partitions_;
+};
+
+/// Data-source poisoning wrapper: clients selected by `poisoned` see their
+/// labels flipped to the class-complement (y -> C-1-y) in every gathered
+/// batch; everyone else reads the inner source untouched. The predicate
+/// keeps data/ ignorant of *why* a client is poisoned (fl::AdversaryModel
+/// decides membership) and the flip is a pure per-sample function, so
+/// poisoned batches stay bitwise-deterministic at any worker count.
+class LabelFlippingSource final : public ClientDataSource {
+ public:
+  LabelFlippingSource(std::shared_ptr<const ClientDataSource> inner, int num_classes,
+                      std::function<bool(int)> poisoned)
+      : inner_(std::move(inner)), num_classes_(num_classes), poisoned_(std::move(poisoned)) {}
+
+  [[nodiscard]] int num_clients() const override { return inner_->num_clients(); }
+  [[nodiscard]] int64_t size(int client) const override { return inner_->size(client); }
+  [[nodiscard]] Batch gather(int client, std::span<const int64_t> local_ids) const override;
+
+ private:
+  std::shared_ptr<const ClientDataSource> inner_;
+  int num_classes_;
+  std::function<bool(int)> poisoned_;
 };
 
 }  // namespace fedtiny::data

@@ -107,6 +107,66 @@ struct CodecConfig {
   [[nodiscard]] bool enabled() const { return codec != Codec::kNone; }
 };
 
+/// Byzantine fault injection (fl/adversary.*). Membership is a per-client
+/// draw from the (seed, client) counter stream — like straggler membership
+/// in SimConfig — so the adversarial set is a pure function of (seed,
+/// config), independent of rounds, cohorts, and worker counts.
+enum class AdversaryMode : std::uint8_t {
+  kNone = 0,      // no perturbation (fraction is ignored)
+  kLabelFlip = 1, // data-source poisoning: label y -> C-1-y on adversaries
+  kScale = 2,     // uplink delta scaled by `scale` (negative = flip + amplify)
+  kSignFlip = 3,  // uplink delta negated (scale fixed at -1)
+  kFreeRide = 4,  // zero-delta uplink, sample count inflated by `inflate`
+  kCorrupt = 5,   // wire bytes bit-flipped/truncated (sparse exchange) or
+                  // NaN-poisoned dense uplink — exercises the server's
+                  // rejection paths end-to-end
+};
+
+struct AdversaryConfig {
+  /// Fraction of the fleet marked adversarial (per-client draw). 0 disables
+  /// injection entirely and keeps the round loop bitwise-historical.
+  double fraction = 0.0;
+  AdversaryMode mode = AdversaryMode::kNone;
+  /// Delta multiplier for kScale (paper-standard scaled-update attack uses a
+  /// large negative factor: amplified and direction-flipped).
+  double scale = -10.0;
+  /// Sample-count multiplier a free-rider claims in its uplink.
+  double inflate = 10.0;
+
+  [[nodiscard]] bool enabled() const {
+    return fraction > 0.0 && mode != AdversaryMode::kNone;
+  }
+};
+
+/// Server-side robust aggregation policy (fl/aggregation.* +
+/// fl/sharded_accumulator.*). kFedAvg is the historical weighted mean and
+/// stays streaming O(model); kNormClip is also streaming (one reference
+/// arena extra); kTrimmedMean/kCoordMedian retain every accepted uplink for
+/// a per-coordinate cross-client reduction — O(cohort x model) server
+/// memory, documented and benched.
+enum class Aggregation : std::uint8_t {
+  kFedAvg = 0,
+  kNormClip = 1,     // per-uplink delta L2 norm clipped to tau
+  kTrimmedMean = 2,  // per-coordinate, trim_frac of each tail removed
+  kCoordMedian = 3,  // per-coordinate weighted-blind median
+};
+
+struct AggregationConfig {
+  Aggregation policy = Aggregation::kFedAvg;
+  /// Fraction trimmed from EACH tail per coordinate (trimmed mean only);
+  /// floor(trim_frac * n) uplinks are cut per end.
+  double trim_frac = 0.3;
+  /// Norm-clip threshold on the uplink's delta-vs-broadcast L2 norm.
+  /// 0 = adaptive: the previous round's median accepted norm (first round
+  /// unclipped).
+  double clip_tau = 0.0;
+
+  /// Policies that must retain per-uplink payloads until finalize.
+  [[nodiscard]] bool retained() const {
+    return policy == Aggregation::kTrimmedMean || policy == Aggregation::kCoordMedian;
+  }
+};
+
 struct FLConfig {
   int num_clients = 10;      // K (paper: 10)
   int rounds = 60;           // paper: 300 (CIFAR) / 200 (SVHN)
@@ -166,6 +226,15 @@ struct FLConfig {
   /// loop byte-identical to the historical engine. Encoded bytes feed the
   /// comm model, so a smaller wire directly shortens simulated rounds.
   CodecConfig codec;
+
+  // ---- Robustness (Byzantine clients + robust server policies) ----
+  /// Fault injection: which fraction of clients misbehave and how. The
+  /// default (fraction 0) injects nothing and is bitwise-historical.
+  AdversaryConfig adversary;
+  /// Server aggregation policy. kFedAvg reproduces the historical engine
+  /// bitwise; the robust policies stay bitwise-reproducible from (seed,
+  /// config) at any worker/lane count.
+  AggregationConfig aggregation;
 };
 
 }  // namespace fedtiny::fl

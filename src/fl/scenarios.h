@@ -1,0 +1,59 @@
+// Named deployment-scenario registry.
+//
+// Each scenario is a self-contained, CLI-selectable experiment section — the
+// fleet configurations that used to live as ad-hoc code blocks inside
+// examples/deployment_scenarios.cpp. A scenario takes the shared Experiment
+// (scale config) and returns a process exit code: 0 when its printed claims
+// hold, 1 when a gate fails. Registration is explicit and deterministic
+// (register_builtin_scenarios lists them in display order); nothing runs at
+// static-init time.
+//
+// Scenarios registered by register_builtin_scenarios():
+//   device-classes   one specialized sparse model per device memory class
+//   fleet-1k         K=1000 sampled fleet, async, availability/dropout
+//   fleet-million    K=1,000,000 on-demand fleet, bounded server RSS (gated)
+//   straggler-async  sync barrier vs async staleness-aware rounds (gated)
+//   bandwidth-codec  fp32 wire vs int8 codec on a narrow uplink (gated)
+//   adversarial      20% Byzantine clients: fedavg collapses, trimmed_mean
+//                    holds within noise of the clean run (gated)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace fedtiny::fl {
+
+struct Scenario {
+  std::string name;
+  /// One-line description for --list output.
+  std::string summary;
+  /// Runs the scenario end-to-end, printing its report; returns an exit
+  /// code (0 = claims hold, nonzero = a gate failed).
+  std::function<int(const harness::Experiment&)> run;
+};
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Registers (or replaces, by name) a scenario.
+  void add(Scenario scenario);
+
+  /// nullptr when no scenario has that name.
+  [[nodiscard]] const Scenario* find(const std::string& name) const;
+
+  /// All scenarios in registration order.
+  [[nodiscard]] const std::vector<Scenario>& all() const { return scenarios_; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Registers the built-in scenarios listed above. Idempotent (re-registration
+/// replaces by name), so callers need not coordinate.
+void register_builtin_scenarios();
+
+}  // namespace fedtiny::fl

@@ -1,9 +1,32 @@
 #include "fl/server.h"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace fedtiny::fl {
+
+namespace {
+
+bool all_finite(const std::vector<Tensor>& tensors) {
+  for (const auto& t : tensors) {
+    for (const float v : t.flat()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+bool all_finite(const SparseUpdatePayload& update) {
+  for (const auto& layer : update.sparse_layers) {
+    for (const float v : layer.values) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return all_finite(update.dense_tensors);
+}
+
+}  // namespace
 
 void StateAccumulator::add(const std::vector<Tensor>& state, double weight) {
   // The two ingestion paths are mutually exclusive per accumulation; mixing
@@ -13,6 +36,10 @@ void StateAccumulator::add(const std::vector<Tensor>& state, double weight) {
     throw std::logic_error(
         "StateAccumulator: add() after add_sparse() — the dense and sparse "
         "ingestion paths must not be mixed in one accumulation");
+  }
+  if (!all_finite(state)) {
+    ++dropped_nonfinite_;
+    return;
   }
   if (sum_.empty()) {
     sum_.reserve(state.size());
@@ -35,6 +62,10 @@ void StateAccumulator::add_sparse(const SparseUpdatePayload& update, double weig
     throw std::logic_error(
         "StateAccumulator: add_sparse() after add() — the dense and sparse "
         "ingestion paths must not be mixed in one accumulation");
+  }
+  if (!all_finite(update)) {
+    ++dropped_nonfinite_;
+    return;
   }
   if (sparse_sum_.empty() && sparse_dense_sum_.empty()) {
     sparse_sum_.reserve(update.sparse_layers.size());
@@ -120,6 +151,7 @@ void StateAccumulator::reset() {
   sparse_sum_.clear();
   sparse_dense_sum_.clear();
   total_weight_ = 0.0;
+  dropped_nonfinite_ = 0;
 }
 
 void SparseGradAccumulator::add(const std::vector<prune::ScoredIndex>& entries, double weight) {

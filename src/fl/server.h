@@ -21,6 +21,10 @@ namespace fedtiny::fl {
 /// worse than aborting the round).
 /// Per-coordinate arithmetic is identical across the two paths, so a sparse
 /// round aggregates bitwise the same as its dense oracle.
+/// Uplinks carrying non-finite values (NaN/Inf from a hostile or broken
+/// client) are rejected with a counted drop — one poisoned coordinate would
+/// otherwise NaN the whole averaged state — and the mean renormalizes over
+/// the accepted weights automatically.
 class StateAccumulator {
  public:
   void add(const std::vector<Tensor>& state, double weight);
@@ -28,6 +32,8 @@ class StateAccumulator {
 
   [[nodiscard]] bool empty() const { return total_weight_ == 0.0; }
   [[nodiscard]] double total_weight() const { return total_weight_; }
+  /// Uplinks rejected for carrying NaN/Inf values since the last reset().
+  [[nodiscard]] int dropped_nonfinite() const { return dropped_nonfinite_; }
 
   /// Weighted average of dense add()s; empty vector when nothing was added
   /// (an empty round must not produce garbage in release builds).
@@ -51,6 +57,7 @@ class StateAccumulator {
   std::vector<UpdateLayerPayload> sparse_sum_;
   std::vector<Tensor> sparse_dense_sum_;
   double total_weight_ = 0.0;
+  int dropped_nonfinite_ = 0;
 };
 
 /// Accumulates weighted sparse (index, value) gradient uploads for one

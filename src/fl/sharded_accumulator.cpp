@@ -1,9 +1,12 @@
 #include "fl/sharded_accumulator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/parallel.h"
 
@@ -45,6 +48,39 @@ void ShardedAccumulator::begin_round() {
   total_weight_ = 0.0;
   folded_ = 0;
   zeroed_ = false;  // first fold clears (or re-lays-out) the sums
+  has_reference_ = false;
+  dropped_nonfinite_ = 0;
+  clipped_ = 0;
+  norms_.clear();
+  retained_weights_.clear();
+  retained_.clear();  // capacity kept: retained rounds reuse the block
+}
+
+void ShardedAccumulator::set_reference(const std::vector<Tensor>& state) {
+  init_dense_layout(state);
+  mode_ = Mode::kDense;
+  ref_.resize(sum_.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    std::memcpy(ref_.data() + offsets_[i], state[i].data(),
+                (offsets_[i + 1] - offsets_[i]) * sizeof(float));
+  }
+  has_reference_ = true;
+}
+
+void ShardedAccumulator::set_reference(const SparseUpdatePayload& update) {
+  init_sparse_layout(update);
+  mode_ = Mode::kSparse;
+  ref_.resize(sum_.size());
+  const size_t ns = update.sparse_layers.size();
+  for (size_t l = 0; l < ns; ++l) {
+    std::memcpy(ref_.data() + offsets_[l], update.sparse_layers[l].values.data(),
+                (offsets_[l + 1] - offsets_[l]) * sizeof(float));
+  }
+  for (size_t i = 0; i < update.dense_tensors.size(); ++i) {
+    std::memcpy(ref_.data() + offsets_[ns + i], update.dense_tensors[i].data(),
+                (offsets_[ns + i + 1] - offsets_[ns + i]) * sizeof(float));
+  }
+  has_reference_ = true;
 }
 
 void ShardedAccumulator::init_dense_layout(const std::vector<Tensor>& state) {
@@ -123,6 +159,142 @@ void ShardedAccumulator::fold_spans(double weight) {
   });
 }
 
+void ShardedAccumulator::fold_spans_clipped(double weight, float factor) {
+  const auto w = static_cast<float>(weight);
+  run_sharded(sum_.size(), [&](size_t lo, size_t hi) {
+    auto it = std::upper_bound(offsets_.begin(), offsets_.end(), lo);
+    auto i = static_cast<size_t>(it - offsets_.begin()) - 1;
+    while (lo < hi) {
+      const size_t end = std::min(hi, offsets_[i + 1]);
+      float* dst = sum_.data() + lo;
+      const float* src = srcs_[i] + (lo - offsets_[i]);
+      const float* ref = ref_.data() + lo;
+      const size_t n = end - lo;
+      for (size_t j = 0; j < n; ++j) {
+        dst[j] += w * (ref[j] + factor * (src[j] - ref[j]));
+      }
+      lo = end;
+      ++i;
+    }
+  });
+}
+
+bool ShardedAccumulator::staged_all_finite() const {
+  // A boolean OR is order-independent, so the relaxed-atomic sharded scan is
+  // lane-count-safe even though shards race on the flag.
+  std::atomic<bool> ok(true);
+  run_sharded(sum_.size(), [&](size_t lo, size_t hi) {
+    if (!ok.load(std::memory_order_relaxed)) return;
+    auto it = std::upper_bound(offsets_.begin(), offsets_.end(), lo);
+    auto i = static_cast<size_t>(it - offsets_.begin()) - 1;
+    while (lo < hi) {
+      const size_t end = std::min(hi, offsets_[i + 1]);
+      const float* src = srcs_[i] + (lo - offsets_[i]);
+      const size_t n = end - lo;
+      for (size_t j = 0; j < n; ++j) {
+        if (!std::isfinite(src[j])) {
+          ok.store(false, std::memory_order_relaxed);
+          return;
+        }
+      }
+      lo = end;
+      ++i;
+    }
+  });
+  return ok.load(std::memory_order_relaxed);
+}
+
+double ShardedAccumulator::staged_delta_sq_norm() const {
+  // FIXED chunk size (never the lane count) decides the partial-sum
+  // boundaries; the partials then add serially in chunk order, so the norm
+  // is bitwise-identical whatever the executor grants.
+  constexpr size_t kNormChunk = size_t{1} << 16;
+  const size_t total = sum_.size();
+  const size_t nchunks = (total + kNormChunk - 1) / kNormChunk;
+  std::vector<double> partial(nchunks, 0.0);
+  auto chunk_fn = [&](size_t c) {
+    size_t lo = c * kNormChunk;
+    const size_t hi = std::min(total, lo + kNormChunk);
+    auto it = std::upper_bound(offsets_.begin(), offsets_.end(), lo);
+    auto i = static_cast<size_t>(it - offsets_.begin()) - 1;
+    double acc = 0.0;
+    while (lo < hi) {
+      const size_t end = std::min(hi, offsets_[i + 1]);
+      const float* src = srcs_[i] + (lo - offsets_[i]);
+      const float* ref = ref_.data() + lo;
+      const size_t n = end - lo;
+      for (size_t j = 0; j < n; ++j) {
+        const double d = static_cast<double>(src[j]) - static_cast<double>(ref[j]);
+        acc += d * d;
+      }
+      lo = end;
+      ++i;
+    }
+    partial[c] = acc;
+  };
+  const int budget = Executor::instance().thread_budget();
+  if (nchunks > 1 && budget > 0) {
+    worker_pool_for(nchunks, std::min(budget + 1, static_cast<int>(nchunks)),
+                    [&](int /*lane*/, size_t c) { chunk_fn(c); });
+  } else {
+    for (size_t c = 0; c < nchunks; ++c) chunk_fn(c);
+  }
+  double sq = 0.0;
+  for (const double p : partial) sq += p;
+  return sq;
+}
+
+void ShardedAccumulator::copy_spans_to(float* dst) const {
+  run_sharded(sum_.size(), [&](size_t lo, size_t hi) {
+    auto it = std::upper_bound(offsets_.begin(), offsets_.end(), lo);
+    auto i = static_cast<size_t>(it - offsets_.begin()) - 1;
+    while (lo < hi) {
+      const size_t end = std::min(hi, offsets_[i + 1]);
+      std::memcpy(dst + lo, srcs_[i] + (lo - offsets_[i]), (end - lo) * sizeof(float));
+      lo = end;
+      ++i;
+    }
+  });
+}
+
+void ShardedAccumulator::ingest(double weight) {
+  // Non-finite guard first, whatever the policy: a single NaN folded into
+  // the packed sums would poison every coordinate of the global state.
+  if (!staged_all_finite()) {
+    ++dropped_nonfinite_;
+    return;
+  }
+  if (policy_.retained()) {
+    // Keep the whole uplink row for the per-coordinate order-statistic
+    // reduction at finalize — the documented O(cohort x model) mode.
+    const size_t arena = sum_.size();
+    const size_t row = retained_weights_.size();
+    retained_.resize((row + 1) * arena);
+    copy_spans_to(retained_.data() + row * arena);
+    retained_weights_.push_back(weight);
+    total_weight_ += weight;
+    ++folded_;
+    return;
+  }
+  if (policy_.policy == Aggregation::kNormClip && has_reference_) {
+    const double norm = std::sqrt(staged_delta_sq_norm());
+    norms_.push_back(norm);
+    const double tau = policy_.clip_tau > 0.0 ? policy_.clip_tau : adaptive_tau_;
+    if (tau > 0.0 && norm > tau) {
+      ++clipped_;
+      fold_spans_clipped(weight, static_cast<float>(tau / norm));
+      total_weight_ += weight;
+      ++folded_;
+      return;
+    }
+    // At or under the threshold: fold verbatim — bitwise-fedavg for
+    // unclipped uplinks (no ref +/- delta round trip to perturb bits).
+  }
+  fold_spans(weight);
+  total_weight_ += weight;
+  ++folded_;
+}
+
 void ShardedAccumulator::fold(const std::vector<Tensor>& state, double weight) {
   if (mode_ == Mode::kSparse) {
     throw std::logic_error(
@@ -139,9 +311,7 @@ void ShardedAccumulator::fold(const std::vector<Tensor>& state, double weight) {
     assert(state[i].flat().size() == offsets_[i + 1] - offsets_[i]);
     srcs_[i] = state[i].data();
   }
-  fold_spans(weight);
-  total_weight_ += weight;
-  ++folded_;
+  ingest(weight);
 }
 
 void ShardedAccumulator::fold_sparse(const SparseUpdatePayload& update, double weight) {
@@ -173,12 +343,81 @@ void ShardedAccumulator::fold_sparse(const SparseUpdatePayload& update, double w
     assert(update.dense_tensors[i].flat().size() == offsets_[ns + i + 1] - offsets_[ns + i]);
     srcs_[ns + i] = update.dense_tensors[i].data();
   }
-  fold_spans(weight);
-  total_weight_ += weight;
-  ++folded_;
+  ingest(weight);
+}
+
+void ShardedAccumulator::reduce_retained() {
+  const size_t rows = retained_weights_.size();
+  const size_t arena = sum_.size();
+  if (rows == 0 || arena == 0) return;
+  size_t trim = 0;
+  if (policy_.policy == Aggregation::kTrimmedMean) {
+    trim = static_cast<size_t>(std::floor(policy_.trim_frac * static_cast<double>(rows)));
+    if (2 * trim >= rows) trim = (rows - 1) / 2;  // keep >= 1 survivor
+  }
+  const bool median = policy_.policy == Aggregation::kCoordMedian;
+  // Fixed coordinate chunks shard the reduction: coordinates are mutually
+  // independent and ties sort by fold order, so any lane count (and any
+  // chunk size) produces the same bits. The per-chunk scratch keeps the sort
+  // working set cache-resident.
+  constexpr size_t kCoordChunk = 4096;
+  const size_t nchunks = (arena + kCoordChunk - 1) / kCoordChunk;
+  const int budget = Executor::instance().thread_budget();
+  const int workers =
+      nchunks > 1 && budget > 0 ? std::min(budget + 1, static_cast<int>(nchunks)) : 1;
+  worker_pool_for(nchunks, workers, [&](int /*lane*/, size_t c) {
+    std::vector<std::pair<float, size_t>> order(rows);
+    const size_t lo = c * kCoordChunk;
+    const size_t hi = std::min(arena, lo + kCoordChunk);
+    for (size_t j = lo; j < hi; ++j) {
+      for (size_t i = 0; i < rows; ++i) {
+        order[i] = {retained_[i * arena + j], i};
+      }
+      std::sort(order.begin(), order.end());
+      float v;
+      if (median) {
+        // Weight-blind per-coordinate median (the classical estimator); even
+        // row counts take the midpoint.
+        v = rows % 2 == 1
+                ? order[rows / 2].first
+                : 0.5f * (order[rows / 2 - 1].first + order[rows / 2].first);
+      } else {
+        // Weighted mean of the survivors after cutting `trim` rows off each
+        // tail; survivor weights renormalize per coordinate.
+        double vsum = 0.0;
+        double wsum = 0.0;
+        for (size_t i = trim; i < rows - trim; ++i) {
+          const double w = retained_weights_[order[i].second];
+          vsum += w * static_cast<double>(order[i].first);
+          wsum += w;
+        }
+        v = wsum > 0.0 ? static_cast<float>(vsum / wsum) : 0.0f;
+      }
+      sum_[j] = v;
+    }
+  });
+  // The sums now hold the final per-coordinate values; make the closing
+  // 1/total_weight scale the exact identity (x * 1.0f is lossless).
+  total_weight_ = 1.0;
+}
+
+void ShardedAccumulator::finalize_policy() {
+  if (policy_.policy == Aggregation::kNormClip && !norms_.empty()) {
+    // Adaptive threshold for the next round: the median accepted delta norm
+    // — robust to a minority of inflated updates this round. nth_element is
+    // implementation-defined only in *order*, not in the selected value, and
+    // the norms themselves are lane-count-invariant, so this is
+    // deterministic from (seed, config).
+    std::vector<double> n = norms_;
+    const size_t mid = n.size() / 2;
+    std::nth_element(n.begin(), n.begin() + static_cast<std::ptrdiff_t>(mid), n.end());
+    adaptive_tau_ = n[mid];
+  }
+  if (policy_.retained()) reduce_retained();
 }
 
 bool ShardedAccumulator::average_into(std::vector<Tensor>& out) {
+  finalize_policy();
   if (total_weight_ <= 0.0 || mode_ != Mode::kDense) return false;
   const auto inv = static_cast<float>(1.0 / total_weight_);
   if (out.size() != dense_shapes_.size()) out.resize(dense_shapes_.size());
@@ -203,6 +442,7 @@ bool ShardedAccumulator::average_into(std::vector<Tensor>& out) {
 
 bool ShardedAccumulator::average_sparse_into(std::vector<Tensor>& out, const prune::MaskSet& mask,
                                              const std::vector<int>& prunable_indices) {
+  finalize_policy();
   if (total_weight_ <= 0.0 || mode_ != Mode::kSparse) return false;
   const size_t ns = sparse_counts_.size();
   if (mask.num_layers() != ns || prunable_indices.size() != ns) return false;
@@ -261,6 +501,10 @@ bool ShardedAccumulator::average_sparse_into(std::vector<Tensor>& out, const pru
 size_t ShardedAccumulator::resident_bytes() const {
   size_t bytes = sum_.capacity() * sizeof(float) + offsets_.capacity() * sizeof(size_t) +
                  srcs_.capacity() * sizeof(const float*);
+  // Robust-policy buffers: the norm-clip reference is one extra arena; the
+  // retained rows are the O(cohort x model) block the memory bench gates.
+  bytes += ref_.capacity() * sizeof(float) + retained_.capacity() * sizeof(float) +
+           retained_weights_.capacity() * sizeof(double) + norms_.capacity() * sizeof(double);
   for (const auto& s : dense_shapes_) bytes += s.capacity() * sizeof(int64_t);
   for (const auto& s : sparse_shapes_) bytes += s.capacity() * sizeof(int64_t);
   for (const auto& s : remainder_shapes_) bytes += s.capacity() * sizeof(int64_t);

@@ -19,11 +19,28 @@
 // returning a fresh fleet-sized copy, and the sparse scatter reuses those
 // same tensors as its scratch — zero per-round allocation once the layout is
 // warm.
+//
+// Robust policies (set_policy): kFedAvg is the streaming weighted mean above
+// and the default. kNormClip stays streaming — each uplink's delta against
+// the reference arena (set_reference, the round broadcast) has its L2 norm
+// computed over FIXED-size chunks whose partials sum serially in chunk
+// order, so lane counts cannot change a bit; an uplink over the threshold
+// folds as ref + (tau/norm) * delta, one at or under it folds verbatim
+// (bitwise-fedavg for unclipped rounds). kTrimmedMean/kCoordMedian switch to
+// a RETAINED mode: every accepted uplink's packed arena row is kept until
+// finalize — O(cohort x model) server memory, the documented price of
+// order-statistic aggregation — and the per-coordinate reduction shards the
+// arena over the Executor in fixed coordinate chunks (coordinates are
+// independent, ties sort by fold order), so any lane count is bitwise-equal.
+// Every policy first rejects non-finite uplinks (NaN/Inf) with a counted
+// drop; the weight renormalization over survivors is automatic because the
+// final average divides by the summed *accepted* weights.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "fl/config.h"
 #include "fl/payload.h"
 #include "prune/mask.h"
 #include "tensor/tensor.h"
@@ -34,7 +51,21 @@ class ShardedAccumulator {
  public:
   /// Start a new accumulation. O(1): buffers are kept and lazily zeroed (or
   /// re-laid-out) by the first fold, so an empty round costs nothing.
+  /// Resets the per-round counters and the reference; the policy and the
+  /// adaptive clip threshold persist across rounds.
   void begin_round();
+
+  /// Select the aggregation policy for subsequent folds (sticky across
+  /// rounds; default kFedAvg). Call between begin_round() and the first
+  /// fold.
+  void set_policy(const AggregationConfig& policy) { policy_ = policy; }
+  [[nodiscard]] const AggregationConfig& policy() const { return policy_; }
+
+  /// Install the norm-clip reference (the round-start broadcast): lays out
+  /// the arena for the matching fold path and packs the reference values.
+  /// Without a reference kNormClip degrades to plain folding.
+  void set_reference(const std::vector<Tensor>& state);
+  void set_reference(const SparseUpdatePayload& update);
 
   /// Fold one dense uplink: sum[j] += weight * state[j], shard-parallel.
   /// Same mixing rule as StateAccumulator: dense and sparse ingestion must
@@ -49,6 +80,13 @@ class ShardedAccumulator {
   [[nodiscard]] bool empty() const { return total_weight_ == 0.0; }
   [[nodiscard]] double total_weight() const { return total_weight_; }
   [[nodiscard]] int folded() const { return folded_; }
+  /// Uplinks rejected this round for carrying NaN/Inf values.
+  [[nodiscard]] int dropped_nonfinite() const { return dropped_nonfinite_; }
+  /// Uplinks whose delta norm was clipped this round (kNormClip only).
+  [[nodiscard]] int clipped() const { return clipped_; }
+  /// Adaptive clip threshold carried into the next round (median of this
+  /// round's accepted delta norms once an average ran; 0 before the first).
+  [[nodiscard]] double adaptive_clip_tau() const { return adaptive_tau_; }
 
   /// Scale the dense sums by 1/total_weight into `out`, reallocating its
   /// tensors only on shape change. Returns false (leaving `out` untouched)
@@ -64,7 +102,9 @@ class ShardedAccumulator {
                            const std::vector<int>& prunable_indices);
 
   /// Bytes resident in the accumulator's packed buffers — the server-side
-  /// aggregation footprint, independent of fleet size.
+  /// aggregation footprint. Independent of fleet size under the streaming
+  /// policies; the retained policies add O(cohort x model) for the kept
+  /// uplink rows.
   [[nodiscard]] size_t resident_bytes() const;
 
  private:
@@ -75,10 +115,42 @@ class ShardedAccumulator {
   /// sum_[offsets_[i] + a .. offsets_[i] + b) += w * srcs[i][a .. b),
   /// shard-parallel over the packed arena.
   void fold_spans(double weight);
+  /// Norm-clipped fold: sum[j] += w * (ref[j] + factor * (src[j] - ref[j])).
+  void fold_spans_clipped(double weight, float factor);
+  /// Policy dispatch for one staged uplink (srcs_ set): non-finite guard,
+  /// then stream, clip, or retain. Updates total_weight_/folded_ on accept.
+  void ingest(double weight);
+  /// All staged source values finite? Order-independent (a boolean), so the
+  /// sharded scan is lane-count-safe.
+  [[nodiscard]] bool staged_all_finite() const;
+  /// L2 norm^2 of (staged uplink - reference) over the arena, accumulated in
+  /// FIXED-size chunks summed serially in chunk order: bitwise-identical at
+  /// any lane count.
+  [[nodiscard]] double staged_delta_sq_norm() const;
+  /// Copy the staged uplink's spans into one contiguous arena row.
+  void copy_spans_to(float* dst) const;
+  /// Per-coordinate trimmed-mean/median over the retained rows, written into
+  /// sum_ (total_weight_ becomes 1 so the final scale is the identity).
+  void reduce_retained();
+  /// Round-end policy bookkeeping (adaptive tau, retained reduction); called
+  /// by both average paths.
+  void finalize_policy();
 
   Mode mode_ = Mode::kIdle;
   double total_weight_ = 0.0;
   int folded_ = 0;
+
+  // ---- Robust-policy state. ----
+  AggregationConfig policy_;
+  bool has_reference_ = false;
+  std::vector<float> ref_;  // packed round-start values (norm_clip)
+  /// Retained mode: accepted uplink rows (row-major, arena-width) + weights.
+  std::vector<float> retained_;
+  std::vector<double> retained_weights_;
+  std::vector<double> norms_;  // this round's accepted delta norms
+  double adaptive_tau_ = 0.0;  // carried across rounds (clip_tau == 0)
+  int dropped_nonfinite_ = 0;
+  int clipped_ = 0;
 
   // Packed sum arena + per-tensor layout. Dense mode: one entry per state
   // tensor. Sparse mode: one entry per compact prunable layer, then one per

@@ -43,6 +43,7 @@ FederatedTrainer::FederatedTrainer(nn::Model& model, const data::Dataset& train_
   sizes_ = partitions_.sizes();
   mask_ = prune::MaskSet::ones_like(model_);
   global_ = model_.state();
+  install_adversary();
 }
 
 FederatedTrainer::FederatedTrainer(nn::Model& model,
@@ -63,6 +64,41 @@ FederatedTrainer::FederatedTrainer(nn::Model& model,
   }
   mask_ = prune::MaskSet::ones_like(model_);
   global_ = model_.state();
+  install_adversary();
+}
+
+void FederatedTrainer::install_adversary() {
+  adv_ = AdversaryModel(config_.adversary, config_.seed);
+  if (adv_.enabled() && config_.adversary.mode == AdversaryMode::kLabelFlip) {
+    // Poison at the data source: adversarial clients train on flipped labels
+    // in every batch. The wrapper captures the (small, copyable) model so
+    // membership stays the same pure (seed, client) function everywhere.
+    const AdversaryModel adv = adv_;
+    source_ = std::make_shared<data::LabelFlippingSource>(
+        std::move(source_), test_data_.num_classes,
+        [adv](int client) { return adv.is_adversary(client); });
+  }
+}
+
+void FederatedTrainer::arm_aggregator(const std::vector<Tensor>& round_start, bool sparse) {
+  agg_.set_policy(config_.aggregation);
+  if (config_.aggregation.policy == Aggregation::kNormClip) {
+    // The clip reference is the round broadcast: an honest uplink's delta is
+    // its local progress, an attacker's is whatever it injected — exactly
+    // the quantity to bound.
+    if (sparse) {
+      agg_.set_reference(build_sparse_update(round_start, mask_, model_.prunable_indices()));
+    } else {
+      agg_.set_reference(round_start);
+    }
+  }
+}
+
+int FederatedTrainer::count_adversaries(const std::vector<int>& clients) const {
+  if (!adv_.enabled()) return 0;
+  int n = 0;
+  for (const int c : clients) n += adv_.is_adversary(c) ? 1 : 0;
+  return n;
 }
 
 void FederatedTrainer::set_mask(prune::MaskSet mask) {
@@ -239,24 +275,51 @@ void FederatedTrainer::train_client_into(nn::Model& model, int client, int round
   // refresh) when configured; the top-K probe below still needs dense
   // pruned-coordinate gradients (the growth signal), so the install is
   // cleared before it.
+  const AdversaryMode amode = adv_.mode_for(client);
   const bool sparse_train = config_.sparse_training && config_.sparse_exec_max_density > 0.0f;
   model.set_state(round_start);
-  if (sparse_train) {
-    prune::install_sparse_execution(model, mask_, config_.sparse_exec_max_density,
-                                    /*train=*/true);
-  }
-  local_train(model, client, round, lr);
-  if (sparse_train) prune::clear_sparse_execution(model);
-  if (!quota.empty()) {
-    result.grads = topk_pruned_grads(model, client, quota);
-    if (config_.sparse_exchange) {  // measured bytes only used in sparse mode
-      result.upload_bytes += static_cast<double>(serialize_grad_upload(result.grads).size());
+  if (amode == AdversaryMode::kFreeRide) {
+    // Free-riding: no local compute at all — the uplink is the broadcast
+    // state itself (a zero delta) shipped under an inflated sample claim.
+  } else {
+    if (sparse_train) {
+      prune::install_sparse_execution(model, mask_, config_.sparse_exec_max_density,
+                                      /*train=*/true);
+    }
+    local_train(model, client, round, lr);
+    if (sparse_train) prune::clear_sparse_execution(model);
+    if (!quota.empty()) {
+      result.grads = topk_pruned_grads(model, client, quota);
+      if (config_.sparse_exchange) {  // measured bytes only used in sparse mode
+        result.upload_bytes += static_cast<double>(serialize_grad_upload(result.grads).size());
+      }
     }
   }
+  result.claimed_samples = amode == AdversaryMode::kFreeRide
+                               ? adv_.inflate_samples(client_size(client))
+                               : client_size(client);
+
+  // The state this client *ships*: perturbed for update-poisoning
+  // adversaries (and NaN-poisoned in dense-exchange corrupt mode, where
+  // there is no wire to damage), the trained model state otherwise.
+  std::vector<Tensor> up_state;
+  const bool perturbed = amode == AdversaryMode::kScale ||
+                         amode == AdversaryMode::kSignFlip ||
+                         (amode == AdversaryMode::kCorrupt && !config_.sparse_exchange);
+  if (perturbed) {
+    up_state = model.state();
+    if (amode == AdversaryMode::kCorrupt) {
+      adv_.corrupt_dense(up_state, round, client);
+    } else {
+      adv_.perturb_update(up_state, round_start, amode);
+    }
+  }
+
   const bool codec_on = config_.sparse_exchange && config_.codec.enabled();
   if (config_.sparse_exchange) {
-    auto update = build_sparse_update(model.state(), mask_, model_.prunable_indices());
-    update.num_samples = client_size(client);
+    auto update = build_sparse_update(perturbed ? up_state : model.state(), mask_,
+                                      model_.prunable_indices());
+    update.num_samples = result.claimed_samples;
     if (codec_on) {
       // Encode -> measure -> decode: the aggregate always folds exactly what
       // came off the wire, quantization noise included. Top-k keeps its
@@ -265,39 +328,55 @@ void FederatedTrainer::train_client_into(nn::Model& model, int client, int round
           config_.codec.codec == Codec::kTopK
               ? &ef_store_.acquire(static_cast<uint64_t>(client))
               : nullptr;
-      const auto wire =
+      auto wire =
           codec::encode_update(update, config_.codec, config_.seed, round,
                                static_cast<uint64_t>(client), reference, ef);
+      if (amode == AdversaryMode::kCorrupt) adv_.corrupt_wire(wire, round, client);
       result.upload_bytes += static_cast<double>(wire.size());
       SparseUpdatePayload rx;
-      const bool ok = codec::decode_update(wire, rx, reference);
-      assert(ok);
-      (void)ok;
+      if (!codec::decode_update(wire, rx, reference)) {
+        // A damaged wire the deserializer refuses: drop this uplink like a
+        // dropout (weights renormalize over survivors) — never crash, never
+        // fold garbage silently.
+        result.rejected = true;
+        return;
+      }
       if (!keep_dense_state) {
         result.update = std::move(rx);
       } else {
         // The async aggregator folds dense states; reconstruct the decoded
         // uplink through the dispatch-time mask so the fold sees the
         // codec round-trip, not the exact local state.
-        const bool rok =
-            reconstruct_update(rx, mask_, model_.prunable_indices(), result.state);
-        assert(rok);
-        (void)rok;
+        if (!reconstruct_update(rx, mask_, model_.prunable_indices(), result.state)) {
+          result.rejected = true;
+          return;
+        }
       }
     } else {
-      const auto wire = serialize(update);
+      auto wire = serialize(update);
+      if (amode == AdversaryMode::kCorrupt) adv_.corrupt_wire(wire, round, client);
       result.upload_bytes += static_cast<double>(wire.size());
       if (!keep_dense_state) {
         // Sync aggregates off-the-wire data; the async aggregator folds the
         // dense state below, so only the measured wire size is needed there.
-        const bool ok = deserialize(wire, result.update);
-        assert(ok);
-        (void)ok;
+        if (!deserialize(wire, result.update)) {
+          result.rejected = true;
+          return;
+        }
+      } else if (amode == AdversaryMode::kCorrupt) {
+        // Async folds dense states: route the corrupted v1 wire through the
+        // server's decode + reconstruct so the damage is felt end-to-end.
+        SparseUpdatePayload rx;
+        if (!deserialize(wire, rx) ||
+            !reconstruct_update(rx, mask_, model_.prunable_indices(), result.state)) {
+          result.rejected = true;
+        }
+        return;  // state (or rejection) settled from the wire
       }
     }
   }
   if (!config_.sparse_exchange || (keep_dense_state && !codec_on)) {
-    result.state = model.state();
+    result.state = perturbed ? std::move(up_state) : model.state();
   }
 }
 
@@ -374,20 +453,31 @@ void FederatedTrainer::run_round(int round) {
   // (plan.total_samples); in sparse-exchange mode the sample count comes
   // off the wire.
   agg_.begin_round();
+  arm_aggregator(round_start, config_.sparse_exchange);
   std::vector<SparseGradAccumulator> grad_acc(quota.empty() ? 0 : prunable.size());
   double measured_up = 0.0;
+  int rejected = 0;
   auto fold_one = [&](size_t slot) {
     const auto t0 = std::chrono::steady_clock::now();
     auto& result = results[slot];
+    measured_up += result.upload_bytes;  // the wire traveled either way
+    if (result.rejected) {
+      // Corrupted wire refused by the decoder: treated exactly like a
+      // dropout — the fold never happens, so average_into's division by the
+      // summed accepted weights renormalizes over survivors automatically.
+      ++rejected;
+      result = ClientResult{};
+      agg_seconds += seconds_since(t0);
+      return;
+    }
     const auto samples = config_.sparse_exchange ? result.update.num_samples
-                                                 : client_size(active[slot]);
+                                                 : result.claimed_samples;
     const double weight = static_cast<double>(samples) / std::max(1.0, plan.total_samples);
     if (config_.sparse_exchange) {
       agg_.fold_sparse(result.update, weight);
     } else {
       agg_.fold(result.state, weight);
     }
-    measured_up += result.upload_bytes;
     if (!quota.empty()) {
       for (size_t l = 0; l < result.grads.size(); ++l) grad_acc[l].add(result.grads[l], weight);
     }
@@ -455,9 +545,11 @@ void FederatedTrainer::run_round(int round) {
   apply_mask_to_global();
 
   clock_.advance_to(dispatch_s + plan.duration_s);
-  record_round(round, plan, static_cast<int>(active.size()), /*mean_staleness=*/0.0, dispatch_s,
-               measured_down, measured_up + straggler_up,
-               std::max(0.0, round_seconds - agg_seconds), agg_seconds);
+  // `aggregated` reports what actually folded: rejections and non-finite
+  // drops leave the count, exactly like dropouts leave the cohort.
+  record_round(round, plan, agg_.folded(), /*mean_staleness=*/0.0, dispatch_s, measured_down,
+               measured_up + straggler_up, std::max(0.0, round_seconds - agg_seconds),
+               agg_seconds, rejected, count_adversaries(active));
 }
 
 std::vector<Tensor> FederatedTrainer::broadcast_round_start(int round, size_t& wire_bytes) {
@@ -505,7 +597,8 @@ codec::SupportValues FederatedTrainer::round_reference(
 void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggregated,
                                     double mean_staleness, double dispatch_s,
                                     double measured_down, double measured_up,
-                                    double wall_train_s, double wall_agg_s) {
+                                    double wall_train_s, double wall_agg_s, int rejected,
+                                    int adversaries) {
   RoundStats stats;
   stats.round = round;
   stats.participants = plan.participants;
@@ -513,6 +606,10 @@ void FederatedTrainer::record_round(int round, const RoundPlan& plan, int aggreg
   stats.unavailable = plan.unavailable;
   stats.dropouts = plan.dropouts;
   stats.stragglers = plan.stragglers;
+  stats.rejected_uplinks = rejected;
+  stats.nonfinite_dropped = agg_.dropped_nonfinite();
+  stats.clipped_uplinks = agg_.clipped();
+  stats.adversaries = adversaries;
   stats.round_time_s = clock_.now() - dispatch_s;
   stats.sim_time_s = clock_.now();
   stats.mean_staleness = mean_staleness;
@@ -625,7 +722,8 @@ void FederatedTrainer::run_async() {
         pool.emplace_back();
       }
       measured_up += results[i].upload_bytes;
-      pool[slot] = Pending{std::move(results[i]), client_size(active[i])};
+      const int64_t claimed = results[i].claimed_samples;
+      pool[slot] = Pending{std::move(results[i]), claimed};
       clock_.push(SimEvent{arrival, round, active[i], slot});
     }
     const double measured_down =
@@ -644,12 +742,23 @@ void FederatedTrainer::run_async() {
     // current round's — dense folding keeps the arithmetic well-defined and
     // the post-aggregate re-mask restores exact zeros off the live support.
     agg_.begin_round();
+    arm_aggregator(round_start, /*sparse=*/false);
     std::vector<SparseGradAccumulator> grad_acc(prunable.size());
     bool any_fresh_grads = false;
     double staleness_sum = 0.0;
+    int rejected = 0;
     for (size_t j = 0; j < m_eff; ++j) {
       const SimEvent e = clock_.pop();
       Pending& p = pool[e.slot];
+      if (p.result.rejected || p.result.state.empty()) {
+        // The server only discovers a corrupted uplink when it arrives:
+        // count it, free the slot, renormalize over the survivors (the fold
+        // weights it never contributed to).
+        ++rejected;
+        p = Pending{};
+        free_slots.push_back(e.slot);
+        continue;
+      }
       const double staleness = static_cast<double>(round - e.round);
       staleness_sum += staleness;
       const double discount =
@@ -685,9 +794,11 @@ void FederatedTrainer::run_async() {
     after_aggregate(round);
     apply_mask_to_global();
 
-    record_round(round, plan, static_cast<int>(m_eff),
-                 m_eff > 0 ? staleness_sum / static_cast<double>(m_eff) : 0.0, dispatch_s,
-                 measured_down, measured_up, wall_train_s, wall_agg_s);
+    const int folded = agg_.folded();
+    record_round(round, plan, folded,
+                 folded > 0 ? staleness_sum / static_cast<double>(folded) : 0.0, dispatch_s,
+                 measured_down, measured_up, wall_train_s, wall_agg_s, rejected,
+                 count_adversaries(active));
   }
   // Uplinks still in flight at shutdown were charged at dispatch but never
   // folded — exactly the waste async deployments accept.

@@ -57,6 +57,7 @@
 #include "data/client_source.h"
 #include "data/dataset.h"
 #include "data/partition.h"
+#include "fl/adversary.h"
 #include "fl/codec.h"
 #include "fl/comm_model.h"
 #include "fl/config.h"
@@ -113,6 +114,19 @@ struct RoundStats {
   /// Seconds spent in server-side aggregation: uplink folds + the final
   /// average/scatter into the global state.
   double wall_agg_s = 0.0;
+
+  // ---- Robustness (fault injection + robust aggregation). ----
+  /// Uplinks whose wire failed decode/reconstruct this round (adversarial
+  /// corruption, truncation): dropped like a dropout, weights renormalized
+  /// over the survivors.
+  int rejected_uplinks = 0;
+  /// Uplinks the accumulator dropped for carrying NaN/Inf values.
+  int nonfinite_dropped = 0;
+  /// Uplinks whose delta norm was clipped (norm_clip policy only).
+  int clipped_uplinks = 0;
+  /// Scheduled clients marked adversarial by the AdversaryModel this round
+  /// (after cohort realism; 0 with injection disabled).
+  int adversaries = 0;
 };
 
 class FederatedTrainer {
@@ -240,6 +254,12 @@ class FederatedTrainer {
     SparseUpdatePayload update;  // sparse-exchange uplink
     std::vector<std::vector<prune::ScoredIndex>> grads;
     double upload_bytes = 0.0;
+    /// Sample count the client *claims* (== client_size except for
+    /// free-riders, who inflate it); the FedAvg weight numerator.
+    int64_t claimed_samples = 0;
+    /// Wire failed decode/reconstruct server-side: drop this uplink and
+    /// renormalize over survivors — never fold, never crash.
+    bool rejected = false;
   };
 
   void run_round(int round);
@@ -256,10 +276,20 @@ class FederatedTrainer {
   [[nodiscard]] codec::SupportValues round_reference(
       const std::vector<Tensor>& round_start) const;
   /// Fill and push this round's RoundStats (clock must already be advanced
-  /// past the round) and run the scheduled evaluation.
+  /// past the round) and run the scheduled evaluation. The accumulator's
+  /// per-round drop/clip counters are read here, so call before the next
+  /// begin_round().
   void record_round(int round, const RoundPlan& plan, int aggregated, double mean_staleness,
                     double dispatch_s, double measured_down, double measured_up,
-                    double wall_train_s, double wall_agg_s);
+                    double wall_train_s, double wall_agg_s, int rejected, int adversaries);
+  /// Construct the AdversaryModel from config and, for kLabelFlip, wrap the
+  /// client source in the poisoning adapter (called by both ctors).
+  void install_adversary();
+  /// Configure the accumulator for this round: policy, plus the norm-clip
+  /// reference (the round broadcast) when that policy is active.
+  void arm_aggregator(const std::vector<Tensor>& round_start, bool sparse);
+  /// Adversaries among this round's active cohort (stats only).
+  [[nodiscard]] int count_adversaries(const std::vector<int>& clients) const;
   /// Download -> local SGD -> (optional) top-K grad probe -> uplink build
   /// for one client. keep_dense_state forces result.state even in
   /// sparse-exchange mode (the async aggregator folds dense states so mask
@@ -294,6 +324,8 @@ class FederatedTrainer {
 
   CommModel comm_;
   SimClock clock_;
+  /// Deterministic Byzantine fault injection (no-op when disabled).
+  AdversaryModel adv_;
   /// Streaming per-round aggregation state, reused across rounds.
   ShardedAccumulator agg_;
   /// Per-client top-k error-feedback residuals (codec == kTopK only):

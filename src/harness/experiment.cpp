@@ -12,6 +12,8 @@
 #include "core/pretrain.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fl/adversary.h"
+#include "fl/aggregation.h"
 #include "fl/codec.h"
 #include "metrics/memory.h"
 #include "nn/models.h"
@@ -138,6 +140,29 @@ RunResult Experiment::run(const RunSpec& spec) const {
       fl_config.codec.topk_frac = spec.topk_frac;
     }
     if (!spec.sparse_exchange) fl_config.codec = fl::CodecConfig{};
+  }
+  // Robust aggregation policy + adversary model: both parsed strictly (a
+  // typo must not silently run the unprotected mean, or a clean fleet).
+  if (!spec.aggregation.empty()) {
+    fl_config.aggregation = fl::aggregation_config_from_name(spec.aggregation);
+    if (spec.trim_frac != 0.0) {
+      if (spec.trim_frac <= 0.0 || spec.trim_frac >= 0.5) {
+        throw std::invalid_argument("trim_frac must be in (0, 0.5)");
+      }
+      fl_config.aggregation.trim_frac = spec.trim_frac;
+    }
+    if (spec.clip_tau != 0.0) {
+      if (spec.clip_tau < 0.0) throw std::invalid_argument("clip_tau must be >= 0");
+      fl_config.aggregation.clip_tau = spec.clip_tau;
+    }
+  }
+  if (spec.adversary_frac != 0.0 || !spec.adversary_mode.empty()) {
+    if (spec.adversary_frac < 0.0 || spec.adversary_frac > 1.0) {
+      throw std::invalid_argument("adversary_frac must be in [0, 1]");
+    }
+    fl_config.adversary.fraction = spec.adversary_frac;
+    fl_config.adversary.mode = fl::adversary_mode_from_name(spec.adversary_mode);
+    if (spec.adversary_scale != 0.0) fl_config.adversary.scale = spec.adversary_scale;
   }
 
   // Plain-trainer construction, honoring the out-of-core fleet when set.

@@ -72,6 +72,22 @@ struct RunSpec {
   /// other value throws). The mode is process-wide, so run_all rejects
   /// batches whose specs pin conflicting modes.
   std::string kernels;
+  // ---- Robust aggregation & adversaries (see fl/aggregation.h, fl/adversary.h). ----
+  /// Server aggregation policy: "" or "fedavg" keeps the historical
+  /// weighted-mean fold (bitwise-identical); "norm_clip" | "trimmed_mean" |
+  /// "coord_median" activate the robust policies. Any other value throws.
+  std::string aggregation;
+  /// Per-coordinate trim fraction for trimmed_mean (0 = keep default 0.3).
+  double trim_frac = 0.0;
+  /// Fixed norm_clip threshold (0 = adaptive: previous round's median norm).
+  double clip_tau = 0.0;
+  /// Fraction of clients marked adversarial (0 = clean fleet).
+  double adversary_frac = 0.0;
+  /// Adversary behavior: "" or "none" | "label_flip" | "scale" |
+  /// "sign_flip" | "free_ride" | "corrupt". Any other value throws.
+  std::string adversary_mode;
+  /// Update scaling factor for adversary_mode=scale (0 = keep default -10).
+  double adversary_scale = 0.0;
   // ---- Round scheduler (see fl/config.h). ----
   /// Federation size K (clients the data is partitioned over).
   int num_clients = 10;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "fl/adversary.h"
+#include "fl/aggregation.h"
 #include "tensor/kernels.h"
 #include "tensor/parallel.h"
 
@@ -67,6 +69,55 @@ RunSpec with_env_knobs(RunSpec spec) {
     } else {
       std::fprintf(stderr, "FEDTINY_TOPK_FRAC=%s out of (0, 1]; ignoring\n", v);
     }
+  }
+  if (const char* v = std::getenv("FEDTINY_AGGREGATION");
+      v != nullptr && spec.aggregation.empty()) {
+    // Same policy as FEDTINY_KERNELS/FEDTINY_CODEC: the ambient env fills
+    // only unpinned specs, and a typo'd value warns and is ignored (the
+    // robust-aggregation CI ctest job exports this for every binary). Only
+    // explicit RunSpec/--aggregation values parse strictly.
+    if (fl::aggregation_name_valid(v)) {
+      spec.aggregation = v;
+    } else {
+      std::fprintf(stderr, "FEDTINY_AGGREGATION=%s unrecognized; ignoring\n", v);
+    }
+  }
+  if (const char* v = std::getenv("FEDTINY_TRIM_FRAC"); v != nullptr && spec.trim_frac == 0.0) {
+    const double frac = std::atof(v);
+    if (frac > 0.0 && frac < 0.5) {
+      spec.trim_frac = frac;
+    } else {
+      std::fprintf(stderr, "FEDTINY_TRIM_FRAC=%s out of (0, 0.5); ignoring\n", v);
+    }
+  }
+  if (const char* v = std::getenv("FEDTINY_CLIP_TAU"); v != nullptr && spec.clip_tau == 0.0) {
+    const double tau = std::atof(v);
+    if (tau > 0.0) {
+      spec.clip_tau = tau;
+    } else {
+      std::fprintf(stderr, "FEDTINY_CLIP_TAU=%s not positive; ignoring\n", v);
+    }
+  }
+  if (const char* v = std::getenv("FEDTINY_ADVERSARY_FRAC");
+      v != nullptr && spec.adversary_frac == 0.0) {
+    const double frac = std::atof(v);
+    if (frac >= 0.0 && frac <= 1.0) {
+      spec.adversary_frac = frac;
+    } else {
+      std::fprintf(stderr, "FEDTINY_ADVERSARY_FRAC=%s out of [0, 1]; ignoring\n", v);
+    }
+  }
+  if (const char* v = std::getenv("FEDTINY_ADVERSARY_MODE");
+      v != nullptr && spec.adversary_mode.empty()) {
+    if (fl::adversary_mode_name_valid(v)) {
+      spec.adversary_mode = v;
+    } else {
+      std::fprintf(stderr, "FEDTINY_ADVERSARY_MODE=%s unrecognized; ignoring\n", v);
+    }
+  }
+  if (const char* v = std::getenv("FEDTINY_ADVERSARY_SCALE");
+      v != nullptr && spec.adversary_scale == 0.0) {
+    spec.adversary_scale = std::atof(v);
   }
   if (const char* v = std::getenv("FEDTINY_CLIENTS_PER_ROUND")) {
     spec.clients_per_round = std::atoi(v);

@@ -3,6 +3,7 @@
 
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fl/codec.h"
 #include "fl/trainer.h"
 #include "nn/models.h"
 #include "prune/magnitude.h"
@@ -76,6 +77,59 @@ TEST(Robustness, BatchLargerThanClientData) {
   std::vector<std::vector<int64_t>> partitions = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
   FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
   EXPECT_NO_THROW(trainer.run());
+}
+
+// Every client ships a deterministically damaged v2 (int8 codec) uplink:
+// truncations and bit flips must fail decode/reconstruct server-side and be
+// dropped with a counted rejection — never crash, never silently skew. The
+// weights renormalize over the survivors exactly like a dropout, so every
+// scheduled uplink is accounted for round by round and the run completes
+// with a finite accuracy.
+TEST(Robustness, CorruptedCodecUplinksAreRejectedMidRound) {
+  Fixture f;
+  f.config.rounds = 3;
+  f.config.sparse_exchange = true;
+  f.config.codec = codec::config_from_name("int8");
+  f.config.adversary.fraction = 1.0;
+  f.config.adversary.mode = AdversaryMode::kCorrupt;
+  std::vector<std::vector<int64_t>> partitions = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}};
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  const double acc = trainer.run();
+  EXPECT_TRUE(std::isfinite(acc));
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+
+  int rejected = 0;
+  for (const auto& r : trainer.history()) {
+    // Renormalization accounting: dropped wires leave the fold like
+    // dropouts, so folded + rejected + nonfinite covers the whole cohort.
+    EXPECT_EQ(r.aggregated + r.rejected_uplinks + r.nonfinite_dropped, r.participants);
+    EXPECT_EQ(r.adversaries, r.participants);  // fraction 1.0 marks everyone
+    rejected += r.rejected_uplinks;
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+// Same attack against the v1 fp32 wire: structural damage rejects at
+// deserialize, flipped value bits that survive framing surface as NaN/Inf
+// and the accumulator's non-finite guard drops them instead.
+TEST(Robustness, CorruptedV1WireUplinksAreRejectedMidRound) {
+  Fixture f;
+  f.config.rounds = 3;
+  f.config.sparse_exchange = true;
+  f.config.adversary.fraction = 1.0;
+  f.config.adversary.mode = AdversaryMode::kCorrupt;
+  std::vector<std::vector<int64_t>> partitions = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}};
+  FederatedTrainer trainer(*f.model, f.data.train, f.data.test, partitions, f.config);
+  const double acc = trainer.run();
+  EXPECT_TRUE(std::isfinite(acc));
+
+  int dropped = 0;
+  for (const auto& r : trainer.history()) {
+    EXPECT_EQ(r.aggregated + r.rejected_uplinks + r.nonfinite_dropped, r.participants);
+    dropped += r.rejected_uplinks + r.nonfinite_dropped;
+  }
+  EXPECT_GT(dropped, 0);
 }
 
 TEST(Robustness, LossStaysFiniteUnderHighLr) {

@@ -169,7 +169,10 @@ TEST(Runner, PinnedModeAppliesToWholeBatchUpFront) {
   const auto batch = run_all(ex, specs, 2);
 
   kernels::set_mode(kernels::Mode::kReference);
-  const auto direct = ex.run(specs[0]);
+  // run_all applies the env knobs to every spec; mirror that for the serial
+  // reference so the comparison holds under ambient knob jobs too (the CI
+  // matrix exports FEDTINY_CODEC / FEDTINY_AGGREGATION for whole ctest runs).
+  const auto direct = ex.run(with_env_knobs(specs[0]));
   EXPECT_EQ(batch[0].accuracy, direct.accuracy);
   EXPECT_EQ(batch[1].accuracy, direct.accuracy);
 }
@@ -186,7 +189,8 @@ TEST(Runner, PreservesOrderAndMatchesSerial) {
   auto parallel = run_all(ex, specs, 3);
   ASSERT_EQ(parallel.size(), 3u);
   for (size_t i = 0; i < specs.size(); ++i) {
-    auto serial = ex.run(specs[i]);
+    // Same env-knob treatment run_all gives its specs (see above).
+    auto serial = ex.run(with_env_knobs(specs[i]));
     EXPECT_DOUBLE_EQ(parallel[i].accuracy, serial.accuracy) << specs[i].method;
   }
 }
