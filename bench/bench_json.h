@@ -9,6 +9,7 @@
 //    "mode": "reference" | "fast", "threads": 1, "ns_op": 12345.6,
 //    "gflops": 1.234, "max_rss_mb": 123.4, "acc_bytes": 0,
 //    "enc_bytes": 0, "dec_gbps": 0.000, "accuracy": 0.0,
+//    "qps": 0.0, "p50_ms": 0.0, "p99_ms": 0.0,
 //    "git_sha": "abc1234", "host": "runner-01"}
 // threads is the kernel lane count the record was measured at (1 + the
 // Executor thread budget unless the bench overrides it); together with
@@ -24,7 +25,12 @@
 // bench_fig5 codec rows): encoded payload size, decode throughput in GB/s,
 // and end-to-end model accuracy for sweeps that train (0 when the record
 // does not measure them). compare_bench_json.py warns when enc_bytes grows
-// or dec_gbps drops beyond the threshold factor. git_sha/host are provenance stamps: compare_bench_json.py warns
+// or dec_gbps drops beyond the threshold factor.
+// qps / p50_ms / p99_ms are the serving triple (bench_serving): sustained
+// requests per second and end-to-end request latency percentiles (0 when
+// the record does not measure them). compare_bench_json.py warns when qps
+// drops or a latency percentile grows — warn-only, never a gate, since
+// absolute latency is host-bound. git_sha/host are provenance stamps: compare_bench_json.py warns
 // when two files come from different hosts (absolute-time comparisons
 // across hardware are advisory, never a gate). The SHA is baked at
 // configure time (FEDTINY_GIT_SHA_DEFAULT); the FEDTINY_GIT_SHA env
@@ -81,10 +87,12 @@ class Writer {
   /// stamps the process-wide count (1 caller lane + the Executor budget) —
   /// pass it explicitly when the bench sweeps lane counts itself.
   /// enc_bytes/dec_gbps/accuracy are the codec triple (0 = not measured).
+  /// qps/p50_ms/p99_ms are the serving triple (0 = not measured).
   void record(const std::string& kernel, const std::string& shape, double density,
               const std::string& mode, double ms_op, double flops, size_t acc_bytes = 0,
               int threads = -1, size_t enc_bytes = 0, double dec_gbps = 0.0,
-              double accuracy = 0.0) {
+              double accuracy = 0.0, double qps = 0.0, double p50_ms = 0.0,
+              double p99_ms = 0.0) {
     if (file_ == nullptr) return;
     const double ns_op = ms_op * 1e6;
     const double gflops = ms_op > 0.0 ? flops / (ms_op * 1e-3) / 1e9 : 0.0;
@@ -96,10 +104,11 @@ class Writer {
                  "\"mode\":\"%s\",\"threads\":%d,\"ns_op\":%.1f,\"gflops\":%.3f,"
                  "\"max_rss_mb\":%.2f,\"acc_bytes\":%zu,"
                  "\"enc_bytes\":%zu,\"dec_gbps\":%.3f,\"accuracy\":%.4f,"
+                 "\"qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
                  "\"git_sha\":\"%s\",\"host\":\"%s\"}\n",
                  bench_.c_str(), kernel.c_str(), shape.c_str(), density, mode.c_str(), threads,
-                 ns_op, gflops, max_rss_mb, acc_bytes, enc_bytes, dec_gbps, accuracy,
-                 sha_.c_str(), host_.c_str());
+                 ns_op, gflops, max_rss_mb, acc_bytes, enc_bytes, dec_gbps, accuracy, qps,
+                 p50_ms, p99_ms, sha_.c_str(), host_.c_str());
     std::fflush(file_);
   }
 

@@ -30,6 +30,13 @@ the memory stamps — growth warns) and "dec_gbps" (decode throughput; a drop
 beyond the threshold factor warns, direction inverted because higher is
 better). Both warn-only: bench_codec carries its own hard same-host gate.
 
+Serving fields (bench_json.h): "qps" (sustained requests/s — higher is
+better, drops warn) and "p50_ms"/"p99_ms" (end-to-end request latency —
+lower is better, growth warns). Always warn-only and never counted by
+--fail-threshold: absolute serving latency is host- and core-count-bound,
+and the hard serving gate (micro-batched QPS >= 2x sequential batch-1)
+lives in bench_serving's own exit code.
+
 Records carry provenance stamps ("host", "git_sha" — see bench_json.h);
 when both files name a host and they differ, the script prints a prominent
 cross-host warning: absolute-time comparisons across hardware are advisory,
@@ -146,6 +153,27 @@ def main():
             if dratio > args.threshold:
                 print(f"WARN throughput {dratio:5.2f}x slower  {label}  "
                       f"dec_gbps {ov:.2f} -> {nv:.2f} GB/s")
+                mem_regressions += 1
+        # Serving triple (bench_json.h): qps is higher-better (invert like
+        # dec_gbps); p50/p99 latency are lower-better (diff like ns_op).
+        # Warn-only by design — bench_serving gates itself on the batched
+        # speedup ratio, which is host-independent; absolute qps/latency
+        # here is not.
+        ov, nv = old.get("qps"), rec.get("qps")
+        if ov is not None and nv is not None and ov > 0 and nv > 0:
+            qratio = ov / nv
+            if qratio > args.threshold:
+                print(f"WARN throughput {qratio:5.2f}x slower  {label}  "
+                      f"qps {ov:.1f} -> {nv:.1f} req/s")
+                mem_regressions += 1
+        for field in ("p50_ms", "p99_ms"):
+            ov, nv = old.get(field), rec.get(field)
+            if ov is None or nv is None or ov <= 0 or nv <= 0:
+                continue
+            lratio = nv / ov
+            if lratio > args.threshold:
+                print(f"WARN latency {lratio:5.2f}x  {label}  {field} "
+                      f"{ov:.3f} -> {nv:.3f} ms")
                 mem_regressions += 1
     missing = len(base.keys() - new.keys())
     print(f"compared {len(new)} records: {failures} failure(s), "

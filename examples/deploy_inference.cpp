@@ -1,10 +1,21 @@
 // Deployment hand-off: the "server" trains over the sparse exchange path
 // and checkpoints a specialized sparse model as one payload file; the
 // "device" process loads the checkpoint with no knowledge of the training
-// pipeline, installs the CSR sparse forwards, and serves predictions.
+// pipeline and serves predictions through the embeddable serving core
+// (hot-swap snapshot registry + micro-batcher, src/serve/).
 //
-//   ./build/deploy_inference
+//   ./build/deploy_inference [--checkpoint PATH]
+//
+// Without --checkpoint the example writes to a fresh mkstemp() file and
+// unlinks it on exit, so concurrent runs never race on a shared /tmp name.
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
 
 #include "core/fedtiny.h"
 #include "core/pretrain.h"
@@ -13,12 +24,11 @@
 #include "fl/payload.h"
 #include "nn/loss.h"
 #include "nn/models.h"
-#include "prune/sparse_exec.h"
+#include "serve/server.h"
 
 using namespace fedtiny;
 
 namespace {
-constexpr const char* kCheckpointPath = "/tmp/fedtiny_deploy.sparse.bin";
 
 nn::ModelConfig model_config() {
   nn::ModelConfig c;
@@ -27,10 +37,11 @@ nn::ModelConfig model_config() {
   c.width_mult = 0.125f;
   return c;
 }
+
 }  // namespace
 
 // Server role: federated training over real sparse payloads + checkpoint.
-void server_role(const data::TrainTest& data) {
+void server_role(const data::TrainTest& data, const std::string& checkpoint_path) {
   Rng rng(1);
   auto partitions = data::dirichlet_partition(data.train.labels, 10, 0.5, rng);
   auto model = nn::make_resnet18(model_config());
@@ -63,47 +74,78 @@ void server_role(const data::TrainTest& data) {
       fl::build_sparse_state(trainer.global_state(), trainer.mask(),
                              trainer.model().prunable_indices());
   const auto wire = fl::serialize(payload);
-  fl::save_sparse_checkpoint(kCheckpointPath, wire);
-  std::printf("[server] sparse checkpoint written (%zu bytes on the wire)\n", wire.size());
+  fl::save_sparse_checkpoint(checkpoint_path, wire);
+  std::printf("[server] sparse checkpoint written to %s (%zu bytes on the wire)\n",
+              checkpoint_path.c_str(), wire.size());
 }
 
-// Device role: load the sparse checkpoint, install CSR forwards, serve.
-// Knows only the model architecture and the checkpoint path.
-void device_role(const data::Dataset& test) {
-  auto model = nn::make_resnet18(model_config());
-  fl::SparseStatePayload payload;
-  if (!fl::load_sparse_checkpoint(kCheckpointPath, payload)) {
-    std::printf("[device] checkpoint missing\n");
+// Device role: publish the checkpoint into an InferenceServer and serve
+// predictions through the batched request path. Knows only the model
+// architecture and the checkpoint path.
+void device_role(const data::Dataset& test, const std::string& checkpoint_path) {
+  serve::ServerConfig sc;
+  sc.factory = [] { return nn::make_resnet18(model_config()); };
+  sc.tiers = {"deployed"};
+  sc.warm_batch = 8;
+  serve::InferenceServer server(std::move(sc));
+
+  const uint64_t version = server.publish_checkpoint("deployed", checkpoint_path);
+  if (version == 0) {
+    std::printf("[device] checkpoint missing, corrupt, or wrong architecture\n");
     return;
   }
-  const auto mask = fl::payload_mask(payload);
-  std::vector<Tensor> state;
-  if (!fl::reconstruct_state(payload, model->prunable_indices(), state) ||
-      !model->try_set_state(state)) {
-    std::printf("[device] checkpoint does not match this architecture\n");
-    return;
-  }
-  const auto report = prune::install_sparse_execution(*model, mask, /*max_density=*/0.5f);
 
   std::vector<int64_t> first = {0, 1, 2, 3, 4, 5, 6, 7};
   auto batch = data::gather_batch(test, first);
-  Tensor logits = model->forward(batch.x, nn::Mode::kEval);
-  std::printf("[device] loaded sparse model (density %.4f, %d CSR layers); predictions:\n",
-              mask.density(), report.sparse_layers);
+  std::vector<std::future<serve::InferResult>> pending;
   for (int64_t i = 0; i < batch.size(); ++i) {
-    int64_t best = 0;
-    for (int64_t j = 1; j < logits.dim(1); ++j) {
-      if (logits.at2(i, j) > logits.at2(i, best)) best = j;
+    Tensor x({1, batch.x.dim(1), batch.x.dim(2), batch.x.dim(3)});
+    std::memcpy(x.data(), batch.x.data() + i * x.numel(),
+                static_cast<size_t>(x.numel()) * sizeof(float));
+    pending.push_back(server.submit(std::move(x)));
+  }
+
+  std::printf("[device] serving snapshot v%llu (density %.4f); predictions:\n",
+              static_cast<unsigned long long>(version),
+              server.tier_density(server.tier_index("deployed")));
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const auto r = pending[i].get();
+    if (!r.ok) {
+      std::printf("  sample %zu: request failed\n", i);
+      continue;
     }
-    std::printf("  sample %lld: predicted class %lld (label %d)\n",
-                static_cast<long long>(i), static_cast<long long>(best),
-                batch.y[static_cast<size_t>(i)]);
+    std::printf("  sample %zu: predicted class %d (label %d, batch of %lld, %.3f ms)\n",
+                i, r.predicted, batch.y[i], static_cast<long long>(r.batch_size),
+                r.total_ms);
   }
 }
 
-int main() {
+int main(int argc, char** argv) {
+  std::string checkpoint_path;
+  bool temp_checkpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--checkpoint PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (checkpoint_path.empty()) {
+    char tmpl[] = "/tmp/fedtiny_deploy.XXXXXX";
+    const int fd = mkstemp(tmpl);
+    if (fd < 0) {
+      std::fprintf(stderr, "mkstemp failed; pass --checkpoint PATH\n");
+      return 1;
+    }
+    close(fd);
+    checkpoint_path = tmpl;
+    temp_checkpoint = true;
+  }
+
   auto data = data::make_synthetic(data::cifar10s_spec(8, 600, 100), 42);
-  server_role(data);
-  device_role(data.test);
+  server_role(data, checkpoint_path);
+  device_role(data.test, checkpoint_path);
+  if (temp_checkpoint) unlink(checkpoint_path.c_str());
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+
+#include "io/serialize.h"
 
 namespace fedtiny::io {
 
@@ -9,16 +12,36 @@ namespace {
 
 constexpr char kStateMagic[8] = {'F', 'T', 'C', 'K', 'P', 'T', '0', '1'};
 constexpr char kMaskMagic[8] = {'F', 'T', 'M', 'A', 'S', 'K', '0', '1'};
+constexpr uint64_t kMaxTensors = 1u << 20;
+constexpr uint32_t kMaxRank = 8;
+// Largest tensor a checkpoint may describe (mirrors fl/payload.cpp's bound);
+// also guards the numel product against int64 overflow.
+constexpr int64_t kMaxTensorNumel = int64_t{1} << 33;
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-bool read_pod(std::ifstream& in, T& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+/// Whole file into memory; empty + false on I/O failure. Loading through a
+/// ByteReader over the bytes (instead of streaming ifstream reads) gives
+/// every length field a bounds check against the real file size before any
+/// allocation — a bit-flipped count can no longer demand gigabytes.
+bool read_file(const std::string& path, std::vector<uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamsize size = in.tellg();
+  if (size < 0) return false;
+  out.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0) in.read(reinterpret_cast<char*>(out.data()), size);
   return static_cast<bool>(in);
+}
+
+bool check_magic(ByteReader& r, const char (&magic)[8]) {
+  char got[8];
+  return r.read_array(std::span<char>(got, sizeof(got))) &&
+         std::memcmp(got, magic, sizeof(got)) == 0;
 }
 
 }  // namespace
@@ -38,26 +61,28 @@ bool save_state(const std::string& path, const std::vector<Tensor>& state) {
 }
 
 std::vector<Tensor> load_state(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return {};
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kStateMagic, sizeof(magic)) != 0) return {};
+  std::vector<uint8_t> bytes;
+  if (!read_file(path, bytes)) return {};
+  ByteReader r(bytes);
+  if (!check_magic(r, kStateMagic)) return {};
   uint64_t count = 0;
-  if (!read_pod(in, count) || count > (1u << 20)) return {};
+  if (!r.read_pod(count) || count > kMaxTensors) return {};
   std::vector<Tensor> state;
   state.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t rank = 0;
-    if (!read_pod(in, rank) || rank > 8) return {};
+    if (!r.read_pod(rank) || rank > kMaxRank) return {};
     std::vector<int64_t> shape(rank);
+    int64_t numel = 1;
     for (auto& d : shape) {
-      if (!read_pod(in, d) || d < 0) return {};
+      if (!r.read_pod(d) || d < 0 || d > kMaxTensorNumel) return {};
+      if (d > 1 && numel > kMaxTensorNumel / d) return {};  // pre-multiply: no overflow
+      numel *= std::max<int64_t>(d, 1);
     }
+    // The body must actually be in the file before the tensor is allocated.
+    if (static_cast<uint64_t>(numel) * sizeof(float) > r.remaining()) return {};
     Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!in) return {};
+    if (!r.read_array(std::span<float>(t.data(), static_cast<size_t>(t.numel())))) return {};
     state.push_back(std::move(t));
   }
   return state;
@@ -79,19 +104,19 @@ bool save_mask(const std::string& path, const prune::MaskSet& mask) {
 
 prune::MaskSet load_mask(const std::string& path) {
   prune::MaskSet mask;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return mask;
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMaskMagic, sizeof(magic)) != 0) return mask;
+  std::vector<uint8_t> bytes;
+  if (!read_file(path, bytes)) return mask;
+  ByteReader r(bytes);
+  if (!check_magic(r, kMaskMagic)) return mask;
   uint64_t layers = 0;
-  if (!read_pod(in, layers) || layers > (1u << 20)) return mask;
+  if (!r.read_pod(layers) || layers > kMaxTensors) return mask;
   for (uint64_t l = 0; l < layers; ++l) {
     uint64_t size = 0;
-    if (!read_pod(in, size) || size > (1ull << 33)) return prune::MaskSet();
+    // Bound by the bytes actually present, not a fixed ceiling: a corrupted
+    // length field must fail before the allocation, not after.
+    if (!r.read_pod(size) || size > r.remaining()) return prune::MaskSet();
     std::vector<uint8_t> layer(size);
-    in.read(reinterpret_cast<char*>(layer.data()), static_cast<std::streamsize>(size));
-    if (!in) return prune::MaskSet();
+    if (!r.read_array(std::span<uint8_t>(layer))) return prune::MaskSet();
     mask.append_layer(std::move(layer));
   }
   return mask;

@@ -150,9 +150,13 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   }
   if (mode != Mode::kTrain) {
     // No backward coming; free the per-step workspaces (masks included).
-    cols_ = Tensor();
+    // Serving replicas opt out: retaining cols_/ybuf_ keeps a steady eval
+    // stream at a stable batch shape zero-alloc.
+    if (!retain_eval_workspace_) {
+      cols_ = Tensor();
+      ybuf_ = Tensor();
+    }
     dcols_ = Tensor();
-    ybuf_ = Tensor();
     dybuf_ = Tensor();
     // Not `= {}`: the initializer_list overload keeps the allocation.
     relu_mask_ = std::vector<uint8_t>();

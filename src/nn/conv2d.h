@@ -70,10 +70,19 @@ class Conv2d final : public Layer {
   void set_fused_relu(bool on) { fused_relu_ = on; }
   [[nodiscard]] bool fused_relu() const { return fused_relu_; }
 
+  /// Keep the forward workspaces (cols_/ybuf_) allocated across eval-mode
+  /// forwards instead of freeing them after each call. Serving replicas turn
+  /// this on: a steady request stream at a stable batch shape then runs
+  /// zero-alloc, and workspace_bytes() bounds the per-replica footprint
+  /// (no-growth tested). Off by default — one-shot eval paths (accuracy
+  /// sweeps over a big test set) should not pin workspace memory.
+  void set_retain_eval_workspace(bool on) { retain_eval_workspace_ = on; }
+  [[nodiscard]] bool retain_eval_workspace() const { return retain_eval_workspace_; }
+
   /// Bytes currently held by the per-step workspaces (cols_/dcols_/ybuf_/
-  /// dybuf_ plus the fused-ReLU masks). 0 after an eval-mode forward; stable
-  /// across repeated train-step cycles at a fixed batch shape
-  /// (regression-tested).
+  /// dybuf_ plus the fused-ReLU masks). 0 after an eval-mode forward (unless
+  /// retain_eval_workspace is set); stable across repeated train-step cycles
+  /// at a fixed batch shape (regression-tested).
   [[nodiscard]] int64_t workspace_bytes() const {
     return static_cast<int64_t>(cols_.numel() + dcols_.numel() + ybuf_.numel() + dybuf_.numel()) *
                static_cast<int64_t>(sizeof(float)) +
@@ -99,6 +108,7 @@ class Conv2d final : public Layer {
   Tensor ybuf_;
   Tensor dybuf_;
   bool batched_ = false;  // pipeline used by the most recent kTrain forward
+  bool retain_eval_workspace_ = false;  // serving replicas: keep cols_/ybuf_ sized
   int64_t last_n_ = 0, last_in_h_ = 0, last_in_w_ = 0, last_out_h_ = 0, last_out_w_ = 0;
   sparse::CsrMatrix sparse_weight_;  // mask-compacted weight (sparse dispatch)
   bool sparse_train_ = false;        // masked sparse training-mode dispatch

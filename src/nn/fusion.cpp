@@ -29,4 +29,12 @@ int fuse_conv_relu(Sequential& model) {
   return fused;
 }
 
+int fuse_conv_relu(Model& model) {
+  auto* seq = dynamic_cast<Sequential*>(model.root());
+  if (seq == nullptr) return 0;
+  const int fused = fuse_conv_relu(*seq);
+  if (fused > 0) model.refresh_leaves();
+  return fused;
+}
+
 }  // namespace fedtiny::nn

@@ -1,6 +1,7 @@
 // Graph-level operator fusion over built models.
 #pragma once
 
+#include "nn/model.h"
 #include "nn/sequential.h"
 
 namespace fedtiny::nn {
@@ -18,5 +19,12 @@ namespace fedtiny::nn {
 /// output). Fused forward/backward are bitwise-identical to the unfused
 /// graph in both kernel modes, so fusing is always safe where it applies.
 int fuse_conv_relu(Sequential& model);
+
+/// Model-level fusion: rewrites the model's root Sequential and refreshes
+/// the Model's cached leaf views (erasing a ReLU would otherwise dangle
+/// leaves()). ReLU carries no parameters, so params()/prunable_indices()
+/// are untouched — sparse installs and state exchange keep working on the
+/// fused model. No-op (returns 0) when the root is not a Sequential.
+int fuse_conv_relu(Model& model);
 
 }  // namespace fedtiny::nn

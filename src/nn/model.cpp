@@ -28,6 +28,24 @@ Model::Model(std::string name, LayerPtr root, int num_classes, std::vector<int64
   }
 }
 
+void Model::refresh_leaves() {
+  // Re-collect the topological views only. The prunable-candidate pass from
+  // the constructor must NOT re-run: it mutates Param::prunable flags, and
+  // rewrites that only erase parameter-free layers leave params_ (and thus
+  // prunable_indices_) valid as-is.
+  leaves_.clear();
+  bn_layers_.clear();
+  root_->collect_leaves(leaves_);
+  for (auto* layer : leaves_) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(layer)) bn_layers_.push_back(bn);
+  }
+#ifndef NDEBUG
+  std::vector<Param*> params;
+  root_->collect_params(params);
+  assert(params == params_ && "refresh_leaves requires parameter layers untouched");
+#endif
+}
+
 int64_t Model::num_params() const {
   int64_t total = 0;
   for (const auto* p : params_) total += p->value.numel();

@@ -38,6 +38,14 @@ class Model {
   [[nodiscard]] const std::vector<Layer*>& leaves() const { return leaves_; }
   [[nodiscard]] const std::vector<BatchNorm2d*>& bn_layers() const { return bn_layers_; }
 
+  /// The layer graph root (for graph rewrites such as nn::fuse_conv_relu).
+  [[nodiscard]] Layer* root() { return root_.get(); }
+  /// Rebuild the cached leaf/BN views after a graph rewrite removed layers.
+  /// Parameter-bearing layers must be untouched: params() pointers and
+  /// prunable_indices() stay valid by contract (rewrites that erase only
+  /// parameter-free layers, e.g. ReLU, satisfy this).
+  void refresh_leaves();
+
   /// Total number of scalar parameters.
   [[nodiscard]] int64_t num_params() const;
   /// Number of scalars in prunable weights.

@@ -1,0 +1,95 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace fedtiny::serve {
+
+bool MicroBatcher::enqueue(InferRequest&& req) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return false;
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<InferRequest> MicroBatcher::take_batch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // closed and drained
+
+    // 1. Aged-out head (or shutdown drain): its tier goes now, whatever the
+    //    fill level — the starvation guard.
+    const int head_tier = queue_.front().tier;
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(config_.max_delay_us);
+    if (closed_ || ServeClock::now() >= deadline) {
+      return extract_tier(head_tier);
+    }
+
+    // 2. Head's tier at min_fill (default 1: greedy — the caller is an idle
+    //    worker, and holding queued work back only adds latency).
+    const int64_t min_fill =
+        std::max<int64_t>(1, std::min<int64_t>(config_.min_fill, config_.max_batch));
+    int64_t head_count = 0;
+    for (const auto& req : queue_) {
+      if (req.tier == head_tier && ++head_count >= min_fill) break;
+    }
+    if (head_count >= min_fill) return extract_tier(head_tier);
+
+    // 3. Any other tier at max_batch dispatches full immediately.
+    std::map<int, int64_t> per_tier;
+    int full_tier = -1;
+    for (const auto& req : queue_) {
+      if (++per_tier[req.tier] >= config_.max_batch) {
+        full_tier = req.tier;
+        break;
+      }
+    }
+    if (full_tier >= 0) return extract_tier(full_tier);
+
+    // 4. Wait out the head's delay budget; arrivals re-run the checks.
+    cv_.wait_until(lk, deadline);
+  }
+}
+
+std::vector<InferRequest> MicroBatcher::extract_tier(int tier) {
+  std::vector<InferRequest> batch;
+  for (auto it = queue_.begin();
+       it != queue_.end() && static_cast<int64_t>(batch.size()) < config_.max_batch;) {
+    if (it->tier == tier) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Leftover work (another tier, or overflow beyond max_batch): hand it to
+  // another worker rather than waiting for the next enqueue's notify.
+  if (!queue_.empty()) cv_.notify_one();
+  return batch;
+}
+
+void MicroBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MicroBatcher::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+size_t MicroBatcher::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace fedtiny::serve

@@ -1,0 +1,102 @@
+// Dynamic micro-batch assembler: the bridge between per-request producers
+// and the batched im2col+GEMM pipeline. Requests from any number of client
+// threads land in one queue; worker threads call take_batch(), which hands
+// back a tier-homogeneous batch assembled under three knobs:
+//
+//   max_batch     — never more requests than one forward should carry;
+//   min_fill      — how many co-tier requests the head's tier should gather
+//                   before an idle worker takes it (default 1 = greedy);
+//   max_delay_us  — how long the oldest queued request may wait for
+//                   min_fill company before it dispatches undersized.
+//
+// Dispatch policy (checked in this order, under the queue mutex):
+//   1. The head-of-queue request's delay budget is spent (or the batcher is
+//      closed) -> dispatch the head's tier now. Heads age out first, so a
+//      full-batch stream on one tier can never starve another tier.
+//   2. The head's tier has min_fill requests queued -> dispatch it (up to
+//      max_batch). A take_batch() caller is by definition an idle worker,
+//      so with the default min_fill of 1 queued work is never held back:
+//      batches grow through the convoy effect instead (requests that arrive
+//      while every worker is busy pile up for the next take). min_fill > 1
+//      trades head latency (bounded by max_delay_us) for fuller batches —
+//      only worth it when per-forward fixed costs dominate.
+//   3. Some other tier has max_batch requests queued -> dispatch it full.
+//   4. Otherwise sleep until the head's deadline (new arrivals re-check).
+//
+// close() wakes everyone; take_batch() then drains the queue to empty —
+// queued requests are always served, never dropped — and returns an empty
+// batch only when closed and drained (the worker-exit signal). enqueue()
+// after close() is refused so the caller can fail the request explicitly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include <condition_variable>
+
+#include "tensor/tensor.h"
+
+namespace fedtiny::serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+/// One served inference outcome, delivered through the request's future.
+struct InferResult {
+  Tensor logits;           // [num_classes] row for this request
+  int predicted = -1;      // argmax over logits (tie -> lowest class)
+  uint64_t version = 0;    // snapshot version that served it
+  int tier = -1;           // tier index that served it
+  int64_t batch_size = 0;  // size of the micro-batch it rode in
+  double queue_ms = 0.0;   // enqueue -> batch dispatch
+  double total_ms = 0.0;   // enqueue -> response ready
+  bool ok = false;         // false: rejected (bad shape, no snapshot, shutdown)
+};
+
+struct InferRequest {
+  Tensor input;  // [C, H, W] or [1, C, H, W]
+  int tier = 0;  // routing decision, made before enqueue
+  std::promise<InferResult> done;
+  ServeClock::time_point enqueued{};
+};
+
+struct BatcherConfig {
+  int64_t max_batch = 32;
+  int64_t min_fill = 1;  // clamped to [1, max_batch]
+  int64_t max_delay_us = 200;
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherConfig config) : config_(config) {}
+
+  /// False after close(): the request was NOT consumed and the caller still
+  /// owns the promise (fail it explicitly). True: the batcher moved it out
+  /// and owns it until dispatch.
+  bool enqueue(InferRequest&& req);
+
+  /// Block for the next tier-homogeneous batch (policy above). Empty vector
+  /// = closed and fully drained; the calling worker should exit.
+  std::vector<InferRequest> take_batch();
+
+  void close();
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] size_t pending() const;
+  [[nodiscard]] const BatcherConfig& config() const { return config_; }
+
+ private:
+  /// Remove up to max_batch requests of `tier` from the queue, preserving
+  /// arrival order. Caller holds mu_.
+  std::vector<InferRequest> extract_tier(int tier);
+
+  BatcherConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<InferRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace fedtiny::serve

@@ -1,0 +1,45 @@
+// Hot-swap snapshot slot, RCU style over std::atomic<std::shared_ptr>.
+//
+// Readers call current() on every request: an atomic acquire load of the
+// shared pointer — no reader-side mutex, no blocking on the publisher, and
+// the returned reference keeps the snapshot alive for exactly the duration
+// of the request. publish() is a pointer store: the expensive snapshot build
+// happens before, outside any shared state. The retired snapshot's grace
+// period is the shared_ptr refcount itself — it is destroyed (replicas, CSR
+// state, workspaces) precisely when the last in-flight request that loaded
+// it drops its reference, never under a reader's feet and never leaked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "serve/servable.h"
+
+namespace fedtiny::serve {
+
+class SnapshotRegistry {
+ public:
+  /// The snapshot to serve this request from; nullptr before first publish.
+  [[nodiscard]] std::shared_ptr<const ServableModel> current() const {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+  /// Install `next` (may be nullptr to take the tier out of service). The
+  /// previous snapshot drains naturally via refcount.
+  void publish(std::shared_ptr<const ServableModel> next) {
+    slot_.store(std::move(next), std::memory_order_release);
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ServableModel>> slot_;
+  std::atomic<uint64_t> publishes_{0};
+};
+
+}  // namespace fedtiny::serve

@@ -1,0 +1,135 @@
+#include "serve/servable.h"
+
+#include <utility>
+
+#include "nn/conv2d.h"
+#include "nn/fusion.h"
+#include "prune/sparse_exec.h"
+
+namespace fedtiny::serve {
+
+namespace {
+
+/// RAII replica borrow: pops an index off the freelist, pushes it back (and
+/// wakes one waiter) on scope exit — exception-safe, so a throwing forward
+/// never leaks a replica.
+class Borrow {
+ public:
+  Borrow(std::mutex& mu, std::condition_variable& cv, std::vector<int>& free)
+      : mu_(mu), cv_(cv), free_(free) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !free_.empty(); });
+    index_ = free_.back();
+    free_.pop_back();
+  }
+  ~Borrow() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      free_.push_back(index_);
+    }
+    // notify_all, not notify_one: workspace_bytes() waits on the same
+    // condition variable with a different predicate (full freelist); a
+    // single wake could land on the wrong waiter and be lost.
+    cv_.notify_all();
+  }
+  Borrow(const Borrow&) = delete;
+  Borrow& operator=(const Borrow&) = delete;
+
+  [[nodiscard]] int index() const { return index_; }
+
+ private:
+  std::mutex& mu_;
+  std::condition_variable& cv_;
+  std::vector<int>& free_;
+  int index_ = -1;
+};
+
+/// One replica by the deterministic recipe: factory -> state install ->
+/// conv+ReLU fusion -> CSR install -> workspace policy -> warm-up. Every
+/// step is a pure function of (payload, config), so all replicas — and any
+/// later rebuild from the same checkpoint — produce bitwise-equal forwards.
+std::unique_ptr<nn::Model> build_replica(const fl::SparseStatePayload& payload,
+                                         const prune::MaskSet& mask,
+                                         const ServableConfig& config, int* sparse_layers,
+                                         int* fused_pairs) {
+  auto model = config.factory();
+  if (model == nullptr) return nullptr;
+  std::vector<Tensor> state;
+  if (!fl::reconstruct_state(payload, model->prunable_indices(), state) ||
+      !model->try_set_state(state)) {
+    return nullptr;
+  }
+  int fused = 0;
+  if (config.fuse_conv_relu) fused = nn::fuse_conv_relu(*model);
+  const auto report =
+      prune::install_sparse_execution(*model, mask, config.sparse_max_density, /*train=*/false);
+  for (auto* layer : model->leaves()) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(layer)) {
+      conv->set_retain_eval_workspace(config.retain_workspaces);
+    }
+  }
+  if (config.warm_batch > 0) {
+    const auto& in = model->input_shape();
+    Tensor x({config.warm_batch, in[0], in[1], in[2]});
+    (void)model->forward(x, nn::Mode::kEval);
+  }
+  if (sparse_layers != nullptr) *sparse_layers = report.sparse_layers;
+  if (fused_pairs != nullptr) *fused_pairs = fused;
+  return model;
+}
+
+}  // namespace
+
+std::shared_ptr<const ServableModel> ServableModel::load(const std::string& path,
+                                                         const ServableConfig& config,
+                                                         uint64_t version) {
+  fl::SparseStatePayload payload;
+  if (!fl::load_sparse_checkpoint(path, payload)) return nullptr;
+  return from_payload(payload, config, version);
+}
+
+std::shared_ptr<const ServableModel> ServableModel::from_payload(
+    const fl::SparseStatePayload& payload, const ServableConfig& config, uint64_t version) {
+  if (!config.factory) return nullptr;
+  const auto mask = fl::payload_mask(payload);
+  auto servable = std::shared_ptr<ServableModel>(new ServableModel());
+  const int replicas = config.replicas > 0 ? config.replicas : 1;
+  servable->pool_.reserve(static_cast<size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    auto replica = build_replica(payload, mask, config, &servable->sparse_layers_,
+                                 &servable->fused_pairs_);
+    if (replica == nullptr) return nullptr;
+    servable->pool_.push_back(std::move(replica));
+  }
+  servable->free_.resize(servable->pool_.size());
+  for (size_t i = 0; i < servable->free_.size(); ++i) servable->free_[i] = static_cast<int>(i);
+  servable->version_ = version;
+  servable->density_ = mask.num_layers() > 0 ? mask.density() : 1.0;
+  servable->num_classes_ = servable->pool_.front()->num_classes();
+  servable->input_shape_ = servable->pool_.front()->input_shape();
+  return servable;
+}
+
+Tensor ServableModel::forward(const Tensor& x) const {
+  Borrow borrow(mu_, cv_, free_);
+  nn::Model& model = *pool_[static_cast<size_t>(borrow.index())];
+  return model.forward(x, nn::Mode::kEval);
+}
+
+int64_t ServableModel::workspace_bytes() const {
+  // Quiesce first: waiting for a full freelist (while holding the mutex, so
+  // no new borrow can start) guarantees no forward is mutating a workspace
+  // while we read the sizes — a data-race-free diagnostic, at the price of
+  // briefly stalling the request path.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return free_.size() == pool_.size(); });
+  int64_t total = 0;
+  for (const auto& model : pool_) {
+    for (auto* layer : model->leaves()) {
+      if (auto* conv = dynamic_cast<nn::Conv2d*>(layer)) total += conv->workspace_bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace fedtiny::serve

@@ -1,0 +1,92 @@
+// ServableModel: an immutable, concurrency-ready snapshot of one sparse
+// checkpoint, the unit the hot-swap registry publishes.
+//
+// Construction does all the expensive work once, off the request path:
+// reconstruct the dense state from the FTSPRS01/v2 payload, fuse direct
+// Conv2d->ReLU pairs into the GEMM epilogue, install CSR sparse forwards at
+// the payload's mask, pre-size the conv workspaces with a warm-up forward.
+//
+// Concurrency model: eval forwards mutate per-layer workspaces, so one model
+// object cannot run two forwards at once. A ServableModel therefore owns a
+// pool of `replicas` identically-built models behind a freelist; forward()
+// borrows one for the duration of the call (blocking when all are busy) and
+// returns it. Every replica is built by the same deterministic recipe from
+// the same payload, so which replica serves a request never changes the
+// result: forward() output is bitwise-identical to a fresh single-threaded
+// load of the same checkpoint, at any thread count (tested).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fl/payload.h"
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace fedtiny::serve {
+
+struct ServableConfig {
+  nn::ModelFactory factory;       // architecture the checkpoint must fit
+  int replicas = 1;               // concurrent forwards supported
+  float sparse_max_density = 0.5f;  // CSR install threshold (dense above)
+  bool fuse_conv_relu = true;     // fold direct conv->ReLU pairs
+  bool retain_workspaces = true;  // keep conv workspaces sized between calls
+  int64_t warm_batch = 0;         // pre-size workspaces for this batch (0 = skip)
+};
+
+/// Immutable once built; all mutable state is per-replica and guarded by the
+/// freelist. Publish/retire via shared_ptr (see SnapshotRegistry).
+class ServableModel {
+ public:
+  /// Build from a FTSPRS01 checkpoint file. Returns nullptr when the file is
+  /// missing/corrupt or does not fit the factory's architecture.
+  static std::shared_ptr<const ServableModel> load(const std::string& path,
+                                                   const ServableConfig& config,
+                                                   uint64_t version);
+  /// Build from an in-memory payload (training loop handing off a round).
+  static std::shared_ptr<const ServableModel> from_payload(const fl::SparseStatePayload& payload,
+                                                           const ServableConfig& config,
+                                                           uint64_t version);
+
+  /// Run one eval forward on a borrowed replica. x is [N, C, H, W]; returns
+  /// [N, num_classes] logits. Blocks while all replicas are busy. const:
+  /// callers share the snapshot through shared_ptr<const ServableModel>.
+  Tensor forward(const Tensor& x) const;
+
+  [[nodiscard]] uint64_t version() const { return version_; }
+  /// Kept fraction of prunable weights encoded in the checkpoint mask.
+  [[nodiscard]] double density() const { return density_; }
+  [[nodiscard]] int sparse_layers() const { return sparse_layers_; }
+  [[nodiscard]] int fused_pairs() const { return fused_pairs_; }
+  [[nodiscard]] int replicas() const { return static_cast<int>(pool_.size()); }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  /// Expected input shape as {C, H, W}.
+  [[nodiscard]] const std::vector<int64_t>& input_shape() const { return input_shape_; }
+  /// Conv workspace bytes currently held across all replicas (bounded by the
+  /// largest batch each replica has seen; no-growth tested).
+  [[nodiscard]] int64_t workspace_bytes() const;
+
+  ServableModel(const ServableModel&) = delete;
+  ServableModel& operator=(const ServableModel&) = delete;
+
+ private:
+  ServableModel() = default;
+
+  std::vector<std::unique_ptr<nn::Model>> pool_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::vector<int> free_;  // indices into pool_, LIFO
+
+  uint64_t version_ = 0;
+  double density_ = 1.0;
+  int sparse_layers_ = 0;
+  int fused_pairs_ = 0;
+  int num_classes_ = 0;
+  std::vector<int64_t> input_shape_;
+};
+
+}  // namespace fedtiny::serve

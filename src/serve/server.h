@@ -1,0 +1,118 @@
+// InferenceServer: the embeddable serving core. Ties together the hot-swap
+// registries (one per density tier), the micro-batcher, and a small worker
+// pool that runs batched forwards on ServableModel snapshots.
+//
+// Thread accounting: the server's compute threads come out of the same
+// process-wide Executor budget the kernel lanes draw from. The first worker
+// stands in for the submitting threads' lane (submitters block on futures
+// while their requests execute, so they contribute no concurrent compute);
+// every additional worker is acquire()d from the budget and released on
+// shutdown. A kernel call issued from a worker asks the Executor for lanes
+// and simply runs inline when the workers have consumed the budget — total
+// live compute threads never exceed 1 + FEDTINY_THREAD_BUDGET (tested).
+//
+// Publishing: publish() builds the ServableModel outside every lock (the
+// expensive part), then installs it with one atomic store. Requests in
+// flight on the previous snapshot finish on it; the old snapshot is
+// destroyed when they drain (shared_ptr refcount, see registry.h).
+//
+// Routing: tiers are registered in quality order (densest first). submit()
+// with a latency budget picks the highest-quality tier whose served-latency
+// EWMA fits the budget; budget <= 0 means "best quality". Tiers without a
+// published snapshot are skipped; if nothing fits, the cheapest estimate
+// wins (serve *something* within reach rather than refuse).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fl/payload.h"
+#include "nn/model.h"
+#include "serve/batcher.h"
+#include "serve/registry.h"
+#include "serve/servable.h"
+#include "serve/stats.h"
+
+namespace fedtiny::serve {
+
+struct ServerConfig {
+  nn::ModelFactory factory;        // architecture every tier checkpoint must fit
+  std::vector<std::string> tiers;  // quality order, densest first; >= 1 entry
+  int workers = 1;                 // requested batch workers (1 + budget grant cap)
+  BatcherConfig batcher;
+  float sparse_max_density = 0.5f;
+  bool fuse_conv_relu = true;
+  int64_t warm_batch = 0;  // pre-size replica workspaces at publish time
+};
+
+/// Pure routing rule, unit-testable without a server: `est_ms` are per-tier
+/// latency estimates in quality order; <= 0 entries mean "no estimate yet"
+/// (optimistically assumed to fit). Returns the first (highest-quality) tier
+/// whose estimate fits `budget_ms`, the cheapest-estimate tier when none
+/// fits, 0 when budget_ms <= 0 (no constraint -> best quality), -1 on empty.
+int route_by_budget(std::span<const double> est_ms, double budget_ms);
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerConfig config);
+  ~InferenceServer();  // shutdown(): drains the queue — never drops requests
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Install a checkpoint on a tier. Returns the snapshot version (> 0) on
+  /// success, 0 when the tier is unknown or the payload/file is rejected.
+  uint64_t publish(const std::string& tier, const fl::SparseStatePayload& payload);
+  uint64_t publish_checkpoint(const std::string& tier, const std::string& path);
+
+  /// Route by latency budget (ms); budget <= 0 = best quality.
+  std::future<InferResult> submit(Tensor input, double budget_ms = 0.0);
+  /// Pin the tier explicitly (unknown tier -> immediate failed result).
+  std::future<InferResult> submit_to(const std::string& tier, Tensor input);
+
+  [[nodiscard]] int tier_index(const std::string& name) const;
+  [[nodiscard]] int num_tiers() const { return static_cast<int>(tiers_.size()); }
+  /// Live batch workers (1 + what the Executor budget granted).
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+  [[nodiscard]] uint64_t published() const { return next_version_.load(); }
+  /// Served-latency EWMA for a tier; 0 until the tier has served.
+  [[nodiscard]] double tier_latency_estimate_ms(int tier) const;
+  /// Density of the tier's current snapshot; < 0 when nothing is published.
+  [[nodiscard]] double tier_density(int tier) const;
+  [[nodiscard]] uint64_t tier_served(int tier) const;
+  [[nodiscard]] const ServingStats& stats() const { return stats_; }
+
+  /// Idempotent: close the queue, drain it, join workers, return the
+  /// borrowed Executor lanes. Called by the destructor.
+  void shutdown();
+
+ private:
+  struct Tier {
+    std::string name;
+    SnapshotRegistry registry;
+    std::atomic<double> ewma_ms{0.0};
+    std::atomic<double> density{-1.0};
+    std::atomic<uint64_t> served{0};
+  };
+
+  std::future<InferResult> submit_tier(int tier, Tensor input);
+  static std::future<InferResult> failed_future();
+  void worker_main();
+  void serve_batch(std::vector<InferRequest> batch);
+
+  ServerConfig config_;
+  std::vector<std::unique_ptr<Tier>> tiers_;
+  MicroBatcher batcher_;
+  ServingStats stats_;
+  std::atomic<uint64_t> next_version_{0};
+  int granted_ = 0;  // extra Executor lanes held while running
+  std::vector<std::thread> threads_;
+  bool down_ = false;  // set by shutdown(); guards double-join
+};
+
+}  // namespace fedtiny::serve

@@ -184,29 +184,6 @@ inline void store_row_epi(float* crow, const float* acc, int64_t nr, float alpha
   }
 }
 
-/// Ordered in-place epilogue over one C row (the band fallback paths
-/// accumulate into C directly instead of staging a register tile).
-inline void apply_epi_row(float* crow, int64_t n, bool has_rbias, float rbias,
-                          const float* cbias, bool relu, uint8_t* mrow) {
-  if (has_rbias) {
-    for (int64_t j = 0; j < n; ++j) crow[j] += rbias;
-  }
-  if (cbias != nullptr) {
-    for (int64_t j = 0; j < n; ++j) crow[j] += cbias[j];
-  }
-  if (relu) {
-    if (mrow != nullptr) {
-      for (int64_t j = 0; j < n; ++j) {
-        const bool pos = crow[j] > 0.0f;
-        mrow[j] = pos ? 1 : 0;
-        if (!pos) crow[j] = 0.0f;
-      }
-    } else {
-      for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
-    }
-  }
-}
-
 // ---- GEMM bands over a packed B panel --------------------------------------
 // Large B operands are repacked one cache panel at a time into strip-major
 // layout: strip s holds columns [s*kNr, (s+1)*kNr) of the panel as a
@@ -249,94 +226,56 @@ void gemm_pack_nt_strip(const float* b, int64_t k, int64_t j0, int64_t w, float*
   }
 }
 
-// Flat packed-band helpers: the tile loops live in their own small
-// functions (not inside the big band dispatcher) so the vectorizer reliably
-// keeps the accumulators in SIMD registers; A addressing is hoisted to a
-// base-pointer + stride pair instead of a per-iteration trans_a ternary.
+// Flat strip helpers: the tile loops live in their own small functions (not
+// inside the big band dispatcher) so the vectorizer reliably keeps the
+// accumulators in SIMD registers; A addressing is hoisted to a base-pointer
+// + stride pair instead of a per-iteration trans_a ternary.
+//
+// Width invariance: every accumulation loop below runs at the constant kNr
+// width — panel-edge tails are staged through a zero-padded strip first
+// (tail_arena) instead of shortening the loop. A runtime-width accumulation
+// loop is compiled into several vector/scalar variants whose FMA contraction
+// can differ, so the same C column could get different bits depending on
+// where the operand's edge fell — i.e. on the total column count n. With the
+// constant-width body (and strip boundaries on absolute kNr multiples), a
+// C column's bits depend only on its A row and B column, never on n. The
+// serving micro-batcher leans on exactly this: rows of a batched forward
+// memcmp-equal the same requests served at batch 1.
 
-/// Zero-skip accumulation for one C row of a zero-heavy band (flat helper
-/// for the same codegen reason as the packed-band helpers: inside the big
-/// band dispatcher the vectorizer degrades this loop to scalar code).
+/// Thread-local zero-padded stage for one panel-edge tail strip ([k, kNr]
+/// block, same layout as the packed panels). Deliberately separate from
+/// pack_arena: bands run on the calling lane too, and a band staging its
+/// tail must not clobber the packed panel that lane's caller still owns.
+inline float* tail_arena(int64_t k) {
+  thread_local std::vector<float> buf;
+  if (static_cast<int64_t>(buf.size()) < k * kNr) buf.resize(static_cast<size_t>(k) * kNr);
+  return buf.data();
+}
+
+/// Zero-skip accumulation for one C row of a zero-heavy band. Strip-major
+/// with the same constant-width body and store as the dense tile: skipped
+/// terms contribute exactly +0 (accumulators start at +0 and can never
+/// reach -0, so x + (+/-0) == x bitwise), and eligibility depends only on
+/// A's zeros and k, so neither the skip nor its bits can vary with n.
 FEDTINY_KERNEL_CLONES
 void skip_band_row(const float* a0, int64_t astride, int64_t k, const float* b, int64_t n,
-                   float alpha, float beta, float* crow, int64_t jb, int64_t je) {
-  if (beta == 0.0f) {
-    std::memset(crow + jb, 0, static_cast<size_t>(je - jb) * sizeof(float));
-  } else if (beta != 1.0f) {
-    for (int64_t j = jb; j < je; ++j) crow[j] *= beta;
-  }
-  for (int64_t p = 0; p < k; ++p) {
-    const float av = a0[p * astride];
-    if (av == 0.0f) continue;
-    const float s = alpha * av;
-    const float* brow = b + p * n;
-    for (int64_t j = jb; j < je; ++j) crow[j] += s * brow[j];
-  }
-}
-
-FEDTINY_KERNEL_CLONES
-void packed_band_rows4(const float* a0, const float* a1, const float* a2, const float* a3,
-                       int64_t astride, int64_t k, const float* pack, int64_t jb, int64_t je,
-                       int64_t n, int64_t i0, float alpha, float beta, float* c,
-                       const GemmEpilogue& epi) {
-  const int64_t strips = (je - jb + kNr - 1) / kNr;
-  for (int64_t s = 0; s < strips; ++s) {
-    const float* bp = pack + s * k * kNr;
-    const int64_t j0 = jb + s * kNr;
+                   int64_t i, float alpha, float beta, float* c, const GemmEpilogue& epi,
+                   int64_t jb, int64_t je) {
+  for (int64_t j0 = jb; j0 < je; j0 += kNr) {
     const int64_t nr = std::min<int64_t>(kNr, je - j0);
-    float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = bp + p * kNr;
-      const float v0 = a0[p * astride];
-      const float v1 = a1[p * astride];
-      const float v2 = a2[p * astride];
-      const float v3 = a3[p * astride];
-      for (int64_t jj = 0; jj < kNr; ++jj) {
-        const float bv = brow[jj];
-        acc0[jj] += v0 * bv;
-        acc1[jj] += v1 * bv;
-        acc2[jj] += v2 * bv;
-        acc3[jj] += v3 * bv;
-      }
+    const float* bs = b + j0;
+    int64_t bstride = n;
+    if (nr < kNr) {
+      float* stage = tail_arena(k);
+      gemm_pack_bn_strip(b, n, k, j0, nr, stage);
+      bs = stage;
+      bstride = kNr;
     }
-    if (!epi.active()) {
-      store_row(c + (i0 + 0) * n + j0, acc0, nr, alpha, beta);
-      store_row(c + (i0 + 1) * n + j0, acc1, nr, alpha, beta);
-      store_row(c + (i0 + 2) * n + j0, acc2, nr, alpha, beta);
-      store_row(c + (i0 + 3) * n + j0, acc3, nr, alpha, beta);
-    } else {
-      const float* cb = epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr;
-      const bool rb = epi.row_bias != nullptr;
-      uint8_t* mk = epi.relu_mask;
-      store_row_epi(c + (i0 + 0) * n + j0, acc0, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu,
-                    mk != nullptr ? mk + (i0 + 0) * n + j0 : nullptr);
-      store_row_epi(c + (i0 + 1) * n + j0, acc1, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu,
-                    mk != nullptr ? mk + (i0 + 1) * n + j0 : nullptr);
-      store_row_epi(c + (i0 + 2) * n + j0, acc2, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu,
-                    mk != nullptr ? mk + (i0 + 2) * n + j0 : nullptr);
-      store_row_epi(c + (i0 + 3) * n + j0, acc3, nr, alpha, beta, rb,
-                    rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu,
-                    mk != nullptr ? mk + (i0 + 3) * n + j0 : nullptr);
-    }
-  }
-}
-
-FEDTINY_KERNEL_CLONES
-void packed_band_row1(const float* a0, int64_t astride, int64_t k, const float* pack, int64_t jb,
-                      int64_t je, int64_t n, int64_t i, float alpha, float beta, float* c,
-                      const GemmEpilogue& epi) {
-  const int64_t strips = (je - jb + kNr - 1) / kNr;
-  for (int64_t s = 0; s < strips; ++s) {
-    const float* bp = pack + s * k * kNr;
-    const int64_t j0 = jb + s * kNr;
-    const int64_t nr = std::min<int64_t>(kNr, je - j0);
     float acc[kNr] = {};
     for (int64_t p = 0; p < k; ++p) {
       const float av = a0[p * astride];
-      const float* brow = bp + p * kNr;
+      if (av == 0.0f) continue;
+      const float* brow = bs + p * bstride;
       for (int64_t jj = 0; jj < kNr; ++jj) acc[jj] += av * brow[jj];
     }
     if (!epi.active()) {
@@ -347,6 +286,78 @@ void packed_band_row1(const float* a0, int64_t astride, int64_t k, const float* 
                     epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu,
                     epi.relu_mask != nullptr ? epi.relu_mask + i * n + j0 : nullptr);
     }
+  }
+}
+
+/// One kMr-row register tile over a single B strip. bs/bstride point at the
+/// strip's columns wherever they live — packed panel (stride kNr), unpacked
+/// operand (stride n), or zero-padded tail stage (stride kNr) — so packed
+/// and unpacked GEMMs share one compiled accumulation body and stay
+/// bitwise-equal by construction, not by codegen luck.
+FEDTINY_KERNEL_CLONES
+void tile_strip_rows4(const float* a0, const float* a1, const float* a2, const float* a3,
+                      int64_t astride, int64_t k, const float* bs, int64_t bstride, int64_t j0,
+                      int64_t nr, int64_t n, int64_t i0, float alpha, float beta, float* c,
+                      const GemmEpilogue& epi) {
+  float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* brow = bs + p * bstride;
+    const float v0 = a0[p * astride];
+    const float v1 = a1[p * astride];
+    const float v2 = a2[p * astride];
+    const float v3 = a3[p * astride];
+    for (int64_t jj = 0; jj < kNr; ++jj) {
+      const float bv = brow[jj];
+      acc0[jj] += v0 * bv;
+      acc1[jj] += v1 * bv;
+      acc2[jj] += v2 * bv;
+      acc3[jj] += v3 * bv;
+    }
+  }
+  if (!epi.active()) {
+    store_row(c + (i0 + 0) * n + j0, acc0, nr, alpha, beta);
+    store_row(c + (i0 + 1) * n + j0, acc1, nr, alpha, beta);
+    store_row(c + (i0 + 2) * n + j0, acc2, nr, alpha, beta);
+    store_row(c + (i0 + 3) * n + j0, acc3, nr, alpha, beta);
+  } else {
+    // Four explicit calls: an acc pointer array here would take the
+    // accumulators' addresses and spill them out of SIMD registers.
+    const float* cb = epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr;
+    const bool rb = epi.row_bias != nullptr;
+    uint8_t* mk = epi.relu_mask;
+    store_row_epi(c + (i0 + 0) * n + j0, acc0, nr, alpha, beta, rb,
+                  rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu,
+                  mk != nullptr ? mk + (i0 + 0) * n + j0 : nullptr);
+    store_row_epi(c + (i0 + 1) * n + j0, acc1, nr, alpha, beta, rb,
+                  rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu,
+                  mk != nullptr ? mk + (i0 + 1) * n + j0 : nullptr);
+    store_row_epi(c + (i0 + 2) * n + j0, acc2, nr, alpha, beta, rb,
+                  rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu,
+                  mk != nullptr ? mk + (i0 + 2) * n + j0 : nullptr);
+    store_row_epi(c + (i0 + 3) * n + j0, acc3, nr, alpha, beta, rb,
+                  rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu,
+                  mk != nullptr ? mk + (i0 + 3) * n + j0 : nullptr);
+  }
+}
+
+/// Single-row variant of tile_strip_rows4 for the band's row remainder.
+FEDTINY_KERNEL_CLONES
+void tile_strip_row1(const float* a0, int64_t astride, int64_t k, const float* bs,
+                     int64_t bstride, int64_t j0, int64_t nr, int64_t n, int64_t i, float alpha,
+                     float beta, float* c, const GemmEpilogue& epi) {
+  float acc[kNr] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float av = a0[p * astride];
+    const float* brow = bs + p * bstride;
+    for (int64_t jj = 0; jj < kNr; ++jj) acc[jj] += av * brow[jj];
+  }
+  if (!epi.active()) {
+    store_row(c + i * n + j0, acc, nr, alpha, beta);
+  } else {
+    store_row_epi(c + i * n + j0, acc, nr, alpha, beta, epi.row_bias != nullptr,
+                  epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
+                  epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu,
+                  epi.relu_mask != nullptr ? epi.relu_mask + i * n + j0 : nullptr);
   }
 }
 
@@ -363,15 +374,16 @@ void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, flo
                   const float* a, const float* b, const float* pack, float beta, float* c,
                   const GemmEpilogue& epi, int64_t jb, int64_t je) {
   const int64_t mr = std::min<int64_t>(kMr, m - i0);
+  const int64_t astride = trans_a ? m : 1;
   // Zero-heavy bands (masked dense weights with no CSR installed) take the
   // reference-style skip loop instead of the full-work tile: the tile is
   // ~4x faster on dense data, so the crossover sits around 25% density.
   // The O(mr*k) scan is 1/n of the band's work, and the choice depends only
-  // on the data, so results stay deterministic across runs and threads. The
-  // skip loop walks unpacked B rows, so it needs b != nullptr (the NT form
-  // has no row layout to walk — same as the pre-pack NT path, which never
-  // had a skip).
-  if (b != nullptr && je - jb >= kNr && k >= 8) {
+  // on A's data and k — never on the panel width — so results stay
+  // deterministic across runs, threads, and batch sizes. The skip loop
+  // walks unpacked B rows, so it needs b != nullptr (the NT form has no row
+  // layout to walk — same as the pre-pack NT path, which never had a skip).
+  if (b != nullptr && k >= 8) {
     int64_t zeros = 0;
     for (int64_t r = 0; r < mr; ++r) {
       for (int64_t p = 0; p < k; ++p) {
@@ -381,102 +393,45 @@ void gemm_bn_band(bool trans_a, int64_t i0, int64_t m, int64_t n, int64_t k, flo
     if (zeros * 4 > mr * k * 3) {  // > 75% zeros
       for (int64_t r = 0; r < mr; ++r) {
         const int64_t i = i0 + r;
-        float* crow = c + i * n;
-        skip_band_row(trans_a ? a + i : a + i * k, trans_a ? m : 1, k, b, n, alpha, beta, crow,
-                      jb, je);
-        if (epi.active()) {
-          apply_epi_row(crow + jb, je - jb, epi.row_bias != nullptr,
-                        epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
-                        epi.col_bias != nullptr ? epi.col_bias + jb : nullptr, epi.relu,
-                        epi.relu_mask != nullptr ? epi.relu_mask + i * n + jb : nullptr);
-        }
+        skip_band_row(trans_a ? a + i : a + i * k, astride, k, b, n, i, alpha, beta, c, epi, jb,
+                      je);
       }
       return;
     }
   }
-  if (pack != nullptr) {
-    // Packed tile loop: every strip is kNr wide (zero-padded), so there is
-    // no column tail; stores clip to the real panel edge.
-    const int64_t astride = trans_a ? m : 1;
+  // Tile loop: every strip — packed panel strip, full-width unpacked strip,
+  // or zero-padded staged tail — runs the same constant-width tile kernel
+  // (see the width-invariance note above the strip helpers). Strip
+  // boundaries sit on absolute kNr multiples (panel widths are kNr
+  // multiples), so the strip grid over C's columns is the same no matter
+  // how wide the operand is or how it was packed.
+  for (int64_t s = 0, j0 = jb; j0 < je; ++s, j0 += kNr) {
+    const int64_t nr = std::min<int64_t>(kNr, je - j0);
+    const float* bs;
+    int64_t bstride;
+    if (pack != nullptr) {
+      bs = pack + s * k * kNr;
+      bstride = kNr;
+    } else if (nr == kNr) {
+      bs = b + j0;
+      bstride = n;
+    } else {
+      float* stage = tail_arena(k);
+      gemm_pack_bn_strip(b, n, k, j0, nr, stage);
+      bs = stage;
+      bstride = kNr;
+    }
     if (mr == kMr) {
-      const float* a0 = trans_a ? a + (i0 + 0) : a + (i0 + 0) * k;
-      const float* a1 = trans_a ? a + (i0 + 1) : a + (i0 + 1) * k;
-      const float* a2 = trans_a ? a + (i0 + 2) : a + (i0 + 2) * k;
-      const float* a3 = trans_a ? a + (i0 + 3) : a + (i0 + 3) * k;
-      packed_band_rows4(a0, a1, a2, a3, astride, k, pack, jb, je, n, i0, alpha, beta, c, epi);
-      return;
-    }
-    for (int64_t r = 0; r < mr; ++r) {
-      const int64_t i = i0 + r;
-      packed_band_row1(trans_a ? a + i : a + i * k, astride, k, pack, jb, je, n, i, alpha, beta,
-                       c, epi);
-    }
-    return;
-  }
-  int64_t j0 = jb;
-  if (mr == kMr) {
-    for (; j0 + kNr <= je; j0 += kNr) {
-      float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
-      for (int64_t p = 0; p < k; ++p) {
-        const float* brow = b + p * n + j0;
-        const float a0 = trans_a ? a[p * m + i0 + 0] : a[(i0 + 0) * k + p];
-        const float a1 = trans_a ? a[p * m + i0 + 1] : a[(i0 + 1) * k + p];
-        const float a2 = trans_a ? a[p * m + i0 + 2] : a[(i0 + 2) * k + p];
-        const float a3 = trans_a ? a[p * m + i0 + 3] : a[(i0 + 3) * k + p];
-        for (int64_t jj = 0; jj < kNr; ++jj) {
-          const float bv = brow[jj];
-          acc0[jj] += a0 * bv;
-          acc1[jj] += a1 * bv;
-          acc2[jj] += a2 * bv;
-          acc3[jj] += a3 * bv;
-        }
-      }
-      if (!epi.active()) {
-        store_row(c + (i0 + 0) * n + j0, acc0, kNr, alpha, beta);
-        store_row(c + (i0 + 1) * n + j0, acc1, kNr, alpha, beta);
-        store_row(c + (i0 + 2) * n + j0, acc2, kNr, alpha, beta);
-        store_row(c + (i0 + 3) * n + j0, acc3, kNr, alpha, beta);
-      } else {
-        // Four explicit calls: an acc pointer array here would take the
-        // accumulators' addresses and spill them out of SIMD registers.
-        const float* cb = epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr;
-        const bool rb = epi.row_bias != nullptr;
-        uint8_t* mk = epi.relu_mask;
-        store_row_epi(c + (i0 + 0) * n + j0, acc0, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 0] : 0.0f, cb, epi.relu,
-                      mk != nullptr ? mk + (i0 + 0) * n + j0 : nullptr);
-        store_row_epi(c + (i0 + 1) * n + j0, acc1, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 1] : 0.0f, cb, epi.relu,
-                      mk != nullptr ? mk + (i0 + 1) * n + j0 : nullptr);
-        store_row_epi(c + (i0 + 2) * n + j0, acc2, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 2] : 0.0f, cb, epi.relu,
-                      mk != nullptr ? mk + (i0 + 2) * n + j0 : nullptr);
-        store_row_epi(c + (i0 + 3) * n + j0, acc3, kNr, alpha, beta, rb,
-                      rb ? epi.row_bias[i0 + 3] : 0.0f, cb, epi.relu,
-                      mk != nullptr ? mk + (i0 + 3) * n + j0 : nullptr);
-      }
-    }
-  }
-  // Row remainder (mr < kMr) and column tail of the panel: one row at a
-  // time, same accumulation order with runtime bounds.
-  const int64_t j_tail = j0;
-  for (int64_t r = 0; r < mr; ++r) {
-    const int64_t i = i0 + r;
-    for (j0 = (mr == kMr) ? j_tail : jb; j0 < je; j0 += kNr) {
-      const int64_t nr = std::min<int64_t>(kNr, je - j0);
-      float acc[kNr] = {};
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = trans_a ? a[p * m + i] : a[i * k + p];
-        const float* brow = b + p * n + j0;
-        for (int64_t jj = 0; jj < nr; ++jj) acc[jj] += av * brow[jj];
-      }
-      if (!epi.active()) {
-        store_row(c + i * n + j0, acc, nr, alpha, beta);
-      } else {
-        store_row_epi(c + i * n + j0, acc, nr, alpha, beta, epi.row_bias != nullptr,
-                      epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f,
-                      epi.col_bias != nullptr ? epi.col_bias + j0 : nullptr, epi.relu,
-                      epi.relu_mask != nullptr ? epi.relu_mask + i * n + j0 : nullptr);
+      tile_strip_rows4(trans_a ? a + (i0 + 0) : a + (i0 + 0) * k,
+                       trans_a ? a + (i0 + 1) : a + (i0 + 1) * k,
+                       trans_a ? a + (i0 + 2) : a + (i0 + 2) * k,
+                       trans_a ? a + (i0 + 3) : a + (i0 + 3) * k, astride, k, bs, bstride, j0, nr,
+                       n, i0, alpha, beta, c, epi);
+    } else {
+      for (int64_t r = 0; r < mr; ++r) {
+        const int64_t i = i0 + r;
+        tile_strip_row1(trans_a ? a + i : a + i * k, astride, k, bs, bstride, j0, nr, n, i, alpha,
+                        beta, c, epi);
       }
     }
   }
@@ -558,30 +513,51 @@ void gemm_nt_row(int64_t i, int64_t n, int64_t k, float alpha, const float* a, c
 
 FEDTINY_KERNEL_CLONES
 void spmm_row(const int64_t* row_ptr, const int32_t* col_idx, const float* values, const float* b,
-              int64_t n, float* crow, int64_t i, bool accumulate) {
-  // Four CSR entries per pass: one read-modify-write of the C row amortizes
-  // over four B rows instead of one. Raw-pointer structure so spmm_tn_fast
-  // can run the same kernel over a matrix's cached transpose.
-  if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+              int64_t n, const float* btail, float* crow, int64_t i, bool accumulate) {
+  // Strip-major with constant-width accumulation (see the width-invariance
+  // note above the GEMM strip helpers): full kNr column blocks read B rows
+  // directly; the operand's tail columns read the caller's zero-padded
+  // stage (btail, [k, kNr] strip layout), so the inner loops never shorten
+  // and a C column's bits cannot depend on the total column count n — the
+  // CSR layers' share of the serving micro-batcher's row invariant. Four
+  // CSR entries per pass amortize the structure walk over four B rows; raw
+  // pointers so spmm_tn_fast can run the same kernel over a cached
+  // transpose.
+  const int64_t begin = row_ptr[static_cast<size_t>(i)];
   const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
-  int64_t p = row_ptr[static_cast<size_t>(i)];
-  for (; p + 4 <= end; p += 4) {
-    const float v0 = values[static_cast<size_t>(p)];
-    const float v1 = values[static_cast<size_t>(p) + 1];
-    const float v2 = values[static_cast<size_t>(p) + 2];
-    const float v3 = values[static_cast<size_t>(p) + 3];
-    const float* b0 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p)]) * n;
-    const float* b1 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 1]) * n;
-    const float* b2 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 2]) * n;
-    const float* b3 = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 3]) * n;
-    for (int64_t j = 0; j < n; ++j) {
-      crow[j] += (v0 * b0[j] + v1 * b1[j]) + (v2 * b2[j] + v3 * b3[j]);
+  for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+    const int64_t nr = std::min<int64_t>(kNr, n - j0);
+    const float* bs = b + j0;
+    int64_t bstride = n;
+    if (nr < kNr) {
+      bs = btail;
+      bstride = kNr;
     }
-  }
-  for (; p < end; ++p) {
-    const float v = values[static_cast<size_t>(p)];
-    const float* brow = b + static_cast<int64_t>(col_idx[static_cast<size_t>(p)]) * n;
-    for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    float acc[kNr] = {};
+    int64_t p = begin;
+    for (; p + 4 <= end; p += 4) {
+      const float v0 = values[static_cast<size_t>(p)];
+      const float v1 = values[static_cast<size_t>(p) + 1];
+      const float v2 = values[static_cast<size_t>(p) + 2];
+      const float v3 = values[static_cast<size_t>(p) + 3];
+      const float* b0 = bs + static_cast<int64_t>(col_idx[static_cast<size_t>(p)]) * bstride;
+      const float* b1 = bs + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 1]) * bstride;
+      const float* b2 = bs + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 2]) * bstride;
+      const float* b3 = bs + static_cast<int64_t>(col_idx[static_cast<size_t>(p) + 3]) * bstride;
+      for (int64_t jj = 0; jj < kNr; ++jj) {
+        acc[jj] += (v0 * b0[jj] + v1 * b1[jj]) + (v2 * b2[jj] + v3 * b3[jj]);
+      }
+    }
+    for (; p < end; ++p) {
+      const float v = values[static_cast<size_t>(p)];
+      const float* brow = bs + static_cast<int64_t>(col_idx[static_cast<size_t>(p)]) * bstride;
+      for (int64_t jj = 0; jj < kNr; ++jj) acc[jj] += v * brow[jj];
+    }
+    if (accumulate) {
+      for (int64_t jj = 0; jj < nr; ++jj) crow[j0 + jj] += acc[jj];
+    } else {
+      for (int64_t jj = 0; jj < nr; ++jj) crow[j0 + jj] = acc[jj];
+    }
   }
 }
 
@@ -1262,12 +1238,30 @@ void permute_to_staging(const float* samples, int64_t rows, int64_t batch, int64
   });
 }
 
+namespace {
+
+/// Stage the operand's tail columns ([n/kNr*kNr, n)) of B[k, n] as one
+/// zero-padded [k, kNr] strip in the calling thread's arena; nullptr when n
+/// is a kNr multiple. Lanes only read the stage, so one caller-side copy
+/// serves the whole parallel row walk.
+const float* spmm_tail_stage(const float* b, int64_t k, int64_t n) {
+  const int64_t j0 = n / kNr * kNr;
+  if (j0 == n) return nullptr;
+  float* stage = tail_arena(k);
+  gemm_pack_bn_strip(b, n, k, j0, n - j0, stage);
+  return stage;
+}
+
+}  // namespace
+
 void spmm_fast(const sparse::CsrMatrix& a, const float* b, int64_t n, float* c, bool accumulate) {
   // Full-width row walks: output-column paneling was tried here and measured
   // slower at the batched conv widths (the 4-entry B-row groups are already
   // streamed once per C row; panels only re-stream the structure).
+  const float* btail = spmm_tail_stage(b, a.cols, n);
   parallel_for(a.rows, [&](int64_t i) {
-    spmm_row(a.row_ptr.data(), a.col_idx.data(), a.values.data(), b, n, c + i * n, i, accumulate);
+    spmm_row(a.row_ptr.data(), a.col_idx.data(), a.values.data(), b, n, btail, c + i * n, i,
+             accumulate);
   });
 }
 
@@ -1293,18 +1287,19 @@ void spmm_tn_fast(const sparse::CsrMatrix& a, const float* b, int64_t n, float* 
   // thread counts as always). Matrices used repeatedly (Conv2d's masked
   // backward) carry a cached transpose (sparse::build_transpose, kept fresh
   // by refresh_values); otherwise build it for this call.
+  const float* btail = spmm_tail_stage(b, a.rows, n);
   if (a.has_transpose()) {
     parallel_for(a.cols, [&](int64_t j) {
-      spmm_row(a.tr_row_ptr.data(), a.tr_col_idx.data(), a.tr_values.data(), b, n, c + j * n, j,
-               /*accumulate=*/false);
+      spmm_row(a.tr_row_ptr.data(), a.tr_col_idx.data(), a.tr_values.data(), b, n, btail,
+               c + j * n, j, /*accumulate=*/false);
     });
     return;
   }
   sparse::CsrMatrix tr;
   sparse::build_transpose(a, tr);  // fills only tr's tr_* arrays, no copy of a
   parallel_for(a.cols, [&](int64_t j) {
-    spmm_row(tr.tr_row_ptr.data(), tr.tr_col_idx.data(), tr.tr_values.data(), b, n, c + j * n, j,
-             /*accumulate=*/false);
+    spmm_row(tr.tr_row_ptr.data(), tr.tr_col_idx.data(), tr.tr_values.data(), b, n, btail,
+             c + j * n, j, /*accumulate=*/false);
   });
 }
 

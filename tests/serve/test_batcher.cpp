@@ -1,0 +1,145 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace fedtiny::serve {
+namespace {
+
+InferRequest make_req(int tier) {
+  InferRequest r;
+  r.input = Tensor({1});
+  r.tier = tier;
+  r.enqueued = ServeClock::now();
+  return r;
+}
+
+double ms_since(ServeClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(ServeClock::now() - t0).count();
+}
+
+TEST(MicroBatcher, GreedyDispatchAtMinFillOne) {
+  BatcherConfig c;
+  c.max_batch = 8;
+  c.max_delay_us = 1'000'000;  // a greedy take must not wait this out
+  MicroBatcher b(c);
+  ASSERT_TRUE(b.enqueue(make_req(0)));
+  const auto t0 = ServeClock::now();
+  auto batch = b.take_batch();
+  EXPECT_LT(ms_since(t0), 100.0);  // immediate, not delay-bound
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].tier, 0);
+}
+
+TEST(MicroBatcher, MinFillHoldsLoneRequestUntilDelay) {
+  BatcherConfig c;
+  c.max_batch = 8;
+  c.min_fill = 4;
+  c.max_delay_us = 20'000;  // 20 ms
+  MicroBatcher b(c);
+  ASSERT_TRUE(b.enqueue(make_req(0)));
+  const auto t0 = ServeClock::now();
+  auto batch = b.take_batch();
+  // The lone request ages out at ~max_delay — under-filled but never starved.
+  EXPECT_GE(ms_since(t0), 15.0);
+  ASSERT_EQ(batch.size(), 1u);
+}
+
+TEST(MicroBatcher, MinFillDispatchesWhenMet) {
+  BatcherConfig c;
+  c.max_batch = 8;
+  c.min_fill = 4;
+  c.max_delay_us = 1'000'000;
+  MicroBatcher b(c);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(b.enqueue(make_req(0)));
+  const auto t0 = ServeClock::now();
+  auto batch = b.take_batch();
+  EXPECT_LT(ms_since(t0), 100.0);
+  EXPECT_EQ(batch.size(), 4u);
+}
+
+TEST(MicroBatcher, BatchesAreTierHomogeneous) {
+  BatcherConfig c;
+  c.max_batch = 8;
+  MicroBatcher b(c);
+  ASSERT_TRUE(b.enqueue(make_req(0)));
+  ASSERT_TRUE(b.enqueue(make_req(1)));
+  ASSERT_TRUE(b.enqueue(make_req(0)));
+  auto first = b.take_batch();
+  ASSERT_EQ(first.size(), 2u);  // both tier-0 requests, skipping the tier-1
+  for (const auto& r : first) EXPECT_EQ(r.tier, 0);
+  auto second = b.take_batch();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].tier, 1);
+}
+
+TEST(MicroBatcher, MaxBatchCapsExtraction) {
+  BatcherConfig c;
+  c.max_batch = 4;
+  MicroBatcher b(c);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(b.enqueue(make_req(0)));
+  EXPECT_EQ(b.take_batch().size(), 4u);
+  EXPECT_EQ(b.take_batch().size(), 2u);
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(MicroBatcher, FullOtherTierPreemptsUnderfilledHead) {
+  BatcherConfig c;
+  c.max_batch = 2;
+  c.min_fill = 2;
+  c.max_delay_us = 1'000'000;
+  MicroBatcher b(c);
+  ASSERT_TRUE(b.enqueue(make_req(0)));  // head: 1 of min_fill 2
+  ASSERT_TRUE(b.enqueue(make_req(1)));
+  ASSERT_TRUE(b.enqueue(make_req(1)));  // tier 1 reaches max_batch
+  const auto t0 = ServeClock::now();
+  auto batch = b.take_batch();
+  EXPECT_LT(ms_since(t0), 100.0);  // full tier dispatches without waiting
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& r : batch) EXPECT_EQ(r.tier, 1);
+}
+
+TEST(MicroBatcher, CloseDrainsThenSignalsExit) {
+  BatcherConfig c;
+  c.max_batch = 8;
+  c.min_fill = 8;  // would otherwise hold these back
+  c.max_delay_us = 1'000'000;
+  MicroBatcher b(c);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(b.enqueue(make_req(0)));
+  b.close();
+  EXPECT_EQ(b.take_batch().size(), 3u);  // closed -> drain regardless of fill
+  EXPECT_TRUE(b.take_batch().empty());   // drained: worker-exit signal
+  EXPECT_FALSE(b.enqueue(make_req(0)));  // refused, caller keeps the promise
+}
+
+TEST(MicroBatcher, MinFillClampedToMaxBatch) {
+  BatcherConfig c;
+  c.max_batch = 2;
+  c.min_fill = 64;  // clamped: 2 queued must dispatch, not wait for 64
+  c.max_delay_us = 1'000'000;
+  MicroBatcher b(c);
+  ASSERT_TRUE(b.enqueue(make_req(0)));
+  ASSERT_TRUE(b.enqueue(make_req(0)));
+  const auto t0 = ServeClock::now();
+  EXPECT_EQ(b.take_batch().size(), 2u);
+  EXPECT_LT(ms_since(t0), 100.0);
+}
+
+TEST(MicroBatcher, BlockedTakeWakesOnEnqueue) {
+  BatcherConfig c;
+  c.max_batch = 8;
+  MicroBatcher b(c);
+  auto fut = std::async(std::launch::async, [&] { return b.take_batch(); });
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(20)), std::future_status::timeout);
+  ASSERT_TRUE(b.enqueue(make_req(3)));
+  auto batch = fut.get();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].tier, 3);
+}
+
+}  // namespace
+}  // namespace fedtiny::serve
